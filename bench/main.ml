@@ -1,0 +1,280 @@
+(* Benchmark harness.
+
+   Two layers:
+   - Bechamel micro-benchmarks of the paper's complexity-critical operations
+     (path-tree insertion and query at growing populations - the O(log n) /
+     O(1) claim - plus substrate hot paths);
+   - regeneration of every evaluation artifact in DESIGN.md's experiment
+     index (fig2 and the E1..E5 tables), printed as the rows the paper
+     reports.
+
+   `dune exec bench/main.exe` runs everything in quick mode;
+   `dune exec bench/main.exe -- <experiment> [--full]` runs one experiment,
+   optionally at the paper-scale configuration. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks *)
+
+type tree_fixture = {
+  tree : Nearby.Path_tree.t;
+  routes : int array array;  (* leaf index -> route to the landmark *)
+  population : int;
+  mutable next_peer : int;
+}
+
+let make_fixture ~routers ~population ~seed =
+  let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params routers) ~seed in
+  let rng = Prelude.Prng.create seed in
+  let landmark =
+    (Nearby.Landmark.place map.graph Nearby.Landmark.Medium_degree ~count:1 ~rng).(0)
+  in
+  let oracle = Traceroute.Route_oracle.create map.graph in
+  let routes =
+    Array.map
+      (fun leaf -> Array.of_list (Traceroute.Route_oracle.route oracle ~src:leaf ~dst:landmark))
+      map.leaves
+  in
+  let tree = Nearby.Path_tree.create ~landmark in
+  for peer = 0 to population - 1 do
+    Nearby.Path_tree.insert tree ~peer ~routers:routes.(peer mod Array.length routes)
+  done;
+  { tree; routes; population; next_peer = population }
+
+let micro_tests () =
+  let sizes = [ 1_000; 4_000; 16_000; 64_000 ] in
+  let fixtures = List.map (fun n -> (n, make_fixture ~routers:2000 ~population:n ~seed:7)) sizes in
+  let insert_tests =
+    let make (n, fx) =
+      Test.make ~name:(Printf.sprintf "path_tree/insert/n=%d" n)
+        (Staged.stage (fun () ->
+             (* Insert a fresh peer then remove it, so the population stays
+                at n across runs. *)
+             let peer = fx.next_peer in
+             fx.next_peer <- fx.next_peer + 1;
+             Nearby.Path_tree.insert fx.tree ~peer
+               ~routers:fx.routes.(peer mod Array.length fx.routes);
+             Nearby.Path_tree.remove fx.tree peer))
+    in
+    List.map make fixtures
+  in
+  let query_tests =
+    let make (n, fx) =
+      let counter = ref 0 in
+      Test.make ~name:(Printf.sprintf "path_tree/query/n=%d" n)
+        (Staged.stage (fun () ->
+             let peer = !counter mod fx.population in
+             incr counter;
+             ignore (Nearby.Path_tree.query_member fx.tree ~peer ~k:5)))
+    in
+    List.map make fixtures
+  in
+  let substrate =
+    let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params 2000) ~seed:11 in
+    let oracle = Traceroute.Route_oracle.create map.graph in
+    let leaf_count = Array.length map.leaves in
+    let counter = ref 0 in
+    [
+      Test.make ~name:"topology/bfs/2000-routers"
+        (Staged.stage (fun () ->
+             let src = map.leaves.(!counter mod leaf_count) in
+             incr counter;
+             ignore (Topology.Bfs.distances map.graph src)));
+      Test.make ~name:"traceroute/probe/cached-tree"
+        (Staged.stage (fun () ->
+             let src = map.leaves.(!counter mod leaf_count) in
+             incr counter;
+             ignore (Traceroute.Probe.run oracle ~src ~dst:map.core.(0))));
+      (let rng = Prelude.Prng.create 3 in
+       Test.make ~name:"prelude/prng/int"
+         (Staged.stage (fun () -> ignore (Prelude.Prng.int rng 1_000_000))));
+    ]
+  in
+  Test.make_grouped ~name:"micro" (insert_tests @ query_tests @ substrate)
+
+let run_micro () =
+  print_endline "== Bechamel micro-benchmarks (ns/op, OLS on monotonic clock) ==";
+  let tests = micro_tests () in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols_result with Some [ e ] -> e | _ -> nan
+        in
+        let r2 = match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan in
+        (name, estimate, r2) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Prelude.Table.print
+    ~header:[ "benchmark"; "ns/op"; "r^2" ]
+    (List.map
+       (fun (name, est, r2) ->
+         [ name; Prelude.Table.float_cell ~decimals:1 est; Prelude.Table.float_cell ~decimals:4 r2 ])
+       rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Experiment regeneration *)
+
+let banner title = Printf.printf "\n================ %s ================\n%!" title
+
+let run_fig2 ~full =
+  banner "fig2 (the paper's measured figure)";
+  let config = if full then Eval.Fig2.default_config else Eval.Fig2.quick_config in
+  Eval.Fig2.print (Eval.Fig2.run config)
+
+let run_complexity ~full =
+  banner "complexity table (O(log n) insert / O(1) query)";
+  let config = if full then Eval.Complexity.default_config else Eval.Complexity.quick_config in
+  Eval.Complexity.print (Eval.Complexity.run config)
+
+let run_landmarks ~full =
+  banner "E1 landmark count x placement";
+  let config =
+    if full then Eval.Landmark_sweep.default_config else Eval.Landmark_sweep.quick_config
+  in
+  Eval.Landmark_sweep.print (Eval.Landmark_sweep.run config);
+  print_newline ();
+  Eval.Landmark_sweep.print_ablation (Eval.Landmark_sweep.run_round1_ablation config)
+
+let run_superpeers ~full =
+  banner "E2 super-peers";
+  let config =
+    if full then Eval.Super_peer_exp.default_config else Eval.Super_peer_exp.quick_config
+  in
+  Eval.Super_peer_exp.print (Eval.Super_peer_exp.run config)
+
+let run_churn ~full =
+  banner "E3 churn / failures / handover";
+  let config = if full then Eval.Churn_exp.default_config else Eval.Churn_exp.quick_config in
+  Eval.Churn_exp.print (Eval.Churn_exp.run config)
+
+let run_truncate ~full =
+  banner "E4 decreased traceroute";
+  let config = if full then Eval.Truncate_exp.default_config else Eval.Truncate_exp.quick_config in
+  Eval.Truncate_exp.print (Eval.Truncate_exp.run config)
+
+let run_setup_delay ~full =
+  banner "E5 setup delay vs quality";
+  let config = if full then Eval.Setup_delay.default_config else Eval.Setup_delay.quick_config in
+  Eval.Setup_delay.print (Eval.Setup_delay.run config)
+
+let run_metric ~full =
+  banner "ablation: hop vs latency dtree";
+  let config =
+    if full then Eval.Metric_ablation.default_config else Eval.Metric_ablation.quick_config
+  in
+  Eval.Metric_ablation.print (Eval.Metric_ablation.run config)
+
+let run_streaming ~full =
+  banner "application: mesh live streaming";
+  let config =
+    if full then Eval.Streaming_exp.default_config else Eval.Streaming_exp.quick_config
+  in
+  Eval.Streaming_exp.print (Eval.Streaming_exp.run config)
+
+let run_stretch ~full =
+  banner "stretch analysis (graph-oriented dtree vs d)";
+  let config =
+    if full then Eval.Stretch_analysis.default_config else Eval.Stretch_analysis.quick_config
+  in
+  Eval.Stretch_analysis.print (Eval.Stretch_analysis.run config)
+
+let run_maintenance ~full =
+  banner "maintenance: frozen vs refreshed neighbor sets under churn";
+  let config =
+    if full then Eval.Maintenance_exp.default_config else Eval.Maintenance_exp.quick_config
+  in
+  Eval.Maintenance_exp.print (Eval.Maintenance_exp.run config)
+
+let run_topology_sensitivity ~full =
+  banner "topology sensitivity (heavy tail vs homogeneous maps)";
+  let config =
+    if full then Eval.Topology_sensitivity.default_config else Eval.Topology_sensitivity.quick_config
+  in
+  Eval.Topology_sensitivity.print (Eval.Topology_sensitivity.run config)
+
+let run_dht ~full =
+  banner "dht: decentralized directory (Chord)";
+  let config = if full then Eval.Dht_exp.default_config else Eval.Dht_exp.quick_config in
+  Eval.Dht_exp.print (Eval.Dht_exp.run config)
+
+let run_inflation ~full =
+  banner "inflation: robustness to policy routing";
+  let config = if full then Eval.Inflation_exp.default_config else Eval.Inflation_exp.quick_config in
+  Eval.Inflation_exp.print (Eval.Inflation_exp.run config)
+
+let run_bulk ~full =
+  banner "application: bulk file swarm";
+  let config = if full then Eval.Bulk_exp.default_config else Eval.Bulk_exp.quick_config in
+  Eval.Bulk_exp.print (Eval.Bulk_exp.run config)
+
+let run_joining ~full =
+  banner "joining: newcomer time-to-playback mid-stream";
+  let config = if full then Eval.Joining_exp.default_config else Eval.Joining_exp.quick_config in
+  Eval.Joining_exp.print (Eval.Joining_exp.run config)
+
+let run_all ~full =
+  run_micro ();
+  run_fig2 ~full;
+  run_complexity ~full;
+  run_landmarks ~full;
+  run_superpeers ~full;
+  run_churn ~full;
+  run_truncate ~full;
+  run_setup_delay ~full;
+  run_metric ~full;
+  run_streaming ~full;
+  run_stretch ~full;
+  run_maintenance ~full;
+  run_topology_sensitivity ~full;
+  run_dht ~full;
+  run_inflation ~full;
+  run_bulk ~full;
+  run_joining ~full
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let args = List.filter (fun a -> a <> "--full") args in
+  (* --csv DIR: also capture every printed table as a CSV file. *)
+  let rec extract_csv acc = function
+    | "--csv" :: dir :: rest ->
+        Prelude.Table.set_csv_sink (Some dir);
+        List.rev_append acc rest
+    | x :: rest -> extract_csv (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = extract_csv [] args in
+  match args with
+  | [] -> run_all ~full
+  | [ "micro" ] -> run_micro ()
+  | [ "fig2" ] -> run_fig2 ~full
+  | [ "complexity" ] -> run_complexity ~full
+  | [ "landmarks" ] -> run_landmarks ~full
+  | [ "superpeers" ] -> run_superpeers ~full
+  | [ "churn" ] -> run_churn ~full
+  | [ "truncate" ] -> run_truncate ~full
+  | [ "setup-delay" ] -> run_setup_delay ~full
+  | [ "metric" ] -> run_metric ~full
+  | [ "streaming" ] -> run_streaming ~full
+  | [ "stretch" ] -> run_stretch ~full
+  | [ "maintenance" ] -> run_maintenance ~full
+  | [ "topologies" ] -> run_topology_sensitivity ~full
+  | [ "dht" ] -> run_dht ~full
+  | [ "inflation" ] -> run_inflation ~full
+  | [ "bulk" ] -> run_bulk ~full
+  | [ "joining" ] -> run_joining ~full
+  | other ->
+      Printf.eprintf
+        "unknown bench %S; available: micro fig2 complexity landmarks superpeers churn truncate setup-delay metric [--full]\n"
+        (String.concat " " other);
+      exit 1

@@ -1,0 +1,109 @@
+(* Generate a synthetic router map and print its structural statistics —
+   the checks that our maps exhibit the regularities the paper relies on. *)
+
+open Cmdliner
+
+let routers_arg =
+  Arg.(value & opt int 4000 & info [ "n"; "routers" ] ~doc:"Number of routers.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let model_arg =
+  let doc = "Topology model: magoni, ba, glp, er, waxman, transit-stub." in
+  Arg.(value & opt string "magoni" & info [ "model" ] ~doc)
+
+let output_arg =
+  let doc = "Also write the generated map to this edge-list file." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+
+let input_arg =
+  let doc = "Analyze an existing edge-list file instead of generating a map." in
+  Arg.(value & opt (some string) None & info [ "i"; "input" ] ~doc)
+
+let analyze graph =
+  let open Topology in
+  Format.printf "%a@." Graph.pp graph;
+  Format.printf "connected: %b@." (Graph.is_connected graph);
+  let rng = Prelude.Prng.create 42 in
+  Format.printf "mean pairwise hop distance (sampled): %.2f@."
+    (Bfs.mean_pairwise_distance graph ~samples:2000 ~rng);
+  Format.printf "degree-1 routers: %.1f%%@." (100.0 *. Degree.fraction_with_degree graph 1);
+  Format.printf "degree gini: %.3f@." (Degree.gini graph);
+  (match Degree.power_law_alpha graph ~x_min:3 with
+  | alpha -> Format.printf "power-law alpha (x_min=3): %.2f@."  alpha
+  | exception Invalid_argument _ -> Format.printf "power-law alpha: n/a@.");
+  let core = Centrality.k_core_numbers graph in
+  let kmax = Array.fold_left max 0 core in
+  Format.printf "max k-core: %d@." kmax;
+  (* The paper's funneling premise: what share of end-to-end routes crosses
+     the top-1% betweenness routers? *)
+  let betweenness = Centrality.betweenness_sampled graph ~sources:200 ~rng in
+  let top_set = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace top_set v ())
+    (Centrality.top_by betweenness (max 1 (Graph.node_count graph / 100)));
+  let oracle = Traceroute.Route_oracle.create graph in
+  let crossing = ref 0 and sampled = ref 0 in
+  let n = Graph.node_count graph in
+  for _ = 1 to 500 do
+    let src = Prelude.Prng.int rng n and dst = Prelude.Prng.int rng n in
+    if src <> dst then begin
+      match Traceroute.Route_oracle.route oracle ~src ~dst with
+      | [] -> ()
+      | route ->
+          incr sampled;
+          if List.exists (fun r -> Hashtbl.mem top_set r) route then incr crossing
+    end
+  done;
+  if !sampled > 0 then
+    Format.printf "routes crossing the top-1%% betweenness core: %.1f%%@."
+      (100.0 *. float_of_int !crossing /. float_of_int !sampled);
+  let h = Degree.histogram graph in
+  Format.printf "degree CCDF (first 12 points):@.";
+  List.iteri
+    (fun i (d, p) -> if i < 12 then Format.printf "  P(deg >= %d) = %.4f@." d p)
+    (Prelude.Histogram.ccdf h)
+
+let generate routers seed = function
+  | "magoni" ->
+      let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params routers) ~seed in
+      Format.printf "magoni map: core=%d tree=%d leaves=%d@." (Array.length map.core)
+        (Array.length map.tree) (Array.length map.leaves);
+      Some map.graph
+  | "ba" -> Some (Topology.Gen_ba.generate ~nodes:routers ~edges_per_node:3 ~seed)
+  | "glp" -> Some (Topology.Gen_glp.generate ~nodes:routers ~m:2 ~p:0.45 ~beta:0.64 ~seed)
+  | "er" -> Some (Topology.Gen_er.generate_connected ~nodes:routers ~edges:(3 * routers) ~seed)
+  | "waxman" ->
+      let graph, _ =
+        Topology.Gen_waxman.generate ~nodes:(min routers 2000) ~alpha:0.25 ~beta:0.2 ~seed
+      in
+      Some graph
+  | "transit-stub" ->
+      Some (Topology.Gen_transit_stub.generate Topology.Gen_transit_stub.default_params ~seed)
+  | _ -> None
+
+let run routers seed model output input =
+  match input with
+  | Some path -> (
+      match Topology.Io.load_edge_list path with
+      | graph ->
+          Format.printf "loaded %s@." path;
+          analyze graph;
+          `Ok ()
+      | exception (Failure msg | Invalid_argument msg) -> `Error (false, msg))
+  | None -> (
+      match generate routers seed model with
+      | None -> `Error (false, Printf.sprintf "unknown model %S" model)
+      | Some graph ->
+          analyze graph;
+          (match output with
+          | Some path ->
+              Topology.Io.save_edge_list graph path;
+              Format.printf "written to %s@." path
+          | None -> ());
+          `Ok ())
+
+let () =
+  let info = Cmd.info "topo_tool" ~doc:"Generate, analyze and export router-level maps." in
+  exit
+    (Cmd.eval
+       (Cmd.v info Term.(ret (const run $ routers_arg $ seed_arg $ model_arg $ output_arg $ input_arg))))

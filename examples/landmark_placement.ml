@@ -1,0 +1,30 @@
+(* Landmark placement study (extension E1 at example scale).
+
+   How many landmarks does the scheme need, and where should an operator
+   put them?  Sweeps placement policies on one map and prints the quality
+   each combination achieves, then the round-1 ablation (what the closest-
+   landmark ping round actually buys). *)
+
+let () =
+  let config =
+    {
+      Eval.Landmark_sweep.routers = 1200;
+      peers = 300;
+      k = 5;
+      counts = [ 1; 2; 4; 8; 16 ];
+      policies = Nearby.Landmark.all_policies;
+      seeds = [ 5 ];
+    }
+  in
+  Format.printf "Sweeping %d routers / %d peers / k = %d...@.@." config.routers config.peers config.k;
+  Eval.Landmark_sweep.print (Eval.Landmark_sweep.run config);
+  print_newline ();
+  Eval.Landmark_sweep.print_ablation (Eval.Landmark_sweep.run_round1_ablation config);
+  print_newline ();
+  print_endline "Reading the tables:";
+  print_endline "- even 4-8 medium-degree landmarks get close to the best quality;";
+  print_endline "- high-degree (core) placement wastes landmarks: routes collapse onto the";
+  print_endline "  same few hub routers and meeting points lose resolution;";
+  print_endline "- skipping round 1 (random landmark instead of closest) costs quality as";
+  print_endline "  soon as there is more than one landmark, because peers stop being";
+  print_endline "  grouped regionally."

@@ -1,0 +1,93 @@
+type t = {
+  dims : int;
+  ids : int array;
+  coords : Vector.t array;
+  residual : float;
+}
+
+(* Squared relative error, the objective GNP recommends: absolute squared
+   error would let long paths dominate. *)
+let pair_objective predicted actual =
+  if actual <= 0.0 then 0.0
+  else begin
+    let e = (predicted -. actual) /. actual in
+    e *. e
+  end
+
+let embed_landmarks ~dims ~landmarks ~measure ~rng =
+  let k = Array.length landmarks in
+  if k < dims + 1 then invalid_arg "Gnp.embed_landmarks: need at least dims + 1 landmarks";
+  let rtt = Array.make_matrix k k 0.0 in
+  for a = 0 to k - 1 do
+    for b = a + 1 to k - 1 do
+      let m = measure landmarks.(a) landmarks.(b) in
+      rtt.(a).(b) <- m;
+      rtt.(b).(a) <- m
+    done
+  done;
+  let mean_rtt =
+    let acc = ref 0.0 and cnt = ref 0 in
+    for a = 0 to k - 1 do
+      for b = a + 1 to k - 1 do
+        acc := !acc +. rtt.(a).(b);
+        incr cnt
+      done
+    done;
+    if !cnt = 0 then 1.0 else !acc /. float_of_int !cnt
+  in
+  (* Flatten all landmark coordinates into one optimization vector. *)
+  let objective x =
+    let coord a = Array.sub x (a * dims) dims in
+    let total = ref 0.0 in
+    for a = 0 to k - 1 do
+      for b = a + 1 to k - 1 do
+        total := !total +. pair_objective (Vector.distance (coord a) (coord b)) rtt.(a).(b)
+      done
+    done;
+    !total
+  in
+  let best = ref None in
+  for _restart = 1 to 4 do
+    let x0 =
+      Array.init (k * dims) (fun _ -> Prelude.Prng.float rng mean_rtt -. (mean_rtt /. 2.0))
+    in
+    let result = Nelder_mead.minimize ~max_iter:2000 ~f:objective ~x0 ~scale:(mean_rtt /. 4.0) () in
+    match !best with
+    | Some (b : Nelder_mead.result) when b.f <= result.f -> ()
+    | _ -> best := Some result
+  done;
+  let result = match !best with Some r -> r | None -> assert false in
+  {
+    dims;
+    ids = Array.copy landmarks;
+    coords = Array.init k (fun a -> Array.sub result.x (a * dims) dims);
+    residual = result.f;
+  }
+
+let landmark_ids t = Array.copy t.ids
+
+let landmark_coordinate t i =
+  if i < 0 || i >= Array.length t.coords then invalid_arg "Gnp.landmark_coordinate: out of range";
+  Array.copy t.coords.(i)
+
+let estimate a b = Vector.distance a b
+
+let place_host t ~rtts =
+  if Array.length rtts <> Array.length t.ids then
+    invalid_arg "Gnp.place_host: RTT vector length must match landmark count";
+  let objective x =
+    let total = ref 0.0 in
+    Array.iteri
+      (fun i lmk_coord -> total := !total +. pair_objective (Vector.distance x lmk_coord) rtts.(i))
+      t.coords;
+    !total
+  in
+  (* Start from the centroid of the landmark coordinates. *)
+  let x0 = Vector.zeros t.dims in
+  Array.iter (fun c -> Array.iteri (fun d v -> x0.(d) <- x0.(d) +. v) c) t.coords;
+  let x0 = Vector.scale (1.0 /. float_of_int (Array.length t.coords)) x0 in
+  let mean_rtt = Prelude.Stats.mean_of rtts in
+  let result = Nelder_mead.minimize ~max_iter:1000 ~f:objective ~x0 ~scale:(Float.max 1.0 (mean_rtt /. 4.0)) () in
+  result.x
+
+let fit_error t = t.residual

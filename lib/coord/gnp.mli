@@ -1,0 +1,32 @@
+(** GNP landmark-based coordinates (Ng & Zhang, INFOCOM 2002).
+
+    The other classic coordinate scheme the paper cites: a fixed set of
+    landmarks first embeds itself by minimizing pairwise embedding error,
+    then every host solves its own coordinate from RTTs to the landmarks.
+    Deterministic given the measurement function — no convergence rounds —
+    but each join still costs one RTT measurement {e per landmark}, versus a
+    single traceroute for the paper's scheme. *)
+
+type t
+
+val embed_landmarks :
+  dims:int -> landmarks:int array -> measure:(int -> int -> float) -> rng:Prelude.Prng.t -> t
+(** [embed_landmarks ~dims ~landmarks ~measure] measures all landmark pairs
+    (via [measure lmk_a lmk_b], symmetric) and solves the landmark
+    coordinates by Nelder–Mead on total squared relative error, restarted
+    from a few random initializations.
+    @raise Invalid_argument with fewer than [dims + 1] landmarks. *)
+
+val landmark_ids : t -> int array
+val landmark_coordinate : t -> int -> Vector.t
+(** By position in [landmark_ids].  @raise Invalid_argument out of range. *)
+
+val place_host : t -> rtts:float array -> Vector.t
+(** [place_host t ~rtts] solves a host coordinate from its RTT vector to the
+    landmarks (same order as [landmark_ids]). *)
+
+val estimate : Vector.t -> Vector.t -> float
+(** Predicted RTT = Euclidean distance. *)
+
+val fit_error : t -> float
+(** Residual objective of the landmark embedding (0 = perfect fit). *)

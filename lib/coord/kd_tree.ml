@@ -1,0 +1,100 @@
+type node =
+  | Leaf of int array  (* point indices *)
+  | Split of { axis : int; threshold : float; left : node; right : node }
+
+type t = { points : Vector.t array; root : node; dims : int }
+
+let leaf_capacity = 8
+
+let build points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kd_tree.build: empty point set";
+  let dims = Array.length points.(0) in
+  Array.iter
+    (fun p -> if Array.length p <> dims then invalid_arg "Kd_tree.build: mixed dimensions")
+    points;
+  (* Median split on the axis of largest spread; indices sorted in place per
+     recursion via sub-arrays. *)
+  let rec make indices =
+    if Array.length indices <= leaf_capacity then Leaf indices
+    else begin
+      let axis =
+        let best = ref 0 and best_spread = ref neg_infinity in
+        for d = 0 to dims - 1 do
+          let lo = ref infinity and hi = ref neg_infinity in
+          Array.iter
+            (fun i ->
+              let v = points.(i).(d) in
+              if v < !lo then lo := v;
+              if v > !hi then hi := v)
+            indices;
+          if !hi -. !lo > !best_spread then begin
+            best_spread := !hi -. !lo;
+            best := d
+          end
+        done;
+        !best
+      in
+      Array.sort (fun a b -> compare (points.(a).(axis), a) (points.(b).(axis), b)) indices;
+      let mid = Array.length indices / 2 in
+      let threshold = points.(indices.(mid)).(axis) in
+      if threshold = points.(indices.(0)).(axis) && threshold = points.(indices.(Array.length indices - 1)).(axis)
+      then (* Degenerate axis (all equal): stop splitting. *)
+        Leaf indices
+      else begin
+        let left = make (Array.sub indices 0 mid) in
+        let right = make (Array.sub indices mid (Array.length indices - mid)) in
+        Split { axis; threshold; left; right }
+      end
+    end
+  in
+  { points; root = make (Array.init n (fun i -> i)); dims }
+
+let size t = Array.length t.points
+let dims t = t.dims
+
+(* Bounded best-list shared by both queries: ascending (distance, index). *)
+let k_nearest t query ~k ?(exclude = fun _ -> false) () =
+  if Array.length query <> t.dims then invalid_arg "Kd_tree: dimension mismatch";
+  if k <= 0 then []
+  else begin
+    let best = ref [] in
+    let best_len = ref 0 in
+    let worst_entry () =
+      if !best_len < k then (infinity, max_int) else List.nth !best (k - 1)
+    in
+    let worst () = fst (worst_entry ()) in
+    let consider i =
+      if not (exclude i) then begin
+        let d = Vector.distance t.points.(i) query in
+        (* Pair comparison keeps the lower index on equal distance. *)
+        if (d, i) < worst_entry () then begin
+          let rec ins = function
+            | [] -> [ (d, i) ]
+            | (d', i') :: rest when (d, i) < (d', i') -> (d, i) :: (d', i') :: rest
+            | x :: rest -> x :: ins rest
+          in
+          let merged = ins !best in
+          best := (if List.length merged > k then List.filteri (fun j _ -> j < k) merged else merged);
+          best_len := List.length !best
+        end
+      end
+    in
+    let rec visit = function
+      | Leaf indices -> Array.iter consider indices
+      | Split { axis; threshold; left; right } ->
+          let delta = query.(axis) -. threshold in
+          let near, far = if delta < 0.0 then (left, right) else (right, left) in
+          visit near;
+          (* The far side can only help if the splitting plane is closer
+             than the current k-th best. *)
+          if abs_float delta <= worst () then visit far
+    in
+    visit t.root;
+    !best |> List.map (fun (d, i) -> (i, d))
+  end
+
+let nearest t query =
+  match k_nearest t query ~k:1 () with
+  | [ (i, _) ] -> i
+  | _ -> invalid_arg "Kd_tree.nearest: empty tree"

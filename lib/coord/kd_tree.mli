@@ -1,0 +1,25 @@
+(** Static k-d tree over coordinate embeddings.
+
+    The coordinate selectors (Vivaldi, GNP) turn "who is closest?" into a
+    Euclidean nearest-neighbor problem; scanning all n peers per query is
+    O(n²) for the full population.  A k-d tree over the embedding answers
+    k-NN in ~O(log n) per query for the low dimensions coordinates use
+    (2–5).  Built once over a snapshot; queries never mutate. *)
+
+type t
+
+val build : Vector.t array -> t
+(** [build points] — all points must share the same dimension.
+    @raise Invalid_argument on an empty array or mixed dimensions. *)
+
+val size : t -> int
+val dims : t -> int
+
+val nearest : t -> Vector.t -> int
+(** Index of the closest point (ties toward the lower index).
+    @raise Invalid_argument on a dimension mismatch. *)
+
+val k_nearest : t -> Vector.t -> k:int -> ?exclude:(int -> bool) -> unit -> (int * float) list
+(** At most [k] point indices with their distances, ascending distance then
+    index.  [exclude] drops candidates (e.g. the query point itself when it
+    is in the tree). *)

@@ -1,0 +1,143 @@
+type params = {
+  ring_base_ms : float;
+  rings : int;
+  members_per_ring : int;
+  beta : float;
+}
+
+let default_params = { ring_base_ms = 2.0; rings = 8; members_per_ring = 4; beta = 0.5 }
+
+type t = {
+  params : params;
+  oracle : Traceroute.Route_oracle.t;
+  latency : Topology.Latency.t option;
+  peer_routers : Topology.Graph.node array;
+  rings : int list array array;  (* peer -> ring index -> member peer ids *)
+}
+
+type search_result = {
+  found : int;
+  rtt_ms : float;
+  forwarding_hops : int;
+  probes_sent : int;
+  elapsed_ms : float;
+}
+
+let ping t a_router b_router =
+  Traceroute.Probe.ping ?latency:t.latency t.oracle ~src:a_router ~dst:b_router
+
+let ring_index params rtt =
+  if rtt < params.ring_base_ms then 0
+  else begin
+    let i = int_of_float (Float.log2 (rtt /. params.ring_base_ms)) + 1 in
+    min i (params.rings - 1)
+  end
+
+let build ?latency params oracle ~peer_routers ~rng =
+  let n = Array.length peer_routers in
+  let t = { params; oracle; latency; peer_routers; rings = Array.make 0 [||] } in
+  let rings =
+    Array.init n (fun i ->
+        (* Bucket every other peer by RTT ring, then sample each bucket. *)
+        let buckets = Array.make params.rings [] in
+        for j = 0 to n - 1 do
+          if j <> i then begin
+            let rtt = ping t peer_routers.(i) peer_routers.(j) in
+            if Float.is_finite rtt then begin
+              let r = ring_index params rtt in
+              buckets.(r) <- j :: buckets.(r)
+            end
+          end
+        done;
+        Array.map
+          (fun candidates ->
+            let candidates = Array.of_list candidates in
+            if Array.length candidates <= params.members_per_ring then
+              List.sort compare (Array.to_list candidates)
+            else begin
+              let picks =
+                Prelude.Prng.sample_without_replacement rng ~k:params.members_per_ring
+                  ~n:(Array.length candidates)
+              in
+              List.sort compare (Array.to_list (Array.map (fun ix -> candidates.(ix)) picks))
+            end)
+          buckets)
+  in
+  { t with rings }
+
+let peer_count t = Array.length t.peer_routers
+
+let ring_of t ~peer ~ring =
+  if peer < 0 || peer >= peer_count t || ring < 0 || ring >= t.params.rings then
+    invalid_arg "Meridian.ring_of: out of range";
+  t.rings.(peer).(ring)
+
+(* Ring members whose range brackets the current distance to the target:
+   the original protocol contacts rings within a factor of two around it. *)
+let candidates_near t ~peer ~rtt =
+  let center = ring_index t.params rtt in
+  let lo = max 0 (center - 1) and hi = min (t.params.rings - 1) (center + 1) in
+  let acc = ref [] in
+  for r = lo to hi do
+    acc := t.rings.(peer).(r) @ !acc
+  done;
+  List.sort_uniq compare !acc
+
+let closest_search ?(exclude = fun _ -> false) t ~target_router ~entry =
+  let n = peer_count t in
+  if n = 0 then invalid_arg "Meridian.closest_search: empty overlay";
+  if entry < 0 || entry >= n || exclude entry then invalid_arg "Meridian.closest_search: bad entry";
+  let probes = ref 0 in
+  let measure peer =
+    incr probes;
+    ping t t.peer_routers.(peer) target_router
+  in
+  let rec walk current current_rtt hops elapsed =
+    let candidates =
+      List.filter (fun c -> not (exclude c)) (candidates_near t ~peer:current ~rtt:current_rtt)
+    in
+    (* Ring members probe the target in parallel: the step costs the
+       slowest probe (relayed through the current holder) plus, on a
+       forward, the hop to the chosen member. *)
+    let best, best_rtt, slowest =
+      List.fold_left
+        (fun (bp, br, worst) candidate ->
+          let rtt = measure candidate in
+          let relay =
+            ping t t.peer_routers.(current) t.peer_routers.(candidate) +. rtt
+          in
+          let worst = Float.max worst relay in
+          if rtt < br then (candidate, rtt, worst) else (bp, br, worst))
+        (current, current_rtt, 0.0) candidates
+    in
+    let elapsed = elapsed +. slowest in
+    if best <> current && best_rtt <= t.params.beta *. current_rtt then
+      walk best best_rtt (hops + 1)
+        (elapsed +. ping t t.peer_routers.(current) t.peer_routers.(best))
+    else if best <> current && best_rtt < current_rtt then
+      (* Improvement below the beta threshold: accept the better node but
+         stop forwarding, as the protocol prescribes. *)
+      (best, best_rtt, hops, elapsed)
+    else (current, current_rtt, hops, elapsed)
+  in
+  let entry_rtt = ping t t.peer_routers.(entry) target_router in
+  incr probes;
+  let found, rtt_ms, forwarding_hops, elapsed_ms = walk entry entry_rtt 0 entry_rtt in
+  { found; rtt_ms; forwarding_hops; probes_sent = !probes; elapsed_ms }
+
+let k_nearest ?(exclude = fun _ -> false) t ~target_router ~entry ~k =
+  if k <= 0 then []
+  else begin
+    let result = closest_search ~exclude t ~target_router ~entry in
+    let pool =
+      result.found
+      :: List.concat (Array.to_list t.rings.(result.found))
+    in
+    let pool = List.filter (fun p -> not (exclude p)) (List.sort_uniq compare pool) in
+    let scored =
+      List.map (fun p -> (ping t t.peer_routers.(p) target_router, p)) pool
+    in
+    List.sort compare scored
+    |> List.filteri (fun i _ -> i < k)
+    |> List.map snd
+  end

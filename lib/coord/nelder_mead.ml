@@ -1,0 +1,102 @@
+type result = { x : float array; f : float; iterations : int }
+
+let minimize ?(max_iter = 500) ?(tolerance = 1e-9) ~f ~x0 ~scale () =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Nelder_mead.minimize: empty starting point";
+  (* Simplex of n + 1 vertices, each paired with its value. *)
+  let vertex i =
+    if i = 0 then Array.copy x0
+    else begin
+      let v = Array.copy x0 in
+      v.(i - 1) <- v.(i - 1) +. scale;
+      v
+    end
+  in
+  let simplex = Array.init (n + 1) (fun i -> vertex i) in
+  let values = Array.map f simplex in
+  let order () =
+    let idx = Array.init (n + 1) (fun i -> i) in
+    Array.sort (fun a b -> compare values.(a) values.(b)) idx;
+    idx
+  in
+  let centroid_excluding worst =
+    let c = Array.make n 0.0 in
+    for i = 0 to n do
+      if i <> worst then
+        for d = 0 to n - 1 do
+          c.(d) <- c.(d) +. simplex.(i).(d)
+        done
+    done;
+    Array.map (fun x -> x /. float_of_int n) c
+  in
+  let combine a alpha b beta = Array.init n (fun d -> (alpha *. a.(d)) +. (beta *. b.(d))) in
+  let iterations = ref 0 in
+  (* Converge on BOTH a flat value spread and a small simplex: a simplex
+     straddling the minimum symmetrically has zero value spread while still
+     being far from it. *)
+  let diameter () =
+    let d = ref 0.0 in
+    for i = 0 to n do
+      for j = i + 1 to n do
+        let dist = ref 0.0 in
+        for k = 0 to n - 1 do
+          let delta = simplex.(i).(k) -. simplex.(j).(k) in
+          dist := !dist +. (delta *. delta)
+        done;
+        d := Float.max !d (sqrt !dist)
+      done
+    done;
+    !d
+  in
+  let converged () =
+    let idx = order () in
+    abs_float (values.(idx.(n)) -. values.(idx.(0))) < tolerance
+    && diameter () < Float.max (sqrt tolerance) (1e-8 *. (1.0 +. Float.abs values.(idx.(0))))
+  in
+  while !iterations < max_iter && not (converged ()) do
+    incr iterations;
+    let idx = order () in
+    let best = idx.(0) and worst = idx.(n) and second_worst = idx.(n - 1) in
+    let c = centroid_excluding worst in
+    (* Reflection. *)
+    let reflected = combine c 2.0 simplex.(worst) (-1.0) in
+    let f_reflected = f reflected in
+    if f_reflected < values.(best) then begin
+      (* Expansion. *)
+      let expanded = combine c 3.0 simplex.(worst) (-2.0) in
+      let f_expanded = f expanded in
+      if f_expanded < f_reflected then begin
+        simplex.(worst) <- expanded;
+        values.(worst) <- f_expanded
+      end
+      else begin
+        simplex.(worst) <- reflected;
+        values.(worst) <- f_reflected
+      end
+    end
+    else if f_reflected < values.(second_worst) then begin
+      simplex.(worst) <- reflected;
+      values.(worst) <- f_reflected
+    end
+    else begin
+      (* Contraction toward the better of worst/reflected. *)
+      let target = if f_reflected < values.(worst) then reflected else simplex.(worst) in
+      let contracted = combine c 0.5 target 0.5 in
+      let f_contracted = f contracted in
+      if f_contracted < Float.min f_reflected values.(worst) then begin
+        simplex.(worst) <- contracted;
+        values.(worst) <- f_contracted
+      end
+      else begin
+        (* Shrink everything toward the best vertex. *)
+        for i = 0 to n do
+          if i <> best then begin
+            simplex.(i) <- combine simplex.(best) 0.5 simplex.(i) 0.5;
+            values.(i) <- f simplex.(i)
+          end
+        done
+      end
+    end
+  done;
+  let idx = order () in
+  { x = Array.copy simplex.(idx.(0)); f = values.(idx.(0)); iterations = !iterations }

@@ -1,0 +1,21 @@
+(** Derivative-free simplex minimization (Nelder–Mead).
+
+    GNP fits coordinates by minimizing squared embedding error; the original
+    paper uses the Simplex Downhill method, which is exactly this
+    algorithm.  Standard coefficients (reflection 1, expansion 2,
+    contraction 0.5, shrink 0.5). *)
+
+type result = { x : float array; f : float; iterations : int }
+
+val minimize :
+  ?max_iter:int ->
+  ?tolerance:float ->
+  f:(float array -> float) ->
+  x0:float array ->
+  scale:float ->
+  unit ->
+  result
+(** [minimize ~f ~x0 ~scale ()] starts from the simplex [x0] plus [scale]
+    along each axis; stops when the simplex's function-value spread falls
+    below [tolerance] (default 1e-9) or after [max_iter] (default 500)
+    iterations.  @raise Invalid_argument on an empty [x0]. *)

@@ -1,0 +1,26 @@
+type t = float array
+
+let zeros n = Array.make n 0.0
+let add a b = Array.mapi (fun i x -> x +. b.(i)) a
+let sub a b = Array.mapi (fun i x -> x -. b.(i)) a
+let scale k a = Array.map (fun x -> k *. x) a
+let dot a b = Array.fold_left ( +. ) 0.0 (Array.mapi (fun i x -> x *. b.(i)) a)
+let norm a = sqrt (dot a a)
+
+let distance a b = norm (sub a b)
+
+let unit_toward a b ~rng =
+  let d = sub a b in
+  let n = norm d in
+  if n > 1e-12 then scale (1.0 /. n) d
+  else begin
+    let v = Array.init (Array.length a) (fun _ -> Prelude.Prng.normal rng ~mu:0.0 ~sigma:1.0) in
+    let n = norm v in
+    if n > 1e-12 then scale (1.0 /. n) v else Array.init (Array.length a) (fun i -> if i = 0 then 1.0 else 0.0)
+  end
+
+let pp ppf a =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf x -> Format.fprintf ppf "%.2f" x))
+    (Array.to_list a)

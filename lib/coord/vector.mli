@@ -1,0 +1,17 @@
+(** Small dense float vectors for coordinate embeddings. *)
+
+type t = float array
+
+val zeros : int -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val dot : t -> t -> float
+val norm : t -> float
+val distance : t -> t -> float
+val unit_toward : t -> t -> rng:Prelude.Prng.t -> t
+(** [unit_toward a b ~rng] is the unit vector pointing from [b] toward [a];
+    when the two points coincide, a uniformly random unit direction (the
+    Vivaldi "push apart colocated nodes" rule). *)
+
+val pp : Format.formatter -> t -> unit

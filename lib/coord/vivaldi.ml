@@ -1,0 +1,97 @@
+type params = {
+  dims : int;
+  ce : float;
+  cc : float;
+  use_height : bool;
+  neighbors_per_round : int;
+}
+
+let default_params = { dims = 2; ce = 0.25; cc = 0.25; use_height = true; neighbors_per_round = 4 }
+
+type t = {
+  params : params;
+  coords : Vector.t array;
+  heights : float array;
+  errors : float array;
+  rng : Prelude.Prng.t;
+}
+
+let create params ~node_count ~rng =
+  if params.dims < 1 then invalid_arg "Vivaldi.create: dims must be >= 1";
+  if node_count < 0 then invalid_arg "Vivaldi.create: negative node count";
+  {
+    params;
+    coords = Array.init node_count (fun _ -> Vector.zeros params.dims);
+    heights = Array.make node_count 0.0;
+    errors = Array.make node_count 1.0;
+    rng;
+  }
+
+let node_count t = Array.length t.coords
+
+let estimate t i j =
+  let base = Vector.distance t.coords.(i) t.coords.(j) in
+  if t.params.use_height && i <> j then base +. t.heights.(i) +. t.heights.(j) else base
+
+let local_error t i = t.errors.(i)
+
+let observe t ~i ~j ~rtt =
+  if not (Float.is_finite rtt) || rtt < 0.0 then invalid_arg "Vivaldi.observe: bad RTT";
+  if i = j then invalid_arg "Vivaldi.observe: self-measurement";
+  let predicted = estimate t i j in
+  (* Sample weight balances local vs remote confidence. *)
+  let w =
+    let ei = t.errors.(i) and ej = t.errors.(j) in
+    if ei +. ej = 0.0 then 0.5 else ei /. (ei +. ej)
+  in
+  let sample_error = if rtt > 0.0 then abs_float (predicted -. rtt) /. rtt else 0.0 in
+  (* Exponentially-weighted error update. *)
+  t.errors.(i) <- Float.min 1.5 ((sample_error *. t.params.cc *. w) +. (t.errors.(i) *. (1.0 -. (t.params.cc *. w))));
+  (* Move along the force direction by the adaptive timestep. *)
+  let delta = t.params.ce *. w in
+  let direction = Vector.unit_toward t.coords.(i) t.coords.(j) ~rng:t.rng in
+  let displacement = delta *. (rtt -. predicted) in
+  t.coords.(i) <- Vector.add t.coords.(i) (Vector.scale displacement direction);
+  if t.params.use_height then begin
+    (* The height component absorbs its share of the error; keep it
+       non-negative as in the original model. *)
+    t.heights.(i) <- Float.max 0.0 (t.heights.(i) +. (displacement *. 0.1))
+  end
+
+let run_round t ~measure ~rng =
+  let n = node_count t in
+  if n > 1 then
+    for i = 0 to n - 1 do
+      for _ = 1 to t.params.neighbors_per_round do
+        let j = Prelude.Prng.int rng (n - 1) in
+        let j = if j >= i then j + 1 else j in
+        observe t ~i ~j ~rtt:(measure i j)
+      done
+    done
+
+let run_round_with_neighbors t ~neighbors ~measure ~rng =
+  let n = node_count t in
+  for i = 0 to n - 1 do
+    let candidates = neighbors i in
+    if Array.length candidates > 0 then
+      for _ = 1 to t.params.neighbors_per_round do
+        let j = candidates.(Prelude.Prng.int rng (Array.length candidates)) in
+        if j <> i && j >= 0 && j < n then observe t ~i ~j ~rtt:(measure i j)
+      done
+  done
+
+let relative_error t ~measure ~samples ~rng =
+  let n = node_count t in
+  if n < 2 || samples <= 0 then 0.0
+  else begin
+    let errs = Array.make samples 0.0 in
+    for s = 0 to samples - 1 do
+      let i = Prelude.Prng.int rng n in
+      let j = Prelude.Prng.int rng (n - 1) in
+      let j = if j >= i then j + 1 else j in
+      let actual = measure i j in
+      let predicted = estimate t i j in
+      errs.(s) <- (if actual > 0.0 then abs_float (predicted -. actual) /. actual else 0.0)
+    done;
+    Prelude.Stats.median errs
+  end

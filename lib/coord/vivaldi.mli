@@ -1,0 +1,56 @@
+(** Vivaldi decentralized network coordinates (Dabek et al., SIGCOMM 2004).
+
+    The paper's motivating comparison: coordinate systems eventually predict
+    latency well but need many gossip rounds to converge, whereas the
+    landmark/traceroute scheme answers after a single probe.  This is the
+    full algorithm with adaptive timestep and the height model ("Euclidean +
+    height" captures access-link delay).
+
+    Time is counted in {e rounds}: in one round every node samples a handful
+    of random peers, as PeerSim's cycle-driven mode would schedule it. *)
+
+type t
+
+type params = {
+  dims : int;  (** Euclidean dimensionality (2 in the original evaluation). *)
+  ce : float;  (** Adaptive timestep constant, 0.25 in the original paper. *)
+  cc : float;  (** Error-adaptation constant, 0.25. *)
+  use_height : bool;
+  neighbors_per_round : int;
+}
+
+val default_params : params
+(** 2 dimensions + height, ce = cc = 0.25, 4 samples per round. *)
+
+val create : params -> node_count:int -> rng:Prelude.Prng.t -> t
+(** All nodes start at the origin with error 1 (maximal distrust). *)
+
+val node_count : t -> int
+val observe : t -> i:int -> j:int -> rtt:float -> unit
+(** Feed node [i] one RTT measurement to node [j], moving [i]'s coordinate
+    (the remote's coordinate and error are read from the shared state, as if
+    piggybacked on the reply).  @raise Invalid_argument on a non-finite or
+    negative RTT. *)
+
+val estimate : t -> int -> int -> float
+(** Predicted RTT between two nodes under the current embedding. *)
+
+val local_error : t -> int -> float
+(** Node's current confidence weight in [\[0, 1+\]]; lower is better. *)
+
+val run_round : t -> measure:(int -> int -> float) -> rng:Prelude.Prng.t -> unit
+(** One gossip round: every node observes [neighbors_per_round] RTTs to
+    uniformly random other nodes, in node order (deterministic given the
+    rng). *)
+
+val run_round_with_neighbors :
+  t -> neighbors:(int -> int array) -> measure:(int -> int -> float) -> rng:Prelude.Prng.t -> unit
+(** Overlay-restricted variant: each node samples its RTT targets from its
+    own neighbor list only (the realistic deployment, where Vivaldi
+    piggybacks on existing overlay traffic).  Nodes with an empty list skip
+    the round.  Convergence is known to suffer when neighbor lists are
+    small or clustered — measurable with {!relative_error}. *)
+
+val relative_error : t -> measure:(int -> int -> float) -> samples:int -> rng:Prelude.Prng.t -> float
+(** Median over random pairs of [|estimate - actual| / actual] — the standard
+    Vivaldi accuracy metric. *)

@@ -1,0 +1,202 @@
+module Bucket = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type stats = {
+  lookups : int;
+  overlay_hops : int;
+  buckets_per_node : (int * int) list;
+}
+
+type node_store = { mutable buckets : (int, Bucket.t ref) Hashtbl.t }
+
+type t = {
+  landmark : Topology.Graph.node;
+  mutable ring : Chord.t;
+  virtual_nodes : int option;
+  stores : (int, node_store) Hashtbl.t;  (* dht node -> its shard *)
+  paths : (int, int array) Hashtbl.t;  (* peer -> registered path *)
+  mutable lookups : int;
+  mutable overlay_hops : int;
+  mutable migrated : int;
+  (* The requester-side entry point rotates round robin, as a real client
+     would pick a random known ring member. *)
+  mutable entry_cursor : int;
+}
+
+let create ?virtual_nodes ~landmark dht_nodes =
+  let ring = Chord.build ?virtual_nodes dht_nodes in
+  let stores = Hashtbl.create (Array.length dht_nodes) in
+  Array.iter (fun node -> Hashtbl.add stores node { buckets = Hashtbl.create 32 }) dht_nodes;
+  {
+    landmark;
+    ring;
+    virtual_nodes;
+    stores;
+    paths = Hashtbl.create 256;
+    lookups = 0;
+    overlay_hops = 0;
+    migrated = 0;
+    entry_cursor = 0;
+  }
+
+let landmark t = t.landmark
+let member_count t = Hashtbl.length t.paths
+
+(* One DHT lookup for the bucket of [router]: route from a rotating entry
+   member and account the overlay hops. *)
+let locate t router =
+  let ring_members = Chord.members t.ring in
+  let entry = ring_members.(t.entry_cursor mod Array.length ring_members) in
+  t.entry_cursor <- t.entry_cursor + 1;
+  let owner, hops = Chord.lookup t.ring ~from:entry ~key:router in
+  t.lookups <- t.lookups + 1;
+  t.overlay_hops <- t.overlay_hops + hops;
+  Hashtbl.find t.stores owner
+
+let bucket_ref store router =
+  match Hashtbl.find_opt store.buckets router with
+  | Some b -> b
+  | None ->
+      let b = ref Bucket.empty in
+      Hashtbl.add store.buckets router b;
+      b
+
+let insert t ~peer ~routers =
+  if Array.length routers = 0 then invalid_arg "Directory.insert: empty path";
+  if routers.(Array.length routers - 1) <> t.landmark then
+    invalid_arg "Directory.insert: path must end at the landmark";
+  if Hashtbl.mem t.paths peer then invalid_arg "Directory.insert: peer already registered";
+  Hashtbl.add t.paths peer (Array.copy routers);
+  Array.iteri
+    (fun dist router ->
+      let store = locate t router in
+      let b = bucket_ref store router in
+      b := Bucket.add (dist, peer) !b)
+    routers
+
+let remove t ~peer =
+  match Hashtbl.find_opt t.paths peer with
+  | None -> raise Not_found
+  | Some routers ->
+      Hashtbl.remove t.paths peer;
+      Array.iteri
+        (fun dist router ->
+          let store = locate t router in
+          match Hashtbl.find_opt store.buckets router with
+          | None -> ()
+          | Some b ->
+              b := Bucket.remove (dist, peer) !b;
+              if Bucket.is_empty !b then Hashtbl.remove store.buckets router)
+        routers
+
+(* Same walk as Path_tree.query, buckets fetched through the ring. *)
+let best_insert best k candidate =
+  let rec ins = function
+    | [] -> [ candidate ]
+    | x :: rest when candidate < x -> candidate :: x :: rest
+    | x :: rest -> x :: ins rest
+  in
+  let merged = ins best in
+  if List.length merged > k then List.filteri (fun i _ -> i < k) merged else merged
+
+let worst_of best k = if List.length best < k then max_int else fst (List.nth best (k - 1))
+
+let query t ~routers ~k ?(exclude = fun _ -> false) () =
+  if k <= 0 then []
+  else begin
+    let seen = Hashtbl.create 64 in
+    let best = ref [] in
+    let len = Array.length routers in
+    let d = ref 0 in
+    while !d < len && !d <= worst_of !best k do
+      let router = routers.(!d) in
+      let store = locate t router in
+      (match Hashtbl.find_opt store.buckets router with
+      | None -> ()
+      | Some bucket ->
+          (try
+             Bucket.iter
+               (fun (dist, p) ->
+                 let candidate = !d + dist in
+                 if candidate > worst_of !best k then raise Exit;
+                 if not (Hashtbl.mem seen p) then begin
+                   Hashtbl.add seen p ();
+                   if not (exclude p) then best := best_insert !best k (candidate, p)
+                 end)
+               !bucket
+           with Exit -> ()));
+      incr d
+    done;
+    List.map (fun (c, p) -> (p, c)) !best
+  end
+
+let query_member t ~peer ~k =
+  match Hashtbl.find_opt t.paths peer with
+  | None -> raise Not_found
+  | Some routers -> query t ~routers ~k ~exclude:(fun p -> p = peer) ()
+
+let stats t =
+  let per_node =
+    Array.to_list (Chord.members t.ring)
+    |> List.map (fun node -> (node, Hashtbl.length (Hashtbl.find t.stores node).buckets))
+  in
+  { lookups = t.lookups; overlay_hops = t.overlay_hops; buckets_per_node = per_node }
+
+let reset_counters t =
+  t.lookups <- 0;
+  t.overlay_hops <- 0
+
+(* --- Membership dynamics ---------------------------------------------- *)
+
+let node_count t = Chord.member_count t.ring
+let migrations t = t.migrated
+
+(* Rebuild the ring over [members] and move every bucket whose owner
+   changed; returns how many moved. *)
+let rebuild_and_migrate t members =
+  let new_ring = Chord.build ?virtual_nodes:t.virtual_nodes members in
+  let moved = ref 0 in
+  (* Collect all (router, bucket) pairs with their current holder. *)
+  let relocations = ref [] in
+  Hashtbl.iter
+    (fun holder store ->
+      Hashtbl.iter
+        (fun router bucket ->
+          let owner = Chord.owner_of new_ring ~key:router in
+          if owner <> holder then relocations := (holder, router, bucket, owner) :: !relocations)
+        store.buckets)
+    t.stores;
+  List.iter
+    (fun (holder, router, bucket, owner) ->
+      Hashtbl.remove (Hashtbl.find t.stores holder).buckets router;
+      Hashtbl.replace (Hashtbl.find t.stores owner).buckets router bucket;
+      incr moved)
+    !relocations;
+  t.ring <- new_ring;
+  t.migrated <- t.migrated + !moved;
+  !moved
+
+let add_node t ~node =
+  let members = Chord.members t.ring in
+  if Array.mem node members then invalid_arg "Directory.add_node: already a member";
+  Hashtbl.replace t.stores node { buckets = Hashtbl.create 32 };
+  rebuild_and_migrate t (Array.append members [| node |])
+
+let remove_node t ~node =
+  let members = Chord.members t.ring in
+  if not (Array.mem node members) then invalid_arg "Directory.remove_node: not a member";
+  if Array.length members <= 1 then invalid_arg "Directory.remove_node: last node";
+  let remaining = Array.of_list (List.filter (fun m -> m <> node) (Array.to_list members)) in
+  (* Rebuild first so the departing node's buckets have somewhere to go,
+     then drop its (now empty) store. *)
+  let moved = rebuild_and_migrate t remaining in
+  (match Hashtbl.find_opt t.stores node with
+  | Some store when Hashtbl.length store.buckets > 0 ->
+      (* Everything it held must have been reassigned by the rebuild. *)
+      failwith "Directory.remove_node: orphaned buckets"
+  | _ -> ());
+  Hashtbl.remove t.stores node;
+  moved

@@ -1,0 +1,124 @@
+let bits = 32
+let hash_id = Chord.hash_key
+
+type node = {
+  app_id : int;
+  node_id : int;
+  (* buckets.(i): contacts at XOR distance in [2^i, 2^(i+1)), XOR-closest
+     first, at most bucket_size. *)
+  buckets : int array array;  (* contact app ids *)
+}
+
+type t = { nodes : (int, node) Hashtbl.t; sorted_members : int array; bucket_size : int }
+
+let octave_of distance =
+  (* floor log2, distance >= 1 *)
+  let rec loop d acc = if d <= 1 then acc else loop (d lsr 1) (acc + 1) in
+  loop distance 0
+
+let build ?(bucket_size = 8) members =
+  let n = Array.length members in
+  if n = 0 then invalid_arg "Kademlia.build: no members";
+  if bucket_size < 1 then invalid_arg "Kademlia.build: bucket_size must be >= 1";
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun m ->
+      if Hashtbl.mem seen m then invalid_arg "Kademlia.build: duplicate member";
+      Hashtbl.add seen m ())
+    members;
+  let node_id_of = Hashtbl.create n in
+  Array.iter (fun m -> Hashtbl.add node_id_of m (hash_id (m lxor 0x2b2b2b))) members;
+  let nodes = Hashtbl.create n in
+  Array.iter
+    (fun m ->
+      let my_id = Hashtbl.find node_id_of m in
+      let candidates = Array.make bits [] in
+      Array.iter
+        (fun other ->
+          if other <> m then begin
+            let d = my_id lxor Hashtbl.find node_id_of other in
+            if d > 0 then begin
+              let o = octave_of d in
+              candidates.(o) <- (d, other) :: candidates.(o)
+            end
+          end)
+        members;
+      let buckets =
+        Array.map
+          (fun entries ->
+            List.sort compare entries
+            |> List.filteri (fun i _ -> i < bucket_size)
+            |> List.map snd |> Array.of_list)
+          candidates
+      in
+      Hashtbl.add nodes m { app_id = m; node_id = my_id; buckets })
+    members;
+  let sorted_members = Array.copy members in
+  Array.sort compare sorted_members;
+  { nodes; sorted_members; bucket_size }
+
+let member_count t = Array.length t.sorted_members
+let members t = Array.copy t.sorted_members
+
+let node t m =
+  match Hashtbl.find_opt t.nodes m with
+  | Some n -> n
+  | None -> invalid_arg "Kademlia: unknown member"
+
+let owner_of t ~key =
+  let target = hash_id key in
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ n ->
+      let d = n.node_id lxor target in
+      match !best with
+      | Some (bd, bid) when (bd, bid) <= (d, n.app_id) -> ()
+      | _ -> best := Some (d, n.app_id))
+    t.nodes;
+  match !best with Some (_, id) -> id | None -> assert false
+
+let lookup t ~from ~key =
+  let target = hash_id key in
+  let rec step current hops =
+    let cn = node t current in
+    let current_d = cn.node_id lxor target in
+    if current_d = 0 then (current, hops)
+    else begin
+      (* The candidate bucket for the target's octave, then any closer
+         contact anywhere in the table. *)
+      let best = ref (current_d, current) in
+      Array.iter
+        (fun bucket ->
+          Array.iter
+            (fun contact ->
+              let d = (node t contact).node_id lxor target in
+              if (d, contact) < !best then best := (d, contact))
+            bucket)
+        cn.buckets;
+      let _, next = !best in
+      if next = current then (current, hops) else step next (hops + 1)
+    end
+  in
+  if not (Hashtbl.mem t.nodes from) then invalid_arg "Kademlia.lookup: unknown member";
+  step from 0
+
+let bucket_of t ~member ~index =
+  let n = node t member in
+  if index < 0 || index >= bits then invalid_arg "Kademlia.bucket_of: bad index";
+  Array.to_list n.buckets.(index)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  Hashtbl.iter
+    (fun m n ->
+      Array.iteri
+        (fun i bucket ->
+          if Array.length bucket > t.bucket_size then fail "member %d bucket %d over capacity" m i;
+          Array.iter
+            (fun contact ->
+              if contact = m then fail "member %d contains itself" m;
+              let d = n.node_id lxor (node t contact).node_id in
+              if d = 0 || octave_of d <> i then fail "member %d bucket %d octave mismatch" m i)
+            bucket)
+        n.buckets)
+    t.nodes

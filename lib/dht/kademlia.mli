@@ -1,0 +1,39 @@
+(** Kademlia routing (Maymounkov & Mazières, 2002) — the XOR-metric
+    alternative to {!Chord}, in the same stabilized-state simulation form.
+
+    Each node keeps k-buckets: up to [bucket_size] contacts per XOR-distance
+    octave.  Greedy routing toward the key's closest node converges in
+    O(log N) steps because every step at least halves the XOR distance.
+    Included for the hop/structure comparison with Chord (the [dht]
+    experiment reports both); the bucket-population rule here picks the
+    XOR-closest candidates per bucket, which is Kademlia's steady state
+    under its preference for long-lived contacts. *)
+
+type t
+
+val hash_id : int -> int
+(** Same identifier space as {!Chord.hash_key}. *)
+
+val build : ?bucket_size:int -> int array -> t
+(** [build members] with [bucket_size] contacts per bucket (default 8).
+    @raise Invalid_argument on empty/duplicate members or
+    [bucket_size < 1]. *)
+
+val member_count : t -> int
+val members : t -> int array
+(** Distinct member ids, ascending. *)
+
+val owner_of : t -> key:int -> int
+(** The member whose hashed id is XOR-closest to [hash_id key]. *)
+
+val lookup : t -> from:int -> key:int -> int * int
+(** [(owner, hops)] by greedy XOR routing.
+    @raise Invalid_argument when [from] is not a member. *)
+
+val bucket_of : t -> member:int -> index:int -> int list
+(** Contacts of one k-bucket (for tests); [index] is the XOR-distance
+    octave. *)
+
+val check_invariants : t -> unit
+(** Buckets hold only members from their octave, within capacity.
+    @raise Failure on violation. *)

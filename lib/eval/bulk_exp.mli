@@ -1,0 +1,30 @@
+(** Bulk distribution under different neighbor selectors (the second
+    application workload, complementing the live {!Streaming_exp}).
+
+    Same swarm, same file, same scheduling — only the mesh differs.  Bulk
+    swarms have no deadlines, so completion time and network stress carry
+    all the signal. *)
+
+type config = {
+  routers : int;
+  peers : int;
+  landmark_count : int;
+  k : int;
+  session : Streaming.Bulk.params;
+  seed : int;
+}
+
+val default_config : config
+val quick_config : config
+
+type row = {
+  selector : string;
+  completed_fraction : float;
+  mean_completion_s : float;
+  p95_completion_s : float;
+  megabytes : float;
+  link_megabytes : float;
+}
+
+val run : config -> row list
+val print : row list -> unit

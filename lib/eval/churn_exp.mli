@@ -1,0 +1,46 @@
+(** Extension E3: churn, faulty peers and handover.
+
+    Sessions arrive Poisson and last a (heavy-tailed or exponential) random
+    time; a departure is a graceful leave, a silent crash (deregistered only
+    after a detection delay, polluting replies in the meantime), or a
+    mobility handover (immediate re-join at a new attachment router).  At
+    periodic checkpoints the experiment freezes the live population and
+    scores the server's answers for every live peer. *)
+
+type detection =
+  | Fixed_delay of float
+      (** Crashes deregistered after a fixed delay (a detector abstracted
+          away). *)
+  | Heartbeat of Simkit.Failure_detector.config
+      (** The real mechanism: watched peers heartbeat a monitor over the
+          simulated network; suspicion triggers deregistration.  Detection
+          delay becomes emergent (timeout + network), and heartbeats cost
+          messages. *)
+
+type config = {
+  routers : int;
+  landmark_count : int;
+  k : int;
+  spec : Simkit.Churn.spec;
+  detection : detection;
+  checkpoints : int;  (** Evenly spaced over the horizon. *)
+  seed : int;
+}
+
+val default_config : config
+val quick_config : config
+
+type checkpoint = {
+  time_ms : float;
+  live_peers : int;
+  ratio : float;  (** D/Dclosest over the live population; [nan] when under 2 live peers. *)
+  stale_fraction : float;
+      (** Fraction of returned neighbors that were dead (crashed,
+          undetected) at query time. *)
+  handovers_so_far : int;
+  crashes_so_far : int;
+  heartbeat_messages : int;  (** 0 in [Fixed_delay] mode. *)
+}
+
+val run : config -> checkpoint list
+val print : checkpoint list -> unit

@@ -1,0 +1,33 @@
+(** The §2 complexity claims: O(log n) insertion, O(1) query access.
+
+    Wall-clock medians of path-tree insertion and query at geometrically
+    increasing populations; if the claims hold, [insert us / log2 n] and
+    [query us] stay roughly flat while n grows 64x.  (Bechamel micro-benches
+    in bench/main.exe measure the same operations with proper isolation;
+    this module provides the self-contained table.) *)
+
+type config = {
+  routers : int;
+  populations : int list;
+  k : int;
+  queries_per_size : int;
+  seed : int;
+}
+
+val default_config : config
+(** 4000 routers, n in {1000, 4000, 16000, 64000}, k = 5. *)
+
+val quick_config : config
+
+type row = {
+  n : int;
+  insert_us : float;  (** Mean microseconds per insertion at this size. *)
+  query_us : float;
+  naive_query_us : float;
+      (** Same query on the {!Nearby.Naive_registry} strawman (exhaustive
+          scan) — the ablation showing what the ordered buckets buy. *)
+  insert_per_log : float;  (** [insert_us / log2 n] — flat under O(log n). *)
+}
+
+val run : config -> row list
+val print : row list -> unit

@@ -1,0 +1,92 @@
+type config = {
+  routers : int;
+  landmark_count : int;
+  k : int;
+  peer_counts : int list;
+  seeds : int list;
+}
+
+let default_config =
+  {
+    routers = 4000;
+    landmark_count = 8;
+    k = 5;
+    peer_counts = [ 600; 800; 1000; 1200; 1400 ];
+    seeds = [ 1; 2; 3 ];
+  }
+
+let quick_config =
+  { routers = 1500; landmark_count = 8; k = 5; peer_counts = [ 600; 1000; 1400 ]; seeds = [ 1 ] }
+
+type row = {
+  n : int;
+  ratio_proposed : float;
+  ratio_random : float;
+  ratio_proposed_ci : float;
+  ratio_random_ci : float;
+  hit_proposed : float;
+}
+
+let run_one config ~n ~seed =
+  let w = Workload.build ~routers:config.routers ~landmark_count:config.landmark_count ~peers:n ~seed () in
+  let rng = w.rng in
+  let proposed =
+    Nearby.Selector.select w.ctx
+      (Proposed { landmarks = w.landmarks; truncate = Traceroute.Truncate.Full })
+      ~k:config.k ~rng
+  in
+  let random = Nearby.Selector.select w.ctx Random_peers ~k:config.k ~rng in
+  let outcome =
+    Measure.score w.ctx ~k:config.k ~named_sets:[ ("proposed", proposed); ("random", random) ]
+  in
+  match outcome.scored with
+  | [ p; r ] -> (p.ratio, r.ratio, p.hit_ratio)
+  | _ -> assert false
+
+let run config =
+  List.map
+    (fun n ->
+      let prop = Prelude.Stats.create () in
+      let rand = Prelude.Stats.create () in
+      let hit = Prelude.Stats.create () in
+      List.iter
+        (fun seed ->
+          let rp, rr, h = run_one config ~n ~seed in
+          Prelude.Stats.add prop rp;
+          Prelude.Stats.add rand rr;
+          Prelude.Stats.add hit h)
+        config.seeds;
+      {
+        n;
+        ratio_proposed = Prelude.Stats.mean prop;
+        ratio_random = Prelude.Stats.mean rand;
+        ratio_proposed_ci = Prelude.Stats.ci95_halfwidth prop;
+        ratio_random_ci = Prelude.Stats.ci95_halfwidth rand;
+        hit_proposed = Prelude.Stats.mean hit;
+      })
+    config.peer_counts
+
+let print rows =
+  print_endline "fig2: neighbor-set quality vs population size";
+  print_endline "  (paper: D/Dclosest ~1.1-1.2 and flat; Drandom/Dclosest ~2.2-2.4 and noisy)";
+  Prelude.Table.print
+    ~header:[ "peers"; "D/Dclosest"; "+/-"; "Drandom/Dclosest"; "+/-"; "hit-ratio" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.n;
+           Prelude.Table.float_cell r.ratio_proposed;
+           Prelude.Table.float_cell r.ratio_proposed_ci;
+           Prelude.Table.float_cell r.ratio_random;
+           Prelude.Table.float_cell r.ratio_random_ci;
+           Prelude.Table.float_cell r.hit_proposed;
+         ])
+       rows);
+  let series label f =
+    { Prelude.Ascii_plot.label; points = List.map (fun r -> (float_of_int r.n, f r)) rows }
+  in
+  print_newline ();
+  print_string
+    (Prelude.Ascii_plot.render ~y_min:1.0
+       [ series "D / Dclosest" (fun r -> r.ratio_proposed);
+         series "Drandom / Dclosest" (fun r -> r.ratio_random) ])

@@ -1,0 +1,37 @@
+(** Robustness to policy routing (path inflation).
+
+    The paper's reasoning assumes forwarding follows shortest paths; real
+    BGP routing inflates paths.  We rebuild the route oracle with
+    deterministic per-(link, destination) weight noise ([1 + inflation *
+    u]), so recorded traceroutes deviate from hop-shortest while staying
+    destination-consistent, and measure what that does to discovery
+    quality — the ground truth ([Dclosest]) stays hop-shortest, as peers
+    actually experience it. *)
+
+type config = {
+  routers : int;
+  peers : int;
+  landmark_count : int;
+  k : int;
+  inflations : float list;
+  seed : int;
+}
+
+val default_config : config
+val quick_config : config
+
+type row = {
+  inflation : float;
+  route_stretch : float;  (** Mean recorded-route length / hop-shortest distance. *)
+  route_divergence : float;
+      (** Fraction of sampled peers whose recorded route differs from the
+          hop-shortest one (on access-tree maps deviations are mostly
+          equal-length core detours, so this moves long before stretch
+          does). *)
+  ratio_proposed : float;
+  ratio_random : float;
+  hit_proposed : float;
+}
+
+val run : config -> row list
+val print : row list -> unit

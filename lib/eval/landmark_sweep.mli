@@ -1,0 +1,39 @@
+(** Extension E1: landmark count and placement policies.
+
+    The paper leaves "the number and their placement in the network" as
+    future work.  This experiment sweeps both dimensions on the fig2
+    workload and reports the quality ratio for each combination, plus the
+    ablation of round 1 (closest landmark vs a random landmark). *)
+
+type config = {
+  routers : int;
+  peers : int;
+  k : int;
+  counts : int list;
+  policies : Nearby.Landmark.policy list;
+  seeds : int list;
+}
+
+val default_config : config
+(** 2000 routers, 800 peers, k = 5, counts {1,2,4,8,16,32}, all policies,
+    2 seeds. *)
+
+val quick_config : config
+
+type row = {
+  policy : Nearby.Landmark.policy;
+  count : int;
+  ratio : float;  (** D / Dclosest, mean over seeds. *)
+  hit_ratio : float;
+}
+
+val run : config -> row list
+val print : row list -> unit
+
+type ablation_row = { count : int; ratio_closest : float; ratio_random_lmk : float }
+
+val run_round1_ablation : config -> ablation_row list
+(** Same workload, medium-degree landmarks, but the newcomer registers under
+    a uniformly random landmark instead of its closest one. *)
+
+val print_ablation : ablation_row list -> unit

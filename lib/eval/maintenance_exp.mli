@@ -1,0 +1,32 @@
+(** Neighbor-set decay under churn, with and without client maintenance.
+
+    Every peer freezes the neighbor set it got at join time; a
+    {!Nearby.Maintenance} maintainer keeps a second copy refreshed.  At
+    each checkpoint we compare the fraction of still-live neighbors in the
+    frozen sets against the maintained ones — the value of the refresh
+    loop, and the knob its period trades against query load. *)
+
+type config = {
+  routers : int;
+  landmark_count : int;
+  k : int;
+  spec : Simkit.Churn.spec;
+  refresh_period_ms : float;
+  checkpoints : int;
+  seed : int;
+}
+
+val default_config : config
+val quick_config : config
+
+type checkpoint = {
+  time_ms : float;
+  live_peers : int;
+  frozen_live_fraction : float;  (** Live members / k in join-time sets. *)
+  maintained_live_fraction : float;
+  replacements : int;  (** Cumulative dead-neighbor replacements. *)
+  server_queries : int;  (** Cumulative queries the server has served. *)
+}
+
+val run : config -> checkpoint list
+val print : checkpoint list -> unit

@@ -1,0 +1,26 @@
+(** Shared, BFS-amortized scoring of neighbor sets.
+
+    Every experiment compares several selectors on the same peer population;
+    scoring all of them in one pass costs a single BFS per peer instead of
+    one per (peer, selector). *)
+
+type scored = {
+  name : string;
+  total_d : int;  (** Sum over peers of the hop-distance sum to the set. *)
+  ratio : float;  (** [total_d / total_d_closest]. *)
+  hit_ratio : float;  (** Mean per-peer overlap with the optimal set. *)
+}
+
+type outcome = {
+  total_d_closest : int;
+  optimal_sets : int array array;
+  scored : scored list;  (** Input order. *)
+}
+
+val score :
+  Nearby.Selector.context -> k:int -> named_sets:(string * int array array) list -> outcome
+(** [score ctx ~k ~named_sets] computes the brute-force optimal sets
+    ([Dclosest]) and scores every named selector against them.
+    Unreachable chosen neighbors cost [max_int / 4] hops each.
+    @raise Invalid_argument when a set array's length differs from the peer
+    population. *)

@@ -1,0 +1,143 @@
+type config = { routers : int; peers : int; landmark_count : int; k : int; seeds : int list }
+
+let default_config = { routers = 2000; peers = 400; landmark_count = 8; k = 5; seeds = [ 1; 2 ] }
+let quick_config = { routers = 800; peers = 150; landmark_count = 6; k = 5; seeds = [ 1 ] }
+
+type row = {
+  metric : string;
+  ratio_hops : float;
+  ratio_latency : float;
+  hit_latency : float;
+}
+
+(* Score a family of neighbor sets against the latency ground truth:
+   one Dijkstra per peer. *)
+let latency_scores ctx ~latency ~k named_sets =
+  let graph = (ctx : Nearby.Selector.context).graph in
+  let weight = Topology.Latency.weight_fn latency in
+  let n = Array.length ctx.peer_routers in
+  let totals = Array.make (List.length named_sets) 0.0 in
+  let hits = Array.make (List.length named_sets) 0.0 in
+  let opt_total = ref 0.0 in
+  for p = 0 to n - 1 do
+    let dist = Topology.Dijkstra.distances graph ~weight ctx.peer_routers.(p) in
+    let to_peer j =
+      let d = dist.(ctx.peer_routers.(j)) in
+      if Float.is_finite d then d else 1e9
+    in
+    let ids = Array.init n (fun j -> j) in
+    Array.sort (fun a b -> compare (to_peer a, a) (to_peer b, b)) ids;
+    let opt = Array.make (min k (n - 1)) 0 in
+    let taken = ref 0 and cursor = ref 0 in
+    while !taken < Array.length opt do
+      let j = ids.(!cursor) in
+      incr cursor;
+      if j <> p then begin
+        opt.(!taken) <- j;
+        incr taken
+      end
+    done;
+    Array.iter (fun j -> opt_total := !opt_total +. to_peer j) opt;
+    let opt_members = Hashtbl.create (Array.length opt) in
+    Array.iter (fun j -> Hashtbl.replace opt_members j ()) opt;
+    List.iteri
+      (fun idx (_, sets) ->
+        let inter = ref 0 in
+        Array.iter
+          (fun j ->
+            totals.(idx) <- totals.(idx) +. to_peer j;
+            if Hashtbl.mem opt_members j then incr inter)
+          sets.(p);
+        if Array.length opt > 0 then
+          hits.(idx) <- hits.(idx) +. (float_of_int !inter /. float_of_int (Array.length opt)))
+      named_sets
+  done;
+  List.mapi
+    (fun idx (name, _) ->
+      ( name,
+        (if !opt_total = 0.0 then 1.0 else totals.(idx) /. !opt_total),
+        if n = 0 then 1.0 else hits.(idx) /. float_of_int n ))
+    named_sets
+
+let run_one config ~seed =
+  let w =
+    Workload.build ~routers:config.routers ~landmark_count:config.landmark_count
+      ~latency:(Topology.Latency.Core_weighted { core_ms = 2.0; edge_ms = 15.0; threshold = 8 })
+      ~peers:config.peers ~seed ()
+  in
+  let latency = Option.get (w.ctx : Nearby.Selector.context).latency in
+  let n = Array.length w.peer_routers in
+  (* Register every peer's route (to its latency-closest landmark) in both
+     trees.  One tree family per landmark, as in the server. *)
+  let hop_trees = Hashtbl.create 8 and lat_trees = Hashtbl.create 8 in
+  Array.iter
+    (fun lmk ->
+      Hashtbl.add hop_trees lmk (Nearby.Path_tree.create ~landmark:lmk);
+      Hashtbl.add lat_trees lmk (Nearby.Latency_tree.create ~landmark:lmk))
+    w.landmarks;
+  let home = Array.make n (-1) in
+  for peer = 0 to n - 1 do
+    let attach = w.peer_routers.(peer) in
+    let lmk, _ = Nearby.Landmark.closest w.ctx.oracle ~latency ~landmarks:w.landmarks attach in
+    home.(peer) <- lmk;
+    let route = Traceroute.Route_oracle.route w.ctx.oracle ~src:attach ~dst:lmk in
+    Nearby.Path_tree.insert (Hashtbl.find hop_trees lmk) ~peer
+      ~routers:(Array.of_list route);
+    Nearby.Latency_tree.insert (Hashtbl.find lat_trees lmk) ~peer
+      ~hops:(Nearby.Latency_tree.hops_of_route ~latency route)
+  done;
+  let hop_sets =
+    Array.init n (fun peer ->
+        Nearby.Path_tree.query_member (Hashtbl.find hop_trees home.(peer)) ~peer ~k:config.k
+        |> List.map fst |> Array.of_list)
+  in
+  let lat_sets =
+    Array.init n (fun peer ->
+        Nearby.Latency_tree.query_member (Hashtbl.find lat_trees home.(peer)) ~peer ~k:config.k
+        |> List.map fst |> Array.of_list)
+  in
+  let named = [ ("hops", hop_sets); ("latency", lat_sets) ] in
+  let hop_outcome = Measure.score w.ctx ~k:config.k ~named_sets:named in
+  let lat_outcome = latency_scores w.ctx ~latency ~k:config.k named in
+  List.map2
+    (fun (s : Measure.scored) (name, lat_ratio, lat_hit) ->
+      assert (s.name = name);
+      { metric = name; ratio_hops = s.ratio; ratio_latency = lat_ratio; hit_latency = lat_hit })
+    hop_outcome.scored lat_outcome
+
+let run config =
+  let accumulate rows_list =
+    (* Average the per-seed rows metric-wise. *)
+    match rows_list with
+    | [] -> []
+    | first :: _ ->
+        List.mapi
+          (fun i (proto : row) ->
+            let nth seed_rows = List.nth seed_rows i in
+            let mean f =
+              List.fold_left (fun acc rows -> acc +. f (nth rows)) 0.0 rows_list
+              /. float_of_int (List.length rows_list)
+            in
+            {
+              metric = proto.metric;
+              ratio_hops = mean (fun r -> r.ratio_hops);
+              ratio_latency = mean (fun r -> r.ratio_latency);
+              hit_latency = mean (fun r -> r.hit_latency);
+            })
+          first
+  in
+  accumulate (List.map (fun seed -> run_one config ~seed) config.seeds)
+
+let print rows =
+  print_endline "ablation: hop-count dtree vs latency-weighted dtree";
+  Prelude.Table.print
+    ~header:[ "tree metric"; "D/Dcl (hops)"; "D/Dcl (latency)"; "hit (latency)" ]
+    (List.map
+       (fun r ->
+         [
+           r.metric;
+           Prelude.Table.float_cell r.ratio_hops;
+           Prelude.Table.float_cell r.ratio_latency;
+           Prelude.Table.float_cell r.hit_latency;
+         ])
+       rows)

@@ -1,0 +1,28 @@
+(** Ablation 1 (DESIGN.md): hop-count dtree vs latency-weighted dtree.
+
+    Both path trees register the same recorded routes; they differ only in
+    the cost annotation (path position vs cumulative link latency).  The
+    chosen neighbor sets are then scored against both ground truths — the
+    hop-distance optimum (the paper's metric) and the true latency optimum
+    (what a streaming application cares about). *)
+
+type config = {
+  routers : int;
+  peers : int;
+  landmark_count : int;
+  k : int;
+  seeds : int list;
+}
+
+val default_config : config
+val quick_config : config
+
+type row = {
+  metric : string;  (** "hops" or "latency". *)
+  ratio_hops : float;  (** D/Dclosest under hop-count ground truth. *)
+  ratio_latency : float;  (** D/Dclosest under latency ground truth. *)
+  hit_latency : float;  (** Overlap with the latency-optimal sets. *)
+}
+
+val run : config -> row list
+val print : row list -> unit

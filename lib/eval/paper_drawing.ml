@@ -1,0 +1,67 @@
+type t = {
+  graph : Topology.Graph.t;
+  lmk : Topology.Graph.node;
+  ra : Topology.Graph.node;
+  rb : Topology.Graph.node;
+  rc : Topology.Graph.node;
+  p1 : Topology.Graph.node;
+  p2 : Topology.Graph.node;
+  p3 : Topology.Graph.node;
+  p4 : Topology.Graph.node;
+}
+
+(* Node ids, fixed so tests can pin paths deterministically. *)
+let lmk = 0
+let ra = 1
+let rb = 2
+let rc = 3
+let r1 = 4
+let r2 = 5
+let r3 = 6
+let r4 = 7
+let r5 = 8
+let r6 = 9
+let r7 = 10
+let r8 = 11
+let p1 = 12
+let p2 = 13
+let p3 = 14
+let p4 = 15
+
+let edges =
+  [
+    (* Landmark hangs off core router ra. *)
+    (lmk, ra);
+    (* The meshed core. *)
+    (ra, rb);
+    (ra, rc);
+    (rb, rc);
+    (* p1's access chain to the core: p1 - r1 - r2 - rc. *)
+    (p1, r1);
+    (r1, r2);
+    (r2, rc);
+    (* p2's access chain: p2 - r3 - r4 - rc. *)
+    (p2, r3);
+    (r3, r4);
+    (r4, rc);
+    (* The stub cross link that makes d(p1,p2) < dtree(p1,p2). *)
+    (r1, r3);
+    (* p3 and p4 in other regions. *)
+    (p3, r5);
+    (r5, rb);
+    (p4, r6);
+    (r6, r7);
+    (r7, ra);
+    (* A spare stub router. *)
+    (r8, rb);
+  ]
+
+let build () =
+  { graph = Topology.Graph.of_edges ~node_count:16 edges; lmk; ra; rb; rc; p1; p2; p3; p4 }
+
+let peer_attach_routers t = [| t.p1; t.p2; t.p3; t.p4 |]
+
+let names =
+  [| "lmk"; "ra"; "rb"; "rc"; "r1"; "r2"; "r3"; "r4"; "r5"; "r6"; "r7"; "r8"; "p1"; "p2"; "p3"; "p4" |]
+
+let name_of _ v = if v >= 0 && v < Array.length names then names.(v) else string_of_int v

@@ -1,0 +1,29 @@
+(** The paper's conceptual drawing (its first figure), as a concrete graph.
+
+    The text describes core routers [ra, rb, rc] with many connections,
+    small routers [r1..], peers [p1..p4] and a landmark [lmk]; the route
+    from [p1] and [p2] to the landmark meets first at [rc], so the inferred
+    path [dtree(p1, p2)] (6 hops, up and over the meeting point) is longer
+    than the true shortest path [d(p1, p2)] (3 hops through a stub cross
+    link) — the exact situation the drawing illustrates.  Tests pin these
+    numbers; the quickstart example walks through them. *)
+
+type t = {
+  graph : Topology.Graph.t;
+  lmk : Topology.Graph.node;
+  ra : Topology.Graph.node;
+  rb : Topology.Graph.node;
+  rc : Topology.Graph.node;
+  p1 : Topology.Graph.node;
+  p2 : Topology.Graph.node;
+  p3 : Topology.Graph.node;
+  p4 : Topology.Graph.node;
+}
+
+val build : unit -> t
+
+val peer_attach_routers : t -> Topology.Graph.node array
+(** [p1; p2; p3; p4] as an attachment array indexed by peer id 0..3. *)
+
+val name_of : t -> Topology.Graph.node -> string
+(** Human-readable label ("ra", "p2", "r5", ...). *)

@@ -1,0 +1,35 @@
+(** Extension E5: setup delay vs discovery quality.
+
+    The paper's whole motivation: a live-streaming newcomer cannot wait for
+    a coordinate system to converge.  On a latency-weighted map we charge
+    each method its real protocol time (simulated milliseconds) and score
+    the neighbor sets it can produce at that point:
+
+    - proposed: parallel landmark pings + sequential traceroute + one RPC;
+    - GNP: parallel landmark pings + local minimization (free);
+    - Meridian: one ring-walk search (parallel probes per step, forwarding
+      hops accumulate; ring upkeep is steady-state and not charged);
+    - Vivaldi after r rounds, one gossip period per round. *)
+
+type config = {
+  routers : int;
+  peers : int;
+  landmark_count : int;
+  k : int;
+  vivaldi_rounds : int list;
+  round_period_ms : float;
+  seed : int;
+}
+
+val default_config : config
+val quick_config : config
+
+type row = {
+  method_name : string;
+  setup_ms : float;  (** Mean protocol time per newcomer. *)
+  ratio : float;
+  hit_ratio : float;
+}
+
+val run : config -> row list
+val print : row list -> unit

@@ -1,0 +1,33 @@
+(** End-to-end application experiment: what proximity-aware neighbor
+    selection buys a live-streaming mesh (the paper's §1 motivation).
+
+    Same swarm, same stream, same scheduling — only the mesh neighbor sets
+    differ (proposed discovery vs random vs brute-force closest).  Reported
+    per selector: playback continuity, startup delay, playback lag and
+    chunk propagation latency. *)
+
+type config = {
+  routers : int;
+  peers : int;
+  landmark_count : int;
+  k : int;  (** Mesh partners requested per peer. *)
+  session : Streaming.Session.params;
+  seed : int;
+}
+
+val default_config : config
+val quick_config : config
+
+type row = {
+  selector : string;
+  continuity : float;
+  mean_startup_ms : float;
+  started_fraction : float;
+  mean_lag_chunks : float;
+  mean_chunk_latency_ms : float;
+  megabytes : float;
+  link_megabytes : float;  (** Bytes x router hops / 1e6: network stress. *)
+}
+
+val run : config -> row list
+val print : row list -> unit

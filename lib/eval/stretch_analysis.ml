@@ -1,0 +1,84 @@
+type config = { routers : int; landmark_counts : int list; pairs : int; seed : int }
+
+let default_config = { routers = 4000; landmark_counts = [ 1; 2; 4; 8; 16; 32 ]; pairs = 3000; seed = 1 }
+let quick_config = { routers = 1000; landmark_counts = [ 1; 4; 16 ]; pairs = 500; seed = 1 }
+
+type row = {
+  landmarks : int;
+  same_landmark_fraction : float;
+  exact_fraction : float;
+  mean_stretch : float;
+  p95_stretch : float;
+}
+
+let dtree_of_routes route1 route2 =
+  let a = Array.of_list route1 and b = Array.of_list route2 in
+  let la = Array.length a and lb = Array.length b in
+  let max_j = min la lb in
+  let rec suffix j = if j < max_j && a.(la - 1 - j) = b.(lb - 1 - j) then suffix (j + 1) else j in
+  let j = suffix 0 in
+  if j = 0 then None else Some (la - j + (lb - j))
+
+let run config =
+  let map =
+    Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params config.routers) ~seed:config.seed
+  in
+  let oracle = Traceroute.Route_oracle.create map.graph in
+  List.map
+    (fun landmark_count ->
+      let rng = Prelude.Prng.create (config.seed + (1009 * landmark_count)) in
+      let landmarks =
+        Nearby.Landmark.place map.graph Nearby.Landmark.Medium_degree ~count:landmark_count ~rng
+      in
+      let leaves = map.leaves in
+      let same = ref 0 and exact = ref 0 and estimable = ref 0 and sampled = ref 0 in
+      let stretches = ref [] in
+      while !sampled < config.pairs do
+        let p1 = Prelude.Prng.choose rng leaves in
+        let p2 = Prelude.Prng.choose rng leaves in
+        if p1 <> p2 then begin
+          incr sampled;
+          let l1, _ = Nearby.Landmark.closest oracle ~landmarks p1 in
+          let l2, _ = Nearby.Landmark.closest oracle ~landmarks p2 in
+          if l1 = l2 then begin
+            incr same;
+            let route1 = Traceroute.Route_oracle.route oracle ~src:p1 ~dst:l1 in
+            let route2 = Traceroute.Route_oracle.route oracle ~src:p2 ~dst:l1 in
+            match dtree_of_routes route1 route2 with
+            | Some dtree ->
+                let d = Topology.Bfs.distance map.graph p1 p2 in
+                if d > 0 && d <> max_int then begin
+                  incr estimable;
+                  if dtree = d then incr exact;
+                  stretches := (float_of_int dtree /. float_of_int d) :: !stretches
+                end
+            | None -> ()
+          end
+        end
+      done;
+      let stretch_array = Array.of_list !stretches in
+      {
+        landmarks = landmark_count;
+        same_landmark_fraction = float_of_int !same /. float_of_int config.pairs;
+        exact_fraction =
+          (if !estimable = 0 then 0.0 else float_of_int !exact /. float_of_int !estimable);
+        mean_stretch = Prelude.Stats.mean_of stretch_array;
+        p95_stretch =
+          (if Array.length stretch_array = 0 then nan else Prelude.Stats.percentile stretch_array 95.0);
+      })
+    config.landmark_counts
+
+let print rows =
+  print_endline "stretch analysis: inferred dtree vs true hop distance over random pairs";
+  Prelude.Table.print
+    ~header:[ "landmarks"; "same-lmk frac"; "exact frac"; "mean stretch"; "p95 stretch" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.landmarks;
+           Prelude.Table.float_cell r.same_landmark_fraction;
+           Prelude.Table.float_cell r.exact_fraction;
+           Prelude.Table.float_cell r.mean_stretch;
+           Prelude.Table.float_cell r.p95_stretch;
+         ])
+       rows)

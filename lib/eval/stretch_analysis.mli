@@ -1,0 +1,36 @@
+(** Graph-oriented analysis of the inference quality (paper §3's closing
+    wish: "a formal proof based on a graph-oriented analysis").
+
+    For random peer pairs we compare the inferred distance
+    [dtree(p1, p2)] (meeting point on the shared closest-landmark sink
+    tree) against the true hop distance [d(p1, p2)], as a function of the
+    landmark count:
+
+    - the fraction of pairs whose closest landmarks coincide (only those
+      have a same-tree estimate at all),
+    - the fraction of estimable pairs with an exact estimate ([dtree = d]),
+    - mean and tail stretch [dtree / d].
+
+    The paper's premise predicts stretch concentrates near 1 because routes
+    meet in the heavy-tailed core. *)
+
+type config = {
+  routers : int;
+  landmark_counts : int list;
+  pairs : int;  (** Random peer pairs sampled per landmark count. *)
+  seed : int;
+}
+
+val default_config : config
+val quick_config : config
+
+type row = {
+  landmarks : int;
+  same_landmark_fraction : float;
+  exact_fraction : float;  (** Among estimable pairs. *)
+  mean_stretch : float;
+  p95_stretch : float;
+}
+
+val run : config -> row list
+val print : row list -> unit

@@ -1,0 +1,81 @@
+type config = { routers : int; peers : int; landmark_count : int; k : int; seeds : int list }
+
+let default_config = { routers = 2000; peers = 800; landmark_count = 8; k = 5; seeds = [ 1; 2; 3 ] }
+let quick_config = { routers = 800; peers = 200; landmark_count = 4; k = 5; seeds = [ 1 ] }
+
+type row = {
+  seed : int;
+  ratio_central : float;
+  ratio_super : float;
+  load_imbalance : float;
+  max_region_members : int;
+  min_region_members : int;
+}
+
+let run config =
+  List.map
+    (fun seed ->
+      let w =
+        Workload.build ~routers:config.routers ~landmark_count:config.landmark_count
+          ~peers:config.peers ~seed ()
+      in
+      let n = Array.length w.Workload.peer_routers in
+      (* Centralized server. *)
+      let server = Nearby.Server.create w.ctx.oracle ~landmarks:w.landmarks in
+      let join_rng = Prelude.Prng.split w.rng in
+      for peer = 0 to n - 1 do
+        ignore (Nearby.Server.join ~rng:join_rng server ~peer ~attach_router:w.peer_routers.(peer))
+      done;
+      let central_sets =
+        Array.init n (fun peer ->
+            Nearby.Server.neighbors server ~peer ~k:config.k |> List.map fst |> Array.of_list)
+      in
+      (* Super-peers: each landmark's super-peer attaches next to its
+         landmark (the landmark router itself hosts it). *)
+      let supers =
+        Nearby.Super_peer.create w.ctx.oracle ~landmarks:w.landmarks ~super_routers:w.landmarks
+      in
+      let join_rng2 = Prelude.Prng.split w.rng in
+      for peer = 0 to n - 1 do
+        ignore (Nearby.Super_peer.join ~rng:join_rng2 supers ~peer ~attach_router:w.peer_routers.(peer))
+      done;
+      let super_sets =
+        Array.init n (fun peer ->
+            Nearby.Super_peer.neighbors supers ~peer ~k:config.k |> List.map fst |> Array.of_list)
+      in
+      let outcome =
+        Measure.score w.ctx ~k:config.k
+          ~named_sets:[ ("central", central_sets); ("super", super_sets) ]
+      in
+      let ratio_central, ratio_super =
+        match outcome.scored with
+        | [ c; s ] -> (c.ratio, s.ratio)
+        | _ -> assert false
+      in
+      let loads = Nearby.Super_peer.loads supers in
+      let members = List.map (fun (l : Nearby.Super_peer.region_load) -> l.members) loads in
+      {
+        seed;
+        ratio_central;
+        ratio_super;
+        load_imbalance = Nearby.Super_peer.load_imbalance supers;
+        max_region_members = List.fold_left max 0 members;
+        min_region_members = List.fold_left min max_int members;
+      })
+    config.seeds
+
+let print rows =
+  print_endline "E2: centralized server vs per-landmark super-peers";
+  Prelude.Table.print
+    ~header:[ "seed"; "central D/Dcl"; "super D/Dcl"; "imbalance"; "max region"; "min region" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.seed;
+           Prelude.Table.float_cell r.ratio_central;
+           Prelude.Table.float_cell r.ratio_super;
+           Prelude.Table.float_cell ~decimals:2 r.load_imbalance;
+           string_of_int r.max_region_members;
+           string_of_int r.min_region_members;
+         ])
+       rows)

@@ -1,0 +1,28 @@
+(** Extension E2: super-peer delegation.
+
+    Compares the centralized management server against per-landmark
+    super-peers: discovery quality (identical data structure, minus
+    cross-tree top-up), and the load split across super-peers. *)
+
+type config = {
+  routers : int;
+  peers : int;
+  landmark_count : int;
+  k : int;
+  seeds : int list;
+}
+
+val default_config : config
+val quick_config : config
+
+type row = {
+  seed : int;
+  ratio_central : float;
+  ratio_super : float;
+  load_imbalance : float;  (** Max region size / mean region size. *)
+  max_region_members : int;
+  min_region_members : int;
+}
+
+val run : config -> row list
+val print : row list -> unit

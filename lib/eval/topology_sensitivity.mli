@@ -1,0 +1,37 @@
+(** How much of the mechanism's quality comes from Internet-like structure?
+
+    The paper's argument rests on the heavy-tailed core ("statistical
+    regularities observed in the large-scale structure of Internet").  This
+    experiment reruns the fig2 comparison on maps with and without that
+    structure: Magoni-style and Barabási–Albert (heavy-tailed), an exact
+    power-law configuration model, Erdős–Rényi and Waxman (homogeneous —
+    the negative controls), and a transit-stub hierarchy (structural core
+    without degree heavy tail). *)
+
+type family = Magoni | Ba | Config_model | Er | Waxman | Transit_stub
+
+val family_name : family -> string
+val all_families : family list
+
+type config = {
+  nodes : int;
+  peers : int;
+  landmark_count : int;
+  k : int;
+  families : family list;
+  seeds : int list;  (** Independent repetitions, averaged per family. *)
+}
+
+val default_config : config
+val quick_config : config
+
+type row = {
+  family : family;
+  gini : float;  (** Degree heavy-tailedness of the map. *)
+  ratio_proposed : float;
+  ratio_random : float;
+  hit_proposed : float;
+}
+
+val run : config -> row list
+val print : row list -> unit

@@ -1,0 +1,33 @@
+type t = {
+  map : Topology.Gen_magoni.t;
+  peer_routers : Topology.Graph.node array;
+  landmarks : Topology.Graph.node array;
+  ctx : Nearby.Selector.context;
+  rng : Prelude.Prng.t;
+}
+
+let build ?(routers = 4000) ?(landmark_count = 8)
+    ?(landmark_policy = Nearby.Landmark.Medium_degree) ?latency ~peers ~seed () =
+  if peers < 1 then invalid_arg "Workload.build: need at least one peer";
+  let rng = Prelude.Prng.create seed in
+  let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params routers) ~seed in
+  let graph = map.graph in
+  (* Attachment points: the map's degree-1 leaf routers.  Distinct routers
+     while the population fits (the paper's "attaching n peers to routers
+     with degree equals to one"); with replacement only when peers outnumber
+     leaves. *)
+  let leaves = map.leaves in
+  if Array.length leaves = 0 then invalid_arg "Workload.build: map has no degree-1 routers";
+  let peer_routers =
+    if peers <= Array.length leaves then
+      Array.map (fun i -> leaves.(i))
+        (Prelude.Prng.sample_without_replacement rng ~k:peers ~n:(Array.length leaves))
+    else Array.init peers (fun _ -> leaves.(Prelude.Prng.int rng (Array.length leaves)))
+  in
+  let landmarks = Nearby.Landmark.place graph landmark_policy ~count:landmark_count ~rng in
+  let latency_table = Option.map (fun model -> Topology.Latency.assign graph model ~seed:(seed + 7919)) latency in
+  let ctx = Nearby.Selector.make_context ?latency:latency_table graph ~peer_routers in
+  { map; peer_routers; landmarks; ctx; rng }
+
+let graph t = t.map.graph
+let peer_count t = Array.length t.peer_routers

@@ -1,0 +1,32 @@
+(** The paper's simulation workload (§3).
+
+    "First we initialize an overlay by attaching n peers to routers with
+    degree equals to one in the simulated network and few landmarks to
+    routers with medium-size degree."  This module builds exactly that setup
+    on a {!Topology.Gen_magoni} map and hands back everything an experiment
+    needs. *)
+
+type t = {
+  map : Topology.Gen_magoni.t;
+  peer_routers : Topology.Graph.node array;  (** Peer id -> degree-1 attachment router. *)
+  landmarks : Topology.Graph.node array;
+  ctx : Nearby.Selector.context;
+  rng : Prelude.Prng.t;  (** Stream for the experiment's own randomness. *)
+}
+
+val build :
+  ?routers:int ->
+  ?landmark_count:int ->
+  ?landmark_policy:Nearby.Landmark.policy ->
+  ?latency:Topology.Latency.model ->
+  peers:int ->
+  seed:int ->
+  unit ->
+  t
+(** Defaults: 4000 routers, 8 medium-degree landmarks, no latency table
+    (hop-count time).  Peers are attached to uniformly drawn degree-1
+    routers — distinct ones while the population fits (the paper's setup),
+    with replacement beyond that.  Deterministic in [seed]. *)
+
+val graph : t -> Topology.Graph.t
+val peer_count : t -> int

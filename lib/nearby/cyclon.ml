@@ -1,0 +1,105 @@
+type params = { view_size : int; shuffle_length : int }
+
+let default_params = { view_size = 8; shuffle_length = 4 }
+
+type entry = { peer : int; mutable age : int }
+type state = { mutable view : entry list }
+type t = { p : params; nodes : state array; rng_ : Prelude.Prng.t }
+
+let create params ~n ~rng =
+  if params.shuffle_length < 1 || params.shuffle_length > params.view_size || params.view_size >= n
+  then invalid_arg "Cyclon.create: need 0 < shuffle_length <= view_size < n";
+  let nodes =
+    Array.init n (fun i ->
+        { view = List.init params.view_size (fun j -> { peer = (i + j + 1) mod n; age = 0 }) })
+  in
+  { p = params; nodes; rng_ = rng }
+
+let node_count t = Array.length t.nodes
+let view t i = List.map (fun e -> e.peer) t.nodes.(i).view |> List.sort compare
+
+let sample t i ~rng =
+  match t.nodes.(i).view with
+  | [] -> None
+  | entries ->
+      let arr = Array.of_list entries in
+      Some arr.(Prelude.Prng.int rng (Array.length arr)).peer
+
+(* Merge protocol: keep own entries not sent, add received (skipping self
+   and duplicates), fill back with sent entries if room remains, cap at
+   view_size by dropping the entries that were sent first. *)
+let merge t me ~kept ~sent ~received =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] and count = ref 0 in
+  let add e =
+    if e.peer <> me && (not (Hashtbl.mem seen e.peer)) && !count < t.p.view_size then begin
+      Hashtbl.add seen e.peer ();
+      out := e :: !out;
+      incr count
+    end
+  in
+  List.iter add received;
+  List.iter add kept;
+  List.iter add sent;
+  t.nodes.(me).view <- List.rev !out
+
+let shuffle_pair t initiator =
+  let state = t.nodes.(initiator) in
+  match state.view with
+  | [] -> ()
+  | entries ->
+      List.iter (fun e -> e.age <- e.age + 1) entries;
+      (* Oldest entry is the shuffle target and is always handed over. *)
+      let target_entry =
+        List.fold_left (fun best e -> if e.age > best.age then e else best) (List.hd entries) entries
+      in
+      let q = target_entry.peer in
+      let rest = List.filter (fun e -> e != target_entry) entries in
+      let rest_arr = Array.of_list rest in
+      Prelude.Prng.shuffle_in_place t.rng_ rest_arr;
+      let extra = min (t.p.shuffle_length - 1) (Array.length rest_arr) in
+      let sent_others = Array.to_list (Array.sub rest_arr 0 extra) in
+      let kept = Array.to_list (Array.sub rest_arr extra (Array.length rest_arr - extra)) in
+      (* What the initiator offers: itself (fresh) plus the extras. *)
+      let offer = { peer = initiator; age = 0 } :: sent_others in
+      (* Q's side: pick its reply slice (cannot include the initiator). *)
+      let q_state = t.nodes.(q) in
+      let q_arr = Array.of_list (List.filter (fun e -> e.peer <> initiator) q_state.view) in
+      Prelude.Prng.shuffle_in_place t.rng_ q_arr;
+      let reply_n = min t.p.shuffle_length (Array.length q_arr) in
+      let reply = Array.to_list (Array.sub q_arr 0 reply_n) in
+      let q_kept = List.filter (fun e -> not (List.memq e reply)) q_state.view in
+      (* Q merges the offer (replacing what it replied with). *)
+      merge t q ~kept:q_kept ~sent:reply ~received:(List.map (fun e -> { e with age = e.age }) offer);
+      (* Initiator merges the reply; the handed-over target entry is gone
+         unless it comes back as filler. *)
+      merge t initiator ~kept ~sent:(target_entry :: sent_others)
+        ~received:(List.map (fun e -> { e with age = e.age }) reply)
+
+let round t =
+  let order = Array.init (node_count t) (fun i -> i) in
+  Prelude.Prng.shuffle_in_place t.rng_ order;
+  Array.iter (fun i -> shuffle_pair t i) order
+
+let indegrees t =
+  let n = node_count t in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun state -> List.iter (fun e -> deg.(e.peer) <- deg.(e.peer) + 1) state.view)
+    t.nodes;
+  deg
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  Array.iteri
+    (fun i state ->
+      if List.length state.view > t.p.view_size then fail "node %d view over capacity" i;
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun e ->
+          if e.peer = i then fail "node %d contains itself" i;
+          if e.peer < 0 || e.peer >= node_count t then fail "node %d has an invalid peer" i;
+          if Hashtbl.mem seen e.peer then fail "node %d has duplicate entry %d" i e.peer;
+          Hashtbl.add seen e.peer ())
+        state.view)
+    t.nodes

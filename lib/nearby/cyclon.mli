@@ -1,0 +1,47 @@
+(** Cyclon gossip membership (Voulgaris, Gavidia & van Steen, 2005).
+
+    Everything above assumed a way to reach "some random peer" — the
+    Hybrid selector's random links, Meridian's entry points, the streaming
+    source's fanout targets.  In a deployment that comes from a peer
+    sampling service; Cyclon is the classic one: each node keeps a small
+    partial view of (peer, age) entries and periodically {e shuffles} a
+    slice of it with its oldest neighbor, which mixes views toward an
+    almost-uniform random graph with tightly balanced in-degrees.
+
+    This is the synchronous-round simulation form: deterministic under the
+    rng, one shuffle initiated per node per round. *)
+
+type t
+
+type params = {
+  view_size : int;  (** Entries per node (Cyclon's [c], typically 20–50). *)
+  shuffle_length : int;  (** Entries exchanged per shuffle ([l] <= [c]). *)
+}
+
+val default_params : params
+(** view 8, shuffle 4 — scaled for simulation populations. *)
+
+val create : params -> n:int -> rng:Prelude.Prng.t -> t
+(** Bootstrap with ring views (node i initially knows its successors) —
+    the worst, most-clustered starting point, so mixing is visible.
+    @raise Invalid_argument unless [0 < shuffle_length <= view_size < n]. *)
+
+val node_count : t -> int
+val view : t -> int -> int list
+(** Current view members of a node, unordered (sorted for determinism). *)
+
+val round : t -> unit
+(** Every node initiates one shuffle with the oldest entry of its view, in
+    a random order. *)
+
+val sample : t -> int -> rng:Prelude.Prng.t -> int option
+(** A uniformly drawn member of the node's current view ([None] on an
+    empty view, which cannot happen after {!create}). *)
+
+val indegrees : t -> int array
+(** How many views each node appears in — the balance metric; Cyclon's
+    selling point is that it concentrates sharply around [view_size]. *)
+
+val check_invariants : t -> unit
+(** No self-entries, no duplicate entries, views within capacity.
+    @raise Failure on violation. *)

@@ -1,0 +1,43 @@
+(** Landmark deployment policies (paper §3, extension E1).
+
+    The paper attaches "few landmarks to routers with medium-size degree" and
+    names landmark count and placement as an open policy question.  Each
+    policy selects distinct routers to host landmarks. *)
+
+type policy =
+  | Uniform_random  (** Any router, uniformly. *)
+  | Medium_degree
+      (** The paper's choice: routers whose degree sits in the middle band
+          (50th–85th percentile among routers of degree >= 2), drawn
+          uniformly within the band. *)
+  | High_degree  (** The highest-degree (core) routers. *)
+  | Spread
+      (** Greedy k-center over hop distance: the first landmark is the
+          highest-degree router, each next one maximizes distance to those
+          already chosen — geographic-style dispersion. *)
+  | Optimized
+      (** k-median local search over sampled candidates and clients
+          ({!Placement_opt}) — minimizes the clients' distance to their
+          closest landmark. *)
+
+val all_policies : policy list
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+
+val place :
+  Topology.Graph.t -> policy -> count:int -> rng:Prelude.Prng.t -> Topology.Graph.node array
+(** [place g policy ~count ~rng] returns [count] distinct routers.
+    @raise Invalid_argument when [count] exceeds the candidate pool (for
+    [Medium_degree] the band is widened before giving up). *)
+
+val closest :
+  Traceroute.Route_oracle.t ->
+  ?latency:Topology.Latency.t ->
+  ?rng:Prelude.Prng.t ->
+  landmarks:Topology.Graph.node array ->
+  Topology.Graph.node ->
+  Topology.Graph.node * float
+(** [closest oracle ~landmarks router] pings every landmark from [router]
+    (round 1 of the join protocol) and returns the lowest-RTT landmark with
+    its measured RTT; ties break toward the lower landmark id.
+    @raise Invalid_argument on an empty landmark set. *)

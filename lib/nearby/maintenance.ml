@@ -1,0 +1,79 @@
+type config = { k : int; refresh_period_ms : float }
+
+type t = {
+  engine : Simkit.Engine.t;
+  server : Server.t;
+  is_alive : int -> bool;
+  config : config;
+  sets : (int, int list ref) Hashtbl.t;
+  mutable replaced : int;
+}
+
+let create ~engine ~server ~is_alive config =
+  if config.k < 1 then invalid_arg "Maintenance.create: k must be >= 1";
+  if config.refresh_period_ms <= 0.0 then invalid_arg "Maintenance.create: period must be positive";
+  { engine; server; is_alive; config; sets = Hashtbl.create 256; replaced = 0 }
+
+let is_tracked t ~peer = Hashtbl.mem t.sets peer
+
+let current_set t ~peer =
+  match Hashtbl.find_opt t.sets peer with Some set -> !set | None -> []
+
+let tracked_count t = Hashtbl.length t.sets
+let replacements t = t.replaced
+
+let fetch t ~peer ~exclude =
+  (* The server may have deregistered [peer] (e.g. crash detection raced the
+     refresh); treat that as an empty answer, untracking happens upstream. *)
+  match Server.neighbors t.server ~peer ~k:(t.config.k + List.length exclude) with
+  | reply ->
+      reply |> List.map fst
+      |> List.filter (fun p -> not (List.mem p exclude))
+      |> List.filteri (fun i _ -> i < t.config.k)
+  | exception Not_found -> []
+
+let refresh t ~peer set =
+  let live, dead = List.partition t.is_alive !set in
+  if dead <> [] || List.length live < t.config.k then begin
+    t.replaced <- t.replaced + List.length dead;
+    let fresh = fetch t ~peer ~exclude:dead in
+    let merged = ref live in
+    List.iter
+      (fun candidate ->
+        if List.length !merged < t.config.k && not (List.mem candidate !merged) then
+          merged := !merged @ [ candidate ])
+      fresh;
+    set := !merged
+  end
+
+let rec schedule_refresh t ~peer =
+  Simkit.Engine.schedule t.engine ~delay:t.config.refresh_period_ms (fun () ->
+      match Hashtbl.find_opt t.sets peer with
+      | None -> () (* untracked in the meantime; stop the loop *)
+      | Some set ->
+          if Server.mem t.server peer then begin
+            refresh t ~peer set;
+            schedule_refresh t ~peer
+          end
+          else Hashtbl.remove t.sets peer)
+
+let track t ~peer =
+  if Hashtbl.mem t.sets peer then invalid_arg "Maintenance.track: already tracked";
+  if not (Server.mem t.server peer) then raise Not_found;
+  let set = ref (fetch t ~peer ~exclude:[]) in
+  Hashtbl.add t.sets peer set;
+  schedule_refresh t ~peer
+
+let untrack t ~peer = Hashtbl.remove t.sets peer
+
+let live_fraction t =
+  if Hashtbl.length t.sets = 0 then 1.0
+  else begin
+    let acc = ref 0.0 in
+    Hashtbl.iter
+      (fun _ set ->
+        let live = List.length (List.filter t.is_alive !set) in
+        acc := !acc +. (float_of_int live /. float_of_int t.config.k))
+      t.sets;
+    !acc /. float_of_int (Hashtbl.length t.sets)
+  end

@@ -1,0 +1,42 @@
+(** Client-side neighbor-set maintenance (the peer's half of extension E3).
+
+    The server answers queries; keeping a peer's working neighbor set alive
+    between queries is the client's job.  A maintainer re-checks each
+    tracked peer's set every [refresh_period_ms]: neighbors that stopped
+    responding are dropped and the management server is asked for
+    replacements.  Without it, a set frozen at join time decays as
+    neighbors leave or crash — the decay the maintenance experiment
+    quantifies. *)
+
+type config = {
+  k : int;  (** Target neighbor-set size. *)
+  refresh_period_ms : float;
+}
+
+type t
+
+val create :
+  engine:Simkit.Engine.t -> server:Server.t -> is_alive:(int -> bool) -> config -> t
+(** [is_alive] stands in for a ping: in the simulation the experiment knows
+    ground truth; a deployment would probe.  @raise Invalid_argument on a
+    non-positive [k] or period. *)
+
+val track : t -> peer:int -> unit
+(** Start maintaining a (registered) peer: fetch its initial set now and
+    refresh it periodically.  @raise Invalid_argument when already tracked;
+    @raise Not_found when the peer is not registered with the server. *)
+
+val untrack : t -> peer:int -> unit
+(** Stop maintaining (the peer left or crashed).  Idempotent. *)
+
+val is_tracked : t -> peer:int -> bool
+val current_set : t -> peer:int -> int list
+(** The maintained set; [] when untracked. *)
+
+val tracked_count : t -> int
+val replacements : t -> int
+(** Total dead neighbors dropped (and refilled from the server) so far. *)
+
+val live_fraction : t -> float
+(** Mean over tracked peers of (live members / k); 1.0 when nothing is
+    tracked.  Uses [is_alive] ground truth. *)

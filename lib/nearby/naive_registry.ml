@@ -1,0 +1,51 @@
+type t = {
+  landmark : Topology.Graph.node;
+  paths : (int, int array) Hashtbl.t;
+}
+
+let create ~landmark = { landmark; paths = Hashtbl.create 64 }
+let member_count t = Hashtbl.length t.paths
+
+let insert t ~peer ~routers =
+  if Array.length routers = 0 then invalid_arg "Naive_registry.insert: empty path";
+  if routers.(Array.length routers - 1) <> t.landmark then
+    invalid_arg "Naive_registry.insert: path must end at the landmark";
+  if Hashtbl.mem t.paths peer then invalid_arg "Naive_registry.insert: peer already registered";
+  Hashtbl.add t.paths peer (Array.copy routers)
+
+let remove t peer =
+  if not (Hashtbl.mem t.paths peer) then raise Not_found;
+  Hashtbl.remove t.paths peer
+
+let dtree_paths a b =
+  let la = Array.length a and lb = Array.length b in
+  let max_j = min la lb in
+  let rec suffix j = if j < max_j && a.(la - 1 - j) = b.(lb - 1 - j) then suffix (j + 1) else j in
+  let j = suffix 0 in
+  if j = 0 then None else Some (la - j + (lb - j))
+
+let dtree t p1 p2 =
+  match (Hashtbl.find_opt t.paths p1, Hashtbl.find_opt t.paths p2) with
+  | Some a, Some b -> dtree_paths a b
+  | None, _ | _, None -> None
+
+let query t ~routers ~k ?(exclude = fun _ -> false) () =
+  if k <= 0 then []
+  else begin
+    let candidates = ref [] in
+    Hashtbl.iter
+      (fun peer path ->
+        if not (exclude peer) then
+          match dtree_paths routers path with
+          | Some d -> candidates := (d, peer) :: !candidates
+          | None -> ())
+      t.paths;
+    List.sort compare !candidates
+    |> List.filteri (fun i _ -> i < k)
+    |> List.map (fun (d, p) -> (p, d))
+  end
+
+let query_member t ~peer ~k =
+  match Hashtbl.find_opt t.paths peer with
+  | None -> raise Not_found
+  | Some routers -> query t ~routers ~k ~exclude:(fun p -> p = peer) ()

@@ -1,0 +1,27 @@
+(** Strawman management server without the paper's data structure
+    (DESIGN.md ablation 3).
+
+    Stores each peer's recorded path as-is and answers a query by computing
+    the meeting-point distance against {e every} registered peer — O(1)
+    insertion but O(n · path length) per query.  Answers are identical to
+    {!Path_tree} (same metric, same tie-break); only the asymptotics differ,
+    which is exactly what the complexity benchmark demonstrates. *)
+
+type t
+
+val create : landmark:Topology.Graph.node -> t
+val member_count : t -> int
+
+val insert : t -> peer:int -> routers:Topology.Graph.node array -> unit
+(** Same contract as {!Path_tree.insert}. *)
+
+val remove : t -> int -> unit
+(** @raise Not_found when unregistered. *)
+
+val dtree : t -> int -> int -> int option
+
+val query : t -> routers:Topology.Graph.node array -> k:int -> ?exclude:(int -> bool) -> unit -> (int * int) list
+(** Same semantics as {!Path_tree.query}, by exhaustive scan. *)
+
+val query_member : t -> peer:int -> k:int -> (int * int) list
+(** @raise Not_found when unregistered. *)

@@ -1,0 +1,33 @@
+(* The paper's hop-count path tree: a thin wrapper over the cost-generic
+   core, with cost = position in the recorded path. *)
+
+module Core = Path_tree_core.Make (struct
+  type t = int
+
+  let zero = 0
+  let add = ( + )
+  let compare = compare
+end)
+
+type peer = int
+type t = Core.t
+
+let create = Core.create
+let landmark = Core.landmark
+let member_count = Core.member_count
+let mem = Core.mem
+let router_count = Core.router_count
+
+let hops_of_routers routers = Array.mapi (fun i r -> (r, i)) routers
+
+let insert t ~peer ~routers = Core.insert t ~peer ~hops:(hops_of_routers routers)
+let remove = Core.remove
+let path_of t peer = Option.map (Array.map fst) (Core.hops_of t peer)
+let depth t peer = Option.map (fun h -> Array.length h - 1) (Core.hops_of t peer)
+let meeting_point = Core.meeting_point
+let dtree = Core.dtree
+
+let query t ~routers ~k ?exclude () = Core.query t ~hops:(hops_of_routers routers) ~k ?exclude ()
+let query_member t ~peer ~k = Core.query_member t ~peer ~k
+let iter_members = Core.iter_members
+let check_invariants = Core.check_invariants

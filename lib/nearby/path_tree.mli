@@ -1,0 +1,70 @@
+(** The management server's per-landmark data structure (the paper's core
+    contribution).
+
+    Every peer registers the router path from its attachment point to one
+    landmark.  Because forwarding toward a fixed destination follows a sink
+    tree, the registered paths of all peers form a tree rooted at the
+    landmark; the {e meeting point} of two peers is their deepest common
+    router, and the inferred distance is
+    [dtree(p1,p2) = dist(p1, meeting) + dist(p2, meeting)].
+
+    Storage follows the paper's complexity sketch: a hash table maps each
+    router to the bucket of peers whose path crosses it, every bucket kept
+    ordered by the peer's distance to that router — so registering a peer is
+    an O(log n) ordered insertion per router of its path, and a query walks
+    the newcomer's own path, accessing each router bucket in O(1) and
+    scanning it in ascending inferred-distance order with early cutoff. *)
+
+type t
+
+type peer = int
+
+val create : landmark:Topology.Graph.node -> t
+val landmark : t -> Topology.Graph.node
+val member_count : t -> int
+val mem : t -> peer -> bool
+val router_count : t -> int
+(** Distinct routers currently covered by at least one registered path. *)
+
+val insert : t -> peer:peer -> routers:Topology.Graph.node array -> unit
+(** [insert t ~peer ~routers] registers a peer whose path is
+    [routers.(0) .. routers.(last)] with [routers.(0)] the attachment router
+    and [routers.(last)] the landmark.  Truncated paths (from a decreased
+    traceroute) are accepted: distances are then positions in the truncated
+    path, an approximation the E4 experiment quantifies.
+    @raise Invalid_argument when the path is empty, does not end at the
+    landmark, or the peer is already registered. *)
+
+val remove : t -> peer -> unit
+(** @raise Not_found when the peer is not registered. *)
+
+val path_of : t -> peer -> Topology.Graph.node array option
+val depth : t -> peer -> int option
+(** Links between the peer's attachment router and the landmark. *)
+
+val meeting_point : t -> peer -> peer -> (Topology.Graph.node * int * int) option
+(** [meeting_point t p1 p2] is [(router, d1, d2)]: the deepest common router
+    of the two registered paths and each peer's distance to it.  [None] when
+    either peer is unregistered.  The paths share at least the landmark, so
+    two registered peers always have a meeting point. *)
+
+val dtree : t -> peer -> peer -> int option
+(** Inferred distance [d1 + d2] of {!meeting_point}. *)
+
+val query : t -> routers:Topology.Graph.node array -> k:int -> ?exclude:(peer -> bool) -> unit -> (peer * int) list
+(** [query t ~routers ~k ()] walks a (possibly unregistered) newcomer's path
+    and returns at most [k] registered peers with the smallest inferred
+    distance, ascending, ties broken toward the lower peer id.  [exclude]
+    filters candidates (e.g. the newcomer itself). *)
+
+val query_member : t -> peer:peer -> k:int -> (peer * int) list
+(** {!query} with the peer's own registered path, excluding itself.
+    @raise Not_found when unregistered. *)
+
+val iter_members : t -> (peer -> unit) -> unit
+
+val check_invariants : t -> unit
+(** Test hook: every registered path ends at the landmark; every path entry
+    appears in exactly the right bucket with the right distance; bucket
+    contents are exactly the union of registered paths.  @raise Failure on
+    violation. *)

@@ -1,0 +1,190 @@
+module type COST = sig
+  type t
+
+  val zero : t
+  val add : t -> t -> t
+  val compare : t -> t -> int
+end
+
+module Make (Cost : COST) = struct
+  type peer = int
+
+  (* Bucket entries are ordered by (cost to this router, peer id): the AVL
+     set gives the O(log n) ordered insertion of the paper's complexity
+     claim and ascending iteration for early-cutoff scans. *)
+  module Bucket = Set.Make (struct
+    type t = Cost.t * int
+
+    let compare (c1, p1) (c2, p2) =
+      match Cost.compare c1 c2 with 0 -> compare p1 p2 | c -> c
+  end)
+
+  type t = {
+    landmark : Topology.Graph.node;
+    paths : (peer, (Topology.Graph.node * Cost.t) array) Hashtbl.t;
+    buckets : (Topology.Graph.node, Bucket.t ref) Hashtbl.t;
+  }
+
+  let create ~landmark = { landmark; paths = Hashtbl.create 64; buckets = Hashtbl.create 256 }
+  let landmark t = t.landmark
+  let member_count t = Hashtbl.length t.paths
+  let mem t p = Hashtbl.mem t.paths p
+  let router_count t = Hashtbl.length t.buckets
+
+  let bucket_ref t router =
+    match Hashtbl.find_opt t.buckets router with
+    | Some b -> b
+    | None ->
+        let b = ref Bucket.empty in
+        Hashtbl.add t.buckets router b;
+        b
+
+  let insert t ~peer ~hops =
+    let len = Array.length hops in
+    if len = 0 then invalid_arg "Path_tree.insert: empty path";
+    if fst hops.(len - 1) <> t.landmark then
+      invalid_arg "Path_tree.insert: path must end at the landmark";
+    for i = 1 to len - 1 do
+      if Cost.compare (snd hops.(i - 1)) (snd hops.(i)) > 0 then
+        invalid_arg "Path_tree.insert: costs must be non-decreasing"
+    done;
+    if Hashtbl.mem t.paths peer then invalid_arg "Path_tree.insert: peer already registered";
+    Hashtbl.add t.paths peer (Array.copy hops);
+    Array.iter
+      (fun (router, cost) ->
+        let b = bucket_ref t router in
+        b := Bucket.add (cost, peer) !b)
+      hops
+
+  let remove t peer =
+    match Hashtbl.find_opt t.paths peer with
+    | None -> raise Not_found
+    | Some hops ->
+        Hashtbl.remove t.paths peer;
+        Array.iter
+          (fun (router, cost) ->
+            match Hashtbl.find_opt t.buckets router with
+            | None -> ()
+            | Some b ->
+                b := Bucket.remove (cost, peer) !b;
+                if Bucket.is_empty !b then Hashtbl.remove t.buckets router)
+          hops
+
+  let hops_of t peer = Option.map Array.copy (Hashtbl.find_opt t.paths peer)
+
+  let meeting_point t p1 p2 =
+    match (Hashtbl.find_opt t.paths p1, Hashtbl.find_opt t.paths p2) with
+    | Some path1, Some path2 ->
+        let len1 = Array.length path1 and len2 = Array.length path2 in
+        (* Longest common router suffix: both paths end at the landmark. *)
+        let max_j = min len1 len2 in
+        let rec suffix j =
+          if j < max_j && fst path1.(len1 - 1 - j) = fst path2.(len2 - 1 - j) then suffix (j + 1)
+          else j
+        in
+        let j = suffix 0 in
+        if j = 0 then None
+        else begin
+          let router, c1 = path1.(len1 - j) in
+          let _, c2 = path2.(len2 - j) in
+          Some (router, c1, c2)
+        end
+    | None, _ | _, None -> None
+
+  let dtree t p1 p2 =
+    match meeting_point t p1 p2 with Some (_, c1, c2) -> Some (Cost.add c1 c2) | None -> None
+
+  (* Keep the k best (cost, peer) candidates in an ascending sorted list;
+     k is a handful of neighbors, so linear insertion is fine. *)
+  let candidate_compare (c1, p1) (c2, p2) =
+    match Cost.compare c1 c2 with 0 -> compare p1 p2 | c -> c
+
+  let best_insert best k candidate =
+    let rec insert = function
+      | [] -> [ candidate ]
+      | x :: rest when candidate_compare candidate x < 0 -> candidate :: x :: rest
+      | x :: rest -> x :: insert rest
+    in
+    let merged = insert best in
+    if List.length merged > k then List.filteri (fun i _ -> i < k) merged else merged
+
+  let worst_of best k =
+    if List.length best < k then None else Some (fst (List.nth best (k - 1)))
+
+  let beats_worst worst cost =
+    match worst with None -> true | Some w -> Cost.compare cost w <= 0
+
+  let query t ~hops ~k ?(exclude = fun _ -> false) () =
+    if k <= 0 then []
+    else begin
+      let seen = Hashtbl.create 64 in
+      let best = ref [] in
+      let len = Array.length hops in
+      let i = ref 0 in
+      (* Walking outward from the attachment router, the walk cost alone
+         lower-bounds any further candidate, so stop once even a
+         zero-distance co-bucket peer could not improve or tie the k-th best
+         (ties matter: equal cost with a lower peer id wins). *)
+      while !i < len && beats_worst (worst_of !best k) (snd hops.(!i)) do
+        let router, walk_cost = hops.(!i) in
+        (match Hashtbl.find_opt t.buckets router with
+        | None -> ()
+        | Some bucket ->
+            (try
+               Bucket.iter
+                 (fun (dist, p) ->
+                   let candidate = Cost.add walk_cost dist in
+                   if not (beats_worst (worst_of !best k) candidate) then raise Exit;
+                   if not (Hashtbl.mem seen p) then begin
+                     Hashtbl.add seen p ();
+                     if not (exclude p) then best := best_insert !best k (candidate, p)
+                   end)
+                 !bucket
+             with Exit -> ()));
+        incr i
+      done;
+      List.map (fun (cost, p) -> (p, cost)) !best
+    end
+
+  let query_member t ~peer ~k =
+    match Hashtbl.find_opt t.paths peer with
+    | None -> raise Not_found
+    | Some hops -> query t ~hops ~k ~exclude:(fun p -> p = peer) ()
+
+  let iter_members t f = Hashtbl.iter (fun p _ -> f p) t.paths
+
+  let check_invariants t =
+    let fail fmt = Printf.ksprintf failwith fmt in
+    Hashtbl.iter
+      (fun peer hops ->
+        let len = Array.length hops in
+        if len = 0 then fail "peer %d has an empty path" peer;
+        if fst hops.(len - 1) <> t.landmark then fail "peer %d path does not end at the landmark" peer;
+        Array.iter
+          (fun (router, cost) ->
+            match Hashtbl.find_opt t.buckets router with
+            | None -> fail "peer %d: router %d has no bucket" peer router
+            | Some b ->
+                if not (Bucket.mem (cost, peer) !b) then
+                  fail "peer %d missing from bucket of router %d" peer router)
+          hops)
+      t.paths;
+    (* Conversely, every bucket entry must be justified by a registered
+       path. *)
+    Hashtbl.iter
+      (fun router b ->
+        if Bucket.is_empty !b then fail "router %d has an empty bucket" router;
+        Bucket.iter
+          (fun (cost, peer) ->
+            match Hashtbl.find_opt t.paths peer with
+            | None -> fail "bucket of router %d references unknown peer %d" router peer
+            | Some hops ->
+                if
+                  not
+                    (Array.exists
+                       (fun (r, c) -> r = router && Cost.compare c cost = 0)
+                       hops)
+                then fail "bucket of router %d has stale entry for peer %d" router peer)
+          !b)
+      t.buckets
+end

@@ -1,0 +1,66 @@
+(** Cost-generic core of the landmark path tree.
+
+    {!Path_tree} (hop counts, the paper's metric) and {!Latency_tree}
+    (milliseconds, ablation 1 in DESIGN.md) are both instances of this
+    functor.  A registered path is a sequence of [(router, cost)] pairs
+    where [cost] is the cumulative distance from the peer to that router;
+    the structure of meeting points depends only on the router sequence,
+    the metric only on the costs. *)
+
+module type COST = sig
+  type t
+
+  val zero : t
+  val add : t -> t -> t
+  val compare : t -> t -> int
+end
+
+module Make (Cost : COST) : sig
+  type t
+
+  type peer = int
+
+  val create : landmark:Topology.Graph.node -> t
+  val landmark : t -> Topology.Graph.node
+  val member_count : t -> int
+  val mem : t -> peer -> bool
+  val router_count : t -> int
+
+  val insert : t -> peer:peer -> hops:(Topology.Graph.node * Cost.t) array -> unit
+  (** [hops.(i)] is the i-th router of the peer's recorded path paired with
+      the cost from the peer to it; the last entry must name the landmark.
+      Costs must be non-decreasing from [hops.(0)] (normally [(attach,
+      zero)]).
+      @raise Invalid_argument on an empty path, a path not ending at the
+      landmark, decreasing costs, or a duplicate peer. *)
+
+  val remove : t -> peer -> unit
+  (** @raise Not_found when unregistered. *)
+
+  val hops_of : t -> peer -> (Topology.Graph.node * Cost.t) array option
+
+  val meeting_point : t -> peer -> peer -> (Topology.Graph.node * Cost.t * Cost.t) option
+  (** Deepest common router of the two registered paths and each peer's cost
+      to it; [None] when either peer is unregistered or the paths share no
+      router. *)
+
+  val dtree : t -> peer -> peer -> Cost.t option
+
+  val query :
+    t ->
+    hops:(Topology.Graph.node * Cost.t) array ->
+    k:int ->
+    ?exclude:(peer -> bool) ->
+    unit ->
+    (peer * Cost.t) list
+  (** At most [k] registered peers with the smallest inferred distance to
+      the query path, ascending, ties toward the lower peer id. *)
+
+  val query_member : t -> peer:peer -> k:int -> (peer * Cost.t) list
+  (** @raise Not_found when unregistered. *)
+
+  val iter_members : t -> (peer -> unit) -> unit
+
+  val check_invariants : t -> unit
+  (** @raise Failure on a violated structural invariant (test hook). *)
+end

@@ -1,0 +1,97 @@
+type config = { candidate_sample : int; client_sample : int; max_swaps : int }
+
+let default_config = { candidate_sample = 64; client_sample = 256; max_swaps = 128 }
+
+let objective g ~landmarks ~clients =
+  if Array.length clients = 0 || Array.length landmarks = 0 then 0.0
+  else begin
+    (* One BFS per landmark; landmark sets are small. *)
+    let best = Array.make (Array.length clients) max_int in
+    Array.iter
+      (fun lmk ->
+        let dist = Topology.Bfs.distances g lmk in
+        Array.iteri (fun i c -> if dist.(c) < best.(i) then best.(i) <- dist.(c)) clients)
+      landmarks;
+    let acc = ref 0.0 in
+    Array.iter (fun d -> acc := !acc +. float_of_int (if d = max_int then 1_000 else d)) best;
+    !acc /. float_of_int (Array.length clients)
+  end
+
+let sample_array rng pool k =
+  let k = min k (Array.length pool) in
+  Array.map (fun i -> pool.(i)) (Prelude.Prng.sample_without_replacement rng ~k ~n:(Array.length pool))
+
+let place ?(config = default_config) g ~count ~rng =
+  if count < 1 then invalid_arg "Placement_opt.place: count must be >= 1";
+  (* Candidates: medium-degree band (never leaves); fall back to every
+     non-leaf router when the band is small. *)
+  let band = Topology.Graph.nodes_matching g (fun _ d -> d >= 2) |> Array.of_list in
+  if Array.length band < count then invalid_arg "Placement_opt.place: not enough candidate routers";
+  let candidates = sample_array rng band (max config.candidate_sample count) in
+  let leaves = Topology.Graph.nodes_with_degree g 1 |> Array.of_list in
+  let client_pool = if Array.length leaves > 0 then leaves else band in
+  let clients = sample_array rng client_pool config.client_sample in
+  (* Distance matrix: candidate -> client distances, one BFS each. *)
+  let n_cand = Array.length candidates in
+  let dist = Array.make n_cand [||] in
+  Array.iteri
+    (fun ci cand ->
+      let d = Topology.Bfs.distances g cand in
+      dist.(ci) <- Array.map (fun c -> if d.(c) = max_int then 1_000 else d.(c)) clients)
+    candidates;
+  let n_clients = Array.length clients in
+  let cost_with chosen =
+    (* chosen: candidate indices *)
+    let acc = ref 0 in
+    for i = 0 to n_clients - 1 do
+      let best = ref max_int in
+      List.iter (fun ci -> if dist.(ci).(i) < !best then best := dist.(ci).(i)) chosen;
+      acc := !acc + !best
+    done;
+    !acc
+  in
+  (* Greedy initialization: repeatedly add the candidate with the largest
+     marginal gain. *)
+  let chosen = ref [] in
+  for _ = 1 to count do
+    let best_ci = ref (-1) and best_cost = ref max_int in
+    for ci = 0 to n_cand - 1 do
+      if not (List.mem ci !chosen) then begin
+        let cost = cost_with (ci :: !chosen) in
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best_ci := ci
+        end
+      end
+    done;
+    chosen := !best_ci :: !chosen
+  done;
+  (* Single-swap local search. *)
+  let current = ref !chosen in
+  let current_cost = ref (cost_with !current) in
+  let improved = ref true in
+  let swaps = ref 0 in
+  while !improved && !swaps < config.max_swaps do
+    improved := false;
+    (* Try swapping each chosen member for each outside candidate; first
+       improvement wins (standard first-improvement local search). *)
+    (try
+       List.iter
+         (fun out_ci ->
+           for in_ci = 0 to n_cand - 1 do
+             if not (List.mem in_ci !current) then begin
+               let trial = in_ci :: List.filter (fun c -> c <> out_ci) !current in
+               let cost = cost_with trial in
+               if cost < !current_cost then begin
+                 current := trial;
+                 current_cost := cost;
+                 incr swaps;
+                 improved := true;
+                 raise Exit
+               end
+             end
+           done)
+         !current
+     with Exit -> ())
+  done;
+  Array.of_list (List.rev_map (fun ci -> candidates.(ci)) !current)

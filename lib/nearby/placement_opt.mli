@@ -1,0 +1,34 @@
+(** Optimized landmark placement: k-median with local search.
+
+    The E1 sweep shows dispersion beats degree heuristics; this module goes
+    one step further and optimizes placement directly.  Landmarks should
+    minimize the clients' distance to their closest landmark (the k-median
+    objective over hop distance): that keeps recorded paths short and
+    regional trees tight.  Greedy initialization plus single-swap local
+    search (Arya et al. 2001) on a sampled candidate/client sets keeps the
+    cost practical on big maps. *)
+
+type config = {
+  candidate_sample : int;  (** Candidate routers considered (sampled from the
+                               medium-degree band). *)
+  client_sample : int;  (** Attachment routers the objective sums over. *)
+  max_swaps : int;  (** Local-search budget. *)
+}
+
+val default_config : config
+(** 64 candidates, 256 clients, 128 swaps. *)
+
+val place :
+  ?config:config ->
+  Topology.Graph.t ->
+  count:int ->
+  rng:Prelude.Prng.t ->
+  Topology.Graph.node array
+(** [place g ~count ~rng] returns [count] distinct landmark routers
+    minimizing the sampled k-median objective.  Deterministic given [rng].
+    @raise Invalid_argument when [count] exceeds the candidate pool. *)
+
+val objective :
+  Topology.Graph.t -> landmarks:Topology.Graph.node array -> clients:Topology.Graph.node array -> float
+(** Mean hop distance from each client to its closest landmark (the value
+    {!place} minimizes), exposed for tests and reporting. *)

@@ -1,0 +1,57 @@
+type t = {
+  latency : Topology.Latency.t option;
+  engine : Simkit.Engine.t;
+  server_router : Topology.Graph.node;
+  server : Server.t;
+  oracle : Traceroute.Route_oracle.t;
+}
+
+let create ?latency ~engine ~server_router server =
+  {
+    latency;
+    engine;
+    server_router;
+    server;
+    oracle = Traceroute.Route_oracle.create (Server.graph server);
+  }
+
+let server t = t.server
+
+let rtt t src dst = Traceroute.Probe.ping ?latency:t.latency t.oracle ~src ~dst
+
+(* Sequential TTL probing: hop i costs one round trip to router i, so the
+   tool's completion time is the sum of prefix RTTs along the route. *)
+let traceroute_delay t ~src ~dst =
+  match Traceroute.Route_oracle.route t.oracle ~src ~dst with
+  | [] -> infinity
+  | routers ->
+      let routers = Array.of_list routers in
+      let acc = ref 0.0 in
+      for i = 1 to Array.length routers - 1 do
+        acc := !acc +. rtt t src routers.(i)
+      done;
+      !acc
+
+let round1_delay t ~attach_router =
+  (* Parallel pings: the newcomer waits for the slowest landmark reply. *)
+  Array.fold_left
+    (fun worst lmk -> Float.max worst (rtt t attach_router lmk))
+    0.0
+    (Server.landmarks t.server)
+
+let estimate_join_delay t ~attach_router =
+  let lmk, _ = Landmark.closest t.oracle ?latency:t.latency ~landmarks:(Server.landmarks t.server) attach_router in
+  round1_delay t ~attach_router
+  +. traceroute_delay t ~src:attach_router ~dst:lmk
+  +. rtt t attach_router t.server_router
+
+let join ?rng t ~peer ~attach_router ~k ~on_complete =
+  let delay = estimate_join_delay t ~attach_router in
+  Simkit.Engine.schedule t.engine ~delay (fun () ->
+      let info = Server.join ?rng t.server ~peer ~attach_router in
+      let reply = Server.neighbors t.server ~peer ~k in
+      on_complete info reply)
+
+let vivaldi_setup_delay ~rounds ~round_period_ms =
+  if rounds < 0 || round_period_ms < 0.0 then invalid_arg "Protocol.vivaldi_setup_delay: negative input";
+  float_of_int rounds *. round_period_ms

@@ -1,0 +1,47 @@
+(** Event-driven timing of the discovery protocols (extension E5).
+
+    The paper's motivation is {e setup delay}: a newcomer must know good
+    neighbors before playback can start.  This module runs joins on the
+    {!Simkit.Engine} clock so the two approaches are compared in the same
+    simulated milliseconds:
+
+    - proposed scheme: ping all landmarks in parallel (wait for the slowest
+      reply), run one traceroute toward the winner (sequential TTL probes:
+      the per-hop RTTs accumulate), then one RPC to the management server;
+    - Vivaldi: the newcomer is only done after [rounds] gossip rounds of
+      [round_period_ms] each (plus nothing else — we even grant it free
+      server access to the coordinate directory). *)
+
+type t
+
+val create :
+  ?latency:Topology.Latency.t ->
+  engine:Simkit.Engine.t ->
+  server_router:Topology.Graph.node ->
+  Server.t ->
+  t
+(** [server_router] is where the management server is attached; the final
+    RPC pays the RTT to it. *)
+
+val server : t -> Server.t
+
+val join :
+  ?rng:Prelude.Prng.t ->
+  t ->
+  peer:int ->
+  attach_router:Topology.Graph.node ->
+  k:int ->
+  on_complete:(Server.peer_info -> (int * int) list -> unit) ->
+  unit
+(** Schedule the full two-round join starting now; [on_complete] fires at
+    the simulated completion time with the registration info and the
+    neighbor reply.  State changes (registration) happen at reply time, not
+    at call time. *)
+
+val estimate_join_delay : t -> attach_router:Topology.Graph.node -> float
+(** The deterministic protocol time [join] will charge from this router
+    (no jitter): max landmark RTT + sequential traceroute + server RTT. *)
+
+val vivaldi_setup_delay : rounds:int -> round_period_ms:float -> float
+(** Time before a Vivaldi newcomer has completed the given number of
+    measurement rounds. *)

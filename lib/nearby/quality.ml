@@ -1,0 +1,98 @@
+type report = {
+  total_d : int;
+  mean_d : float;
+  mean_per_peer_ratio : float;
+  hit_ratio : float;
+  mean_neighbor_distance : float;
+}
+
+let unreachable_cost = max_int / 4
+
+let distance_to_peers (ctx : Selector.context) ~peer =
+  let dist = Topology.Bfs.distances ctx.graph ctx.peer_routers.(peer) in
+  Array.map (fun router -> dist.(router)) ctx.peer_routers
+
+let d_of_set (ctx : Selector.context) ~peer set =
+  let dist = Topology.Bfs.distances ctx.graph ctx.peer_routers.(peer) in
+  Array.fold_left
+    (fun acc j ->
+      let d = dist.(ctx.peer_routers.(j)) in
+      acc + (if d = max_int then unreachable_cost else d))
+    0 set
+
+let overlap a b =
+  let in_b = Hashtbl.create (Array.length b) in
+  Array.iter (fun x -> Hashtbl.replace in_b x ()) b;
+  Array.fold_left (fun acc x -> if Hashtbl.mem in_b x then acc + 1 else acc) 0 a
+
+let hit_ratio_vs ~chosen ~optimal =
+  let n = Array.length chosen in
+  if n = 0 || n <> Array.length optimal then
+    invalid_arg "Quality.hit_ratio_vs: mismatched peer counts";
+  let acc = ref 0.0 and counted = ref 0 in
+  for p = 0 to n - 1 do
+    let opt = optimal.(p) in
+    if Array.length opt > 0 then begin
+      acc := !acc +. (float_of_int (overlap chosen.(p) opt) /. float_of_int (Array.length opt));
+      incr counted
+    end
+  done;
+  if !counted = 0 then 1.0 else !acc /. float_of_int !counted
+
+let evaluate (ctx : Selector.context) chosen =
+  let n = Array.length chosen in
+  if n <> Array.length ctx.peer_routers then
+    invalid_arg "Quality.evaluate: one neighbor set per peer required";
+  let optimal = Selector.oracle_distance_sets ctx ~k:(if n = 0 then 0 else Array.length chosen.(0)) in
+  let total = ref 0 in
+  let ratio_acc = ref 0.0 and ratio_count = ref 0 in
+  let pair_dist = Prelude.Stats.create () in
+  for p = 0 to n - 1 do
+    let dist = Topology.Bfs.distances ctx.graph ctx.peer_routers.(p) in
+    let d_of set =
+      Array.fold_left
+        (fun acc j ->
+          let d = dist.(ctx.peer_routers.(j)) in
+          acc + (if d = max_int then unreachable_cost else d))
+        0 set
+    in
+    let d_chosen = d_of chosen.(p) in
+    let d_opt = d_of optimal.(p) in
+    total := !total + d_chosen;
+    Array.iter
+      (fun j ->
+        let d = dist.(ctx.peer_routers.(j)) in
+        if d <> max_int then Prelude.Stats.add pair_dist (float_of_int d))
+      chosen.(p);
+    if d_opt > 0 then begin
+      ratio_acc := !ratio_acc +. (float_of_int d_chosen /. float_of_int d_opt);
+      incr ratio_count
+    end
+    else if d_chosen = 0 then begin
+      ratio_acc := !ratio_acc +. 1.0;
+      incr ratio_count
+    end
+  done;
+  {
+    total_d = !total;
+    mean_d = (if n = 0 then 0.0 else float_of_int !total /. float_of_int n);
+    mean_per_peer_ratio = (if !ratio_count = 0 then 1.0 else !ratio_acc /. float_of_int !ratio_count);
+    hit_ratio = hit_ratio_vs ~chosen ~optimal;
+    mean_neighbor_distance = Prelude.Stats.mean pair_dist;
+  }
+
+let ratio_vs (ctx : Selector.context) ~chosen ~optimal =
+  let n = Array.length chosen in
+  if n <> Array.length optimal then invalid_arg "Quality.ratio_vs: mismatched peer counts";
+  let sum sets =
+    let acc = ref 0 in
+    for p = 0 to n - 1 do
+      acc := !acc + d_of_set ctx ~peer:p sets.(p)
+    done;
+    !acc
+  in
+  let d_chosen = sum chosen and d_opt = sum optimal in
+  if d_opt = 0 then begin
+    if d_chosen = 0 then 1.0 else invalid_arg "Quality.ratio_vs: zero optimal distance"
+  end
+  else float_of_int d_chosen /. float_of_int d_opt

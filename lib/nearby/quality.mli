@@ -1,0 +1,38 @@
+(** Overlay-quality metrics (the paper's evaluation quantities).
+
+    For peer [p] with neighbor set [N(p)], the paper computes
+    [D(p) = sum over N(p) of hop distance(p, neighbor)] and reports the
+    population ratio [sum D / sum Dclosest] where [Dclosest] uses the
+    brute-force optimal sets.  We add per-peer ratios, the hit ratio
+    (fraction of truly-optimal neighbors found) and hop-distance stretch. *)
+
+type report = {
+  total_d : int;  (** Sum over all peers of D(p). *)
+  mean_d : float;
+  mean_per_peer_ratio : float;
+      (** Mean over peers of [D(p) / Dclosest(p)] (peers with
+          [Dclosest(p) = 0] contribute ratio 1 when [D(p) = 0], and are
+          skipped otherwise counted with the global ratio convention below). *)
+  hit_ratio : float;
+      (** Fraction of each peer's optimal neighbors present in its chosen
+          set, averaged over peers (set overlap, order-insensitive). *)
+  mean_neighbor_distance : float;  (** Hop distance averaged over all chosen pairs. *)
+}
+
+val distance_to_peers : Selector.context -> peer:int -> int array
+(** Hop distance from a peer's attachment router to every other peer's
+    attachment router (index = peer id; the peer's own entry is 0). *)
+
+val d_of_set : Selector.context -> peer:int -> int array -> int
+(** [D(p)] for one neighbor set; unreachable neighbors count [max_int / 2]
+    (clamped to avoid overflow) so they dominate but do not wrap. *)
+
+val evaluate : Selector.context -> int array array -> report
+(** Score every peer's neighbor set. *)
+
+val ratio_vs : Selector.context -> chosen:int array array -> optimal:int array array -> float
+(** The paper's headline quantity: [sum_p D_chosen(p) / sum_p D_optimal(p)].
+    @raise Invalid_argument when the optimum sums to zero but the chosen
+    sets do not. *)
+
+val hit_ratio_vs : chosen:int array array -> optimal:int array array -> float

@@ -1,0 +1,274 @@
+let log_src = Logs.Src.create "nearby.server" ~doc:"Management-server protocol events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type landmark_choice = Closest | Uniform
+
+type peer_info = {
+  attach_router : Topology.Graph.node;
+  landmark : Topology.Graph.node;
+  recorded_path : Traceroute.Path.t;
+  probes_spent : int;
+}
+
+type t = {
+  oracle : Traceroute.Route_oracle.t;
+  latency : Topology.Latency.t option;
+  truncate : Traceroute.Truncate.strategy;
+  probe_config : Traceroute.Probe.config;
+  choice : landmark_choice;
+  choice_rng : Prelude.Prng.t;
+  landmark_ids : Topology.Graph.node array;
+  trees : (Topology.Graph.node, Path_tree.t) Hashtbl.t;
+  peers : (int, peer_info) Hashtbl.t;
+  trace : Simkit.Trace.t;
+}
+
+let create ?(truncate = Traceroute.Truncate.Full) ?(probe_config = Traceroute.Probe.default_config)
+    ?latency ?(choice = Closest) oracle ~landmarks =
+  if Array.length landmarks = 0 then invalid_arg "Server.create: no landmarks";
+  let distinct = Hashtbl.create 8 in
+  Array.iter
+    (fun lmk ->
+      if Hashtbl.mem distinct lmk then invalid_arg "Server.create: duplicate landmark";
+      Hashtbl.add distinct lmk ())
+    landmarks;
+  let trees = Hashtbl.create (Array.length landmarks) in
+  Array.iter (fun lmk -> Hashtbl.add trees lmk (Path_tree.create ~landmark:lmk)) landmarks;
+  {
+    oracle;
+    latency;
+    truncate;
+    probe_config;
+    choice;
+    choice_rng = Prelude.Prng.create 0x5eed;
+    landmark_ids = Array.copy landmarks;
+    trees;
+    peers = Hashtbl.create 256;
+    trace = Simkit.Trace.create ();
+  }
+
+let graph t = Traceroute.Route_oracle.graph t.oracle
+let landmarks t = Array.copy t.landmark_ids
+let peer_count t = Hashtbl.length t.peers
+let mem t peer = Hashtbl.mem t.peers peer
+let info t peer = Hashtbl.find_opt t.peers peer
+let trace t = t.trace
+let tree_of t lmk = Hashtbl.find t.trees lmk
+
+(* Round 1 + recording: ping all landmarks, traceroute to the winner,
+   truncate per the configured decreased-tool strategy. *)
+let record_path ?rng t ~attach_router =
+  let lmk =
+    match t.choice with
+    | Closest ->
+        fst (Landmark.closest t.oracle ?latency:t.latency ?rng ~landmarks:t.landmark_ids attach_router)
+    | Uniform -> Prelude.Prng.choose t.choice_rng t.landmark_ids
+  in
+  let probe =
+    Traceroute.Probe.run ~config:t.probe_config ?latency:t.latency ?rng t.oracle ~src:attach_router ~dst:lmk
+  in
+  let full_hops = Traceroute.Path.hop_count probe.path in
+  let reduced = Traceroute.Truncate.apply ~graph:(graph t) t.truncate probe.path in
+  (* Probe cost: one ping per landmark (round 1) plus the per-hop packets the
+     decreased tool would really send. *)
+  let round1_pings = match t.choice with Closest -> Array.length t.landmark_ids | Uniform -> 0 in
+  let cost =
+    round1_pings + (Traceroute.Truncate.probe_cost t.truncate ~full_hops * t.probe_config.probes_per_hop)
+  in
+  (lmk, reduced, cost)
+
+let registrable_path ~landmark path =
+  (* The tree stores identified routers only; an incomplete trace is repaired
+     by appending the landmark itself (the newcomer knows whom it probed). *)
+  let routers = Traceroute.Path.known_routers path in
+  let n = Array.length routers in
+  if n > 0 && routers.(n - 1) = landmark then routers
+  else Array.append routers [| landmark |]
+
+let join ?rng t ~peer ~attach_router =
+  if Hashtbl.mem t.peers peer then invalid_arg "Server.join: peer already registered";
+  let landmark, recorded_path, probes_spent = record_path ?rng t ~attach_router in
+  let routers = registrable_path ~landmark recorded_path in
+  Path_tree.insert (tree_of t landmark) ~peer ~routers;
+  let info = { attach_router; landmark; recorded_path; probes_spent } in
+  Hashtbl.add t.peers peer info;
+  Log.debug (fun m ->
+      m "join peer=%d router=%d landmark=%d hops=%d probes=%d" peer attach_router landmark
+        (Traceroute.Path.hop_count recorded_path)
+        probes_spent);
+  Simkit.Trace.incr t.trace "join";
+  Simkit.Trace.add_count t.trace "probe_packets" probes_spent;
+  Simkit.Trace.add_count t.trace "wire_bytes"
+    (Wire.byte_size (Wire.Path_report { peer; path = recorded_path }));
+  Simkit.Trace.observe t.trace "path_hops" (float_of_int (Traceroute.Path.hop_count recorded_path));
+  info
+
+(* Landmarks ordered by hop distance from the peer's landmark: the top-up
+   order when the home tree runs dry. *)
+let topup_order t ~home =
+  let others = Array.to_list t.landmark_ids |> List.filter (fun l -> l <> home) in
+  List.sort
+    (fun a b ->
+      compare
+        (Traceroute.Route_oracle.route_length t.oracle ~src:home ~dst:a)
+        (Traceroute.Route_oracle.route_length t.oracle ~src:home ~dst:b))
+    others
+
+let neighbors_of_path t ~path ~k ?(exclude = fun _ -> false) () =
+  Simkit.Trace.incr t.trace "query";
+  let landmark = path.Traceroute.Path.dst in
+  let routers = registrable_path ~landmark path in
+  let home_tree =
+    match Hashtbl.find_opt t.trees landmark with
+    | Some tree -> tree
+    | None -> invalid_arg "Server.neighbors_of_path: unknown landmark"
+  in
+  let result = Path_tree.query home_tree ~routers ~k ~exclude () in
+  if List.length result >= k then result
+  else begin
+    (* Top up from the other landmark trees, closest landmark first. *)
+    let missing = ref (k - List.length result) in
+    let already = Hashtbl.create 16 in
+    List.iter (fun (p, _) -> Hashtbl.add already p ()) result;
+    let extra = ref [] in
+    List.iter
+      (fun lmk ->
+        if !missing > 0 then begin
+          let tree = tree_of t lmk in
+          Path_tree.iter_members tree (fun p ->
+              if !missing > 0 && (not (Hashtbl.mem already p)) && not (exclude p) then begin
+                Hashtbl.add already p ();
+                extra := (p, max_int) :: !extra;
+                decr missing;
+                Simkit.Trace.incr t.trace "cross_tree_topup"
+              end)
+        end)
+      (topup_order t ~home:landmark);
+    result @ List.rev !extra
+  end
+
+let neighbors t ~peer ~k =
+  match Hashtbl.find_opt t.peers peer with
+  | None -> raise Not_found
+  | Some info ->
+      let reply = neighbors_of_path t ~path:info.recorded_path ~k ~exclude:(fun p -> p = peer) () in
+      Simkit.Trace.add_count t.trace "wire_bytes"
+        (Wire.byte_size (Wire.Neighbor_request { peer; k })
+        + Wire.byte_size
+            (Wire.Neighbor_reply
+               { peer; neighbors = List.map (fun (p, d) -> (p, min d 0x3FFFFFF)) reply }));
+      reply
+
+let reverse_introductions t ~peer ~k =
+  match Hashtbl.find_opt t.peers peer with
+  | None -> raise Not_found
+  | Some info ->
+      let tree = tree_of t info.landmark in
+      (* Candidates: anyone near the newcomer (take extra in case of ties);
+         keep those whose own k-NN now contains the newcomer. *)
+      let nearby = Path_tree.query_member tree ~peer ~k:(2 * k) in
+      List.filter
+        (fun (candidate, _) ->
+          Path_tree.query_member tree ~peer:candidate ~k
+          |> List.exists (fun (p, _) -> p = peer))
+        nearby
+      |> List.filteri (fun i _ -> i < k)
+
+let leave t ~peer =
+  match Hashtbl.find_opt t.peers peer with
+  | None -> raise Not_found
+  | Some info ->
+      Path_tree.remove (tree_of t info.landmark) peer;
+      Hashtbl.remove t.peers peer;
+      Log.debug (fun m -> m "leave peer=%d landmark=%d" peer info.landmark);
+      Simkit.Trace.incr t.trace "leave"
+
+let handover ?rng t ~peer ~attach_router =
+  if not (Hashtbl.mem t.peers peer) then raise Not_found;
+  leave t ~peer;
+  let info = join ?rng t ~peer ~attach_router in
+  Simkit.Trace.incr t.trace "handover";
+  info
+
+let check_invariants t =
+  Hashtbl.iter (fun _ tree -> Path_tree.check_invariants tree) t.trees;
+  Hashtbl.iter
+    (fun peer (info : peer_info) ->
+      if not (Path_tree.mem (tree_of t info.landmark) peer) then
+        failwith (Printf.sprintf "peer %d missing from its landmark tree" peer);
+      Array.iter
+        (fun lmk ->
+          if lmk <> info.landmark && Path_tree.mem (tree_of t lmk) peer then
+            failwith (Printf.sprintf "peer %d registered in a foreign tree" peer))
+        t.landmark_ids)
+    t.peers
+
+(* --- Persistence ------------------------------------------------------ *)
+
+let snapshot_version = 1
+
+let snapshot t =
+  let w = Prelude.Codec.Writer.create ~capacity:4096 () in
+  let open Prelude.Codec.Writer in
+  u8 w snapshot_version;
+  list w (varint w) (Array.to_list t.landmark_ids);
+  let entries = Hashtbl.fold (fun peer info acc -> (peer, info) :: acc) t.peers [] in
+  let entries = List.sort compare entries in
+  list w
+    (fun (peer, info) ->
+      varint w peer;
+      varint w info.attach_router;
+      varint w info.landmark;
+      varint w info.probes_spent;
+      bytes w (Wire.encode (Wire.Path_report { peer; path = info.recorded_path })))
+    entries;
+  contents w
+
+let restore ?truncate ?probe_config ?latency ?choice oracle data =
+  let open Prelude.Codec.Reader in
+  let ( let* ) = Result.bind in
+  let r = of_string data in
+  let result =
+    let* version = u8 r in
+    if version <> snapshot_version then
+      Error (Malformed (Printf.sprintf "unsupported snapshot version %d" version))
+    else
+      let* landmark_list = list r varint in
+      let* entries =
+        list r (fun r ->
+            let* peer = varint r in
+            let* attach_router = varint r in
+            let* landmark = varint r in
+            let* probes_spent = varint r in
+            let* encoded_path = bytes r in
+            Ok (peer, attach_router, landmark, probes_spent, encoded_path))
+      in
+      if not (is_exhausted r) then Error (Malformed "trailing bytes")
+      else Ok (landmark_list, entries)
+  in
+  match result with
+  | Error e -> Error (error_to_string e)
+  | Ok (landmark_list, entries) -> (
+      match create ?truncate ?probe_config ?latency ?choice oracle ~landmarks:(Array.of_list landmark_list) with
+      | exception Invalid_argument msg -> Error msg
+      | t -> (
+          let rebuild () =
+            List.iter
+              (fun (peer, attach_router, landmark, probes_spent, encoded_path) ->
+                match Wire.decode encoded_path with
+                | Ok (Wire.Path_report { peer = p; path }) when p = peer ->
+                    if not (Array.mem landmark t.landmark_ids) then
+                      failwith "snapshot references an unknown landmark";
+                    let routers = registrable_path ~landmark path in
+                    Path_tree.insert (tree_of t landmark) ~peer ~routers;
+                    Hashtbl.add t.peers peer
+                      { attach_router; landmark; recorded_path = path; probes_spent }
+                | Ok _ -> failwith "snapshot entry is not a path report"
+                | Error e -> failwith e)
+              entries
+          in
+          match rebuild () with
+          | () -> Ok t
+          | exception Failure msg -> Error msg
+          | exception Invalid_argument msg -> Error msg))

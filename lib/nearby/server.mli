@@ -1,0 +1,109 @@
+(** The management server and the two-round join protocol (paper §2).
+
+    Round 1: the newcomer pings every landmark and keeps the closest, then
+    traceroutes toward it.  Round 2: the server registers the recorded path
+    in that landmark's {!Path_tree} and answers the k registered peers with
+    the smallest inferred distance.
+
+    With several landmarks the server holds one path tree per landmark and
+    answers a newcomer out of the tree of {e its} landmark — peers that
+    chose the same closest landmark are exactly the regional candidates.
+    When that tree cannot fill the request, the reply is topped up from the
+    other trees (closest landmark first), which only matters for tiny
+    populations. *)
+
+type t
+
+type landmark_choice =
+  | Closest  (** The paper's round 1: ping every landmark, keep the best. *)
+  | Uniform
+      (** Ablation: register under a uniformly random landmark (skips the
+          ping round entirely, so it is cheaper but regionally blind). *)
+
+type peer_info = {
+  attach_router : Topology.Graph.node;
+  landmark : Topology.Graph.node;
+  recorded_path : Traceroute.Path.t;
+  probes_spent : int;  (** Total probe packets this peer's join cost. *)
+}
+
+val create :
+  ?truncate:Traceroute.Truncate.strategy ->
+  ?probe_config:Traceroute.Probe.config ->
+  ?latency:Topology.Latency.t ->
+  ?choice:landmark_choice ->
+  Traceroute.Route_oracle.t ->
+  landmarks:Topology.Graph.node array ->
+  t
+(** @raise Invalid_argument on an empty landmark array or duplicate
+    landmarks. *)
+
+val graph : t -> Topology.Graph.t
+val landmarks : t -> Topology.Graph.node array
+val peer_count : t -> int
+val mem : t -> int -> bool
+val info : t -> int -> peer_info option
+
+val join : ?rng:Prelude.Prng.t -> t -> peer:int -> attach_router:Topology.Graph.node -> peer_info
+(** Execute both protocol rounds for a newcomer.  Deterministic without
+    [rng] (perfect probes); with [rng], probe drops and RTT noise apply.
+    @raise Invalid_argument when the peer id is already registered. *)
+
+val neighbors : t -> peer:int -> k:int -> (int * int) list
+(** [(peer, inferred distance)] ascending, at most [k], never containing the
+    peer itself.  Cross-tree top-up entries carry inferred distance
+    [max_int].  @raise Not_found for an unregistered peer. *)
+
+val reverse_introductions : t -> peer:int -> k:int -> (int * int) list
+(** The push half of a join: registered peers for whom the newcomer now
+    ranks among their [k] closest (so the server can notify them to
+    consider the newcomer).  Computed over the newcomer's same-tree
+    candidates; [(peer, inferred distance)] pairs, ascending.
+    @raise Not_found for an unregistered peer. *)
+
+val neighbors_of_path :
+  t -> path:Traceroute.Path.t -> k:int -> ?exclude:(int -> bool) -> unit -> (int * int) list
+(** Answer an explicit recorded path without registering it — the server-side
+    primitive behind {!neighbors} and the protocol simulation. *)
+
+val leave : t -> peer:int -> unit
+(** Deregister (graceful or detected failure).  @raise Not_found when
+    unregistered. *)
+
+val handover : ?rng:Prelude.Prng.t -> t -> peer:int -> attach_router:Topology.Graph.node -> peer_info
+(** Mobility: atomically deregister and re-join at a new attachment router
+    (extension E3).  @raise Not_found when unregistered. *)
+
+val trace : t -> Simkit.Trace.t
+(** Protocol counters: ["join"], ["leave"], ["handover"], ["probe_packets"],
+    ["query"], ["cross_tree_topup"], ["wire_bytes"] (bytes the join uploads
+    and query exchanges would occupy on the wire, per {!Wire});
+    statistic ["path_hops"]. *)
+
+val check_invariants : t -> unit
+(** Every per-landmark tree is internally consistent and every registered
+    peer is in exactly the tree of its landmark. *)
+
+(** {1 Persistence}
+
+    A management server is a single point of failure; restarting it must
+    not force every peer to re-traceroute.  The snapshot is the registered
+    state (peers, landmarks, recorded paths) in the {!Prelude.Codec} binary
+    format; restoring rebuilds the path trees. *)
+
+val snapshot : t -> string
+(** Serialize the registration state (not the counters, not the probe/
+    truncation configuration — those belong to the process, not the
+    data). *)
+
+val restore :
+  ?truncate:Traceroute.Truncate.strategy ->
+  ?probe_config:Traceroute.Probe.config ->
+  ?latency:Topology.Latency.t ->
+  ?choice:landmark_choice ->
+  Traceroute.Route_oracle.t ->
+  string ->
+  (t, string) result
+(** Rebuild a server from {!snapshot} output over the given oracle (the
+    graph itself is not serialized — the map outlives server restarts).
+    Total: corrupt input yields [Error]. *)

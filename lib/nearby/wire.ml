@@ -1,0 +1,118 @@
+type message =
+  | Ping_request of { nonce : int }
+  | Ping_reply of { nonce : int }
+  | Path_report of { peer : int; path : Traceroute.Path.t }
+  | Neighbor_request of { peer : int; k : int }
+  | Neighbor_reply of { peer : int; neighbors : (int * int) list }
+  | Leave of { peer : int }
+
+let protocol_version = 1
+
+let tag = function
+  | Ping_request _ -> 0
+  | Ping_reply _ -> 1
+  | Path_report _ -> 2
+  | Neighbor_request _ -> 3
+  | Neighbor_reply _ -> 4
+  | Leave _ -> 5
+
+(* Hops are encoded as varints shifted by one so that 0 can mean an
+   anonymous hop. *)
+let encode_hop w = function
+  | Traceroute.Path.Anonymous -> Prelude.Codec.Writer.varint w 0
+  | Traceroute.Path.Known r -> Prelude.Codec.Writer.varint w (r + 1)
+
+let encode message =
+  let w = Prelude.Codec.Writer.create () in
+  let open Prelude.Codec.Writer in
+  u8 w protocol_version;
+  u8 w (tag message);
+  (match message with
+  | Ping_request { nonce } | Ping_reply { nonce } -> varint w nonce
+  | Path_report { peer; path } ->
+      varint w peer;
+      varint w path.src;
+      varint w path.dst;
+      list w (encode_hop w) (Array.to_list path.hops)
+  | Neighbor_request { peer; k } ->
+      varint w peer;
+      varint w k
+  | Neighbor_reply { peer; neighbors } ->
+      varint w peer;
+      list w
+        (fun (p, d) ->
+          varint w p;
+          varint w d)
+        neighbors
+  | Leave { peer } -> varint w peer);
+  contents w
+
+let byte_size message = String.length (encode message)
+
+let decode_hop r =
+  match Prelude.Codec.Reader.varint r with
+  | Error e -> Error e
+  | Ok 0 -> Ok Traceroute.Path.Anonymous
+  | Ok v -> Ok (Traceroute.Path.Known (v - 1))
+
+let decode_body r t =
+  let open Prelude.Codec.Reader in
+  let ( let* ) = Result.bind in
+  match t with
+  | 0 ->
+      let* nonce = varint r in
+      Ok (Ping_request { nonce })
+  | 1 ->
+      let* nonce = varint r in
+      Ok (Ping_reply { nonce })
+  | 2 ->
+      let* peer = varint r in
+      let* src = varint r in
+      let* dst = varint r in
+      let* hops = list r decode_hop in
+      Ok (Path_report { peer; path = { Traceroute.Path.src; dst; hops = Array.of_list hops } })
+  | 3 ->
+      let* peer = varint r in
+      let* k = varint r in
+      Ok (Neighbor_request { peer; k })
+  | 4 ->
+      let* peer = varint r in
+      let* neighbors =
+        list r (fun r ->
+            let* p = varint r in
+            let* d = varint r in
+            Ok (p, d))
+      in
+      Ok (Neighbor_reply { peer; neighbors })
+  | 5 ->
+      let* peer = varint r in
+      Ok (Leave { peer })
+  | other -> Error (Malformed (Printf.sprintf "unknown tag %d" other))
+
+let decode data =
+  let open Prelude.Codec.Reader in
+  let r = of_string data in
+  let ( let* ) = Result.bind in
+  let result =
+    let* version = u8 r in
+    if version <> protocol_version then
+      Error (Malformed (Printf.sprintf "unsupported version %d" version))
+    else
+      let* t = u8 r in
+      let* message = decode_body r t in
+      if is_exhausted r then Ok message else Error (Malformed "trailing bytes")
+  in
+  Result.map_error error_to_string result
+
+let equal a b = a = b
+
+let pp ppf = function
+  | Ping_request { nonce } -> Format.fprintf ppf "ping?%d" nonce
+  | Ping_reply { nonce } -> Format.fprintf ppf "ping!%d" nonce
+  | Path_report { peer; path } ->
+      Format.fprintf ppf "path-report peer=%d %a" peer Traceroute.Path.pp path
+  | Neighbor_request { peer; k } -> Format.fprintf ppf "neighbors? peer=%d k=%d" peer k
+  | Neighbor_reply { peer; neighbors } ->
+      Format.fprintf ppf "neighbors! peer=%d [%s]" peer
+        (String.concat "; " (List.map (fun (p, d) -> Printf.sprintf "%d@%d" p d) neighbors))
+  | Leave { peer } -> Format.fprintf ppf "leave peer=%d" peer

@@ -1,0 +1,35 @@
+(** Wire format of the discovery protocol.
+
+    What actually crosses the network in a deployment: the round-1 pings,
+    the newcomer's recorded path upload, and the server's neighbor reply.
+    Binary, versioned, and decodable from untrusted bytes (decoding never
+    raises).  The simulator itself passes values in memory; this module
+    exists so the byte sizes charged to {!Simkit.Transport} are honest and
+    so a real implementation could interoperate. *)
+
+type message =
+  | Ping_request of { nonce : int }
+  | Ping_reply of { nonce : int }
+  | Path_report of { peer : int; path : Traceroute.Path.t }
+      (** Round 2 upload: the traceroute output, anonymous hops included. *)
+  | Neighbor_request of { peer : int; k : int }
+  | Neighbor_reply of { peer : int; neighbors : (int * int) list }
+      (** [(peer id, inferred distance)], ascending. *)
+  | Leave of { peer : int }
+
+val protocol_version : int
+
+val encode : message -> string
+(** Version byte, tag byte, then the payload. *)
+
+val decode : string -> (message, string) result
+(** Total: any byte string yields [Ok] or [Error reason]; decoding consumes
+    the whole buffer (trailing garbage is an error). *)
+
+val byte_size : message -> int
+(** [String.length (encode m)] without materializing intermediate strings
+    more than once — used by the simulator to charge realistic message
+    sizes. *)
+
+val equal : message -> message -> bool
+val pp : Format.formatter -> message -> unit

@@ -1,0 +1,48 @@
+type series = { label : string; points : (float * float) list }
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let render ?(width = 64) ?(height = 16) ?y_min ?y_max series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then ""
+  else begin
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let fold f = function [] -> 0.0 | x :: rest -> List.fold_left f x rest in
+    let x_lo = fold Float.min xs and x_hi = fold Float.max xs in
+    let y_lo_data = fold Float.min ys and y_hi_data = fold Float.max ys in
+    let pad = Float.max 1e-9 (0.05 *. (y_hi_data -. y_lo_data)) in
+    let y_lo = match y_min with Some v -> v | None -> y_lo_data -. pad in
+    let y_hi = match y_max with Some v -> v | None -> y_hi_data +. pad in
+    let x_span = if x_hi > x_lo then x_hi -. x_lo else 1.0 in
+    let y_span = if y_hi > y_lo then y_hi -. y_lo else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    let plot_point glyph (x, y) =
+      let col = int_of_float (Float.round ((x -. x_lo) /. x_span *. float_of_int (width - 1))) in
+      let row = int_of_float (Float.round ((y -. y_lo) /. y_span *. float_of_int (height - 1))) in
+      if col >= 0 && col < width && row >= 0 && row < height then
+        grid.(height - 1 - row).(col) <- glyph
+    in
+    List.iteri
+      (fun i s -> List.iter (plot_point glyphs.(i mod Array.length glyphs)) s.points)
+      series;
+    let buf = Buffer.create (height * (width + 16)) in
+    let y_label row =
+      (* Label top, middle and bottom rows with their y value. *)
+      let value = y_hi -. (float_of_int row /. float_of_int (height - 1) *. y_span) in
+      if row = 0 || row = height - 1 || row = height / 2 then Printf.sprintf "%8.2f |" value
+      else String.make 8 ' ' ^ " |"
+    in
+    for row = 0 to height - 1 do
+      Buffer.add_string buf (y_label row);
+      Buffer.add_string buf (String.init width (fun col -> grid.(row).(col)));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (String.make 9 ' ' ^ "+" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf (Printf.sprintf "%9s %-8.6g%*s%8.6g\n" "" x_lo (width - 12) "" x_hi);
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%9s %c = %s\n" "" glyphs.(i mod Array.length glyphs) s.label))
+      series;
+    Buffer.contents buf
+  end

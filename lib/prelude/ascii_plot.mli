@@ -1,0 +1,15 @@
+(** Terminal line plots.
+
+    The paper's measured result is a single plot (quality ratios against
+    number of peers); rendering our reproduction as ASCII art lets the bench
+    harness show the *shape* — flat versus noisy series — directly in the
+    transcript. *)
+
+type series = { label : string; points : (float * float) list }
+
+val render : ?width:int -> ?height:int -> ?y_min:float -> ?y_max:float -> series list -> string
+(** [render series] draws all series on shared axes inside a [width] x
+    [height] character grid (defaults 64 x 16).  Each series is drawn with its
+    own glyph taken from ["*+ox#@"] in order, and a legend maps glyphs back to
+    labels.  The y-range defaults to the data extent padded by 5%.  Returns
+    [""] when every series is empty. *)

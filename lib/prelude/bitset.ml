@@ -1,0 +1,42 @@
+type t = { words : Bytes.t; capacity : int }
+
+(* One byte per 8 members keeps the code simple and endian-free; the graph
+   algorithms touch this through [mem]/[add] only. *)
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Bytes.make ((capacity + 7) / 8) '\000'; capacity }
+
+let capacity t = t.capacity
+let check t i = if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of bounds"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7)) land 0xFF))
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let cardinal t =
+  let count = ref 0 in
+  for byte = 0 to Bytes.length t.words - 1 do
+    let b = ref (Char.code (Bytes.get t.words byte)) in
+    while !b <> 0 do
+      count := !count + (!b land 1);
+      b := !b lsr 1
+    done
+  done;
+  !count
+
+let iter t f =
+  for i = 0 to t.capacity - 1 do
+    if Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
+  done

@@ -1,0 +1,21 @@
+(** Fixed-capacity bitset over [0, capacity).
+
+    Dense visited-marks for graph traversals: clearing and membership tests
+    are much cheaper than a [Hashtbl] when traversals run thousands of times
+    per experiment. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set over [\[0, capacity)]. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+val cardinal : t -> int
+(** Number of set bits; O(capacity/64). *)
+
+val iter : t -> (int -> unit) -> unit
+(** Visit set members in increasing order. *)

@@ -1,0 +1,43 @@
+(** Binary encoding primitives for wire messages.
+
+    Compact, endian-explicit and allocation-light: unsigned LEB128 varints
+    for integers (path distances and node ids are small), length-prefixed
+    byte strings.  The reader never reads past the buffer; all failures are
+    reported as [Error], not exceptions, because the input is untrusted
+    network data. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val contents : t -> string
+  val length : t -> int
+  val u8 : t -> int -> unit
+  (** @raise Invalid_argument outside [0, 255]. *)
+
+  val varint : t -> int -> unit
+  (** Unsigned LEB128; @raise Invalid_argument on negative input. *)
+
+  val bool : t -> bool -> unit
+  val bytes : t -> string -> unit
+  (** Varint length prefix followed by the raw bytes. *)
+
+  val list : t -> ('a -> unit) -> 'a list -> unit
+  (** Varint count followed by each element (use a closure over the
+      writer). *)
+end
+
+module Reader : sig
+  type t
+
+  type error = Truncated | Malformed of string
+
+  val of_string : string -> t
+  val is_exhausted : t -> bool
+  val u8 : t -> (int, error) result
+  val varint : t -> (int, error) result
+  val bool : t -> (bool, error) result
+  val bytes : t -> (string, error) result
+  val list : t -> (t -> ('a, error) result) -> ('a list, error) result
+  val error_to_string : error -> string
+end

@@ -1,0 +1,56 @@
+type t = { mutable counts : int array; mutable total : int; mutable max_seen : int }
+
+let create () = { counts = Array.make 16 0; total = 0; max_seen = -1 }
+
+let ensure h v =
+  if v >= Array.length h.counts then begin
+    let counts = Array.make (max (2 * Array.length h.counts) (v + 1)) 0 in
+    Array.blit h.counts 0 counts 0 (Array.length h.counts);
+    h.counts <- counts
+  end
+
+let add_many h v k =
+  if v < 0 then invalid_arg "Histogram.add: negative value";
+  if k < 0 then invalid_arg "Histogram.add_many: negative count";
+  ensure h v;
+  h.counts.(v) <- h.counts.(v) + k;
+  h.total <- h.total + k;
+  if k > 0 && v > h.max_seen then h.max_seen <- v
+
+let add h v = add_many h v 1
+let count h v = if v < 0 || v >= Array.length h.counts then 0 else h.counts.(v)
+let total h = h.total
+let max_observed h = h.max_seen
+
+let mean h =
+  if h.total = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for v = 0 to h.max_seen do
+      acc := !acc +. (float_of_int v *. float_of_int h.counts.(v))
+    done;
+    !acc /. float_of_int h.total
+  end
+
+let fraction_at h v = if h.total = 0 then 0.0 else float_of_int (count h v) /. float_of_int h.total
+
+let to_assoc h =
+  let acc = ref [] in
+  for v = h.max_seen downto 0 do
+    if h.counts.(v) > 0 then acc := (v, h.counts.(v)) :: !acc
+  done;
+  !acc
+
+let ccdf h =
+  if h.total = 0 then []
+  else begin
+    (* P(X >= v) computed by a suffix sum over counts. *)
+    let n = float_of_int h.total in
+    let suffix = ref 0 in
+    let acc = ref [] in
+    for v = h.max_seen downto 0 do
+      suffix := !suffix + h.counts.(v);
+      if h.counts.(v) > 0 then acc := (v, float_of_int !suffix /. n) :: !acc
+    done;
+    !acc
+  end

@@ -1,0 +1,36 @@
+(** Bounded LRU cache.
+
+    The route oracle materializes one parent array per destination; on a
+    100k-router map with many destinations that is unbounded memory.  An
+    LRU bound keeps the hot sink trees (landmarks, popular peers) and
+    recomputes cold ones.  O(1) find/add/evict via a hash table over an
+    intrusive doubly-linked recency list. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Refreshes the entry's recency on hit. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Does not refresh recency. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Inserts or replaces, becoming most recent; evicts the least recent
+    entry when over capacity. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** Idempotent. *)
+
+val clear : ('k, 'v) t -> unit
+
+val fold : ('k, 'v) t -> init:'a -> f:('a -> 'k -> 'v -> 'a) -> 'a
+(** Most recent first. *)
+
+val evictions : ('k, 'v) t -> int
+(** Entries evicted by capacity pressure since creation. *)

@@ -1,0 +1,102 @@
+type t = {
+  q : float;
+  (* First five observations are buffered; the marker machinery starts
+     after that. *)
+  mutable warmup : float list;
+  mutable n : int;
+  heights : float array;  (* marker heights, ascending *)
+  positions : float array;  (* actual marker positions (1-based) *)
+  desired : float array;  (* desired marker positions *)
+  increments : float array;
+}
+
+let create ~q =
+  if q <= 0.0 || q >= 1.0 then invalid_arg "Quantile.create: q must be in (0, 1)";
+  {
+    q;
+    warmup = [];
+    n = 0;
+    heights = Array.make 5 0.0;
+    positions = [| 1.0; 2.0; 3.0; 4.0; 5.0 |];
+    desired = [| 1.0; 1.0 +. (2.0 *. q); 1.0 +. (4.0 *. q); 3.0 +. (2.0 *. q); 5.0 |];
+    increments = [| 0.0; q /. 2.0; q; (1.0 +. q) /. 2.0; 1.0 |];
+  }
+
+let q t = t.q
+let count t = t.n
+
+(* Piecewise-parabolic (P²) height update for marker i moved by d (+-1). *)
+let parabolic t i d =
+  let h = t.heights and pos = t.positions in
+  h.(i)
+  +. d
+     /. (pos.(i + 1) -. pos.(i - 1))
+     *. (((pos.(i) -. pos.(i - 1) +. d) *. (h.(i + 1) -. h.(i)) /. (pos.(i + 1) -. pos.(i)))
+        +. ((pos.(i + 1) -. pos.(i) -. d) *. (h.(i) -. h.(i - 1)) /. (pos.(i) -. pos.(i - 1))))
+
+let linear t i d =
+  let h = t.heights and pos = t.positions in
+  h.(i) +. (d *. (h.(i + int_of_float d) -. h.(i)) /. (pos.(i + int_of_float d) -. pos.(i)))
+
+let add t x =
+  t.n <- t.n + 1;
+  if t.n <= 5 then begin
+    t.warmup <- x :: t.warmup;
+    if t.n = 5 then begin
+      let sorted = List.sort compare t.warmup in
+      List.iteri (fun i v -> t.heights.(i) <- v) sorted
+    end
+  end
+  else begin
+    (* Find the cell and update extreme heights. *)
+    let k =
+      if x < t.heights.(0) then begin
+        t.heights.(0) <- x;
+        0
+      end
+      else if x >= t.heights.(4) then begin
+        t.heights.(4) <- x;
+        3
+      end
+      else begin
+        let rec cell i = if x < t.heights.(i + 1) then i else cell (i + 1) in
+        cell 0
+      end
+    in
+    for i = k + 1 to 4 do
+      t.positions.(i) <- t.positions.(i) +. 1.0
+    done;
+    for i = 0 to 4 do
+      t.desired.(i) <- t.desired.(i) +. t.increments.(i)
+    done;
+    (* Adjust the three interior markers. *)
+    for i = 1 to 3 do
+      let d = t.desired.(i) -. t.positions.(i) in
+      if
+        (d >= 1.0 && t.positions.(i + 1) -. t.positions.(i) > 1.0)
+        || (d <= -1.0 && t.positions.(i - 1) -. t.positions.(i) < -1.0)
+      then begin
+        let d = if d >= 0.0 then 1.0 else -1.0 in
+        let candidate = parabolic t i d in
+        let candidate =
+          if t.heights.(i - 1) < candidate && candidate < t.heights.(i + 1) then candidate
+          else linear t i d
+        in
+        t.heights.(i) <- candidate;
+        t.positions.(i) <- t.positions.(i) +. d
+      end
+    done
+  end
+
+let estimate t =
+  if t.n = 0 then nan
+  else if t.n <= 5 then begin
+    let sorted = List.sort compare t.warmup in
+    let arr = Array.of_list sorted in
+    let rank = t.q *. float_of_int (Array.length arr - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+  end
+  else t.heights.(2)

@@ -1,0 +1,21 @@
+(** Streaming quantile estimation (the P² algorithm, Jain & Chlamtac 1985).
+
+    Long simulations want tail latencies (p95/p99) without retaining every
+    sample.  P² tracks five markers whose positions are nudged by a
+    piecewise-parabolic update; memory is O(1), the estimate converges to
+    the true quantile for stationary streams.  For fewer than five
+    observations the exact value is returned. *)
+
+type t
+
+val create : q:float -> t
+(** Track the [q]-quantile, [q] strictly between 0 and 1.
+    @raise Invalid_argument otherwise. *)
+
+val q : t -> float
+val count : t -> int
+val add : t -> float -> unit
+
+val estimate : t -> float
+(** Current estimate; [nan] before the first observation.  Exact until five
+    observations have arrived. *)

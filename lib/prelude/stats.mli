@@ -1,0 +1,45 @@
+(** Streaming and batch descriptive statistics.
+
+    Experiments accumulate per-run measurements into an {!t} (Welford's
+    online algorithm, numerically stable) and report mean, standard deviation
+    and confidence intervals; batch helpers compute percentiles over stored
+    samples. *)
+
+type t
+(** Online accumulator over a stream of floats. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 on an empty accumulator. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 when fewer than two samples. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+(** @raise Invalid_argument on an empty accumulator. *)
+
+val max_value : t -> float
+(** @raise Invalid_argument on an empty accumulator. *)
+
+val sum : t -> float
+
+val ci95_halfwidth : t -> float
+(** Half-width of the normal-approximation 95% confidence interval of the
+    mean: [1.96 * stddev / sqrt count]; 0 when fewer than two samples. *)
+
+val merge : t -> t -> t
+(** [merge a b] summarises the concatenation of both streams. *)
+
+(** {1 Batch helpers} *)
+
+val mean_of : float array -> float
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation between
+    order statistics.  The input is not modified.
+    @raise Invalid_argument on an empty array or [p] outside the range. *)
+
+val median : float array -> float

@@ -1,0 +1,88 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(align = []) ~header rows =
+  let ncols = List.fold_left (fun acc row -> max acc (List.length row)) (List.length header) rows in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let widths =
+    Array.init ncols (fun i ->
+        List.fold_left (fun acc row -> max acc (String.length (cell row i))) (String.length (cell header i)) rows)
+  in
+  let align_of i =
+    match List.nth_opt align i with
+    | Some a -> a
+    | None -> if i = 0 then Left else Right
+  in
+  let render_row row =
+    String.concat "  " (List.init ncols (fun i -> pad (align_of i) widths.(i) (cell row i)))
+  in
+  let rule = String.concat "  " (List.init ncols (fun i -> String.make widths.(i) '-')) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let csv_field s =
+  let needs_quoting = String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s in
+  if needs_quoting then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_csv ~header rows =
+  let line cells = String.concat "," (List.map csv_field cells) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let csv_sink = ref None
+let csv_sequence = ref 0
+
+let set_csv_sink dir =
+  csv_sink := dir;
+  csv_sequence := 0;
+  match dir with
+  | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
+  | _ -> ()
+
+let slug_of header =
+  let raw = String.concat "-" (List.filteri (fun i _ -> i < 3) header) in
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' -> Char.lowercase_ascii c
+      | _ -> '_')
+    raw
+
+let capture_csv ~header rows =
+  match !csv_sink with
+  | None -> ()
+  | Some dir ->
+      incr csv_sequence;
+      let path = Filename.concat dir (Printf.sprintf "%03d_%s.csv" !csv_sequence (slug_of header)) in
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv ~header rows))
+
+let print ?align ~header rows =
+  print_string (render ?align ~header rows);
+  capture_csv ~header rows
+
+let float_cell ?(decimals = 3) v = Printf.sprintf "%.*f" decimals v

@@ -1,0 +1,32 @@
+(** Plain-text table rendering for experiment reports.
+
+    Benchmarks print the same rows the paper reports; this module aligns the
+    columns so the output is readable in a terminal and diffs cleanly. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the header and rows out in aligned columns
+    separated by two spaces, with a dashed rule under the header.  [align]
+    gives per-column alignment (default: first column left, rest right);
+    missing entries default to [Right].  Short rows are padded with empty
+    cells. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string].  When a CSV sink is set, the same
+    table is also appended there as a numbered [.csv] file. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point formatting, default 3 decimals. *)
+
+(** {1 CSV capture} *)
+
+val to_csv : header:string list -> string list list -> string
+(** RFC-4180-style CSV (quotes doubled, fields with commas/quotes/newlines
+    quoted). *)
+
+val set_csv_sink : string option -> unit
+(** [set_csv_sink (Some dir)] makes every subsequent {!print} also write
+    its table to [dir/NNN_slug.csv] (NNN = sequence number, slug from the
+    first header cells).  [None] turns capture off.  The directory is
+    created if missing. *)

@@ -1,0 +1,20 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by topology generators to guarantee connectivity and by tests to
+    check that generated maps are a single component. *)
+
+type t
+
+val create : int -> t
+(** [create n] is [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative; amortised near-constant time. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the two sets; returns [true] if they were previously
+    distinct. *)
+
+val same : t -> int -> int -> bool
+val count_sets : t -> int
+(** Number of distinct sets remaining. *)

@@ -1,0 +1,53 @@
+type t = { mutable data : int array; mutable size : int }
+
+let create ?(capacity = 8) () = { data = Array.make (max capacity 1) 0; size = 0 }
+let length v = v.size
+
+let check v i name = if i < 0 || i >= v.size then invalid_arg ("Vec." ^ name ^ ": index out of bounds")
+
+let get v i =
+  check v i "get";
+  v.data.(i)
+
+let set v i x =
+  check v i "set";
+  v.data.(i) <- x
+
+let push v x =
+  if v.size = Array.length v.data then begin
+    let data = Array.make (2 * v.size) 0 in
+    Array.blit v.data 0 data 0 v.size;
+    v.data <- data
+  end;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+let pop v =
+  if v.size = 0 then None
+  else begin
+    v.size <- v.size - 1;
+    Some v.data.(v.size)
+  end
+
+let clear v = v.size <- 0
+let to_array v = Array.sub v.data 0 v.size
+let of_array a = { data = (if Array.length a = 0 then Array.make 1 0 else Array.copy a); size = Array.length a }
+
+let iter v f =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let iteri v f =
+  for i = 0 to v.size - 1 do
+    f i v.data.(i)
+  done
+
+let exists v p =
+  let rec loop i = i < v.size && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let sort v =
+  let a = to_array v in
+  Array.sort compare a;
+  Array.blit a 0 v.data 0 v.size

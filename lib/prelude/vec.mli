@@ -1,0 +1,26 @@
+(** Growable array of unboxed [int]s.
+
+    The topology builders accumulate edge lists of unknown length; [Vec]
+    avoids the boxing cost of [int list] and the repeated copying of
+    [Array.append]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val get : t -> int -> int
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val set : t -> int -> int -> unit
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val push : t -> int -> unit
+val pop : t -> int option
+val clear : t -> unit
+val to_array : t -> int array
+val of_array : int array -> t
+val iter : t -> (int -> unit) -> unit
+val iteri : t -> (int -> int -> unit) -> unit
+val exists : t -> (int -> bool) -> bool
+val sort : t -> unit
+(** Ascending in-place sort of the live prefix. *)

@@ -1,0 +1,62 @@
+type session_model =
+  | Exponential of { mean_ms : float }
+  | Pareto of { alpha : float; min_ms : float }
+
+type spec = {
+  arrival_rate_per_s : float;
+  session : session_model;
+  failure_fraction : float;
+  mobility_fraction : float;
+  horizon_ms : float;
+}
+
+type departure = Leave | Crash | Handover
+type session = { join_at : float; leave_at : float; departure : departure }
+
+let validate spec =
+  if spec.arrival_rate_per_s <= 0.0 then invalid_arg "Churn: arrival rate must be positive";
+  if spec.horizon_ms <= 0.0 then invalid_arg "Churn: horizon must be positive";
+  (match spec.session with
+  | Exponential { mean_ms } ->
+      if mean_ms <= 0.0 then invalid_arg "Churn: session mean must be positive"
+  | Pareto { alpha; min_ms } ->
+      if alpha <= 0.0 || min_ms <= 0.0 then invalid_arg "Churn: Pareto parameters must be positive");
+  if spec.failure_fraction < 0.0 || spec.mobility_fraction < 0.0
+     || spec.failure_fraction +. spec.mobility_fraction > 1.0
+  then invalid_arg "Churn: departure fractions must be non-negative and sum to at most 1"
+
+let draw_session_duration spec rng =
+  match spec.session with
+  | Exponential { mean_ms } -> Prelude.Prng.exponential rng ~mean:mean_ms
+  | Pareto { alpha; min_ms } -> Prelude.Prng.pareto rng ~alpha ~x_min:min_ms
+
+let draw_departure spec rng =
+  let u = Prelude.Prng.unit_float rng in
+  if u < spec.failure_fraction then Crash
+  else if u < spec.failure_fraction +. spec.mobility_fraction then Handover
+  else Leave
+
+let generate spec ~rng =
+  validate spec;
+  let mean_interarrival_ms = 1000.0 /. spec.arrival_rate_per_s in
+  let rec loop t acc =
+    let t = t +. Prelude.Prng.exponential rng ~mean:mean_interarrival_ms in
+    if t > spec.horizon_ms then List.rev acc
+    else begin
+      let duration = draw_session_duration spec rng in
+      let session = { join_at = t; leave_at = t +. duration; departure = draw_departure spec rng } in
+      loop t (session :: acc)
+    end
+  in
+  loop 0.0 []
+
+let session_duration s = s.leave_at -. s.join_at
+
+let expected_population spec =
+  let mean_session_ms =
+    match spec.session with
+    | Exponential { mean_ms } -> mean_ms
+    | Pareto { alpha; min_ms } ->
+        if alpha <= 1.0 then infinity else alpha *. min_ms /. (alpha -. 1.0)
+  in
+  spec.arrival_rate_per_s /. 1000.0 *. mean_session_ms

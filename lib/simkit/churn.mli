@@ -1,0 +1,42 @@
+(** Churn processes: arrivals, session lifetimes, failures, mobility.
+
+    Session schedules are generated up front (deterministically from the
+    rng), then installed on an engine.  Heavy-tailed (Pareto) session times
+    reflect measured P2P behaviour; exponential sessions give the memoryless
+    baseline. *)
+
+type session_model =
+  | Exponential of { mean_ms : float }
+  | Pareto of { alpha : float; min_ms : float }
+
+type spec = {
+  arrival_rate_per_s : float;  (** Poisson arrival intensity. *)
+  session : session_model;
+  failure_fraction : float;  (** Fraction of departures that are crashes. *)
+  mobility_fraction : float;
+      (** Fraction of departures that immediately re-join at a different
+          attachment point (handover, E3). *)
+  horizon_ms : float;  (** Arrivals stop after this time. *)
+}
+
+type departure = Leave | Crash | Handover
+
+type session = {
+  join_at : float;
+  leave_at : float;
+  departure : departure;
+}
+
+val validate : spec -> unit
+(** @raise Invalid_argument on non-positive rates/means or fractions outside
+    [0,1] or summing above 1. *)
+
+val generate : spec -> rng:Prelude.Prng.t -> session list
+(** Sessions in increasing [join_at] order.  [leave_at] may exceed the
+    horizon (sessions are not truncated). *)
+
+val session_duration : session -> float
+
+val expected_population : spec -> float
+(** Little's-law steady-state population estimate: arrival rate x mean
+    session time. *)

@@ -1,0 +1,79 @@
+type event = { seq : int; body : unit -> unit }
+
+type t = {
+  queue : event Prelude.Pqueue.t;
+  mutable time : float;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+(* FIFO among equal-time events: the priority is the pair (time, seq) encoded
+   by storing time in the heap priority and breaking ties on seq inside the
+   payload would not work with a plain float heap, so we pop all equal-time
+   events and re-order by seq.  Simpler and robust: encode seq into the
+   priority's low-order bits is lossy for large seq, so instead we keep a
+   secondary sort at pop time. *)
+type pending_batch = { mutable batch : event list; mutable batch_time : float }
+
+let create () =
+  { queue = Prelude.Pqueue.create (); time = 0.0; next_seq = 0; processed = 0 }
+
+let now t = t.time
+
+let schedule_at t ~time f =
+  if time < t.time then invalid_arg "Engine.schedule_at: time is in the past";
+  let e = { seq = t.next_seq; body = f } in
+  t.next_seq <- t.next_seq + 1;
+  Prelude.Pqueue.push t.queue ~priority:time e
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.time +. delay) f
+
+(* Pop every event scheduled at exactly the earliest queued time and return
+   them in schedule order. *)
+let pop_batch t =
+  match Prelude.Pqueue.peek t.queue with
+  | None -> None
+  | Some (time, _) ->
+      let batch = { batch = []; batch_time = time } in
+      let rec drain () =
+        match Prelude.Pqueue.peek t.queue with
+        | Some (time', _) when time' = batch.batch_time ->
+            let _, e = Prelude.Pqueue.pop_exn t.queue in
+            batch.batch <- e :: batch.batch;
+            drain ()
+        | _ -> ()
+      in
+      drain ();
+      Some (time, List.sort (fun a b -> compare a.seq b.seq) batch.batch)
+
+let step t =
+  match pop_batch t with
+  | None -> false
+  | Some (time, events) ->
+      t.time <- time;
+      (* Only execute the first; re-queue the rest so newly scheduled
+         same-time events interleave correctly by seq. *)
+      (match events with
+      | [] -> ()
+      | first :: rest ->
+          List.iter (fun e -> Prelude.Pqueue.push t.queue ~priority:time e) rest;
+          t.processed <- t.processed + 1;
+          first.body ());
+      true
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match Prelude.Pqueue.peek t.queue with
+    | None -> continue := false
+    | Some (time, _) -> (
+        match until with
+        | Some limit when time > limit -> continue := false
+        | _ -> ignore (step t))
+  done;
+  match until with Some limit when limit > t.time -> t.time <- limit | _ -> ()
+
+let pending t = Prelude.Pqueue.length t.queue
+let processed t = t.processed

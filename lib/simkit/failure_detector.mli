@@ -1,0 +1,49 @@
+(** Heartbeat failure detection.
+
+    The churn experiments model crash detection as a fixed delay; this is
+    the mechanism that actually produces such delays.  Watched peers send
+    heartbeats to a monitor over the {!Transport} (paying real network
+    latency, subject to loss injection); the monitor suspects a peer when
+    no heartbeat arrives for [timeout_ms] and fires [on_failure] once.
+
+    Detection latency is therefore ~[timeout_ms] plus one-way delay, and
+    message loss produces {e false} suspicions at a measurable rate — the
+    classic completeness/accuracy trade of failure detectors. *)
+
+type t
+
+type config = {
+  heartbeat_period_ms : float;
+  timeout_ms : float;  (** Silence threshold; must exceed the period. *)
+  heartbeat_bytes : int;
+}
+
+val default_config : config
+(** 1 s heartbeats, 3.5 s timeout, 32-byte messages. *)
+
+val create :
+  config ->
+  transport:Transport.t ->
+  monitor_router:Topology.Graph.node ->
+  on_failure:(int -> unit) ->
+  t
+(** [on_failure peer] fires (once per watch) when the peer is suspected.
+    @raise Invalid_argument unless [0 < heartbeat_period_ms < timeout_ms]. *)
+
+val watch : t -> peer:int -> router:Topology.Graph.node -> alive:(unit -> bool) -> unit
+(** Start the peer's heartbeat loop and the monitor's silence timer.
+    [alive] is sampled before each heartbeat: when it turns false (crash),
+    heartbeats stop and the monitor times out.
+    @raise Invalid_argument when already watched. *)
+
+val unwatch : t -> peer:int -> unit
+(** Graceful: the monitor forgets the peer without suspecting it.
+    Idempotent. *)
+
+val is_watched : t -> peer:int -> bool
+val is_suspected : t -> peer:int -> bool
+(** True once [on_failure] fired for the current watch. *)
+
+val watched_count : t -> int
+val suspicions : t -> int
+(** Total [on_failure] firings (true and false detections). *)

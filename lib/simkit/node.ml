@@ -1,0 +1,51 @@
+type state = Joining | Up | Departed | Failed
+
+type t = {
+  id : int;
+  mutable attach_router : Topology.Graph.node;
+  mutable state : state;
+  mutable joined_at : float;
+  mutable up_at : float;
+}
+
+let state_to_string = function
+  | Joining -> "joining"
+  | Up -> "up"
+  | Departed -> "departed"
+  | Failed -> "failed"
+
+let create ~id ~attach_router ~now =
+  { id; attach_router; state = Joining; joined_at = now; up_at = nan }
+
+let transition_error t expected =
+  invalid_arg
+    (Printf.sprintf "Node %d: expected %s, was %s" t.id expected (state_to_string t.state))
+
+let mark_up t ~now =
+  match t.state with
+  | Joining ->
+      t.state <- Up;
+      t.up_at <- now
+  | Up | Departed | Failed -> transition_error t "joining"
+
+let depart t =
+  match t.state with
+  | Up | Joining -> t.state <- Departed
+  | Departed | Failed -> transition_error t "up or joining"
+
+let fail t =
+  match t.state with
+  | Up | Joining -> t.state <- Failed
+  | Departed | Failed -> transition_error t "a live state"
+
+let rejoin t ~attach_router ~now =
+  match t.state with
+  | Departed | Failed ->
+      t.attach_router <- attach_router;
+      t.state <- Joining;
+      t.joined_at <- now;
+      t.up_at <- nan
+  | Up | Joining -> transition_error t "departed or failed"
+
+let is_live t = match t.state with Joining | Up -> true | Departed | Failed -> false
+let setup_delay t = t.up_at -. t.joined_at

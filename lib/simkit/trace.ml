@@ -1,0 +1,42 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  stats : (string, Prelude.Stats.t) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; stats = Hashtbl.create 16 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t name = incr (counter_ref t name)
+let add_count t name k = counter_ref t name := !(counter_ref t name) + k
+let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let observe t name v =
+  let s =
+    match Hashtbl.find_opt t.stats name with
+    | Some s -> s
+    | None ->
+        let s = Prelude.Stats.create () in
+        Hashtbl.add t.stats name s;
+        s
+  in
+  Prelude.Stats.add s v
+
+let stat t name = Hashtbl.find_opt t.stats name
+
+let sorted_bindings table value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters t = sorted_bindings t.counters (fun r -> !r)
+let stats t = sorted_bindings t.stats (fun s -> s)
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.stats

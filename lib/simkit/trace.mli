@@ -1,0 +1,25 @@
+(** Simulation metrics collection.
+
+    Named counters and named streaming statistics, written by protocol code
+    and read by experiment reports.  Purely in-memory; rendering is the
+    caller's business. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val add_count : t -> string -> int -> unit
+val counter : t -> string -> int
+(** 0 when never written. *)
+
+val observe : t -> string -> float -> unit
+(** Append a sample to the named statistic. *)
+
+val stat : t -> string -> Prelude.Stats.t option
+val counters : t -> (string * int) list
+(** Alphabetical. *)
+
+val stats : t -> (string * Prelude.Stats.t) list
+(** Alphabetical. *)
+
+val reset : t -> unit

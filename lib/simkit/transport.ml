@@ -1,0 +1,55 @@
+type t = {
+  engine : Engine.t;
+  oracle : Traceroute.Route_oracle.t;
+  latency : Topology.Latency.t option;
+  rng : Prelude.Prng.t option;
+  loss_prob : float;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable link_bytes : int;
+  mutable dropped : int;
+}
+
+let create ?latency ?rng ?(loss_prob = 0.0) engine oracle =
+  if loss_prob < 0.0 || loss_prob >= 1.0 then invalid_arg "Transport.create: loss_prob outside [0, 1)";
+  if loss_prob > 0.0 && rng = None then invalid_arg "Transport.create: loss_prob needs ~rng";
+  { engine; oracle; latency; rng; loss_prob; messages = 0; bytes = 0; link_bytes = 0; dropped = 0 }
+
+let engine t = t.engine
+
+let one_way_delay t ~src ~dst =
+  match Traceroute.Route_oracle.route t.oracle ~src ~dst with
+  | [] -> infinity
+  | routers -> (
+      match t.latency with
+      | Some table -> Topology.Latency.path_latency table routers
+      | None -> float_of_int (List.length routers - 1))
+
+let jitter t delay =
+  match t.rng with
+  | None -> delay
+  | Some rng -> delay *. (1.0 +. (0.05 *. (Prelude.Prng.unit_float rng -. 0.5) *. 2.0))
+
+let lost t =
+  t.loss_prob > 0.0
+  && match t.rng with Some rng -> Prelude.Prng.unit_float rng < t.loss_prob | None -> false
+
+let send t ~src ~dst ~size_bytes handler =
+  let delay = one_way_delay t ~src ~dst in
+  if delay = infinity || lost t then t.dropped <- t.dropped + 1
+  else begin
+    t.messages <- t.messages + 1;
+    t.bytes <- t.bytes + size_bytes;
+    let hops = Traceroute.Route_oracle.route_length t.oracle ~src ~dst in
+    if hops <> max_int then t.link_bytes <- t.link_bytes + (size_bytes * hops);
+    Engine.schedule t.engine ~delay:(jitter t delay) handler
+  end
+
+let rpc t ~src ~dst ~request_bytes ~reply_bytes handler =
+  send t ~src ~dst ~size_bytes:request_bytes (fun () ->
+      send t ~src:dst ~dst:src ~size_bytes:reply_bytes handler)
+
+let messages_sent t = t.messages
+let link_bytes t = t.link_bytes
+let bytes_sent t = t.bytes
+let messages_dropped t = t.dropped

@@ -1,0 +1,50 @@
+(** Message delivery between hosts over the router map.
+
+    One-way delay is the forwarding-route latency between the attachment
+    routers (halved ping); delivery is an engine event.  Message and byte
+    counters feed the protocol-cost reports. *)
+
+type t
+
+val create :
+  ?latency:Topology.Latency.t ->
+  ?rng:Prelude.Prng.t ->
+  ?loss_prob:float ->
+  Engine.t ->
+  Traceroute.Route_oracle.t ->
+  t
+(** Without a latency table, each hop costs 1 ms one-way.  The optional [rng]
+    adds 5% jitter per message and enables [loss_prob]: each message is
+    silently dropped with that probability (failure injection for protocol
+    robustness tests).  @raise Invalid_argument if [loss_prob] is outside
+    [0, 1) or given without [rng]. *)
+
+val engine : t -> Engine.t
+
+val send :
+  t -> src:Topology.Graph.node -> dst:Topology.Graph.node -> size_bytes:int -> (unit -> unit) -> unit
+(** [send t ~src ~dst ~size_bytes handler] delivers [handler] after the
+    one-way delay.  Messages between unreachable routers are dropped
+    (counted). *)
+
+val rpc :
+  t ->
+  src:Topology.Graph.node ->
+  dst:Topology.Graph.node ->
+  request_bytes:int ->
+  reply_bytes:int ->
+  (unit -> unit) ->
+  unit
+(** Request + reply: the handler fires after a full RTT. *)
+
+val one_way_delay : t -> src:Topology.Graph.node -> dst:Topology.Graph.node -> float
+(** The delay [send] would use right now (jitter-free). *)
+
+val messages_sent : t -> int
+val bytes_sent : t -> int
+val link_bytes : t -> int
+(** Network stress: sum over messages of [size_bytes x router hops
+    traversed] — the quantity that topology-aware overlays reduce even when
+    end-to-end byte counts are equal. *)
+
+val messages_dropped : t -> int

@@ -1,0 +1,55 @@
+(* Ring buffer of presence bits: slot for chunk c is c mod width, valid only
+   while base <= c < base + width. *)
+type t = { mutable base_id : int; slots : bool array }
+
+let create ~width =
+  if width < 1 then invalid_arg "Buffer_map.create: width must be >= 1";
+  { base_id = 0; slots = Array.make width false }
+
+let width t = Array.length t.slots
+let base t = t.base_id
+
+let in_window t chunk = chunk >= t.base_id && chunk < t.base_id + width t
+let has t chunk = in_window t chunk && t.slots.(chunk mod width t)
+
+let add t chunk =
+  if (not (in_window t chunk)) || t.slots.(chunk mod width t) then false
+  else begin
+    t.slots.(chunk mod width t) <- true;
+    true
+  end
+
+let advance_to t new_base =
+  if new_base > t.base_id then begin
+    let w = width t in
+    let drop = min (new_base - t.base_id) w in
+    for i = 0 to drop - 1 do
+      t.slots.((t.base_id + i) mod w) <- false
+    done;
+    t.base_id <- new_base
+  end
+
+let holdings t =
+  let acc = ref [] in
+  for c = t.base_id + width t - 1 downto t.base_id do
+    if t.slots.(c mod width t) then acc := c :: !acc
+  done;
+  !acc
+
+let missing t ~upto =
+  let acc = ref [] in
+  let stop = min (t.base_id + width t) upto in
+  for c = stop - 1 downto t.base_id do
+    if not t.slots.(c mod width t) then acc := c :: !acc
+  done;
+  !acc
+
+let count t =
+  let n = ref 0 in
+  Array.iter (fun b -> if b then incr n) t.slots;
+  !n
+
+let contiguous_from_base t =
+  let w = width t in
+  let rec run i = if i < w && t.slots.((t.base_id + i) mod w) then run (i + 1) else i in
+  run 0

@@ -1,0 +1,38 @@
+(** Sliding-window chunk buffer map.
+
+    Mesh-based live streaming exchanges buffer maps: which chunks of the
+    live window a peer holds.  The window slides forward with the stream;
+    chunks behind the base are forgotten (played or expired). *)
+
+type t
+
+val create : width:int -> t
+(** [create ~width] is an empty map whose window covers chunk ids
+    [\[base, base + width)], starting at base 0.
+    @raise Invalid_argument if [width < 1]. *)
+
+val width : t -> int
+val base : t -> int
+val has : t -> int -> bool
+(** False outside the window. *)
+
+val add : t -> int -> bool
+(** [add t chunk] marks a chunk as held; returns [false] (no-op) when the
+    chunk is outside the current window or already held. *)
+
+val advance_to : t -> int -> unit
+(** [advance_to t new_base] slides the window forward, dropping chunks below
+    [new_base].  Never moves backward (a smaller base is a no-op). *)
+
+val holdings : t -> int list
+(** Held chunk ids, ascending. *)
+
+val missing : t -> upto:int -> int list
+(** Chunks in [\[base, min (base+width) upto)] not held, ascending. *)
+
+val count : t -> int
+(** Number of held chunks in the window. *)
+
+val contiguous_from_base : t -> int
+(** Length of the run of consecutive held chunks starting at the base —
+    the startup-buffering criterion. *)

@@ -1,0 +1,46 @@
+(** Bulk file distribution over the same mesh machinery (BitTorrent-style
+    swarm, minus live deadlines).
+
+    Where {!Session} models live streaming (sliding window, playback
+    deadlines, skips), this distributes a fixed file of [chunks] pieces
+    from one seed to every peer: bitfield gossip, rarest-first requests,
+    bounded upload slots.  The quality axis becomes {e completion time}
+    and network stress — the second workload family the overlay-vs-
+    infrastructure argument applies to. *)
+
+type params = {
+  chunks : int;  (** File size in pieces. *)
+  gossip_period_ms : float;
+  requests_per_exchange : int;
+  upload_slots : int;
+  chunk_transfer_ms : float;
+  chunk_bytes : int;
+  seed_fanout : int;  (** Peers the seed pushes each piece to initially. *)
+  max_time_ms : float;  (** Give-up horizon. *)
+}
+
+val default_params : params
+(** 64 pieces, 400 ms gossip, 4 requests/exchange, 4 slots, 20 ms
+    serialization, 60 s horizon. *)
+
+type report = {
+  completed_fraction : float;  (** Peers holding the full file at the horizon. *)
+  mean_completion_ms : float;  (** Over completed peers; [nan] if none. *)
+  p95_completion_ms : float;
+  messages : int;
+  bytes : int;
+  link_bytes : int;
+}
+
+val run :
+  ?params:params ->
+  ?latency:Topology.Latency.t ->
+  graph:Topology.Graph.t ->
+  seed_router:Topology.Graph.node ->
+  peer_routers:Topology.Graph.node array ->
+  neighbor_sets:int array array ->
+  seed:int ->
+  unit ->
+  report
+(** Deterministic in [seed]; neighbor sets are symmetrized as in
+    {!Session.run}. *)

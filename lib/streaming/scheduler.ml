@@ -1,0 +1,20 @@
+type policy = Earliest_deadline | Rarest_first
+
+let policy_name = function
+  | Earliest_deadline -> "earliest-deadline"
+  | Rarest_first -> "rarest-first"
+
+let select policy ~missing ~neighbor_has ~rarity ~already_requested ~limit =
+  if limit <= 0 then []
+  else begin
+    let candidates =
+      List.filter (fun c -> neighbor_has c && not (already_requested c)) missing
+    in
+    let ordered =
+      match policy with
+      | Earliest_deadline -> candidates
+      | Rarest_first ->
+          List.stable_sort (fun a b -> compare (rarity a, a) (rarity b, b)) candidates
+    in
+    List.filteri (fun i _ -> i < limit) ordered
+  end

@@ -1,0 +1,28 @@
+(** Chunk-request scheduling policies.
+
+    When a buffer map arrives from a neighbor, the peer must decide which of
+    the chunks it misses (and the neighbor holds) to request.  Pure
+    decision logic, separated from the event-driven session for testing. *)
+
+type policy =
+  | Earliest_deadline
+      (** Request in stream order — the chunk needed soonest first.  Good
+          for continuity, the default in deadline-driven mesh systems. *)
+  | Rarest_first
+      (** Request the chunk held by the fewest known neighbors first (ties
+          to stream order) — BitTorrent-style, better for swarm diversity. *)
+
+val policy_name : policy -> string
+
+val select :
+  policy ->
+  missing:int list ->
+  neighbor_has:(int -> bool) ->
+  rarity:(int -> int) ->
+  already_requested:(int -> bool) ->
+  limit:int ->
+  int list
+(** [select policy ~missing ~neighbor_has ~rarity ~already_requested ~limit]
+    picks at most [limit] chunk ids to request, in request order.
+    [missing] must be ascending (as {!Buffer_map.missing} returns);
+    [rarity c] is the number of known copies of chunk [c] (lower = rarer). *)

@@ -1,0 +1,116 @@
+(** Event-driven mesh live-streaming session (the paper's motivating
+    application, modeled after PULSE-style systems).
+
+    A source emits one chunk per [chunk_ms] and pushes each fresh chunk to a
+    few peers; peers gossip buffer maps to their mesh neighbors every
+    [gossip_period_ms], request missing chunks (scheduler policy, bounded
+    per exchange), and serve requests through a bounded number of upload
+    slots.  A peer starts playback once [startup_chunks] consecutive chunks
+    are buffered and then consumes one chunk per [chunk_ms], skipping (and
+    counting a discontinuity) when the deadline passes without the chunk.
+
+    The mesh neighbor sets come from outside — that is the whole point: the
+    experiment feeds sets chosen by the proposed discovery service, by
+    random selection, or by the oracle, and measures what neighbor
+    proximity does to continuity, lag and traffic. *)
+
+type params = {
+  chunk_ms : float;
+  window : int;  (** Buffer-map width, in chunks. *)
+  startup_chunks : int;
+  gossip_period_ms : float;
+  requests_per_exchange : int;
+  upload_slots : int;  (** Concurrent uploads a peer can serve. *)
+  chunk_transfer_ms : float;  (** Serialization time per chunk upload. *)
+  chunk_bytes : int;
+  source_fanout : int;
+  policy : Scheduler.policy;
+  duration_ms : float;
+}
+
+val default_params : params
+(** 120 ms chunks, 64-chunk window, 8-chunk startup, 400 ms gossip,
+    4 requests/exchange, 4 upload slots, 20 ms transfer, earliest-deadline,
+    60 s run. *)
+
+type peer_report = {
+  peer : int;
+  startup_delay_ms : float;  (** [nan] if playback never started. *)
+  chunks_played : int;
+  discontinuities : int;
+  mean_lag_chunks : float;  (** Mean (source head - playback position). *)
+}
+
+type report = {
+  peers : peer_report array;
+  continuity : float;
+      (** Population mean of played / (played + skipped); 1.0 = perfect. *)
+  mean_startup_ms : float;  (** Over peers that started. *)
+  started_fraction : float;
+  mean_lag_chunks : float;
+  messages : int;
+  bytes : int;
+  link_bytes : int;
+      (** Network stress: bytes x router hops traversed (see
+          {!Simkit.Transport.link_bytes}) — where topology-aware neighbor
+          selection pays off even at equal end-to-end traffic. *)
+  mean_chunk_latency_ms : float;
+      (** Mean (first-receipt time - emission time) over all deliveries. *)
+}
+
+val run :
+  ?params:params ->
+  ?latency:Topology.Latency.t ->
+  graph:Topology.Graph.t ->
+  source_router:Topology.Graph.node ->
+  peer_routers:Topology.Graph.node array ->
+  neighbor_sets:int array array ->
+  seed:int ->
+  unit ->
+  report
+(** Simulate one closed session: all peers present from t = 0.
+    [neighbor_sets.(p)] are the mesh partners of peer [p] (the union with
+    the reverse direction is used, as mesh links are bidirectional).
+    Deterministic in [seed]. *)
+
+(** {1 Open sessions (dynamic membership)}
+
+    The paper's actual scenario: the swarm is already streaming and
+    newcomers join mid-stream once their discovery protocol answers.
+    [create] starts the source; [add_peer] attaches a peer (at the current
+    simulated time) with the mesh partners its discovery produced; [run]
+    advances the clock.  The closed [run] above is a convenience wrapper
+    over these. *)
+
+type t
+
+val create :
+  ?params:params ->
+  ?latency:Topology.Latency.t ->
+  ?engine:Simkit.Engine.t ->
+  graph:Topology.Graph.t ->
+  source_router:Topology.Graph.node ->
+  seed:int ->
+  unit ->
+  t
+(** Passing [engine] lets the session share a clock with other protocol
+    machinery (e.g. {!Nearby.Protocol} joins). *)
+
+val engine : t -> Simkit.Engine.t
+
+val add_peer : t -> router:Topology.Graph.node -> neighbors:int list -> int
+(** Attach a new peer now; mesh links to the named existing peers are
+    created bidirectionally (unknown ids are ignored).  Returns the peer's
+    id.  Its gossip loop starts within one gossip period. *)
+
+val peer_count : t -> int
+
+val link : t -> int -> int -> unit
+(** Create a bidirectional mesh link between two existing peers; no-op on
+    unknown ids, self-links or duplicates. *)
+
+val advance : t -> until:float -> unit
+(** Drive the shared engine to the given simulated time. *)
+
+val report : t -> report
+(** Snapshot of the metrics at the current time. *)

@@ -1,0 +1,43 @@
+type t = { adjacency : Prelude.Vec.t array; mutable edges : int }
+
+let create n =
+  if n < 0 then invalid_arg "Builder.create: negative node count";
+  { adjacency = Array.init n (fun _ -> Prelude.Vec.create ()); edges = 0 }
+
+let node_count b = Array.length b.adjacency
+let edge_count b = b.edges
+
+let check b v = if v < 0 || v >= node_count b then invalid_arg "Builder: node out of range"
+
+let degree b v =
+  check b v;
+  Prelude.Vec.length b.adjacency.(v)
+
+let mem_edge b u v =
+  check b u;
+  check b v;
+  (* Scan the smaller adjacency list. *)
+  let u, v = if degree b u <= degree b v then (u, v) else (v, u) in
+  Prelude.Vec.exists b.adjacency.(u) (fun w -> w = v)
+
+let add_edge b u v =
+  check b u;
+  check b v;
+  if u = v || mem_edge b u v then false
+  else begin
+    Prelude.Vec.push b.adjacency.(u) v;
+    Prelude.Vec.push b.adjacency.(v) u;
+    b.edges <- b.edges + 1;
+    true
+  end
+
+let iter_neighbors b v f =
+  check b v;
+  Prelude.Vec.iter b.adjacency.(v) f
+
+let to_graph b =
+  let acc = ref [] in
+  for u = node_count b - 1 downto 0 do
+    Prelude.Vec.iter b.adjacency.(u) (fun v -> if u < v then acc := (u, v) :: !acc)
+  done;
+  Graph.of_edges ~node_count:(node_count b) !acc

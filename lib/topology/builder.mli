@@ -1,0 +1,23 @@
+(** Mutable graph under construction.
+
+    Generators add edges incrementally, need degree and membership queries
+    while growing, and finally freeze into an immutable {!Graph.t}. *)
+
+type t
+
+val create : int -> t
+(** [create n] has [n] nodes and no edges. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+val degree : t -> int -> int
+val mem_edge : t -> int -> int -> bool
+
+val add_edge : t -> int -> int -> bool
+(** [add_edge b u v] returns [false] (and does nothing) when the edge already
+    exists or [u = v]; [true] when it was added.
+    @raise Invalid_argument on out-of-range endpoints. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+val to_graph : t -> Graph.t
+(** Freeze.  The builder may continue to be used afterwards. *)

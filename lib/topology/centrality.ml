@@ -1,0 +1,123 @@
+(* Brandes' accumulation from one source: BFS records, for every node, its
+   shortest-path count and predecessor list; a reverse sweep in
+   order-of-decreasing-distance accumulates pair dependencies. *)
+let accumulate_from g source score =
+  let n = Graph.node_count g in
+  let dist = Array.make n (-1) in
+  let sigma = Array.make n 0.0 in
+  let preds = Array.make n [] in
+  let order = ref [] in
+  dist.(source) <- 0;
+  sigma.(source) <- 1.0;
+  let queue = Queue.create () in
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    order := u :: !order;
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end;
+        if dist.(v) = dist.(u) + 1 then begin
+          sigma.(v) <- sigma.(v) +. sigma.(u);
+          preds.(v) <- u :: preds.(v)
+        end)
+  done;
+  let delta = Array.make n 0.0 in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun v -> delta.(v) <- delta.(v) +. (sigma.(v) /. sigma.(w) *. (1.0 +. delta.(w))))
+        preds.(w);
+      if w <> source then score.(w) <- score.(w) +. delta.(w))
+    !order
+
+let betweenness g =
+  let n = Graph.node_count g in
+  let score = Array.make n 0.0 in
+  for source = 0 to n - 1 do
+    accumulate_from g source score
+  done;
+  (* Each unordered pair was counted from both endpoints. *)
+  Array.map (fun s -> s /. 2.0) score
+
+let betweenness_sampled g ~sources ~rng =
+  let n = Graph.node_count g in
+  let score = Array.make n 0.0 in
+  let sources = min sources n in
+  if sources = 0 then score
+  else begin
+    let pivots = Prelude.Prng.sample_without_replacement rng ~k:sources ~n in
+    Array.iter (fun source -> accumulate_from g source score) pivots;
+    let scale = float_of_int n /. float_of_int sources /. 2.0 in
+    Array.map (fun s -> s *. scale) score
+  end
+
+let closeness g v =
+  let dist = Bfs.distances g v in
+  let total = ref 0 and reached = ref 0 in
+  Array.iteri
+    (fun u d ->
+      if u <> v && d <> max_int then begin
+        total := !total + d;
+        incr reached
+      end)
+    dist;
+  if !reached = 0 || !total = 0 then 0.0
+  else float_of_int !reached /. float_of_int !total
+
+let k_core_numbers g =
+  let n = Graph.node_count g in
+  let degree = Array.init n (fun v -> Graph.degree g v) in
+  let core = Array.make n 0 in
+  let max_deg = Graph.max_degree g in
+  (* Bucket the nodes by current degree and peel in increasing order. *)
+  let buckets = Array.make (max_deg + 1) [] in
+  Array.iteri (fun v d -> buckets.(d) <- v :: buckets.(d)) degree;
+  let removed = Prelude.Bitset.create n in
+  let processed = ref 0 in
+  let k = ref 0 in
+  while !processed < n do
+    (* Find the lowest non-empty bucket at or below which nodes remain. *)
+    let rec pop_bucket d =
+      if d > max_deg then None
+      else
+        match buckets.(d) with
+        | [] -> pop_bucket (d + 1)
+        | v :: rest ->
+            buckets.(d) <- rest;
+            if Prelude.Bitset.mem removed v || degree.(v) <> d then pop_bucket d else Some (d, v)
+    in
+    match pop_bucket 0 with
+    | None -> processed := n
+    | Some (d, v) ->
+        k := max !k d;
+        core.(v) <- !k;
+        Prelude.Bitset.add removed v;
+        incr processed;
+        Graph.iter_neighbors g v (fun u ->
+            if not (Prelude.Bitset.mem removed u) && degree.(u) > d then begin
+              degree.(u) <- degree.(u) - 1;
+              buckets.(degree.(u)) <- u :: buckets.(degree.(u))
+            end)
+  done;
+  core
+
+let k_core_members g k =
+  let numbers = k_core_numbers g in
+  let acc = ref [] in
+  for v = Array.length numbers - 1 downto 0 do
+    if numbers.(v) >= k then acc := v :: !acc
+  done;
+  !acc
+
+let top_by scores k =
+  let ids = Array.init (Array.length scores) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare scores.(b) scores.(a) with
+      | 0 -> compare a b
+      | c -> c)
+    ids;
+  Array.to_list (Array.sub ids 0 (min k (Array.length ids)))

@@ -1,0 +1,30 @@
+(** Centrality and core-extraction analytics.
+
+    The paper's key assumption (§2) is that Internet routes funnel through a
+    high-betweenness core.  Brandes' algorithm lets tests verify that our
+    synthetic maps concentrate betweenness in the designated core, and k-core
+    decomposition gives an alternative, structure-only core definition used
+    by the [core-only] traceroute truncation strategy (E4). *)
+
+val betweenness : Graph.t -> float array
+(** Exact unweighted betweenness centrality of every node (Brandes 2001);
+    endpoints excluded, each unordered pair counted once.  O(n * m). *)
+
+val betweenness_sampled : Graph.t -> sources:int -> rng:Prelude.Prng.t -> float array
+(** Unbiased estimate from a random subset of source pivots, scaled to the
+    exact normalization; use on maps where O(n * m) is too slow. *)
+
+val closeness : Graph.t -> Graph.node -> float
+(** [1 / mean hop distance] to every reachable node; 0 for an isolated
+    node. *)
+
+val k_core_numbers : Graph.t -> int array
+(** Core number of each node: the largest k such that the node survives in
+    the k-core (Batagelj–Zaversnik peeling, O(m)). *)
+
+val k_core_members : Graph.t -> int -> Graph.node list
+(** Nodes whose core number is >= k, increasing id order. *)
+
+val top_by : float array -> int -> Graph.node list
+(** [top_by scores k] is the ids of the [k] highest-scoring nodes,
+    best first; ties broken toward the lower id. *)

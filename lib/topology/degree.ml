@@ -1,0 +1,58 @@
+let histogram g =
+  let h = Prelude.Histogram.create () in
+  for v = 0 to Graph.node_count g - 1 do
+    Prelude.Histogram.add h (Graph.degree g v)
+  done;
+  h
+
+let power_law_alpha g ~x_min =
+  if x_min < 1 then invalid_arg "Degree.power_law_alpha: x_min must be >= 1";
+  let n = ref 0 and log_sum = ref 0.0 in
+  let shift = float_of_int x_min -. 0.5 in
+  for v = 0 to Graph.node_count g - 1 do
+    let d = Graph.degree g v in
+    if d >= x_min then begin
+      incr n;
+      log_sum := !log_sum +. log (float_of_int d /. shift)
+    end
+  done;
+  if !n = 0 then invalid_arg "Degree.power_law_alpha: no node reaches x_min";
+  1.0 +. (float_of_int !n /. !log_sum)
+
+let fraction_with_degree g d =
+  if Graph.node_count g = 0 then 0.0
+  else begin
+    let count = ref 0 in
+    for v = 0 to Graph.node_count g - 1 do
+      if Graph.degree g v = d then incr count
+    done;
+    float_of_int !count /. float_of_int (Graph.node_count g)
+  end
+
+let sorted_degrees g =
+  let ds = Array.init (Graph.node_count g) (fun v -> Graph.degree g v) in
+  Array.sort compare ds;
+  ds
+
+let gini g =
+  let ds = sorted_degrees g in
+  let n = Array.length ds in
+  if n = 0 then 0.0
+  else begin
+    let total = Array.fold_left ( + ) 0 ds in
+    if total = 0 then 0.0
+    else begin
+      (* G = (2 * sum_i i * d_i) / (n * sum d) - (n + 1) / n over the sorted
+         sequence with 1-based ranks. *)
+      let weighted = ref 0.0 in
+      Array.iteri (fun i d -> weighted := !weighted +. (float_of_int (i + 1) *. float_of_int d)) ds;
+      (2.0 *. !weighted /. (float_of_int n *. float_of_int total))
+      -. (float_of_int (n + 1) /. float_of_int n)
+    end
+  end
+
+let percentile_degree g p =
+  let ds = Array.map float_of_int (sorted_degrees g) in
+  int_of_float (Prelude.Stats.percentile ds p)
+
+let median_degree g = percentile_degree g 50.0

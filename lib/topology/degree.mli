@@ -1,0 +1,27 @@
+(** Degree-distribution analysis.
+
+    Checks that generated maps have the statistical regularities the paper's
+    argument needs: a heavy-tailed (power-law) degree distribution and an
+    abundance of degree-1 attachment routers. *)
+
+val histogram : Graph.t -> Prelude.Histogram.t
+(** Degree histogram over all nodes. *)
+
+val power_law_alpha : Graph.t -> x_min:int -> float
+(** Maximum-likelihood estimate of the power-law exponent (Clauset–Shalizi–
+    Newman discrete approximation) over nodes with degree >= [x_min]:
+    [alpha = 1 + n / sum (ln (d_i / (x_min - 0.5)))].
+    @raise Invalid_argument when no node reaches [x_min] or [x_min < 1]. *)
+
+val fraction_with_degree : Graph.t -> int -> float
+(** Fraction of nodes with exactly the given degree. *)
+
+val gini : Graph.t -> float
+(** Gini coefficient of the degree sequence: 0 = perfectly homogeneous,
+    -> 1 = concentrated on few hubs.  A scalar "heavy-tailedness" check used
+    by tests to separate ER from BA/Magoni maps. *)
+
+val median_degree : Graph.t -> int
+val percentile_degree : Graph.t -> float -> int
+(** [percentile_degree g p] is the degree at percentile [p] of the node
+    degree sequence. *)

@@ -1,0 +1,18 @@
+(** Weighted single-source shortest paths.
+
+    Latency-weighted distances back the Vivaldi/GNP baselines and the
+    latency-weighted variant of the path-tree metric (ablation 1 in
+    DESIGN.md).  Edge weights come from a {!Latency.t} assignment. *)
+
+val distances : Graph.t -> weight:(Graph.node -> Graph.node -> float) -> Graph.node -> float array
+(** [distances g ~weight src] maps every node to its weighted distance from
+    [src]; unreachable nodes get [infinity].  @raise Invalid_argument on a
+    negative edge weight. *)
+
+val distance :
+  Graph.t -> weight:(Graph.node -> Graph.node -> float) -> Graph.node -> Graph.node -> float
+(** Single-pair weighted distance with early exit. *)
+
+val parents : Graph.t -> weight:(Graph.node -> Graph.node -> float) -> Graph.node -> int array
+(** Shortest-path tree with deterministic tie-breaking (on equal distance the
+    lower-id parent wins); source and unreachable nodes map to [-1]. *)

@@ -1,0 +1,57 @@
+(* Preferential attachment via the endpoint-multiset trick: every edge pushes
+   both endpoints into a pool, and sampling the pool uniformly selects nodes
+   with probability proportional to degree. *)
+
+let seed_pool_from_builder b =
+  let pool = Prelude.Vec.create ~capacity:(4 * Builder.edge_count b) () in
+  for u = 0 to Builder.node_count b - 1 do
+    Builder.iter_neighbors b u (fun v ->
+        if u < v then begin
+          Prelude.Vec.push pool u;
+          Prelude.Vec.push pool v
+        end)
+  done;
+  pool
+
+let attach b pool rng node m =
+  (* Draw m distinct targets; rejection over the pool, falling back on a
+     uniform node if the pool is pathologically concentrated. *)
+  let chosen = ref [] in
+  let attempts = ref 0 in
+  while List.length !chosen < m do
+    incr attempts;
+    let target =
+      if !attempts > 50 * m then Prelude.Prng.int rng node
+      else Prelude.Vec.get pool (Prelude.Prng.int rng (Prelude.Vec.length pool))
+    in
+    if target <> node && not (List.mem target !chosen) then chosen := target :: !chosen
+  done;
+  List.iter
+    (fun target ->
+      if Builder.add_edge b node target then begin
+        Prelude.Vec.push pool node;
+        Prelude.Vec.push pool target
+      end)
+    !chosen
+
+let into_builder b ~first_node ~count ~edges_per_node ~rng =
+  if edges_per_node < 1 then invalid_arg "Gen_ba.into_builder: edges_per_node must be >= 1";
+  if Builder.edge_count b = 0 then invalid_arg "Gen_ba.into_builder: builder has no seed edges";
+  let pool = seed_pool_from_builder b in
+  for node = first_node to first_node + count - 1 do
+    attach b pool rng node edges_per_node
+  done
+
+let generate ~nodes ~edges_per_node:m ~seed =
+  if m < 1 then invalid_arg "Gen_ba.generate: edges_per_node must be >= 1";
+  if nodes <= m then invalid_arg "Gen_ba.generate: need nodes > edges_per_node";
+  let rng = Prelude.Prng.create seed in
+  let b = Builder.create nodes in
+  (* Seed clique on m + 1 nodes. *)
+  for u = 0 to m do
+    for v = u + 1 to m do
+      ignore (Builder.add_edge b u v)
+    done
+  done;
+  into_builder b ~first_node:(m + 1) ~count:(nodes - m - 1) ~edges_per_node:m ~rng;
+  Builder.to_graph b

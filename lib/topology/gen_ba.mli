@@ -1,0 +1,19 @@
+(** Barabási–Albert preferential attachment.
+
+    Produces the heavy-tailed degree distribution (power-law exponent ~3)
+    that the paper's centrality argument rests on.  Used directly and as the
+    core-construction step of {!Gen_magoni}. *)
+
+val generate : nodes:int -> edges_per_node:int -> seed:int -> Graph.t
+(** [generate ~nodes ~edges_per_node:m ~seed] starts from a clique of [m + 1]
+    nodes and attaches each subsequent node with [m] edges chosen by linear
+    preferential attachment (implemented with the repeated-endpoints trick so
+    each step is O(m)).  The result is connected.
+    @raise Invalid_argument if [m < 1] or [nodes <= m]. *)
+
+val into_builder : Builder.t -> first_node:int -> count:int -> edges_per_node:int -> rng:Prelude.Prng.t -> unit
+(** Grow an existing builder: nodes [first_node .. first_node + count - 1]
+    join by preferential attachment over the endpoints already recorded in
+    the builder's edge multiset restricted to that growth process.  The
+    builder must already contain at least one edge among nodes below
+    [first_node]. *)

@@ -1,0 +1,71 @@
+let generate ~degrees ~seed =
+  let n = Array.length degrees in
+  Array.iter (fun d -> if d < 0 then invalid_arg "Gen_config_model.generate: negative degree") degrees;
+  let rng = Prelude.Prng.create seed in
+  (* One stub per degree unit; a uniform matching of stubs is a uniform
+     shuffle paired off two by two. *)
+  let total = Array.fold_left ( + ) 0 degrees in
+  let stubs = Array.make total 0 in
+  let cursor = ref 0 in
+  Array.iteri
+    (fun v d ->
+      for _ = 1 to d do
+        stubs.(!cursor) <- v;
+        incr cursor
+      done)
+    degrees;
+  Prelude.Prng.shuffle_in_place rng stubs;
+  let b = Builder.create n in
+  let pairs = total / 2 in
+  for i = 0 to pairs - 1 do
+    ignore (Builder.add_edge b stubs.(2 * i) stubs.((2 * i) + 1))
+  done;
+  Builder.to_graph b
+
+let power_law_degrees ~n ~alpha ~d_min ~d_max ~rng =
+  if d_min < 1 || d_max < d_min then invalid_arg "Gen_config_model.power_law_degrees: bad range";
+  let span = d_max - d_min + 1 in
+  Array.init n (fun _ ->
+      (* Zipf rank r in [1, span] maps to degree d_min + r - 1, giving
+         P(d) ~ (d - d_min + 1)^-alpha ~ d^-alpha for d >> d_min shifts. *)
+      d_min + Prelude.Prng.zipf rng ~n:span ~s:alpha - 1)
+
+let largest_component g =
+  let n = Graph.node_count g in
+  if n = 0 then g
+  else begin
+    let uf = Prelude.Union_find.create n in
+    List.iter (fun (u, v) -> ignore (Prelude.Union_find.union uf u v)) (Graph.edges g);
+    let size = Hashtbl.create 64 in
+    for v = 0 to n - 1 do
+      let root = Prelude.Union_find.find uf v in
+      Hashtbl.replace size root (1 + Option.value ~default:0 (Hashtbl.find_opt size root))
+    done;
+    let best_root, _ =
+      Hashtbl.fold (fun root s ((_, best_s) as acc) -> if s > best_s then (root, s) else acc) size (0, 0)
+    in
+    (* Dense relabelling of the winning component. *)
+    let fresh = Hashtbl.create 256 in
+    let next = ref 0 in
+    for v = 0 to n - 1 do
+      if Prelude.Union_find.find uf v = best_root then begin
+        Hashtbl.add fresh v !next;
+        incr next
+      end
+    done;
+    let edges =
+      List.filter_map
+        (fun (u, v) ->
+          match (Hashtbl.find_opt fresh u, Hashtbl.find_opt fresh v) with
+          | Some u', Some v' -> Some (u', v')
+          | _ -> None)
+        (Graph.edges g)
+    in
+    Graph.of_edges ~node_count:!next edges
+  end
+
+let generate_power_law ~n ~alpha ~d_min ~d_max ~seed =
+  let rng = Prelude.Prng.create (seed + 31) in
+  let degrees = power_law_degrees ~n ~alpha ~d_min ~d_max ~rng in
+  let g = generate ~degrees ~seed in
+  (g, largest_component g)

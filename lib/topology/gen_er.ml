@@ -1,0 +1,35 @@
+let max_edges nodes = nodes * (nodes - 1) / 2
+
+let fill_random b rng ~edges =
+  let n = Builder.node_count b in
+  while Builder.edge_count b < edges do
+    let u = Prelude.Prng.int rng n in
+    let v = Prelude.Prng.int rng n in
+    ignore (Builder.add_edge b u v)
+  done
+
+let generate ~nodes ~edges ~seed =
+  if nodes < 0 then invalid_arg "Gen_er.generate: negative node count";
+  if edges < 0 || edges > max_edges nodes then invalid_arg "Gen_er.generate: edge count out of range";
+  let rng = Prelude.Prng.create seed in
+  let b = Builder.create nodes in
+  fill_random b rng ~edges;
+  Builder.to_graph b
+
+let generate_connected ~nodes ~edges ~seed =
+  if nodes < 1 then invalid_arg "Gen_er.generate_connected: need at least one node";
+  if edges < nodes - 1 || edges > max_edges nodes then
+    invalid_arg "Gen_er.generate_connected: edge count out of range";
+  let rng = Prelude.Prng.create seed in
+  let b = Builder.create nodes in
+  (* Random spanning tree: attach each node (in random order) to a uniformly
+     chosen earlier node, which is the standard random-recursive-tree
+     construction. *)
+  let order = Array.init nodes (fun i -> i) in
+  Prelude.Prng.shuffle_in_place rng order;
+  for i = 1 to nodes - 1 do
+    let anchor = order.(Prelude.Prng.int rng i) in
+    ignore (Builder.add_edge b order.(i) anchor)
+  done;
+  fill_random b rng ~edges;
+  Builder.to_graph b

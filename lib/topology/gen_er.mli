@@ -1,0 +1,13 @@
+(** Erdős–Rényi G(n, m) random graphs.
+
+    A homogeneous-degree baseline: the paper's mechanism relies on the
+    heavy-tailed core of real maps, so experiments on ER graphs show how much
+    of the quality comes from that structure (negative control). *)
+
+val generate : nodes:int -> edges:int -> seed:int -> Graph.t
+(** [generate ~nodes ~edges ~seed] draws [edges] distinct edges uniformly.
+    @raise Invalid_argument when [edges] exceeds [nodes * (nodes-1) / 2]. *)
+
+val generate_connected : nodes:int -> edges:int -> seed:int -> Graph.t
+(** Like {!generate} but first lays a uniform random spanning tree so the
+    result is connected; requires [edges >= nodes - 1]. *)

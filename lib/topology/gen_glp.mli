@@ -1,0 +1,12 @@
+(** Generalized Linear Preference model (Bu & Towsley, INFOCOM 2002).
+
+    Refines Barabási–Albert to match measured Internet maps more closely:
+    attachment probability is proportional to [degree - beta] with
+    [beta < 1], and with probability [p] each step adds links between
+    existing nodes instead of a new node, producing a denser, more clustered
+    core and a power-law exponent tunable toward the measured ~2.2. *)
+
+val generate :
+  nodes:int -> m:int -> p:float -> beta:float -> seed:int -> Graph.t
+(** [generate ~nodes ~m ~p ~beta ~seed].
+    @raise Invalid_argument unless [m >= 1], [0 <= p < 1] and [beta < 1]. *)

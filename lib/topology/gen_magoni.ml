@@ -1,0 +1,165 @@
+type params = {
+  routers : int;
+  core_fraction : float;
+  leaf_fraction : float;
+  core_edges_per_node : int;
+  tree_cross_link_prob : float;
+}
+
+type t = {
+  graph : Graph.t;
+  core : Graph.node array;
+  tree : Graph.node array;
+  leaves : Graph.node array;
+}
+
+let default_params routers =
+  {
+    routers;
+    core_fraction = 0.15;
+    leaf_fraction = 0.40;
+    core_edges_per_node = 3;
+    tree_cross_link_prob = 0.10;
+  }
+
+let validate p =
+  if p.routers < 20 then invalid_arg "Gen_magoni.generate: need at least 20 routers";
+  if p.core_fraction <= 0.0 || p.leaf_fraction <= 0.0 || p.core_fraction +. p.leaf_fraction >= 1.0
+  then invalid_arg "Gen_magoni.generate: fractions must be positive and sum below 1";
+  if p.tree_cross_link_prob < 0.0 || p.tree_cross_link_prob > 1.0 then
+    invalid_arg "Gen_magoni.generate: tree_cross_link_prob outside [0,1]";
+  let n_core = int_of_float (p.core_fraction *. float_of_int p.routers) in
+  if n_core <= p.core_edges_per_node + 1 then
+    invalid_arg "Gen_magoni.generate: core smaller than the attachment parameter"
+
+let generate p ~seed =
+  validate p;
+  let rng = Prelude.Prng.create seed in
+  let n = p.routers in
+  let n_core = int_of_float (p.core_fraction *. float_of_int n) in
+  let n_leaf = int_of_float (p.leaf_fraction *. float_of_int n) in
+  let n_tree = n - n_core - n_leaf in
+  let b = Builder.create n in
+  (* Core: preferential-attachment mesh over nodes [0, n_core). *)
+  let m = p.core_edges_per_node in
+  for u = 0 to m do
+    for v = u + 1 to m do
+      ignore (Builder.add_edge b u v)
+    done
+  done;
+  Gen_ba.into_builder b ~first_node:(m + 1) ~count:(n_core - m - 1) ~edges_per_node:m ~rng;
+  (* Access trees: nodes [n_core, n_core + n_tree).  A new tree router hangs
+     off the core (degree-preferential, so big core routers sponsor more
+     trees) with probability 0.3, otherwise off an earlier tree router
+     (uniform), which grows tree-shaped access hierarchies of increasing
+     depth. *)
+  let pick_core_preferential () =
+    (* Endpoint-pool equivalent: two-step — pick a random core edge endpoint
+       by scanning total degree; core is small so a linear scan is fine. *)
+    let total = ref 0 in
+    for v = 0 to n_core - 1 do
+      total := !total + Builder.degree b v
+    done;
+    let target = Prelude.Prng.int rng !total in
+    let acc = ref 0 and chosen = ref 0 in
+    (try
+       for v = 0 to n_core - 1 do
+         acc := !acc + Builder.degree b v;
+         if !acc > target then begin
+           chosen := v;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !chosen
+  in
+  for node = n_core to n_core + n_tree - 1 do
+    let parent =
+      if node = n_core || Prelude.Prng.unit_float rng < 0.3 then pick_core_preferential ()
+      else Prelude.Prng.int_in_range rng ~lo:n_core ~hi:(node - 1)
+    in
+    ignore (Builder.add_edge b node parent);
+    if Prelude.Prng.unit_float rng < p.tree_cross_link_prob then begin
+      (* One redundancy link toward the core or another tree router. *)
+      let other =
+        if Prelude.Prng.bool rng then pick_core_preferential ()
+        else Prelude.Prng.int_in_range rng ~lo:n_core ~hi:node
+      in
+      ignore (Builder.add_edge b node other)
+    end
+  done;
+  (* Leaves: degree-1 routers [n_core + n_tree, n), attached uniformly to
+     tree routers (or to the core when there are no trees). *)
+  for node = n_core + n_tree to n - 1 do
+    let parent =
+      if n_tree > 0 then Prelude.Prng.int_in_range rng ~lo:n_core ~hi:(n_core + n_tree - 1)
+      else Prelude.Prng.int rng n_core
+    in
+    ignore (Builder.add_edge b node parent)
+  done;
+  let graph = Builder.to_graph b in
+  {
+    graph;
+    core = Array.init n_core (fun i -> i);
+    tree = Array.init n_tree (fun i -> n_core + i);
+    leaves = Array.init n_leaf (fun i -> n_core + n_tree + i);
+  }
+
+
+type fit_result = {
+  fitted : params;
+  alpha : float;
+  mean_distance : float;
+  error : float;
+}
+
+let measure params ~seed =
+  let map = generate params ~seed in
+  let alpha =
+    match Degree.power_law_alpha map.graph ~x_min:3 with
+    | a -> a
+    | exception Invalid_argument _ -> nan
+  in
+  let rng = Prelude.Prng.create (seed + 1) in
+  let mean_distance = Bfs.mean_pairwise_distance map.graph ~samples:1500 ~rng in
+  (alpha, mean_distance)
+
+let fit ~routers ~target_alpha ~target_mean_distance ~seed =
+  if target_alpha <= 1.0 || target_mean_distance <= 0.0 then
+    invalid_arg "Gen_magoni.fit: targets must be positive (alpha > 1)";
+  let candidates =
+    List.concat_map
+      (fun core_fraction ->
+        List.concat_map
+          (fun core_edges_per_node ->
+            List.map
+              (fun tree_cross_link_prob ->
+                {
+                  (default_params routers) with
+                  core_fraction;
+                  core_edges_per_node;
+                  tree_cross_link_prob;
+                })
+              [ 0.05; 0.15; 0.30 ])
+          [ 2; 3; 4 ])
+      [ 0.10; 0.15; 0.25 ]
+  in
+  let score params =
+    let alpha, mean_distance = measure params ~seed in
+    if Float.is_nan alpha || mean_distance <= 0.0 then (infinity, nan, nan)
+    else begin
+      let ea = abs_float (alpha -. target_alpha) /. target_alpha in
+      let ed = abs_float (mean_distance -. target_mean_distance) /. target_mean_distance in
+      (ea +. ed, alpha, mean_distance)
+    end
+  in
+  let best =
+    List.fold_left
+      (fun acc params ->
+        let error, alpha, mean_distance = score params in
+        match acc with
+        | Some b when b.error <= error -> acc
+        | _ -> Some { fitted = params; alpha; mean_distance; error })
+      None candidates
+  in
+  match best with Some r -> r | None -> assert false

@@ -1,0 +1,63 @@
+(** Synthetic router-level Internet map in the style of Magoni & Hoerdt's
+    [nem] measurements (Computer Communications 2005) — the map family the
+    paper plugs into PeerSim.
+
+    The measured IR-level Internet decomposes into a small, densely meshed
+    heavy-tailed {e core} and a large periphery of {e trees} hanging off it,
+    terminated by degree-1 routers where end hosts attach.  This generator
+    reproduces that decomposition directly:
+
+    - the core is grown by preferential attachment (power-law degrees, high
+      betweenness concentration),
+    - tree routers attach under the core, forming the access hierarchy,
+    - leaf routers of degree 1 are the host attachment points; the paper
+      attaches peers exactly there ("attaching n peers to routers with degree
+      equals to one").
+
+    The construction guarantees connectivity and at least
+    [leaf_fraction * routers] degree-1 routers. *)
+
+type params = {
+  routers : int;
+  core_fraction : float;  (** Fraction of routers in the meshed core. *)
+  leaf_fraction : float;  (** Fraction that are degree-1 host attachment points. *)
+  core_edges_per_node : int;  (** BA attachment parameter inside the core. *)
+  tree_cross_link_prob : float;
+      (** Probability that a tree router gets one extra redundancy link,
+          matching the partial meshing nem observes outside the strict core. *)
+}
+
+type t = {
+  graph : Graph.t;
+  core : Graph.node array;  (** Nodes of the meshed core. *)
+  tree : Graph.node array;  (** Access-tree routers. *)
+  leaves : Graph.node array;  (** Degree-1 routers (host attachment points). *)
+}
+
+val default_params : int -> params
+(** [default_params routers] uses core 15%, leaves 40%, m = 3, cross links
+    10% — matching the qualitative nem statistics (heavy tail, mean distance
+    growing slowly with size). *)
+
+val generate : params -> seed:int -> t
+(** @raise Invalid_argument when fractions are outside (0,1), their sum
+    reaches 1, or the core would be smaller than [core_edges_per_node + 1]. *)
+
+type fit_result = {
+  fitted : params;
+  alpha : float;  (** Achieved power-law exponent (MLE, x_min = 3). *)
+  mean_distance : float;  (** Achieved mean pairwise hop distance (sampled). *)
+  error : float;  (** Weighted relative error against the targets. *)
+}
+
+val fit :
+  routers:int ->
+  target_alpha:float ->
+  target_mean_distance:float ->
+  seed:int ->
+  fit_result
+(** Coarse grid search over the generator's shape parameters (core
+    fraction, attachment density, cross-link probability) minimizing the
+    relative error against a measured map's statistics — e.g. nem's
+    alpha ~2.1-2.3 and mean distance for the chosen size.  Deterministic;
+    cost is one generation + analysis per grid point (a few dozen). *)

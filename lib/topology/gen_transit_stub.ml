@@ -1,0 +1,74 @@
+type params = {
+  transit_domains : int;
+  routers_per_transit : int;
+  stubs_per_transit_router : int;
+  routers_per_stub : int;
+  intra_edge_prob : float;
+}
+
+let default_params =
+  {
+    transit_domains = 2;
+    routers_per_transit = 4;
+    stubs_per_transit_router = 2;
+    routers_per_stub = 6;
+    intra_edge_prob = 0.4;
+  }
+
+let validate p =
+  if p.transit_domains < 1 || p.routers_per_transit < 1 || p.stubs_per_transit_router < 0
+     || p.routers_per_stub < 1
+  then invalid_arg "Gen_transit_stub.generate: counts must be positive";
+  if p.intra_edge_prob < 0.0 || p.intra_edge_prob > 1.0 then
+    invalid_arg "Gen_transit_stub.generate: intra_edge_prob outside [0,1]"
+
+let node_total p =
+  let transit = p.transit_domains * p.routers_per_transit in
+  transit + (transit * p.stubs_per_transit_router * p.routers_per_stub)
+
+(* Connect the node range [first, first + count) into a random tree plus
+   extra meshing edges with probability [prob] per pair. *)
+let mesh_domain b rng ~first ~count ~prob =
+  for i = 1 to count - 1 do
+    let anchor = first + Prelude.Prng.int rng i in
+    ignore (Builder.add_edge b (first + i) anchor)
+  done;
+  for i = 0 to count - 1 do
+    for j = i + 1 to count - 1 do
+      if Prelude.Prng.unit_float rng < prob then ignore (Builder.add_edge b (first + i) (first + j))
+    done
+  done
+
+let generate p ~seed =
+  validate p;
+  let rng = Prelude.Prng.create seed in
+  let b = Builder.create (node_total p) in
+  let transit_count = p.transit_domains * p.routers_per_transit in
+  (* Transit domains, internally meshed. *)
+  for d = 0 to p.transit_domains - 1 do
+    mesh_domain b rng ~first:(d * p.routers_per_transit) ~count:p.routers_per_transit
+      ~prob:p.intra_edge_prob
+  done;
+  (* Backbone: chain the transit domains, plus one random cross link per
+     adjacent pair for redundancy. *)
+  for d = 1 to p.transit_domains - 1 do
+    let prev_first = (d - 1) * p.routers_per_transit and cur_first = d * p.routers_per_transit in
+    let a = prev_first + Prelude.Prng.int rng p.routers_per_transit in
+    let c = cur_first + Prelude.Prng.int rng p.routers_per_transit in
+    ignore (Builder.add_edge b a c);
+    let a' = prev_first + Prelude.Prng.int rng p.routers_per_transit in
+    let c' = cur_first + Prelude.Prng.int rng p.routers_per_transit in
+    ignore (Builder.add_edge b a' c')
+  done;
+  (* Stub domains hang off their sponsoring transit router. *)
+  let next = ref transit_count in
+  for tr = 0 to transit_count - 1 do
+    for _ = 1 to p.stubs_per_transit_router do
+      let first = !next in
+      next := !next + p.routers_per_stub;
+      mesh_domain b rng ~first ~count:p.routers_per_stub ~prob:p.intra_edge_prob;
+      let gateway = first + Prelude.Prng.int rng p.routers_per_stub in
+      ignore (Builder.add_edge b tr gateway)
+    done
+  done;
+  Builder.to_graph b

@@ -1,0 +1,23 @@
+(** Hierarchical transit–stub topology (GT-ITM style).
+
+    Transit domains form a meshed backbone; each transit router sponsors a
+    few stub domains whose routers only reach the rest of the network through
+    their transit attachment.  Gives explicit two-level hierarchy, used to
+    test that the landmark scheme survives maps whose "core" is structural
+    rather than degree-emergent. *)
+
+type params = {
+  transit_domains : int;
+  routers_per_transit : int;
+  stubs_per_transit_router : int;
+  routers_per_stub : int;
+  intra_edge_prob : float;  (** Extra random meshing inside each domain. *)
+}
+
+val default_params : params
+(** 2 transit domains x 4 routers, 2 stubs per transit router, 6 routers per
+    stub, 0.4 intra-domain meshing: ~120 routers. *)
+
+val generate : params -> seed:int -> Graph.t
+(** @raise Invalid_argument on non-positive counts or a probability outside
+    [0, 1]. *)

@@ -1,0 +1,45 @@
+type placement = { x : float array; y : float array }
+
+let euclid p i j =
+  let dx = p.x.(i) -. p.x.(j) and dy = p.y.(i) -. p.y.(j) in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let generate ~nodes ~alpha ~beta ~seed =
+  if nodes < 1 then invalid_arg "Gen_waxman.generate: need at least one node";
+  if alpha <= 0.0 || alpha > 1.0 || beta <= 0.0 then
+    invalid_arg "Gen_waxman.generate: need alpha in (0,1] and beta > 0";
+  let rng = Prelude.Prng.create seed in
+  let p = { x = Array.init nodes (fun _ -> Prelude.Prng.unit_float rng);
+            y = Array.init nodes (fun _ -> Prelude.Prng.unit_float rng) } in
+  let b = Builder.create nodes in
+  let scale = beta *. sqrt 2.0 in
+  for i = 0 to nodes - 1 do
+    for j = i + 1 to nodes - 1 do
+      let prob = alpha *. exp (-.euclid p i j /. scale) in
+      if Prelude.Prng.unit_float rng < prob then ignore (Builder.add_edge b i j)
+    done
+  done;
+  (* Stitch components: repeatedly link the geometrically closest pair of
+     nodes lying in different components. *)
+  let uf = Prelude.Union_find.create nodes in
+  for u = 0 to nodes - 1 do
+    Builder.iter_neighbors b u (fun v -> ignore (Prelude.Union_find.union uf u v))
+  done;
+  while Prelude.Union_find.count_sets uf > 1 do
+    let best = ref (-1, -1) and best_d = ref infinity in
+    for i = 0 to nodes - 1 do
+      for j = i + 1 to nodes - 1 do
+        if not (Prelude.Union_find.same uf i j) then begin
+          let d = euclid p i j in
+          if d < !best_d then begin
+            best_d := d;
+            best := (i, j)
+          end
+        end
+      done
+    done;
+    let i, j = !best in
+    ignore (Builder.add_edge b i j);
+    ignore (Prelude.Union_find.union uf i j)
+  done;
+  (Builder.to_graph b, p)

@@ -1,0 +1,14 @@
+(** Waxman random geometric graphs.
+
+    Nodes are placed uniformly in the unit square and each pair is linked
+    with probability [alpha * exp (-d / (beta * L))] where [d] is Euclidean
+    distance and [L = sqrt 2].  A classic router-level model with geographic
+    locality but no heavy tail — the second negative control next to
+    {!Gen_er}. *)
+
+type placement = { x : float array; y : float array }
+
+val generate : nodes:int -> alpha:float -> beta:float -> seed:int -> Graph.t * placement
+(** The returned placement gives each node's coordinates, which the Vivaldi
+    tests use as geometric ground truth.  The graph is made connected by
+    linking each isolated fragment through its geometrically closest pair. *)

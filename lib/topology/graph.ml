@@ -1,0 +1,136 @@
+type node = int
+
+type t = {
+  offsets : int array; (* length node_count + 1 *)
+  targets : int array; (* length 2 * edge_count, sorted within each node slice *)
+}
+
+let node_count g = Array.length g.offsets - 1
+let edge_count g = Array.length g.targets / 2
+
+let check_node g v name =
+  if v < 0 || v >= node_count g then invalid_arg ("Graph." ^ name ^ ": node out of range")
+
+let degree g v =
+  check_node g v "degree";
+  g.offsets.(v + 1) - g.offsets.(v)
+
+let neighbors g v =
+  check_node g v "neighbors";
+  Array.sub g.targets g.offsets.(v) (g.offsets.(v + 1) - g.offsets.(v))
+
+let iter_neighbors g v f =
+  check_node g v "iter_neighbors";
+  for i = g.offsets.(v) to g.offsets.(v + 1) - 1 do
+    f g.targets.(i)
+  done
+
+let fold_neighbors g v f init =
+  check_node g v "fold_neighbors";
+  let acc = ref init in
+  for i = g.offsets.(v) to g.offsets.(v + 1) - 1 do
+    acc := f !acc g.targets.(i)
+  done;
+  !acc
+
+let mem_edge g u v =
+  check_node g u "mem_edge";
+  check_node g v "mem_edge";
+  (* Binary search within u's sorted neighbor slice. *)
+  let lo = ref g.offsets.(u) and hi = ref (g.offsets.(u + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.targets.(mid) in
+    if w = v then found := true else if w < v then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let edges g =
+  let acc = ref [] in
+  for u = node_count g - 1 downto 0 do
+    for i = g.offsets.(u + 1) - 1 downto g.offsets.(u) do
+      let v = g.targets.(i) in
+      if u < v then acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to node_count g - 1 do
+    best := max !best (g.offsets.(v + 1) - g.offsets.(v))
+  done;
+  !best
+
+let mean_degree g =
+  if node_count g = 0 then 0.0
+  else 2.0 *. float_of_int (edge_count g) /. float_of_int (node_count g)
+
+let of_edges ~node_count:n edge_list =
+  if n < 0 then invalid_arg "Graph.of_edges: negative node count";
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.of_edges: endpoint out of range";
+      if u = v then invalid_arg "Graph.of_edges: self-loop";
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edge_list;
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + deg.(v)
+  done;
+  let targets = Array.make offsets.(n) 0 in
+  let cursor = Array.copy offsets in
+  List.iter
+    (fun (u, v) ->
+      targets.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      targets.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1)
+    edge_list;
+  (* Sort each slice and reject duplicates. *)
+  for v = 0 to n - 1 do
+    let slice = Array.sub targets offsets.(v) deg.(v) in
+    Array.sort compare slice;
+    for i = 1 to deg.(v) - 1 do
+      if slice.(i) = slice.(i - 1) then invalid_arg "Graph.of_edges: duplicate edge"
+    done;
+    Array.blit slice 0 targets offsets.(v) deg.(v)
+  done;
+  { offsets; targets }
+
+let is_connected g =
+  let n = node_count g in
+  if n <= 1 then true
+  else begin
+    let seen = Prelude.Bitset.create n in
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    Prelude.Bitset.add seen 0;
+    let visited = ref 1 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.take queue in
+      iter_neighbors g u (fun v ->
+          if not (Prelude.Bitset.mem seen v) then begin
+            Prelude.Bitset.add seen v;
+            incr visited;
+            Queue.add v queue
+          end)
+    done;
+    !visited = n
+  end
+
+let nodes_matching g f =
+  let acc = ref [] in
+  for v = node_count g - 1 downto 0 do
+    if f v (g.offsets.(v + 1) - g.offsets.(v)) then acc := v :: !acc
+  done;
+  !acc
+
+let nodes_with_degree g d = nodes_matching g (fun _ deg -> deg = d)
+
+let pp ppf g =
+  Format.fprintf ppf "graph: %d nodes, %d edges, mean degree %.2f, max degree %d"
+    (node_count g) (edge_count g) (mean_degree g) (max_degree g)

@@ -1,0 +1,47 @@
+(** Immutable undirected graph in compressed-sparse-row form.
+
+    Router-level Internet maps reach tens of thousands of nodes; the CSR
+    layout gives O(1) access to a node's neighbor slice with no per-edge
+    boxing, which keeps BFS/Dijkstra cache-friendly.  Nodes are dense
+    integers [0 .. node_count - 1].  Parallel edges and self-loops are
+    rejected at construction. *)
+
+type t
+
+type node = int
+
+val node_count : t -> int
+val edge_count : t -> int
+(** Number of undirected edges. *)
+
+val degree : t -> node -> int
+val neighbors : t -> node -> int array
+(** Fresh array of the neighbors of a node, in increasing id order. *)
+
+val iter_neighbors : t -> node -> (node -> unit) -> unit
+(** Allocation-free neighbor traversal. *)
+
+val fold_neighbors : t -> node -> ('a -> node -> 'a) -> 'a -> 'a
+val mem_edge : t -> node -> node -> bool
+(** O(log degree) membership test. *)
+
+val edges : t -> (node * node) list
+(** Every undirected edge once, as [(u, v)] with [u < v], lexicographic. *)
+
+val max_degree : t -> int
+val mean_degree : t -> float
+
+val of_edges : node_count:int -> (node * node) list -> t
+(** Build from an edge list.  Duplicate edges (in either orientation) and
+    self-loops raise [Invalid_argument], as do out-of-range endpoints. *)
+
+val is_connected : t -> bool
+val nodes_with_degree : t -> int -> node list
+(** Nodes whose degree equals the given value, increasing id order. *)
+
+val nodes_matching : t -> (node -> int -> bool) -> node list
+(** [nodes_matching g f] is the nodes [v] with [f v (degree g v)], increasing
+    id order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable summary ("graph: n nodes, m edges, ..."). *)

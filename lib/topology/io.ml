@@ -1,0 +1,74 @@
+let write_edge_list g oc =
+  Printf.fprintf oc "# nodes %d edges %d\n" (Graph.node_count g) (Graph.edge_count g);
+  List.iter (fun (u, v) -> Printf.fprintf oc "%d %d\n" u v) (Graph.edges g)
+
+let save_edge_list g path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_edge_list g oc)
+
+let parse_line ~line_number line =
+  let line = String.trim (String.map (fun c -> if c = '\t' then ' ' else c) line) in
+  if line = "" || line.[0] = '#' then None
+  else
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some u, Some v when u >= 0 && v >= 0 -> Some (u, v)
+        | _ -> failwith (Printf.sprintf "Io.read_edge_list: bad ids on line %d" line_number))
+    | _ -> failwith (Printf.sprintf "Io.read_edge_list: expected 'u v' on line %d" line_number)
+
+let read_edge_list ?(compact = true) ic =
+  let raw_edges = ref [] in
+  let line_number = ref 0 in
+  (try
+     while true do
+       incr line_number;
+       let line = input_line ic in
+       match parse_line ~line_number:!line_number line with
+       | Some edge -> raw_edges := edge :: !raw_edges
+       | None -> ()
+     done
+   with End_of_file -> ());
+  let raw_edges = List.rev !raw_edges in
+  if compact then begin
+    let ids = Hashtbl.create 256 in
+    let next = ref 0 in
+    let intern v =
+      match Hashtbl.find_opt ids v with
+      | Some i -> i
+      | None ->
+          let i = !next in
+          Hashtbl.add ids v i;
+          incr next;
+          i
+    in
+    let edges =
+      (* First-appearance numbering requires left-to-right interning; a bare
+         tuple would evaluate right-to-left. *)
+      List.map
+        (fun (u, v) ->
+          let iu = intern u in
+          let iv = intern v in
+          (iu, iv))
+        raw_edges
+    in
+    Graph.of_edges ~node_count:!next edges
+  end
+  else begin
+    let max_id = List.fold_left (fun acc (u, v) -> max acc (max u v)) (-1) raw_edges in
+    Graph.of_edges ~node_count:(max_id + 1) raw_edges
+  end
+
+let load_edge_list ?compact path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_edge_list ?compact ic)
+
+let to_dot ?(highlight = []) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph topology {\n  node [shape=circle];\n";
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "  %d [style=filled, fillcolor=lightblue];\n" v))
+    highlight;
+  List.iter (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v)) (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Reading and writing router maps.
+
+    The paper runs on a measured Internet map (Magoni & Hoerdt's [nem]
+    output).  This module lets a user substitute a real map for the
+    synthetic generators: the edge-list format is the lingua franca of
+    topology datasets (CAIDA, Rocketfuel, nem exports all convert to it
+    trivially).
+
+    Format: one ["u v"] edge per line, whitespace separated; blank lines
+    and lines starting with [#] are ignored; node ids are non-negative
+    integers, renumbered densely on load when [compact] is set. *)
+
+val write_edge_list : Graph.t -> out_channel -> unit
+(** Each undirected edge once ([u < v]), preceded by a [#] header with node
+    and edge counts. *)
+
+val save_edge_list : Graph.t -> string -> unit
+(** {!write_edge_list} to a file path. *)
+
+val read_edge_list : ?compact:bool -> in_channel -> Graph.t
+(** [read_edge_list ic] parses the stream.  With [compact] (default [true])
+    node ids are renumbered densely in first-appearance order; otherwise the
+    graph has [max id + 1] nodes and unreferenced ids become isolated nodes.
+    @raise Failure with the offending line number on a malformed line or a
+    negative id; self-loops and duplicate edges raise the
+    [Invalid_argument] of {!Graph.of_edges}. *)
+
+val load_edge_list : ?compact:bool -> string -> Graph.t
+(** {!read_edge_list} from a file path. *)
+
+val to_dot : ?highlight:Graph.node list -> Graph.t -> string
+(** Graphviz rendering (undirected); [highlight] nodes are filled — used to
+    mark landmarks in small illustrations. *)

@@ -1,0 +1,34 @@
+(** Recorded router paths, as produced by the traceroute-like tool.
+
+    A hop either identified its router or stayed anonymous (no ICMP reply —
+    common in real traceroutes and deliberately injected by {!Probe}).  The
+    management server only consumes the identified routers, in order. *)
+
+type hop = Known of Topology.Graph.node | Anonymous
+
+type t = { src : Topology.Graph.node; dst : Topology.Graph.node; hops : hop array }
+(** [hops] covers the full route from [src] to [dst] inclusive: a complete
+    probe of a route [r0; r1; ...; rk] has [hops = [|Known r0; ...; Known rk|]]
+    (possibly with [Anonymous] replacing unresponsive routers, and possibly
+    cut short when the probe's TTL budget ran out before reaching [dst]). *)
+
+val of_routers : src:Topology.Graph.node -> dst:Topology.Graph.node -> Topology.Graph.node list -> t
+(** Build a fully-identified path.  @raise Invalid_argument when the list
+    does not start with [src]. *)
+
+val known_routers : t -> Topology.Graph.node array
+(** The identified routers, in route order (anonymous hops skipped). *)
+
+val hop_count : t -> int
+(** Number of links traversed, i.e. [Array.length hops - 1]; 0 for an empty
+    or single-hop record. *)
+
+val is_complete : t -> bool
+(** True when the last hop identified the destination. *)
+
+val anonymous_count : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** e.g. "7 -> 3 -> * -> 12". *)
+
+val equal : t -> t -> bool

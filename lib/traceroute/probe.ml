@@ -1,0 +1,69 @@
+type config = { max_ttl : int; drop_prob : float; probes_per_hop : int }
+
+let default_config = { max_ttl = 64; drop_prob = 0.0; probes_per_hop = 1 }
+
+type result = { path : Path.t; probes_sent : int; rtt_ms : float option }
+
+let one_way_latency ?latency oracle ~src ~dst =
+  match Route_oracle.route oracle ~src ~dst with
+  | [] -> infinity
+  | routers -> (
+      match latency with
+      | Some table -> Topology.Latency.path_latency table routers
+      | None -> float_of_int (List.length routers - 1))
+
+let noisy rng v =
+  match rng with
+  | None -> v
+  | Some rng -> v *. (1.0 +. (0.05 *. (Prelude.Prng.unit_float rng -. 0.5) *. 2.0))
+
+let ping ?latency ?rng oracle ~src ~dst =
+  let one_way = one_way_latency ?latency oracle ~src ~dst in
+  if one_way = infinity then infinity else noisy rng (2.0 *. one_way)
+
+let run ?(config = default_config) ?latency ?rng oracle ~src ~dst =
+  if config.max_ttl < 1 then invalid_arg "Probe.run: max_ttl must be >= 1";
+  if config.probes_per_hop < 1 then invalid_arg "Probe.run: probes_per_hop must be >= 1";
+  if config.drop_prob < 0.0 || config.drop_prob >= 1.0 then
+    invalid_arg "Probe.run: drop_prob must be in [0,1)";
+  let route = Route_oracle.route oracle ~src ~dst in
+  match route with
+  | [] -> { path = { Path.src; dst; hops = [||] }; probes_sent = 0; rtt_ms = None }
+  | routers ->
+      let routers = Array.of_list routers in
+      let n_hops = Array.length routers - 1 in
+      let recorded = min n_hops config.max_ttl in
+      let probes = ref 0 in
+      let hops = Array.make (recorded + 1) Path.Anonymous in
+      hops.(0) <- Path.Known src;
+      for i = 1 to recorded do
+        probes := !probes + config.probes_per_hop;
+        let router = routers.(i) in
+        let responds =
+          router = dst || router = src
+          ||
+          match rng with
+          | None -> true
+          | Some rng ->
+              (* Each of the probes_per_hop packets independently gets an
+                 answer; the hop is anonymous only if all are dropped. *)
+              let rec any k =
+                k > 0 && (Prelude.Prng.unit_float rng >= config.drop_prob || any (k - 1))
+              in
+              any config.probes_per_hop
+        in
+        hops.(i) <- (if responds then Path.Known router else Path.Anonymous)
+      done;
+      let path = { Path.src; dst; hops } in
+      let rtt_ms =
+        if Path.is_complete path then begin
+          let one_way =
+            match latency with
+            | Some table -> Topology.Latency.path_latency table (Array.to_list routers)
+            | None -> float_of_int n_hops
+          in
+          Some (noisy rng (2.0 *. one_way))
+        end
+        else None
+      in
+      { path; probes_sent = !probes; rtt_ms }

@@ -1,0 +1,105 @@
+(* Streaming.Bulk: file-swarm distribution. *)
+
+open Streaming
+
+let fixture ~peers ~seed =
+  let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params 400) ~seed in
+  let rng = Prelude.Prng.create seed in
+  let peer_routers =
+    Array.map (fun i -> map.leaves.(i))
+      (Prelude.Prng.sample_without_replacement rng ~k:peers ~n:(Array.length map.leaves))
+  in
+  (map, peer_routers, rng)
+
+let short_params = { Bulk.default_params with chunks = 32; max_time_ms = 30_000.0 }
+
+let random_mesh rng n k =
+  Array.init n (fun i ->
+      Array.map (fun j -> if j >= i then j + 1 else j)
+        (Prelude.Prng.sample_without_replacement rng ~k ~n:(n - 1)))
+
+let test_swarm_completes () =
+  let map, peer_routers, rng = fixture ~peers:25 ~seed:1 in
+  let n = Array.length peer_routers in
+  let report =
+    Bulk.run ~params:short_params ~graph:map.graph ~seed_router:map.core.(0) ~peer_routers
+      ~neighbor_sets:(random_mesh rng n 4) ~seed:5 ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "everyone finishes (%.2f)" report.completed_fraction)
+    true
+    (report.completed_fraction > 0.95);
+  Alcotest.(check bool) "completion times ordered" true
+    (report.mean_completion_ms <= report.p95_completion_ms);
+  Alcotest.(check bool) "completion within horizon" true
+    (report.p95_completion_ms <= short_params.max_time_ms);
+  Alcotest.(check bool) "accounting" true
+    (report.messages > 0 && report.link_bytes >= report.bytes)
+
+let test_no_mesh_no_completion () =
+  let map, peer_routers, _ = fixture ~peers:20 ~seed:2 in
+  (* Only the seed fanout delivers pieces; with fanout 2 and no mesh, no
+     peer can assemble all 32 pieces. *)
+  let report =
+    Bulk.run
+      ~params:{ short_params with seed_fanout = 2 }
+      ~graph:map.graph ~seed_router:map.core.(0) ~peer_routers
+      ~neighbor_sets:(Array.make 20 [||]) ~seed:3 ()
+  in
+  Alcotest.(check (float 1e-9)) "nobody completes" 0.0 report.completed_fraction
+
+let test_deterministic () =
+  let map, peer_routers, rng = fixture ~peers:15 ~seed:4 in
+  let mesh = random_mesh rng 15 3 in
+  let run () =
+    Bulk.run ~params:short_params ~graph:map.graph ~seed_router:map.core.(0) ~peer_routers
+      ~neighbor_sets:mesh ~seed:9 ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical reports" true (a = b)
+
+let test_validation () =
+  let map, peer_routers, _ = fixture ~peers:5 ~seed:5 in
+  Alcotest.check_raises "bad params" (Invalid_argument "Bulk.run: bad parameters") (fun () ->
+      ignore
+        (Bulk.run
+           ~params:{ short_params with chunks = 0 }
+           ~graph:map.graph ~seed_router:0 ~peer_routers ~neighbor_sets:(Array.make 5 [||])
+           ~seed:1 ()));
+  Alcotest.check_raises "mismatched sets" (Invalid_argument "Bulk.run: one neighbor set per peer")
+    (fun () ->
+      ignore
+        (Bulk.run ~params:short_params ~graph:map.graph ~seed_router:0 ~peer_routers
+           ~neighbor_sets:(Array.make 2 [||]) ~seed:1 ()))
+
+let test_bulk_exp_smoke () =
+  let rows =
+    Eval.Bulk_exp.run
+      {
+        Eval.Bulk_exp.routers = 400;
+        peers = 40;
+        landmark_count = 4;
+        k = 4;
+        session = { Bulk.default_params with chunks = 24; max_time_ms = 30_000.0 };
+        seed = 2;
+      }
+  in
+  Alcotest.(check int) "three selectors" 3 (List.length rows);
+  List.iter
+    (fun (r : Eval.Bulk_exp.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s completes (%.2f)" r.selector r.completed_fraction)
+        true
+        (r.completed_fraction > 0.9);
+      Alcotest.(check bool) "stress >= bytes" true (r.link_megabytes >= r.megabytes))
+    rows
+
+let suite =
+  ( "bulk",
+    [
+      Alcotest.test_case "swarm completes" `Slow test_swarm_completes;
+      Alcotest.test_case "mesh required" `Quick test_no_mesh_no_completion;
+      Alcotest.test_case "deterministic" `Slow test_deterministic;
+      Alcotest.test_case "validation" `Quick test_validation;
+      Alcotest.test_case "bulk experiment" `Slow test_bulk_exp_smoke;
+    ] )

@@ -1,0 +1,212 @@
+(* Pqueue, Vec, Bitset, Union_find. *)
+
+open Prelude
+
+(* --- Pqueue --- *)
+
+let test_pq_empty () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
+  Alcotest.(check int) "length" 0 (Pqueue.length q);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek none" true (Pqueue.peek q = None);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Pqueue.pop_exn: empty queue") (fun () ->
+      ignore (Pqueue.pop_exn q))
+
+let test_pq_ordering () =
+  let q = Pqueue.create () in
+  List.iter (fun p -> Pqueue.push q ~priority:p (int_of_float p)) [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_pq_peek_stable () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~priority:2.0 "b";
+  Pqueue.push q ~priority:1.0 "a";
+  (match Pqueue.peek q with
+  | Some (p, v) ->
+      Alcotest.(check (float 0.0)) "peek priority" 1.0 p;
+      Alcotest.(check string) "peek value" "a" v
+  | None -> Alcotest.fail "expected peek");
+  Alcotest.(check int) "peek does not remove" 2 (Pqueue.length q)
+
+let test_pq_clear_and_reuse () =
+  let q = Pqueue.create ~capacity:2 () in
+  for i = 1 to 50 do
+    Pqueue.push q ~priority:(float_of_int (-i)) i
+  done;
+  Alcotest.(check int) "grew" 50 (Pqueue.length q);
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q);
+  Pqueue.push q ~priority:1.0 99;
+  Alcotest.(check bool) "reusable" true (snd (Pqueue.pop_exn q) = 99)
+
+let test_pq_iter_unordered () =
+  let q = Pqueue.create () in
+  List.iter (fun i -> Pqueue.push q ~priority:(float_of_int i) i) [ 3; 1; 2 ];
+  let sum = ref 0 in
+  Pqueue.iter_unordered q (fun _ v -> sum := !sum + v);
+  Alcotest.(check int) "visits all" 6 !sum
+
+let qcheck_pq_sorts =
+  QCheck.Test.make ~name:"pqueue pops in priority order" ~count:300
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun priorities ->
+      let q = Pqueue.create () in
+      List.iter (fun p -> Pqueue.push q ~priority:p ()) priorities;
+      let rec drain acc =
+        match Pqueue.pop q with Some (p, ()) -> drain (p :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort compare priorities)
+
+(* --- Vec --- *)
+
+let test_vec_basic () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    Vec.push v (i * 2)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 84 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 42);
+  Alcotest.(check bool) "pop" true (Vec.pop v = Some 198);
+  Alcotest.(check int) "pop shrinks" 99 (Vec.length v)
+
+let test_vec_bounds () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v 3));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.set: index out of bounds") (fun () ->
+      Vec.set v (-1) 0)
+
+let test_vec_roundtrip () =
+  let a = [| 4; 7; 1; 9 |] in
+  Alcotest.(check (array int)) "of/to array" a (Vec.to_array (Vec.of_array a))
+
+let test_vec_sort_iter () =
+  let v = Vec.of_array [| 3; 1; 2 |] in
+  Vec.sort v;
+  Alcotest.(check (array int)) "sorted" [| 1; 2; 3 |] (Vec.to_array v);
+  let acc = ref [] in
+  Vec.iteri v (fun i x -> acc := (i, x) :: !acc);
+  Alcotest.(check bool) "iteri order" true (List.rev !acc = [ (0, 1); (1, 2); (2, 3) ]);
+  Alcotest.(check bool) "exists" true (Vec.exists v (fun x -> x = 2));
+  Alcotest.(check bool) "not exists" false (Vec.exists v (fun x -> x = 5));
+  Vec.clear v;
+  Alcotest.(check int) "clear" 0 (Vec.length v);
+  Alcotest.(check bool) "pop empty" true (Vec.pop v = None)
+
+(* --- Bitset --- *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check int) "capacity" 100 (Bitset.capacity b);
+  Alcotest.(check int) "empty cardinal" 0 (Bitset.cardinal b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 64;
+  Bitset.add b 99;
+  Alcotest.(check bool) "mem 0" true (Bitset.mem b 0);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem b 63);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem b 64);
+  Alcotest.(check bool) "not mem 1" false (Bitset.mem b 1);
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal b);
+  Bitset.remove b 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem b 63);
+  Alcotest.(check int) "cardinal after remove" 3 (Bitset.cardinal b)
+
+let test_bitset_add_idempotent () =
+  let b = Bitset.create 8 in
+  Bitset.add b 3;
+  Bitset.add b 3;
+  Alcotest.(check int) "no double count" 1 (Bitset.cardinal b)
+
+let test_bitset_iter_clear () =
+  let b = Bitset.create 20 in
+  List.iter (Bitset.add b) [ 2; 5; 19 ];
+  let acc = ref [] in
+  Bitset.iter b (fun i -> acc := i :: !acc);
+  Alcotest.(check (list int)) "iter ascending" [ 2; 5; 19 ] (List.rev !acc);
+  Bitset.clear b;
+  Alcotest.(check int) "clear" 0 (Bitset.cardinal b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 4 in
+  Alcotest.check_raises "oob" (Invalid_argument "Bitset: index out of bounds") (fun () ->
+      ignore (Bitset.mem b 4))
+
+let qcheck_bitset_model =
+  QCheck.Test.make ~name:"bitset behaves like a set of ints" ~count:200
+    QCheck.(list (int_range 0 63))
+    (fun ops ->
+      let b = Bitset.create 64 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun i ->
+          Bitset.add b i;
+          Hashtbl.replace model i ())
+        ops;
+      Bitset.cardinal b = Hashtbl.length model
+      && List.for_all (fun i -> Bitset.mem b i) ops)
+
+(* --- Union_find --- *)
+
+let test_uf_basic () =
+  let uf = Union_find.create 6 in
+  Alcotest.(check int) "initial sets" 6 (Union_find.count_sets uf);
+  Alcotest.(check bool) "union" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "repeat union" false (Union_find.union uf 1 0);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 2);
+  Alcotest.(check int) "sets" 5 (Union_find.count_sets uf)
+
+let test_uf_transitivity () =
+  let uf = Union_find.create 10 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 1 2);
+  ignore (Union_find.union uf 2 3);
+  Alcotest.(check bool) "0 ~ 3" true (Union_find.same uf 0 3);
+  Alcotest.(check int) "one root" (Union_find.find uf 0) (Union_find.find uf 3)
+
+let qcheck_uf_count =
+  QCheck.Test.make ~name:"union_find set count matches merges" ~count:200
+    QCheck.(list (pair (int_range 0 19) (int_range 0 19)))
+    (fun pairs ->
+      let uf = Union_find.create 20 in
+      let merges = List.fold_left (fun acc (a, b) -> if Union_find.union uf a b then acc + 1 else acc) 0 pairs in
+      Union_find.count_sets uf = 20 - merges)
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t in
+  ( "containers",
+    [
+      Alcotest.test_case "pqueue empty" `Quick test_pq_empty;
+      Alcotest.test_case "pqueue ordering" `Quick test_pq_ordering;
+      Alcotest.test_case "pqueue peek" `Quick test_pq_peek_stable;
+      Alcotest.test_case "pqueue clear/reuse" `Quick test_pq_clear_and_reuse;
+      Alcotest.test_case "pqueue iter_unordered" `Quick test_pq_iter_unordered;
+      q qcheck_pq_sorts;
+      Alcotest.test_case "vec basic" `Quick test_vec_basic;
+      Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+      Alcotest.test_case "vec roundtrip" `Quick test_vec_roundtrip;
+      Alcotest.test_case "vec sort/iter" `Quick test_vec_sort_iter;
+      Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
+      Alcotest.test_case "bitset idempotent add" `Quick test_bitset_add_idempotent;
+      Alcotest.test_case "bitset iter/clear" `Quick test_bitset_iter_clear;
+      Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+      q qcheck_bitset_model;
+      Alcotest.test_case "union_find basic" `Quick test_uf_basic;
+      Alcotest.test_case "union_find transitivity" `Quick test_uf_transitivity;
+      q qcheck_uf_count;
+    ] )

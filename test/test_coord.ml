@@ -1,0 +1,246 @@
+(* Vector, Nelder_mead, Vivaldi, Gnp. *)
+
+open Coord
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_vector_ops () =
+  let a = [| 1.0; 2.0 |] and b = [| 3.0; -1.0 |] in
+  Alcotest.(check (array (float 1e-9))) "add" [| 4.0; 1.0 |] (Vector.add a b);
+  Alcotest.(check (array (float 1e-9))) "sub" [| -2.0; 3.0 |] (Vector.sub a b);
+  Alcotest.(check (array (float 1e-9))) "scale" [| 2.0; 4.0 |] (Vector.scale 2.0 a);
+  feq "dot" 1.0 (Vector.dot a b);
+  feq "norm" 5.0 (Vector.norm [| 3.0; 4.0 |]);
+  feq "distance" 5.0 (Vector.distance [| 0.0; 0.0 |] [| 3.0; 4.0 |]);
+  Alcotest.(check (array (float 1e-9))) "zeros" [| 0.0; 0.0; 0.0 |] (Vector.zeros 3)
+
+let test_unit_toward () =
+  let rng = Prelude.Prng.create 1 in
+  let u = Vector.unit_toward [| 4.0; 0.0 |] [| 1.0; 0.0 |] ~rng in
+  Alcotest.(check (array (float 1e-9))) "points from b to a" [| 1.0; 0.0 |] u;
+  (* Coincident points: random unit direction. *)
+  let r = Vector.unit_toward [| 2.0; 2.0 |] [| 2.0; 2.0 |] ~rng in
+  feq "unit norm" 1.0 (Vector.norm r)
+
+let test_nelder_mead_quadratic () =
+  let f x = ((x.(0) -. 3.0) ** 2.0) +. ((x.(1) +. 1.0) ** 2.0) in
+  let r = Nelder_mead.minimize ~f ~x0:[| 0.0; 0.0 |] ~scale:1.0 () in
+  Alcotest.(check bool) "x near 3" true (abs_float (r.x.(0) -. 3.0) < 1e-3);
+  Alcotest.(check bool) "y near -1" true (abs_float (r.x.(1) +. 1.0) < 1e-3);
+  Alcotest.(check bool) "minimum near 0" true (r.f < 1e-6)
+
+let test_nelder_mead_1d () =
+  let f x = ((x.(0) -. 7.0) ** 2.0) +. 0.5 in
+  let r = Nelder_mead.minimize ~f ~x0:[| 0.0 |] ~scale:2.0 () in
+  Alcotest.(check bool) "1-d minimum" true (abs_float (r.x.(0) -. 7.0) < 1e-3);
+  Alcotest.(check bool) "offset preserved" true (abs_float (r.f -. 0.5) < 1e-6)
+
+let test_nelder_mead_rosenbrock () =
+  let f x =
+    let a = 1.0 -. x.(0) and b = x.(1) -. (x.(0) *. x.(0)) in
+    (a *. a) +. (100.0 *. b *. b)
+  in
+  let r = Nelder_mead.minimize ~max_iter:5000 ~f ~x0:[| -1.0; 1.0 |] ~scale:0.5 () in
+  Alcotest.(check bool) (Printf.sprintf "rosenbrock f = %g" r.f) true (r.f < 1e-4)
+
+let test_nelder_mead_iterations_bounded () =
+  let f x = x.(0) *. x.(0) in
+  let r = Nelder_mead.minimize ~max_iter:5 ~f ~x0:[| 100.0 |] ~scale:1.0 () in
+  Alcotest.(check bool) "respects max_iter" true (r.iterations <= 5);
+  Alcotest.check_raises "empty x0" (Invalid_argument "Nelder_mead.minimize: empty starting point")
+    (fun () -> ignore (Nelder_mead.minimize ~f ~x0:[||] ~scale:1.0 ()))
+
+(* Synthetic ground truth: hosts on a 2-D grid, RTT = Euclidean distance.
+   Both coordinate systems should embed this almost perfectly. *)
+let grid_positions n rng =
+  Array.init n (fun _ -> [| Prelude.Prng.float rng 100.0; Prelude.Prng.float rng 100.0 |])
+
+let test_vivaldi_converges_on_euclidean_rtts () =
+  let rng = Prelude.Prng.create 21 in
+  let n = 30 in
+  let pos = grid_positions n rng in
+  let measure i j = Vector.distance pos.(i) pos.(j) in
+  let params = { Vivaldi.default_params with use_height = false } in
+  let v = Vivaldi.create params ~node_count:n ~rng:(Prelude.Prng.split rng) in
+  let err_before = Vivaldi.relative_error v ~measure ~samples:300 ~rng in
+  for _ = 1 to 60 do
+    Vivaldi.run_round v ~measure ~rng
+  done;
+  let err_after = Vivaldi.relative_error v ~measure ~samples:300 ~rng in
+  Alcotest.(check bool)
+    (Printf.sprintf "error drops (%.3f -> %.3f)" err_before err_after)
+    true
+    (err_after < 0.25 && err_after < err_before /. 2.0)
+
+let test_vivaldi_error_decreases () =
+  let rng = Prelude.Prng.create 22 in
+  let n = 20 in
+  let pos = grid_positions n rng in
+  let measure i j = Vector.distance pos.(i) pos.(j) in
+  let v = Vivaldi.create Vivaldi.default_params ~node_count:n ~rng:(Prelude.Prng.split rng) in
+  Alcotest.(check (float 1e-9)) "initial confidence is worst" 1.0 (Vivaldi.local_error v 0);
+  for _ = 1 to 30 do
+    Vivaldi.run_round v ~measure ~rng
+  done;
+  Alcotest.(check bool) "confidence improves" true (Vivaldi.local_error v 0 < 1.0)
+
+let test_vivaldi_neighbor_restricted () =
+  let rng = Prelude.Prng.create 28 in
+  let n = 24 in
+  let pos = grid_positions n rng in
+  let measure i j = Vector.distance pos.(i) pos.(j) in
+  let params = { Vivaldi.default_params with use_height = false } in
+  let v = Vivaldi.create params ~node_count:n ~rng:(Prelude.Prng.split rng) in
+  (* Ring overlay: each node gossips with its 4 ring neighbors only. *)
+  let neighbors i = [| (i + 1) mod n; (i + 2) mod n; (i + n - 1) mod n; (i + n - 2) mod n |] in
+  for _ = 1 to 80 do
+    Vivaldi.run_round_with_neighbors v ~neighbors ~measure ~rng
+  done;
+  let err = Vivaldi.relative_error v ~measure ~samples:300 ~rng in
+  Alcotest.(check bool) (Printf.sprintf "restricted gossip still converges (%.3f)" err) true
+    (err < 0.6);
+  (* Empty neighbor lists must be a harmless no-op. *)
+  let w = Vivaldi.create params ~node_count:3 ~rng in
+  Vivaldi.run_round_with_neighbors w ~neighbors:(fun _ -> [||]) ~measure:(fun _ _ -> 1.0) ~rng;
+  Alcotest.(check (float 1e-9)) "untouched error" 1.0 (Vivaldi.local_error w 0)
+
+let test_vivaldi_observe_validation () =
+  let rng = Prelude.Prng.create 23 in
+  let v = Vivaldi.create Vivaldi.default_params ~node_count:3 ~rng in
+  Alcotest.check_raises "bad rtt" (Invalid_argument "Vivaldi.observe: bad RTT") (fun () ->
+      Vivaldi.observe v ~i:0 ~j:1 ~rtt:(-3.0));
+  Alcotest.check_raises "self" (Invalid_argument "Vivaldi.observe: self-measurement") (fun () ->
+      Vivaldi.observe v ~i:1 ~j:1 ~rtt:5.0)
+
+let test_vivaldi_symmetric_estimate () =
+  let rng = Prelude.Prng.create 24 in
+  let v = Vivaldi.create Vivaldi.default_params ~node_count:4 ~rng in
+  Vivaldi.observe v ~i:0 ~j:1 ~rtt:10.0;
+  Vivaldi.observe v ~i:1 ~j:0 ~rtt:10.0;
+  Alcotest.(check (float 1e-9)) "estimate symmetric" (Vivaldi.estimate v 0 1) (Vivaldi.estimate v 1 0)
+
+let test_gnp_embeds_euclidean () =
+  let rng = Prelude.Prng.create 25 in
+  let pos = grid_positions 12 rng in
+  let measure i j = Vector.distance pos.(i) pos.(j) in
+  let landmarks = [| 0; 1; 2; 3; 4 |] in
+  let t = Gnp.embed_landmarks ~dims:2 ~landmarks ~measure ~rng in
+  Alcotest.(check bool) (Printf.sprintf "landmark fit %.4f" (Gnp.fit_error t)) true (Gnp.fit_error t < 0.05);
+  (* Place the remaining hosts and check pairwise predictions. *)
+  let coords =
+    Array.init 12 (fun i ->
+        if i < 5 then Gnp.landmark_coordinate t i
+        else Gnp.place_host t ~rtts:(Array.map (fun l -> measure i l) landmarks))
+  in
+  let errs = ref [] in
+  for i = 0 to 11 do
+    for j = i + 1 to 11 do
+      let actual = measure i j in
+      if actual > 1.0 then begin
+        let predicted = Gnp.estimate coords.(i) coords.(j) in
+        errs := (abs_float (predicted -. actual) /. actual) :: !errs
+      end
+    done
+  done;
+  let median = Prelude.Stats.median (Array.of_list !errs) in
+  Alcotest.(check bool) (Printf.sprintf "median relative error %.3f" median) true (median < 0.15)
+
+let test_gnp_validation () =
+  let rng = Prelude.Prng.create 26 in
+  Alcotest.check_raises "too few landmarks"
+    (Invalid_argument "Gnp.embed_landmarks: need at least dims + 1 landmarks") (fun () ->
+      ignore (Gnp.embed_landmarks ~dims:3 ~landmarks:[| 0; 1 |] ~measure:(fun _ _ -> 1.0) ~rng));
+  let t = Gnp.embed_landmarks ~dims:2 ~landmarks:[| 0; 1; 2 |] ~measure:(fun _ _ -> 10.0) ~rng in
+  Alcotest.check_raises "rtt vector length"
+    (Invalid_argument "Gnp.place_host: RTT vector length must match landmark count") (fun () ->
+      ignore (Gnp.place_host t ~rtts:[| 1.0 |]));
+  Alcotest.(check (array int)) "ids preserved" [| 0; 1; 2 |] (Gnp.landmark_ids t)
+
+(* --- Meridian --- *)
+
+let meridian_fixture ~peers ~seed =
+  let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params 500) ~seed in
+  let rng = Prelude.Prng.create seed in
+  let peer_routers =
+    Array.map (fun i -> map.leaves.(i))
+      (Prelude.Prng.sample_without_replacement rng ~k:peers ~n:(Array.length map.leaves))
+  in
+  let oracle = Traceroute.Route_oracle.create map.graph in
+  let overlay = Meridian.build Meridian.default_params oracle ~peer_routers ~rng in
+  (map, peer_routers, oracle, overlay, rng)
+
+let test_meridian_rings_well_formed () =
+  let _, peer_routers, oracle, overlay, _ = meridian_fixture ~peers:40 ~seed:31 in
+  Alcotest.(check int) "peer count" 40 (Meridian.peer_count overlay);
+  let params = Meridian.default_params in
+  for peer = 0 to 39 do
+    for ring = 0 to params.rings - 1 do
+      let members = Meridian.ring_of overlay ~peer ~ring in
+      Alcotest.(check bool) "bounded size" true (List.length members <= params.members_per_ring);
+      List.iter
+        (fun m ->
+          Alcotest.(check bool) "no self" true (m <> peer);
+          (* The member's RTT really falls in (or below) the ring's range. *)
+          let rtt =
+            Traceroute.Probe.ping oracle ~src:peer_routers.(peer) ~dst:peer_routers.(m)
+          in
+          let upper = params.ring_base_ms *. (2.0 ** float_of_int ring) in
+          Alcotest.(check bool)
+            (Printf.sprintf "rtt %.1f within ring %d upper %.1f" rtt ring upper)
+            true
+            (ring = params.rings - 1 || rtt < upper +. 1e-9))
+        members
+    done
+  done
+
+let test_meridian_search_improves_on_entry () =
+  let _, peer_routers, oracle, overlay, rng = meridian_fixture ~peers:50 ~seed:32 in
+  for _ = 1 to 20 do
+    let target = Prelude.Prng.int rng 50 in
+    let entry = (target + 1 + Prelude.Prng.int rng 48) mod 50 in
+    let entry = if entry = target then (entry + 1) mod 50 else entry in
+    let search =
+      Meridian.closest_search ~exclude:(fun p -> p = target) overlay
+        ~target_router:peer_routers.(target) ~entry
+    in
+    let entry_rtt = Traceroute.Probe.ping oracle ~src:peer_routers.(entry) ~dst:peer_routers.(target) in
+    Alcotest.(check bool) "never worse than the entry" true (search.rtt_ms <= entry_rtt +. 1e-9);
+    Alcotest.(check bool) "found is not the target" true (search.found <> target);
+    Alcotest.(check bool) "probes counted" true (search.probes_sent >= 1);
+    Alcotest.(check bool) "elapsed positive" true (search.elapsed_ms > 0.0)
+  done
+
+let test_meridian_k_nearest_sane () =
+  let _, peer_routers, _, overlay, _ = meridian_fixture ~peers:30 ~seed:33 in
+  let result = Meridian.k_nearest ~exclude:(fun p -> p = 0) overlay ~target_router:peer_routers.(0) ~entry:5 ~k:4 in
+  Alcotest.(check bool) "at most k" true (List.length result <= 4);
+  Alcotest.(check bool) "never the excluded target" true (List.for_all (fun p -> p <> 0) result);
+  Alcotest.(check int) "distinct" (List.length result) (List.length (List.sort_uniq compare result));
+  Alcotest.(check (list int)) "k = 0" [] (Meridian.k_nearest overlay ~target_router:peer_routers.(0) ~entry:5 ~k:0)
+
+let test_meridian_validation () =
+  let _, peer_routers, _, overlay, _ = meridian_fixture ~peers:10 ~seed:34 in
+  Alcotest.check_raises "bad entry" (Invalid_argument "Meridian.closest_search: bad entry")
+    (fun () -> ignore (Meridian.closest_search overlay ~target_router:peer_routers.(0) ~entry:99))
+
+let suite =
+  ( "coord",
+    [
+      Alcotest.test_case "vector ops" `Quick test_vector_ops;
+      Alcotest.test_case "unit toward" `Quick test_unit_toward;
+      Alcotest.test_case "nelder-mead quadratic" `Quick test_nelder_mead_quadratic;
+      Alcotest.test_case "nelder-mead 1d" `Quick test_nelder_mead_1d;
+      Alcotest.test_case "nelder-mead rosenbrock" `Quick test_nelder_mead_rosenbrock;
+      Alcotest.test_case "nelder-mead bounds" `Quick test_nelder_mead_iterations_bounded;
+      Alcotest.test_case "vivaldi converges" `Slow test_vivaldi_converges_on_euclidean_rtts;
+      Alcotest.test_case "vivaldi error decreases" `Quick test_vivaldi_error_decreases;
+      Alcotest.test_case "vivaldi neighbor-restricted" `Slow test_vivaldi_neighbor_restricted;
+      Alcotest.test_case "vivaldi validation" `Quick test_vivaldi_observe_validation;
+      Alcotest.test_case "vivaldi estimate symmetric" `Quick test_vivaldi_symmetric_estimate;
+      Alcotest.test_case "gnp embeds euclidean" `Slow test_gnp_embeds_euclidean;
+      Alcotest.test_case "gnp validation" `Quick test_gnp_validation;
+      Alcotest.test_case "meridian rings" `Quick test_meridian_rings_well_formed;
+      Alcotest.test_case "meridian search improves" `Quick test_meridian_search_improves_on_entry;
+      Alcotest.test_case "meridian k-nearest" `Quick test_meridian_k_nearest_sane;
+      Alcotest.test_case "meridian validation" `Quick test_meridian_validation;
+    ] )

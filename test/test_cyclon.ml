@@ -1,0 +1,107 @@
+(* Cyclon peer sampling. *)
+
+open Nearby
+
+let make ~n ~seed = Cyclon.create Cyclon.default_params ~n ~rng:(Prelude.Prng.create seed)
+
+let test_create_validation () =
+  let rng = Prelude.Prng.create 1 in
+  Alcotest.check_raises "view too big"
+    (Invalid_argument "Cyclon.create: need 0 < shuffle_length <= view_size < n") (fun () ->
+      ignore (Cyclon.create { view_size = 10; shuffle_length = 4 } ~n:10 ~rng));
+  Alcotest.check_raises "shuffle too big"
+    (Invalid_argument "Cyclon.create: need 0 < shuffle_length <= view_size < n") (fun () ->
+      ignore (Cyclon.create { view_size = 4; shuffle_length = 5 } ~n:100 ~rng))
+
+let test_bootstrap_views () =
+  let t = make ~n:20 ~seed:2 in
+  Alcotest.(check int) "node count" 20 (Cyclon.node_count t);
+  Alcotest.(check (list int)) "ring bootstrap" [ 1; 2; 3; 4; 5; 6; 7; 8 ] (Cyclon.view t 0);
+  Cyclon.check_invariants t
+
+let test_invariants_over_rounds () =
+  let t = make ~n:60 ~seed:3 in
+  for _ = 1 to 30 do
+    Cyclon.round t;
+    Cyclon.check_invariants t
+  done;
+  (* Views stay full: the shuffle conserves entry counts. *)
+  for i = 0 to 59 do
+    Alcotest.(check int)
+      (Printf.sprintf "node %d view full" i)
+      Cyclon.default_params.view_size
+      (List.length (Cyclon.view t i))
+  done
+
+let test_mixing_balances_indegree () =
+  let t = make ~n:100 ~seed:4 in
+  let spread degs =
+    let s = Prelude.Stats.create () in
+    Array.iter (fun d -> Prelude.Stats.add s (float_of_int d)) degs;
+    Prelude.Stats.stddev s
+  in
+  (* Ring bootstrap is perfectly balanced; a few rounds perturb it, many
+     rounds keep it tight.  The meaningful check: after heavy mixing the
+     in-degree spread stays small relative to the mean (Cyclon's headline
+     property). *)
+  for _ = 1 to 40 do
+    Cyclon.round t
+  done;
+  let degs = Cyclon.indegrees t in
+  let mean = float_of_int (Array.fold_left ( + ) 0 degs) /. 100.0 in
+  Alcotest.(check (float 1e-9)) "mean indegree = view size" (float_of_int Cyclon.default_params.view_size) mean;
+  Alcotest.(check bool)
+    (Printf.sprintf "spread %.2f below mean" (spread degs))
+    true
+    (spread degs < mean);
+  let max_deg = Array.fold_left max 0 degs and min_deg = Array.fold_left min max_int degs in
+  Alcotest.(check bool)
+    (Printf.sprintf "degrees in a tight band (%d..%d)" min_deg max_deg)
+    true
+    (max_deg <= 4 * Cyclon.default_params.view_size && min_deg >= 1)
+
+let test_mixing_breaks_the_ring () =
+  let t = make ~n:100 ~seed:5 in
+  for _ = 1 to 20 do
+    Cyclon.round t
+  done;
+  (* After mixing, node 0's view should not be its ring successors. *)
+  Alcotest.(check bool) "view mixed away from the ring" true
+    (Cyclon.view t 0 <> [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+
+let test_sample () =
+  let t = make ~n:30 ~seed:6 in
+  let rng = Prelude.Prng.create 7 in
+  for _ = 1 to 5 do
+    Cyclon.round t
+  done;
+  for i = 0 to 29 do
+    match Cyclon.sample t i ~rng with
+    | Some p ->
+        Alcotest.(check bool) "sample from view" true (List.mem p (Cyclon.view t i));
+        Alcotest.(check bool) "not self" true (p <> i)
+    | None -> Alcotest.fail "view cannot be empty"
+  done
+
+let test_deterministic () =
+  let run seed =
+    let t = make ~n:40 ~seed in
+    for _ = 1 to 10 do
+      Cyclon.round t
+    done;
+    List.init 40 (Cyclon.view t)
+  in
+  Alcotest.(check bool) "same seed same views" true (run 8 = run 8);
+  Alcotest.(check bool) "different seed differs" true (run 8 <> run 9)
+
+let suite =
+  ( "cyclon",
+    [
+      Alcotest.test_case "create validation" `Quick test_create_validation;
+      Alcotest.test_case "bootstrap views" `Quick test_bootstrap_views;
+      Alcotest.test_case "invariants over rounds" `Quick test_invariants_over_rounds;
+      Alcotest.test_case "indegree balance" `Quick test_mixing_balances_indegree;
+      Alcotest.test_case "ring broken by mixing" `Quick test_mixing_breaks_the_ring;
+      Alcotest.test_case "sample" `Quick test_sample;
+      Alcotest.test_case "deterministic" `Quick test_deterministic;
+    ] )

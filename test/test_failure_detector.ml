@@ -1,0 +1,119 @@
+(* Failure_detector: detection latency, graceful leaves, false positives
+   under message loss. *)
+
+open Simkit
+
+let setup ?rng ?loss_prob ~seed () =
+  let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params 300) ~seed in
+  let oracle = Traceroute.Route_oracle.create map.graph in
+  let engine = Engine.create () in
+  let transport = Transport.create ?rng ?loss_prob engine oracle in
+  (map, engine, transport)
+
+let config =
+  { Failure_detector.heartbeat_period_ms = 100.0; timeout_ms = 350.0; heartbeat_bytes = 32 }
+
+let test_create_validation () =
+  let _, _, transport = setup ~seed:1 () in
+  Alcotest.check_raises "period >= timeout"
+    (Invalid_argument "Failure_detector.create: need 0 < period < timeout") (fun () ->
+      ignore
+        (Failure_detector.create
+           { Failure_detector.heartbeat_period_ms = 10.0; timeout_ms = 5.0; heartbeat_bytes = 1 }
+           ~transport ~monitor_router:0
+           ~on_failure:(fun _ -> ())))
+
+let test_live_peer_never_suspected () =
+  let map, engine, transport = setup ~seed:2 () in
+  let failures = ref [] in
+  let d =
+    Failure_detector.create config ~transport ~monitor_router:map.core.(0)
+      ~on_failure:(fun p -> failures := p :: !failures)
+  in
+  Failure_detector.watch d ~peer:7 ~router:map.leaves.(0) ~alive:(fun () -> true);
+  Engine.run ~until:5_000.0 engine;
+  Alcotest.(check (list int)) "no failures" [] !failures;
+  Alcotest.(check bool) "not suspected" false (Failure_detector.is_suspected d ~peer:7);
+  Alcotest.(check int) "still watched" 1 (Failure_detector.watched_count d)
+
+let test_crash_detected_within_latency_bound () =
+  let map, engine, transport = setup ~seed:3 () in
+  let detected_at = ref nan in
+  let d =
+    Failure_detector.create config ~transport ~monitor_router:map.core.(0)
+      ~on_failure:(fun _ -> detected_at := Engine.now engine)
+  in
+  let crash_time = 1_000.0 in
+  let alive () = Engine.now engine < crash_time in
+  Failure_detector.watch d ~peer:1 ~router:map.leaves.(1) ~alive;
+  Engine.run ~until:10_000.0 engine;
+  Alcotest.(check bool) "detected" true (not (Float.is_nan !detected_at));
+  Alcotest.(check bool)
+    (Printf.sprintf "detected at %.0f, crash at %.0f" !detected_at crash_time)
+    true
+    (* No earlier than crash + (timeout - one period); no later than
+       crash + timeout + one period + network slack. *)
+    (!detected_at >= crash_time
+    && !detected_at <= crash_time +. config.timeout_ms +. config.heartbeat_period_ms +. 100.0);
+  Alcotest.(check bool) "marked suspected" true (Failure_detector.is_suspected d ~peer:1);
+  Alcotest.(check int) "one suspicion" 1 (Failure_detector.suspicions d)
+
+let test_graceful_unwatch_is_silent () =
+  let map, engine, transport = setup ~seed:4 () in
+  let failures = ref 0 in
+  let d =
+    Failure_detector.create config ~transport ~monitor_router:map.core.(0)
+      ~on_failure:(fun _ -> incr failures)
+  in
+  let alive = ref true in
+  Failure_detector.watch d ~peer:2 ~router:map.leaves.(2) ~alive:(fun () -> !alive);
+  Engine.schedule engine ~delay:500.0 (fun () ->
+      (* Leave gracefully: unwatch, then stop heartbeating. *)
+      Failure_detector.unwatch d ~peer:2;
+      alive := false);
+  Engine.run ~until:5_000.0 engine;
+  Alcotest.(check int) "no suspicion" 0 !failures;
+  Alcotest.(check bool) "forgotten" false (Failure_detector.is_watched d ~peer:2);
+  Failure_detector.unwatch d ~peer:2
+
+let test_double_watch_rejected () =
+  let map, _, transport = setup ~seed:5 () in
+  let d =
+    Failure_detector.create config ~transport ~monitor_router:map.core.(0) ~on_failure:(fun _ -> ())
+  in
+  Failure_detector.watch d ~peer:3 ~router:map.leaves.(3) ~alive:(fun () -> true);
+  Alcotest.check_raises "double watch" (Invalid_argument "Failure_detector.watch: already watched")
+    (fun () -> Failure_detector.watch d ~peer:3 ~router:map.leaves.(3) ~alive:(fun () -> true))
+
+let test_loss_causes_false_positives () =
+  (* With heavy loss and a timeout of 3.5 periods, runs of 3+ lost
+     heartbeats happen and produce false suspicions of live peers — the
+     accuracy cost the detector literature is about. *)
+  let false_positives ~loss_prob ~seed =
+    let rng = Prelude.Prng.create seed in
+    let map, engine, transport = setup ~rng ~loss_prob ~seed () in
+    let count = ref 0 in
+    let d =
+      Failure_detector.create config ~transport ~monitor_router:map.core.(0)
+        ~on_failure:(fun _ -> incr count)
+    in
+    for peer = 0 to 19 do
+      Failure_detector.watch d ~peer ~router:map.leaves.(peer) ~alive:(fun () -> true)
+    done;
+    Engine.run ~until:60_000.0 engine;
+    !count
+  in
+  Alcotest.(check int) "no loss, no false positives" 0 (false_positives ~loss_prob:0.0 ~seed:6);
+  let noisy = false_positives ~loss_prob:0.45 ~seed:7 in
+  Alcotest.(check bool) (Printf.sprintf "heavy loss produces them (%d)" noisy) true (noisy > 0)
+
+let suite =
+  ( "failure_detector",
+    [
+      Alcotest.test_case "create validation" `Quick test_create_validation;
+      Alcotest.test_case "live peer stays trusted" `Quick test_live_peer_never_suspected;
+      Alcotest.test_case "crash detection latency" `Quick test_crash_detected_within_latency_bound;
+      Alcotest.test_case "graceful unwatch" `Quick test_graceful_unwatch_is_silent;
+      Alcotest.test_case "double watch rejected" `Quick test_double_watch_rejected;
+      Alcotest.test_case "loss causes false positives" `Slow test_loss_causes_false_positives;
+    ] )

@@ -1,0 +1,262 @@
+(* Topology generators: structure, determinism, and the statistical
+   regularities the paper's mechanism relies on. *)
+
+open Topology
+
+let test_er_counts () =
+  let g = Gen_er.generate ~nodes:200 ~edges:400 ~seed:1 in
+  Alcotest.(check int) "nodes" 200 (Graph.node_count g);
+  Alcotest.(check int) "edges" 400 (Graph.edge_count g)
+
+let test_er_bounds () =
+  Alcotest.check_raises "too many edges" (Invalid_argument "Gen_er.generate: edge count out of range")
+    (fun () -> ignore (Gen_er.generate ~nodes:3 ~edges:4 ~seed:1));
+  let complete = Gen_er.generate ~nodes:4 ~edges:6 ~seed:1 in
+  Alcotest.(check int) "complete graph" 6 (Graph.edge_count complete)
+
+let test_er_connected () =
+  let g = Gen_er.generate_connected ~nodes:300 ~edges:400 ~seed:2 in
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check int) "edges" 400 (Graph.edge_count g);
+  let tree = Gen_er.generate_connected ~nodes:50 ~edges:49 ~seed:3 in
+  Alcotest.(check bool) "spanning tree" true (Graph.is_connected tree)
+
+let test_er_determinism () =
+  let a = Gen_er.generate ~nodes:100 ~edges:150 ~seed:7 in
+  let b = Gen_er.generate ~nodes:100 ~edges:150 ~seed:7 in
+  Alcotest.(check bool) "same edges" true (Graph.edges a = Graph.edges b)
+
+let test_ba_structure () =
+  let g = Gen_ba.generate ~nodes:1000 ~edges_per_node:3 ~seed:4 in
+  Alcotest.(check int) "nodes" 1000 (Graph.node_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  (* Each of the n - m - 1 attachment steps adds m edges on top of the seed
+     clique's m(m+1)/2. *)
+  Alcotest.(check int) "edges" ((3 * 4 / 2) + (3 * (1000 - 4))) (Graph.edge_count g);
+  Alcotest.(check bool) "min degree >= m" true
+    (List.for_all (fun v -> Graph.degree g v >= 3) (Graph.nodes_matching g (fun _ _ -> true)))
+
+let test_ba_heavy_tail () =
+  let ba = Gen_ba.generate ~nodes:2000 ~edges_per_node:3 ~seed:5 in
+  let er = Gen_er.generate_connected ~nodes:2000 ~edges:(Graph.edge_count ba) ~seed:5 in
+  Alcotest.(check bool) "BA max degree beats ER" true (Graph.max_degree ba > Graph.max_degree er);
+  Alcotest.(check bool) "BA gini beats ER" true (Degree.gini ba > Degree.gini er)
+
+let test_ba_invalid () =
+  Alcotest.check_raises "nodes <= m" (Invalid_argument "Gen_ba.generate: need nodes > edges_per_node")
+    (fun () -> ignore (Gen_ba.generate ~nodes:3 ~edges_per_node:3 ~seed:1))
+
+let test_glp_structure () =
+  let g = Gen_glp.generate ~nodes:800 ~m:2 ~p:0.4 ~beta:0.6 ~seed:6 in
+  Alcotest.(check int) "nodes" 800 (Graph.node_count g);
+  Alcotest.(check bool) "heavy tailed" true (Degree.gini g > 0.2);
+  Alcotest.(check bool) "has a hub" true (Graph.max_degree g > 20)
+
+let test_glp_invalid () =
+  Alcotest.check_raises "beta >= 1" (Invalid_argument "Gen_glp.generate: beta must be < 1") (fun () ->
+      ignore (Gen_glp.generate ~nodes:10 ~m:1 ~p:0.1 ~beta:1.0 ~seed:1))
+
+let test_waxman_structure () =
+  let g, placement = Gen_waxman.generate ~nodes:150 ~alpha:0.3 ~beta:0.25 ~seed:7 in
+  Alcotest.(check int) "nodes" 150 (Graph.node_count g);
+  Alcotest.(check bool) "connected by stitching" true (Graph.is_connected g);
+  Alcotest.(check int) "placement size" 150 (Array.length placement.x);
+  Array.iter
+    (fun x -> Alcotest.(check bool) "coords in unit square" true (x >= 0.0 && x <= 1.0))
+    placement.x
+
+let test_waxman_locality () =
+  (* Edges should connect closer-than-average pairs. *)
+  let g, p = Gen_waxman.generate ~nodes:120 ~alpha:0.4 ~beta:0.15 ~seed:8 in
+  let dist i j = sqrt (((p.x.(i) -. p.x.(j)) ** 2.0) +. ((p.y.(i) -. p.y.(j)) ** 2.0)) in
+  let edge_dist = Prelude.Stats.create () in
+  List.iter (fun (u, v) -> Prelude.Stats.add edge_dist (dist u v)) (Graph.edges g);
+  let all_dist = Prelude.Stats.create () in
+  for i = 0 to 119 do
+    for j = i + 1 to 119 do
+      Prelude.Stats.add all_dist (dist i j)
+    done
+  done;
+  Alcotest.(check bool) "edges are local" true
+    (Prelude.Stats.mean edge_dist < Prelude.Stats.mean all_dist)
+
+let test_transit_stub_structure () =
+  let p = Gen_transit_stub.default_params in
+  let g = Gen_transit_stub.generate p ~seed:9 in
+  let expected_nodes =
+    let transit = p.transit_domains * p.routers_per_transit in
+    transit + (transit * p.stubs_per_transit_router * p.routers_per_stub)
+  in
+  Alcotest.(check int) "node count" expected_nodes (Graph.node_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_transit_stub_hierarchy () =
+  (* Removing a transit router must disconnect its stub routers from the
+     other transit domain - checked indirectly: stub-to-stub routes cross the
+     transit layer.  We verify the transit nodes carry high betweenness. *)
+  let p = { Gen_transit_stub.default_params with intra_edge_prob = 0.3 } in
+  let g = Gen_transit_stub.generate p ~seed:10 in
+  let b = Centrality.betweenness g in
+  let transit_count = p.transit_domains * p.routers_per_transit in
+  let mean_transit = ref 0.0 and mean_stub = ref 0.0 in
+  let n = Graph.node_count g in
+  for v = 0 to transit_count - 1 do
+    mean_transit := !mean_transit +. b.(v)
+  done;
+  for v = transit_count to n - 1 do
+    mean_stub := !mean_stub +. b.(v)
+  done;
+  let mean_transit = !mean_transit /. float_of_int transit_count in
+  let mean_stub = !mean_stub /. float_of_int (n - transit_count) in
+  Alcotest.(check bool) "transit routers dominate betweenness" true (mean_transit > 2.0 *. mean_stub)
+
+let test_magoni_partition () =
+  let map = Gen_magoni.generate (Gen_magoni.default_params 1000) ~seed:11 in
+  let n_core = Array.length map.core
+  and n_tree = Array.length map.tree
+  and n_leaf = Array.length map.leaves in
+  Alcotest.(check int) "partition covers everything" 1000 (n_core + n_tree + n_leaf);
+  Alcotest.(check bool) "core ~15%" true (abs (n_core - 150) <= 2);
+  Alcotest.(check bool) "leaves ~40%" true (abs (n_leaf - 400) <= 2);
+  Alcotest.(check bool) "connected" true (Graph.is_connected map.graph);
+  (* Every designated leaf really has degree 1 (the paper attaches peers to
+     degree-1 routers). *)
+  Array.iter
+    (fun leaf -> Alcotest.(check int) "leaf degree" 1 (Graph.degree map.graph leaf))
+    map.leaves
+
+let test_magoni_core_is_central () =
+  let map = Gen_magoni.generate (Gen_magoni.default_params 600) ~seed:12 in
+  let rng = Prelude.Prng.create 12 in
+  let b = Centrality.betweenness_sampled map.graph ~sources:100 ~rng in
+  let mean over =
+    Array.fold_left (fun acc v -> acc +. b.(v)) 0.0 over /. float_of_int (Array.length over)
+  in
+  (* The paper's premise: routes funnel through the heavy-tailed core. *)
+  Alcotest.(check bool) "core betweenness >> leaf betweenness" true
+    (mean map.core > 10.0 *. mean map.leaves);
+  Alcotest.(check bool) "core betweenness > tree betweenness" true (mean map.core > mean map.tree)
+
+let test_magoni_heavy_tail () =
+  let map = Gen_magoni.generate (Gen_magoni.default_params 2000) ~seed:13 in
+  let alpha = Degree.power_law_alpha map.graph ~x_min:3 in
+  Alcotest.(check bool) (Printf.sprintf "alpha = %.2f plausible" alpha) true
+    (alpha > 1.8 && alpha < 4.0);
+  Alcotest.(check bool) "hub exists" true (Graph.max_degree map.graph > 25)
+
+let test_magoni_determinism () =
+  let a = Gen_magoni.generate (Gen_magoni.default_params 500) ~seed:14 in
+  let b = Gen_magoni.generate (Gen_magoni.default_params 500) ~seed:14 in
+  Alcotest.(check bool) "same graph" true (Graph.edges a.graph = Graph.edges b.graph);
+  let c = Gen_magoni.generate (Gen_magoni.default_params 500) ~seed:15 in
+  Alcotest.(check bool) "different seed differs" true (Graph.edges a.graph <> Graph.edges c.graph)
+
+let test_magoni_invalid () =
+  Alcotest.check_raises "tiny map" (Invalid_argument "Gen_magoni.generate: need at least 20 routers")
+    (fun () -> ignore (Gen_magoni.generate { (Gen_magoni.default_params 10) with routers = 10 } ~seed:1))
+
+let test_config_model_degrees_bounded () =
+  let degrees = [| 3; 2; 2; 1; 1; 1 |] in
+  let g = Gen_config_model.generate ~degrees ~seed:16 in
+  Alcotest.(check int) "node count" 6 (Graph.node_count g);
+  Array.iteri
+    (fun v d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d realized <= requested" v)
+        true
+        (Graph.degree g v <= d))
+    degrees;
+  Alcotest.check_raises "negative degree"
+    (Invalid_argument "Gen_config_model.generate: negative degree") (fun () ->
+      ignore (Gen_config_model.generate ~degrees:[| -1 |] ~seed:1))
+
+let test_config_model_realizes_most_edges () =
+  (* On a long sequence, the erased variant loses only a vanishing fraction
+     of stubs. *)
+  let rng = Prelude.Prng.create 17 in
+  let degrees = Gen_config_model.power_law_degrees ~n:2000 ~alpha:2.2 ~d_min:1 ~d_max:50 ~rng in
+  let requested = Array.fold_left ( + ) 0 degrees / 2 in
+  let g = Gen_config_model.generate ~degrees ~seed:18 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d of %d edges realized" (Graph.edge_count g) requested)
+    true
+    (float_of_int (Graph.edge_count g) > 0.9 *. float_of_int requested)
+
+let test_config_model_power_law_shape () =
+  let g, giant = Gen_config_model.generate_power_law ~n:3000 ~alpha:2.2 ~d_min:1 ~d_max:80 ~seed:19 in
+  Alcotest.(check bool) "giant component is large" true
+    (Graph.node_count giant > Graph.node_count g / 2);
+  Alcotest.(check bool) "giant connected" true (Graph.is_connected giant);
+  let alpha = Degree.power_law_alpha giant ~x_min:2 in
+  Alcotest.(check bool) (Printf.sprintf "alpha = %.2f near 2.2" alpha) true
+    (alpha > 1.7 && alpha < 3.0)
+
+let test_power_law_degrees_range () =
+  let rng = Prelude.Prng.create 20 in
+  let degrees = Gen_config_model.power_law_degrees ~n:500 ~alpha:2.0 ~d_min:2 ~d_max:10 ~rng in
+  Array.iter
+    (fun d -> Alcotest.(check bool) "in range" true (d >= 2 && d <= 10))
+    degrees;
+  Alcotest.check_raises "bad range" (Invalid_argument "Gen_config_model.power_law_degrees: bad range")
+    (fun () -> ignore (Gen_config_model.power_law_degrees ~n:5 ~alpha:2.0 ~d_min:0 ~d_max:3 ~rng))
+
+let test_largest_component () =
+  (* Two triangles and an isolated node: the function must return one
+     triangle (3 nodes). *)
+  let g = Graph.of_edges ~node_count:7 [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5) ] in
+  let giant = Gen_config_model.largest_component g in
+  Alcotest.(check int) "three nodes" 3 (Graph.node_count giant);
+  Alcotest.(check int) "three edges" 3 (Graph.edge_count giant);
+  Alcotest.(check bool) "connected" true (Graph.is_connected giant)
+
+let test_magoni_fit () =
+  let r = Gen_magoni.fit ~routers:800 ~target_alpha:2.2 ~target_mean_distance:7.0 ~seed:21 in
+  Alcotest.(check bool)
+    (Printf.sprintf "fit error %.3f reasonable (alpha %.2f, dist %.2f)" r.error r.alpha
+       r.mean_distance)
+    true
+    (r.error < 0.5);
+  Alcotest.(check bool) "achieved alpha plausible" true (r.alpha > 1.5 && r.alpha < 4.0);
+  (* The fitted parameters regenerate a valid connected map. *)
+  let map = Gen_magoni.generate r.fitted ~seed:21 in
+  Alcotest.(check bool) "fitted map connected" true (Graph.is_connected map.graph);
+  Alcotest.check_raises "bad target" (Invalid_argument "Gen_magoni.fit: targets must be positive (alpha > 1)")
+    (fun () -> ignore (Gen_magoni.fit ~routers:100 ~target_alpha:0.5 ~target_mean_distance:5.0 ~seed:1))
+
+let qcheck_magoni_connected =
+  QCheck.Test.make ~name:"magoni maps are always connected" ~count:10
+    QCheck.(pair (int_range 50 400) small_int)
+    (fun (routers, seed) ->
+      let map = Gen_magoni.generate (Gen_magoni.default_params routers) ~seed in
+      Graph.is_connected map.graph)
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t in
+  ( "generators",
+    [
+      Alcotest.test_case "er counts" `Quick test_er_counts;
+      Alcotest.test_case "er bounds" `Quick test_er_bounds;
+      Alcotest.test_case "er connected" `Quick test_er_connected;
+      Alcotest.test_case "er determinism" `Quick test_er_determinism;
+      Alcotest.test_case "ba structure" `Quick test_ba_structure;
+      Alcotest.test_case "ba heavy tail" `Slow test_ba_heavy_tail;
+      Alcotest.test_case "ba invalid" `Quick test_ba_invalid;
+      Alcotest.test_case "glp structure" `Slow test_glp_structure;
+      Alcotest.test_case "glp invalid" `Quick test_glp_invalid;
+      Alcotest.test_case "waxman structure" `Quick test_waxman_structure;
+      Alcotest.test_case "waxman locality" `Quick test_waxman_locality;
+      Alcotest.test_case "transit-stub structure" `Quick test_transit_stub_structure;
+      Alcotest.test_case "transit-stub hierarchy" `Quick test_transit_stub_hierarchy;
+      Alcotest.test_case "magoni partition" `Quick test_magoni_partition;
+      Alcotest.test_case "magoni core centrality" `Slow test_magoni_core_is_central;
+      Alcotest.test_case "magoni heavy tail" `Slow test_magoni_heavy_tail;
+      Alcotest.test_case "magoni determinism" `Quick test_magoni_determinism;
+      Alcotest.test_case "magoni invalid" `Quick test_magoni_invalid;
+      Alcotest.test_case "magoni fit" `Slow test_magoni_fit;
+      Alcotest.test_case "config model degrees bounded" `Quick test_config_model_degrees_bounded;
+      Alcotest.test_case "config model edge yield" `Quick test_config_model_realizes_most_edges;
+      Alcotest.test_case "config model power law" `Slow test_config_model_power_law_shape;
+      Alcotest.test_case "power-law degree range" `Quick test_power_law_degrees_range;
+      Alcotest.test_case "largest component" `Quick test_largest_component;
+      q qcheck_magoni_connected;
+    ] )

@@ -1,0 +1,145 @@
+(* Graph (CSR) and Builder. *)
+
+open Topology
+
+let triangle () = Graph.of_edges ~node_count:3 [ (0, 1); (1, 2); (0, 2) ]
+
+(* A path 0-1-2-3 plus a pendant 4 off node 1. *)
+let small () = Graph.of_edges ~node_count:5 [ (0, 1); (1, 2); (2, 3); (1, 4) ]
+
+let test_counts () =
+  let g = small () in
+  Alcotest.(check int) "nodes" 5 (Graph.node_count g);
+  Alcotest.(check int) "edges" 4 (Graph.edge_count g);
+  Alcotest.(check int) "degree 1" 3 (Graph.degree g 1);
+  Alcotest.(check int) "degree 4" 1 (Graph.degree g 4);
+  Alcotest.(check int) "max degree" 3 (Graph.max_degree g);
+  Alcotest.(check (float 1e-9)) "mean degree" 1.6 (Graph.mean_degree g)
+
+let test_neighbors_sorted () =
+  let g = Graph.of_edges ~node_count:4 [ (2, 0); (2, 3); (2, 1) ] in
+  Alcotest.(check (array int)) "sorted neighbors" [| 0; 1; 3 |] (Graph.neighbors g 2)
+
+let test_mem_edge () =
+  let g = small () in
+  Alcotest.(check bool) "present" true (Graph.mem_edge g 1 4);
+  Alcotest.(check bool) "symmetric" true (Graph.mem_edge g 4 1);
+  Alcotest.(check bool) "absent" false (Graph.mem_edge g 0 3);
+  Alcotest.(check bool) "no self edge" false (Graph.mem_edge g 2 2)
+
+let test_edges_canonical () =
+  let g = small () in
+  Alcotest.(check (list (pair int int))) "u < v, sorted" [ (0, 1); (1, 2); (1, 4); (2, 3) ]
+    (Graph.edges g)
+
+let test_roundtrip () =
+  let edges = [ (0, 3); (1, 2); (0, 1) ] in
+  let g = Graph.of_edges ~node_count:4 edges in
+  Alcotest.(check (list (pair int int))) "roundtrip" [ (0, 1); (0, 3); (1, 2) ] (Graph.edges g)
+
+let test_of_edges_errors () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self-loop") (fun () ->
+      ignore (Graph.of_edges ~node_count:2 [ (1, 1) ]));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Graph.of_edges: duplicate edge") (fun () ->
+      ignore (Graph.of_edges ~node_count:2 [ (0, 1); (1, 0) ]));
+  Alcotest.check_raises "out of range" (Invalid_argument "Graph.of_edges: endpoint out of range")
+    (fun () -> ignore (Graph.of_edges ~node_count:2 [ (0, 2) ]))
+
+let test_iter_fold () =
+  let g = triangle () in
+  let seen = ref [] in
+  Graph.iter_neighbors g 0 (fun v -> seen := v :: !seen);
+  Alcotest.(check (list int)) "iter order" [ 1; 2 ] (List.rev !seen);
+  Alcotest.(check int) "fold sum" 3 (Graph.fold_neighbors g 0 (fun acc v -> acc + v) 0)
+
+let test_connectivity () =
+  Alcotest.(check bool) "triangle connected" true (Graph.is_connected (triangle ()));
+  let disconnected = Graph.of_edges ~node_count:4 [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "two components" false (Graph.is_connected disconnected);
+  Alcotest.(check bool) "empty graph" true (Graph.is_connected (Graph.of_edges ~node_count:0 []));
+  Alcotest.(check bool) "singleton" true (Graph.is_connected (Graph.of_edges ~node_count:1 []))
+
+let test_nodes_with_degree () =
+  let g = small () in
+  Alcotest.(check (list int)) "degree-1 nodes" [ 0; 3; 4 ] (Graph.nodes_with_degree g 1);
+  Alcotest.(check (list int)) "degree-3 nodes" [ 1 ] (Graph.nodes_with_degree g 3);
+  Alcotest.(check (list int)) "matching" [ 1; 2 ]
+    (Graph.nodes_matching g (fun _ d -> d >= 2))
+
+let test_out_of_range_access () =
+  let g = triangle () in
+  Alcotest.check_raises "degree oob" (Invalid_argument "Graph.degree: node out of range") (fun () ->
+      ignore (Graph.degree g 3))
+
+(* --- Builder --- *)
+
+let test_builder_basic () =
+  let b = Builder.create 4 in
+  Alcotest.(check bool) "add" true (Builder.add_edge b 0 1);
+  Alcotest.(check bool) "duplicate rejected" false (Builder.add_edge b 1 0);
+  Alcotest.(check bool) "self rejected" false (Builder.add_edge b 2 2);
+  Alcotest.(check int) "edge count" 1 (Builder.edge_count b);
+  Alcotest.(check int) "degree" 1 (Builder.degree b 0);
+  Alcotest.(check bool) "mem" true (Builder.mem_edge b 0 1);
+  Alcotest.(check bool) "not mem" false (Builder.mem_edge b 0 2)
+
+let test_builder_to_graph () =
+  let b = Builder.create 5 in
+  ignore (Builder.add_edge b 0 1);
+  ignore (Builder.add_edge b 3 2);
+  ignore (Builder.add_edge b 4 0);
+  let g = Builder.to_graph b in
+  Alcotest.(check int) "nodes" 5 (Graph.node_count g);
+  Alcotest.(check (list (pair int int))) "edges" [ (0, 1); (0, 4); (2, 3) ] (Graph.edges g)
+
+let test_builder_iter () =
+  let b = Builder.create 3 in
+  ignore (Builder.add_edge b 0 1);
+  ignore (Builder.add_edge b 0 2);
+  let acc = ref [] in
+  Builder.iter_neighbors b 0 (fun v -> acc := v :: !acc);
+  Alcotest.(check (list int)) "insertion order" [ 1; 2 ] (List.rev !acc)
+
+let qcheck_builder_graph_agree =
+  QCheck.Test.make ~name:"builder and frozen graph agree on edges" ~count:100
+    QCheck.(list (pair (int_range 0 9) (int_range 0 9)))
+    (fun pairs ->
+      let b = Builder.create 10 in
+      List.iter (fun (u, v) -> ignore (Builder.add_edge b u v)) pairs;
+      let g = Builder.to_graph b in
+      Graph.edge_count g = Builder.edge_count b
+      && List.for_all (fun (u, v) -> u = v || Graph.mem_edge g u v = Builder.mem_edge b u v) pairs)
+
+let qcheck_degree_sum =
+  QCheck.Test.make ~name:"sum of degrees = 2 * edges" ~count:100
+    QCheck.(list (pair (int_range 0 14) (int_range 0 14)))
+    (fun pairs ->
+      let b = Builder.create 15 in
+      List.iter (fun (u, v) -> ignore (Builder.add_edge b u v)) pairs;
+      let g = Builder.to_graph b in
+      let sum = ref 0 in
+      for v = 0 to 14 do
+        sum := !sum + Graph.degree g v
+      done;
+      !sum = 2 * Graph.edge_count g)
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t in
+  ( "graph",
+    [
+      Alcotest.test_case "counts" `Quick test_counts;
+      Alcotest.test_case "neighbors sorted" `Quick test_neighbors_sorted;
+      Alcotest.test_case "mem_edge" `Quick test_mem_edge;
+      Alcotest.test_case "edges canonical" `Quick test_edges_canonical;
+      Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "of_edges errors" `Quick test_of_edges_errors;
+      Alcotest.test_case "iter/fold" `Quick test_iter_fold;
+      Alcotest.test_case "connectivity" `Quick test_connectivity;
+      Alcotest.test_case "nodes_with_degree" `Quick test_nodes_with_degree;
+      Alcotest.test_case "out of range" `Quick test_out_of_range_access;
+      Alcotest.test_case "builder basic" `Quick test_builder_basic;
+      Alcotest.test_case "builder to_graph" `Quick test_builder_to_graph;
+      Alcotest.test_case "builder iter" `Quick test_builder_iter;
+      q qcheck_builder_graph_agree;
+      q qcheck_degree_sum;
+    ] )

@@ -1,0 +1,87 @@
+(* Topology.Io: edge-list persistence and dot export. *)
+
+open Topology
+
+let with_temp_file f =
+  let path = Filename.temp_file "test_io" ".edges" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let small () = Graph.of_edges ~node_count:5 [ (0, 1); (1, 2); (2, 3); (1, 4) ]
+
+let test_roundtrip_exact () =
+  with_temp_file (fun path ->
+      let g = small () in
+      Io.save_edge_list g path;
+      let g' = Io.load_edge_list ~compact:false path in
+      Alcotest.(check (list (pair int int))) "edges identical" (Graph.edges g) (Graph.edges g');
+      Alcotest.(check int) "node count" (Graph.node_count g) (Graph.node_count g'))
+
+let test_roundtrip_generated () =
+  with_temp_file (fun path ->
+      let map = Gen_magoni.generate (Gen_magoni.default_params 300) ~seed:4 in
+      Io.save_edge_list map.graph path;
+      let g' = Io.load_edge_list ~compact:false path in
+      Alcotest.(check bool) "identical" true (Graph.edges map.graph = Graph.edges g'))
+
+let read_string ?compact s =
+  let path = Filename.temp_file "test_io_str" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc;
+      Io.load_edge_list ?compact path)
+
+let test_parse_comments_and_blanks () =
+  let g = read_string "# a comment\n\n0 1\n  1 2  \n\t2\t3\n" in
+  Alcotest.(check int) "edges" 3 (Graph.edge_count g);
+  Alcotest.(check int) "nodes" 4 (Graph.node_count g)
+
+let test_compact_renumbering () =
+  (* Sparse ids 100, 200, 50 must become dense 0..2 in appearance order. *)
+  let g = read_string ~compact:true "100 200\n200 50\n" in
+  Alcotest.(check int) "dense nodes" 3 (Graph.node_count g);
+  Alcotest.(check (list (pair int int))) "renumbered" [ (0, 1); (1, 2) ] (Graph.edges g)
+
+let test_non_compact_isolates () =
+  let g = read_string ~compact:false "0 3\n" in
+  Alcotest.(check int) "max id + 1 nodes" 4 (Graph.node_count g);
+  Alcotest.(check int) "isolated node degree" 0 (Graph.degree g 1)
+
+let test_malformed () =
+  Alcotest.check_raises "three fields" (Failure "Io.read_edge_list: expected 'u v' on line 1")
+    (fun () -> ignore (read_string "0 1 2\n"));
+  Alcotest.check_raises "not a number" (Failure "Io.read_edge_list: bad ids on line 2") (fun () ->
+      ignore (read_string "0 1\nx y\n"));
+  Alcotest.check_raises "negative id" (Failure "Io.read_edge_list: bad ids on line 1") (fun () ->
+      ignore (read_string "-1 2\n"))
+
+let test_duplicate_rejected () =
+  Alcotest.check_raises "duplicate edge" (Invalid_argument "Graph.of_edges: duplicate edge")
+    (fun () -> ignore (read_string "0 1\n1 0\n"))
+
+let test_to_dot () =
+  let dot = Io.to_dot ~highlight:[ 1 ] (small ()) in
+  Alcotest.(check bool) "has graph header" true (String.length dot > 0);
+  let contains needle =
+    let n = String.length needle and h = String.length dot in
+    let rec scan i = i + n <= h && (String.sub dot i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "edge present" true (contains "0 -- 1;");
+  Alcotest.(check bool) "highlight present" true (contains "1 [style=filled");
+  Alcotest.(check bool) "closing brace" true (contains "}")
+
+let suite =
+  ( "io",
+    [
+      Alcotest.test_case "roundtrip exact" `Quick test_roundtrip_exact;
+      Alcotest.test_case "roundtrip generated map" `Quick test_roundtrip_generated;
+      Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blanks;
+      Alcotest.test_case "compact renumbering" `Quick test_compact_renumbering;
+      Alcotest.test_case "non-compact isolates" `Quick test_non_compact_isolates;
+      Alcotest.test_case "malformed input" `Quick test_malformed;
+      Alcotest.test_case "duplicate rejected" `Quick test_duplicate_rejected;
+      Alcotest.test_case "dot export" `Quick test_to_dot;
+    ] )

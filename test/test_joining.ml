@@ -1,0 +1,88 @@
+(* Joining experiment: open sessions + timed discovery. *)
+
+let tiny_config =
+  {
+    Eval.Joining_exp.quick_config with
+    routers = 400;
+    initial_peers = 40;
+    newcomers = 10;
+    session = { Streaming.Session.default_params with duration_ms = 30_000.0 };
+    seed = 3;
+  }
+
+let test_open_session_add_peer () =
+  let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params 300) ~seed:2 in
+  let session =
+    Streaming.Session.create ~graph:map.graph ~source_router:map.core.(0) ~seed:5 ()
+  in
+  Alcotest.(check int) "empty" 0 (Streaming.Session.peer_count session);
+  let a = Streaming.Session.add_peer session ~router:map.leaves.(0) ~neighbors:[] in
+  let b = Streaming.Session.add_peer session ~router:map.leaves.(1) ~neighbors:[ a ] in
+  Alcotest.(check int) "sequential ids" 1 b;
+  Streaming.Session.link session a b;
+  Streaming.Session.link session a a;
+  Streaming.Session.link session a 999;
+  Alcotest.(check int) "two peers" 2 (Streaming.Session.peer_count session);
+  (* Advance past several chunks: both peers should receive and start. *)
+  Streaming.Session.advance session ~until:15_000.0;
+  let report = Streaming.Session.report session in
+  Alcotest.(check bool) "someone started" true (report.started_fraction > 0.0);
+  Alcotest.(check bool) "messages flowed" true (report.messages > 0)
+
+let test_late_joiner_starts () =
+  let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params 300) ~seed:3 in
+  let session =
+    Streaming.Session.create ~graph:map.graph ~source_router:map.core.(0) ~seed:6 ()
+  in
+  (* Established pair streaming for 20 s, then a latecomer attaches. *)
+  let a = Streaming.Session.add_peer session ~router:map.leaves.(0) ~neighbors:[] in
+  let b = Streaming.Session.add_peer session ~router:map.leaves.(1) ~neighbors:[ a ] in
+  ignore b;
+  Streaming.Session.advance session ~until:20_000.0;
+  let late = Streaming.Session.add_peer session ~router:map.leaves.(2) ~neighbors:[ a; b ] in
+  Streaming.Session.advance session ~until:40_000.0;
+  let report = Streaming.Session.report session in
+  let lr = report.peers.(late) in
+  Alcotest.(check bool) "latecomer started" true (not (Float.is_nan lr.startup_delay_ms));
+  Alcotest.(check bool)
+    (Printf.sprintf "reasonable startup (%.0f ms)" lr.startup_delay_ms)
+    true
+    (lr.startup_delay_ms > 0.0 && lr.startup_delay_ms < 15_000.0);
+  Alcotest.(check bool) "latecomer plays" true (lr.chunks_played > 0)
+
+let test_joining_experiment_smoke () =
+  let rows = Eval.Joining_exp.run tiny_config in
+  Alcotest.(check int) "four methods" 4 (List.length rows);
+  let find name = List.find (fun (r : Eval.Joining_exp.row) -> r.method_name = name) rows in
+  let proposed = find "proposed" in
+  let random = find "random (instant)" in
+  let coords = find "ideal-coords (delayed)" in
+  Alcotest.(check (float 1e-9)) "random discovery is instant" 0.0 random.mean_discovery_ms;
+  Alcotest.(check bool) "proposed discovery costs time" true (proposed.mean_discovery_ms > 0.0);
+  Alcotest.(check bool) "coords pay convergence" true
+    (coords.mean_discovery_ms > proposed.mean_discovery_ms);
+  Alcotest.(check bool)
+    (Printf.sprintf "proposed beats coords to playback (%.0f vs %.0f)"
+       proposed.mean_time_to_play_ms coords.mean_time_to_play_ms)
+    true
+    (proposed.mean_time_to_play_ms < coords.mean_time_to_play_ms);
+  Alcotest.(check bool)
+    (Printf.sprintf "proximity bought closer neighbors (%.2f vs %.2f hops)"
+       proposed.mean_neighbor_hops random.mean_neighbor_hops)
+    true
+    (proposed.mean_neighbor_hops < random.mean_neighbor_hops);
+  List.iter
+    (fun (r : Eval.Joining_exp.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s newcomers mostly start (%.2f)" r.method_name r.started_fraction)
+        true
+        (r.started_fraction > 0.7))
+    rows
+
+let suite =
+  ( "joining",
+    [
+      Alcotest.test_case "open session add_peer" `Quick test_open_session_add_peer;
+      Alcotest.test_case "late joiner starts" `Quick test_late_joiner_starts;
+      Alcotest.test_case "joining experiment" `Slow test_joining_experiment_smoke;
+    ] )

@@ -1,0 +1,80 @@
+(* Kd_tree: exact k-NN against brute force. *)
+
+open Coord
+
+let random_points rng n dims span =
+  Array.init n (fun _ -> Array.init dims (fun _ -> Prelude.Prng.float rng span))
+
+let brute_force points query ~k ~exclude =
+  Array.to_list (Array.mapi (fun i p -> (Vector.distance p query, i)) points)
+  |> List.filter (fun (_, i) -> not (exclude i))
+  |> List.sort compare
+  |> List.filteri (fun j _ -> j < k)
+  |> List.map (fun (d, i) -> (i, d))
+
+let test_build_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Kd_tree.build: empty point set") (fun () ->
+      ignore (Kd_tree.build [||]));
+  Alcotest.check_raises "mixed dims" (Invalid_argument "Kd_tree.build: mixed dimensions") (fun () ->
+      ignore (Kd_tree.build [| [| 1.0 |]; [| 1.0; 2.0 |] |]))
+
+let test_small_exact () =
+  let points = [| [| 0.0; 0.0 |]; [| 1.0; 0.0 |]; [| 0.0; 2.0 |]; [| 5.0; 5.0 |] |] in
+  let t = Kd_tree.build points in
+  Alcotest.(check int) "size" 4 (Kd_tree.size t);
+  Alcotest.(check int) "dims" 2 (Kd_tree.dims t);
+  Alcotest.(check int) "nearest to origin" 0 (Kd_tree.nearest t [| 0.1; 0.1 |]);
+  let knn = Kd_tree.k_nearest t [| 0.0; 0.0 |] ~k:2 () in
+  Alcotest.(check (list int)) "two closest" [ 0; 1 ] (List.map fst knn);
+  let excl = Kd_tree.k_nearest t [| 0.0; 0.0 |] ~k:2 ~exclude:(fun i -> i = 0) () in
+  Alcotest.(check (list int)) "exclusion respected" [ 1; 2 ] (List.map fst excl);
+  Alcotest.(check (list (pair int (float 1e-9)))) "k = 0" [] (Kd_tree.k_nearest t [| 0.0; 0.0 |] ~k:0 ())
+
+let test_duplicate_points () =
+  (* All-equal coordinates exercise the degenerate-split path. *)
+  let points = Array.make 50 [| 3.0; 3.0; 3.0 |] in
+  let t = Kd_tree.build points in
+  let knn = Kd_tree.k_nearest t [| 3.0; 3.0; 3.0 |] ~k:5 () in
+  Alcotest.(check (list int)) "ties resolve to lowest indices" [ 0; 1; 2; 3; 4 ] (List.map fst knn)
+
+let test_dimension_mismatch () =
+  let t = Kd_tree.build [| [| 1.0; 2.0 |] |] in
+  Alcotest.check_raises "query dims" (Invalid_argument "Kd_tree: dimension mismatch") (fun () ->
+      ignore (Kd_tree.nearest t [| 1.0 |]))
+
+let qcheck_matches_bruteforce =
+  QCheck.Test.make ~name:"kd-tree k-NN = brute force" ~count:150
+    QCheck.(triple small_int (int_range 1 200) (int_range 1 4))
+    (fun (seed, n, dims) ->
+      let rng = Prelude.Prng.create seed in
+      let points = random_points rng n dims 100.0 in
+      let t = Kd_tree.build points in
+      let query = Array.init dims (fun _ -> Prelude.Prng.float rng 100.0) in
+      let k = 1 + Prelude.Prng.int rng 8 in
+      let exclude i = i mod 7 = 3 in
+      Kd_tree.k_nearest t query ~k ~exclude () = brute_force points query ~k ~exclude)
+
+let qcheck_nearest_member_is_self =
+  QCheck.Test.make ~name:"kd-tree nearest of a member point is itself" ~count:100
+    QCheck.(pair small_int (int_range 1 150))
+    (fun (seed, n) ->
+      let rng = Prelude.Prng.create (seed + 5) in
+      let points = random_points rng n 3 50.0 in
+      let t = Kd_tree.build points in
+      let probe = Prelude.Prng.int rng n in
+      (* Another point could coincide, in which case the lower index wins —
+         accept either the probe or an identical point before it. *)
+      let found = Kd_tree.nearest t points.(probe) in
+      found = probe || points.(found) = points.(probe))
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t in
+  ( "kd_tree",
+    [
+      Alcotest.test_case "build validation" `Quick test_build_validation;
+      Alcotest.test_case "small exact" `Quick test_small_exact;
+      Alcotest.test_case "duplicate points" `Quick test_duplicate_points;
+      Alcotest.test_case "dimension mismatch" `Quick test_dimension_mismatch;
+      q qcheck_matches_bruteforce;
+      q qcheck_nearest_member_is_self;
+    ] )

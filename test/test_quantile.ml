@@ -1,0 +1,95 @@
+(* P2 streaming quantile estimator. *)
+
+open Prelude
+
+let test_validation () =
+  Alcotest.check_raises "q = 0" (Invalid_argument "Quantile.create: q must be in (0, 1)") (fun () ->
+      ignore (Quantile.create ~q:0.0));
+  Alcotest.check_raises "q = 1" (Invalid_argument "Quantile.create: q must be in (0, 1)") (fun () ->
+      ignore (Quantile.create ~q:1.0))
+
+let test_empty_and_exact_warmup () =
+  let t = Quantile.create ~q:0.5 in
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Quantile.estimate t));
+  Quantile.add t 10.0;
+  Alcotest.(check (float 1e-9)) "single sample" 10.0 (Quantile.estimate t);
+  Quantile.add t 20.0;
+  Alcotest.(check (float 1e-9)) "two samples, median" 15.0 (Quantile.estimate t);
+  List.iter (Quantile.add t) [ 30.0; 40.0; 50.0 ];
+  Alcotest.(check (float 1e-9)) "five samples, exact median" 30.0 (Quantile.estimate t);
+  Alcotest.(check int) "count" 5 (Quantile.count t);
+  Alcotest.(check (float 1e-9)) "q accessor" 0.5 (Quantile.q t)
+
+let uniform_stream seed n =
+  let rng = Prng.create seed in
+  Array.init n (fun _ -> Prng.float rng 100.0)
+
+let batch_quantile q samples =
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  Stats.percentile sorted (q *. 100.0)
+
+let check_close ~q ~seed ~n ~tolerance =
+  let samples = uniform_stream seed n in
+  let t = Quantile.create ~q in
+  Array.iter (Quantile.add t) samples;
+  let exact = batch_quantile q samples in
+  let estimated = Quantile.estimate t in
+  Alcotest.(check bool)
+    (Printf.sprintf "q=%.2f n=%d: estimate %.2f vs exact %.2f" q n estimated exact)
+    true
+    (abs_float (estimated -. exact) < tolerance)
+
+let test_median_uniform () = check_close ~q:0.5 ~seed:1 ~n:20_000 ~tolerance:1.5
+let test_p95_uniform () = check_close ~q:0.95 ~seed:2 ~n:20_000 ~tolerance:1.5
+let test_p99_uniform () = check_close ~q:0.99 ~seed:3 ~n:50_000 ~tolerance:1.0
+
+let test_exponential_tail () =
+  (* Skewed distribution: p95 of Exp(mean 10) is -10 ln 0.05 = 29.96. *)
+  let rng = Prng.create 4 in
+  let t = Quantile.create ~q:0.95 in
+  for _ = 1 to 50_000 do
+    Quantile.add t (Prng.exponential rng ~mean:10.0)
+  done;
+  let est = Quantile.estimate t in
+  Alcotest.(check bool) (Printf.sprintf "p95 of exp: %.2f vs 29.96" est) true
+    (abs_float (est -. 29.957) < 1.5)
+
+let test_monotone_stream () =
+  (* Sorted input is adversarial for naive estimators; P2 still lands near
+     the true quantile. *)
+  let t = Quantile.create ~q:0.5 in
+  for i = 1 to 9999 do
+    Quantile.add t (float_of_int i)
+  done;
+  let est = Quantile.estimate t in
+  Alcotest.(check bool) (Printf.sprintf "median of 1..9999: %.0f" est) true
+    (abs_float (est -. 5000.0) < 500.0)
+
+let qcheck_between_extremes =
+  QCheck.Test.make ~name:"p2 estimate stays within observed range" ~count:200
+    QCheck.(pair small_int (list_of_size Gen.(int_range 6 60) (float_bound_inclusive 1000.0)))
+    (fun (_, samples) ->
+      match samples with
+      | [] -> true
+      | _ ->
+          let t = Quantile.create ~q:0.9 in
+          List.iter (Quantile.add t) samples;
+          let est = Quantile.estimate t in
+          let lo = List.fold_left min infinity samples in
+          let hi = List.fold_left max neg_infinity samples in
+          est >= lo -. 1e-9 && est <= hi +. 1e-9)
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t in
+  ( "quantile",
+    [
+      Alcotest.test_case "validation" `Quick test_validation;
+      Alcotest.test_case "warmup exactness" `Quick test_empty_and_exact_warmup;
+      Alcotest.test_case "median uniform" `Slow test_median_uniform;
+      Alcotest.test_case "p95 uniform" `Slow test_p95_uniform;
+      Alcotest.test_case "p99 uniform" `Slow test_p99_uniform;
+      Alcotest.test_case "exponential tail" `Slow test_exponential_tail;
+      Alcotest.test_case "monotone stream" `Quick test_monotone_stream;
+      q qcheck_between_extremes;
+    ] )

@@ -1,0 +1,339 @@
+(* Server: the management server and the two-round protocol. *)
+
+open Nearby
+
+let make_workload ?(routers = 400) ?(landmarks = 4) ~seed () =
+  let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params routers) ~seed in
+  let oracle = Traceroute.Route_oracle.create map.graph in
+  let rng = Prelude.Prng.create seed in
+  let lmks = Landmark.place map.graph Landmark.Medium_degree ~count:landmarks ~rng in
+  (map, oracle, lmks, rng)
+
+let test_create_validation () =
+  let map, oracle, _, _ = make_workload ~seed:1 () in
+  ignore map;
+  Alcotest.check_raises "no landmarks" (Invalid_argument "Server.create: no landmarks") (fun () ->
+      ignore (Server.create oracle ~landmarks:[||]));
+  Alcotest.check_raises "duplicates" (Invalid_argument "Server.create: duplicate landmark") (fun () ->
+      ignore (Server.create oracle ~landmarks:[| 3; 3 |]))
+
+let test_join_registers () =
+  let map, oracle, lmks, _ = make_workload ~seed:2 () in
+  let server = Server.create oracle ~landmarks:lmks in
+  let info = Server.join server ~peer:0 ~attach_router:map.leaves.(0) in
+  Alcotest.(check int) "peer count" 1 (Server.peer_count server);
+  Alcotest.(check bool) "mem" true (Server.mem server 0);
+  Alcotest.(check bool) "landmark is one of ours" true (Array.mem info.landmark lmks);
+  Alcotest.(check int) "attach router" map.leaves.(0) info.attach_router;
+  Alcotest.(check bool) "path complete" true (Traceroute.Path.is_complete info.recorded_path);
+  (* Round 1 costs one ping per landmark + the traceroute packets. *)
+  Alcotest.(check bool) "probe cost counted" true
+    (info.probes_spent >= Array.length lmks + Traceroute.Path.hop_count info.recorded_path);
+  Server.check_invariants server
+
+let test_join_picks_closest_landmark () =
+  let map, oracle, lmks, _ = make_workload ~seed:3 () in
+  let server = Server.create oracle ~landmarks:lmks in
+  let attach = map.leaves.(1) in
+  let info = Server.join server ~peer:0 ~attach_router:attach in
+  let my_hops = Traceroute.Route_oracle.route_length oracle ~src:attach ~dst:info.landmark in
+  Array.iter
+    (fun lmk ->
+      Alcotest.(check bool) "no landmark is strictly closer" true
+        (Traceroute.Route_oracle.route_length oracle ~src:attach ~dst:lmk >= my_hops))
+    lmks
+
+let test_join_duplicate () =
+  let map, oracle, lmks, _ = make_workload ~seed:4 () in
+  let server = Server.create oracle ~landmarks:lmks in
+  ignore (Server.join server ~peer:0 ~attach_router:map.leaves.(0));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Server.join: peer already registered")
+    (fun () -> ignore (Server.join server ~peer:0 ~attach_router:map.leaves.(1)))
+
+let test_neighbors_sane () =
+  let map, oracle, lmks, _ = make_workload ~seed:5 () in
+  let server = Server.create oracle ~landmarks:lmks in
+  for peer = 0 to 49 do
+    ignore (Server.join server ~peer ~attach_router:map.leaves.(peer mod Array.length map.leaves))
+  done;
+  for peer = 0 to 49 do
+    let reply = Server.neighbors server ~peer ~k:5 in
+    Alcotest.(check bool) "at most k" true (List.length reply <= 5);
+    Alcotest.(check bool) "never self" true (List.for_all (fun (p, _) -> p <> peer) reply);
+    let ids = List.map fst reply in
+    Alcotest.(check int) "distinct" (List.length ids) (List.length (List.sort_uniq compare ids));
+    (* Ascending inferred distance among same-tree entries. *)
+    let rec ascending = function
+      | (_, a) :: ((_, b) :: _ as rest) -> a <= b && ascending rest
+      | _ -> true
+    in
+    Alcotest.(check bool) "sorted" true (ascending reply)
+  done;
+  Server.check_invariants server
+
+let test_neighbors_unknown_peer () =
+  let _, oracle, lmks, _ = make_workload ~seed:6 () in
+  let server = Server.create oracle ~landmarks:lmks in
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (Server.neighbors server ~peer:3 ~k:2))
+
+let test_cross_tree_topup () =
+  let map, oracle, lmks, _ = make_workload ~seed:7 () in
+  let server = Server.create oracle ~landmarks:lmks in
+  (* Two peers: they may land in different landmark trees, yet each must be
+     offered the other via top-up. *)
+  ignore (Server.join server ~peer:0 ~attach_router:map.leaves.(0));
+  ignore (Server.join server ~peer:1 ~attach_router:map.leaves.(Array.length map.leaves - 1));
+  let reply = Server.neighbors server ~peer:0 ~k:3 in
+  Alcotest.(check int) "the one other peer is returned" 1 (List.length reply);
+  Alcotest.(check int) "it is peer 1" 1 (fst (List.hd reply))
+
+let test_leave () =
+  let map, oracle, lmks, _ = make_workload ~seed:8 () in
+  let server = Server.create oracle ~landmarks:lmks in
+  for peer = 0 to 9 do
+    ignore (Server.join server ~peer ~attach_router:map.leaves.(peer))
+  done;
+  Server.leave server ~peer:3;
+  Alcotest.(check int) "peer count" 9 (Server.peer_count server);
+  Alcotest.(check bool) "gone" false (Server.mem server 3);
+  List.iter
+    (fun (p, _) -> Alcotest.(check bool) "departed peer not returned" true (p <> 3))
+    (Server.neighbors server ~peer:0 ~k:9);
+  Server.check_invariants server;
+  Alcotest.check_raises "double leave" Not_found (fun () -> Server.leave server ~peer:3)
+
+let test_handover () =
+  let map, oracle, lmks, _ = make_workload ~seed:9 () in
+  let server = Server.create oracle ~landmarks:lmks in
+  ignore (Server.join server ~peer:0 ~attach_router:map.leaves.(0));
+  let info = Server.handover server ~peer:0 ~attach_router:map.leaves.(5) in
+  Alcotest.(check int) "new attachment" map.leaves.(5) info.attach_router;
+  Alcotest.(check int) "still one peer" 1 (Server.peer_count server);
+  Server.check_invariants server;
+  let trace = Server.trace server in
+  Alcotest.(check int) "handover counted" 1 (Simkit.Trace.counter trace "handover");
+  (* A handover re-runs the join round, so two joins are recorded. *)
+  Alcotest.(check int) "joins counted" 2 (Simkit.Trace.counter trace "join");
+  Alcotest.check_raises "handover unknown peer" Not_found (fun () ->
+      ignore (Server.handover server ~peer:42 ~attach_router:map.leaves.(0)))
+
+let test_uniform_choice () =
+  let map, oracle, lmks, _ = make_workload ~seed:10 () in
+  let server = Server.create ~choice:Server.Uniform oracle ~landmarks:lmks in
+  (* With uniform choice and many joins, more than one landmark gets used. *)
+  let used = Hashtbl.create 4 in
+  for peer = 0 to 39 do
+    let info = Server.join server ~peer ~attach_router:map.leaves.(peer) in
+    Hashtbl.replace used info.landmark ()
+  done;
+  Alcotest.(check bool) "several landmarks used" true (Hashtbl.length used > 1);
+  (* Uniform choice skips the ping round: probe cost excludes landmark count. *)
+  Server.check_invariants server
+
+let test_truncated_server () =
+  let map, oracle, lmks, _ = make_workload ~seed:11 () in
+  let server = Server.create ~truncate:(Traceroute.Truncate.Last_k 3) oracle ~landmarks:lmks in
+  for peer = 0 to 19 do
+    ignore (Server.join server ~peer ~attach_router:map.leaves.(peer))
+  done;
+  Server.check_invariants server;
+  let reply = Server.neighbors server ~peer:0 ~k:5 in
+  Alcotest.(check bool) "still answers" true (List.length reply > 0)
+
+let test_probe_noise_does_not_break_registration () =
+  let map, oracle, lmks, _ = make_workload ~seed:12 () in
+  let server =
+    Server.create
+      ~probe_config:{ Traceroute.Probe.default_config with drop_prob = 0.5 }
+      oracle ~landmarks:lmks
+  in
+  let rng = Prelude.Prng.create 99 in
+  for peer = 0 to 19 do
+    ignore (Server.join ~rng server ~peer ~attach_router:map.leaves.(peer))
+  done;
+  Server.check_invariants server;
+  Alcotest.(check int) "all registered" 20 (Server.peer_count server)
+
+let test_trace_counters () =
+  let map, oracle, lmks, _ = make_workload ~seed:13 () in
+  let server = Server.create oracle ~landmarks:lmks in
+  for peer = 0 to 4 do
+    ignore (Server.join server ~peer ~attach_router:map.leaves.(peer))
+  done;
+  ignore (Server.neighbors server ~peer:0 ~k:2);
+  Server.leave server ~peer:4;
+  let trace = Server.trace server in
+  Alcotest.(check int) "joins" 5 (Simkit.Trace.counter trace "join");
+  Alcotest.(check int) "queries" 1 (Simkit.Trace.counter trace "query");
+  Alcotest.(check int) "leaves" 1 (Simkit.Trace.counter trace "leave");
+  Alcotest.(check bool) "probe packets recorded" true (Simkit.Trace.counter trace "probe_packets" > 0);
+  (* Wire accounting: 5 path reports + 1 request/reply exchange, each a
+     handful of bytes. *)
+  let wire = Simkit.Trace.counter trace "wire_bytes" in
+  Alcotest.(check bool) (Printf.sprintf "wire bytes sane (%d)" wire) true (wire > 30 && wire < 2000);
+  match Simkit.Trace.stat trace "path_hops" with
+  | Some s -> Alcotest.(check int) "one hop sample per join" 5 (Prelude.Stats.count s)
+  | None -> Alcotest.fail "missing path_hops stat"
+
+let test_matches_naive_reference () =
+  (* Integration property: for peers sharing a landmark, the server's reply
+     must equal an exhaustive-scan reference over the same recorded paths. *)
+  let map, oracle, lmks, _ = make_workload ~seed:20 () in
+  let server = Server.create oracle ~landmarks:lmks in
+  let naive_by_landmark = Hashtbl.create 8 in
+  Array.iter
+    (fun lmk -> Hashtbl.add naive_by_landmark lmk (Naive_registry.create ~landmark:lmk))
+    lmks;
+  let n = 60 in
+  for peer = 0 to n - 1 do
+    let info = Server.join server ~peer ~attach_router:map.leaves.(peer) in
+    let routers = Traceroute.Path.known_routers info.recorded_path in
+    Naive_registry.insert (Hashtbl.find naive_by_landmark info.landmark) ~peer ~routers
+  done;
+  for peer = 0 to n - 1 do
+    let info = Option.get (Server.info server peer) in
+    let naive = Hashtbl.find naive_by_landmark info.landmark in
+    let expected = Naive_registry.query_member naive ~peer ~k:4 in
+    let got =
+      Server.neighbors server ~peer ~k:4 |> List.filter (fun (_, d) -> d <> max_int)
+    in
+    (* The server may append cross-tree top-ups (distance max_int, filtered
+       above); the same-tree prefix must match the reference exactly. *)
+    let rec prefix a b =
+      match (a, b) with
+      | [], _ -> true
+      | x :: xs, y :: ys -> x = y && prefix xs ys
+      | _ :: _, [] -> false
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "peer %d reply matches reference" peer)
+      true
+      (prefix got expected)
+  done
+
+let test_reverse_introductions () =
+  let map, oracle, lmks, _ = make_workload ~seed:21 () in
+  let server = Server.create oracle ~landmarks:lmks in
+  let n = 50 in
+  for peer = 0 to n - 1 do
+    ignore (Server.join server ~peer ~attach_router:map.leaves.(peer))
+  done;
+  for peer = 0 to n - 1 do
+    let intros = Server.reverse_introductions server ~peer ~k:4 in
+    Alcotest.(check bool) "bounded" true (List.length intros <= 4);
+    List.iter
+      (fun (candidate, d) ->
+        Alcotest.(check bool) "not self" true (candidate <> peer);
+        Alcotest.(check bool) "distance sane" true (d >= 0);
+        (* Definition: the newcomer is in the candidate's own k-NN. *)
+        let candidate_knn = Server.neighbors server ~peer:candidate ~k:4 |> List.map fst in
+        Alcotest.(check bool)
+          (Printf.sprintf "peer %d really in %d's k-NN" peer candidate)
+          true
+          (List.mem peer candidate_knn))
+      intros
+  done;
+  Alcotest.check_raises "unregistered" Not_found (fun () ->
+      ignore (Server.reverse_introductions server ~peer:999 ~k:3))
+
+let test_deterministic_without_rng () =
+  let run () =
+    let map, oracle, lmks, _ = make_workload ~seed:14 () in
+    let server = Server.create oracle ~landmarks:lmks in
+    for peer = 0 to 29 do
+      ignore (Server.join server ~peer ~attach_router:map.leaves.(peer))
+    done;
+    List.init 30 (fun peer -> Server.neighbors server ~peer ~k:4)
+  in
+  Alcotest.(check bool) "two runs identical" true (run () = run ())
+
+(* Model-based random-operation test: the server against a trivial
+   reference model (set of registered peers), with structural invariants
+   checked after every step. *)
+let qcheck_server_model =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (4, map (fun p -> `Join (p mod 30)) small_nat);
+          (2, map (fun p -> `Leave (p mod 30)) small_nat);
+          (1, map (fun p -> `Handover (p mod 30)) small_nat);
+          (2, map2 (fun p k -> `Query (p mod 30, 1 + (k mod 5))) small_nat small_nat);
+        ])
+  in
+  QCheck.Test.make ~name:"server behaves like a registration-set model" ~count:60
+    QCheck.(make Gen.(pair small_nat (list_size (int_range 1 40) op_gen)))
+    (fun (seed, ops) ->
+      let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params 200) ~seed:3 in
+      let oracle = Traceroute.Route_oracle.create map.graph in
+      let rng = Prelude.Prng.create seed in
+      let landmarks = Landmark.place map.graph Landmark.Medium_degree ~count:3 ~rng in
+      let server = Server.create oracle ~landmarks in
+      let model = Hashtbl.create 32 in
+      let router_of p = map.leaves.(p mod Array.length map.leaves) in
+      List.for_all
+        (fun op ->
+          let step_ok =
+            match op with
+            | `Join p ->
+                if Hashtbl.mem model p then (
+                  match Server.join server ~peer:p ~attach_router:(router_of p) with
+                  | exception Invalid_argument _ -> true
+                  | _ -> false)
+                else begin
+                  ignore (Server.join server ~peer:p ~attach_router:(router_of p));
+                  Hashtbl.replace model p ();
+                  true
+                end
+            | `Leave p ->
+                if Hashtbl.mem model p then begin
+                  Server.leave server ~peer:p;
+                  Hashtbl.remove model p;
+                  true
+                end
+                else ( match Server.leave server ~peer:p with
+                  | exception Not_found -> true
+                  | () -> false)
+            | `Handover p ->
+                if Hashtbl.mem model p then begin
+                  ignore (Server.handover server ~peer:p ~attach_router:(router_of (p + 7)));
+                  true
+                end
+                else ( match Server.handover server ~peer:p ~attach_router:(router_of p) with
+                  | exception Not_found -> true
+                  | _ -> false)
+            | `Query (p, k) ->
+                if Hashtbl.mem model p then begin
+                  let reply = Server.neighbors server ~peer:p ~k in
+                  List.length reply <= k
+                  && List.for_all (fun (q, _) -> q <> p && Hashtbl.mem model q) reply
+                end
+                else ( match Server.neighbors server ~peer:p ~k with
+                  | exception Not_found -> true
+                  | _ -> false)
+          in
+          Server.check_invariants server;
+          step_ok && Server.peer_count server = Hashtbl.length model)
+        ops)
+
+let suite =
+  ( "server",
+    [
+      Alcotest.test_case "create validation" `Quick test_create_validation;
+      Alcotest.test_case "join registers" `Quick test_join_registers;
+      Alcotest.test_case "join picks closest landmark" `Quick test_join_picks_closest_landmark;
+      Alcotest.test_case "join duplicate" `Quick test_join_duplicate;
+      Alcotest.test_case "neighbors sane" `Quick test_neighbors_sane;
+      Alcotest.test_case "neighbors unknown" `Quick test_neighbors_unknown_peer;
+      Alcotest.test_case "cross-tree top-up" `Quick test_cross_tree_topup;
+      Alcotest.test_case "leave" `Quick test_leave;
+      Alcotest.test_case "handover" `Quick test_handover;
+      Alcotest.test_case "uniform landmark choice" `Quick test_uniform_choice;
+      Alcotest.test_case "truncated tool" `Quick test_truncated_server;
+      Alcotest.test_case "probe noise" `Quick test_probe_noise_does_not_break_registration;
+      Alcotest.test_case "trace counters" `Quick test_trace_counters;
+      Alcotest.test_case "matches naive reference" `Quick test_matches_naive_reference;
+      Alcotest.test_case "reverse introductions" `Quick test_reverse_introductions;
+      Alcotest.test_case "deterministic" `Quick test_deterministic_without_rng;
+      QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) qcheck_server_model;
+    ] )

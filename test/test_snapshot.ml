@@ -1,0 +1,90 @@
+(* Server snapshot / restore. *)
+
+open Nearby
+
+let fixture ~seed =
+  let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params 400) ~seed in
+  let oracle = Traceroute.Route_oracle.create map.graph in
+  let rng = Prelude.Prng.create seed in
+  let landmarks = Landmark.place map.graph Landmark.Medium_degree ~count:4 ~rng in
+  (map, oracle, landmarks)
+
+let populated ~seed ~peers =
+  let map, oracle, landmarks = fixture ~seed in
+  let server = Server.create oracle ~landmarks in
+  for peer = 0 to peers - 1 do
+    ignore (Server.join server ~peer ~attach_router:map.leaves.(peer mod Array.length map.leaves))
+  done;
+  (map, oracle, server)
+
+let test_roundtrip_preserves_answers () =
+  let _, oracle, server = populated ~seed:1 ~peers:60 in
+  let blob = Server.snapshot server in
+  match Server.restore oracle blob with
+  | Error e -> Alcotest.fail e
+  | Ok restored ->
+      Server.check_invariants restored;
+      Alcotest.(check int) "peer count" (Server.peer_count server) (Server.peer_count restored);
+      Alcotest.(check (array int)) "landmarks" (Server.landmarks server) (Server.landmarks restored);
+      for peer = 0 to 59 do
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "peer %d answers preserved" peer)
+          (Server.neighbors server ~peer ~k:5)
+          (Server.neighbors restored ~peer ~k:5)
+      done
+
+let test_restored_server_keeps_working () =
+  let map, oracle, server = populated ~seed:2 ~peers:20 in
+  match Server.restore oracle (Server.snapshot server) with
+  | Error e -> Alcotest.fail e
+  | Ok restored ->
+      (* New joins, leaves and handovers must work on the restored state. *)
+      ignore (Server.join restored ~peer:100 ~attach_router:map.leaves.(30));
+      Server.leave restored ~peer:0;
+      ignore (Server.handover restored ~peer:1 ~attach_router:map.leaves.(31));
+      Server.check_invariants restored;
+      Alcotest.(check int) "population evolved" 20 (Server.peer_count restored);
+      Alcotest.check_raises "old duplicate still rejected"
+        (Invalid_argument "Server.join: peer already registered") (fun () ->
+          ignore (Server.join restored ~peer:5 ~attach_router:map.leaves.(0)))
+
+let test_snapshot_deterministic () =
+  let _, _, server = populated ~seed:3 ~peers:25 in
+  Alcotest.(check bool) "stable bytes" true (Server.snapshot server = Server.snapshot server)
+
+let test_restore_rejects_corruption () =
+  let _, oracle, server = populated ~seed:4 ~peers:10 in
+  let blob = Server.snapshot server in
+  (* Every strict prefix must fail cleanly. *)
+  let rejected = ref 0 in
+  for len = 0 to String.length blob - 1 do
+    match Server.restore oracle (String.sub blob 0 len) with
+    | Error _ -> incr rejected
+    | Ok _ -> ()
+  done;
+  Alcotest.(check int) "all prefixes rejected" (String.length blob) !rejected;
+  (match Server.restore oracle (blob ^ "\x00") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Server.restore oracle "\x09garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad version accepted"
+
+let test_restore_empty_server () =
+  let _, oracle, landmarks = fixture ~seed:5 in
+  let server = Server.create oracle ~landmarks in
+  match Server.restore oracle (Server.snapshot server) with
+  | Error e -> Alcotest.fail e
+  | Ok restored ->
+      Alcotest.(check int) "empty" 0 (Server.peer_count restored);
+      Alcotest.(check (array int)) "landmarks kept" landmarks (Server.landmarks restored)
+
+let suite =
+  ( "snapshot",
+    [
+      Alcotest.test_case "roundtrip preserves answers" `Quick test_roundtrip_preserves_answers;
+      Alcotest.test_case "restored server works" `Quick test_restored_server_keeps_working;
+      Alcotest.test_case "deterministic bytes" `Quick test_snapshot_deterministic;
+      Alcotest.test_case "corruption rejected" `Quick test_restore_rejects_corruption;
+      Alcotest.test_case "empty roundtrip" `Quick test_restore_empty_server;
+    ] )

@@ -1,0 +1,229 @@
+(* Buffer_map, Scheduler, Session. *)
+
+open Streaming
+
+(* --- Buffer_map --- *)
+
+let test_bm_basic () =
+  let b = Buffer_map.create ~width:8 in
+  Alcotest.(check int) "width" 8 (Buffer_map.width b);
+  Alcotest.(check int) "base" 0 (Buffer_map.base b);
+  Alcotest.(check bool) "empty" false (Buffer_map.has b 0);
+  Alcotest.(check bool) "add" true (Buffer_map.add b 3);
+  Alcotest.(check bool) "idempotent" false (Buffer_map.add b 3);
+  Alcotest.(check bool) "has" true (Buffer_map.has b 3);
+  Alcotest.(check int) "count" 1 (Buffer_map.count b)
+
+let test_bm_window_bounds () =
+  let b = Buffer_map.create ~width:4 in
+  Alcotest.(check bool) "beyond window rejected" false (Buffer_map.add b 4);
+  Alcotest.(check bool) "negative rejected" false (Buffer_map.add b (-1));
+  Alcotest.(check bool) "edge accepted" true (Buffer_map.add b 3);
+  Alcotest.check_raises "zero width" (Invalid_argument "Buffer_map.create: width must be >= 1")
+    (fun () -> ignore (Buffer_map.create ~width:0))
+
+let test_bm_advance () =
+  let b = Buffer_map.create ~width:4 in
+  List.iter (fun c -> ignore (Buffer_map.add b c)) [ 0; 1; 2; 3 ];
+  Buffer_map.advance_to b 2;
+  Alcotest.(check int) "base moved" 2 (Buffer_map.base b);
+  Alcotest.(check bool) "dropped 0" false (Buffer_map.has b 0);
+  Alcotest.(check bool) "kept 2" true (Buffer_map.has b 2);
+  Alcotest.(check bool) "slot recycled for 4" true (Buffer_map.add b 4);
+  Alcotest.(check bool) "has 4" true (Buffer_map.has b 4);
+  Buffer_map.advance_to b 1;
+  Alcotest.(check int) "never moves back" 2 (Buffer_map.base b)
+
+let test_bm_advance_far () =
+  let b = Buffer_map.create ~width:4 in
+  ignore (Buffer_map.add b 1);
+  Buffer_map.advance_to b 100;
+  Alcotest.(check int) "base" 100 (Buffer_map.base b);
+  Alcotest.(check int) "everything dropped" 0 (Buffer_map.count b);
+  Alcotest.(check bool) "can add in new window" true (Buffer_map.add b 102)
+
+let test_bm_holdings_missing () =
+  let b = Buffer_map.create ~width:6 in
+  List.iter (fun c -> ignore (Buffer_map.add b c)) [ 0; 2; 4 ];
+  Alcotest.(check (list int)) "holdings" [ 0; 2; 4 ] (Buffer_map.holdings b);
+  Alcotest.(check (list int)) "missing upto 5" [ 1; 3 ] (Buffer_map.missing b ~upto:5);
+  Alcotest.(check (list int)) "missing whole window" [ 1; 3; 5 ] (Buffer_map.missing b ~upto:100)
+
+let test_bm_contiguous () =
+  let b = Buffer_map.create ~width:8 in
+  Alcotest.(check int) "empty run" 0 (Buffer_map.contiguous_from_base b);
+  List.iter (fun c -> ignore (Buffer_map.add b c)) [ 0; 1; 2; 4 ];
+  Alcotest.(check int) "run of 3" 3 (Buffer_map.contiguous_from_base b);
+  ignore (Buffer_map.add b 3);
+  Alcotest.(check int) "gap closed" 5 (Buffer_map.contiguous_from_base b)
+
+let qcheck_bm_model =
+  QCheck.Test.make ~name:"buffer map = set restricted to window" ~count:200
+    QCheck.(list (int_range 0 30))
+    (fun adds ->
+      let b = Buffer_map.create ~width:10 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun c ->
+          if Buffer_map.add b c then Hashtbl.replace model c ())
+        adds;
+      List.for_all (fun c -> Buffer_map.has b c = Hashtbl.mem model c) adds
+      && Buffer_map.count b = Hashtbl.length model)
+
+(* --- Scheduler --- *)
+
+let test_sched_earliest () =
+  let picked =
+    Scheduler.select Scheduler.Earliest_deadline ~missing:[ 3; 5; 7; 9 ]
+      ~neighbor_has:(fun c -> c <> 5)
+      ~rarity:(fun _ -> 1)
+      ~already_requested:(fun c -> c = 3)
+      ~limit:2
+  in
+  Alcotest.(check (list int)) "earliest available, not requested" [ 7; 9 ] picked
+
+let test_sched_rarest () =
+  let rarity = function 3 -> 5 | 5 -> 1 | 7 -> 1 | _ -> 2 in
+  let picked =
+    Scheduler.select Scheduler.Rarest_first ~missing:[ 3; 5; 7; 9 ]
+      ~neighbor_has:(fun _ -> true)
+      ~rarity
+      ~already_requested:(fun _ -> false)
+      ~limit:3
+  in
+  (* Rarity 1 chunks first (ties by id), then rarity 2. *)
+  Alcotest.(check (list int)) "rarest first" [ 5; 7; 9 ] picked
+
+let test_sched_limit () =
+  Alcotest.(check (list int)) "zero limit" []
+    (Scheduler.select Scheduler.Earliest_deadline ~missing:[ 1 ]
+       ~neighbor_has:(fun _ -> true)
+       ~rarity:(fun _ -> 0)
+       ~already_requested:(fun _ -> false)
+       ~limit:0);
+  Alcotest.(check string) "names" "rarest-first" (Scheduler.policy_name Scheduler.Rarest_first)
+
+(* --- Session --- *)
+
+let session_fixture ~peers ~seed =
+  let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params 400) ~seed in
+  let rng = Prelude.Prng.create seed in
+  let peer_routers =
+    Array.map (fun i -> map.leaves.(i))
+      (Prelude.Prng.sample_without_replacement rng ~k:peers ~n:(Array.length map.leaves))
+  in
+  (map, peer_routers, rng)
+
+let short_params =
+  { Session.default_params with duration_ms = 8_000.0; window = 32; startup_chunks = 4 }
+
+let test_session_runs_and_delivers () =
+  let map, peer_routers, rng = session_fixture ~peers:30 ~seed:1 in
+  (* Random mesh: well connected. *)
+  let n = Array.length peer_routers in
+  let neighbor_sets =
+    Array.init n (fun i ->
+        Array.map (fun j -> if j >= i then j + 1 else j)
+          (Prelude.Prng.sample_without_replacement rng ~k:4 ~n:(n - 1)))
+  in
+  let report =
+    Session.run ~params:short_params ~graph:map.graph ~source_router:map.core.(0) ~peer_routers
+      ~neighbor_sets ~seed:7 ()
+  in
+  Alcotest.(check bool) "everyone starts" true (report.started_fraction > 0.9);
+  Alcotest.(check bool) "high continuity" true (report.continuity > 0.8);
+  Alcotest.(check bool) "messages flowed" true (report.messages > 0);
+  Alcotest.(check bool) "stress >= bytes" true (report.link_bytes >= report.bytes);
+  Alcotest.(check bool) "chunk latency positive" true (report.mean_chunk_latency_ms > 0.0);
+  Array.iter
+    (fun (r : Session.peer_report) ->
+      if not (Float.is_nan r.startup_delay_ms) then begin
+        Alcotest.(check bool) "startup positive" true (r.startup_delay_ms >= 0.0);
+        Alcotest.(check bool) "played something" true (r.chunks_played > 0)
+      end)
+    report.peers
+
+let test_session_deterministic () =
+  let map, peer_routers, _ = session_fixture ~peers:20 ~seed:2 in
+  let neighbor_sets = Array.init 20 (fun i -> [| (i + 1) mod 20; (i + 2) mod 20 |]) in
+  let run () =
+    Session.run ~params:short_params ~graph:map.graph ~source_router:map.core.(0) ~peer_routers
+      ~neighbor_sets ~seed:5 ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (float 0.0)) "same continuity" a.continuity b.continuity;
+  Alcotest.(check int) "same messages" a.messages b.messages;
+  Alcotest.(check int) "same bytes" a.bytes b.bytes
+
+let test_session_no_neighbors_no_playback () =
+  let map, peer_routers, _ = session_fixture ~peers:10 ~seed:3 in
+  (* Empty mesh: only the source fanout delivers chunks; most peers never
+     accumulate the startup run. *)
+  let neighbor_sets = Array.make 10 [||] in
+  let report =
+    Session.run
+      ~params:{ short_params with source_fanout = 1; startup_chunks = 8 }
+      ~graph:map.graph ~source_router:map.core.(0) ~peer_routers ~neighbor_sets ~seed:4 ()
+  in
+  Alcotest.(check bool) "mesh matters" true (report.started_fraction < 0.5)
+
+let test_session_validation () =
+  let map, peer_routers, _ = session_fixture ~peers:5 ~seed:4 in
+  Alcotest.check_raises "bad window" (Invalid_argument "Session.run: bad window/startup") (fun () ->
+      ignore
+        (Session.run
+           ~params:{ short_params with startup_chunks = 100 }
+           ~graph:map.graph ~source_router:0 ~peer_routers ~neighbor_sets:(Array.make 5 [||])
+           ~seed:1 ()));
+  Alcotest.check_raises "mismatched sets" (Invalid_argument "Session.run: one neighbor set per peer")
+    (fun () ->
+      ignore
+        (Session.run ~params:short_params ~graph:map.graph ~source_router:0 ~peer_routers
+           ~neighbor_sets:(Array.make 3 [||]) ~seed:1 ()))
+
+let test_streaming_exp_smoke () =
+  let rows =
+    Eval.Streaming_exp.run
+      {
+        Eval.Streaming_exp.routers = 400;
+        peers = 40;
+        landmark_count = 4;
+        k = 4;
+        session = { Session.default_params with duration_ms = 6_000.0 };
+        seed = 3;
+      }
+  in
+  Alcotest.(check int) "five selectors" 5 (List.length rows);
+  List.iter
+    (fun (r : Eval.Streaming_exp.row) ->
+      Alcotest.(check bool) "continuity in [0,1]" true (r.continuity >= 0.0 && r.continuity <= 1.0);
+      Alcotest.(check bool) "bytes accounted" true (r.megabytes > 0.0 && r.link_megabytes >= r.megabytes))
+    rows;
+  (* The random links guarantee a connected swarm: everyone must start and
+     sustain playback.  (Pure-local meshes have no such guarantee, so no
+     comparative assertion at this tiny scale.) *)
+  let find name = List.find (fun (r : Eval.Streaming_exp.row) -> r.selector = name) rows in
+  Alcotest.(check bool) "hybrid swarm fully starts" true
+    ((find "proposed+2rand").started_fraction > 0.9);
+  Alcotest.(check bool) "hybrid continuity high" true ((find "proposed+2rand").continuity > 0.7)
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t in
+  ( "streaming",
+    [
+      Alcotest.test_case "buffer map basic" `Quick test_bm_basic;
+      Alcotest.test_case "buffer map bounds" `Quick test_bm_window_bounds;
+      Alcotest.test_case "buffer map advance" `Quick test_bm_advance;
+      Alcotest.test_case "buffer map far advance" `Quick test_bm_advance_far;
+      Alcotest.test_case "buffer map holdings/missing" `Quick test_bm_holdings_missing;
+      Alcotest.test_case "buffer map contiguous" `Quick test_bm_contiguous;
+      q qcheck_bm_model;
+      Alcotest.test_case "scheduler earliest" `Quick test_sched_earliest;
+      Alcotest.test_case "scheduler rarest" `Quick test_sched_rarest;
+      Alcotest.test_case "scheduler limit" `Quick test_sched_limit;
+      Alcotest.test_case "session delivers" `Slow test_session_runs_and_delivers;
+      Alcotest.test_case "session deterministic" `Slow test_session_deterministic;
+      Alcotest.test_case "session needs the mesh" `Slow test_session_no_neighbors_no_playback;
+      Alcotest.test_case "session validation" `Quick test_session_validation;
+      Alcotest.test_case "streaming experiment" `Slow test_streaming_exp_smoke;
+    ] )

@@ -1,0 +1,116 @@
+(* Super_peer delegation (extension E2). *)
+
+open Nearby
+
+let setup ~seed =
+  let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params 400) ~seed in
+  let oracle = Traceroute.Route_oracle.create map.graph in
+  let rng = Prelude.Prng.create seed in
+  let landmarks = Landmark.place map.graph Landmark.Medium_degree ~count:4 ~rng in
+  (map, oracle, landmarks)
+
+let test_create_validation () =
+  let _, oracle, landmarks = setup ~seed:1 in
+  Alcotest.check_raises "mismatched arrays"
+    (Invalid_argument "Super_peer.create: need one super router per landmark") (fun () ->
+      ignore (Super_peer.create oracle ~landmarks ~super_routers:[| 1 |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Super_peer.create: no landmarks") (fun () ->
+      ignore (Super_peer.create oracle ~landmarks:[||] ~super_routers:[||]))
+
+let test_join_and_loads () =
+  let map, oracle, landmarks = setup ~seed:2 in
+  let sp = Super_peer.create oracle ~landmarks ~super_routers:landmarks in
+  for peer = 0 to 39 do
+    let lmk = Super_peer.join sp ~peer ~attach_router:map.leaves.(peer) in
+    Alcotest.(check bool) "landmark known" true (Array.mem lmk landmarks)
+  done;
+  Alcotest.(check int) "peer count" 40 (Super_peer.peer_count sp);
+  let loads = Super_peer.loads sp in
+  Alcotest.(check int) "one region per landmark" 4 (List.length loads);
+  let members = List.fold_left (fun acc (l : Super_peer.region_load) -> acc + l.members) 0 loads in
+  Alcotest.(check int) "members sum to population" 40 members;
+  let joins = List.fold_left (fun acc (l : Super_peer.region_load) -> acc + l.joins_handled) 0 loads in
+  Alcotest.(check int) "joins sum" 40 joins;
+  Alcotest.(check bool) "imbalance >= 1" true (Super_peer.load_imbalance sp >= 1.0)
+
+let test_duplicate_join () =
+  let map, oracle, landmarks = setup ~seed:3 in
+  let sp = Super_peer.create oracle ~landmarks ~super_routers:landmarks in
+  ignore (Super_peer.join sp ~peer:0 ~attach_router:map.leaves.(0));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Super_peer.join: peer already registered")
+    (fun () -> ignore (Super_peer.join sp ~peer:0 ~attach_router:map.leaves.(1)))
+
+let test_neighbors_regional () =
+  let map, oracle, landmarks = setup ~seed:4 in
+  let sp = Super_peer.create oracle ~landmarks ~super_routers:landmarks in
+  let home = Hashtbl.create 64 in
+  for peer = 0 to 59 do
+    Hashtbl.add home peer (Super_peer.join sp ~peer ~attach_router:map.leaves.(peer mod Array.length map.leaves))
+  done;
+  for peer = 0 to 59 do
+    let reply = Super_peer.neighbors sp ~peer ~k:4 in
+    Alcotest.(check bool) "at most k" true (List.length reply <= 4);
+    List.iter
+      (fun (p, d) ->
+        Alcotest.(check bool) "not self" true (p <> peer);
+        Alcotest.(check bool) "same region only" true (Hashtbl.find home p = Hashtbl.find home peer);
+        Alcotest.(check bool) "distance sane" true (d >= 0))
+      reply
+  done;
+  let queries =
+    List.fold_left (fun acc (l : Super_peer.region_load) -> acc + l.queries_handled) 0 (Super_peer.loads sp)
+  in
+  Alcotest.(check int) "queries counted" 60 queries
+
+let test_same_answers_as_central_within_region () =
+  let map, oracle, landmarks = setup ~seed:5 in
+  let sp = Super_peer.create oracle ~landmarks ~super_routers:landmarks in
+  let central = Server.create oracle ~landmarks in
+  for peer = 0 to 49 do
+    let attach = map.leaves.(peer mod Array.length map.leaves) in
+    ignore (Super_peer.join sp ~peer ~attach_router:attach);
+    ignore (Server.join central ~peer ~attach_router:attach)
+  done;
+  (* The super-peer reply must be a prefix of the central reply (same tree,
+     same order) whenever the central answer needed no cross-tree top-up. *)
+  for peer = 0 to 49 do
+    let sp_reply = Super_peer.neighbors sp ~peer ~k:3 in
+    let central_reply = Server.neighbors central ~peer ~k:3 in
+    let central_same_tree = List.filter (fun (_, d) -> d <> max_int) central_reply in
+    let rec is_prefix a b =
+      match (a, b) with
+      | [], _ -> true
+      | x :: xs, y :: ys -> x = y && is_prefix xs ys
+      | _ :: _, [] -> false
+    in
+    Alcotest.(check bool) "regional answers agree" true (is_prefix sp_reply central_same_tree || sp_reply = central_same_tree)
+  done
+
+let test_leave () =
+  let map, oracle, landmarks = setup ~seed:6 in
+  let sp = Super_peer.create oracle ~landmarks ~super_routers:landmarks in
+  for peer = 0 to 9 do
+    ignore (Super_peer.join sp ~peer ~attach_router:map.leaves.(peer))
+  done;
+  Super_peer.leave sp ~peer:4;
+  Alcotest.(check int) "count" 9 (Super_peer.peer_count sp);
+  Alcotest.check_raises "unknown neighbors" Not_found (fun () ->
+      ignore (Super_peer.neighbors sp ~peer:4 ~k:2));
+  Alcotest.check_raises "double leave" Not_found (fun () -> Super_peer.leave sp ~peer:4)
+
+let test_empty_imbalance () =
+  let _, oracle, landmarks = setup ~seed:7 in
+  let sp = Super_peer.create oracle ~landmarks ~super_routers:landmarks in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Super_peer.load_imbalance sp)
+
+let suite =
+  ( "super_peer",
+    [
+      Alcotest.test_case "create validation" `Quick test_create_validation;
+      Alcotest.test_case "join and loads" `Quick test_join_and_loads;
+      Alcotest.test_case "duplicate join" `Quick test_duplicate_join;
+      Alcotest.test_case "regional neighbors" `Quick test_neighbors_regional;
+      Alcotest.test_case "matches central server" `Quick test_same_answers_as_central_within_region;
+      Alcotest.test_case "leave" `Quick test_leave;
+      Alcotest.test_case "empty imbalance" `Quick test_empty_imbalance;
+    ] )

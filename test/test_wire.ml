@@ -1,0 +1,190 @@
+(* Codec primitives and the protocol wire format. *)
+
+open Prelude
+
+(* --- Codec --- *)
+
+let roundtrip_varint v =
+  let w = Codec.Writer.create () in
+  Codec.Writer.varint w v;
+  match Codec.Reader.varint (Codec.Reader.of_string (Codec.Writer.contents w)) with
+  | Ok v' -> v' = v
+  | Error _ -> false
+
+let test_varint_known () =
+  let bytes_of v =
+    let w = Codec.Writer.create () in
+    Codec.Writer.varint w v;
+    Codec.Writer.contents w
+  in
+  Alcotest.(check string) "0 is one byte" "\x00" (bytes_of 0);
+  Alcotest.(check string) "127 fits one byte" "\x7f" (bytes_of 127);
+  Alcotest.(check string) "128 takes two" "\x80\x01" (bytes_of 128);
+  Alcotest.(check int) "300 encoding length" 2 (String.length (bytes_of 300));
+  Alcotest.check_raises "negative" (Invalid_argument "Codec.Writer.varint: negative") (fun () ->
+      ignore (bytes_of (-1)))
+
+let qcheck_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:500
+    QCheck.(int_bound max_int)
+    roundtrip_varint
+
+let test_u8_bounds () =
+  let w = Codec.Writer.create () in
+  Alcotest.check_raises "256" (Invalid_argument "Codec.Writer.u8: outside [0, 255]") (fun () ->
+      Codec.Writer.u8 w 256)
+
+let test_bytes_roundtrip () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.bytes w "hello";
+  Codec.Writer.bytes w "";
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  Alcotest.(check bool) "first" true (Codec.Reader.bytes r = Ok "hello");
+  Alcotest.(check bool) "second empty" true (Codec.Reader.bytes r = Ok "");
+  Alcotest.(check bool) "exhausted" true (Codec.Reader.is_exhausted r)
+
+let test_reader_truncated () =
+  let r = Codec.Reader.of_string "" in
+  Alcotest.(check bool) "u8 on empty" true (Codec.Reader.u8 r = Error Codec.Reader.Truncated);
+  (* Length prefix promising more than available. *)
+  let w = Codec.Writer.create () in
+  Codec.Writer.varint w 100;
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  Alcotest.(check bool) "bytes truncated" true (Codec.Reader.bytes r = Error Codec.Reader.Truncated)
+
+let test_reader_malformed_varint () =
+  (* Ten continuation bytes: longer than any 63-bit value. *)
+  let r = Codec.Reader.of_string (String.make 10 '\xff') in
+  match Codec.Reader.varint r with
+  | Error (Codec.Reader.Malformed _) -> ()
+  | Ok _ | Error Codec.Reader.Truncated -> Alcotest.fail "expected malformed"
+
+let test_bool_roundtrip () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.bool w true;
+  Codec.Writer.bool w false;
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  Alcotest.(check bool) "true" true (Codec.Reader.bool r = Ok true);
+  Alcotest.(check bool) "false" true (Codec.Reader.bool r = Ok false);
+  let bad = Codec.Reader.of_string "\x07" in
+  (match Codec.Reader.bool bad with
+  | Error (Codec.Reader.Malformed _) -> ()
+  | _ -> Alcotest.fail "expected malformed bool")
+
+let test_list_roundtrip () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.list w (Codec.Writer.varint w) [ 1; 2; 300 ];
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  Alcotest.(check bool) "list" true (Codec.Reader.list r Codec.Reader.varint = Ok [ 1; 2; 300 ])
+
+let test_list_absurd_count () =
+  (* Count of 2^20 with a 2-byte body must be rejected before allocation. *)
+  let w = Codec.Writer.create () in
+  Codec.Writer.varint w (1 lsl 20);
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  match Codec.Reader.list r Codec.Reader.varint with
+  | Error (Codec.Reader.Malformed _) -> ()
+  | _ -> Alcotest.fail "expected malformed count"
+
+(* --- Wire --- *)
+
+open Nearby
+
+let sample_messages =
+  [
+    Wire.Ping_request { nonce = 0 };
+    Wire.Ping_reply { nonce = 123456 };
+    Wire.Path_report
+      {
+        peer = 42;
+        path =
+          {
+            Traceroute.Path.src = 7;
+            dst = 99;
+            hops = [| Traceroute.Path.Known 7; Traceroute.Path.Anonymous; Traceroute.Path.Known 99 |];
+          };
+      };
+    Wire.Neighbor_request { peer = 3; k = 5 };
+    Wire.Neighbor_reply { peer = 3; neighbors = [ (9, 4); (12, 6) ] };
+    Wire.Neighbor_reply { peer = 0; neighbors = [] };
+    Wire.Leave { peer = 77 };
+  ]
+
+let test_wire_roundtrip () =
+  List.iter
+    (fun m ->
+      match Wire.decode (Wire.encode m) with
+      | Ok m' ->
+          Alcotest.(check bool) (Format.asprintf "roundtrip %a" Wire.pp m) true (Wire.equal m m')
+      | Error e -> Alcotest.fail e)
+    sample_messages
+
+let test_wire_every_truncation_fails_cleanly () =
+  List.iter
+    (fun m ->
+      let encoded = Wire.encode m in
+      for len = 0 to String.length encoded - 1 do
+        match Wire.decode (String.sub encoded 0 len) with
+        | Error _ -> ()
+        | Ok m' ->
+            Alcotest.fail
+              (Format.asprintf "prefix %d of %a decoded as %a" len Wire.pp m Wire.pp m')
+      done)
+    sample_messages
+
+let test_wire_trailing_garbage () =
+  let encoded = Wire.encode (Wire.Leave { peer = 1 }) in
+  match Wire.decode (encoded ^ "\x00") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing byte accepted"
+
+let test_wire_bad_version_and_tag () =
+  (match Wire.decode "\x09\x00\x00" with
+  | Error e -> Alcotest.(check bool) "version error mentioned" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "bad version accepted");
+  match Wire.decode "\x01\x63\x00" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tag accepted"
+
+let test_wire_sizes_reasonable () =
+  (* A 12-hop path report stays well under a typical MTU. *)
+  let hops = Array.init 13 (fun i -> Traceroute.Path.Known (i * 17)) in
+  let m = Wire.Path_report { peer = 1000; path = { Traceroute.Path.src = 0; dst = 204; hops } } in
+  let size = Wire.byte_size m in
+  Alcotest.(check bool) (Printf.sprintf "path report is %d bytes" size) true (size < 64);
+  Alcotest.(check int) "size = encode length" (String.length (Wire.encode m)) size
+
+let qcheck_wire_neighbor_reply_roundtrip =
+  QCheck.Test.make ~name:"wire neighbor-reply roundtrip" ~count:300
+    QCheck.(pair (int_bound 10000) (small_list (pair (int_bound 5000) (int_bound 64))))
+    (fun (peer, neighbors) ->
+      let m = Wire.Neighbor_reply { peer; neighbors } in
+      match Wire.decode (Wire.encode m) with Ok m' -> Wire.equal m m' | Error _ -> false)
+
+let qcheck_wire_decode_total =
+  QCheck.Test.make ~name:"wire decode never raises on random bytes" ~count:500
+    QCheck.(string_of_size Gen.(int_bound 40))
+    (fun s ->
+      match Wire.decode s with Ok _ -> true | Error _ -> true)
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t in
+  ( "wire",
+    [
+      Alcotest.test_case "varint known values" `Quick test_varint_known;
+      q qcheck_varint_roundtrip;
+      Alcotest.test_case "u8 bounds" `Quick test_u8_bounds;
+      Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+      Alcotest.test_case "reader truncated" `Quick test_reader_truncated;
+      Alcotest.test_case "malformed varint" `Quick test_reader_malformed_varint;
+      Alcotest.test_case "bool roundtrip" `Quick test_bool_roundtrip;
+      Alcotest.test_case "list roundtrip" `Quick test_list_roundtrip;
+      Alcotest.test_case "absurd list count" `Quick test_list_absurd_count;
+      Alcotest.test_case "message roundtrip" `Quick test_wire_roundtrip;
+      Alcotest.test_case "all truncations rejected" `Quick test_wire_every_truncation_fails_cleanly;
+      Alcotest.test_case "trailing garbage" `Quick test_wire_trailing_garbage;
+      Alcotest.test_case "bad version/tag" `Quick test_wire_bad_version_and_tag;
+      Alcotest.test_case "sizes reasonable" `Quick test_wire_sizes_reasonable;
+      q qcheck_wire_neighbor_reply_roundtrip;
+      q qcheck_wire_decode_total;
+    ] )
