@@ -222,6 +222,100 @@ let run_joining ~full =
   let config = if full then Eval.Joining_exp.default_config else Eval.Joining_exp.quick_config in
   Eval.Joining_exp.print (Eval.Joining_exp.run config)
 
+(* ------------------------------------------------------------------ *)
+(* Registry backend throughput *)
+
+let time_ops f =
+  let t0 = Sys.time () in
+  let ops = f () in
+  let dt = Sys.time () -. t0 in
+  float_of_int ops /. Float.max dt 1e-9
+
+let run_registry ~full =
+  banner "registry backends: insert/query throughput (unified interface)";
+  let population = if full then 20_000 else 10_000 in
+  let query_count = if full then 2_000 else 1_000 in
+  let k = 5 in
+  let fx = make_fixture ~routers:2000 ~population:0 ~seed:7 in
+  let landmark = Nearby.Path_tree.landmark fx.tree in
+  let route_of peer = fx.routes.(peer mod Array.length fx.routes) in
+  let repeats = 3 in
+  let run_backend spec =
+    let backend = Eval.Backends.backend spec in
+    (* Best of [repeats] fresh builds: population-scale inserts are long
+       enough to time with Sys.time, the max squeezes out scheduler noise. *)
+    let reg = ref (Nearby.Registry_intf.create backend ~landmark) in
+    let insert_ops = ref 0.0 in
+    for _ = 1 to repeats do
+      let fresh = Nearby.Registry_intf.create backend ~landmark in
+      let ops =
+        time_ops (fun () ->
+            for peer = 0 to population - 1 do
+              Nearby.Registry_intf.insert fresh ~peer ~routers:(route_of peer)
+            done;
+            population)
+      in
+      insert_ops := Float.max !insert_ops ops;
+      reg := fresh
+    done;
+    let reg = !reg in
+    let answers = Array.make query_count [] in
+    let query_ops =
+      time_ops (fun () ->
+          for peer = 0 to query_count - 1 do
+            answers.(peer) <- Nearby.Registry_intf.query_member reg ~peer ~k
+          done;
+          query_count)
+    in
+    (Eval.Backends.to_string spec, !insert_ops, query_ops, answers)
+  in
+  let results = List.map run_backend Eval.Backends.all in
+  let reference =
+    match results with
+    | ("tree", _, _, answers) :: _ -> answers
+    | _ -> failwith "registry bench: tree backend must run first"
+  in
+  let rows =
+    List.map
+      (fun (name, insert_ops, query_ops, answers) ->
+        (name, insert_ops, query_ops, answers = reference))
+      results
+  in
+  Prelude.Table.print
+    ~header:[ "backend"; "insert ops/s"; "query ops/s"; "answers = tree" ]
+    (List.map
+       (fun (name, insert_ops, query_ops, identical) ->
+         [
+           name;
+           Prelude.Table.float_cell ~decimals:0 insert_ops;
+           Prelude.Table.float_cell ~decimals:0 query_ops;
+           string_of_bool identical;
+         ])
+       rows);
+  let json =
+    let row_json (name, insert_ops, query_ops, identical) =
+      Printf.sprintf
+        "    {\"backend\": %S, \"insert_ops_per_s\": %.0f, \"query_ops_per_s\": %.0f, \
+         \"answers_identical\": %b}"
+        name insert_ops query_ops identical
+    in
+    Printf.sprintf
+      "{\n\
+      \  \"population\": %d,\n\
+      \  \"queries\": %d,\n\
+      \  \"k\": %d,\n\
+      \  \"backends\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      population query_count k
+      (String.concat ",\n" (List.map row_json rows))
+  in
+  let out = open_out "BENCH_registry.json" in
+  output_string out json;
+  close_out out;
+  Printf.printf "wrote BENCH_registry.json (%d-peer workload)\n%!" population
+
 let run_all ~full =
   run_micro ();
   run_fig2 ~full;
@@ -236,6 +330,7 @@ let run_all ~full =
   run_stretch ~full;
   run_maintenance ~full;
   run_topology_sensitivity ~full;
+  run_registry ~full;
   run_dht ~full;
   run_inflation ~full;
   run_bulk ~full;
@@ -269,6 +364,7 @@ let () =
   | [ "stretch" ] -> run_stretch ~full
   | [ "maintenance" ] -> run_maintenance ~full
   | [ "topologies" ] -> run_topology_sensitivity ~full
+  | [ "registry" ] -> run_registry ~full
   | [ "dht" ] -> run_dht ~full
   | [ "inflation" ] -> run_inflation ~full
   | [ "bulk" ] -> run_bulk ~full

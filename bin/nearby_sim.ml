@@ -224,6 +224,81 @@ let joining_cmd =
     (Cmd.info "joining" ~doc:"Newcomer time-to-playback mid-stream (the paper's thesis, end to end).")
     Term.(ret (const run $ quick_flag $ seed_opt))
 
+let registry_cmd =
+  let backend_arg =
+    let doc =
+      "Registry backend(s) to exercise: $(b,tree), $(b,naive), $(b,dht), $(b,super), \
+       $(b,sharded:N), or $(b,all)."
+    in
+    Arg.(value & opt string "all" & info [ "backend" ] ~doc ~docv:"BACKEND")
+  in
+  let run quick seed routers peers k backend_spec =
+    let seed = Option.value ~default:1 seed in
+    let routers = Option.value ~default:(if quick then 600 else 2000) routers in
+    let peers = Option.value ~default:(if quick then 150 else 600) peers in
+    let k = Option.value ~default:5 k in
+    let specs =
+      if String.lowercase_ascii (String.trim backend_spec) = "all" then Ok Eval.Backends.all
+      else Result.map (fun s -> [ s ]) (Eval.Backends.of_string backend_spec)
+    in
+    match specs with
+    | Error e -> `Error (false, e)
+    | Ok specs ->
+        let w = Eval.Workload.build ~routers ~landmark_count:4 ~peers ~seed () in
+        let n = Array.length w.Eval.Workload.peer_routers in
+        (* The same scenario for every backend: join the whole population
+           through the server, then ask everyone's k nearest. *)
+        let run_backend spec =
+          let server =
+            Nearby.Server.create ~backend:(Eval.Backends.backend spec)
+              w.Eval.Workload.ctx.Nearby.Selector.oracle ~landmarks:w.Eval.Workload.landmarks
+          in
+          for peer = 0 to n - 1 do
+            ignore
+              (Nearby.Server.join server ~peer
+                 ~attach_router:w.Eval.Workload.peer_routers.(peer))
+          done;
+          let answers = Array.init n (fun peer -> Nearby.Server.neighbors server ~peer ~k) in
+          (server, answers)
+        in
+        let _, reference = run_backend Eval.Backends.Tree in
+        Printf.printf "registry backends on the same scenario (%d routers, %d peers, k=%d)\n"
+          routers peers k;
+        let rows =
+          List.map
+            (fun spec ->
+              let server, answers = run_backend spec in
+              let stats =
+                Nearby.Server.registry_stats server
+                |> List.filter (fun (key, _) -> key <> "members")
+                |> List.map (fun (key, v) -> Printf.sprintf "%s=%d" key v)
+                |> String.concat " "
+              in
+              [
+                Nearby.Server.backend_name server;
+                string_of_bool (answers = reference);
+                string_of_int (Simkit.Trace.counter (Nearby.Server.trace server) "registry_insert");
+                string_of_int (Simkit.Trace.counter (Nearby.Server.trace server) "registry_query");
+                stats;
+              ])
+            specs
+        in
+        Prelude.Table.print
+          ~header:[ "backend"; "answers = tree"; "inserts"; "queries"; "stats" ]
+          rows;
+        let all_identical =
+          List.for_all (fun row -> List.nth row 1 = "true") rows
+        in
+        if all_identical then exit_ok
+        else `Error (false, "backends disagree on neighbor sets")
+  in
+  Cmd.v
+    (Cmd.info "registry"
+       ~doc:
+         "Run one scenario against the registry backends through the unified interface and \
+          compare their answers.")
+    Term.(ret (const run $ quick_flag $ seed_opt $ routers_opt $ peers_opt $ k_opt $ backend_arg))
+
 let verify_cmd =
   let run seed_opt =
     let seed = Option.value ~default:1 seed_opt in
@@ -412,6 +487,7 @@ let () =
             maintenance_cmd;
             topologies_cmd;
             dht_cmd;
+            registry_cmd;
             inflation_cmd;
             bulk_cmd;
             joining_cmd;

@@ -1,10 +1,12 @@
-(* Running the discovery service without the central server.
+(* Running the discovery service on interchangeable registry backends.
 
-   The same landmark path trees, sharded over the participants: bucket
-   ownership via a Chord ring (with virtual nodes), answers identical to
-   the centralized deployment.  This example registers a swarm both ways
-   and shows the answers match, then prints what decentralization costs
-   (overlay hops) and buys (storage spread). *)
+   The server talks to its per-landmark store through the first-class
+   [Nearby.Registry_intf.S] seam, so the same deployment runs centralized
+   (path tree), decentralized over a Chord ring, delegated to super-peer
+   region stores, or hash-sharded — answers are identical, only the cost
+   model changes.  This example joins one swarm under every backend,
+   verifies the replies match, and prints what each backend reports
+   through the uniform [stats] channel. *)
 
 let () =
   let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params 1000) ~seed:11 in
@@ -12,59 +14,50 @@ let () =
   let landmarks = Nearby.Landmark.place map.graph Nearby.Landmark.Spread ~count:4 ~rng in
   let oracle = Traceroute.Route_oracle.create map.graph in
   let peers = 150 in
+  let k = 5 in
   let attach = Array.init peers (fun i -> map.leaves.(i mod Array.length map.leaves)) in
 
-  (* Centralized deployment. *)
-  let server = Nearby.Server.create oracle ~landmarks in
-  for peer = 0 to peers - 1 do
-    ignore (Nearby.Server.join server ~peer ~attach_router:attach.(peer))
-  done;
+  (* One server per backend, same join sequence. *)
+  let deploy backend =
+    let server = Nearby.Server.create ~backend oracle ~landmarks in
+    for peer = 0 to peers - 1 do
+      ignore (Nearby.Server.join server ~peer ~attach_router:attach.(peer))
+    done;
+    server
+  in
+  let servers = List.map (fun spec -> deploy (Eval.Backends.backend spec)) Eval.Backends.all in
+  let central = List.hd servers in
 
-  (* Decentralized: 16 storage nodes, one directory shard per landmark. *)
-  let storage_nodes = Array.init 16 (fun i -> 9000 + i) in
-  let shards = Hashtbl.create 4 in
-  Array.iter
-    (fun lmk ->
-      Hashtbl.add shards lmk (Dht.Directory.create ~virtual_nodes:8 ~landmark:lmk storage_nodes))
-    landmarks;
-  for peer = 0 to peers - 1 do
-    let info = Option.get (Nearby.Server.info server peer) in
-    Dht.Directory.insert (Hashtbl.find shards info.landmark) ~peer
-      ~routers:(Traceroute.Path.known_routers info.recorded_path)
-  done;
+  (* Same answers from every backend. *)
+  List.iter
+    (fun server ->
+      let mismatches = ref 0 in
+      for peer = 0 to peers - 1 do
+        if Nearby.Server.neighbors server ~peer ~k <> Nearby.Server.neighbors central ~peer ~k
+        then incr mismatches
+      done;
+      Format.printf "%-10s answers differing from the path tree: %d / %d peers@."
+        (Nearby.Server.backend_name server)
+        !mismatches peers)
+    servers;
 
-  (* Same answers, different cost model. *)
-  let mismatches = ref 0 in
-  for peer = 0 to peers - 1 do
-    let info = Option.get (Nearby.Server.info server peer) in
-    let central =
-      Nearby.Server.neighbors server ~peer ~k:5 |> List.filter (fun (_, d) -> d <> max_int)
-    in
-    let dht = Dht.Directory.query_member (Hashtbl.find shards info.landmark) ~peer ~k:5 in
-    if central <> dht then incr mismatches
-  done;
-  Format.printf "answers differing from the central server: %d / %d peers@." !mismatches peers;
+  (* Different cost models, one metrics channel. *)
+  Format.printf "@.per-backend registry stats (merged across the %d landmarks):@."
+    (Array.length landmarks);
+  List.iter
+    (fun server ->
+      let stats =
+        Nearby.Server.registry_stats server
+        |> List.map (fun (key, v) -> Printf.sprintf "%s=%d" key v)
+        |> String.concat " "
+      in
+      Format.printf "  %-10s %s@." (Nearby.Server.backend_name server) stats)
+    servers;
 
-  let lookups = ref 0 and hops = ref 0 in
-  Hashtbl.iter
-    (fun _ shard ->
-      let stats = Dht.Directory.stats shard in
-      lookups := !lookups + stats.lookups;
-      hops := !hops + stats.overlay_hops)
-    shards;
-  Format.printf "total DHT lookups %d, %.2f overlay hops each@." !lookups
-    (float_of_int !hops /. float_of_int (max 1 !lookups));
-
-  (* Storage spread across the 16 nodes. *)
-  let per_node = Hashtbl.create 16 in
-  Hashtbl.iter
-    (fun _ shard ->
-      List.iter
-        (fun (node, buckets) ->
-          Hashtbl.replace per_node node (buckets + Option.value ~default:0 (Hashtbl.find_opt per_node node)))
-        (Dht.Directory.stats shard).buckets_per_node)
-    shards;
-  Format.printf "router buckets per storage node:@.";
-  Hashtbl.fold (fun node buckets acc -> (node, buckets) :: acc) per_node []
-  |> List.sort compare
-  |> List.iter (fun (node, buckets) -> Format.printf "  node %d: %d buckets@." node buckets)
+  (* The DHT backend still exposes the decentralization story: lookup
+     traffic on the overlay and storage spread over the ring. *)
+  let dht = deploy (Dht.Registry.backend ~nodes:16 ~virtual_nodes:8 ()) in
+  let stats = Nearby.Server.registry_stats dht in
+  let get key = Option.value ~default:0 (List.assoc_opt key stats) in
+  Format.printf "@.a 16-node ring: %d DHT lookups, %.2f overlay hops each@." (get "lookups")
+    (float_of_int (get "overlay_hops") /. float_of_int (max 1 (get "lookups")))

@@ -92,26 +92,23 @@ let remove t ~peer =
               if Bucket.is_empty !b then Hashtbl.remove store.buckets router)
         routers
 
-(* Same walk as Path_tree.query, buckets fetched through the ring. *)
-let best_insert best k candidate =
-  let rec ins = function
-    | [] -> [ candidate ]
-    | x :: rest when candidate < x -> candidate :: x :: rest
-    | x :: rest -> x :: ins rest
-  in
-  let merged = ins best in
-  if List.length merged > k then List.filteri (fun i _ -> i < k) merged else merged
+(* Same walk as Path_tree.query, buckets fetched through the ring; the k
+   best candidates accumulate in the shared bounded selector (O(log k) per
+   offer) instead of a sorted list re-scanned with List.nth per candidate
+   (O(k) per offer, O(k^2) per bucket). *)
+module Top_k = Nearby.Selector.Top_k
 
-let worst_of best k = if List.length best < k then max_int else fst (List.nth best (k - 1))
+let beats_worst best cost =
+  match Top_k.worst best with None -> true | Some (w, _) -> cost <= w
 
 let query t ~routers ~k ?(exclude = fun _ -> false) () =
   if k <= 0 then []
   else begin
     let seen = Hashtbl.create 64 in
-    let best = ref [] in
+    let best = Top_k.create ~k compare in
     let len = Array.length routers in
     let d = ref 0 in
-    while !d < len && !d <= worst_of !best k do
+    while !d < len && beats_worst best !d do
       let router = routers.(!d) in
       let store = locate t router in
       (match Hashtbl.find_opt store.buckets router with
@@ -121,16 +118,16 @@ let query t ~routers ~k ?(exclude = fun _ -> false) () =
              Bucket.iter
                (fun (dist, p) ->
                  let candidate = !d + dist in
-                 if candidate > worst_of !best k then raise Exit;
+                 if not (beats_worst best candidate) then raise Exit;
                  if not (Hashtbl.mem seen p) then begin
                    Hashtbl.add seen p ();
-                   if not (exclude p) then best := best_insert !best k (candidate, p)
+                   if not (exclude p) then Top_k.offer best (candidate, p)
                  end)
                !bucket
            with Exit -> ()));
       incr d
     done;
-    List.map (fun (c, p) -> (p, c)) !best
+    List.map (fun (c, p) -> (p, c)) (Top_k.to_sorted_list best)
   end
 
 let query_member t ~peer ~k =
@@ -144,6 +141,128 @@ let stats t =
     |> List.map (fun node -> (node, Hashtbl.length (Hashtbl.find t.stores node).buckets))
   in
   { lookups = t.lookups; overlay_hops = t.overlay_hops; buckets_per_node = per_node }
+
+let mem t peer = Hashtbl.mem t.paths peer
+let path_of t peer = Option.map Array.copy (Hashtbl.find_opt t.paths peer)
+let iter_members t f = Hashtbl.iter (fun p _ -> f p) t.paths
+
+let dtree t p1 p2 =
+  match (Hashtbl.find_opt t.paths p1, Hashtbl.find_opt t.paths p2) with
+  | Some a, Some b ->
+      let la = Array.length a and lb = Array.length b in
+      let max_j = min la lb in
+      let rec suffix j =
+        if j < max_j && a.(la - 1 - j) = b.(lb - 1 - j) then suffix (j + 1) else j
+      in
+      let j = suffix 0 in
+      if j = 0 then None else Some (la - j + (lb - j))
+  | None, _ | _, None -> None
+
+(* Ownership checks go through [Chord.owner_of] directly: invariants must
+   not perturb the lookup/hop counters. *)
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  Hashtbl.iter
+    (fun peer path ->
+      let len = Array.length path in
+      if len = 0 then fail "peer %d has an empty path" peer;
+      if path.(len - 1) <> t.landmark then fail "peer %d path does not end at the landmark" peer;
+      Array.iteri
+        (fun dist router ->
+          let owner = Chord.owner_of t.ring ~key:router in
+          match Hashtbl.find_opt t.stores owner with
+          | None -> fail "router %d owned by unknown dht node %d" router owner
+          | Some store -> (
+              match Hashtbl.find_opt store.buckets router with
+              | None -> fail "peer %d: router %d has no bucket on its owner" peer router
+              | Some b ->
+                  if not (Bucket.mem (dist, peer) !b) then
+                    fail "peer %d missing from bucket of router %d" peer router))
+        path)
+    t.paths;
+  Hashtbl.iter
+    (fun holder store ->
+      Hashtbl.iter
+        (fun router b ->
+          if Bucket.is_empty !b then fail "router %d has an empty bucket" router;
+          let owner = Chord.owner_of t.ring ~key:router in
+          if owner <> holder then
+            fail "bucket of router %d held by node %d, owned by node %d" router holder owner;
+          Bucket.iter
+            (fun (dist, peer) ->
+              match Hashtbl.find_opt t.paths peer with
+              | None -> fail "bucket of router %d references unknown peer %d" router peer
+              | Some path ->
+                  if not (dist < Array.length path && path.(dist) = router) then
+                    fail "bucket of router %d has stale entry for peer %d" router peer)
+            !b)
+        store.buckets)
+    t.stores
+
+(* --- Persistence ------------------------------------------------------- *)
+
+let snapshot_version = 1
+
+let snapshot t =
+  let w = Prelude.Codec.Writer.create ~capacity:1024 () in
+  let open Prelude.Codec.Writer in
+  u8 w snapshot_version;
+  varint w t.landmark;
+  (match t.virtual_nodes with
+  | None -> bool w false
+  | Some v ->
+      bool w true;
+      varint w v);
+  list w (varint w) (List.sort compare (Array.to_list (Chord.members t.ring)));
+  let entries = Hashtbl.fold (fun peer path acc -> (peer, path) :: acc) t.paths [] in
+  list w
+    (fun (peer, routers) ->
+      varint w peer;
+      list w (varint w) (Array.to_list routers))
+    (List.sort compare entries);
+  contents w
+
+let restore data =
+  let open Prelude.Codec.Reader in
+  let ( let* ) = Result.bind in
+  let r = of_string data in
+  let result =
+    let* version = u8 r in
+    if version <> snapshot_version then
+      Error (Malformed (Printf.sprintf "unsupported registry snapshot version %d" version))
+    else
+      let* landmark = varint r in
+      let* has_virtual = bool r in
+      let* virtual_nodes =
+        if has_virtual then Result.map Option.some (varint r) else Ok None
+      in
+      let* members = list r varint in
+      let* entries =
+        list r (fun r ->
+            let* peer = varint r in
+            let* routers = list r varint in
+            Ok (peer, routers))
+      in
+      if not (is_exhausted r) then Error (Malformed "trailing bytes")
+      else Ok (landmark, virtual_nodes, members, entries)
+  in
+  match result with
+  | Error e -> Error (error_to_string e)
+  | Ok (landmark, virtual_nodes, members, entries) -> (
+      match create ?virtual_nodes ~landmark (Array.of_list members) with
+      | exception Invalid_argument msg -> Error msg
+      | t -> (
+          match
+            List.iter
+              (fun (peer, routers) -> insert t ~peer ~routers:(Array.of_list routers))
+              entries
+          with
+          | () ->
+              (* Rebuilding is not client traffic. *)
+              t.lookups <- 0;
+              t.overlay_hops <- 0;
+              Ok t
+          | exception Invalid_argument msg -> Error msg))
 
 let reset_counters t =
   t.lookups <- 0;

@@ -26,6 +26,14 @@ val landmark : t -> Topology.Graph.node
 val member_count : t -> int
 (** Registered peers. *)
 
+val mem : t -> int -> bool
+val path_of : t -> int -> Topology.Graph.node array option
+val iter_members : t -> (int -> unit) -> unit
+
+val dtree : t -> int -> int -> int option
+(** Meeting-point distance from the registered paths, as
+    {!Nearby.Path_tree.dtree}. *)
+
 val insert : t -> peer:int -> routers:Topology.Graph.node array -> unit
 (** Same contract as {!Nearby.Path_tree.insert}; counts one DHT lookup per
     path router. *)
@@ -49,6 +57,21 @@ type stats = {
 
 val stats : t -> stats
 val reset_counters : t -> unit
+
+val check_invariants : t -> unit
+(** Every bucket entry sits on the ring node owning its router key and is
+    justified by a registered path, and vice versa.  Reads ownership
+    directly (no lookup traffic is counted).  @raise Failure on
+    violation. *)
+
+val snapshot : t -> string
+(** Ring configuration (members, virtual nodes) and registered paths in the
+    {!Prelude.Codec} binary format. *)
+
+val restore : string -> (t, string) result
+(** Rebuild the ring and re-insert every path, then zero the traffic
+    counters (rebuilding is not client traffic).  Corrupt input yields
+    [Error]. *)
 
 (** {1 Membership dynamics}
 

@@ -1,0 +1,56 @@
+(* The decentralized directory as a registry backend.
+
+   [Directory] needs a ring of storage nodes at construction time, which
+   [Registry_intf.S.create] does not provide, so the backend is produced by
+   [backend]: a first-class module with the ring configuration baked in.
+   Storage node ids live far above any peer id to keep the two spaces
+   visibly apart in traces. *)
+
+module type CONFIG = sig
+  val nodes : int
+  val virtual_nodes : int
+end
+
+module Make (Config : CONFIG) : Nearby.Registry_intf.S with type t = Directory.t = struct
+  type t = Directory.t
+
+  let backend_name = "dht"
+
+  let storage_nodes () = Array.init Config.nodes (fun i -> 1_000_000 + i)
+
+  let create ~landmark =
+    if Config.nodes < 1 then invalid_arg "Dht.Registry: need at least one storage node";
+    Directory.create ~virtual_nodes:Config.virtual_nodes ~landmark (storage_nodes ())
+
+  let landmark = Directory.landmark
+  let insert = Directory.insert
+  let remove t peer = Directory.remove t ~peer
+  let mem = Directory.mem
+  let member_count = Directory.member_count
+  let path_of = Directory.path_of
+  let iter_members = Directory.iter_members
+  let dtree = Directory.dtree
+  let query = Directory.query
+  let query_member = Directory.query_member
+
+  let stats t =
+    let s = Directory.stats t in
+    [
+      ("dht_nodes", Directory.node_count t);
+      ("lookups", s.Directory.lookups);
+      ("members", member_count t);
+      ("migrations", Directory.migrations t);
+      ("overlay_hops", s.Directory.overlay_hops);
+      ("routers", List.fold_left (fun acc (_, b) -> acc + b) 0 s.Directory.buckets_per_node);
+    ]
+
+  let snapshot = Directory.snapshot
+  let restore = Directory.restore
+  let check_invariants = Directory.check_invariants
+end
+
+let backend ?(nodes = 32) ?(virtual_nodes = 8) () : (module Nearby.Registry_intf.S) =
+  (module Make (struct
+    let nodes = nodes
+    let virtual_nodes = virtual_nodes
+  end) : Nearby.Registry_intf.S)

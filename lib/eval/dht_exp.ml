@@ -14,6 +14,15 @@ let default_config =
 let quick_config =
   { routers = 600; peers = 150; landmark_count = 4; dht_nodes = 16; virtual_nodes = 8; k = 5; seed = 1 }
 
+(* One row of the backend sweep: the same join/query workload replayed
+   against each registry backend through the unified interface. *)
+type backend_row = {
+  backend : string;
+  identical : bool;  (* Same answers as the centralized path tree. *)
+  backend_stats : (string * int) list;  (* Merged per-landmark [stats]. *)
+  queries : int;  (* "registry_query" trace counter, all landmarks. *)
+}
+
 type report = {
   answers_identical : bool;
   mean_lookups_per_join : float;
@@ -28,6 +37,7 @@ type report = {
   join_migration_fraction : float;
       (* Buckets moved when one node joins / total buckets: consistent
          hashing promises ~1/(N+1). *)
+  backend_rows : backend_row list;
 }
 
 let run config =
@@ -170,6 +180,60 @@ let run config =
       float_of_int !moved /. float_of_int (trials * total)
     end
   in
+  (* Backend sweep: replay the recorded registrations against every backend
+     through the unified interface and check each one answers exactly like
+     the per-landmark path tree (the cross-tree top-up entries of the
+     central reply are server behaviour, not backend behaviour, so the
+     reference is the home-tree answer). *)
+  let routers_of (info : Nearby.Server.peer_info) =
+    let routers = Traceroute.Path.known_routers info.recorded_path in
+    let nr = Array.length routers in
+    if nr > 0 && routers.(nr - 1) = info.landmark then routers
+    else Array.append routers [| info.landmark |]
+  in
+  let reference = Hashtbl.create n in
+  let backend_rows =
+    List.map
+      (fun spec ->
+        let trace = Simkit.Trace.create () in
+        let backend = Backends.backend spec in
+        let registries = Hashtbl.create config.landmark_count in
+        Array.iter
+          (fun lmk ->
+            Hashtbl.add registries lmk (Nearby.Registry_intf.create ~trace backend ~landmark:lmk))
+          w.landmarks;
+        for peer = 0 to n - 1 do
+          match Nearby.Server.info server peer with
+          | None -> ()
+          | Some info ->
+              Nearby.Registry_intf.insert
+                (Hashtbl.find registries info.landmark)
+                ~peer ~routers:(routers_of info)
+        done;
+        let identical = ref true in
+        for peer = 0 to n - 1 do
+          match Nearby.Server.info server peer with
+          | None -> ()
+          | Some info ->
+              let reply =
+                Nearby.Registry_intf.query_member
+                  (Hashtbl.find registries info.landmark)
+                  ~peer ~k:config.k
+              in
+              (match spec with
+              | Backends.Tree -> Hashtbl.replace reference peer reply
+              | _ -> if reply <> Hashtbl.find reference peer then identical := false)
+        done;
+        {
+          backend = Backends.to_string spec;
+          identical = !identical;
+          backend_stats =
+            Nearby.Registry_intf.merge_stats
+              (Hashtbl.fold (fun _ reg acc -> Nearby.Registry_intf.stats reg :: acc) registries []);
+          queries = Simkit.Trace.counter trace "registry_query";
+        })
+      Backends.all
+  in
   let total_lookups = !join_lookups + !query_lookups in
   let total_hops = !join_hops + !query_hops in
   {
@@ -185,6 +249,7 @@ let run config =
     mean_hops_kademlia =
       (if !kad_lookups = 0 then 0.0 else float_of_int !kad_hops /. float_of_int !kad_lookups);
     join_migration_fraction;
+    backend_rows;
   }
 
 let print r =
@@ -213,4 +278,23 @@ let print r =
         Printf.sprintf "buckets moved by one node join (~1/%d expected)" (r.ring_size + 1);
         Prelude.Table.float_cell r.join_migration_fraction;
       ];
-    ]
+    ];
+  print_endline "";
+  print_endline "registry backend sweep (same workload through the unified interface)";
+  Prelude.Table.print
+    ~header:[ "backend"; "answers = tree"; "queries"; "members"; "stats" ]
+    (List.map
+       (fun row ->
+         let interesting =
+           List.filter (fun (key, _) -> key <> "members") row.backend_stats
+           |> List.map (fun (key, v) -> Printf.sprintf "%s=%d" key v)
+           |> String.concat " "
+         in
+         [
+           row.backend;
+           string_of_bool row.identical;
+           string_of_int row.queries;
+           string_of_int (Option.value ~default:0 (List.assoc_opt "members" row.backend_stats));
+           interesting;
+         ])
+       r.backend_rows)

@@ -19,6 +19,15 @@ type config = {
 val default_config : config
 val quick_config : config
 
+type backend_row = {
+  backend : string;
+  identical : bool;  (** Same answers as the per-landmark path tree. *)
+  backend_stats : (string * int) list;
+      (** The backend's {!Nearby.Registry_intf.S.stats} merged across
+          landmarks. *)
+  queries : int;  (** ["registry_query"] trace counter over the sweep. *)
+}
+
 type report = {
   answers_identical : bool;  (** DHT answers == central answers for every peer. *)
   mean_lookups_per_join : float;
@@ -34,6 +43,9 @@ type report = {
   join_migration_fraction : float;
       (** Buckets moved when one storage node joins, as a fraction of all
           stored buckets (consistent hashing: ~1/(N+1)). *)
+  backend_rows : backend_row list;
+      (** The same workload replayed against every registry backend
+          ({!Backends.all}) through the unified interface. *)
 }
 
 val run : config -> report

@@ -4,7 +4,11 @@ type t = {
 }
 
 let create ~landmark = { landmark; paths = Hashtbl.create 64 }
+let landmark t = t.landmark
 let member_count t = Hashtbl.length t.paths
+let mem t peer = Hashtbl.mem t.paths peer
+let path_of t peer = Option.map Array.copy (Hashtbl.find_opt t.paths peer)
+let iter_members t f = Hashtbl.iter (fun p _ -> f p) t.paths
 
 let insert t ~peer ~routers =
   if Array.length routers = 0 then invalid_arg "Naive_registry.insert: empty path";
@@ -32,20 +36,77 @@ let dtree t p1 p2 =
 let query t ~routers ~k ?(exclude = fun _ -> false) () =
   if k <= 0 then []
   else begin
-    let candidates = ref [] in
+    (* Still the exhaustive O(n) scan the ablation is about; only the
+       selection of the k best is bounded. *)
+    let best = Topk.create ~k compare in
     Hashtbl.iter
       (fun peer path ->
         if not (exclude peer) then
           match dtree_paths routers path with
-          | Some d -> candidates := (d, peer) :: !candidates
+          | Some d -> Topk.offer best (d, peer)
           | None -> ())
       t.paths;
-    List.sort compare !candidates
-    |> List.filteri (fun i _ -> i < k)
-    |> List.map (fun (d, p) -> (p, d))
+    List.map (fun (d, p) -> (p, d)) (Topk.to_sorted_list best)
   end
 
 let query_member t ~peer ~k =
   match Hashtbl.find_opt t.paths peer with
   | None -> raise Not_found
   | Some routers -> query t ~routers ~k ~exclude:(fun p -> p = peer) ()
+
+(* --- Registry_intf.S ---------------------------------------------------- *)
+
+let backend_name = "naive"
+let stats t = [ ("members", member_count t) ]
+
+let check_invariants t =
+  Hashtbl.iter
+    (fun peer path ->
+      let len = Array.length path in
+      if len = 0 then failwith (Printf.sprintf "peer %d has an empty path" peer);
+      if path.(len - 1) <> t.landmark then
+        failwith (Printf.sprintf "peer %d path does not end at the landmark" peer))
+    t.paths
+
+let snapshot_version = 1
+
+let snapshot t =
+  let w = Prelude.Codec.Writer.create ~capacity:1024 () in
+  let open Prelude.Codec.Writer in
+  u8 w snapshot_version;
+  varint w t.landmark;
+  let entries = Hashtbl.fold (fun peer path acc -> (peer, path) :: acc) t.paths [] in
+  list w
+    (fun (peer, routers) ->
+      varint w peer;
+      list w (varint w) (Array.to_list routers))
+    (List.sort compare entries);
+  contents w
+
+let restore data =
+  let open Prelude.Codec.Reader in
+  let ( let* ) = Result.bind in
+  let r = of_string data in
+  let result =
+    let* version = u8 r in
+    if version <> snapshot_version then
+      Error (Malformed (Printf.sprintf "unsupported registry snapshot version %d" version))
+    else
+      let* landmark = varint r in
+      let* entries =
+        list r (fun r ->
+            let* peer = varint r in
+            let* routers = list r varint in
+            Ok (peer, routers))
+      in
+      if not (is_exhausted r) then Error (Malformed "trailing bytes") else Ok (landmark, entries)
+  in
+  match result with
+  | Error e -> Error (error_to_string e)
+  | Ok (landmark, entries) -> (
+      let t = create ~landmark in
+      match
+        List.iter (fun (peer, routers) -> insert t ~peer ~routers:(Array.of_list routers)) entries
+      with
+      | () -> Ok t
+      | exception Invalid_argument msg -> Error msg)

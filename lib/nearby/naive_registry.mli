@@ -10,7 +10,11 @@
 type t
 
 val create : landmark:Topology.Graph.node -> t
+val landmark : t -> Topology.Graph.node
 val member_count : t -> int
+val mem : t -> int -> bool
+val path_of : t -> int -> Topology.Graph.node array option
+val iter_members : t -> (int -> unit) -> unit
 
 val insert : t -> peer:int -> routers:Topology.Graph.node array -> unit
 (** Same contract as {!Path_tree.insert}. *)
@@ -25,3 +29,13 @@ val query : t -> routers:Topology.Graph.node array -> k:int -> ?exclude:(int -> 
 
 val query_member : t -> peer:int -> k:int -> (int * int) list
 (** @raise Not_found when unregistered. *)
+
+(** {1 Registry backend surface} — completes {!Registry_intf.S}. *)
+
+val backend_name : string
+(** ["naive"]. *)
+
+val stats : t -> (string * int) list
+val snapshot : t -> string
+val restore : string -> (t, string) result
+val check_invariants : t -> unit

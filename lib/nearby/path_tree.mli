@@ -68,3 +68,21 @@ val check_invariants : t -> unit
     appears in exactly the right bucket with the right distance; bucket
     contents are exactly the union of registered paths.  @raise Failure on
     violation. *)
+
+(** {1 Registry backend surface}
+
+    The remaining values complete {!Registry_intf.S}, making the path tree
+    the reference backend every alternative is compared against. *)
+
+val backend_name : string
+(** ["tree"]. *)
+
+val stats : t -> (string * int) list
+(** [("members", _); ("routers", _)]. *)
+
+val snapshot : t -> string
+(** Registered peers and their router paths in the {!Prelude.Codec} binary
+    format (sorted by peer id, so equal state yields equal bytes). *)
+
+val restore : string -> (t, string) result
+(** Inverse of {!snapshot}; corrupt input yields [Error]. *)

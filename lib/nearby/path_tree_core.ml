@@ -94,38 +94,26 @@ module Make (Cost : COST) = struct
   let dtree t p1 p2 =
     match meeting_point t p1 p2 with Some (_, c1, c2) -> Some (Cost.add c1 c2) | None -> None
 
-  (* Keep the k best (cost, peer) candidates in an ascending sorted list;
-     k is a handful of neighbors, so linear insertion is fine. *)
+  (* The k best (cost, peer) candidates accumulate in the shared bounded
+     selector: O(log k) per offer, equal-cost ties to the lower peer id. *)
   let candidate_compare (c1, p1) (c2, p2) =
     match Cost.compare c1 c2 with 0 -> compare p1 p2 | c -> c
 
-  let best_insert best k candidate =
-    let rec insert = function
-      | [] -> [ candidate ]
-      | x :: rest when candidate_compare candidate x < 0 -> candidate :: x :: rest
-      | x :: rest -> x :: insert rest
-    in
-    let merged = insert best in
-    if List.length merged > k then List.filteri (fun i _ -> i < k) merged else merged
-
-  let worst_of best k =
-    if List.length best < k then None else Some (fst (List.nth best (k - 1)))
-
-  let beats_worst worst cost =
-    match worst with None -> true | Some w -> Cost.compare cost w <= 0
+  let beats_worst best cost =
+    match Topk.worst best with None -> true | Some (w, _) -> Cost.compare cost w <= 0
 
   let query t ~hops ~k ?(exclude = fun _ -> false) () =
     if k <= 0 then []
     else begin
       let seen = Hashtbl.create 64 in
-      let best = ref [] in
+      let best = Topk.create ~k candidate_compare in
       let len = Array.length hops in
       let i = ref 0 in
       (* Walking outward from the attachment router, the walk cost alone
          lower-bounds any further candidate, so stop once even a
          zero-distance co-bucket peer could not improve or tie the k-th best
          (ties matter: equal cost with a lower peer id wins). *)
-      while !i < len && beats_worst (worst_of !best k) (snd hops.(!i)) do
+      while !i < len && beats_worst best (snd hops.(!i)) do
         let router, walk_cost = hops.(!i) in
         (match Hashtbl.find_opt t.buckets router with
         | None -> ()
@@ -134,16 +122,16 @@ module Make (Cost : COST) = struct
                Bucket.iter
                  (fun (dist, p) ->
                    let candidate = Cost.add walk_cost dist in
-                   if not (beats_worst (worst_of !best k) candidate) then raise Exit;
+                   if not (beats_worst best candidate) then raise Exit;
                    if not (Hashtbl.mem seen p) then begin
                      Hashtbl.add seen p ();
-                     if not (exclude p) then best := best_insert !best k (candidate, p)
+                     if not (exclude p) then Topk.offer best (candidate, p)
                    end)
                  !bucket
              with Exit -> ()));
         incr i
       done;
-      List.map (fun (cost, p) -> (p, cost)) !best
+      List.map (fun (cost, p) -> (p, cost)) (Topk.to_sorted_list best)
     end
 
   let query_member t ~peer ~k =

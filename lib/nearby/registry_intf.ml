@@ -1,0 +1,146 @@
+(* The one seam every registry backend plugs into.
+
+   The paper's contribution is a server data structure for "store recorded
+   paths, answer k-nearest"; the repo grew four divergent implementations
+   of that contract (path tree, naive scan, super-peer region store, DHT
+   directory) plus a sharded composite.  This module type is the shared
+   surface: the server, the experiments, the CLI and the benchmarks all
+   talk to a first-class [(module S)] instead of a concrete backend, so a
+   new backend (batching, caching, async, ...) is one module away.
+
+   Conventions every implementation must honour:
+   - [insert] rejects empty paths, paths not ending at the landmark and
+     duplicate peers with [Invalid_argument]; [remove]/[query_member]
+     raise [Not_found] for unknown peers.
+   - [query] returns at most [k] (peer, dtree) pairs in ascending
+     (dtree, peer) order -- equal-cost ties break to the lower peer id --
+     so two correct backends return byte-identical answers.
+   - [snapshot]/[restore] round-trip the full registry state through the
+     [Prelude.Codec] binary format; every corrupt input yields [Error]. *)
+
+type peer = int
+
+module type S = sig
+  type t
+
+  val backend_name : string
+  val create : landmark:Topology.Graph.node -> t
+  val landmark : t -> Topology.Graph.node
+  val insert : t -> peer:peer -> routers:Topology.Graph.node array -> unit
+  val remove : t -> peer -> unit
+  val mem : t -> peer -> bool
+  val member_count : t -> int
+  val path_of : t -> peer -> Topology.Graph.node array option
+  val iter_members : t -> (peer -> unit) -> unit
+  val dtree : t -> peer -> peer -> int option
+
+  val query :
+    t ->
+    routers:Topology.Graph.node array ->
+    k:int ->
+    ?exclude:(peer -> bool) ->
+    unit ->
+    (peer * int) list
+
+  val query_member : t -> peer:peer -> k:int -> (peer * int) list
+  val stats : t -> (string * int) list
+  val snapshot : t -> string
+  val restore : string -> (t, string) result
+  val check_invariants : t -> unit
+end
+
+(* A backend packed with its state and a metrics sink: the dynamic form the
+   server and the experiments route every call through.  The trace records
+   "registry_insert" / "registry_remove" / "registry_query" identically for
+   every backend; backend-specific costs (overlay hops, lookups, shard
+   sizes) surface through [stats]. *)
+type t =
+  | Registry : {
+      backend : (module S with type t = 'a);
+      state : 'a;
+      trace : Simkit.Trace.t;
+    }
+      -> t
+
+let create ?trace (module B : S) ~landmark =
+  let trace = match trace with Some t -> t | None -> Simkit.Trace.create () in
+  Registry { backend = (module B); state = B.create ~landmark; trace }
+
+let name (Registry r) =
+  let module B = (val r.backend) in
+  B.backend_name
+
+let landmark (Registry r) =
+  let module B = (val r.backend) in
+  B.landmark r.state
+
+let insert (Registry r) ~peer ~routers =
+  let module B = (val r.backend) in
+  Simkit.Trace.incr r.trace "registry_insert";
+  B.insert r.state ~peer ~routers
+
+let remove (Registry r) peer =
+  let module B = (val r.backend) in
+  Simkit.Trace.incr r.trace "registry_remove";
+  B.remove r.state peer
+
+let mem (Registry r) peer =
+  let module B = (val r.backend) in
+  B.mem r.state peer
+
+let member_count (Registry r) =
+  let module B = (val r.backend) in
+  B.member_count r.state
+
+let path_of (Registry r) peer =
+  let module B = (val r.backend) in
+  B.path_of r.state peer
+
+let iter_members (Registry r) f =
+  let module B = (val r.backend) in
+  B.iter_members r.state f
+
+let dtree (Registry r) p1 p2 =
+  let module B = (val r.backend) in
+  B.dtree r.state p1 p2
+
+let query (Registry r) ~routers ~k ?(exclude = fun _ -> false) () =
+  let module B = (val r.backend) in
+  Simkit.Trace.incr r.trace "registry_query";
+  B.query r.state ~routers ~k ~exclude ()
+
+let query_member (Registry r) ~peer ~k =
+  let module B = (val r.backend) in
+  Simkit.Trace.incr r.trace "registry_query";
+  B.query_member r.state ~peer ~k
+
+let stats (Registry r) =
+  let module B = (val r.backend) in
+  B.stats r.state
+
+let snapshot (Registry r) =
+  let module B = (val r.backend) in
+  B.snapshot r.state
+
+let restore ?trace (module B : S) data =
+  let trace = match trace with Some t -> t | None -> Simkit.Trace.create () in
+  match B.restore data with
+  | Ok state -> Ok (Registry { backend = (module B); state; trace })
+  | Error e -> Error e
+
+let check_invariants (Registry r) =
+  let module B = (val r.backend) in
+  B.check_invariants r.state
+
+(* Sum assoc-list stats (as returned by [stats]) across several registries,
+   e.g. the server's per-landmark instances. *)
+let merge_stats lists =
+  let acc = Hashtbl.create 16 in
+  List.iter
+    (fun kvs ->
+      List.iter
+        (fun (key, v) ->
+          Hashtbl.replace acc key (v + Option.value ~default:0 (Hashtbl.find_opt acc key)))
+        kvs)
+    lists;
+  Hashtbl.fold (fun key v out -> (key, v) :: out) acc [] |> List.sort compare

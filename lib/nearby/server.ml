@@ -19,13 +19,15 @@ type t = {
   choice : landmark_choice;
   choice_rng : Prelude.Prng.t;
   landmark_ids : Topology.Graph.node array;
-  trees : (Topology.Graph.node, Path_tree.t) Hashtbl.t;
+  backend : (module Registry_intf.S);
+  registries : (Topology.Graph.node, Registry_intf.t) Hashtbl.t;
   peers : (int, peer_info) Hashtbl.t;
   trace : Simkit.Trace.t;
 }
 
 let create ?(truncate = Traceroute.Truncate.Full) ?(probe_config = Traceroute.Probe.default_config)
-    ?latency ?(choice = Closest) oracle ~landmarks =
+    ?latency ?(choice = Closest) ?(backend = (module Path_tree : Registry_intf.S)) oracle ~landmarks
+    =
   if Array.length landmarks = 0 then invalid_arg "Server.create: no landmarks";
   let distinct = Hashtbl.create 8 in
   Array.iter
@@ -33,8 +35,11 @@ let create ?(truncate = Traceroute.Truncate.Full) ?(probe_config = Traceroute.Pr
       if Hashtbl.mem distinct lmk then invalid_arg "Server.create: duplicate landmark";
       Hashtbl.add distinct lmk ())
     landmarks;
-  let trees = Hashtbl.create (Array.length landmarks) in
-  Array.iter (fun lmk -> Hashtbl.add trees lmk (Path_tree.create ~landmark:lmk)) landmarks;
+  let trace = Simkit.Trace.create () in
+  let registries = Hashtbl.create (Array.length landmarks) in
+  Array.iter
+    (fun lmk -> Hashtbl.add registries lmk (Registry_intf.create ~trace backend ~landmark:lmk))
+    landmarks;
   {
     oracle;
     latency;
@@ -43,9 +48,10 @@ let create ?(truncate = Traceroute.Truncate.Full) ?(probe_config = Traceroute.Pr
     choice;
     choice_rng = Prelude.Prng.create 0x5eed;
     landmark_ids = Array.copy landmarks;
-    trees;
+    backend;
+    registries;
     peers = Hashtbl.create 256;
-    trace = Simkit.Trace.create ();
+    trace;
   }
 
 let graph t = Traceroute.Route_oracle.graph t.oracle
@@ -54,7 +60,17 @@ let peer_count t = Hashtbl.length t.peers
 let mem t peer = Hashtbl.mem t.peers peer
 let info t peer = Hashtbl.find_opt t.peers peer
 let trace t = t.trace
-let tree_of t lmk = Hashtbl.find t.trees lmk
+let registry_of t lmk = Hashtbl.find t.registries lmk
+
+let backend_name t =
+  let module B = (val t.backend : Registry_intf.S) in
+  B.backend_name
+
+(* Uniform per-backend metrics: the per-landmark [stats] assoc lists summed
+   into one view, whatever the backend. *)
+let registry_stats t =
+  Registry_intf.merge_stats
+    (Hashtbl.fold (fun _ reg acc -> Registry_intf.stats reg :: acc) t.registries [])
 
 (* Round 1 + recording: ping all landmarks, traceroute to the winner,
    truncate per the configured decreased-tool strategy. *)
@@ -90,7 +106,7 @@ let join ?rng t ~peer ~attach_router =
   if Hashtbl.mem t.peers peer then invalid_arg "Server.join: peer already registered";
   let landmark, recorded_path, probes_spent = record_path ?rng t ~attach_router in
   let routers = registrable_path ~landmark recorded_path in
-  Path_tree.insert (tree_of t landmark) ~peer ~routers;
+  Registry_intf.insert (registry_of t landmark) ~peer ~routers;
   let info = { attach_router; landmark; recorded_path; probes_spent } in
   Hashtbl.add t.peers peer info;
   Log.debug (fun m ->
@@ -119,15 +135,15 @@ let neighbors_of_path t ~path ~k ?(exclude = fun _ -> false) () =
   Simkit.Trace.incr t.trace "query";
   let landmark = path.Traceroute.Path.dst in
   let routers = registrable_path ~landmark path in
-  let home_tree =
-    match Hashtbl.find_opt t.trees landmark with
-    | Some tree -> tree
+  let home =
+    match Hashtbl.find_opt t.registries landmark with
+    | Some reg -> reg
     | None -> invalid_arg "Server.neighbors_of_path: unknown landmark"
   in
-  let result = Path_tree.query home_tree ~routers ~k ~exclude () in
+  let result = Registry_intf.query home ~routers ~k ~exclude () in
   if List.length result >= k then result
   else begin
-    (* Top up from the other landmark trees, closest landmark first. *)
+    (* Top up from the other landmark registries, closest landmark first. *)
     let missing = ref (k - List.length result) in
     let already = Hashtbl.create 16 in
     List.iter (fun (p, _) -> Hashtbl.add already p ()) result;
@@ -135,14 +151,20 @@ let neighbors_of_path t ~path ~k ?(exclude = fun _ -> false) () =
     List.iter
       (fun lmk ->
         if !missing > 0 then begin
-          let tree = tree_of t lmk in
-          Path_tree.iter_members tree (fun p ->
+          let reg = registry_of t lmk in
+          (* Ascending peer id, not table order: the answer must not depend
+             on the backend's internal hashing. *)
+          let members = ref [] in
+          Registry_intf.iter_members reg (fun p -> members := p :: !members);
+          List.iter
+            (fun p ->
               if !missing > 0 && (not (Hashtbl.mem already p)) && not (exclude p) then begin
                 Hashtbl.add already p ();
                 extra := (p, max_int) :: !extra;
                 decr missing;
                 Simkit.Trace.incr t.trace "cross_tree_topup"
               end)
+            (List.sort compare !members)
         end)
       (topup_order t ~home:landmark);
     result @ List.rev !extra
@@ -164,13 +186,13 @@ let reverse_introductions t ~peer ~k =
   match Hashtbl.find_opt t.peers peer with
   | None -> raise Not_found
   | Some info ->
-      let tree = tree_of t info.landmark in
+      let reg = registry_of t info.landmark in
       (* Candidates: anyone near the newcomer (take extra in case of ties);
          keep those whose own k-NN now contains the newcomer. *)
-      let nearby = Path_tree.query_member tree ~peer ~k:(2 * k) in
+      let nearby = Registry_intf.query_member reg ~peer ~k:(2 * k) in
       List.filter
         (fun (candidate, _) ->
-          Path_tree.query_member tree ~peer:candidate ~k
+          Registry_intf.query_member reg ~peer:candidate ~k
           |> List.exists (fun (p, _) -> p = peer))
         nearby
       |> List.filteri (fun i _ -> i < k)
@@ -179,7 +201,7 @@ let leave t ~peer =
   match Hashtbl.find_opt t.peers peer with
   | None -> raise Not_found
   | Some info ->
-      Path_tree.remove (tree_of t info.landmark) peer;
+      Registry_intf.remove (registry_of t info.landmark) peer;
       Hashtbl.remove t.peers peer;
       Log.debug (fun m -> m "leave peer=%d landmark=%d" peer info.landmark);
       Simkit.Trace.incr t.trace "leave"
@@ -192,14 +214,14 @@ let handover ?rng t ~peer ~attach_router =
   info
 
 let check_invariants t =
-  Hashtbl.iter (fun _ tree -> Path_tree.check_invariants tree) t.trees;
+  Hashtbl.iter (fun _ reg -> Registry_intf.check_invariants reg) t.registries;
   Hashtbl.iter
     (fun peer (info : peer_info) ->
-      if not (Path_tree.mem (tree_of t info.landmark) peer) then
+      if not (Registry_intf.mem (registry_of t info.landmark) peer) then
         failwith (Printf.sprintf "peer %d missing from its landmark tree" peer);
       Array.iter
         (fun lmk ->
-          if lmk <> info.landmark && Path_tree.mem (tree_of t lmk) peer then
+          if lmk <> info.landmark && Registry_intf.mem (registry_of t lmk) peer then
             failwith (Printf.sprintf "peer %d registered in a foreign tree" peer))
         t.landmark_ids)
     t.peers
@@ -225,7 +247,7 @@ let snapshot t =
     entries;
   contents w
 
-let restore ?truncate ?probe_config ?latency ?choice oracle data =
+let restore ?truncate ?probe_config ?latency ?choice ?backend oracle data =
   let open Prelude.Codec.Reader in
   let ( let* ) = Result.bind in
   let r = of_string data in
@@ -250,7 +272,10 @@ let restore ?truncate ?probe_config ?latency ?choice oracle data =
   match result with
   | Error e -> Error (error_to_string e)
   | Ok (landmark_list, entries) -> (
-      match create ?truncate ?probe_config ?latency ?choice oracle ~landmarks:(Array.of_list landmark_list) with
+      match
+        create ?truncate ?probe_config ?latency ?choice ?backend oracle
+          ~landmarks:(Array.of_list landmark_list)
+      with
       | exception Invalid_argument msg -> Error msg
       | t -> (
           let rebuild () =
@@ -261,7 +286,7 @@ let restore ?truncate ?probe_config ?latency ?choice oracle data =
                     if not (Array.mem landmark t.landmark_ids) then
                       failwith "snapshot references an unknown landmark";
                     let routers = registrable_path ~landmark path in
-                    Path_tree.insert (tree_of t landmark) ~peer ~routers;
+                    Registry_intf.insert (registry_of t landmark) ~peer ~routers;
                     Hashtbl.add t.peers peer
                       { attach_router; landmark; recorded_path = path; probes_spent }
                 | Ok _ -> failwith "snapshot entry is not a path report"

@@ -32,11 +32,22 @@ val create :
   ?probe_config:Traceroute.Probe.config ->
   ?latency:Topology.Latency.t ->
   ?choice:landmark_choice ->
+  ?backend:(module Registry_intf.S) ->
   Traceroute.Route_oracle.t ->
   landmarks:Topology.Graph.node array ->
   t
-(** @raise Invalid_argument on an empty landmark array or duplicate
+(** [backend] selects the per-landmark registry implementation (default
+    {!Path_tree}); any module satisfying {!Registry_intf.S} plugs in and
+    answers the same protocol.
+    @raise Invalid_argument on an empty landmark array or duplicate
     landmarks. *)
+
+val backend_name : t -> string
+(** The [backend_name] of the registry backend this server was built with. *)
+
+val registry_stats : t -> (string * int) list
+(** The backend's {!Registry_intf.S.stats} summed across the per-landmark
+    registries — uniform per-backend metrics, whatever the backend. *)
 
 val graph : t -> Topology.Graph.t
 val landmarks : t -> Topology.Graph.node array
@@ -101,6 +112,7 @@ val restore :
   ?probe_config:Traceroute.Probe.config ->
   ?latency:Topology.Latency.t ->
   ?choice:landmark_choice ->
+  ?backend:(module Registry_intf.S) ->
   Traceroute.Route_oracle.t ->
   string ->
   (t, string) result

@@ -1,0 +1,189 @@
+(* A horizontally scaled management store: router buckets hash-partitioned
+   across N independent shards, each a full registry backend of its own.
+
+   A peer's home shard is the hash of its attachment router (the first
+   router of its recorded path), so every bucket the peer occupies lives on
+   one shard and an insert touches exactly one shard -- insert throughput
+   scales with N.  Queries scatter to all shards and gather the k best
+   through the shared bounded selector; because the shards partition the
+   population, the merged answer is identical to a single-store deployment
+   (the cross-backend equivalence test pins this). *)
+
+module Make
+    (Inner : Registry_intf.S) (Config : sig
+      val shards : int
+    end) : Registry_intf.S = struct
+  type t = {
+    landmark : Topology.Graph.node;
+    shards : Inner.t array;
+    home : (int, int) Hashtbl.t;  (* peer -> shard index *)
+  }
+
+  let shard_count = Config.shards
+  let backend_name = Printf.sprintf "sharded:%d" shard_count
+
+  let create ~landmark =
+    if shard_count < 1 then invalid_arg "Sharded_registry.create: need at least one shard";
+    {
+      landmark;
+      shards = Array.init shard_count (fun _ -> Inner.create ~landmark);
+      home = Hashtbl.create 256;
+    }
+
+  let landmark t = t.landmark
+
+  (* Multiplicative hash: router ids are near-sequential, so plain [mod]
+     would stripe rather than hash.  Power-of-two shard counts (the common
+     case) mask instead of dividing -- this sits on the insert hot path. *)
+  let shard_mask = if shard_count land (shard_count - 1) = 0 then shard_count - 1 else -1
+
+  let shard_of_router router =
+    let h = router * 0x9E3779B1 in
+    let h = (h lxor (h lsr 16)) land max_int in
+    if shard_mask >= 0 then h land shard_mask else h mod shard_count
+
+  let insert t ~peer ~routers =
+    if Array.length routers = 0 then invalid_arg "Sharded_registry.insert: empty path";
+    if Hashtbl.mem t.home peer then invalid_arg "Sharded_registry.insert: peer already registered";
+    let s = shard_of_router routers.(0) in
+    Inner.insert t.shards.(s) ~peer ~routers;
+    Hashtbl.add t.home peer s
+
+  let remove t peer =
+    match Hashtbl.find_opt t.home peer with
+    | None -> raise Not_found
+    | Some s ->
+        Inner.remove t.shards.(s) peer;
+        Hashtbl.remove t.home peer
+
+  let mem t peer = Hashtbl.mem t.home peer
+  let member_count t = Hashtbl.length t.home
+
+  let path_of t peer =
+    match Hashtbl.find_opt t.home peer with
+    | None -> None
+    | Some s -> Inner.path_of t.shards.(s) peer
+
+  let iter_members t f = Hashtbl.iter (fun p _ -> f p) t.home
+
+  let dtree t p1 p2 =
+    match (Hashtbl.find_opt t.home p1, Hashtbl.find_opt t.home p2) with
+    | Some s1, Some s2 when s1 = s2 -> Inner.dtree t.shards.(s1) p1 p2
+    | Some s1, Some s2 -> (
+        (* Different shards: rank from the registered paths, exactly as any
+           single-store backend would from its bucket structure. *)
+        match (Inner.path_of t.shards.(s1) p1, Inner.path_of t.shards.(s2) p2) with
+        | Some a, Some b ->
+            let la = Array.length a and lb = Array.length b in
+            let max_j = min la lb in
+            let rec suffix j =
+              if j < max_j && a.(la - 1 - j) = b.(lb - 1 - j) then suffix (j + 1) else j
+            in
+            let j = suffix 0 in
+            if j = 0 then None else Some (la - j + (lb - j))
+        | None, _ | _, None -> None)
+    | None, _ | _, None -> None
+
+  let query t ~routers ~k ?(exclude = fun _ -> false) () =
+    if k <= 0 then []
+    else begin
+      let best = Topk.create ~k compare in
+      Array.iter
+        (fun shard ->
+          List.iter (fun (p, d) -> Topk.offer best (d, p)) (Inner.query shard ~routers ~k ~exclude ()))
+        t.shards;
+      List.map (fun (d, p) -> (p, d)) (Topk.to_sorted_list best)
+    end
+
+  let query_member t ~peer ~k =
+    match path_of t peer with
+    | None -> raise Not_found
+    | Some routers -> query t ~routers ~k ~exclude:(fun p -> p = peer) ()
+
+  let stats t =
+    let inner = Registry_intf.merge_stats (Array.to_list (Array.map Inner.stats t.shards)) in
+    let largest = Array.fold_left (fun m s -> max m (Inner.member_count s)) 0 t.shards in
+    ("largest_shard", largest) :: ("shards", shard_count) :: inner |> List.sort compare
+
+  let check_invariants t =
+    Array.iter Inner.check_invariants t.shards;
+    Hashtbl.iter
+      (fun peer s ->
+        if s < 0 || s >= shard_count then
+          failwith (Printf.sprintf "peer %d assigned to shard %d of %d" peer s shard_count);
+        if not (Inner.mem t.shards.(s) peer) then
+          failwith (Printf.sprintf "peer %d missing from its home shard %d" peer s))
+      t.home;
+    let members = Array.fold_left (fun acc s -> acc + Inner.member_count s) 0 t.shards in
+    if members <> Hashtbl.length t.home then
+      failwith
+        (Printf.sprintf "shards hold %d members, home table %d" members (Hashtbl.length t.home))
+
+  let snapshot_version = 1
+
+  let snapshot t =
+    let w = Prelude.Codec.Writer.create ~capacity:1024 () in
+    let open Prelude.Codec.Writer in
+    u8 w snapshot_version;
+    varint w shard_count;
+    varint w t.landmark;
+    list w (fun shard -> bytes w (Inner.snapshot shard)) (Array.to_list t.shards);
+    contents w
+
+  let restore data =
+    let open Prelude.Codec.Reader in
+    let ( let* ) = Result.bind in
+    let r = of_string data in
+    let result =
+      let* version = u8 r in
+      if version <> snapshot_version then
+        Error (Malformed (Printf.sprintf "unsupported registry snapshot version %d" version))
+      else
+        let* shards = varint r in
+        let* landmark = varint r in
+        let* blobs = list r bytes in
+        if not (is_exhausted r) then Error (Malformed "trailing bytes")
+        else Ok (shards, landmark, blobs)
+    in
+    match result with
+    | Error e -> Error (error_to_string e)
+    | Ok (shards, landmark, blobs) ->
+        if shards <> shard_count || List.length blobs <> shard_count then
+          Error
+            (Printf.sprintf "snapshot has %d shards, this backend is configured for %d" shards
+               shard_count)
+        else begin
+          let restored = List.map Inner.restore blobs in
+          match
+            List.find_map (function Error e -> Some e | Ok _ -> None) restored
+          with
+          | Some e -> Error e
+          | None ->
+              let shards =
+                Array.of_list (List.map (function Ok s -> s | Error _ -> assert false) restored)
+              in
+              let t = { landmark; shards; home = Hashtbl.create 256 } in
+              let clash = ref None in
+              Array.iteri
+                (fun s shard ->
+                  Inner.iter_members shard (fun peer ->
+                      if Hashtbl.mem t.home peer then clash := Some peer
+                      else Hashtbl.add t.home peer s))
+                t.shards;
+              (match !clash with
+              | Some peer -> Error (Printf.sprintf "peer %d appears in several shards" peer)
+              | None -> Ok t)
+        end
+end
+
+(* Runtime construction: [make ~shards ()] packs a sharded backend over any
+   inner backend (the paper's path tree by default) as a first-class
+   module, ready for [Server.create ~backend] or the CLI's --backend flag. *)
+let make ?inner ~shards () : (module Registry_intf.S) =
+  let inner = Option.value ~default:(module Path_tree : Registry_intf.S) inner in
+  let module I = (val inner : Registry_intf.S) in
+  (module Make
+            (I)
+            (struct
+              let shards = shards
+            end) : Registry_intf.S)

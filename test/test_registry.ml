@@ -1,0 +1,297 @@
+(* The unified registry seam: every backend must answer identically, keep
+   its invariants under churn, and round-trip through snapshot/restore. *)
+
+open Nearby
+
+let specs = Eval.Backends.all
+let backend_of = Eval.Backends.backend
+let spec_name = Eval.Backends.to_string
+
+(* A registration scenario on an arbitrary graph: a landmark, and for every
+   candidate attachment router its recorded path toward the landmark. *)
+type scenario = {
+  graph : Topology.Graph.t;
+  landmark : Topology.Graph.node;
+  route_of : Topology.Graph.node -> Topology.Graph.node array;
+}
+
+let scenario_of_graph graph ~seed =
+  let oracle = Traceroute.Route_oracle.create graph in
+  let rng = Prelude.Prng.create (seed + 101) in
+  let landmark = (Landmark.place graph Landmark.Medium_degree ~count:1 ~rng).(0) in
+  {
+    graph;
+    landmark;
+    route_of =
+      (fun src -> Array.of_list (Traceroute.Route_oracle.route oracle ~src ~dst:landmark));
+  }
+
+let waxman_scenario ~seed =
+  let graph, _ = Topology.Gen_waxman.generate ~nodes:120 ~alpha:0.3 ~beta:0.25 ~seed in
+  scenario_of_graph graph ~seed
+
+let transit_stub_scenario ~seed =
+  scenario_of_graph
+    (Topology.Gen_transit_stub.generate Topology.Gen_transit_stub.default_params ~seed)
+    ~seed
+
+let fresh_registries sc = List.map (fun spec -> Registry_intf.create (backend_of spec) ~landmark:sc.landmark) specs
+
+let attach_router sc rng = Prelude.Prng.int rng (Topology.Graph.node_count sc.graph)
+
+(* Same call against every backend; all must agree with the first (the path
+   tree).  Answers are fully ordered by (dtree, peer id), so agreement is
+   exact list equality — tie order included. *)
+let check_agreement ~what replies =
+  match replies with
+  | [] -> ()
+  | (_, reference) :: rest ->
+      List.iter
+        (fun (name, reply) ->
+          Alcotest.(check (list (pair int int))) (Printf.sprintf "%s: %s" name what) reference reply)
+        rest
+
+(* --- Cross-backend equivalence on random topologies -------------------- *)
+
+let qcheck_equivalence =
+  QCheck.Test.make ~name:"all backends return identical neighbor sets" ~count:15
+    QCheck.(make Gen.(pair small_nat bool))
+    (fun (seed, waxman) ->
+      let sc = if waxman then waxman_scenario ~seed else transit_stub_scenario ~seed in
+      let rng = Prelude.Prng.create (seed + 7) in
+      let regs = fresh_registries sc in
+      let peers = 35 in
+      for peer = 0 to peers - 1 do
+        let routers = sc.route_of (attach_router sc rng) in
+        List.iter (fun reg -> Registry_intf.insert reg ~peer ~routers) regs
+      done;
+      (* Member queries: everyone's k nearest. *)
+      for peer = 0 to peers - 1 do
+        check_agreement
+          ~what:(Printf.sprintf "query_member peer %d" peer)
+          (List.map2
+             (fun spec reg -> (spec_name spec, Registry_intf.query_member reg ~peer ~k:5))
+             specs regs)
+      done;
+      (* Newcomer queries from paths never registered, several k values. *)
+      for trial = 0 to 9 do
+        let routers = sc.route_of (attach_router sc rng) in
+        let k = 1 + (trial mod 7) in
+        check_agreement
+          ~what:(Printf.sprintf "newcomer query %d" trial)
+          (List.map2
+             (fun spec reg -> (spec_name spec, Registry_intf.query reg ~routers ~k ()))
+             specs regs)
+      done;
+      (* dtree must also agree pairwise. *)
+      for p1 = 0 to 9 do
+        for p2 = 0 to 9 do
+          match List.map (fun reg -> Registry_intf.dtree reg p1 p2) regs with
+          | [] -> ()
+          | reference :: rest ->
+              List.iter
+                (fun d ->
+                  Alcotest.(check (option int))
+                    (Printf.sprintf "dtree %d %d" p1 p2)
+                    reference d)
+                rest
+        done
+      done;
+      List.iter Registry_intf.check_invariants regs;
+      true)
+
+(* --- Invariants and agreement under churn ------------------------------ *)
+
+let qcheck_churn =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (4, map (fun p -> `Insert (p mod 25)) small_nat);
+          (2, map (fun p -> `Remove (p mod 25)) small_nat);
+          (2, map (fun p -> `Handover (p mod 25)) small_nat);
+        ])
+  in
+  QCheck.Test.make ~name:"backends agree through insert/remove/handover churn" ~count:15
+    QCheck.(make Gen.(pair small_nat (list_size (int_range 1 40) op_gen)))
+    (fun (seed, ops) ->
+      let sc = transit_stub_scenario ~seed:(seed mod 5) in
+      let rng = Prelude.Prng.create (seed + 13) in
+      let regs = fresh_registries sc in
+      let members = Hashtbl.create 32 in
+      List.iter
+        (fun op ->
+          (match op with
+          | `Insert p ->
+              let routers = sc.route_of (attach_router sc rng) in
+              if Hashtbl.mem members p then
+                List.iter
+                  (fun reg ->
+                    match Registry_intf.insert reg ~peer:p ~routers with
+                    | exception Invalid_argument _ -> ()
+                    | () -> Alcotest.fail "duplicate insert accepted")
+                  regs
+              else begin
+                List.iter (fun reg -> Registry_intf.insert reg ~peer:p ~routers) regs;
+                Hashtbl.replace members p ()
+              end
+          | `Remove p ->
+              if Hashtbl.mem members p then begin
+                List.iter (fun reg -> Registry_intf.remove reg p) regs;
+                Hashtbl.remove members p
+              end
+              else
+                List.iter
+                  (fun reg ->
+                    match Registry_intf.remove reg p with
+                    | exception Not_found -> ()
+                    | () -> Alcotest.fail "unknown remove accepted")
+                  regs
+          | `Handover p ->
+              if Hashtbl.mem members p then begin
+                let routers = sc.route_of (attach_router sc rng) in
+                List.iter
+                  (fun reg ->
+                    Registry_intf.remove reg p;
+                    Registry_intf.insert reg ~peer:p ~routers)
+                  regs
+              end);
+          List.iter Registry_intf.check_invariants regs;
+          match List.map Registry_intf.member_count regs with
+          | [] -> ()
+          | reference :: rest ->
+              List.iter (fun c -> Alcotest.(check int) "member count" reference c) rest)
+        ops;
+      Hashtbl.iter
+        (fun peer () ->
+          check_agreement
+            ~what:(Printf.sprintf "post-churn query_member %d" peer)
+            (List.map2
+               (fun spec reg -> (spec_name spec, Registry_intf.query_member reg ~peer ~k:4))
+               specs regs))
+        members;
+      true)
+
+(* --- Snapshot / restore through the unified interface ------------------ *)
+
+let populated_registry spec ~seed ~peers =
+  let sc = transit_stub_scenario ~seed in
+  let rng = Prelude.Prng.create (seed + 3) in
+  let reg = Registry_intf.create (backend_of spec) ~landmark:sc.landmark in
+  for peer = 0 to peers - 1 do
+    Registry_intf.insert reg ~peer ~routers:(sc.route_of (attach_router sc rng))
+  done;
+  (sc, reg)
+
+let test_snapshot_roundtrip () =
+  List.iter
+    (fun spec ->
+      let name = spec_name spec in
+      let sc, reg = populated_registry spec ~seed:2 ~peers:30 in
+      let blob = Registry_intf.snapshot reg in
+      Alcotest.(check bool)
+        (name ^ ": snapshot deterministic")
+        true
+        (blob = Registry_intf.snapshot reg);
+      match Registry_intf.restore (backend_of spec) blob with
+      | Error e -> Alcotest.fail (Printf.sprintf "%s: restore failed: %s" name e)
+      | Ok restored ->
+          Registry_intf.check_invariants restored;
+          Alcotest.(check int)
+            (name ^ ": member count")
+            (Registry_intf.member_count reg)
+            (Registry_intf.member_count restored);
+          Alcotest.(check int)
+            (name ^ ": landmark")
+            (Registry_intf.landmark reg)
+            (Registry_intf.landmark restored);
+          for peer = 0 to 29 do
+            Alcotest.(check (list (pair int int)))
+              (Printf.sprintf "%s: peer %d answers preserved" name peer)
+              (Registry_intf.query_member reg ~peer ~k:5)
+              (Registry_intf.query_member restored ~peer ~k:5)
+          done;
+          (* The restored registry must keep working. *)
+          Registry_intf.insert restored ~peer:100 ~routers:(sc.route_of sc.landmark);
+          Registry_intf.remove restored 0;
+          Registry_intf.check_invariants restored;
+          Alcotest.(check int) (name ^ ": evolved population") 30
+            (Registry_intf.member_count restored))
+    specs
+
+let test_restore_rejects_corruption () =
+  List.iter
+    (fun spec ->
+      let name = spec_name spec in
+      let _, reg = populated_registry spec ~seed:5 ~peers:8 in
+      let blob = Registry_intf.snapshot reg in
+      let expect_error what data =
+        match Registry_intf.restore (backend_of spec) data with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail (Printf.sprintf "%s: %s not rejected" name what)
+      in
+      (* Every strict prefix must fail cleanly... *)
+      for len = 0 to String.length blob - 1 do
+        expect_error (Printf.sprintf "prefix of %d bytes" len) (String.sub blob 0 len)
+      done;
+      (* ...as must trailing garbage and an alien version byte. *)
+      expect_error "trailing bytes" (blob ^ "\x00");
+      expect_error "bad version"
+        ("\xfe" ^ String.sub blob 1 (String.length blob - 1)))
+    specs
+
+let test_trace_counters_uniform () =
+  List.iter
+    (fun spec ->
+      let name = spec_name spec in
+      let sc = transit_stub_scenario ~seed:4 in
+      let trace = Simkit.Trace.create () in
+      let reg = Registry_intf.create ~trace (backend_of spec) ~landmark:sc.landmark in
+      let rng = Prelude.Prng.create 11 in
+      for peer = 0 to 9 do
+        Registry_intf.insert reg ~peer ~routers:(sc.route_of (attach_router sc rng))
+      done;
+      for peer = 0 to 9 do
+        ignore (Registry_intf.query_member reg ~peer ~k:3)
+      done;
+      ignore (Registry_intf.query reg ~routers:(sc.route_of sc.landmark) ~k:3 ());
+      Registry_intf.remove reg 0;
+      Alcotest.(check int) (name ^ ": inserts traced") 10
+        (Simkit.Trace.counter trace "registry_insert");
+      Alcotest.(check int) (name ^ ": queries traced") 11
+        (Simkit.Trace.counter trace "registry_query");
+      Alcotest.(check int) (name ^ ": removes traced") 1
+        (Simkit.Trace.counter trace "registry_remove");
+      Alcotest.(check int)
+        (name ^ ": stats report the population")
+        9
+        (Option.value ~default:(-1) (List.assoc_opt "members" (Registry_intf.stats reg))))
+    specs
+
+let test_backend_names () =
+  Alcotest.(check (list string))
+    "spec names round-trip through of_string"
+    (List.map spec_name specs)
+    (List.map
+       (fun spec ->
+         match Eval.Backends.of_string (spec_name spec) with
+         | Ok s -> spec_name s
+         | Error e -> e)
+       specs);
+  (match Eval.Backends.of_string "sharded:0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "sharded:0 accepted");
+  match Eval.Backends.of_string "btree" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown backend accepted"
+
+let suite =
+  ( "registry",
+    [
+      Alcotest.test_case "snapshot roundtrip per backend" `Quick test_snapshot_roundtrip;
+      Alcotest.test_case "restore rejects corruption" `Quick test_restore_rejects_corruption;
+      Alcotest.test_case "uniform trace counters" `Quick test_trace_counters_uniform;
+      Alcotest.test_case "backend spec parsing" `Quick test_backend_names;
+      QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) qcheck_equivalence;
+      QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) qcheck_churn;
+    ] )
