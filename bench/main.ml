@@ -299,8 +299,14 @@ let run_registry ~full =
          \"answers_identical\": %b}"
         name insert_ops query_ops identical
     in
+    let meta =
+      Simkit.Export.capture_meta ~seed:7
+        ~backends:(List.map Eval.Backends.to_string Eval.Backends.all)
+        ()
+    in
     Printf.sprintf
       "{\n\
+      \  \"meta\": %s,\n\
       \  \"population\": %d,\n\
       \  \"queries\": %d,\n\
       \  \"k\": %d,\n\
@@ -308,13 +314,84 @@ let run_registry ~full =
        %s\n\
       \  ]\n\
        }\n"
-      population query_count k
+      (Simkit.Export.meta_json meta) population query_count k
       (String.concat ",\n" (List.map row_json rows))
   in
   let out = open_out "BENCH_registry.json" in
   output_string out json;
   close_out out;
   Printf.printf "wrote BENCH_registry.json (%d-peer workload)\n%!" population
+
+(* ------------------------------------------------------------------ *)
+(* Observability: per-backend latency quantiles through the instrumented
+   registry — the same wrapper the sim's --metrics-out path uses, so the
+   BENCH_obs.json trajectory and the sim's snapshots are comparable. *)
+
+let run_obs ~full =
+  banner "observability: per-backend insert/query latency quantiles";
+  let population = if full then 20_000 else 10_000 in
+  let query_count = if full then 2_000 else 1_000 in
+  let k = 5 in
+  let seed = 7 in
+  let fx = make_fixture ~routers:2000 ~population:0 ~seed in
+  let landmark = Nearby.Path_tree.landmark fx.tree in
+  let route_of peer = fx.routes.(peer mod Array.length fx.routes) in
+  let run_backend spec =
+    let metrics = Simkit.Trace.create () in
+    let backend = Nearby.Instrumented_registry.wrap ~metrics (Eval.Backends.backend spec) in
+    let reg = Nearby.Registry_intf.create backend ~landmark in
+    for peer = 0 to population - 1 do
+      Nearby.Registry_intf.insert reg ~peer ~routers:(route_of peer)
+    done;
+    for peer = 0 to query_count - 1 do
+      ignore (Nearby.Registry_intf.query_member reg ~peer ~k)
+    done;
+    let summary name =
+      match Simkit.Trace.summary metrics name with
+      | Some s -> s
+      | None -> failwith ("bench obs: missing stream " ^ name)
+    in
+    ( Eval.Backends.to_string spec,
+      summary Nearby.Instrumented_registry.insert_ns,
+      summary Nearby.Instrumented_registry.query_ns )
+  in
+  let results = List.map run_backend Eval.Backends.all in
+  let cell = Prelude.Table.float_cell ~decimals:0 in
+  Prelude.Table.print
+    ~header:
+      [ "backend"; "insert p50 ns"; "insert p99 ns"; "query p50 ns"; "query p99 ns" ]
+    (List.map
+       (fun (name, (ins : Simkit.Trace.summary), (q : Simkit.Trace.summary)) ->
+         [ name; cell ins.p50; cell ins.p99; cell q.p50; cell q.p99 ])
+       results);
+  let meta =
+    Simkit.Export.capture_meta ~seed
+      ~backends:(List.map Eval.Backends.to_string Eval.Backends.all)
+      ~extra:
+        [
+          ("population", string_of_int population);
+          ("queries", string_of_int query_count);
+          ("k", string_of_int k);
+        ]
+      ()
+  in
+  let quantiles_json (s : Simkit.Trace.summary) =
+    let n = Simkit.Json_str.number in
+    Printf.sprintf
+      "{\"count\": %d, \"mean\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s, \"max\": %s}" s.count
+      (n s.mean) (n s.p50) (n s.p90) (n s.p99) (Simkit.Json_str.number_opt s.max)
+  in
+  let row_json (name, ins, q) =
+    Printf.sprintf "    {\"backend\": %S, \"insert_ns\": %s, \"query_ns\": %s}" name
+      (quantiles_json ins) (quantiles_json q)
+  in
+  let json =
+    Printf.sprintf "{\n  \"meta\": %s,\n  \"backends\": [\n%s\n  ]\n}\n"
+      (Simkit.Export.meta_json meta)
+      (String.concat ",\n" (List.map row_json results))
+  in
+  Simkit.Export.write_file "BENCH_obs.json" json;
+  Printf.printf "wrote BENCH_obs.json (%d-peer workload, %d queries)\n%!" population query_count
 
 let run_all ~full =
   run_micro ();
@@ -331,6 +408,7 @@ let run_all ~full =
   run_maintenance ~full;
   run_topology_sensitivity ~full;
   run_registry ~full;
+  run_obs ~full;
   run_dht ~full;
   run_inflation ~full;
   run_bulk ~full;
@@ -365,6 +443,7 @@ let () =
   | [ "maintenance" ] -> run_maintenance ~full
   | [ "topologies" ] -> run_topology_sensitivity ~full
   | [ "registry" ] -> run_registry ~full
+  | [ "obs" ] -> run_obs ~full
   | [ "dht" ] -> run_dht ~full
   | [ "inflation" ] -> run_inflation ~full
   | [ "bulk" ] -> run_bulk ~full

@@ -232,7 +232,21 @@ let registry_cmd =
     in
     Arg.(value & opt string "all" & info [ "backend" ] ~doc ~docv:"BACKEND")
   in
-  let run quick seed routers peers k backend_spec =
+  let trace_out_arg =
+    let doc =
+      "Write structured join/query spans as Chrome trace-event JSONL (one event per line) to \
+       $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
+  in
+  let metrics_out_arg =
+    let doc =
+      "Write a JSON metrics snapshot (counters plus mean/CI and p50/p90/p99 per stat stream, \
+       including per-backend registry insert/query latency) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
+  in
+  let run quick seed routers peers k backend_spec trace_out metrics_out =
     let seed = Option.value ~default:1 seed in
     let routers = Option.value ~default:(if quick then 600 else 2000) routers in
     let peers = Option.value ~default:(if quick then 150 else 600) peers in
@@ -248,10 +262,11 @@ let registry_cmd =
         let n = Array.length w.Eval.Workload.peer_routers in
         (* The same scenario for every backend: join the whole population
            through the server, then ask everyone's k nearest. *)
-        let run_backend spec =
+        let run_backend ?(spans = Simkit.Span.noop) ?metrics spec =
+          let backend = Nearby.Instrumented_registry.wrap ?metrics (Eval.Backends.backend spec) in
           let server =
-            Nearby.Server.create ~backend:(Eval.Backends.backend spec)
-              w.Eval.Workload.ctx.Nearby.Selector.oracle ~landmarks:w.Eval.Workload.landmarks
+            Nearby.Server.create ~backend ~spans w.Eval.Workload.ctx.Nearby.Selector.oracle
+              ~landmarks:w.Eval.Workload.landmarks
           in
           for peer = 0 to n - 1 do
             ignore
@@ -259,15 +274,30 @@ let registry_cmd =
                  ~attach_router:w.Eval.Workload.peer_routers.(peer))
           done;
           let answers = Array.init n (fun peer -> Nearby.Server.neighbors server ~peer ~k) in
+          Nearby.Server.flush_spans server;
           (server, answers)
         in
         let _, reference = run_backend Eval.Backends.Tree in
         Printf.printf "registry backends on the same scenario (%d routers, %d peers, k=%d)\n"
           routers peers k;
+        let runs =
+          List.mapi
+            (fun idx spec ->
+              let spans =
+                match trace_out with
+                | Some _ -> Simkit.Span.buffer ~pid:(idx + 1) ()
+                | None -> Simkit.Span.noop
+              in
+              let metrics =
+                match metrics_out with Some _ -> Some (Simkit.Trace.create ()) | None -> None
+              in
+              let server, answers = run_backend ~spans ?metrics spec in
+              (spec, server, answers, spans, metrics))
+            specs
+        in
         let rows =
           List.map
-            (fun spec ->
-              let server, answers = run_backend spec in
+            (fun (_, server, answers, _, _) ->
               let stats =
                 Nearby.Server.registry_stats server
                 |> List.filter (fun (key, _) -> key <> "members")
@@ -281,11 +311,45 @@ let registry_cmd =
                 string_of_int (Simkit.Trace.counter (Nearby.Server.trace server) "registry_query");
                 stats;
               ])
-            specs
+            runs
         in
         Prelude.Table.print
           ~header:[ "backend"; "answers = tree"; "inserts"; "queries"; "stats" ]
           rows;
+        (match trace_out with
+        | None -> ()
+        | Some file ->
+            let sinks = List.map (fun (_, _, _, spans, _) -> spans) runs in
+            Simkit.Span.write_jsonl sinks file;
+            Printf.printf "wrote %d span events to %s\n"
+              (List.fold_left (fun acc s -> acc + Simkit.Span.event_count s) 0 sinks)
+              file);
+        (match metrics_out with
+        | None -> ()
+        | Some file ->
+            let sections =
+              List.concat_map
+                (fun (spec, server, _, _, metrics) ->
+                  let name = Eval.Backends.to_string spec in
+                  ("server:" ^ name, Nearby.Server.trace server)
+                  :: (match metrics with
+                     | Some m -> [ ("registry:" ^ name, m) ]
+                     | None -> []))
+                runs
+            in
+            let meta =
+              Simkit.Export.capture_meta ~seed
+                ~backends:(List.map Eval.Backends.to_string specs)
+                ~extra:
+                  [
+                    ("routers", string_of_int routers);
+                    ("peers", string_of_int peers);
+                    ("k", string_of_int k);
+                  ]
+                ()
+            in
+            Simkit.Export.write_file file (Simkit.Export.metrics_json ~meta sections);
+            Printf.printf "wrote metrics snapshot to %s\n" file);
         let all_identical =
           List.for_all (fun row -> List.nth row 1 = "true") rows
         in
@@ -297,7 +361,10 @@ let registry_cmd =
        ~doc:
          "Run one scenario against the registry backends through the unified interface and \
           compare their answers.")
-    Term.(ret (const run $ quick_flag $ seed_opt $ routers_opt $ peers_opt $ k_opt $ backend_arg))
+    Term.(
+      ret
+        (const run $ quick_flag $ seed_opt $ routers_opt $ peers_opt $ k_opt $ backend_arg
+       $ trace_out_arg $ metrics_out_arg))
 
 let verify_cmd =
   let run seed_opt =

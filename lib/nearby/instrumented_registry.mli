@@ -1,0 +1,39 @@
+(** Timing middleware over any {!Registry_intf.S} backend.
+
+    Wraps a packed backend module so [insert], [remove], [query] and
+    [query_member] are individually timed and recorded into a shared
+    {!Simkit.Trace} under uniform stream names, identical for every
+    backend:
+
+    - ["registry_insert_ns"], ["registry_remove_ns"], ["registry_query_ns"]
+      — per-operation wall time, nanoseconds;
+    - ["registry_query_candidates"] — candidates returned per query.
+
+    The upgraded trace gives each stream p50/p90/p99 alongside mean/CI, so
+    every backend gets tail-latency metrics for free; answers, stats and
+    snapshots pass through untouched. *)
+
+val insert_ns : string
+val remove_ns : string
+val query_ns : string
+val query_candidates : string
+(** The stream names above, as values (exporters and benches reference
+    them rather than retyping the literals). *)
+
+val make :
+  ?clock:(unit -> float) ->
+  metrics:Simkit.Trace.t ->
+  (module Registry_intf.S) ->
+  (module Registry_intf.S)
+(** [make ~metrics b] is [b] with timed hot paths.  [clock] (default
+    [Unix.gettimeofday]-based, nanoseconds) is injectable for
+    deterministic tests. *)
+
+val wrap :
+  ?clock:(unit -> float) ->
+  ?metrics:Simkit.Trace.t ->
+  (module Registry_intf.S) ->
+  (module Registry_intf.S)
+(** [wrap ?metrics b] is [make ~metrics b] when a metrics trace is given
+    and {e physically} [b] itself otherwise — instrumentation compiles
+    down to direct backend calls when disabled. *)

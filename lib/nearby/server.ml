@@ -23,11 +23,15 @@ type t = {
   registries : (Topology.Graph.node, Registry_intf.t) Hashtbl.t;
   peers : (int, peer_info) Hashtbl.t;
   trace : Simkit.Trace.t;
+  spans : Simkit.Span.sink;
+  (* Peers whose join span is still open: closed by their first query (so
+     the span encloses the whole two-round protocol), or by leave/flush. *)
+  open_joins : (int, float) Hashtbl.t;
 }
 
 let create ?(truncate = Traceroute.Truncate.Full) ?(probe_config = Traceroute.Probe.default_config)
-    ?latency ?(choice = Closest) ?(backend = (module Path_tree : Registry_intf.S)) oracle ~landmarks
-    =
+    ?latency ?(choice = Closest) ?(backend = (module Path_tree : Registry_intf.S))
+    ?(spans = Simkit.Span.noop) oracle ~landmarks =
   if Array.length landmarks = 0 then invalid_arg "Server.create: no landmarks";
   let distinct = Hashtbl.create 8 in
   Array.iter
@@ -52,6 +56,8 @@ let create ?(truncate = Traceroute.Truncate.Full) ?(probe_config = Traceroute.Pr
     registries;
     peers = Hashtbl.create 256;
     trace;
+    spans;
+    open_joins = Hashtbl.create 16;
   }
 
 let graph t = Traceroute.Route_oracle.graph t.oracle
@@ -72,14 +78,26 @@ let registry_stats t =
   Registry_intf.merge_stats
     (Hashtbl.fold (fun _ reg acc -> Registry_intf.stats reg :: acc) t.registries [])
 
+(* Everything one join measured, kept so spans and per-phase stats can
+   report simulated durations alongside the recorded path. *)
+type recorded = {
+  lmk : Topology.Graph.node;
+  reduced : Traceroute.Path.t;
+  cost : int;  (* total probe packets *)
+  round1_pings : int;
+  ping_rtt_ms : float;  (* round-1 duration: RTT to the winning landmark *)
+  traceroute_ms : float;
+  full_hops : int;
+}
+
 (* Round 1 + recording: ping all landmarks, traceroute to the winner,
    truncate per the configured decreased-tool strategy. *)
 let record_path ?rng t ~attach_router =
-  let lmk =
+  let lmk, ping_rtt_ms =
     match t.choice with
     | Closest ->
-        fst (Landmark.closest t.oracle ?latency:t.latency ?rng ~landmarks:t.landmark_ids attach_router)
-    | Uniform -> Prelude.Prng.choose t.choice_rng t.landmark_ids
+        Landmark.closest t.oracle ?latency:t.latency ?rng ~landmarks:t.landmark_ids attach_router
+    | Uniform -> (Prelude.Prng.choose t.choice_rng t.landmark_ids, 0.0)
   in
   let probe =
     Traceroute.Probe.run ~config:t.probe_config ?latency:t.latency ?rng t.oracle ~src:attach_router ~dst:lmk
@@ -92,7 +110,12 @@ let record_path ?rng t ~attach_router =
   let cost =
     round1_pings + (Traceroute.Truncate.probe_cost t.truncate ~full_hops * t.probe_config.probes_per_hop)
   in
-  (lmk, reduced, cost)
+  (* Traceroute duration: the measured RTT when a latency table produced
+     one, else the hop-count convention (1 ms per link, there and back). *)
+  let traceroute_ms =
+    match probe.rtt_ms with Some rtt -> rtt | None -> 2.0 *. float_of_int full_hops
+  in
+  { lmk; reduced; cost; round1_pings; ping_rtt_ms; traceroute_ms; full_hops }
 
 let registrable_path ~landmark path =
   (* The tree stores identified routers only; an incomplete trace is repaired
@@ -102,9 +125,36 @@ let registrable_path ~landmark path =
   if n > 0 && routers.(n - 1) = landmark then routers
   else Array.append routers [| landmark |]
 
+(* Emit the still-open join span of [peer], closing it at the current span
+   clock; the span then encloses ping_round, traceroute, register and (when
+   one happened before the close) the peer's first query. *)
+let close_join_span t ~peer =
+  match Hashtbl.find_opt t.open_joins peer with
+  | None -> ()
+  | Some t0 ->
+      Hashtbl.remove t.open_joins peer;
+      let now = Simkit.Span.now t.spans in
+      let args =
+        match Hashtbl.find_opt t.peers peer with
+        | None -> [ ("peer", Simkit.Span.Int peer) ]
+        | Some info ->
+            [
+              ("peer", Simkit.Span.Int peer);
+              ("landmark", Simkit.Span.Int info.landmark);
+              ("probes_spent", Simkit.Span.Int info.probes_spent);
+              ("hops", Simkit.Span.Int (Traceroute.Path.hop_count info.recorded_path));
+            ]
+      in
+      Simkit.Span.emit t.spans ~name:"join" ~ts:t0 ~dur:(now -. t0) ~tid:peer args
+
+let flush_spans t =
+  Hashtbl.fold (fun peer _ acc -> peer :: acc) t.open_joins []
+  |> List.iter (fun peer -> close_join_span t ~peer)
+
 let join ?rng t ~peer ~attach_router =
   if Hashtbl.mem t.peers peer then invalid_arg "Server.join: peer already registered";
-  let landmark, recorded_path, probes_spent = record_path ?rng t ~attach_router in
+  let r = record_path ?rng t ~attach_router in
+  let landmark = r.lmk and recorded_path = r.reduced and probes_spent = r.cost in
   let routers = registrable_path ~landmark recorded_path in
   Registry_intf.insert (registry_of t landmark) ~peer ~routers;
   let info = { attach_router; landmark; recorded_path; probes_spent } in
@@ -118,6 +168,39 @@ let join ?rng t ~peer ~attach_router =
   Simkit.Trace.add_count t.trace "wire_bytes"
     (Wire.byte_size (Wire.Path_report { peer; path = recorded_path }));
   Simkit.Trace.observe t.trace "path_hops" (float_of_int (Traceroute.Path.hop_count recorded_path));
+  (* Per-phase cost of the two-round protocol, in simulated milliseconds. *)
+  Simkit.Trace.observe t.trace "ping_round_ms" r.ping_rtt_ms;
+  Simkit.Trace.observe t.trace "traceroute_ms" r.traceroute_ms;
+  Simkit.Trace.observe t.trace "join_ms" (r.ping_rtt_ms +. r.traceroute_ms);
+  if Simkit.Span.enabled t.spans then begin
+    let open Simkit.Span in
+    let t0 = now t.spans in
+    emit t.spans ~name:"ping_round" ~ts:t0 ~dur:r.ping_rtt_ms ~tid:peer
+      [
+        ("peer", Int peer);
+        ("landmark", Int landmark);
+        ("landmarks_pinged", Int r.round1_pings);
+        ("rtt_ms", Float r.ping_rtt_ms);
+        ("probes_spent", Int r.round1_pings);
+      ];
+    let t1 = t0 +. r.ping_rtt_ms in
+    emit t.spans ~name:"traceroute" ~ts:t1 ~dur:r.traceroute_ms ~tid:peer
+      [
+        ("peer", Int peer);
+        ("full_hops", Int r.full_hops);
+        ("recorded_hops", Int (Traceroute.Path.hop_count recorded_path));
+        ("probes_spent", Int (r.cost - r.round1_pings));
+      ];
+    emit t.spans ~name:"register" ~ts:(t1 +. r.traceroute_ms) ~tid:peer
+      [
+        ("peer", Int peer);
+        ("landmark", Int landmark);
+        ("routers", Int (Array.length routers));
+        ("probes_spent", Int probes_spent);
+      ];
+    advance t.spans (r.ping_rtt_ms +. r.traceroute_ms);
+    Hashtbl.replace t.open_joins peer t0
+  end;
   info
 
 (* Landmarks ordered by hop distance from the peer's landmark: the top-up
@@ -180,6 +263,23 @@ let neighbors t ~peer ~k =
         + Wire.byte_size
             (Wire.Neighbor_reply
                { peer; neighbors = List.map (fun (p, d) -> (p, min d 0x3FFFFFF)) reply }));
+      if Simkit.Span.enabled t.spans then begin
+        let open Simkit.Span in
+        let tq = now t.spans in
+        let dtree_best = match reply with (_, d) :: _ -> d | [] -> -1 in
+        emit t.spans ~name:"query" ~ts:tq ~tid:peer
+          [
+            ("peer", Int peer);
+            ("k", Int k);
+            ("candidates", Int (List.length reply));
+            ("dtree_best", Int dtree_best);
+            ("probes_spent", Int info.probes_spent);
+          ];
+        (* The first query completes the newcomer's discovery: close its
+           join span here so the span covers the whole protocol. *)
+        close_join_span t ~peer;
+        advance t.spans 1.0
+      end;
       reply
 
 let reverse_introductions t ~peer ~k =
@@ -201,6 +301,7 @@ let leave t ~peer =
   match Hashtbl.find_opt t.peers peer with
   | None -> raise Not_found
   | Some info ->
+      close_join_span t ~peer;
       Registry_intf.remove (registry_of t info.landmark) peer;
       Hashtbl.remove t.peers peer;
       Log.debug (fun m -> m "leave peer=%d landmark=%d" peer info.landmark);
@@ -247,7 +348,7 @@ let snapshot t =
     entries;
   contents w
 
-let restore ?truncate ?probe_config ?latency ?choice ?backend oracle data =
+let restore ?truncate ?probe_config ?latency ?choice ?backend ?spans oracle data =
   let open Prelude.Codec.Reader in
   let ( let* ) = Result.bind in
   let r = of_string data in
@@ -273,7 +374,7 @@ let restore ?truncate ?probe_config ?latency ?choice ?backend oracle data =
   | Error e -> Error (error_to_string e)
   | Ok (landmark_list, entries) -> (
       match
-        create ?truncate ?probe_config ?latency ?choice ?backend oracle
+        create ?truncate ?probe_config ?latency ?choice ?backend ?spans oracle
           ~landmarks:(Array.of_list landmark_list)
       with
       | exception Invalid_argument msg -> Error msg

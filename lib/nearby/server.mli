@@ -33,12 +33,17 @@ val create :
   ?latency:Topology.Latency.t ->
   ?choice:landmark_choice ->
   ?backend:(module Registry_intf.S) ->
+  ?spans:Simkit.Span.sink ->
   Traceroute.Route_oracle.t ->
   landmarks:Topology.Graph.node array ->
   t
 (** [backend] selects the per-landmark registry implementation (default
     {!Path_tree}); any module satisfying {!Registry_intf.S} plugs in and
-    answers the same protocol.
+    answers the same protocol.  [spans] (default {!Simkit.Span.noop})
+    receives structured protocol events: each join emits [ping_round],
+    [traceroute] and [register] events and opens a [join] span (tid = peer
+    id) that the peer's first {!neighbors} query closes — with attributes
+    like [probes_spent], [full_hops], [candidates] and [dtree_best].
     @raise Invalid_argument on an empty landmark array or duplicate
     landmarks. *)
 
@@ -89,7 +94,13 @@ val trace : t -> Simkit.Trace.t
 (** Protocol counters: ["join"], ["leave"], ["handover"], ["probe_packets"],
     ["query"], ["cross_tree_topup"], ["wire_bytes"] (bytes the join uploads
     and query exchanges would occupy on the wire, per {!Wire});
-    statistic ["path_hops"]. *)
+    statistics ["path_hops"] and the per-phase join costs in simulated
+    milliseconds ["ping_round_ms"], ["traceroute_ms"], ["join_ms"]. *)
+
+val flush_spans : t -> unit
+(** Close any join span still open (peers that joined but never queried) at
+    the current span clock.  Call before exporting the span buffer; a no-op
+    without a span sink. *)
 
 val check_invariants : t -> unit
 (** Every per-landmark tree is internally consistent and every registered
@@ -113,6 +124,7 @@ val restore :
   ?latency:Topology.Latency.t ->
   ?choice:landmark_choice ->
   ?backend:(module Registry_intf.S) ->
+  ?spans:Simkit.Span.sink ->
   Traceroute.Route_oracle.t ->
   string ->
   (t, string) result

@@ -18,6 +18,11 @@ let add_many h v k =
   if k > 0 && v > h.max_seen then h.max_seen <- v
 
 let add h v = add_many h v 1
+
+let clear h =
+  Array.fill h.counts 0 (Array.length h.counts) 0;
+  h.total <- 0;
+  h.max_seen <- -1
 let count h v = if v < 0 || v >= Array.length h.counts then 0 else h.counts.(v)
 let total h = h.total
 let max_observed h = h.max_seen

@@ -12,6 +12,9 @@ val add : t -> int -> unit
 val add_many : t -> int -> int -> unit
 (** [add_many h v k] records [k] observations of value [v]. *)
 
+val clear : t -> unit
+(** Drop every count in place (capacity is retained). *)
+
 val count : t -> int -> int
 (** Occurrences of a value (0 if never seen). *)
 

@@ -25,6 +25,18 @@ let create ~q =
 let q t = t.q
 let count t = t.n
 
+let clear t =
+  t.warmup <- [];
+  t.n <- 0;
+  Array.fill t.heights 0 5 0.0;
+  Array.iteri (fun i _ -> t.positions.(i) <- float_of_int (i + 1)) t.positions;
+  let q = t.q in
+  t.desired.(0) <- 1.0;
+  t.desired.(1) <- 1.0 +. (2.0 *. q);
+  t.desired.(2) <- 1.0 +. (4.0 *. q);
+  t.desired.(3) <- 3.0 +. (2.0 *. q);
+  t.desired.(4) <- 5.0
+
 (* Piecewise-parabolic (P²) height update for marker i moved by d (+-1). *)
 let parabolic t i d =
   let h = t.heights and pos = t.positions in

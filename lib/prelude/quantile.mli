@@ -16,6 +16,9 @@ val q : t -> float
 val count : t -> int
 val add : t -> float -> unit
 
+val clear : t -> unit
+(** Reset to the freshly-created state in place (same tracked quantile). *)
+
 val estimate : t -> float
 (** Current estimate; [nan] before the first observation.  Exact until five
     observations have arrived. *)

@@ -25,7 +25,17 @@ let stddev t = sqrt (variance t)
 
 let min_value t = if t.n = 0 then invalid_arg "Stats.min_value: empty" else t.min_v
 let max_value t = if t.n = 0 then invalid_arg "Stats.max_value: empty" else t.max_v
+let min_opt t = if t.n = 0 then None else Some t.min_v
+let max_opt t = if t.n = 0 then None else Some t.max_v
 let sum t = t.sum_acc
+
+let clear t =
+  t.n <- 0;
+  t.mean_acc <- 0.0;
+  t.m2 <- 0.0;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity;
+  t.sum_acc <- 0.0
 
 let ci95_halfwidth t = if t.n < 2 then 0.0 else 1.96 *. stddev t /. sqrt (float_of_int t.n)
 

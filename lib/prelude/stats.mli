@@ -25,7 +25,19 @@ val min_value : t -> float
 val max_value : t -> float
 (** @raise Invalid_argument on an empty accumulator. *)
 
+val min_opt : t -> float option
+(** Total variant of {!min_value}: [None] on an empty accumulator.  Metric
+    exporters use this so a never-observed stream serializes as null rather
+    than raising. *)
+
+val max_opt : t -> float option
+(** Total variant of {!max_value}: [None] on an empty accumulator. *)
+
 val sum : t -> float
+
+val clear : t -> unit
+(** Zero the accumulator in place.  Handles previously given out keep
+    working and observe the cleared state. *)
 
 val ci95_halfwidth : t -> float
 (** Half-width of the normal-approximation 95% confidence interval of the

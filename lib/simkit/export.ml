@@ -1,0 +1,129 @@
+type meta = {
+  git_rev : string;
+  date_utc : string;
+  seed : int option;
+  backends : string list;
+  extra : (string * string) list;
+}
+
+let git_rev () =
+  (* Best effort: metrics files must be writable from any checkout state. *)
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> String.trim line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let utc_now () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let capture_meta ?seed ?(backends = []) ?(extra = []) () =
+  { git_rev = git_rev (); date_utc = utc_now (); seed; backends; extra }
+
+let meta_json m =
+  let fields =
+    [
+      ("git_rev", Json_str.quote m.git_rev);
+      ("date_utc", Json_str.quote m.date_utc);
+      ("seed", (match m.seed with Some s -> string_of_int s | None -> "null"));
+      ( "backends",
+        "[" ^ String.concat ", " (List.map Json_str.quote m.backends) ^ "]" );
+    ]
+    @ List.map (fun (k, v) -> (k, Json_str.quote v)) m.extra
+  in
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> Json_str.quote k ^ ": " ^ v) fields)
+  ^ "}"
+
+let summary_json (s : Trace.summary) hist =
+  let hist_json =
+    match hist with
+    | None -> "[]"
+    | Some h ->
+        "["
+        ^ String.concat ", "
+            (List.map (fun (b, c) -> Printf.sprintf "[%d, %d]" b c) (Prelude.Histogram.to_assoc h))
+        ^ "]"
+  in
+  Printf.sprintf
+    "{\"count\": %d, \"mean\": %s, \"stddev\": %s, \"ci95\": %s, \"min\": %s, \"max\": %s, \
+     \"p50\": %s, \"p90\": %s, \"p99\": %s, \"log2_hist\": %s}"
+    s.Trace.count (Json_str.number s.Trace.mean) (Json_str.number s.Trace.stddev)
+    (Json_str.number s.Trace.ci95) (Json_str.number_opt s.Trace.min)
+    (Json_str.number_opt s.Trace.max) (Json_str.number s.Trace.p50) (Json_str.number s.Trace.p90)
+    (Json_str.number s.Trace.p99) hist_json
+
+let section_json trace =
+  let counters =
+    Trace.counters trace
+    |> List.map (fun (name, v) -> Printf.sprintf "%s: %d" (Json_str.quote name) v)
+    |> String.concat ", "
+  in
+  let stats =
+    Trace.summaries trace
+    |> List.map (fun (name, s) ->
+           Printf.sprintf "%s: %s" (Json_str.quote name) (summary_json s (Trace.hist trace name)))
+    |> String.concat ", "
+  in
+  Printf.sprintf "{\"counters\": {%s}, \"stats\": {%s}}" counters stats
+
+let metrics_json ?meta sections =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  (match meta with
+  | Some m -> Buffer.add_string buf (Printf.sprintf "  \"meta\": %s,\n" (meta_json m))
+  | None -> ());
+  Buffer.add_string buf "  \"sections\": {\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (name, trace) -> Printf.sprintf "    %s: %s" (Json_str.quote name) (section_json trace))
+          sections));
+  Buffer.add_string buf "\n  }\n}\n";
+  Buffer.contents buf
+
+(* --- Prometheus text exposition ------------------------------------- *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+(* Prometheus accepts NaN sample values; use them rather than dropping the
+   series so an empty stream is still visible in the scrape. *)
+let prom_number v = if Float.is_nan v then "NaN" else Json_str.number v
+
+let prometheus ?(prefix = "nearby") sections =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (section, trace) ->
+      let base name = Printf.sprintf "%s_%s_%s" prefix (sanitize section) (sanitize name) in
+      List.iter
+        (fun (name, v) ->
+          let metric = base name ^ "_total" in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" metric metric v))
+        (Trace.counters trace);
+      List.iter
+        (fun (name, (s : Trace.summary)) ->
+          let metric = base name in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" metric);
+          List.iter
+            (fun (q, v) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s{quantile=\"%s\"} %s\n" metric q (prom_number v)))
+            [ ("0.5", s.Trace.p50); ("0.9", s.Trace.p90); ("0.99", s.Trace.p99) ];
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" metric (prom_number (s.Trace.mean *. float_of_int s.Trace.count)));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" metric s.Trace.count))
+        (Trace.summaries trace))
+    sections;
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

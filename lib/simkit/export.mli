@@ -1,0 +1,37 @@
+(** Metric serialization: JSON snapshots and Prometheus text exposition.
+
+    A metrics document is a list of named sections, each backed by a
+    {!Trace.t} — e.g. [("server", server_trace); ("registry", timing_trace)].
+    Counters export as integers / Prometheus counters; observe streams
+    export their full {!Trace.summary} (count, mean, stddev, ci95, min/max,
+    p50/p90/p99, power-of-two histogram) / Prometheus summaries.  Empty
+    streams serialize with [null] min/max/quantiles — serialization never
+    raises. *)
+
+type meta = {
+  git_rev : string;  (** ["unknown"] outside a git checkout. *)
+  date_utc : string;  (** ISO-8601, e.g. ["2026-08-07T12:00:00Z"]. *)
+  seed : int option;
+  backends : string list;
+  extra : (string * string) list;
+}
+
+val capture_meta : ?seed:int -> ?backends:string list -> ?extra:(string * string) list -> unit -> meta
+(** Stamp a run: best-effort [git rev-parse --short HEAD] plus the UTC
+    clock, so artifact trajectories (BENCH_*.json) are comparable across
+    commits. *)
+
+val meta_json : meta -> string
+(** The metadata as one JSON object. *)
+
+val metrics_json : ?meta:meta -> (string * Trace.t) list -> string
+(** A complete JSON document: optional ["meta"] plus ["sections"], one
+    entry per named trace with its counters and stat summaries. *)
+
+val prometheus : ?prefix:string -> (string * Trace.t) list -> string
+(** Prometheus text exposition: [<prefix>_<section>_<counter>_total]
+    counters and [<prefix>_<section>_<stream>] summaries with
+    quantile labels.  Default prefix ["nearby"]. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

@@ -1,0 +1,14 @@
+(** JSON string-building helpers for the exporters (no JSON dependency). *)
+
+val escape : string -> string
+(** Backslash-escape a string for inclusion between double quotes. *)
+
+val quote : string -> string
+(** [quote s] is [escape s] wrapped in double quotes. *)
+
+val number : float -> string
+(** A float as a JSON value; nan and infinities render as [null] so the
+    document always parses. *)
+
+val number_opt : float option -> string
+(** [None] renders as [null]. *)

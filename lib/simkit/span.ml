@@ -1,0 +1,80 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  name : string;
+  ts : float;
+  dur : float;
+  tid : int;
+  args : (string * value) list;
+}
+
+type buffer = {
+  pid : int;
+  mutable clock : float;
+  mutable events : event list;  (* newest first *)
+  mutable count : int;
+}
+
+(* The sink is a sum so the disabled case is one pattern match on the hot
+   path — no buffer, no clock, no allocation. *)
+type sink = Noop | Buffer of buffer
+
+let noop = Noop
+let buffer ?(pid = 1) () = Buffer { pid; clock = 0.0; events = []; count = 0 }
+let enabled = function Noop -> false | Buffer _ -> true
+let now = function Noop -> 0.0 | Buffer b -> b.clock
+
+let advance sink dt =
+  match sink with
+  | Noop -> ()
+  | Buffer b -> if dt > 0.0 then b.clock <- b.clock +. dt
+
+let emit sink ~name ~ts ?(dur = 0.0) ?(tid = 0) args =
+  match sink with
+  | Noop -> ()
+  | Buffer b ->
+      b.events <- { name; ts; dur; tid; args } :: b.events;
+      b.count <- b.count + 1
+
+let events = function Noop -> [] | Buffer b -> List.rev b.events
+let event_count = function Noop -> 0 | Buffer b -> b.count
+
+let value_json = function
+  | Int i -> string_of_int i
+  | Float f -> Json_str.number f
+  | Str s -> Json_str.quote s
+  | Bool b -> string_of_bool b
+
+(* One Chrome trace-event (about://tracing, Perfetto) complete event per
+   line.  The sink clock is in simulated milliseconds; the format wants
+   microseconds. *)
+let event_json ~pid e =
+  let args =
+    e.args
+    |> List.map (fun (k, v) -> Printf.sprintf "%s: %s" (Json_str.quote k) (value_json v))
+    |> String.concat ", "
+  in
+  Printf.sprintf
+    "{\"name\": %s, \"cat\": \"nearby\", \"ph\": \"X\", \"pid\": %d, \"tid\": %d, \"ts\": %s, \
+     \"dur\": %s, \"args\": {%s}}"
+    (Json_str.quote e.name) pid e.tid
+    (Json_str.number (e.ts *. 1000.0))
+    (Json_str.number (e.dur *. 1000.0))
+    args
+
+let to_jsonl = function
+  | Noop -> ""
+  | Buffer b ->
+      let buf = Buffer.create (256 * (b.count + 1)) in
+      List.iter
+        (fun e ->
+          Buffer.add_string buf (event_json ~pid:b.pid e);
+          Buffer.add_char buf '\n')
+        (List.rev b.events);
+      Buffer.contents buf
+
+let write_jsonl sinks path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun s -> output_string oc (to_jsonl s)) sinks)

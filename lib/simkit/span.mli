@@ -1,0 +1,53 @@
+(** Structured span events over a simulated clock.
+
+    Protocol code emits named, timestamped, attributed events ("the join of
+    peer 17 spent 12 probes; its traceroute covered 9 hops") into a sink.
+    The buffered sink keeps a logical millisecond clock that callers advance
+    by simulated durations; the noop sink makes every operation a constant —
+    instrumentation sites guard on {!enabled} and pay nothing when tracing
+    is off.
+
+    Export is JSONL in the Chrome trace-event format (one complete ["X"]
+    event per line, timestamps in microseconds), loadable in
+    about://tracing / Perfetto and greppable with standard tools. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  name : string;
+  ts : float;  (** Start, sink-clock milliseconds. *)
+  dur : float;  (** Duration, milliseconds. *)
+  tid : int;  (** Per-track id; the server uses the peer id. *)
+  args : (string * value) list;
+}
+
+type sink
+
+val noop : sink
+(** Discards everything; {!enabled} is false, {!now} is 0. *)
+
+val buffer : ?pid:int -> unit -> sink
+(** An in-memory buffering sink.  [pid] tags every exported event (one pid
+    per run when several runs share a file; default 1). *)
+
+val enabled : sink -> bool
+val now : sink -> float
+(** Current logical clock (ms); 0 on the noop sink. *)
+
+val advance : sink -> float -> unit
+(** Move the logical clock forward; non-positive deltas and the noop sink
+    are no-ops. *)
+
+val emit : sink -> name:string -> ts:float -> ?dur:float -> ?tid:int -> (string * value) list -> unit
+(** Record one complete event.  Constant-time no-op on the noop sink. *)
+
+val events : sink -> event list
+(** Emission order. *)
+
+val event_count : sink -> int
+
+val to_jsonl : sink -> string
+(** One Chrome trace-event JSON object per line ("" for noop). *)
+
+val write_jsonl : sink list -> string -> unit
+(** Concatenate the sinks' JSONL into a file (one line per event). *)

@@ -1,9 +1,32 @@
-type t = {
-  counters : (string, int ref) Hashtbl.t;
-  stats : (string, Prelude.Stats.t) Hashtbl.t;
+(* Every observe stream keeps, besides the Welford accumulator, three P²
+   sketches (p50/p90/p99) and a power-of-two latency histogram, so tails are
+   readable from a long run without retaining samples. *)
+type stream = {
+  st : Prelude.Stats.t;
+  q50 : Prelude.Quantile.t;
+  q90 : Prelude.Quantile.t;
+  q99 : Prelude.Quantile.t;
+  hist : Prelude.Histogram.t;  (* log2-bucketed: bucket b covers (2^(b-1), 2^b] *)
 }
 
-let create () = { counters = Hashtbl.create 16; stats = Hashtbl.create 16 }
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  ci95 : float;
+  min : float option;
+  max : float option;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  streams : (string, stream) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; streams = Hashtbl.create 16 }
 
 let counter_ref t name =
   match Hashtbl.find_opt t.counters name with
@@ -17,26 +40,81 @@ let incr t name = incr (counter_ref t name)
 let add_count t name k = counter_ref t name := !(counter_ref t name) + k
 let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
-let observe t name v =
-  let s =
-    match Hashtbl.find_opt t.stats name with
-    | Some s -> s
-    | None ->
-        let s = Prelude.Stats.create () in
-        Hashtbl.add t.stats name s;
-        s
-  in
-  Prelude.Stats.add s v
+(* Bucket 0 holds everything <= 1; bucket b > 0 covers (2^(b-1), 2^b]. *)
+let log2_bucket v =
+  if Float.is_nan v || v <= 1.0 then 0
+  else 1 + int_of_float (Float.floor (Float.log2 (Float.min v 0x1p62)))
 
-let stat t name = Hashtbl.find_opt t.stats name
+let stream t name =
+  match Hashtbl.find_opt t.streams name with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          st = Prelude.Stats.create ();
+          q50 = Prelude.Quantile.create ~q:0.5;
+          q90 = Prelude.Quantile.create ~q:0.9;
+          q99 = Prelude.Quantile.create ~q:0.99;
+          hist = Prelude.Histogram.create ();
+        }
+      in
+      Hashtbl.add t.streams name s;
+      s
+
+let observe t name v =
+  let s = stream t name in
+  Prelude.Stats.add s.st v;
+  Prelude.Quantile.add s.q50 v;
+  Prelude.Quantile.add s.q90 v;
+  Prelude.Quantile.add s.q99 v;
+  Prelude.Histogram.add s.hist (log2_bucket v)
+
+let stat t name = Option.map (fun s -> s.st) (Hashtbl.find_opt t.streams name)
+let hist t name = Option.map (fun s -> s.hist) (Hashtbl.find_opt t.streams name)
+
+let summary_of_stream s =
+  {
+    count = Prelude.Stats.count s.st;
+    mean = Prelude.Stats.mean s.st;
+    stddev = Prelude.Stats.stddev s.st;
+    ci95 = Prelude.Stats.ci95_halfwidth s.st;
+    min = Prelude.Stats.min_opt s.st;
+    max = Prelude.Stats.max_opt s.st;
+    p50 = Prelude.Quantile.estimate s.q50;
+    p90 = Prelude.Quantile.estimate s.q90;
+    p99 = Prelude.Quantile.estimate s.q99;
+  }
+
+let summary t name = Option.map summary_of_stream (Hashtbl.find_opt t.streams name)
+
+let quantile t name q =
+  Option.map
+    (fun s ->
+      match q with
+      | 0.5 -> Prelude.Quantile.estimate s.q50
+      | 0.9 -> Prelude.Quantile.estimate s.q90
+      | 0.99 -> Prelude.Quantile.estimate s.q99
+      | _ -> invalid_arg "Trace.quantile: only 0.5, 0.9 and 0.99 are tracked")
+    (Hashtbl.find_opt t.streams name)
 
 let sorted_bindings table value =
   Hashtbl.fold (fun k v acc -> (k, value v) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let counters t = sorted_bindings t.counters (fun r -> !r)
-let stats t = sorted_bindings t.stats (fun s -> s)
+let stats t = sorted_bindings t.streams (fun s -> s.st)
+let summaries t = sorted_bindings t.streams summary_of_stream
 
+(* Zero in place: callers may hold counter refs (counter_ref) or stats
+   handles (stat) across a reset; dropping the cells via Hashtbl.reset would
+   leave those handles silently counting into orphaned storage. *)
 let reset t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.stats
+  Hashtbl.iter (fun _ r -> r := 0) t.counters;
+  Hashtbl.iter
+    (fun _ s ->
+      Prelude.Stats.clear s.st;
+      Prelude.Quantile.clear s.q50;
+      Prelude.Quantile.clear s.q90;
+      Prelude.Quantile.clear s.q99;
+      Prelude.Histogram.clear s.hist)
+    t.streams

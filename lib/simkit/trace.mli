@@ -1,10 +1,25 @@
 (** Simulation metrics collection.
 
     Named counters and named streaming statistics, written by protocol code
-    and read by experiment reports.  Purely in-memory; rendering is the
-    caller's business. *)
+    and read by experiment reports.  Each observe stream is backed by a
+    Welford accumulator, P² quantile sketches (p50/p90/p99) and a
+    power-of-two histogram, so tail latencies are available from O(1) memory
+    per stream.  Purely in-memory; rendering is the caller's business (see
+    {!Export} for the JSON / Prometheus serializations). *)
 
 type t
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  ci95 : float;  (** Half-width of the 95% CI of the mean. *)
+  min : float option;  (** [None] when the stream is empty. *)
+  max : float option;
+  p50 : float;  (** P² estimates; [nan] when the stream is empty. *)
+  p90 : float;
+  p99 : float;
+}
 
 val create : unit -> t
 val incr : t -> string -> unit
@@ -12,14 +27,34 @@ val add_count : t -> string -> int -> unit
 val counter : t -> string -> int
 (** 0 when never written. *)
 
+val counter_ref : t -> string -> int ref
+(** The live cell behind a counter, for hot paths that bump it in a loop.
+    The ref stays valid across {!reset} (reset zeroes it in place). *)
+
 val observe : t -> string -> float -> unit
 (** Append a sample to the named statistic. *)
 
 val stat : t -> string -> Prelude.Stats.t option
+val summary : t -> string -> summary option
+
+val quantile : t -> string -> float -> float option
+(** [quantile t name q] for [q] in {0.5, 0.9, 0.99}; [None] for an unknown
+    stream, [nan] before the first observation.
+    @raise Invalid_argument for any other [q]. *)
+
+val hist : t -> string -> Prelude.Histogram.t option
+(** Power-of-two histogram of the stream: bucket 0 counts samples <= 1,
+    bucket [b > 0] counts samples in (2^(b-1), 2^b]. *)
+
 val counters : t -> (string * int) list
 (** Alphabetical. *)
 
 val stats : t -> (string * Prelude.Stats.t) list
 (** Alphabetical. *)
 
+val summaries : t -> (string * summary) list
+(** Alphabetical. *)
+
 val reset : t -> unit
+(** Zero every counter and stream {e in place}: handles previously obtained
+    through {!counter_ref} or {!stat} keep pointing at live cells. *)

@@ -1,0 +1,321 @@
+(* Trace (counters, quantile-backed streams, reset-in-place), Span sinks and
+   JSONL export, metric exporters, and the instrumented-registry wrapper. *)
+
+open Simkit
+
+(* --- counters --------------------------------------------------------- *)
+
+let test_counters () =
+  let t = Trace.create () in
+  Alcotest.(check int) "zero default" 0 (Trace.counter t "x");
+  Trace.incr t "x";
+  Trace.incr t "x";
+  Trace.add_count t "y" 5;
+  Alcotest.(check int) "incr" 2 (Trace.counter t "x");
+  Alcotest.(check (list (pair string int))) "sorted" [ ("x", 2); ("y", 5) ] (Trace.counters t)
+
+let test_counter_ref_survives_reset () =
+  (* Regression: Hashtbl.reset orphaned previously handed-out refs, so a
+     cached hot-path ref silently counted into a dropped cell. *)
+  let t = Trace.create () in
+  let r = Trace.counter_ref t "hot" in
+  r := !r + 3;
+  Alcotest.(check int) "cached ref visible" 3 (Trace.counter t "hot");
+  Trace.reset t;
+  Alcotest.(check int) "reset zeroes" 0 (Trace.counter t "hot");
+  r := !r + 2;
+  Alcotest.(check int) "cached ref still live after reset" 2 (Trace.counter t "hot");
+  Trace.incr t "hot";
+  Alcotest.(check int) "fresh writes share the cell" 3 !r
+
+let test_stat_handle_survives_reset () =
+  let t = Trace.create () in
+  Trace.observe t "lat" 4.0;
+  let s = Option.get (Trace.stat t "lat") in
+  Trace.reset t;
+  Alcotest.(check int) "cleared in place" 0 (Prelude.Stats.count s);
+  Trace.observe t "lat" 9.0;
+  Alcotest.(check int) "handle sees new samples" 1 (Prelude.Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean restarted" 9.0 (Prelude.Stats.mean s)
+
+(* --- streams ---------------------------------------------------------- *)
+
+let test_observe_stat () =
+  let t = Trace.create () in
+  Trace.observe t "lat" 1.0;
+  Trace.observe t "lat" 3.0;
+  (match Trace.stat t "lat" with
+  | Some s -> Alcotest.(check (float 1e-9)) "mean" 2.0 (Prelude.Stats.mean s)
+  | None -> Alcotest.fail "missing stat");
+  Alcotest.(check bool) "unknown stream" true (Trace.stat t "nope" = None);
+  Alcotest.(check bool) "unknown summary" true (Trace.summary t "nope" = None)
+
+let test_summary_small_stream () =
+  let t = Trace.create () in
+  List.iter (Trace.observe t "s") [ 10.0; 20.0; 30.0 ];
+  let s = Option.get (Trace.summary t "s") in
+  Alcotest.(check int) "count" 3 s.Trace.count;
+  Alcotest.(check (float 1e-9)) "exact p50 below warmup" 20.0 s.Trace.p50;
+  Alcotest.(check (option (float 1e-9))) "min" (Some 10.0) s.Trace.min;
+  Alcotest.(check (option (float 1e-9))) "max" (Some 30.0) s.Trace.max
+
+let test_min_max_opt () =
+  let s = Prelude.Stats.create () in
+  Alcotest.(check (option (float 1e-9))) "empty min" None (Prelude.Stats.min_opt s);
+  Alcotest.(check (option (float 1e-9))) "empty max" None (Prelude.Stats.max_opt s);
+  Prelude.Stats.add s 7.0;
+  Alcotest.(check (option (float 1e-9))) "min" (Some 7.0) (Prelude.Stats.min_opt s);
+  Alcotest.(check (option (float 1e-9))) "max" (Some 7.0) (Prelude.Stats.max_opt s)
+
+let p2_tolerance ~samples ~q ~rel estimate =
+  let exact = Prelude.Stats.percentile samples (q *. 100.0) in
+  let err = Float.abs (estimate -. exact) /. Float.max 1e-9 (Float.abs exact) in
+  Alcotest.(check bool)
+    (Printf.sprintf "P² q=%.2f estimate %.3f within %.0f%% of exact %.3f" q estimate (rel *. 100.0)
+       exact)
+    true (err <= rel)
+
+let test_quantiles_uniform () =
+  let t = Trace.create () in
+  let rng = Prelude.Prng.create 42 in
+  let samples = Array.init 10_000 (fun _ -> Prelude.Prng.float rng 100.0) in
+  Array.iter (Trace.observe t "u") samples;
+  let s = Option.get (Trace.summary t "u") in
+  p2_tolerance ~samples ~q:0.5 ~rel:0.05 s.Trace.p50;
+  p2_tolerance ~samples ~q:0.9 ~rel:0.05 s.Trace.p90;
+  p2_tolerance ~samples ~q:0.99 ~rel:0.05 s.Trace.p99
+
+let test_quantiles_heavy_tail () =
+  (* Pareto-ish: 1 / (1 - u) — the shape latency tails actually have. *)
+  let t = Trace.create () in
+  let rng = Prelude.Prng.create 11 in
+  let samples = Array.init 10_000 (fun _ -> 1.0 /. (1.0 -. Prelude.Prng.float rng 0.999)) in
+  Array.iter (Trace.observe t "h") samples;
+  let s = Option.get (Trace.summary t "h") in
+  p2_tolerance ~samples ~q:0.5 ~rel:0.1 s.Trace.p50;
+  p2_tolerance ~samples ~q:0.99 ~rel:0.2 s.Trace.p99
+
+let test_stream_reset_in_place () =
+  let t = Trace.create () in
+  for _ = 1 to 100 do
+    Trace.observe t "s" 5.0
+  done;
+  Trace.reset t;
+  let s = Option.get (Trace.summary t "s") in
+  Alcotest.(check int) "count zeroed" 0 s.Trace.count;
+  Alcotest.(check bool) "p50 nan when empty" true (Float.is_nan s.Trace.p50);
+  Alcotest.(check (option (float 1e-9))) "min null" None s.Trace.min;
+  List.iter (Trace.observe t "s") [ 1.0; 2.0; 3.0 ];
+  let s = Option.get (Trace.summary t "s") in
+  Alcotest.(check (float 1e-9)) "quantiles restart exact" 2.0 s.Trace.p50
+
+let test_log2_hist () =
+  let t = Trace.create () in
+  List.iter (Trace.observe t "s") [ 0.5; 1.0; 3.0; 1000.0 ];
+  let h = Option.get (Trace.hist t "s") in
+  Alcotest.(check int) "bucket 0 counts <= 1" 2 (Prelude.Histogram.count h 0);
+  Alcotest.(check int) "3.0 in (2,4]" 1 (Prelude.Histogram.count h 2);
+  Alcotest.(check int) "1000 in (512,1024]" 1 (Prelude.Histogram.count h 10);
+  Alcotest.(check int) "total" 4 (Prelude.Histogram.total h)
+
+let test_quantile_clear () =
+  let q = Prelude.Quantile.create ~q:0.5 in
+  for i = 1 to 50 do
+    Prelude.Quantile.add q (float_of_int i)
+  done;
+  Prelude.Quantile.clear q;
+  Alcotest.(check int) "count zero" 0 (Prelude.Quantile.count q);
+  Alcotest.(check bool) "estimate nan" true (Float.is_nan (Prelude.Quantile.estimate q));
+  let fresh = Prelude.Quantile.create ~q:0.5 in
+  for i = 1 to 200 do
+    let v = float_of_int ((i * 7919) mod 100) in
+    Prelude.Quantile.add q v;
+    Prelude.Quantile.add fresh v
+  done;
+  Alcotest.(check (float 1e-9))
+    "cleared sketch = fresh sketch" (Prelude.Quantile.estimate fresh) (Prelude.Quantile.estimate q)
+
+(* --- spans ------------------------------------------------------------ *)
+
+let test_span_noop () =
+  let s = Span.noop in
+  Alcotest.(check bool) "disabled" false (Span.enabled s);
+  Span.emit s ~name:"x" ~ts:0.0 [];
+  Span.advance s 5.0;
+  Alcotest.(check (float 1e-9)) "clock pinned" 0.0 (Span.now s);
+  Alcotest.(check int) "no events" 0 (Span.event_count s);
+  Alcotest.(check string) "empty jsonl" "" (Span.to_jsonl s)
+
+let test_span_buffer () =
+  let s = Span.buffer ~pid:3 () in
+  Alcotest.(check bool) "enabled" true (Span.enabled s);
+  Span.emit s ~name:"join" ~ts:(Span.now s) ~dur:2.5 ~tid:7
+    [ ("peer", Span.Int 7); ("rtt", Span.Float 2.5); ("ok", Span.Bool true); ("who", Span.Str "p\"1") ];
+  Span.advance s 2.5;
+  Span.emit s ~name:"query" ~ts:(Span.now s) ~tid:7 [];
+  Alcotest.(check (float 1e-9)) "clock advanced" 2.5 (Span.now s);
+  Alcotest.(check int) "two events" 2 (Span.event_count s);
+  let lines = String.split_on_char '\n' (String.trim (Span.to_jsonl s)) in
+  Alcotest.(check int) "one line per event" 2 (List.length lines);
+  let first = List.hd lines in
+  let contains needle hay =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "complete event" true (contains "\"ph\": \"X\"" first);
+  Alcotest.(check bool) "pid" true (contains "\"pid\": 3" first);
+  Alcotest.(check bool) "ts in microseconds" true (contains "\"ts\": 0" first);
+  Alcotest.(check bool) "dur scaled" true (contains "\"dur\": 2500" first);
+  Alcotest.(check bool) "escaped string arg" true (contains "\"who\": \"p\\\"1\"" first)
+
+let contains needle hay =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_server_spans () =
+  let d = Eval.Paper_drawing.build () in
+  let oracle = Traceroute.Route_oracle.create d.graph in
+  let spans = Span.buffer () in
+  let server = Nearby.Server.create ~spans oracle ~landmarks:[| d.lmk |] in
+  let attach = Eval.Paper_drawing.peer_attach_routers d in
+  for peer = 0 to 2 do
+    ignore (Nearby.Server.join server ~peer ~attach_router:attach.(peer))
+  done;
+  ignore (Nearby.Server.neighbors server ~peer:0 ~k:2);
+  ignore (Nearby.Server.neighbors server ~peer:1 ~k:2);
+  (* Peer 2 never queries: flush must close its join span. *)
+  Nearby.Server.flush_spans server;
+  let events = Span.events spans in
+  let of_peer p = List.filter (fun (e : Span.event) -> e.tid = p) events in
+  List.iter
+    (fun peer ->
+      let evs = of_peer peer in
+      let find name = List.find (fun (e : Span.event) -> e.name = name) evs in
+      let join = find "join" in
+      List.iter
+        (fun name ->
+          let e = find name in
+          Alcotest.(check bool)
+            (Printf.sprintf "peer %d: %s starts inside join" peer name)
+            true (e.ts >= join.ts);
+          Alcotest.(check bool)
+            (Printf.sprintf "peer %d: %s ends inside join" peer name)
+            true (e.ts +. e.dur <= join.ts +. join.dur +. 1e-9);
+          Alcotest.(check bool)
+            (Printf.sprintf "peer %d: %s carries probes_spent" peer name)
+            true
+            (List.mem_assoc "probes_spent" e.args))
+        ([ "ping_round"; "traceroute"; "register" ] @ if peer <= 1 then [ "query" ] else []))
+    [ 0; 1; 2 ];
+  (* A second query must not re-open or re-close the join span. *)
+  ignore (Nearby.Server.neighbors server ~peer:0 ~k:2);
+  let joins_of_0 =
+    List.filter (fun (e : Span.event) -> e.tid = 0 && e.name = "join") (Span.events spans)
+  in
+  Alcotest.(check int) "one join span per peer" 1 (List.length joins_of_0)
+
+(* --- exporters -------------------------------------------------------- *)
+
+let test_metrics_json () =
+  let t = Trace.create () in
+  Trace.incr t "join";
+  List.iter (Trace.observe t "lat_ns") [ 100.0; 200.0; 300.0 ];
+  (* An empty stream must serialize as nulls, not raise. *)
+  Trace.reset (Trace.create ());
+  let empty = Trace.create () in
+  Trace.observe empty "never" 1.0;
+  Trace.reset empty;
+  let doc =
+    Export.metrics_json
+      ~meta:{ Export.git_rev = "abc"; date_utc = "2026-08-07T00:00:00Z"; seed = Some 1;
+              backends = [ "tree" ]; extra = [ ("k", "5") ] }
+      [ ("server", t); ("empty", empty) ]
+  in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains needle doc))
+    [
+      "\"git_rev\": \"abc\"";
+      "\"seed\": 1";
+      "\"p50\": 200";
+      "\"p90\"";
+      "\"p99\"";
+      "\"join\": 1";
+      "\"log2_hist\"";
+      "\"min\": null";
+      "\"max\": null";
+    ];
+  Alcotest.(check bool) "no nan literal" false (contains "nan" doc)
+
+let test_prometheus () =
+  let t = Trace.create () in
+  Trace.add_count t "probe_packets" 42;
+  List.iter (Trace.observe t "path.hops") [ 2.0; 4.0 ];
+  let doc = Export.prometheus [ ("server", t) ] in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains needle doc))
+    [
+      "# TYPE nearby_server_probe_packets_total counter";
+      "nearby_server_probe_packets_total 42";
+      "# TYPE nearby_server_path_hops summary";
+      "nearby_server_path_hops{quantile=\"0.5\"}";
+      "nearby_server_path_hops_count 2";
+    ]
+
+(* --- instrumented registry ------------------------------------------- *)
+
+let test_instrumented_registry () =
+  let metrics = Trace.create () in
+  let tick = ref 0.0 in
+  let clock () =
+    tick := !tick +. 500.0;
+    !tick
+  in
+  let backend =
+    Nearby.Instrumented_registry.make ~clock ~metrics (module Nearby.Path_tree)
+  in
+  let lmk = 99 in
+  let reg = Nearby.Registry_intf.create backend ~landmark:lmk in
+  Nearby.Registry_intf.insert reg ~peer:0 ~routers:[| 1; 5; lmk |];
+  Nearby.Registry_intf.insert reg ~peer:1 ~routers:[| 2; 5; lmk |];
+  let answer = Nearby.Registry_intf.query_member reg ~peer:0 ~k:1 in
+  Alcotest.(check (list (pair int int))) "answers pass through" [ (1, 2) ] answer;
+  Nearby.Registry_intf.remove reg 1;
+  let summary name = Option.get (Trace.summary metrics name) in
+  let ins = summary Nearby.Instrumented_registry.insert_ns in
+  Alcotest.(check int) "two timed inserts" 2 ins.Trace.count;
+  Alcotest.(check (float 1e-9)) "per-op delta from injected clock" 500.0 ins.Trace.p50;
+  Alcotest.(check int) "one timed query" 1 (summary Nearby.Instrumented_registry.query_ns).Trace.count;
+  Alcotest.(check int) "one timed remove" 1 (summary Nearby.Instrumented_registry.remove_ns).Trace.count;
+  Alcotest.(check (float 1e-9))
+    "candidates recorded" 1.0
+    (summary Nearby.Instrumented_registry.query_candidates).Trace.p50
+
+let test_wrap_disabled_is_identity () =
+  let backend = (module Nearby.Path_tree : Nearby.Registry_intf.S) in
+  let wrapped = Nearby.Instrumented_registry.wrap backend in
+  Alcotest.(check bool) "physically the same module" true (wrapped == backend)
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "counters" `Quick test_counters;
+      Alcotest.test_case "counter_ref survives reset" `Quick test_counter_ref_survives_reset;
+      Alcotest.test_case "stat handle survives reset" `Quick test_stat_handle_survives_reset;
+      Alcotest.test_case "observe/stat" `Quick test_observe_stat;
+      Alcotest.test_case "summary small stream" `Quick test_summary_small_stream;
+      Alcotest.test_case "stats min/max opt" `Quick test_min_max_opt;
+      Alcotest.test_case "P2 quantiles uniform" `Quick test_quantiles_uniform;
+      Alcotest.test_case "P2 quantiles heavy tail" `Quick test_quantiles_heavy_tail;
+      Alcotest.test_case "stream reset in place" `Quick test_stream_reset_in_place;
+      Alcotest.test_case "log2 histogram" `Quick test_log2_hist;
+      Alcotest.test_case "quantile clear" `Quick test_quantile_clear;
+      Alcotest.test_case "span noop" `Quick test_span_noop;
+      Alcotest.test_case "span buffer + jsonl" `Quick test_span_buffer;
+      Alcotest.test_case "server join/query spans" `Quick test_server_spans;
+      Alcotest.test_case "metrics json export" `Quick test_metrics_json;
+      Alcotest.test_case "prometheus export" `Quick test_prometheus;
+      Alcotest.test_case "instrumented registry timing" `Quick test_instrumented_registry;
+      Alcotest.test_case "wrap disabled = identity" `Quick test_wrap_disabled_is_identity;
+    ] )
