@@ -393,6 +393,66 @@ let run_obs ~full =
   Simkit.Export.write_file "BENCH_obs.json" json;
   Printf.printf "wrote BENCH_obs.json (%d-peer workload, %d queries)\n%!" population query_count
 
+(* ------------------------------------------------------------------ *)
+(* Resilience: join completion, latency tail and recovery time as the
+   replica count and fault scenario vary — the cluster's headline
+   guarantees, written to BENCH_resilience.json for the CI smoke gate. *)
+
+let run_resilience ~full =
+  banner "resilience: completion / p99 join latency / recovery vs replicas";
+  let base =
+    if full then Eval.Resilience_exp.default_config else Eval.Resilience_exp.quick_config
+  in
+  let replica_counts = [ 1; 3; 5 ] in
+  let scenarios = [ "none"; "crash-primary"; "loss-burst" ] in
+  let results =
+    List.concat_map
+      (fun scenario ->
+        List.filter_map
+          (fun replicas ->
+            (* A 1-replica cluster cannot survive its own crash; skip the
+               combination rather than report a vacuous 0% completion. *)
+            if scenario = "crash-primary" && replicas = 1 then None
+            else
+              Some
+                (Eval.Resilience_exp.run { base with Eval.Resilience_exp.scenario; replicas }))
+          replica_counts)
+      scenarios
+  in
+  let cell = Prelude.Table.float_cell in
+  Prelude.Table.print
+    ~header:
+      [ "scenario"; "replicas"; "completion"; "p99 join ms"; "recovery ms"; "consistent" ]
+    (List.map
+       (fun (r : Eval.Resilience_exp.result) ->
+         [
+           r.scenario;
+           string_of_int r.replicas;
+           cell ~decimals:4 r.completion_rate;
+           cell ~decimals:1 r.join_p99_ms;
+           (match r.recovery_ms with Some v -> cell ~decimals:1 v | None -> "-");
+           string_of_bool r.consistent;
+         ])
+       results);
+  let meta =
+    Simkit.Export.capture_meta ~seed:base.seed
+      ~extra:
+        [
+          ("peers", string_of_int base.peers);
+          ("routers", string_of_int base.routers);
+          ("scenarios", String.concat " " scenarios);
+        ]
+      ()
+  in
+  let json =
+    Printf.sprintf "{\n  \"meta\": %s,\n  \"runs\": [\n%s\n  ]\n}\n"
+      (Simkit.Export.meta_json meta)
+      (String.concat ",\n"
+         (List.map (fun r -> "    " ^ Eval.Resilience_exp.result_json r) results))
+  in
+  Simkit.Export.write_file "BENCH_resilience.json" json;
+  Printf.printf "wrote BENCH_resilience.json (%d runs)\n%!" (List.length results)
+
 let run_all ~full =
   run_micro ();
   run_fig2 ~full;
@@ -412,7 +472,8 @@ let run_all ~full =
   run_dht ~full;
   run_inflation ~full;
   run_bulk ~full;
-  run_joining ~full
+  run_joining ~full;
+  run_resilience ~full
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -448,6 +509,7 @@ let () =
   | [ "inflation" ] -> run_inflation ~full
   | [ "bulk" ] -> run_bulk ~full
   | [ "joining" ] -> run_joining ~full
+  | [ "resilience" ] -> run_resilience ~full
   | other ->
       Printf.eprintf
         "unknown bench %S; available: micro fig2 complexity landmarks superpeers churn truncate setup-delay metric [--full]\n"

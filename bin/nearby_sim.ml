@@ -224,6 +224,69 @@ let joining_cmd =
     (Cmd.info "joining" ~doc:"Newcomer time-to-playback mid-stream (the paper's thesis, end to end).")
     Term.(ret (const run $ quick_flag $ seed_opt))
 
+let resilience_cmd =
+  let scenario_arg =
+    let doc =
+      Printf.sprintf "Fault scenario to inject (%s)."
+        (String.concat " | " Eval.Resilience_exp.scenario_names)
+    in
+    Arg.(value & opt string "crash-primary" & info [ "scenario" ] ~doc ~docv:"SCENARIO")
+  in
+  let replicas_arg =
+    let doc = "Number of management-server replicas." in
+    Arg.(value & opt int 3 & info [ "replicas" ] ~doc ~docv:"N")
+  in
+  let loss_arg =
+    let doc = "Baseline packet-loss probability, in [0, 1)." in
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~doc ~docv:"P")
+  in
+  let require_complete_arg =
+    let doc = "Exit with an error unless every join completes (CI smoke gate)." in
+    Arg.(value & flag & info [ "require-complete" ] ~doc)
+  in
+  let json_out_arg =
+    let doc = "Also write the result as a JSON object to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json-out" ] ~doc ~docv:"FILE")
+  in
+  let run quick seed routers peers k scenario replicas loss require_complete json_out =
+    let config =
+      if quick then Eval.Resilience_exp.quick_config else Eval.Resilience_exp.default_config
+    in
+    let config = match seed with Some s -> { config with seed = s } | None -> config in
+    let config = override routers (fun c v -> { c with Eval.Resilience_exp.routers = v }) config in
+    let config = override peers (fun c v -> { c with Eval.Resilience_exp.peers = v }) config in
+    let config = override k (fun c v -> { c with Eval.Resilience_exp.k = v }) config in
+    let config = { config with Eval.Resilience_exp.scenario; replicas; loss } in
+    match Eval.Resilience_exp.run config with
+    | result ->
+        Eval.Resilience_exp.print result;
+        (match json_out with
+        | Some file ->
+            let out = open_out file in
+            output_string out (Eval.Resilience_exp.result_json result);
+            output_char out '\n';
+            close_out out;
+            Printf.printf "wrote %s\n%!" file
+        | None -> ());
+        if require_complete && result.completed < result.joins then
+          `Error
+            ( false,
+              Printf.sprintf "join completion %d/%d under scenario %s" result.completed
+                result.joins result.scenario )
+        else exit_ok
+    | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:
+         "Fault-injection run: joins through the retrying RPC layer against a replicated \
+          server cluster while a scripted scenario crashes replicas, raises loss or \
+          partitions the network.")
+    Term.(
+      ret
+        (const run $ quick_flag $ seed_opt $ routers_opt $ peers_opt $ k_opt $ scenario_arg
+       $ replicas_arg $ loss_arg $ require_complete_arg $ json_out_arg))
+
 let registry_cmd =
   let backend_arg =
     let doc =
@@ -558,6 +621,7 @@ let () =
             inflation_cmd;
             bulk_cmd;
             joining_cmd;
+            resilience_cmd;
             verify_cmd;
             all_cmd;
           ]))

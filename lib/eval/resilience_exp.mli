@@ -1,0 +1,69 @@
+(** Fault-injection experiment over the resilient join path.
+
+    Peers arrive uniformly over a window and join through {!Simkit.Rpc}
+    against an N-replica {!Nearby.Cluster} while a scripted {!Simkit.Fault}
+    scenario crashes replicas, raises packet loss or partitions the
+    primary's subtree.  The headline numbers are the ones the resilience
+    layer is supposed to guarantee: join completion rate (must be 1.0 with
+    a surviving replica), join-latency tail, and how long a recovered
+    replica takes to be back in sync. *)
+
+type config = {
+  routers : int;
+  peers : int;
+  landmark_count : int;
+  k : int;
+  replicas : int;
+  loss : float;  (** Baseline loss probability, [0, 1). *)
+  scenario : string;  (** One of {!scenario_names}. *)
+  arrival_window_ms : float;  (** Joins arrive uniformly in [0, window]. *)
+  sync_period_ms : float;  (** Anti-entropy period. *)
+  rpc : Simkit.Rpc.config;
+  detector : Simkit.Failure_detector.config;
+  seed : int;
+}
+
+val default_config : config
+(** 2000 routers, 300 peers, 3 replicas, crash-primary, no baseline loss. *)
+
+val quick_config : config
+
+val scenario_names : string list
+(** ["none"; "crash-primary"; "loss-burst"; "partition"].  Faults fire at
+    fixed fractions of the arrival window: crash at 25% / recover at 75%;
+    loss and partition windows span 25%–60%. *)
+
+type result = {
+  scenario : string;
+  replicas : int;
+  loss : float;
+  joins : int;
+  completed : int;
+  failed : int;  (** Joins whose RPC gave up — never silent stalls. *)
+  completion_rate : float;
+  join_p50_ms : float;
+  join_p99_ms : float;
+  rpc_attempts : int;
+  rpc_retries : int;
+  rpc_timeouts : int;
+  rpc_gave_up : int;
+  suspicions : int;
+  sync_rounds : int;
+  recovery_ms : float option;
+      (** Mean crash-to-back-in-sync time; [None] when nothing recovered. *)
+  consistent : bool;  (** All live replicas hold the same peer set. *)
+  live_peer_counts : int list;
+  dropped_loss : int;
+  dropped_unreachable : int;
+  dropped_partition : int;
+}
+
+val run : config -> result
+(** Deterministic in [config.seed].
+    @raise Invalid_argument on an unknown scenario, [replicas < 1] or loss
+    outside [0, 1). *)
+
+val result_json : result -> string
+(** One JSON object (no trailing newline). *)
+
+val print : result -> unit

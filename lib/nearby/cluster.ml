@@ -1,0 +1,291 @@
+let log_src = Logs.Src.create "nearby.cluster" ~doc:"Replicated management-server cluster"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type replica = {
+  id : int;
+  router : Topology.Graph.node;
+  mutable server : Server.t;
+  mutable alive : bool;
+  mutable recovered_at : float option;
+      (* Set by [recover], cleared by the sync round that brings the replica
+         back in sync; the difference is the recovery time. *)
+}
+
+type t = {
+  replicas : replica array;
+  transport : Simkit.Transport.t option;
+  detector : Simkit.Failure_detector.t option;
+  restore_server : (string -> (Server.t, string) result) option;
+  trace : Simkit.Trace.t;
+}
+
+let engine t = Option.map Simkit.Transport.engine t.transport
+let now t = match engine t with Some e -> Simkit.Engine.now e | None -> 0.0
+
+let single ~router server =
+  {
+    replicas = [| { id = 0; router; server; alive = true; recovered_at = None } |];
+    transport = None;
+    detector = None;
+    restore_server = None;
+    trace = Simkit.Trace.create ();
+  }
+
+let watch_replica t r =
+  match t.detector with
+  | None -> ()
+  | Some d ->
+      Simkit.Failure_detector.watch d ~peer:r.id ~router:r.router ~alive:(fun () -> r.alive)
+
+let create ?(detector_config = Simkit.Failure_detector.default_config) ~transport ~client_router
+    ~make_server ~restore_server ~routers () =
+  if Array.length routers = 0 then invalid_arg "Cluster.create: no replicas";
+  let distinct = Hashtbl.create 8 in
+  Array.iter
+    (fun router ->
+      if Hashtbl.mem distinct router then invalid_arg "Cluster.create: duplicate replica router";
+      Hashtbl.add distinct router ())
+    routers;
+  let trace = Simkit.Trace.create () in
+  let replicas =
+    Array.mapi
+      (fun id router -> { id; router; server = make_server (); alive = true; recovered_at = None })
+      routers
+  in
+  let detector =
+    Simkit.Failure_detector.create detector_config ~transport ~monitor_router:client_router
+      ~on_failure:(fun id ->
+        Simkit.Trace.incr trace "cluster_suspected";
+        Log.debug (fun m -> m "replica %d suspected" id))
+  in
+  let t =
+    { replicas; transport = Some transport; detector = Some detector; restore_server = Some restore_server; trace }
+  in
+  Array.iter (fun r -> watch_replica t r) replicas;
+  t
+
+let replica_count t = Array.length t.replicas
+let trace t = t.trace
+let replica_router t i = t.replicas.(i).router
+let server_of t i = t.replicas.(i).server
+let measurement_server t = t.replicas.(0).server
+let graph t = Server.graph t.replicas.(0).server
+let is_alive t i = t.replicas.(i).alive
+
+let replica_at t ~router =
+  let found = ref None in
+  Array.iter (fun r -> if r.router = router then found := Some r.id) t.replicas;
+  !found
+
+(* The client's failure-detector view: a replica is a candidate target
+   unless the monitor currently suspects it.  Ground-truth [alive] is never
+   consulted here — the client only knows what the heartbeats tell it. *)
+let believed_live t (r : replica) =
+  match t.detector with
+  | None -> r.alive
+  | Some d ->
+      Simkit.Failure_detector.is_watched d ~peer:r.id
+      && not (Simkit.Failure_detector.is_suspected d ~peer:r.id)
+
+let live_count t =
+  Array.fold_left (fun acc r -> if r.alive then acc + 1 else acc) 0 t.replicas
+
+(* Candidate targets ordered primary-first: ascending (network delay from
+   [src], id).  Attempt n takes the (n-1 mod live)-th entry, so a retry
+   fails over to the next-closest believed-live replica immediately instead
+   of burning its whole budget on a dead primary. *)
+let target t ~src ~attempt =
+  let transport =
+    match t.transport with
+    | Some tr -> tr
+    | None -> invalid_arg "Cluster.target: single-server cluster has no transport"
+  in
+  let candidates =
+    Array.to_list t.replicas
+    |> List.filter (believed_live t)
+    |> List.map (fun r -> ((Simkit.Transport.one_way_delay transport ~src ~dst:r.router, r.id), r))
+    |> List.sort compare
+    |> List.map snd
+  in
+  match candidates with
+  | [] -> None
+  | _ -> Some (List.nth candidates ((attempt - 1) mod List.length candidates)).id
+
+(* Write fan-out: the processing replica pushes the registration to every
+   other replica.  Replication messages ride the transport (paying latency,
+   loss and partitions); a replica that is down when the message lands
+   simply misses the write — anti-entropy heals it later. *)
+let fan_out t ~from_replica ~peer ~attach_router ~measurement =
+  let landmark = Server.measurement_landmark measurement in
+  let path = Server.measurement_path measurement in
+  let probes_spent = Server.measurement_probes measurement in
+  let src = t.replicas.(from_replica).router in
+  let bytes = Wire.byte_size (Wire.Path_report { peer; path }) in
+  Array.iter
+    (fun (o : replica) ->
+      if o.id <> from_replica then begin
+        let apply () =
+          if o.alive && not (Server.mem o.server peer) then begin
+            Server.register_replica o.server ~peer ~attach_router ~landmark ~path ~probes_spent;
+            Simkit.Trace.incr t.trace "cluster_replicate_apply"
+          end
+          else Simkit.Trace.incr t.trace "cluster_replicate_skip"
+        in
+        Simkit.Trace.incr t.trace "cluster_replicate_send";
+        match t.transport with
+        | Some tr -> Simkit.Transport.send tr ~src ~dst:o.router ~size_bytes:bytes apply
+        | None -> apply ()
+      end)
+    t.replicas
+
+let handle_registration t ~replica ~peer ~attach_router ~measurement ~k =
+  let r = t.replicas.(replica) in
+  if not r.alive then None
+  else begin
+    if Server.mem r.server peer then
+      (* A retry whose predecessor's reply was lost: idempotent re-answer. *)
+      Simkit.Trace.incr t.trace "cluster_duplicate_register"
+    else begin
+      ignore (Server.register_measured r.server ~peer ~attach_router measurement);
+      Simkit.Trace.incr t.trace "cluster_register";
+      fan_out t ~from_replica:replica ~peer ~attach_router ~measurement
+    end;
+    Some (Option.get (Server.info r.server peer), Server.neighbors r.server ~peer ~k)
+  end
+
+(* Direct path: both protocol rounds on one replica, exactly the pre-cluster
+   [Server.join] + [Server.neighbors] sequence. *)
+let handle_join ?rng t ~replica ~peer ~attach_router ~k =
+  let r = t.replicas.(replica) in
+  if not r.alive then None
+  else begin
+    let info = Server.join ?rng r.server ~peer ~attach_router in
+    Some (info, Server.neighbors r.server ~peer ~k)
+  end
+
+(* --- Crash / recover --------------------------------------------------- *)
+
+let crash t i =
+  let r = t.replicas.(i) in
+  if r.alive then begin
+    r.alive <- false;
+    Simkit.Trace.incr t.trace "cluster_crashes";
+    Log.debug (fun m -> m "replica %d crashed" i)
+  end
+
+let recover t i =
+  let r = t.replicas.(i) in
+  if not r.alive then begin
+    r.alive <- true;
+    r.recovered_at <- Some (now t);
+    Simkit.Trace.incr t.trace "cluster_recoveries";
+    (* A fresh watch must not inherit the silence timer of the crashed
+       incarnation: unwatch + watch restarts both loops from now. *)
+    (match t.detector with
+    | None -> ()
+    | Some d ->
+        Simkit.Failure_detector.unwatch d ~peer:r.id;
+        watch_replica t r);
+    Log.debug (fun m -> m "replica %d recovered" i)
+  end
+
+(* --- Anti-entropy ------------------------------------------------------ *)
+
+(* One sync round:
+   1. pick the most complete live replica as the source (max registered
+      peers, ties to the lowest id);
+   2. union phase: any peer a live replica holds that the source lacks is
+      pushed into the source via [register_replica] (no write is ever lost
+      to the wholesale restore that follows);
+   3. catch-up phase: every live replica whose peer set still differs from
+      the source's is rebuilt from the source's snapshot — the recovery
+      path the issue names.  A replica recovering here closes its
+      [recovered_at] stopwatch into the ["cluster_recovery_ms"] stream. *)
+let sync_round t =
+  Simkit.Trace.incr t.trace "cluster_sync_rounds";
+  let live = Array.to_list t.replicas |> List.filter (fun r -> r.alive) in
+  match live with
+  | [] | [ _ ] ->
+      (* Nothing to reconcile; a lone recovered replica is trivially in sync. *)
+      List.iter
+        (fun r ->
+          match r.recovered_at with
+          | Some since ->
+              Simkit.Trace.observe t.trace "cluster_recovery_ms" (now t -. since);
+              r.recovered_at <- None
+          | None -> ())
+        live
+  | live -> (
+      let source =
+        List.fold_left
+          (fun best r ->
+            let key r = (-Server.peer_count r.server, r.id) in
+            if key r < key best then r else best)
+          (List.hd live) (List.tl live)
+      in
+      (* Union: push peers the source is missing into the source. *)
+      List.iter
+        (fun r ->
+          if r.id <> source.id then
+            List.iter
+              (fun peer ->
+                if not (Server.mem source.server peer) then
+                  match Server.info r.server peer with
+                  | Some (info : Server.peer_info) ->
+                      Server.register_replica source.server ~peer
+                        ~attach_router:info.attach_router ~landmark:info.landmark
+                        ~path:info.recorded_path ~probes_spent:info.probes_spent;
+                      Simkit.Trace.incr t.trace "cluster_sync_union"
+                  | None -> ())
+              (Server.peer_ids r.server))
+        live;
+      match t.restore_server with
+      | None -> ()
+      | Some restore ->
+          let source_ids = Server.peer_ids source.server in
+          let snapshot = lazy (Server.snapshot source.server) in
+          List.iter
+            (fun r ->
+              if r.id <> source.id && Server.peer_ids r.server <> source_ids then begin
+                let data = Lazy.force snapshot in
+                match restore data with
+                | Ok server ->
+                    r.server <- server;
+                    Simkit.Trace.incr t.trace "cluster_sync_restores";
+                    Simkit.Trace.add_count t.trace "cluster_sync_bytes" (String.length data);
+                    Log.debug (fun m ->
+                        m "replica %d restored from replica %d (%d peers)" r.id source.id
+                          (Server.peer_count server))
+                | Error e -> Log.err (fun m -> m "replica %d restore failed: %s" r.id e)
+              end;
+              match r.recovered_at with
+              | Some since when Server.peer_ids r.server = source_ids ->
+                  Simkit.Trace.observe t.trace "cluster_recovery_ms" (now t -. since);
+                  r.recovered_at <- None
+              | _ -> ())
+            live)
+
+let start_sync t ~period_ms ~until =
+  if period_ms <= 0.0 then invalid_arg "Cluster.start_sync: period must be positive";
+  match engine t with
+  | None -> invalid_arg "Cluster.start_sync: single-server cluster has no engine"
+  | Some e ->
+      let rec tick at =
+        if at <= until then
+          Simkit.Engine.schedule_at e ~time:at (fun () ->
+              sync_round t;
+              tick (at +. period_ms))
+      in
+      tick (Simkit.Engine.now e +. period_ms)
+
+let consistent t =
+  let live = Array.to_list t.replicas |> List.filter (fun r -> r.alive) in
+  match live with
+  | [] -> true
+  | first :: rest ->
+      let reference = Server.peer_ids first.server in
+      List.for_all (fun r -> Server.peer_ids r.server = reference) rest
+
+let check_invariants t =
+  Array.iter (fun r -> Server.check_invariants r.server) t.replicas

@@ -1,0 +1,116 @@
+(** Replicated management-server tier.
+
+    [N] replicas each own a full {!Server.t} (any {!Registry_intf.S}
+    backend).  Writes fan out: the replica that processes a registration
+    pushes it to every other replica over the transport.  Reads are served
+    by one replica — clients pick the closest {e believed-live} replica,
+    where "believed" is a {!Simkit.Failure_detector} fed by per-replica
+    heartbeats, and fail over to the next-closest on retry.  Replicas that
+    miss writes (crashed, partitioned, lossy links) are healed by periodic
+    anti-entropy built on {!Server.snapshot}/{!Server.restore}.
+
+    A {!single}-replica cluster degenerates to a plain server with no
+    transport, detector or replication machinery, so the direct protocol
+    path behaves exactly as it did before clusters existed. *)
+
+type t
+
+val single : router:Topology.Graph.node -> Server.t -> t
+(** Wrap one server as a 1-replica cluster: no transport, no failure
+    detector, no replication.  {!target} and {!start_sync} are unavailable
+    ([Invalid_argument]); {!handle_join} is the whole protocol. *)
+
+val create :
+  ?detector_config:Simkit.Failure_detector.config ->
+  transport:Simkit.Transport.t ->
+  client_router:Topology.Graph.node ->
+  make_server:(unit -> Server.t) ->
+  restore_server:(string -> (Server.t, string) result) ->
+  routers:Topology.Graph.node array ->
+  unit ->
+  t
+(** One replica per entry of [routers] (each built by [make_server], which
+    must produce servers over the same oracle and landmarks).  Starts a
+    heartbeat watch on every replica, monitored from [client_router].
+    [restore_server] rebuilds a replica from a snapshot during anti-entropy.
+    @raise Invalid_argument on an empty or duplicate router array. *)
+
+val replica_count : t -> int
+val replica_router : t -> int -> Topology.Graph.node
+val server_of : t -> int -> Server.t
+val is_alive : t -> int -> bool
+val live_count : t -> int
+
+val measurement_server : t -> Server.t
+(** Replica 0's server — the configuration authority clients measure
+    against (landmark set, probe config).  All replicas share these, so any
+    would do; fixing replica 0 keeps rng consumption deterministic. *)
+
+val graph : t -> Topology.Graph.t
+val trace : t -> Simkit.Trace.t
+(** Counters: ["cluster_register"], ["cluster_duplicate_register"],
+    ["cluster_replicate_send"/"_apply"/"_skip"], ["cluster_suspected"],
+    ["cluster_crashes"], ["cluster_recoveries"], ["cluster_sync_rounds"],
+    ["cluster_sync_union"], ["cluster_sync_restores"],
+    ["cluster_sync_bytes"]; stream ["cluster_recovery_ms"]. *)
+
+val replica_at : t -> router:Topology.Graph.node -> int option
+(** The replica hosted at [router], if any. *)
+
+val target : t -> src:Topology.Graph.node -> attempt:int -> int option
+(** Failover routing for attempt [n] (1-based) of an RPC from [src]:
+    believed-live replicas sorted by (one-way delay from [src], id), entry
+    [(n-1) mod live].  [None] when every replica is suspected.
+    @raise Invalid_argument on a {!single} cluster. *)
+
+val handle_registration :
+  t ->
+  replica:int ->
+  peer:int ->
+  attach_router:Topology.Graph.node ->
+  measurement:Server.measurement ->
+  k:int ->
+  (Server.peer_info * (int * int) list) option
+(** Server side of a resilient join RPC: register the client-measured path
+    on [replica], fan the write out to the other replicas, and answer the
+    neighbor query.  Idempotent — a retried RPC whose first reply was lost
+    re-answers without re-registering.  [None] when the replica is down
+    (the RPC times out). *)
+
+val handle_join :
+  ?rng:Prelude.Prng.t ->
+  t ->
+  replica:int ->
+  peer:int ->
+  attach_router:Topology.Graph.node ->
+  k:int ->
+  (Server.peer_info * (int * int) list) option
+(** Direct path: run both protocol rounds on one replica —
+    byte-for-byte the pre-cluster [Server.join] + [Server.neighbors]. *)
+
+val crash : t -> int -> unit
+(** Stop the replica: it answers no RPCs, applies no replication, sends no
+    heartbeats.  Its registered state survives (stable storage). *)
+
+val recover : t -> int -> unit
+(** Restart a crashed replica with its on-disk state.  Re-arms its
+    heartbeat watch from scratch — the fresh watch must not inherit the
+    crashed incarnation's silence timer.  The replica counts as recovered
+    (stream ["cluster_recovery_ms"]) when a sync round confirms its peer
+    set matches the cluster's. *)
+
+val sync_round : t -> unit
+(** One anti-entropy round over the live replicas: union missing
+    registrations into the most complete replica, then wholesale
+    {!Server.snapshot}/[restore] any straggler from it. *)
+
+val start_sync : t -> period_ms:float -> until:float -> unit
+(** Schedule {!sync_round} every [period_ms] up to engine time [until].
+    @raise Invalid_argument on a {!single} cluster or non-positive
+    period. *)
+
+val consistent : t -> bool
+(** Every live replica holds the same peer-id set. *)
+
+val check_invariants : t -> unit
+(** {!Server.check_invariants} on every replica, dead or alive. *)

@@ -1,21 +1,34 @@
+type mode = Direct | Resilient of { rpc : Simkit.Rpc.t }
+
 type t = {
   latency : Topology.Latency.t option;
   engine : Simkit.Engine.t;
-  server_router : Topology.Graph.node;
-  server : Server.t;
+  cluster : Cluster.t;
   oracle : Traceroute.Route_oracle.t;
+  mode : mode;
 }
 
 let create ?latency ~engine ~server_router server =
   {
     latency;
     engine;
-    server_router;
-    server;
+    cluster = Cluster.single ~router:server_router server;
     oracle = Traceroute.Route_oracle.create (Server.graph server);
+    mode = Direct;
   }
 
-let server t = t.server
+let create_resilient ?latency ~rpc cluster =
+  if Cluster.replica_count cluster < 1 then invalid_arg "Protocol.create_resilient: empty cluster";
+  {
+    latency;
+    engine = Simkit.Rpc.engine rpc;
+    cluster;
+    oracle = Traceroute.Route_oracle.create (Cluster.graph cluster);
+    mode = Resilient { rpc };
+  }
+
+let server t = Cluster.measurement_server t.cluster
+let cluster t = t.cluster
 
 let rtt t src dst = Traceroute.Probe.ping ?latency:t.latency t.oracle ~src ~dst
 
@@ -37,20 +50,66 @@ let round1_delay t ~attach_router =
   Array.fold_left
     (fun worst lmk -> Float.max worst (rtt t attach_router lmk))
     0.0
-    (Server.landmarks t.server)
+    (Server.landmarks (server t))
+
+(* The server router the final RPC is expected to pay its RTT to: the lone
+   replica in direct mode, the closest believed-live replica otherwise. *)
+let expected_server_router t ~attach_router =
+  match t.mode with
+  | Direct -> Cluster.replica_router t.cluster 0
+  | Resilient _ -> (
+      match Cluster.target t.cluster ~src:attach_router ~attempt:1 with
+      | Some replica -> Cluster.replica_router t.cluster replica
+      | None -> Cluster.replica_router t.cluster 0)
+
+let measurement_delay t ~attach_router =
+  let lmk, _ =
+    Landmark.closest t.oracle ?latency:t.latency
+      ~landmarks:(Server.landmarks (server t))
+      attach_router
+  in
+  round1_delay t ~attach_router +. traceroute_delay t ~src:attach_router ~dst:lmk
 
 let estimate_join_delay t ~attach_router =
-  let lmk, _ = Landmark.closest t.oracle ?latency:t.latency ~landmarks:(Server.landmarks t.server) attach_router in
-  round1_delay t ~attach_router
-  +. traceroute_delay t ~src:attach_router ~dst:lmk
-  +. rtt t attach_router t.server_router
+  measurement_delay t ~attach_router
+  +. rtt t attach_router (expected_server_router t ~attach_router)
 
-let join ?rng t ~peer ~attach_router ~k ~on_complete =
+let join_direct ?rng t ~peer ~attach_router ~k ~on_complete ~on_failure =
   let delay = estimate_join_delay t ~attach_router in
   Simkit.Engine.schedule t.engine ~delay (fun () ->
-      let info = Server.join ?rng t.server ~peer ~attach_router in
-      let reply = Server.neighbors t.server ~peer ~k in
-      on_complete info reply)
+      match Cluster.handle_join ?rng t.cluster ~replica:0 ~peer ~attach_router ~k with
+      | Some (info, reply) -> on_complete info reply
+      | None -> on_failure ())
+
+(* Resilient join: the newcomer measures locally (same rng draws, same
+   probe accounting as the direct path), then ships the recorded path to
+   the cluster through the retrying RPC layer.  Retries resend the same
+   measurement — the client does not re-traceroute on a lost packet. *)
+let join_resilient ?rng t ~rpc ~peer ~attach_router ~k ~on_complete ~on_failure =
+  let measurement = Server.measure ?rng (server t) ~attach_router in
+  let request_bytes =
+    Wire.byte_size (Wire.Path_report { peer; path = Server.measurement_path measurement })
+    + Wire.byte_size (Wire.Neighbor_request { peer; k })
+  in
+  let reply_bytes (_, reply) = Wire.byte_size (Wire.Neighbor_reply { peer; neighbors = reply }) in
+  Simkit.Engine.schedule t.engine ~delay:(Server.measurement_duration_ms measurement) (fun () ->
+      Simkit.Rpc.call rpc ~src:attach_router
+        ~dst:(fun ~attempt ->
+          Cluster.target t.cluster ~src:attach_router ~attempt
+          |> Option.map (Cluster.replica_router t.cluster))
+        ~request_bytes ~reply_bytes
+        ~handle:(fun ~dst ->
+          match Cluster.replica_at t.cluster ~router:dst with
+          | None -> None
+          | Some replica ->
+              Cluster.handle_registration t.cluster ~replica ~peer ~attach_router ~measurement ~k)
+        ~on_reply:(fun (info, reply) -> on_complete info reply)
+        ~on_give_up:on_failure)
+
+let join ?rng ?(on_failure = fun () -> ()) t ~peer ~attach_router ~k ~on_complete =
+  match t.mode with
+  | Direct -> join_direct ?rng t ~peer ~attach_router ~k ~on_complete ~on_failure
+  | Resilient { rpc } -> join_resilient ?rng t ~rpc ~peer ~attach_router ~k ~on_complete ~on_failure
 
 let vivaldi_setup_delay ~rounds ~round_period_ms =
   if rounds < 0 || round_period_ms < 0.0 then invalid_arg "Protocol.vivaldi_setup_delay: negative input";

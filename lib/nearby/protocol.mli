@@ -10,7 +10,16 @@
       the per-hop RTTs accumulate), then one RPC to the management server;
     - Vivaldi: the newcomer is only done after [rounds] gossip rounds of
       [round_period_ms] each (plus nothing else — we even grant it free
-      server access to the coordinate directory). *)
+      server access to the coordinate directory).
+
+    Two server paths share the measurement phase.  The {e direct} path
+    ({!create}) schedules the whole join as one event against a single
+    server — the original behavior, preserved byte-for-byte.  The
+    {e resilient} path ({!create_resilient}) issues the server round
+    through {!Simkit.Rpc} against a {!Cluster}: per-call timeouts, retries
+    with backoff, and failover to another replica when the closest one is
+    suspected.  Either way a join now always terminates — [on_complete] or
+    [on_failure], never a silent stall. *)
 
 type t
 
@@ -20,13 +29,24 @@ val create :
   server_router:Topology.Graph.node ->
   Server.t ->
   t
-(** [server_router] is where the management server is attached; the final
-    RPC pays the RTT to it. *)
+(** Direct path: one server attached at [server_router]; the final RPC pays
+    the RTT to it.  Equivalent to a 1-replica cluster with a loss-free
+    network. *)
+
+val create_resilient :
+  ?latency:Topology.Latency.t -> rpc:Simkit.Rpc.t -> Cluster.t -> t
+(** Resilient path: joins measure locally, then register through [rpc]
+    against the cluster, failing over between replicas per
+    {!Cluster.target}.  The engine is the RPC layer's engine. *)
 
 val server : t -> Server.t
+(** The configuration-authority server (replica 0 of the cluster). *)
+
+val cluster : t -> Cluster.t
 
 val join :
   ?rng:Prelude.Prng.t ->
+  ?on_failure:(unit -> unit) ->
   t ->
   peer:int ->
   attach_router:Topology.Graph.node ->
@@ -36,11 +56,16 @@ val join :
 (** Schedule the full two-round join starting now; [on_complete] fires at
     the simulated completion time with the registration info and the
     neighbor reply.  State changes (registration) happen at reply time, not
-    at call time. *)
+    at call time.  When the server round cannot complete — every RPC
+    attempt timed out, or the lone direct server is down — [on_failure]
+    (default: do nothing) fires instead; exactly one of the two callbacks
+    runs per join. *)
 
 val estimate_join_delay : t -> attach_router:Topology.Graph.node -> float
-(** The deterministic protocol time [join] will charge from this router
-    (no jitter): max landmark RTT + sequential traceroute + server RTT. *)
+(** The deterministic protocol time a loss-free [join] charges from this
+    router (no jitter): max landmark RTT + sequential traceroute + RTT to
+    the expected server replica (direct server, or the closest
+    believed-live one). *)
 
 val vivaldi_setup_delay : rounds:int -> round_period_ms:float -> float
 (** Time before a Vivaldi newcomer has completed the given number of

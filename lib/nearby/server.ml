@@ -78,9 +78,11 @@ let registry_stats t =
   Registry_intf.merge_stats
     (Hashtbl.fold (fun _ reg acc -> Registry_intf.stats reg :: acc) t.registries [])
 
+let peer_ids t = Hashtbl.fold (fun peer _ acc -> peer :: acc) t.peers [] |> List.sort compare
+
 (* Everything one join measured, kept so spans and per-phase stats can
    report simulated durations alongside the recorded path. *)
-type recorded = {
+type measurement = {
   lmk : Topology.Graph.node;
   reduced : Traceroute.Path.t;
   cost : int;  (* total probe packets *)
@@ -117,6 +119,12 @@ let record_path ?rng t ~attach_router =
   in
   { lmk; reduced; cost; round1_pings; ping_rtt_ms; traceroute_ms; full_hops }
 
+let measure = record_path
+let measurement_landmark m = m.lmk
+let measurement_path m = m.reduced
+let measurement_probes m = m.cost
+let measurement_duration_ms m = m.ping_rtt_ms +. m.traceroute_ms
+
 let registrable_path ~landmark path =
   (* The tree stores identified routers only; an incomplete trace is repaired
      by appending the landmark itself (the newcomer knows whom it probed). *)
@@ -151,9 +159,12 @@ let flush_spans t =
   Hashtbl.fold (fun peer _ acc -> peer :: acc) t.open_joins []
   |> List.iter (fun peer -> close_join_span t ~peer)
 
-let join ?rng t ~peer ~attach_router =
-  if Hashtbl.mem t.peers peer then invalid_arg "Server.join: peer already registered";
-  let r = record_path ?rng t ~attach_router in
+(* Round 2 server side: store a client-measured path and answer the join
+   counters/spans.  Split from [join] so a replicated cluster can measure
+   once at the client and register the same measurement on any replica. *)
+let register_measured t ~peer ~attach_router (r : measurement) =
+  if Hashtbl.mem t.peers peer then
+    invalid_arg "Server.register_measured: peer already registered";
   let landmark = r.lmk and recorded_path = r.reduced and probes_spent = r.cost in
   let routers = registrable_path ~landmark recorded_path in
   Registry_intf.insert (registry_of t landmark) ~peer ~routers;
@@ -202,6 +213,23 @@ let join ?rng t ~peer ~attach_router =
     Hashtbl.replace t.open_joins peer t0
   end;
   info
+
+let join ?rng t ~peer ~attach_router =
+  if Hashtbl.mem t.peers peer then invalid_arg "Server.join: peer already registered";
+  register_measured t ~peer ~attach_router (measure ?rng t ~attach_router)
+
+(* Replication apply: a peer measured and registered elsewhere lands here
+   verbatim.  No join counters or spans — this is cluster traffic, not a
+   protocol join — only the [replica_register] counter. *)
+let register_replica t ~peer ~attach_router ~landmark ~path ~probes_spent =
+  if Hashtbl.mem t.peers peer then
+    invalid_arg "Server.register_replica: peer already registered";
+  if not (Array.mem landmark t.landmark_ids) then
+    invalid_arg "Server.register_replica: unknown landmark";
+  let routers = registrable_path ~landmark path in
+  Registry_intf.insert (registry_of t landmark) ~peer ~routers;
+  Hashtbl.add t.peers peer { attach_router; landmark; recorded_path = path; probes_spent };
+  Simkit.Trace.incr t.trace "replica_register"
 
 (* Landmarks ordered by hop distance from the peer's landmark: the top-up
    order when the home tree runs dry. *)

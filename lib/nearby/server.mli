@@ -63,7 +63,52 @@ val info : t -> int -> peer_info option
 val join : ?rng:Prelude.Prng.t -> t -> peer:int -> attach_router:Topology.Graph.node -> peer_info
 (** Execute both protocol rounds for a newcomer.  Deterministic without
     [rng] (perfect probes); with [rng], probe drops and RTT noise apply.
+    Exactly [register_measured] of [measure].
     @raise Invalid_argument when the peer id is already registered. *)
+
+(** {1 Split join — the replication seam}
+
+    A replicated cluster measures once at the client and registers the same
+    recorded path on several replicas, so the two halves of {!join} are
+    exposed separately. *)
+
+type measurement
+(** One newcomer's round-1 output: chosen landmark, recorded (possibly
+    truncated) path, probe cost and the per-phase simulated durations. *)
+
+val measure : ?rng:Prelude.Prng.t -> t -> attach_router:Topology.Graph.node -> measurement
+(** Round 1 only: ping the landmarks, traceroute toward the winner,
+    truncate.  Pure measurement — consumes rng draws but registers
+    nothing and touches no counter. *)
+
+val measurement_landmark : measurement -> Topology.Graph.node
+val measurement_path : measurement -> Traceroute.Path.t
+val measurement_probes : measurement -> int
+(** Total probe packets the measurement cost. *)
+
+val measurement_duration_ms : measurement -> float
+(** Simulated ping-round + traceroute time. *)
+
+val register_measured :
+  t -> peer:int -> attach_router:Topology.Graph.node -> measurement -> peer_info
+(** Round 2 server side: register the measured path and account the join
+    (counters, spans).  @raise Invalid_argument when already registered. *)
+
+val register_replica :
+  t ->
+  peer:int ->
+  attach_router:Topology.Graph.node ->
+  landmark:Topology.Graph.node ->
+  path:Traceroute.Path.t ->
+  probes_spent:int ->
+  unit
+(** Replication apply: store a registration measured and accounted on
+    another replica.  Bumps only the ["replica_register"] counter — no join
+    counters, no spans.  @raise Invalid_argument when the peer is already
+    registered or the landmark is unknown. *)
+
+val peer_ids : t -> int list
+(** Registered peer ids, ascending — the anti-entropy comparison key. *)
 
 val neighbors : t -> peer:int -> k:int -> (int * int) list
 (** [(peer, inferred distance)] ascending, at most [k], never containing the

@@ -1,0 +1,103 @@
+type action =
+  | Crash_replica of int
+  | Recover_replica of int
+  | Set_loss of float
+  | Partition of Topology.Graph.node list
+  | Heal_partition
+
+type step = { at : float; action : action }
+type t = { name : string; steps : step list }
+
+type hooks = {
+  crash_replica : int -> unit;
+  recover_replica : int -> unit;
+  set_loss : float -> unit;
+  partition : Topology.Graph.node list -> unit;
+  heal_partition : unit -> unit;
+}
+
+let null_hooks =
+  {
+    crash_replica = (fun _ -> ());
+    recover_replica = (fun _ -> ());
+    set_loss = (fun _ -> ());
+    partition = (fun _ -> ());
+    heal_partition = (fun () -> ());
+  }
+
+let validate t =
+  let rec go last = function
+    | [] -> Ok ()
+    | { at; action } :: rest ->
+        if at < 0.0 then Error (Printf.sprintf "scenario %s: negative step time %g" t.name at)
+        else if at < last then
+          Error (Printf.sprintf "scenario %s: steps out of order at t=%g" t.name at)
+        else begin
+          match action with
+          | Set_loss p when p < 0.0 || p >= 1.0 ->
+              Error (Printf.sprintf "scenario %s: loss %g outside [0, 1)" t.name p)
+          | Crash_replica i | Recover_replica i when i < 0 ->
+              Error (Printf.sprintf "scenario %s: negative replica id %d" t.name i)
+          | _ -> go at rest
+        end
+  in
+  go 0.0 t.steps
+
+let install t ~engine ~hooks =
+  (match validate t with Ok () -> () | Error e -> invalid_arg ("Fault.install: " ^ e));
+  List.iter
+    (fun { at; action } ->
+      Engine.schedule_at engine ~time:at (fun () ->
+          match action with
+          | Crash_replica i -> hooks.crash_replica i
+          | Recover_replica i -> hooks.recover_replica i
+          | Set_loss p -> hooks.set_loss p
+          | Partition nodes -> hooks.partition nodes
+          | Heal_partition -> hooks.heal_partition ()))
+    t.steps
+
+(* --- Named timelines --------------------------------------------------- *)
+
+let none = { name = "none"; steps = [] }
+
+let crash_primary ?(replica = 0) ~crash_at ~recover_at () =
+  if recover_at <= crash_at then invalid_arg "Fault.crash_primary: recover_at <= crash_at";
+  {
+    name = "crash-primary";
+    steps =
+      [
+        { at = crash_at; action = Crash_replica replica };
+        { at = recover_at; action = Recover_replica replica };
+      ];
+  }
+
+let loss_burst ?(base = 0.0) ~from_ms ~until_ms ~loss () =
+  if until_ms <= from_ms then invalid_arg "Fault.loss_burst: until_ms <= from_ms";
+  {
+    name = "loss-burst";
+    steps =
+      [ { at = from_ms; action = Set_loss loss }; { at = until_ms; action = Set_loss base } ];
+  }
+
+let partition_window ~from_ms ~until_ms ~nodes () =
+  if until_ms <= from_ms then invalid_arg "Fault.partition_window: until_ms <= from_ms";
+  {
+    name = "partition";
+    steps =
+      [ { at = from_ms; action = Partition nodes }; { at = until_ms; action = Heal_partition } ];
+  }
+
+let action_to_string = function
+  | Crash_replica i -> Printf.sprintf "crash replica %d" i
+  | Recover_replica i -> Printf.sprintf "recover replica %d" i
+  | Set_loss p -> Printf.sprintf "set loss %.2f" p
+  | Partition nodes -> Printf.sprintf "partition %d routers" (List.length nodes)
+  | Heal_partition -> "heal partition"
+
+let describe t =
+  match t.steps with
+  | [] -> Printf.sprintf "%s: no faults" t.name
+  | steps ->
+      Printf.sprintf "%s: %s" t.name
+        (String.concat "; "
+           (List.map (fun { at; action } -> Printf.sprintf "t=%.0f %s" at (action_to_string action)) steps))

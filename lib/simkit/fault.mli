@@ -1,0 +1,60 @@
+(** Scripted fault scenarios on the engine clock.
+
+    A scenario is a named timeline of fault actions — crash or recover a
+    server replica, change the transport's loss probability for a window,
+    cut a router subtree off the network — that {!install} schedules as
+    ordinary engine events.  The actions fire through a {!hooks} record
+    supplied by the caller, so this module knows nothing about clusters or
+    transports; experiments wire the hooks to {!Transport.set_loss_prob},
+    {!Transport.set_partition_nodes} and the cluster's crash/recover
+    operations, and can then replay a named failure timeline identically
+    across runs and replica counts. *)
+
+type action =
+  | Crash_replica of int  (** Replica index within the cluster. *)
+  | Recover_replica of int
+  | Set_loss of float  (** Absolute loss probability from this instant on. *)
+  | Partition of Topology.Graph.node list
+      (** Cut the listed routers off from everything else. *)
+  | Heal_partition
+
+type step = { at : float;  (** Absolute engine time, ms. *) action : action }
+type t = { name : string; steps : step list }
+
+type hooks = {
+  crash_replica : int -> unit;
+  recover_replica : int -> unit;
+  set_loss : float -> unit;
+  partition : Topology.Graph.node list -> unit;
+  heal_partition : unit -> unit;
+}
+
+val null_hooks : hooks
+(** Every hook is a no-op; override the fields a harness cares about. *)
+
+val validate : t -> (unit, string) result
+(** Steps must be time-ordered with non-negative times, loss values in
+    [0, 1) and replica ids non-negative. *)
+
+val install : t -> engine:Engine.t -> hooks:hooks -> unit
+(** Schedule every step.  @raise Invalid_argument when {!validate} fails. *)
+
+(** {1 Named timelines} *)
+
+val none : t
+(** The empty scenario (baseline runs). *)
+
+val crash_primary : ?replica:int -> crash_at:float -> recover_at:float -> unit -> t
+(** Crash replica [replica] (default 0, the primary) at [crash_at] and
+    bring it back at [recover_at].  @raise Invalid_argument unless
+    [crash_at < recover_at]. *)
+
+val loss_burst : ?base:float -> from_ms:float -> until_ms:float -> loss:float -> unit -> t
+(** Raise the loss probability to [loss] during the window, then restore
+    [base] (default 0). *)
+
+val partition_window : from_ms:float -> until_ms:float -> nodes:Topology.Graph.node list -> unit -> t
+(** Cut [nodes] off from the rest of the map during the window. *)
+
+val describe : t -> string
+(** One human-readable line: name plus each step. *)

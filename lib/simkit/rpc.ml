@@ -1,0 +1,105 @@
+type config = {
+  timeout_ms : float;
+  max_attempts : int;
+  backoff_base_ms : float;
+  backoff_multiplier : float;
+  jitter_frac : float;
+}
+
+let default_config =
+  {
+    timeout_ms = 1_000.0;
+    max_attempts = 4;
+    backoff_base_ms = 200.0;
+    backoff_multiplier = 2.0;
+    jitter_frac = 0.2;
+  }
+
+let validate_config c =
+  if c.timeout_ms <= 0.0 then invalid_arg "Rpc: timeout_ms must be positive";
+  if c.max_attempts < 1 then invalid_arg "Rpc: max_attempts must be at least 1";
+  if c.backoff_base_ms < 0.0 then invalid_arg "Rpc: backoff_base_ms must be non-negative";
+  if c.backoff_multiplier < 1.0 then invalid_arg "Rpc: backoff_multiplier must be >= 1";
+  if c.jitter_frac < 0.0 || c.jitter_frac >= 1.0 then
+    invalid_arg "Rpc: jitter_frac outside [0, 1)"
+
+type t = {
+  config : config;
+  transport : Transport.t;
+  rng : Prelude.Prng.t option;
+  trace : Trace.t;
+}
+
+let create ?(config = default_config) ?rng ?trace transport =
+  validate_config config;
+  let trace = match trace with Some t -> t | None -> Trace.create () in
+  { config; transport; rng; trace }
+
+let trace t = t.trace
+let config t = t.config
+let engine t = Transport.engine t.transport
+
+(* Backoff before attempt [n+1] after attempt [n] timed out:
+   base * multiplier^(n-1), spread by +-jitter_frac so a burst of calls that
+   timed out together does not retry in lockstep (the thundering-herd
+   avoidance every retry loop needs). *)
+let backoff_ms t ~attempt =
+  let raw =
+    t.config.backoff_base_ms *. (t.config.backoff_multiplier ** float_of_int (attempt - 1))
+  in
+  match t.rng with
+  | Some rng when t.config.jitter_frac > 0.0 ->
+      let spread = t.config.jitter_frac *. ((2.0 *. Prelude.Prng.unit_float rng) -. 1.0) in
+      raw *. (1.0 +. spread)
+  | _ -> raw
+
+let call t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_give_up =
+  let engine = engine t in
+  Trace.incr t.trace "rpc_calls";
+  let started_at = Engine.now engine in
+  (* One cell per call: the first reply to arrive settles it; later replies
+     from slower attempts and stale timeout events are ignored. *)
+  let settled = ref false in
+  let give_up () =
+    settled := true;
+    Trace.incr t.trace "rpc_gave_up";
+    on_give_up ()
+  in
+  let rec attempt n =
+    if not !settled then begin
+      if n > t.config.max_attempts then give_up ()
+      else begin
+        Trace.incr t.trace "rpc_attempts";
+        if n > 1 then Trace.incr t.trace "rpc_retries";
+        (match dst ~attempt:n with
+        | None ->
+            (* No live target known right now; the backoff below doubles as
+               a wait for one to come back. *)
+            Trace.incr t.trace "rpc_no_target"
+        | Some target ->
+            Transport.send t.transport ~src ~dst:target ~size_bytes:request_bytes (fun () ->
+                match handle ~dst:target with
+                | None ->
+                    (* The server was down when the request arrived: it is
+                       consumed without a reply, exactly like a lost one. *)
+                    Trace.incr t.trace "rpc_unserved"
+                | Some v ->
+                    Transport.send t.transport ~src:target ~dst:src ~size_bytes:(reply_bytes v)
+                      (fun () ->
+                        if not !settled then begin
+                          settled := true;
+                          Trace.incr t.trace "rpc_ok";
+                          Trace.observe t.trace "rpc_latency_ms" (Engine.now engine -. started_at);
+                          on_reply v
+                        end)));
+        Engine.schedule engine ~delay:t.config.timeout_ms (fun () ->
+            if not !settled then begin
+              Trace.incr t.trace "rpc_timeouts";
+              if n >= t.config.max_attempts then give_up ()
+              else
+                Engine.schedule engine ~delay:(backoff_ms t ~attempt:n) (fun () -> attempt (n + 1))
+            end)
+      end
+    end
+  in
+  attempt 1

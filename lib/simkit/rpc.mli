@@ -1,0 +1,74 @@
+(** Resilient request/response over {!Transport}.
+
+    {!Transport.rpc} is fire-and-forget: one lost leg and the caller's
+    handler never runs.  This layer adds the client-side state machine a
+    real deployment needs — per-call timeout, bounded retries with
+    exponentially growing jittered backoff, and per-attempt target
+    re-selection (so a retry can fail over to another server replica) —
+    and counts every outcome into a {!Trace}.
+
+    Per-call life cycle:
+    + attempt [n] asks [dst ~attempt:n] for a target and sends the request;
+    + if the reply arrives within [timeout_ms], the call {e settles}:
+      [on_reply] fires exactly once, even if slower duplicate replies from
+      earlier attempts arrive later;
+    + on timeout, wait [backoff_base_ms * multiplier^(n-1)] (spread by
+      [+-jitter_frac]) and retry;
+    + after [max_attempts] timeouts, [on_give_up] fires — a call {e always}
+      terminates, which is what fixes the silent-stall joins under loss.
+
+    Retries re-execute the server-side [handle] when both the original
+    request and its retry get through, so handlers must be idempotent. *)
+
+type t
+
+type config = {
+  timeout_ms : float;  (** Per-attempt reply deadline. *)
+  max_attempts : int;  (** Total attempts (first try included). *)
+  backoff_base_ms : float;  (** Wait after the first timeout. *)
+  backoff_multiplier : float;  (** Growth factor per further timeout. *)
+  jitter_frac : float;
+      (** Uniform spread of each backoff in [[1-j, 1+j]]; needs the [rng]
+          passed to {!create} to take effect. *)
+}
+
+val default_config : config
+(** 1 s timeout, 4 attempts, 200 ms base backoff doubling per retry,
+    20% jitter. *)
+
+val create : ?config:config -> ?rng:Prelude.Prng.t -> ?trace:Trace.t -> Transport.t -> t
+(** @raise Invalid_argument on a non-positive timeout, [max_attempts < 1],
+    negative backoff, multiplier below 1 or jitter outside [0, 1). *)
+
+val call :
+  t ->
+  src:Topology.Graph.node ->
+  dst:(attempt:int -> Topology.Graph.node option) ->
+  request_bytes:int ->
+  reply_bytes:('a -> int) ->
+  handle:(dst:Topology.Graph.node -> 'a option) ->
+  on_reply:('a -> unit) ->
+  on_give_up:(unit -> unit) ->
+  unit
+(** [dst ~attempt] picks the target for each attempt (1-based) — return a
+    different replica on retries for client-side failover, or [None] when
+    no target is believed live (the attempt is skipped but still consumes
+    one of the [max_attempts], with the backoff doubling as a wait for a
+    target to return).  [handle ~dst] runs at the target when the request
+    arrives: [Some v] sends [v] back in a reply of [reply_bytes v] bytes,
+    [None] means the server was down and the request died unanswered.
+    Exactly one of [on_reply] / [on_give_up] fires per call. *)
+
+val backoff_ms : t -> attempt:int -> float
+(** The (jittered) backoff charged after attempt [attempt] times out —
+    consumes a draw from the rng when jitter is active. *)
+
+val trace : t -> Trace.t
+(** Outcome counters: ["rpc_calls"], ["rpc_attempts"], ["rpc_retries"],
+    ["rpc_timeouts"], ["rpc_ok"], ["rpc_gave_up"], ["rpc_no_target"]
+    (attempts skipped for want of a live target), ["rpc_unserved"]
+    (requests that reached a down server); stream ["rpc_latency_ms"]
+    (call start to settled reply, simulated ms). *)
+
+val config : t -> config
+val engine : t -> Engine.t

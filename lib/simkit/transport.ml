@@ -3,19 +3,57 @@ type t = {
   oracle : Traceroute.Route_oracle.t;
   latency : Topology.Latency.t option;
   rng : Prelude.Prng.t option;
-  loss_prob : float;
+  mutable loss_prob : float;
+  mutable partition : (Topology.Graph.node, unit) Hashtbl.t option;
   mutable messages : int;
   mutable bytes : int;
   mutable link_bytes : int;
-  mutable dropped : int;
+  mutable dropped_loss : int;
+  mutable dropped_unreachable : int;
+  mutable dropped_partition : int;
 }
 
+let check_loss_prob ~who ~rng loss_prob =
+  if loss_prob < 0.0 || loss_prob >= 1.0 then
+    invalid_arg (who ^ ": loss_prob outside [0, 1)");
+  if loss_prob > 0.0 && rng = None then invalid_arg (who ^ ": loss_prob needs ~rng")
+
 let create ?latency ?rng ?(loss_prob = 0.0) engine oracle =
-  if loss_prob < 0.0 || loss_prob >= 1.0 then invalid_arg "Transport.create: loss_prob outside [0, 1)";
-  if loss_prob > 0.0 && rng = None then invalid_arg "Transport.create: loss_prob needs ~rng";
-  { engine; oracle; latency; rng; loss_prob; messages = 0; bytes = 0; link_bytes = 0; dropped = 0 }
+  check_loss_prob ~who:"Transport.create" ~rng loss_prob;
+  {
+    engine;
+    oracle;
+    latency;
+    rng;
+    loss_prob;
+    partition = None;
+    messages = 0;
+    bytes = 0;
+    link_bytes = 0;
+    dropped_loss = 0;
+    dropped_unreachable = 0;
+    dropped_partition = 0;
+  }
 
 let engine t = t.engine
+
+let set_loss_prob t loss_prob =
+  check_loss_prob ~who:"Transport.set_loss_prob" ~rng:t.rng loss_prob;
+  t.loss_prob <- loss_prob
+
+let loss_prob t = t.loss_prob
+
+let set_partition_nodes t nodes =
+  let cut = Hashtbl.create (List.length nodes) in
+  List.iter (fun node -> Hashtbl.replace cut node ()) nodes;
+  t.partition <- Some cut
+
+let clear_partition t = t.partition <- None
+
+let partitioned t ~src ~dst =
+  match t.partition with
+  | None -> false
+  | Some cut -> Hashtbl.mem cut src <> Hashtbl.mem cut dst
 
 let one_way_delay t ~src ~dst =
   match Traceroute.Route_oracle.route t.oracle ~src ~dst with
@@ -36,7 +74,9 @@ let lost t =
 
 let send t ~src ~dst ~size_bytes handler =
   let delay = one_way_delay t ~src ~dst in
-  if delay = infinity || lost t then t.dropped <- t.dropped + 1
+  if delay = infinity then t.dropped_unreachable <- t.dropped_unreachable + 1
+  else if partitioned t ~src ~dst then t.dropped_partition <- t.dropped_partition + 1
+  else if lost t then t.dropped_loss <- t.dropped_loss + 1
   else begin
     t.messages <- t.messages + 1;
     t.bytes <- t.bytes + size_bytes;
@@ -45,6 +85,10 @@ let send t ~src ~dst ~size_bytes handler =
     Engine.schedule t.engine ~delay:(jitter t delay) handler
   end
 
+(* Loss is drawn independently per leg: the request's Bernoulli draw happens
+   at call time, the reply's at request-delivery time.  Either leg dying
+   alone kills the RTT — the failure probability of an RPC under loss p is
+   1 - (1-p)^2, not p. *)
 let rpc t ~src ~dst ~request_bytes ~reply_bytes handler =
   send t ~src ~dst ~size_bytes:request_bytes (fun () ->
       send t ~src:dst ~dst:src ~size_bytes:reply_bytes handler)
@@ -52,4 +96,17 @@ let rpc t ~src ~dst ~request_bytes ~reply_bytes handler =
 let messages_sent t = t.messages
 let link_bytes t = t.link_bytes
 let bytes_sent t = t.bytes
-let messages_dropped t = t.dropped
+let dropped_loss t = t.dropped_loss
+let dropped_unreachable t = t.dropped_unreachable
+let dropped_partition t = t.dropped_partition
+let messages_dropped t = t.dropped_loss + t.dropped_unreachable + t.dropped_partition
+
+let stats t =
+  [
+    ("messages", t.messages);
+    ("bytes", t.bytes);
+    ("link_bytes", t.link_bytes);
+    ("dropped_loss", t.dropped_loss);
+    ("dropped_unreachable", t.dropped_unreachable);
+    ("dropped_partition", t.dropped_partition);
+  ]

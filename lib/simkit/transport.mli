@@ -2,7 +2,17 @@
 
     One-way delay is the forwarding-route latency between the attachment
     routers (halved ping); delivery is an engine event.  Message and byte
-    counters feed the protocol-cost reports. *)
+    counters feed the protocol-cost reports.
+
+    Fault injection is three independent mechanisms, each counted in its
+    own drop bucket:
+    - {e loss}: every message is dropped with probability [loss_prob],
+      drawn independently per message (so the two legs of an {!rpc} fail
+      independently); mutable at runtime via {!set_loss_prob} for scripted
+      loss windows (see {!Fault});
+    - {e unreachable}: no forwarding route between the routers;
+    - {e partition}: a scripted cut ({!set_partition_nodes}) dropping every
+      message that crosses the partition boundary. *)
 
 type t
 
@@ -21,11 +31,27 @@ val create :
 
 val engine : t -> Engine.t
 
+val set_loss_prob : t -> float -> unit
+(** Change the loss probability mid-run (scripted loss windows).
+    @raise Invalid_argument if outside [0, 1) or positive without the
+    transport having been created with [~rng]. *)
+
+val loss_prob : t -> float
+
+val set_partition_nodes : t -> Topology.Graph.node list -> unit
+(** Install a network partition: every message between a listed router and
+    an unlisted one is dropped (counted as [dropped_partition]); traffic
+    within either side flows normally.  Replaces any previous partition. *)
+
+val clear_partition : t -> unit
+(** Heal the partition. *)
+
 val send :
   t -> src:Topology.Graph.node -> dst:Topology.Graph.node -> size_bytes:int -> (unit -> unit) -> unit
 (** [send t ~src ~dst ~size_bytes handler] delivers [handler] after the
-    one-way delay.  Messages between unreachable routers are dropped
-    (counted). *)
+    one-way delay.  Messages between unreachable routers, across a
+    partition, or hit by loss injection are dropped (each counted in its
+    bucket). *)
 
 val rpc :
   t ->
@@ -35,7 +61,10 @@ val rpc :
   reply_bytes:int ->
   (unit -> unit) ->
   unit
-(** Request + reply: the handler fires after a full RTT. *)
+(** Request + reply: the handler fires after a full RTT.  Loss injection is
+    drawn independently for the request and the reply leg, so the RPC
+    failure probability under loss [p] is [1 - (1-p)^2].  No timeout or
+    retry — that is {!Rpc}'s job. *)
 
 val one_way_delay : t -> src:Topology.Graph.node -> dst:Topology.Graph.node -> float
 (** The delay [send] would use right now (jitter-free). *)
@@ -47,4 +76,19 @@ val link_bytes : t -> int
     traversed] — the quantity that topology-aware overlays reduce even when
     end-to-end byte counts are equal. *)
 
+val dropped_loss : t -> int
+(** Messages killed by loss injection. *)
+
+val dropped_unreachable : t -> int
+(** Messages between routers with no forwarding route. *)
+
+val dropped_partition : t -> int
+(** Messages that crossed a scripted partition boundary. *)
+
 val messages_dropped : t -> int
+(** All drop buckets summed. *)
+
+val stats : t -> (string * int) list
+(** The full counter breakdown as an assoc list: [messages], [bytes],
+    [link_bytes], [dropped_loss], [dropped_unreachable],
+    [dropped_partition]. *)

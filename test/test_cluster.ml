@@ -1,0 +1,280 @@
+(* Cluster: replicated management tier — direct-path equivalence, write
+   fan-out, crash/failover, anti-entropy, and join termination under loss. *)
+
+let detector_config =
+  { Simkit.Failure_detector.heartbeat_period_ms = 100.0; timeout_ms = 350.0; heartbeat_bytes = 32 }
+
+let rpc_config =
+  {
+    Simkit.Rpc.timeout_ms = 100.0;
+    max_attempts = 4;
+    backoff_base_ms = 50.0;
+    backoff_multiplier = 2.0;
+    jitter_frac = 0.0;
+  }
+
+type fixture = {
+  map : Topology.Gen_magoni.t;
+  oracle : Traceroute.Route_oracle.t;
+  landmarks : Topology.Graph.node array;
+  replica_routers : Topology.Graph.node array;
+  engine : Simkit.Engine.t;
+  transport : Simkit.Transport.t;
+}
+
+let fixture ?(routers = 300) ?(replicas = 3) ?rng ?loss_prob ~seed () =
+  let map = Topology.Gen_magoni.generate (Topology.Gen_magoni.default_params routers) ~seed in
+  let oracle = Traceroute.Route_oracle.create map.graph in
+  let place_rng = Prelude.Prng.create (seed + 1000) in
+  let landmarks =
+    Nearby.Landmark.place map.graph Nearby.Landmark.Medium_degree ~count:3 ~rng:place_rng
+  in
+  let replica_routers =
+    Nearby.Landmark.place map.graph Nearby.Landmark.High_degree ~count:replicas ~rng:place_rng
+  in
+  let engine = Simkit.Engine.create () in
+  let transport = Simkit.Transport.create ?rng ?loss_prob engine oracle in
+  { map; oracle; landmarks; replica_routers; engine; transport }
+
+let make_server fx () = Nearby.Server.create fx.oracle ~landmarks:fx.landmarks
+
+let make_cluster ?(detector_config = detector_config) fx =
+  Nearby.Cluster.create ~detector_config ~transport:fx.transport
+    ~client_router:fx.map.core.(0) ~make_server:(make_server fx)
+    ~restore_server:(fun data -> Nearby.Server.restore fx.oracle data)
+    ~routers:fx.replica_routers ()
+
+(* Run [peers] joins through [protocol], one every [spacing] ms, and return
+   (completed replies by peer, failed count). *)
+let run_joins ?(spacing = 10.0) fx protocol ~peers ~k ~horizon =
+  let replies = Hashtbl.create peers in
+  let failed = ref 0 in
+  for peer = 0 to peers - 1 do
+    Simkit.Engine.schedule_at fx.engine ~time:(float_of_int peer *. spacing) (fun () ->
+        Nearby.Protocol.join protocol ~peer
+          ~attach_router:fx.map.leaves.(peer mod Array.length fx.map.leaves)
+          ~k
+          ~on_complete:(fun _info reply -> Hashtbl.replace replies peer reply)
+          ~on_failure:(fun () -> incr failed))
+  done;
+  Simkit.Engine.run fx.engine ~until:horizon;
+  (replies, !failed)
+
+(* Arrival spacing wide enough that every join finishes before the next
+   one starts (join delays are tens of ms on these maps): registration
+   order is then the arrival order in every implementation, so replies can
+   be compared content-for-content. *)
+let serial_spacing = 500.0
+
+let test_direct_path_matches_plain_server () =
+  (* The 1-replica direct path must reproduce the pre-cluster protocol
+     exactly: same neighbor replies, same server-side accounting. *)
+  let fx = fixture ~seed:21 () in
+  let peers = 15 and k = 4 in
+  let reference = make_server fx () in
+  let expected =
+    List.init peers (fun peer ->
+        ignore
+          (Nearby.Server.join reference ~peer
+             ~attach_router:fx.map.leaves.(peer mod Array.length fx.map.leaves));
+        Nearby.Server.neighbors reference ~peer ~k)
+  in
+  let server = make_server fx () in
+  let protocol =
+    Nearby.Protocol.create ~engine:fx.engine ~server_router:fx.replica_routers.(0) server
+  in
+  let replies, failed =
+    run_joins ~spacing:serial_spacing fx protocol ~peers ~k ~horizon:60_000.0
+  in
+  Alcotest.(check int) "no failures" 0 failed;
+  Alcotest.(check int) "all completed" peers (Hashtbl.length replies);
+  List.iteri
+    (fun peer expect ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "peer %d reply identical" peer)
+        expect (Hashtbl.find replies peer))
+    expected;
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        (name ^ " counter identical")
+        (Simkit.Trace.counter (Nearby.Server.trace reference) name)
+        (Simkit.Trace.counter (Nearby.Server.trace server) name))
+    [ "join"; "query"; "probe_packets"; "wire_bytes" ]
+
+let test_resilient_single_replica_loss_free_matches_direct () =
+  (* A 1-replica cluster behind the RPC layer with a clean network keeps
+     the same replies and the same server accounting as the direct path —
+     the RPC machinery must not change results, only survive faults. *)
+  let direct = fixture ~replicas:1 ~seed:22 () in
+  let reference = make_server direct () in
+  let protocol_direct =
+    Nearby.Protocol.create ~engine:direct.engine ~server_router:direct.replica_routers.(0)
+      reference
+  in
+  let peers = 15 and k = 4 in
+  let expected, failed_direct =
+    run_joins ~spacing:serial_spacing direct protocol_direct ~peers ~k ~horizon:60_000.0
+  in
+  Alcotest.(check int) "direct all complete" 0 failed_direct;
+  let fx = fixture ~replicas:1 ~seed:22 () in
+  let cluster = make_cluster fx in
+  let rpc = Simkit.Rpc.create ~config:rpc_config fx.transport in
+  let protocol = Nearby.Protocol.create_resilient ~rpc cluster in
+  let replies, failed =
+    run_joins ~spacing:serial_spacing fx protocol ~peers ~k ~horizon:60_000.0
+  in
+  Alcotest.(check int) "resilient all complete" 0 failed;
+  for peer = 0 to peers - 1 do
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "peer %d reply identical" peer)
+      (Hashtbl.find expected peer) (Hashtbl.find replies peer)
+  done;
+  (* Byte-identical registered state: same landmark, same recorded path,
+     same probe cost for every peer. *)
+  let server = Nearby.Cluster.server_of cluster 0 in
+  for peer = 0 to peers - 1 do
+    let info s = Option.get (Nearby.Server.info s peer) in
+    let a = info reference and b = info server in
+    Alcotest.(check bool)
+      (Printf.sprintf "peer %d registration identical" peer)
+      true
+      (a.landmark = b.landmark && a.recorded_path = b.recorded_path
+     && a.probes_spent = b.probes_spent && a.attach_router = b.attach_router)
+  done;
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        (name ^ " counter identical")
+        (Simkit.Trace.counter (Nearby.Server.trace reference) name)
+        (Simkit.Trace.counter (Nearby.Server.trace server) name))
+    [ "join"; "query"; "probe_packets"; "wire_bytes" ];
+  Alcotest.(check int) "single attempt per join" peers
+    (Simkit.Trace.counter (Simkit.Rpc.trace rpc) "rpc_attempts")
+
+let test_fan_out_replicates_to_all () =
+  let fx = fixture ~seed:23 () in
+  let cluster = make_cluster fx in
+  let rpc = Simkit.Rpc.create ~config:rpc_config fx.transport in
+  let protocol = Nearby.Protocol.create_resilient ~rpc cluster in
+  let peers = 20 in
+  let _, failed = run_joins fx protocol ~peers ~k:4 ~horizon:60_000.0 in
+  Alcotest.(check int) "no failures" 0 failed;
+  (* Loss-free network: the write fan-out alone (no anti-entropy ran) must
+     land every registration on every replica. *)
+  for i = 0 to Nearby.Cluster.replica_count cluster - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "replica %d holds all peers" i)
+      peers
+      (Nearby.Server.peer_count (Nearby.Cluster.server_of cluster i))
+  done;
+  Alcotest.(check bool) "consistent" true (Nearby.Cluster.consistent cluster);
+  Nearby.Cluster.check_invariants cluster;
+  let trace = Nearby.Cluster.trace cluster in
+  Alcotest.(check int) "2 replication sends per join" (peers * 2)
+    (Simkit.Trace.counter trace "cluster_replicate_send");
+  Alcotest.(check int) "all applied" (peers * 2)
+    (Simkit.Trace.counter trace "cluster_replicate_apply")
+
+let test_crash_primary_fails_over () =
+  (* Replica 0 is down across the middle of the arrival window; joins keep
+     completing via the other replicas and the cluster converges once the
+     primary is restored and a sync round runs. *)
+  let fx = fixture ~seed:24 () in
+  let cluster = make_cluster fx in
+  let rpc = Simkit.Rpc.create ~config:rpc_config fx.transport in
+  let protocol = Nearby.Protocol.create_resilient ~rpc cluster in
+  Simkit.Engine.schedule_at fx.engine ~time:50.0 (fun () -> Nearby.Cluster.crash cluster 0);
+  Simkit.Engine.schedule_at fx.engine ~time:2_000.0 (fun () -> Nearby.Cluster.recover cluster 0);
+  let peers = 30 in
+  let replies, failed = run_joins fx protocol ~peers ~k:4 ~horizon:60_000.0 in
+  Alcotest.(check int) "every join completed" peers (Hashtbl.length replies);
+  Alcotest.(check int) "none failed" 0 failed;
+  Nearby.Cluster.sync_round cluster;
+  Alcotest.(check bool) "consistent after sync" true (Nearby.Cluster.consistent cluster);
+  for i = 0 to Nearby.Cluster.replica_count cluster - 1 do
+    Alcotest.(check bool) (Printf.sprintf "replica %d live" i) true (Nearby.Cluster.is_alive cluster i);
+    Alcotest.(check int)
+      (Printf.sprintf "replica %d holds all peers" i)
+      peers
+      (Nearby.Server.peer_count (Nearby.Cluster.server_of cluster i))
+  done;
+  Nearby.Cluster.check_invariants cluster
+
+let test_anti_entropy_heals_stale_replica () =
+  (* Replica 2 is dead for the whole arrival window, so it misses every
+     fan-out write; one sync round after recovery rebuilds it from a
+     snapshot of the most complete replica. *)
+  let fx = fixture ~seed:25 () in
+  let cluster = make_cluster fx in
+  let rpc = Simkit.Rpc.create ~config:rpc_config fx.transport in
+  let protocol = Nearby.Protocol.create_resilient ~rpc cluster in
+  Nearby.Cluster.crash cluster 2;
+  let peers = 20 in
+  let _, failed = run_joins fx protocol ~peers ~k:4 ~horizon:60_000.0 in
+  Alcotest.(check int) "no failures" 0 failed;
+  Nearby.Cluster.recover cluster 2;
+  Alcotest.(check int) "stale replica missed the writes" 0
+    (Nearby.Server.peer_count (Nearby.Cluster.server_of cluster 2));
+  Alcotest.(check bool) "inconsistent before sync" false (Nearby.Cluster.consistent cluster);
+  Nearby.Cluster.sync_round cluster;
+  Alcotest.(check bool) "consistent after sync" true (Nearby.Cluster.consistent cluster);
+  Alcotest.(check int) "healed" peers
+    (Nearby.Server.peer_count (Nearby.Cluster.server_of cluster 2));
+  let trace = Nearby.Cluster.trace cluster in
+  Alcotest.(check bool) "restore happened" true
+    (Simkit.Trace.counter trace "cluster_sync_restores" >= 1);
+  Alcotest.(check bool) "recovery time recorded" true
+    (match Simkit.Trace.summary trace "cluster_recovery_ms" with
+    | Some s -> s.count = 1
+    | None -> false);
+  Nearby.Cluster.check_invariants cluster
+
+let test_joins_under_loss_always_terminate () =
+  (* The silent-stall regression (20% loss): every join must invoke exactly
+     one of on_complete / on_failure — no hanging joins — and retries must
+     carry the large majority through. *)
+  let rng = Prelude.Prng.create 77 in
+  let fx = fixture ~rng ~loss_prob:0.2 ~seed:26 () in
+  let cluster = make_cluster fx in
+  let rpc = Simkit.Rpc.create ~config:rpc_config ~rng:(Prelude.Prng.split rng) fx.transport in
+  let protocol = Nearby.Protocol.create_resilient ~rpc cluster in
+  let peers = 30 in
+  let replies, failed = run_joins fx protocol ~peers ~k:4 ~horizon:120_000.0 in
+  let completed = Hashtbl.length replies in
+  Alcotest.(check int) "every join terminated" peers (completed + failed);
+  Alcotest.(check int) "rpc outcomes account for every join" peers
+    (Simkit.Trace.counter (Simkit.Rpc.trace rpc) "rpc_ok"
+    + Simkit.Trace.counter (Simkit.Rpc.trace rpc) "rpc_gave_up");
+  Alcotest.(check bool)
+    (Printf.sprintf "retries carry most joins through (%d/%d)" completed peers)
+    true
+    (completed >= peers * 8 / 10);
+  Nearby.Cluster.check_invariants cluster
+
+let test_single_cluster_guards () =
+  let fx = fixture ~seed:27 () in
+  let server = make_server fx () in
+  let cluster = Nearby.Cluster.single ~router:fx.replica_routers.(0) server in
+  Alcotest.(check int) "one replica" 1 (Nearby.Cluster.replica_count cluster);
+  Alcotest.check_raises "no transport to target"
+    (Invalid_argument "Cluster.target: single-server cluster has no transport") (fun () ->
+      ignore (Nearby.Cluster.target cluster ~src:fx.map.core.(0) ~attempt:1));
+  Alcotest.check_raises "no engine to sync on"
+    (Invalid_argument "Cluster.start_sync: single-server cluster has no engine") (fun () ->
+      Nearby.Cluster.start_sync cluster ~period_ms:100.0 ~until:1_000.0)
+
+let suite =
+  ( "cluster",
+    [
+      Alcotest.test_case "direct path = plain server" `Quick test_direct_path_matches_plain_server;
+      Alcotest.test_case "resilient 1-replica = direct" `Quick
+        test_resilient_single_replica_loss_free_matches_direct;
+      Alcotest.test_case "fan-out replicates to all" `Quick test_fan_out_replicates_to_all;
+      Alcotest.test_case "crash primary fails over" `Quick test_crash_primary_fails_over;
+      Alcotest.test_case "anti-entropy heals stale replica" `Quick
+        test_anti_entropy_heals_stale_replica;
+      Alcotest.test_case "joins under 20% loss terminate" `Quick
+        test_joins_under_loss_always_terminate;
+      Alcotest.test_case "single-cluster guards" `Quick test_single_cluster_guards;
+    ] )

@@ -107,6 +107,33 @@ let test_loss_causes_false_positives () =
   let noisy = false_positives ~loss_prob:0.45 ~seed:7 in
   Alcotest.(check bool) (Printf.sprintf "heavy loss produces them (%d)" noisy) true (noisy > 0)
 
+let test_rewatch_gets_fresh_silence_timer () =
+  (* A crashed, suspected, then recovered-and-re-watched peer must start
+     from a clean slate: if the new watch inherited the dead incarnation's
+     silence timer it would be re-suspected instantly (the old deadline is
+     long past).  The only allowed suspicion is the crash itself. *)
+  let map, engine, transport = setup ~seed:8 () in
+  let failures = ref 0 in
+  let d =
+    Failure_detector.create config ~transport ~monitor_router:map.core.(0)
+      ~on_failure:(fun _ -> incr failures)
+  in
+  let alive = ref true in
+  let watch () =
+    Failure_detector.watch d ~peer:9 ~router:map.leaves.(9) ~alive:(fun () -> !alive)
+  in
+  watch ();
+  Engine.schedule engine ~delay:500.0 (fun () -> alive := false);
+  Engine.schedule engine ~delay:2_000.0 (fun () ->
+      Alcotest.(check bool) "crash was detected first" true (Failure_detector.is_suspected d ~peer:9);
+      alive := true;
+      Failure_detector.unwatch d ~peer:9;
+      watch ());
+  Engine.run ~until:15_000.0 engine;
+  Alcotest.(check int) "only the crash suspicion" 1 !failures;
+  Alcotest.(check bool) "re-watched peer trusted" false (Failure_detector.is_suspected d ~peer:9);
+  Alcotest.(check bool) "still watched" true (Failure_detector.is_watched d ~peer:9)
+
 let suite =
   ( "failure_detector",
     [
@@ -116,4 +143,6 @@ let suite =
       Alcotest.test_case "graceful unwatch" `Quick test_graceful_unwatch_is_silent;
       Alcotest.test_case "double watch rejected" `Quick test_double_watch_rejected;
       Alcotest.test_case "loss causes false positives" `Slow test_loss_causes_false_positives;
+      Alcotest.test_case "re-watch resets silence timer" `Quick
+        test_rewatch_gets_fresh_silence_timer;
     ] )

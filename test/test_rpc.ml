@@ -1,0 +1,204 @@
+(* Rpc: the retrying request/response state machine — settle-once, timeout
+   and backoff schedule, per-attempt failover, guaranteed termination. *)
+
+open Simkit
+
+let drawing () =
+  let d = Eval.Paper_drawing.build () in
+  let oracle = Traceroute.Route_oracle.create d.graph in
+  let transport = Transport.create (Engine.create ()) oracle in
+  (d, transport)
+
+(* Deterministic test config: 100 ms timeout, 3 attempts, 50 ms base
+   backoff doubling, no jitter. *)
+let config =
+  {
+    Rpc.timeout_ms = 100.0;
+    max_attempts = 3;
+    backoff_base_ms = 50.0;
+    backoff_multiplier = 2.0;
+    jitter_frac = 0.0;
+  }
+
+let counter rpc = Trace.counter (Rpc.trace rpc)
+
+let test_config_validation () =
+  let _, transport = drawing () in
+  let bad msg config =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (Rpc.create ~config transport))
+  in
+  bad "Rpc: timeout_ms must be positive" { config with timeout_ms = 0.0 };
+  bad "Rpc: max_attempts must be at least 1" { config with max_attempts = 0 };
+  bad "Rpc: backoff_base_ms must be non-negative" { config with backoff_base_ms = -1.0 };
+  bad "Rpc: backoff_multiplier must be >= 1" { config with backoff_multiplier = 0.5 };
+  bad "Rpc: jitter_frac outside [0, 1)" { config with jitter_frac = 1.0 }
+
+let test_clean_call_single_attempt () =
+  let d, transport = drawing () in
+  let e = Transport.engine transport in
+  let rpc = Rpc.create ~config transport in
+  let got = ref None and done_at = ref nan in
+  Rpc.call rpc ~src:d.p1
+    ~dst:(fun ~attempt:_ -> Some d.lmk)
+    ~request_bytes:50
+    ~reply_bytes:(fun _ -> 500)
+    ~handle:(fun ~dst:_ -> Some 42)
+    ~on_reply:(fun v ->
+      got := Some v;
+      done_at := Engine.now e)
+    ~on_give_up:(fun () -> Alcotest.fail "gave up on a clean call");
+  Engine.run e;
+  Alcotest.(check (option int)) "reply value" (Some 42) !got;
+  (* p1 -> lmk is 5 hops each way: full RTT with no jitter. *)
+  Alcotest.(check (float 1e-9)) "one clean RTT" 10.0 !done_at;
+  Alcotest.(check int) "one attempt" 1 (counter rpc "rpc_attempts");
+  Alcotest.(check int) "no retries" 0 (counter rpc "rpc_retries");
+  Alcotest.(check int) "no timeouts" 0 (counter rpc "rpc_timeouts");
+  Alcotest.(check int) "settled ok" 1 (counter rpc "rpc_ok")
+
+let test_gives_up_after_max_attempts () =
+  (* Target unreachable (isolated node): every attempt times out and the
+     give-up lands exactly at sum(timeouts) + sum(backoffs). *)
+  let g = Topology.Graph.of_edges ~node_count:3 [ (0, 1) ] in
+  let oracle = Traceroute.Route_oracle.create g in
+  let e = Engine.create () in
+  let transport = Transport.create e oracle in
+  let rpc = Rpc.create ~config transport in
+  let gave_up_at = ref nan in
+  Rpc.call rpc ~src:0
+    ~dst:(fun ~attempt:_ -> Some 2)
+    ~request_bytes:10
+    ~reply_bytes:(fun _ -> 10)
+    ~handle:(fun ~dst:_ -> Some ())
+    ~on_reply:(fun () -> Alcotest.fail "replied through a dead link")
+    ~on_give_up:(fun () -> gave_up_at := Engine.now e);
+  Engine.run e;
+  (* t=0 attempt 1; timeout 100, backoff 50; t=150 attempt 2; timeout 250,
+     backoff 100; t=350 attempt 3; timeout and give-up at 450. *)
+  Alcotest.(check (float 1e-9)) "terminates at the worst-case bound" 450.0 !gave_up_at;
+  Alcotest.(check int) "all attempts used" 3 (counter rpc "rpc_attempts");
+  Alcotest.(check int) "two retries" 2 (counter rpc "rpc_retries");
+  Alcotest.(check int) "three timeouts" 3 (counter rpc "rpc_timeouts");
+  Alcotest.(check int) "gave up once" 1 (counter rpc "rpc_gave_up");
+  Alcotest.(check int) "never ok" 0 (counter rpc "rpc_ok")
+
+let test_retry_fails_over_to_second_target () =
+  (* Attempt 1 goes to an isolated replica, attempt 2 to a live one: the
+     call completes and records the failover. *)
+  let g = Topology.Graph.of_edges ~node_count:4 [ (0, 1); (1, 2) ] in
+  let oracle = Traceroute.Route_oracle.create g in
+  let e = Engine.create () in
+  let transport = Transport.create e oracle in
+  let rpc = Rpc.create ~config transport in
+  let got = ref None and asked = ref [] in
+  Rpc.call rpc ~src:0
+    ~dst:(fun ~attempt -> if attempt = 1 then Some 3 else Some 2)
+    ~request_bytes:10
+    ~reply_bytes:(fun _ -> 10)
+    ~handle:(fun ~dst ->
+      asked := dst :: !asked;
+      Some dst)
+    ~on_reply:(fun v -> got := Some v)
+    ~on_give_up:(fun () -> Alcotest.fail "gave up despite a live fallback");
+  Engine.run e;
+  Alcotest.(check (option int)) "served by the fallback" (Some 2) !got;
+  Alcotest.(check (list int)) "only the live replica executed" [ 2 ] !asked;
+  Alcotest.(check int) "two attempts" 2 (counter rpc "rpc_attempts");
+  Alcotest.(check int) "one timeout" 1 (counter rpc "rpc_timeouts");
+  Alcotest.(check int) "ok" 1 (counter rpc "rpc_ok")
+
+let test_unserved_then_recovered () =
+  (* The server is down when the first request arrives (handle = None) and
+     back up for the retry. *)
+  let d, transport = drawing () in
+  let e = Transport.engine transport in
+  let rpc = Rpc.create ~config transport in
+  let up = ref false in
+  Engine.schedule e ~delay:50.0 (fun () -> up := true);
+  let got = ref None in
+  Rpc.call rpc ~src:d.p1
+    ~dst:(fun ~attempt:_ -> Some d.lmk)
+    ~request_bytes:10
+    ~reply_bytes:(fun _ -> 10)
+    ~handle:(fun ~dst:_ -> if !up then Some () else None)
+    ~on_reply:(fun v -> got := Some v)
+    ~on_give_up:(fun () -> Alcotest.fail "gave up on a recovered server");
+  Engine.run e;
+  Alcotest.(check (option unit)) "eventually served" (Some ()) !got;
+  Alcotest.(check int) "first request died unserved" 1 (counter rpc "rpc_unserved");
+  Alcotest.(check int) "retried" 1 (counter rpc "rpc_retries");
+  Alcotest.(check int) "ok once" 1 (counter rpc "rpc_ok")
+
+let test_settles_once_under_duplicate_replies () =
+  (* Timeout shorter than the RTT: attempt 1's reply is still in flight
+     when attempt 2 starts, so two replies eventually arrive — exactly one
+     on_reply, and the idempotent re-execution is visible to the server. *)
+  let d, transport = drawing () in
+  let e = Transport.engine transport in
+  let tight = { config with timeout_ms = 6.0; backoff_base_ms = 1.0; max_attempts = 5 } in
+  let rpc = Rpc.create ~config:tight transport in
+  let replies = ref 0 and served = ref 0 in
+  Rpc.call rpc ~src:d.p1
+    ~dst:(fun ~attempt:_ -> Some d.lmk)
+    ~request_bytes:10
+    ~reply_bytes:(fun _ -> 10)
+    ~handle:(fun ~dst:_ ->
+      incr served;
+      Some ())
+    ~on_reply:(fun () -> incr replies)
+    ~on_give_up:(fun () -> Alcotest.fail "gave up despite replies");
+  Engine.run e;
+  Alcotest.(check int) "exactly one on_reply" 1 !replies;
+  Alcotest.(check bool)
+    (Printf.sprintf "server executed the duplicate too (%d)" !served)
+    true (!served >= 2);
+  Alcotest.(check int) "one settled ok" 1 (counter rpc "rpc_ok")
+
+let test_no_target_still_terminates () =
+  let d, transport = drawing () in
+  let e = Transport.engine transport in
+  let rpc = Rpc.create ~config transport in
+  let gave_up = ref false in
+  Rpc.call rpc ~src:d.p1
+    ~dst:(fun ~attempt:_ -> None)
+    ~request_bytes:10
+    ~reply_bytes:(fun _ -> 10)
+    ~handle:(fun ~dst:_ -> Some ())
+    ~on_reply:(fun () -> Alcotest.fail "replied with no target")
+    ~on_give_up:(fun () -> gave_up := true);
+  Engine.run e;
+  Alcotest.(check bool) "gave up" true !gave_up;
+  Alcotest.(check int) "every attempt lacked a target" 3 (counter rpc "rpc_no_target");
+  Alcotest.(check int) "nothing sent" 0 (Transport.messages_sent transport)
+
+let test_backoff_jitter_spread () =
+  let d, transport = drawing () in
+  let rng = Prelude.Prng.create 5 in
+  let rpc = Rpc.create ~config:{ config with jitter_frac = 0.2 } ~rng transport in
+  ignore d;
+  let base = 50.0 in
+  for _ = 1 to 50 do
+    let b = Rpc.backoff_ms rpc ~attempt:1 in
+    Alcotest.(check bool)
+      (Printf.sprintf "within +-20%% of base (%.1f)" b)
+      true
+      (b >= base *. 0.8 -. 1e-9 && b <= base *. 1.2 +. 1e-9)
+  done;
+  let no_jitter = Rpc.create ~config transport in
+  Alcotest.(check (float 1e-9)) "deterministic without jitter" 100.0
+    (Rpc.backoff_ms no_jitter ~attempt:2)
+
+let suite =
+  ( "rpc",
+    [
+      Alcotest.test_case "config validation" `Quick test_config_validation;
+      Alcotest.test_case "clean call, one attempt" `Quick test_clean_call_single_attempt;
+      Alcotest.test_case "gives up after max attempts" `Quick test_gives_up_after_max_attempts;
+      Alcotest.test_case "retry fails over" `Quick test_retry_fails_over_to_second_target;
+      Alcotest.test_case "unserved then recovered" `Quick test_unserved_then_recovered;
+      Alcotest.test_case "settles once on duplicates" `Quick
+        test_settles_once_under_duplicate_replies;
+      Alcotest.test_case "no target terminates" `Quick test_no_target_still_terminates;
+      Alcotest.test_case "backoff jitter spread" `Quick test_backoff_jitter_spread;
+    ] )

@@ -140,6 +140,75 @@ let test_transport_loss_injection () =
   Alcotest.check_raises "loss without rng" (Invalid_argument "Transport.create: loss_prob needs ~rng")
     (fun () -> ignore (Transport.create ~loss_prob:0.1 e oracle))
 
+let test_transport_drop_buckets () =
+  (* The three drop mechanisms are counted separately and sum to the
+     back-compat total. *)
+  let g = Topology.Graph.of_edges ~node_count:5 [ (0, 1); (1, 2); (2, 3) ] in
+  let oracle = Traceroute.Route_oracle.create g in
+  let e = Engine.create () in
+  let rng = Prelude.Prng.create 3 in
+  let t = Transport.create ~rng e oracle in
+  let stat name = List.assoc name (Transport.stats t) in
+  (* Unreachable: node 4 is isolated. *)
+  Transport.send t ~src:0 ~dst:4 ~size_bytes:10 (fun () -> ());
+  (* Partition: cut {0, 1} off; a cross-boundary message dies, an
+     intra-side one survives. *)
+  Transport.set_partition_nodes t [ 0; 1 ];
+  let intra = ref false in
+  Transport.send t ~src:0 ~dst:1 ~size_bytes:10 (fun () -> intra := true);
+  Transport.send t ~src:1 ~dst:2 ~size_bytes:10 (fun () -> ());
+  Engine.run e;
+  Alcotest.(check bool) "intra-side delivered" true !intra;
+  Transport.clear_partition t;
+  let healed = ref false in
+  Transport.send t ~src:1 ~dst:2 ~size_bytes:10 (fun () -> healed := true);
+  Engine.run e;
+  Alcotest.(check bool) "healed partition delivers" true !healed;
+  (* Loss: certain-loss probability drops everything into its own bucket. *)
+  Transport.set_loss_prob t 0.999;
+  let lost = ref 0 in
+  for _ = 1 to 50 do
+    Transport.send t ~src:0 ~dst:1 ~size_bytes:10 (fun () -> ())
+  done;
+  Engine.run e;
+  lost := stat "dropped_loss";
+  Alcotest.(check int) "one unreachable drop" 1 (stat "dropped_unreachable");
+  Alcotest.(check int) "one partition drop" 1 (stat "dropped_partition");
+  Alcotest.(check bool) (Printf.sprintf "loss drops counted (%d)" !lost) true (!lost >= 45);
+  Alcotest.(check int) "total = sum of buckets" (!lost + 2) (Transport.messages_dropped t);
+  Alcotest.check_raises "set_loss_prob range"
+    (Invalid_argument "Transport.set_loss_prob: loss_prob outside [0, 1)") (fun () ->
+      Transport.set_loss_prob t 1.0)
+
+let test_transport_set_loss_needs_rng () =
+  let g = Topology.Graph.of_edges ~node_count:2 [ (0, 1) ] in
+  let oracle = Traceroute.Route_oracle.create g in
+  let t = Transport.create (Engine.create ()) oracle in
+  Alcotest.check_raises "set_loss_prob without rng"
+    (Invalid_argument "Transport.set_loss_prob: loss_prob needs ~rng") (fun () ->
+      Transport.set_loss_prob t 0.5)
+
+let test_transport_rpc_loss_independent_per_leg () =
+  (* Loss is drawn once per leg: at p = 0.5 an rpc completes with
+     probability (1-p)^2 = 0.25, not 1-p = 0.5. *)
+  let d = Eval.Paper_drawing.build () in
+  let oracle = Traceroute.Route_oracle.create d.graph in
+  let e = Engine.create () in
+  let rng = Prelude.Prng.create 17 in
+  let t = Transport.create ~rng ~loss_prob:0.5 e oracle in
+  let completed = ref 0 in
+  let n = 400 in
+  for _ = 1 to n do
+    Transport.rpc t ~src:d.p1 ~dst:d.p2 ~request_bytes:10 ~reply_bytes:10 (fun () ->
+        incr completed)
+  done;
+  Engine.run e;
+  (* Binomial(400, 0.25): mean 100, stddev ~8.7; +-5 sigma. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "~quarter complete (%d/400)" !completed)
+    true
+    (!completed > 57 && !completed < 143)
+
 let spec_exponential =
   {
     Churn.arrival_rate_per_s = 5.0;
@@ -245,6 +314,10 @@ let suite =
       Alcotest.test_case "transport rpc" `Quick test_transport_rpc;
       Alcotest.test_case "transport drop" `Quick test_transport_drop_unreachable;
       Alcotest.test_case "transport loss injection" `Quick test_transport_loss_injection;
+      Alcotest.test_case "transport drop buckets" `Quick test_transport_drop_buckets;
+      Alcotest.test_case "transport set-loss needs rng" `Quick test_transport_set_loss_needs_rng;
+      Alcotest.test_case "transport rpc loss per leg" `Quick
+        test_transport_rpc_loss_independent_per_leg;
       Alcotest.test_case "churn generation" `Quick test_churn_generation;
       Alcotest.test_case "churn arrival rate" `Quick test_churn_arrival_rate;
       Alcotest.test_case "churn departure mix" `Slow test_churn_departure_mix;
