@@ -453,6 +453,77 @@ let run_resilience ~full =
   Simkit.Export.write_file "BENCH_resilience.json" json;
   Printf.printf "wrote BENCH_resilience.json (%d runs)\n%!" (List.length results)
 
+(* ------------------------------------------------------------------ *)
+(* Regression gate: BENCH_*.json (current working tree) vs the committed
+   baselines under bench/baselines/.  All timing metrics are normalized to
+   the tree backend within each run, so the comparison survives machine
+   changes; `--update` refreshes the baselines instead of judging. *)
+
+let regress_pairs =
+  [
+    ("BENCH_registry.json", Eval.Regression.registry_metrics);
+    ("BENCH_obs.json", Eval.Regression.obs_metrics);
+    ("BENCH_resilience.json", Eval.Regression.resilience_metrics);
+  ]
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let data =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  Simkit.Export.write_file dst data
+
+let run_regress ~baseline_dir ~update =
+  banner "bench regression gate";
+  if update then begin
+    (if not (Sys.file_exists baseline_dir) then Sys.mkdir baseline_dir 0o755);
+    List.iter
+      (fun (file, _) ->
+        if not (Sys.file_exists file) then begin
+          Printf.eprintf "regress --update: %s not found; generate it first\n" file;
+          exit 1
+        end;
+        copy_file file (Filename.concat baseline_dir file);
+        Printf.printf "baseline updated: %s\n" (Filename.concat baseline_dir file))
+      regress_pairs
+  end
+  else begin
+    let failed = ref 0 in
+    List.iter
+      (fun (file, extract) ->
+        let baseline_path = Filename.concat baseline_dir file in
+        let load path =
+          match Simkit.Json.of_file path with
+          | Ok doc -> doc
+          | Error e ->
+              Printf.eprintf "regress: cannot read %s: %s\n" path e;
+              exit 1
+        in
+        if not (Sys.file_exists baseline_path) then begin
+          Printf.eprintf "regress: no baseline %s (run with --update to create)\n" baseline_path;
+          exit 1
+        end;
+        if not (Sys.file_exists file) then begin
+          Printf.eprintf "regress: %s not found; generate it first\n" file;
+          exit 1
+        end;
+        let comparisons =
+          Eval.Regression.compare_metrics
+            ~baseline:(extract (load baseline_path))
+            ~current:(extract (load file))
+        in
+        Printf.printf "\n-- %s --\n" file;
+        Eval.Regression.print comparisons;
+        failed := !failed + List.length (Eval.Regression.failures comparisons))
+      regress_pairs;
+    if !failed > 0 then begin
+      Printf.eprintf "\nregress: %d metric(s) beyond tolerance\n" !failed;
+      exit 1
+    end
+    else Printf.printf "\nregress: all metrics within tolerance\n"
+  end
+
 let run_all ~full =
   run_micro ();
   run_fig2 ~full;
@@ -488,6 +559,15 @@ let () =
     | [] -> List.rev acc
   in
   let args = extract_csv [] args in
+  (* regress options: --baseline DIR (default bench/baselines), --update. *)
+  let update = List.mem "--update" args in
+  let args = List.filter (fun a -> a <> "--update") args in
+  let rec extract_baseline acc dir = function
+    | "--baseline" :: d :: rest -> extract_baseline acc d rest
+    | x :: rest -> extract_baseline (x :: acc) dir rest
+    | [] -> (List.rev acc, dir)
+  in
+  let args, baseline_dir = extract_baseline [] (Filename.concat "bench" "baselines") args in
   match args with
   | [] -> run_all ~full
   | [ "micro" ] -> run_micro ()
@@ -510,6 +590,7 @@ let () =
   | [ "bulk" ] -> run_bulk ~full
   | [ "joining" ] -> run_joining ~full
   | [ "resilience" ] -> run_resilience ~full
+  | [ "regress" ] -> run_regress ~baseline_dir ~update
   | other ->
       Printf.eprintf
         "unknown bench %S; available: micro fig2 complexity landmarks superpeers churn truncate setup-delay metric [--full]\n"

@@ -23,6 +23,38 @@ let k_opt =
   let doc = "Override the number of neighbors requested per peer." in
   Arg.(value & opt (some int) None & info [ "k" ] ~doc)
 
+let audit_rate_opt =
+  let doc =
+    "Audit this fraction of neighbor replies online against BFS ground truth (0 disables, 1 \
+     audits everything)."
+  in
+  Arg.(value & opt float 0.0 & info [ "audit-rate" ] ~doc ~docv:"RATE")
+
+let slo_opt =
+  let doc =
+    "Declare a service-level objective (repeatable), e.g. $(b,join_p99_ms=500), \
+     $(b,audit_recall_at_k>=0.9) or $(b,join_completed/join_started>=0.99)."
+  in
+  Arg.(value & opt_all string [] & info [ "slo" ] ~doc ~docv:"SPEC")
+
+let flight_out_opt =
+  let doc = "Dump the flight recorder (recent RPC/fault/cluster/SLO events) as JSONL to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "flight-out" ] ~doc ~docv:"FILE")
+
+let prom_out_opt =
+  let doc = "Write the metrics snapshot in Prometheus text exposition format to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "prom-out" ] ~doc ~docv:"FILE")
+
+let parse_slos specs =
+  List.fold_left
+    (fun acc spec ->
+      match (acc, Simkit.Slo.of_string spec) with
+      | Error e, _ -> Error e
+      | Ok parsed, Ok s -> Ok (s :: parsed)
+      | Ok _, Error e -> Error e)
+    (Ok []) specs
+  |> Result.map List.rev
+
 let override v f config = match v with Some x -> f config x | None -> config
 
 let exit_ok = `Ok ()
@@ -248,33 +280,91 @@ let resilience_cmd =
     let doc = "Also write the result as a JSON object to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json-out" ] ~doc ~docv:"FILE")
   in
-  let run quick seed routers peers k scenario replicas loss require_complete json_out =
-    let config =
-      if quick then Eval.Resilience_exp.quick_config else Eval.Resilience_exp.default_config
+  let metrics_out_arg =
+    let doc =
+      "Write a JSON metrics snapshot (resilience / rpc / cluster / transport sections plus the \
+       windowed timeseries) to $(docv)."
     in
-    let config = match seed with Some s -> { config with seed = s } | None -> config in
-    let config = override routers (fun c v -> { c with Eval.Resilience_exp.routers = v }) config in
-    let config = override peers (fun c v -> { c with Eval.Resilience_exp.peers = v }) config in
-    let config = override k (fun c v -> { c with Eval.Resilience_exp.k = v }) config in
-    let config = { config with Eval.Resilience_exp.scenario; replicas; loss } in
-    match Eval.Resilience_exp.run config with
-    | result ->
-        Eval.Resilience_exp.print result;
-        (match json_out with
-        | Some file ->
-            let out = open_out file in
-            output_string out (Eval.Resilience_exp.result_json result);
-            output_char out '\n';
-            close_out out;
-            Printf.printf "wrote %s\n%!" file
-        | None -> ());
-        if require_complete && result.completed < result.joins then
-          `Error
-            ( false,
-              Printf.sprintf "join completion %d/%d under scenario %s" result.completed
-                result.joins result.scenario )
-        else exit_ok
-    | exception Invalid_argument msg -> `Error (false, msg)
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
+  in
+  let run quick seed routers peers k scenario replicas loss require_complete json_out slos
+      audit_rate flight_out metrics_out prom_out =
+    match parse_slos slos with
+    | Error e -> `Error (false, e)
+    | Ok slos -> (
+        let config =
+          if quick then Eval.Resilience_exp.quick_config else Eval.Resilience_exp.default_config
+        in
+        let config = match seed with Some s -> { config with seed = s } | None -> config in
+        let config = override routers (fun c v -> { c with Eval.Resilience_exp.routers = v }) config in
+        let config = override peers (fun c v -> { c with Eval.Resilience_exp.peers = v }) config in
+        let config = override k (fun c v -> { c with Eval.Resilience_exp.k = v }) config in
+        let config =
+          { config with Eval.Resilience_exp.scenario; replicas; loss; slos; audit_rate }
+        in
+        match Eval.Resilience_exp.run_instrumented config with
+        | result, artifacts ->
+            Eval.Resilience_exp.print result;
+            List.iter
+              (fun st -> print_endline ("SLO " ^ Simkit.Slo.status_line st))
+              artifacts.Eval.Resilience_exp.slo_statuses;
+            (match json_out with
+            | Some file ->
+                let out = open_out file in
+                output_string out (Eval.Resilience_exp.result_json result);
+                output_char out '\n';
+                close_out out;
+                Printf.printf "wrote %s\n%!" file
+            | None -> ());
+            let sections =
+              [
+                ("resilience", artifacts.Eval.Resilience_exp.exp_trace);
+                ("rpc", artifacts.Eval.Resilience_exp.rpc_trace);
+                ("cluster", artifacts.Eval.Resilience_exp.cluster_trace);
+                ( "transport",
+                  Simkit.Trace.of_counters artifacts.Eval.Resilience_exp.transport_counters );
+              ]
+              @
+              match artifacts.Eval.Resilience_exp.audit_trace with
+              | Some t -> [ ("audit", t) ]
+              | None -> []
+            in
+            (match metrics_out with
+            | Some file ->
+                let meta =
+                  Simkit.Export.capture_meta ~seed:config.Eval.Resilience_exp.seed
+                    ~extra:
+                      [
+                        ("scenario", config.Eval.Resilience_exp.scenario);
+                        ("replicas", string_of_int replicas);
+                      ]
+                    ()
+                in
+                Simkit.Export.write_file file
+                  (Simkit.Export.metrics_json ~meta
+                     ~timeseries:[ ("resilience", artifacts.Eval.Resilience_exp.timeseries) ]
+                     sections);
+                Printf.printf "wrote metrics snapshot to %s\n%!" file
+            | None -> ());
+            (match prom_out with
+            | Some file ->
+                Simkit.Export.write_file file (Simkit.Export.prometheus sections);
+                Printf.printf "wrote Prometheus exposition to %s\n%!" file
+            | None -> ());
+            (match flight_out with
+            | Some file ->
+                Simkit.Flight_recorder.write artifacts.Eval.Resilience_exp.recorder file;
+                Printf.printf "wrote %d flight-recorder events to %s\n%!"
+                  (Simkit.Flight_recorder.count artifacts.Eval.Resilience_exp.recorder)
+                  file
+            | None -> ());
+            if require_complete && result.completed < result.joins then
+              `Error
+                ( false,
+                  Printf.sprintf "join completion %d/%d under scenario %s" result.completed
+                    result.joins result.scenario )
+            else exit_ok
+        | exception Invalid_argument msg -> `Error (false, msg))
   in
   Cmd.v
     (Cmd.info "resilience"
@@ -285,7 +375,8 @@ let resilience_cmd =
     Term.(
       ret
         (const run $ quick_flag $ seed_opt $ routers_opt $ peers_opt $ k_opt $ scenario_arg
-       $ replicas_arg $ loss_arg $ require_complete_arg $ json_out_arg))
+       $ replicas_arg $ loss_arg $ require_complete_arg $ json_out_arg $ slo_opt
+       $ audit_rate_opt $ flight_out_opt $ metrics_out_arg $ prom_out_opt))
 
 let registry_cmd =
   let backend_arg =
@@ -309,7 +400,11 @@ let registry_cmd =
     in
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
   in
-  let run quick seed routers peers k backend_spec trace_out metrics_out =
+  let run quick seed routers peers k backend_spec trace_out metrics_out audit_rate slos
+      flight_out prom_out =
+    match parse_slos slos with
+    | Error e -> `Error (false, e)
+    | Ok slos -> (
     let seed = Option.value ~default:1 seed in
     let routers = Option.value ~default:(if quick then 600 else 2000) routers in
     let peers = Option.value ~default:(if quick then 150 else 600) peers in
@@ -323,6 +418,9 @@ let registry_cmd =
     | Ok specs ->
         let w = Eval.Workload.build ~routers ~landmark_count:4 ~peers ~seed () in
         let n = Array.length w.Eval.Workload.peer_routers in
+        (* Registry runs have no simulated clock; the audit timeseries
+           ticks on the query index instead, 100 queries per window. *)
+        let want_timeseries = audit_rate > 0.0 || slos <> [] in
         (* The same scenario for every backend: join the whole population
            through the server, then ask everyone's k nearest. *)
         let run_backend ?(spans = Simkit.Span.noop) ?metrics spec =
@@ -336,11 +434,29 @@ let registry_cmd =
               (Nearby.Server.join server ~peer
                  ~attach_router:w.Eval.Workload.peer_routers.(peer))
           done;
-          let answers = Array.init n (fun peer -> Nearby.Server.neighbors server ~peer ~k) in
+          let ts =
+            if want_timeseries then Some (Simkit.Timeseries.create ~window_ms:100.0 ()) else None
+          in
+          let queries = ref 0 in
+          let auditor =
+            if audit_rate > 0.0 then
+              Some
+                (Nearby.Audit.create ~rate:audit_rate ~seed ?timeseries:ts
+                   ~clock:(fun () -> float_of_int !queries)
+                   server)
+            else None
+          in
+          let answers =
+            Array.init n (fun peer ->
+                incr queries;
+                match auditor with
+                | Some a -> Nearby.Audit.neighbors a ~peer ~k
+                | None -> Nearby.Server.neighbors server ~peer ~k)
+          in
           Nearby.Server.flush_spans server;
-          (server, answers)
+          (server, answers, ts, auditor)
         in
-        let _, reference = run_backend Eval.Backends.Tree in
+        let _, reference, _, _ = run_backend Eval.Backends.Tree in
         Printf.printf "registry backends on the same scenario (%d routers, %d peers, k=%d)\n"
           routers peers k;
         let runs =
@@ -352,54 +468,82 @@ let registry_cmd =
                 | None -> Simkit.Span.noop
               in
               let metrics =
-                match metrics_out with Some _ -> Some (Simkit.Trace.create ()) | None -> None
+                match (metrics_out, prom_out) with
+                | None, None -> None
+                | _ -> Some (Simkit.Trace.create ())
               in
-              let server, answers = run_backend ~spans ?metrics spec in
-              (spec, server, answers, spans, metrics))
+              let server, answers, ts, auditor = run_backend ~spans ?metrics spec in
+              (spec, server, answers, spans, metrics, ts, auditor))
             specs
         in
         let rows =
           List.map
-            (fun (_, server, answers, _, _) ->
+            (fun (_, server, answers, _, _, _, auditor) ->
               let stats =
                 Nearby.Server.registry_stats server
                 |> List.filter (fun (key, _) -> key <> "members")
                 |> List.map (fun (key, v) -> Printf.sprintf "%s=%d" key v)
                 |> String.concat " "
               in
+              let audit_cell =
+                match auditor with
+                | None -> "-"
+                | Some a -> (
+                    let t = Nearby.Audit.trace a in
+                    match
+                      ( Simkit.Trace.summary t "audit_recall_at_k",
+                        Simkit.Trace.summary t "audit_stretch" )
+                    with
+                    | Some recall, Some stretch when recall.Simkit.Trace.count > 0 ->
+                        Printf.sprintf "n=%d recall=%.3f stretch=%.3f"
+                          recall.Simkit.Trace.count recall.Simkit.Trace.mean
+                          stretch.Simkit.Trace.mean
+                    | _ -> Printf.sprintf "n=%d" (Simkit.Trace.counter t "audit_samples"))
+              in
               [
                 Nearby.Server.backend_name server;
                 string_of_bool (answers = reference);
                 string_of_int (Simkit.Trace.counter (Nearby.Server.trace server) "registry_insert");
                 string_of_int (Simkit.Trace.counter (Nearby.Server.trace server) "registry_query");
+                audit_cell;
                 stats;
               ])
             runs
         in
         Prelude.Table.print
-          ~header:[ "backend"; "answers = tree"; "inserts"; "queries"; "stats" ]
+          ~header:[ "backend"; "answers = tree"; "inserts"; "queries"; "audit"; "stats" ]
           rows;
         (match trace_out with
         | None -> ()
         | Some file ->
-            let sinks = List.map (fun (_, _, _, spans, _) -> spans) runs in
+            let sinks = List.map (fun (_, _, _, spans, _, _, _) -> spans) runs in
             Simkit.Span.write_jsonl sinks file;
             Printf.printf "wrote %d span events to %s\n"
               (List.fold_left (fun acc s -> acc + Simkit.Span.event_count s) 0 sinks)
               file);
+        let sections =
+          List.concat_map
+            (fun (spec, server, _, _, metrics, _, auditor) ->
+              let name = Eval.Backends.to_string spec in
+              (("server:" ^ name, Nearby.Server.trace server)
+              :: (match metrics with
+                 | Some m -> [ ("registry:" ^ name, m) ]
+                 | None -> []))
+              @
+              match auditor with
+              | Some a -> [ ("audit:" ^ name, Nearby.Audit.trace a) ]
+              | None -> [])
+            runs
+        in
+        let timeseries =
+          List.filter_map
+            (fun (spec, _, _, _, _, ts, _) ->
+              Option.map (fun t -> (Eval.Backends.to_string spec, t)) ts)
+            runs
+        in
         (match metrics_out with
         | None -> ()
         | Some file ->
-            let sections =
-              List.concat_map
-                (fun (spec, server, _, _, metrics) ->
-                  let name = Eval.Backends.to_string spec in
-                  ("server:" ^ name, Nearby.Server.trace server)
-                  :: (match metrics with
-                     | Some m -> [ ("registry:" ^ name, m) ]
-                     | None -> []))
-                runs
-            in
             let meta =
               Simkit.Export.capture_meta ~seed
                 ~backends:(List.map Eval.Backends.to_string specs)
@@ -411,13 +555,42 @@ let registry_cmd =
                   ]
                 ()
             in
-            Simkit.Export.write_file file (Simkit.Export.metrics_json ~meta sections);
+            Simkit.Export.write_file file
+              (Simkit.Export.metrics_json ~meta ~timeseries sections);
             Printf.printf "wrote metrics snapshot to %s\n" file);
+        (match prom_out with
+        | None -> ()
+        | Some file ->
+            Simkit.Export.write_file file (Simkit.Export.prometheus sections);
+            Printf.printf "wrote Prometheus exposition to %s\n" file);
+        (* SLO breaches here are report-only: the exit code gates answer
+           consistency, not performance (that is [bench regress]'s job). *)
+        (if slos <> [] || flight_out <> None then begin
+           let recorder = Simkit.Flight_recorder.create ~capacity:256 () in
+           List.iter
+             (fun (name, ts) ->
+               List.iter
+                 (fun st ->
+                   Printf.printf "SLO [%s] %s\n" name (Simkit.Slo.status_line st);
+                   if st.Simkit.Slo.breached then
+                     Simkit.Flight_recorder.record recorder ~ts:(float_of_int n) ~kind:"slo"
+                       ~args:[ ("backend", Simkit.Span.Str name) ]
+                       ("breach: " ^ st.Simkit.Slo.spec.Simkit.Slo.name))
+                 (Simkit.Slo.check ts slos))
+             timeseries;
+           match flight_out with
+           | Some file ->
+               Simkit.Flight_recorder.write recorder file;
+               Printf.printf "wrote %d flight-recorder events to %s\n"
+                 (Simkit.Flight_recorder.count recorder)
+                 file
+           | None -> ()
+         end);
         let all_identical =
           List.for_all (fun row -> List.nth row 1 = "true") rows
         in
         if all_identical then exit_ok
-        else `Error (false, "backends disagree on neighbor sets")
+        else `Error (false, "backends disagree on neighbor sets"))
   in
   Cmd.v
     (Cmd.info "registry"
@@ -427,7 +600,8 @@ let registry_cmd =
     Term.(
       ret
         (const run $ quick_flag $ seed_opt $ routers_opt $ peers_opt $ k_opt $ backend_arg
-       $ trace_out_arg $ metrics_out_arg))
+       $ trace_out_arg $ metrics_out_arg $ audit_rate_opt $ slo_opt $ flight_out_opt
+       $ prom_out_opt))
 
 let verify_cmd =
   let run seed_opt =

@@ -1,0 +1,202 @@
+(* The bench regression gate: compare freshly generated BENCH_*.json
+   documents against committed baselines and fail beyond tolerance.
+
+   CI machines differ wildly in absolute speed, so raw ops/s or ns numbers
+   are useless as a gate.  Every timing metric is therefore normalized to
+   the tree backend measured in the same run — relative throughput and
+   relative tails cancel the machine — while the resilience numbers
+   (completion rate, simulated-ms latency) are deterministic in the seed
+   and compared almost exactly.  Booleans (answers_identical, consistent)
+   are exact.
+
+   A metric present in the baseline but missing from the current document
+   fails the gate: silently dropping a measurement is how regressions
+   hide.  New metrics in the current document pass (they will gate once
+   the baseline is updated). *)
+
+type direction = Higher_better | Lower_better | Exact
+
+type metric = {
+  name : string;
+  value : float;
+  direction : direction;
+  tolerance : float;  (* allowed fractional drift in the bad direction *)
+}
+
+type comparison = {
+  name : string;
+  baseline : float;
+  current : float option;  (* None: metric disappeared *)
+  ok : bool;
+}
+
+(* --- Extraction -------------------------------------------------------- *)
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let num doc path_keys =
+  match Option.bind (Simkit.Json.path path_keys doc) Simkit.Json.to_float with
+  | Some v -> v
+  | None -> fail "missing number at %s" (String.concat "." path_keys)
+
+let boolean doc path_keys =
+  match Option.bind (Simkit.Json.path path_keys doc) Simkit.Json.to_bool with
+  | Some v -> v
+  | None -> fail "missing bool at %s" (String.concat "." path_keys)
+
+let str doc path_keys =
+  match Option.bind (Simkit.Json.path path_keys doc) Simkit.Json.to_string with
+  | Some v -> v
+  | None -> fail "missing string at %s" (String.concat "." path_keys)
+
+let rows doc key =
+  match Option.bind (Simkit.Json.member key doc) Simkit.Json.to_list with
+  | Some rows -> rows
+  | None -> fail "missing array %S" key
+
+(* BENCH_registry.json: throughput relative to the tree backend of the same
+   run, plus the answers-identical invariant. *)
+let registry_metrics doc =
+  let backends = rows doc "backends" in
+  let name_of row = str row [ "backend" ] in
+  let tree =
+    match List.find_opt (fun row -> name_of row = "tree") backends with
+    | Some row -> row
+    | None -> fail "BENCH_registry: no tree backend row"
+  in
+  let tree_insert = num tree [ "insert_ops_per_s" ] in
+  let tree_query = num tree [ "query_ops_per_s" ] in
+  List.concat_map
+    (fun row ->
+      let b = name_of row in
+      let identical =
+        {
+          name = Printf.sprintf "registry/%s/answers_identical" b;
+          value = (if boolean row [ "answers_identical" ] then 1.0 else 0.0);
+          direction = Exact;
+          tolerance = 0.0;
+        }
+      in
+      if b = "tree" then [ identical ]
+      else
+        [
+          {
+            name = Printf.sprintf "registry/%s/insert_rel_tree" b;
+            value = num row [ "insert_ops_per_s" ] /. tree_insert;
+            direction = Higher_better;
+            tolerance = 0.6;
+          };
+          {
+            name = Printf.sprintf "registry/%s/query_rel_tree" b;
+            value = num row [ "query_ops_per_s" ] /. tree_query;
+            direction = Higher_better;
+            tolerance = 0.6;
+          };
+          identical;
+        ])
+    backends
+
+(* BENCH_obs.json: p99 latency relative to the tree backend.  Tails are the
+   noisiest numbers we gate on, hence the widest tolerance. *)
+let obs_metrics doc =
+  let backends = rows doc "backends" in
+  let name_of row = str row [ "backend" ] in
+  let tree =
+    match List.find_opt (fun row -> name_of row = "tree") backends with
+    | Some row -> row
+    | None -> fail "BENCH_obs: no tree backend row"
+  in
+  let tree_insert = num tree [ "insert_ns"; "p99" ] in
+  let tree_query = num tree [ "query_ns"; "p99" ] in
+  List.concat_map
+    (fun row ->
+      let b = name_of row in
+      if b = "tree" then []
+      else
+        [
+          {
+            name = Printf.sprintf "obs/%s/insert_p99_rel_tree" b;
+            value = num row [ "insert_ns"; "p99" ] /. tree_insert;
+            direction = Lower_better;
+            tolerance = 1.5;
+          };
+          {
+            name = Printf.sprintf "obs/%s/query_p99_rel_tree" b;
+            value = num row [ "query_ns"; "p99" ] /. tree_query;
+            direction = Lower_better;
+            tolerance = 1.5;
+          };
+        ])
+    backends
+
+(* BENCH_resilience.json: deterministic in the seed (simulated clock, no
+   wall time), so the tolerances are tight. *)
+let resilience_metrics doc =
+  rows doc "runs"
+  |> List.concat_map (fun row ->
+         let key =
+           Printf.sprintf "resilience/%s/r%d" (str row [ "scenario" ])
+             (int_of_float (num row [ "replicas" ]))
+         in
+         [
+           {
+             name = key ^ "/completion_rate";
+             value = num row [ "completion_rate" ];
+             direction = Higher_better;
+             tolerance = 0.02;
+           };
+           {
+             name = key ^ "/join_p99_ms";
+             value = num row [ "join_p99_ms" ];
+             direction = Lower_better;
+             tolerance = 0.15;
+           };
+           {
+             name = key ^ "/consistent";
+             value = (if boolean row [ "consistent" ] then 1.0 else 0.0);
+             direction = Exact;
+             tolerance = 0.0;
+           };
+         ])
+
+(* --- Comparison -------------------------------------------------------- *)
+
+let within (m : metric) ~baseline ~current =
+  match m.direction with
+  | Exact -> current = baseline
+  | Higher_better -> current >= baseline *. (1.0 -. m.tolerance)
+  | Lower_better -> current <= baseline *. (1.0 +. m.tolerance)
+
+(* [baseline]/[current] are the same extractor applied to the two
+   documents; direction and tolerance are taken from the baseline side so
+   a tolerance edit gates from the commit that updates the baseline. *)
+let compare_metrics ~baseline ~current =
+  List.map
+    (fun (b : metric) ->
+      match List.find_opt (fun (c : metric) -> c.name = b.name) current with
+      | None -> { name = b.name; baseline = b.value; current = None; ok = false }
+      | Some c ->
+          {
+            name = b.name;
+            baseline = b.value;
+            current = Some c.value;
+            ok = within b ~baseline:b.value ~current:c.value;
+          })
+    baseline
+
+let failures comparisons = List.filter (fun c -> not c.ok) comparisons
+
+let print comparisons =
+  Prelude.Table.print
+    ~header:[ "metric"; "baseline"; "current"; "status" ]
+    (List.map
+       (fun c ->
+         [
+           c.name;
+           Prelude.Table.float_cell ~decimals:4 c.baseline;
+           (match c.current with
+           | Some v -> Prelude.Table.float_cell ~decimals:4 v
+           | None -> "MISSING");
+           (if c.ok then "ok" else "FAIL");
+         ])
+       comparisons)

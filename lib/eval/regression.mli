@@ -1,0 +1,43 @@
+(** Bench regression gate: BENCH_*.json vs committed baselines.
+
+    Extracts machine-robust metrics from the three bench artifacts —
+    timing normalized to the tree backend measured in the same run,
+    deterministic simulated-time resilience numbers near-exact, booleans
+    exact — and compares a current document against a baseline.  A metric
+    present in the baseline but missing from the current document fails.
+    Driven by [bench/main.exe -- regress]; wired as a CI job. *)
+
+type direction =
+  | Higher_better  (** Fails when current < baseline × (1 − tolerance). *)
+  | Lower_better  (** Fails when current > baseline × (1 + tolerance). *)
+  | Exact
+
+type metric = { name : string; value : float; direction : direction; tolerance : float }
+
+type comparison = {
+  name : string;
+  baseline : float;
+  current : float option;  (** [None]: the metric disappeared — a failure. *)
+  ok : bool;
+}
+
+val registry_metrics : Simkit.Json.t -> metric list
+(** From BENCH_registry.json: per-backend insert/query throughput relative
+    to tree (tolerance 0.6) and the answers-identical invariant (exact).
+    @raise Failure on a malformed document. *)
+
+val obs_metrics : Simkit.Json.t -> metric list
+(** From BENCH_obs.json: per-backend insert/query p99 relative to tree
+    (tolerance 1.5 — tails are noisy).  @raise Failure when malformed. *)
+
+val resilience_metrics : Simkit.Json.t -> metric list
+(** From BENCH_resilience.json: per scenario × replica-count completion
+    rate (0.02), join p99 in simulated ms (0.15) and the consistency bit
+    (exact).  @raise Failure when malformed. *)
+
+val compare_metrics : baseline:metric list -> current:metric list -> comparison list
+(** One comparison per baseline metric; thresholds come from the baseline
+    side. *)
+
+val failures : comparison list -> comparison list
+val print : comparison list -> unit

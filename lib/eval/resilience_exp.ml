@@ -10,6 +10,9 @@ type config = {
   sync_period_ms : float;
   rpc : Simkit.Rpc.config;
   detector : Simkit.Failure_detector.config;
+  slos : Simkit.Slo.spec list;
+  slo_window_ms : float;
+  audit_rate : float;
   seed : int;
 }
 
@@ -26,6 +29,9 @@ let default_config =
     sync_period_ms = 2_000.0;
     rpc = Simkit.Rpc.default_config;
     detector = Simkit.Failure_detector.default_config;
+    slos = [];
+    slo_window_ms = 500.0;
+    audit_rate = 0.0;
     seed = 1;
   }
 
@@ -55,6 +61,23 @@ type result = {
   dropped_loss : int;
   dropped_unreachable : int;
   dropped_partition : int;
+  slo_breaches : string list;
+}
+
+(* Everything worth keeping after a run besides the headline numbers: the
+   live traces, the windowed timeseries the SLOs were judged on, the
+   flight recorder, and the final SLO verdicts.  The CLI uses these for
+   --metrics-out / --prom-out / --flight-out; tests poke at them
+   directly. *)
+type artifacts = {
+  exp_trace : Simkit.Trace.t;
+  rpc_trace : Simkit.Trace.t;
+  cluster_trace : Simkit.Trace.t;
+  transport_counters : (string * int) list;
+  audit_trace : Simkit.Trace.t option;
+  timeseries : Simkit.Timeseries.t;
+  recorder : Simkit.Flight_recorder.t;
+  slo_statuses : Simkit.Slo.status list;
 }
 
 (* Partition scenario target: the primary replica's router and its direct
@@ -79,7 +102,7 @@ let scenario_of config ~graph ~primary_router : Simkit.Fault.t =
         (Printf.sprintf "Resilience_exp: unknown scenario %S (expected %s)" other
            (String.concat " | " scenario_names))
 
-let run (config : config) =
+let run_instrumented (config : config) =
   if config.replicas < 1 then invalid_arg "Resilience_exp: replicas must be >= 1";
   if config.loss < 0.0 || config.loss >= 1.0 then
     invalid_arg "Resilience_exp: loss outside [0, 1)";
@@ -93,6 +116,7 @@ let run (config : config) =
     Simkit.Transport.create ~rng:(Prelude.Prng.split w.rng) ~loss_prob:config.loss engine
       w.ctx.oracle
   in
+  let recorder = Simkit.Flight_recorder.create ~capacity:1024 () in
   (* Replica hosts: medium-degree routers, like landmarks but an
      independent draw (management servers are infrastructure, not peers). *)
   let replica_routers =
@@ -106,13 +130,15 @@ let run (config : config) =
         Nearby.Server.create ?latency:w.ctx.latency w.ctx.oracle ~landmarks:w.landmarks)
       ~restore_server:(fun data ->
         Nearby.Server.restore ?latency:w.ctx.latency w.ctx.oracle data)
-      ~routers:replica_routers ()
+      ~routers:replica_routers ~recorder ()
   in
-  let rpc = Simkit.Rpc.create ~config:config.rpc ~rng:(Prelude.Prng.split w.rng) transport in
+  let rpc =
+    Simkit.Rpc.create ~config:config.rpc ~rng:(Prelude.Prng.split w.rng) ~recorder transport
+  in
   let protocol = Nearby.Protocol.create_resilient ?latency:w.ctx.latency ~rpc cluster in
   (* Fault script wired to the real knobs. *)
   let fault = scenario_of config ~graph ~primary_router:replica_routers.(0) in
-  Simkit.Fault.install fault ~engine
+  Simkit.Fault.install ~recorder fault ~engine
     ~hooks:
       {
         Simkit.Fault.crash_replica = (fun i -> Nearby.Cluster.crash cluster i);
@@ -139,16 +165,71 @@ let run (config : config) =
   in
   Nearby.Cluster.start_sync cluster ~period_ms:config.sync_period_ms ~until:horizon;
   let exp_trace = Simkit.Trace.create () in
+  (* The windowed view the SLOs are judged on: size the ring so no window
+     inside the horizon is ever evicted. *)
+  if config.slo_window_ms <= 0.0 then invalid_arg "Resilience_exp: slo_window_ms must be positive";
+  let timeseries =
+    Simkit.Timeseries.create
+      ~capacity:(max 64 (int_of_float (horizon /. config.slo_window_ms) + 8))
+      ~window_ms:config.slo_window_ms ()
+  in
+  let auditor =
+    if config.audit_rate > 0.0 then
+      Some
+        (Nearby.Audit.create ~rate:config.audit_rate ~seed:config.seed ~timeseries
+           ~clock:(fun () -> Simkit.Engine.now engine)
+           (Nearby.Cluster.measurement_server cluster))
+    else None
+  in
+  let monitor = Simkit.Slo.monitor config.slos in
+  let breached_ever = ref [] in
+  (* Poll the SLOs once per window; the monitor fires only on transition
+     edges, each of which lands in the flight recorder. *)
+  if config.slos <> [] then begin
+    let on_breach (st : Simkit.Slo.status) =
+      if not (List.mem st.spec.name !breached_ever) then
+        breached_ever := st.spec.name :: !breached_ever;
+      Simkit.Flight_recorder.record recorder ~ts:(Simkit.Engine.now engine) ~kind:"slo"
+        ~args:
+          [
+            ("burn_rate", Simkit.Span.Float st.burn_rate);
+            ("worst", Simkit.Span.Float st.worst);
+          ]
+        ("breach: " ^ st.spec.name)
+    in
+    let on_clear (st : Simkit.Slo.status) =
+      Simkit.Flight_recorder.record recorder ~ts:(Simkit.Engine.now engine) ~kind:"slo"
+        ~args:[ ("burn_rate", Simkit.Span.Float st.burn_rate) ]
+        ("clear: " ^ st.spec.name)
+    in
+    let rec poll_at t =
+      if t <= horizon then
+        Simkit.Engine.schedule_at engine ~time:t (fun () ->
+            ignore (Simkit.Slo.poll ~on_breach ~on_clear monitor timeseries);
+            poll_at (t +. config.slo_window_ms))
+    in
+    poll_at config.slo_window_ms
+  end;
   let completed = ref 0 and failed = ref 0 in
   for peer = 0 to config.peers - 1 do
     let at = Prelude.Prng.float w.rng config.arrival_window_ms in
     Simkit.Engine.schedule_at engine ~time:at (fun () ->
         let started = Simkit.Engine.now engine in
+        Simkit.Timeseries.observe timeseries "join_started" ~now:started 1.0;
         Nearby.Protocol.join protocol ~peer ~attach_router:w.peer_routers.(peer) ~k:config.k
-          ~on_complete:(fun _info _reply ->
+          ~on_complete:(fun _info reply ->
             incr completed;
-            Simkit.Trace.observe exp_trace "join_ms" (Simkit.Engine.now engine -. started))
-          ~on_failure:(fun () -> incr failed))
+            let now = Simkit.Engine.now engine in
+            Simkit.Trace.observe exp_trace "join_ms" (now -. started);
+            Simkit.Timeseries.observe timeseries "join_ms" ~now (now -. started);
+            Simkit.Timeseries.observe timeseries "join_completed" ~now 1.0;
+            match auditor with
+            | Some a -> Nearby.Audit.sample_reply a ~peer ~reply
+            | None -> ())
+          ~on_failure:(fun () ->
+            incr failed;
+            let now = Simkit.Engine.now engine in
+            Simkit.Timeseries.observe timeseries "join_failed" ~now 1.0))
   done;
   Simkit.Engine.run engine ~until:horizon;
   (* Settle: one final reconciliation so the consistency check sees the
@@ -191,12 +272,25 @@ let run (config : config) =
     dropped_loss = transport_stat "dropped_loss";
     dropped_unreachable = transport_stat "dropped_unreachable";
     dropped_partition = transport_stat "dropped_partition";
+    slo_breaches = List.rev !breached_ever;
+  },
+  {
+    exp_trace;
+    rpc_trace;
+    cluster_trace;
+    transport_counters = Simkit.Transport.stats transport;
+    audit_trace = Option.map Nearby.Audit.trace auditor;
+    timeseries;
+    recorder;
+    slo_statuses = Simkit.Slo.check timeseries config.slos;
   }
+
+let run config = fst (run_instrumented config)
 
 let result_json (r : result) =
   let fl v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
   Printf.sprintf
-    {|{"scenario": %S, "replicas": %d, "loss": %.3f, "joins": %d, "completed": %d, "failed": %d, "completion_rate": %.4f, "join_p50_ms": %s, "join_p99_ms": %s, "rpc_attempts": %d, "rpc_retries": %d, "rpc_timeouts": %d, "rpc_gave_up": %d, "suspicions": %d, "sync_rounds": %d, "recovery_ms": %s, "consistent": %b, "live_peer_counts": [%s], "dropped_loss": %d, "dropped_unreachable": %d, "dropped_partition": %d}|}
+    {|{"scenario": %S, "replicas": %d, "loss": %.3f, "joins": %d, "completed": %d, "failed": %d, "completion_rate": %.4f, "join_p50_ms": %s, "join_p99_ms": %s, "rpc_attempts": %d, "rpc_retries": %d, "rpc_timeouts": %d, "rpc_gave_up": %d, "suspicions": %d, "sync_rounds": %d, "recovery_ms": %s, "consistent": %b, "live_peer_counts": [%s], "dropped_loss": %d, "dropped_unreachable": %d, "dropped_partition": %d, "slo_breaches": [%s]}|}
     r.scenario r.replicas r.loss r.joins r.completed r.failed r.completion_rate
     (fl r.join_p50_ms) (fl r.join_p99_ms) r.rpc_attempts r.rpc_retries r.rpc_timeouts
     r.rpc_gave_up r.suspicions r.sync_rounds
@@ -204,6 +298,8 @@ let result_json (r : result) =
     r.consistent
     (String.concat ", " (List.map string_of_int r.live_peer_counts))
     r.dropped_loss r.dropped_unreachable r.dropped_partition
+    (String.concat ", "
+       (List.map (fun n -> Printf.sprintf "%S" n) r.slo_breaches))
 
 let print (r : result) =
   Printf.printf "Resilience: scenario=%s replicas=%d loss=%.2f\n" r.scenario r.replicas r.loss;
@@ -236,4 +332,5 @@ let print (r : result) =
       [ "dropped (loss)"; string_of_int r.dropped_loss ];
       [ "dropped (unreachable)"; string_of_int r.dropped_unreachable ];
       [ "dropped (partition)"; string_of_int r.dropped_partition ];
+      [ "slo breaches"; (match r.slo_breaches with [] -> "-" | l -> String.concat " " l) ];
     ]

@@ -20,6 +20,13 @@ type config = {
   sync_period_ms : float;  (** Anti-entropy period. *)
   rpc : Simkit.Rpc.config;
   detector : Simkit.Failure_detector.config;
+  slos : Simkit.Slo.spec list;
+      (** Objectives polled once per [slo_window_ms]; breach / clear edges
+          land in the flight recorder. *)
+  slo_window_ms : float;  (** Timeseries window width (and SLO poll period). *)
+  audit_rate : float;
+      (** Fraction of completed joins audited online against BFS ground
+          truth ({!Nearby.Audit}); 0 disables the auditor. *)
   seed : int;
 }
 
@@ -56,12 +63,33 @@ type result = {
   dropped_loss : int;
   dropped_unreachable : int;
   dropped_partition : int;
+  slo_breaches : string list;
+      (** Names of objectives that breached at any point during the run
+          (possibly since cleared), in breach order. *)
+}
+
+type artifacts = {
+  exp_trace : Simkit.Trace.t;  (** Stream ["join_ms"]. *)
+  rpc_trace : Simkit.Trace.t;
+  cluster_trace : Simkit.Trace.t;
+  transport_counters : (string * int) list;
+  audit_trace : Simkit.Trace.t option;  (** Present when [audit_rate > 0]. *)
+  timeseries : Simkit.Timeseries.t;
+      (** Series ["join_started"], ["join_completed"], ["join_failed"],
+          ["join_ms"], plus the auditor's quality streams when enabled. *)
+  recorder : Simkit.Flight_recorder.t;
+      (** RPC outcomes, cluster membership changes, injected faults and SLO
+          transitions, ready for a [--flight-out] JSONL dump. *)
+  slo_statuses : Simkit.Slo.status list;  (** Final end-of-run verdicts. *)
 }
 
 val run : config -> result
 (** Deterministic in [config.seed].
     @raise Invalid_argument on an unknown scenario, [replicas < 1] or loss
     outside [0, 1). *)
+
+val run_instrumented : config -> result * artifacts
+(** {!run}, also returning the live observability artifacts. *)
 
 val result_json : result -> string
 (** One JSON object (no trailing newline). *)

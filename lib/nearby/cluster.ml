@@ -18,10 +18,16 @@ type t = {
   detector : Simkit.Failure_detector.t option;
   restore_server : (string -> (Server.t, string) result) option;
   trace : Simkit.Trace.t;
+  recorder : Simkit.Flight_recorder.t option;
 }
 
 let engine t = Option.map Simkit.Transport.engine t.transport
 let now t = match engine t with Some e -> Simkit.Engine.now e | None -> 0.0
+
+let record t ~args detail =
+  match t.recorder with
+  | None -> ()
+  | Some r -> Simkit.Flight_recorder.record r ~ts:(now t) ~kind:"cluster" ~args detail
 
 let single ~router server =
   {
@@ -30,6 +36,7 @@ let single ~router server =
     detector = None;
     restore_server = None;
     trace = Simkit.Trace.create ();
+    recorder = None;
   }
 
 let watch_replica t r =
@@ -38,8 +45,8 @@ let watch_replica t r =
   | Some d ->
       Simkit.Failure_detector.watch d ~peer:r.id ~router:r.router ~alive:(fun () -> r.alive)
 
-let create ?(detector_config = Simkit.Failure_detector.default_config) ~transport ~client_router
-    ~make_server ~restore_server ~routers () =
+let create ?(detector_config = Simkit.Failure_detector.default_config) ?recorder ~transport
+    ~client_router ~make_server ~restore_server ~routers () =
   if Array.length routers = 0 then invalid_arg "Cluster.create: no replicas";
   let distinct = Hashtbl.create 8 in
   Array.iter
@@ -57,10 +64,25 @@ let create ?(detector_config = Simkit.Failure_detector.default_config) ~transpor
     Simkit.Failure_detector.create detector_config ~transport ~monitor_router:client_router
       ~on_failure:(fun id ->
         Simkit.Trace.incr trace "cluster_suspected";
+        (match recorder with
+        | None -> ()
+        | Some r ->
+            Simkit.Flight_recorder.record r
+              ~ts:(Simkit.Engine.now (Simkit.Transport.engine transport))
+              ~kind:"cluster"
+              ~args:[ ("replica", Simkit.Span.Int id) ]
+              "suspected");
         Log.debug (fun m -> m "replica %d suspected" id))
   in
   let t =
-    { replicas; transport = Some transport; detector = Some detector; restore_server = Some restore_server; trace }
+    {
+      replicas;
+      transport = Some transport;
+      detector = Some detector;
+      restore_server = Some restore_server;
+      trace;
+      recorder;
+    }
   in
   Array.iter (fun r -> watch_replica t r) replicas;
   t
@@ -171,6 +193,7 @@ let crash t i =
   if r.alive then begin
     r.alive <- false;
     Simkit.Trace.incr t.trace "cluster_crashes";
+    record t ~args:[ ("replica", Simkit.Span.Int i) ] "crash";
     Log.debug (fun m -> m "replica %d crashed" i)
   end
 
@@ -180,6 +203,7 @@ let recover t i =
     r.alive <- true;
     r.recovered_at <- Some (now t);
     Simkit.Trace.incr t.trace "cluster_recoveries";
+    record t ~args:[ ("replica", Simkit.Span.Int i) ] "recover";
     (* A fresh watch must not inherit the silence timer of the crashed
        incarnation: unwatch + watch restarts both loops from now. *)
     (match t.detector with
@@ -254,6 +278,14 @@ let sync_round t =
                     r.server <- server;
                     Simkit.Trace.incr t.trace "cluster_sync_restores";
                     Simkit.Trace.add_count t.trace "cluster_sync_bytes" (String.length data);
+                    record t
+                      ~args:
+                        [
+                          ("replica", Simkit.Span.Int r.id);
+                          ("source", Simkit.Span.Int source.id);
+                          ("peers", Simkit.Span.Int (Server.peer_count server));
+                        ]
+                      "sync_restore";
                     Log.debug (fun m ->
                         m "replica %d restored from replica %d (%d peers)" r.id source.id
                           (Server.peer_count server))
@@ -262,6 +294,13 @@ let sync_round t =
               match r.recovered_at with
               | Some since when Server.peer_ids r.server = source_ids ->
                   Simkit.Trace.observe t.trace "cluster_recovery_ms" (now t -. since);
+                  record t
+                    ~args:
+                      [
+                        ("replica", Simkit.Span.Int r.id);
+                        ("recovery_ms", Simkit.Span.Float (now t -. since));
+                      ]
+                    "back_in_sync";
                   r.recovered_at <- None
               | _ -> ())
             live)

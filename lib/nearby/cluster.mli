@@ -22,6 +22,7 @@ val single : router:Topology.Graph.node -> Server.t -> t
 
 val create :
   ?detector_config:Simkit.Failure_detector.config ->
+  ?recorder:Simkit.Flight_recorder.t ->
   transport:Simkit.Transport.t ->
   client_router:Topology.Graph.node ->
   make_server:(unit -> Server.t) ->
@@ -33,6 +34,9 @@ val create :
     must produce servers over the same oracle and landmarks).  Starts a
     heartbeat watch on every replica, monitored from [client_router].
     [restore_server] rebuilds a replica from a snapshot during anti-entropy.
+    [recorder] receives one ["cluster"]-kind flight-recorder event per
+    membership change: crash, recover, suspicion, anti-entropy restore and
+    back-in-sync (with the measured recovery time).
     @raise Invalid_argument on an empty or duplicate router array. *)
 
 val replica_count : t -> int

@@ -19,6 +19,27 @@ let add_many h v k =
 
 let add h v = add_many h v 1
 
+(* Power-of-two bucketing shared by every latency histogram in the tree:
+   bucket 0 holds everything <= 1 (and NaN), bucket b > 0 covers
+   (2^(b-1), 2^b].  Clamped at 2^62 so float_of_int stays exact. *)
+let log2_bucket v =
+  (* ceil, not 1 + floor: an exact power of two is the closed upper edge
+     of its own bucket (2.0 belongs to (1, 2], not (2, 4]). *)
+  if Float.is_nan v || v <= 1.0 then 0
+  else int_of_float (Float.ceil (Float.log2 (Float.min v 0x1p62)))
+
+let add_log2 h v = add h (log2_bucket v)
+
+let merge_into ~into src =
+  if src.max_seen >= 0 then begin
+    ensure into src.max_seen;
+    for v = 0 to src.max_seen do
+      if src.counts.(v) > 0 then into.counts.(v) <- into.counts.(v) + src.counts.(v)
+    done;
+    into.total <- into.total + src.total;
+    if src.max_seen > into.max_seen then into.max_seen <- src.max_seen
+  end
+
 let clear h =
   Array.fill h.counts 0 (Array.length h.counts) 0;
   h.total <- 0;

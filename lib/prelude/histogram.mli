@@ -12,6 +12,20 @@ val add : t -> int -> unit
 val add_many : t -> int -> int -> unit
 (** [add_many h v k] records [k] observations of value [v]. *)
 
+val log2_bucket : float -> int
+(** The shared power-of-two bucketing: 0 for NaN and values <= 1, otherwise
+    the bucket [b > 0] covering [(2^(b-1), 2^b]]. *)
+
+val add_log2 : t -> float -> unit
+(** [add_log2 h v] records [v] into its {!log2_bucket} — the one latency
+    bucketing used by {!Simkit.Trace} streams and anything merging with
+    them. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] adds every count of [src] into [into] (e.g. to
+    combine per-shard or per-replica histograms into one view); [src] is
+    unchanged. *)
+
 val clear : t -> unit
 (** Drop every count in place (capacity is retained). *)
 

@@ -71,7 +71,7 @@ let section_json trace =
   in
   Printf.sprintf "{\"counters\": {%s}, \"stats\": {%s}}" counters stats
 
-let metrics_json ?meta sections =
+let metrics_json ?meta ?(timeseries = []) sections =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   (match meta with
@@ -83,22 +83,40 @@ let metrics_json ?meta sections =
        (List.map
           (fun (name, trace) -> Printf.sprintf "    %s: %s" (Json_str.quote name) (section_json trace))
           sections));
-  Buffer.add_string buf "\n  }\n}\n";
+  Buffer.add_string buf "\n  }";
+  (match timeseries with
+  | [] -> ()
+  | ts ->
+      Buffer.add_string buf ",\n  \"timeseries\": {\n";
+      Buffer.add_string buf
+        (String.concat ",\n"
+           (List.map
+              (fun (name, t) ->
+                Printf.sprintf "    %s: %s" (Json_str.quote name) (Timeseries.to_json t))
+              ts));
+      Buffer.add_string buf "\n  }");
+  Buffer.add_string buf "\n}\n";
   Buffer.contents buf
 
 (* --- Prometheus text exposition ------------------------------------- *)
 
 let sanitize name =
-  String.map
-    (fun c ->
-      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
-    name
+  let mapped =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+  in
+  (* A metric name may not start with a digit in the exposition format. *)
+  if mapped = "" then "_"
+  else match mapped.[0] with '0' .. '9' -> "_" ^ mapped | _ -> mapped
 
 (* Prometheus accepts NaN sample values; use them rather than dropping the
    series so an empty stream is still visible in the scrape. *)
 let prom_number v = if Float.is_nan v then "NaN" else Json_str.number v
 
 let prometheus ?(prefix = "nearby") sections =
+  let prefix = sanitize prefix in
   let buf = Buffer.create 4096 in
   List.iter
     (fun (section, trace) ->

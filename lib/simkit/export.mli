@@ -24,14 +24,20 @@ val capture_meta : ?seed:int -> ?backends:string list -> ?extra:(string * string
 val meta_json : meta -> string
 (** The metadata as one JSON object. *)
 
-val metrics_json : ?meta:meta -> (string * Trace.t) list -> string
+val metrics_json :
+  ?meta:meta -> ?timeseries:(string * Timeseries.t) list -> (string * Trace.t) list -> string
 (** A complete JSON document: optional ["meta"] plus ["sections"], one
-    entry per named trace with its counters and stat summaries. *)
+    entry per named trace with its counters and stat summaries.  When
+    [timeseries] is non-empty the document gains a top-level
+    ["timeseries"] key with each named {!Timeseries.to_json} (windowed
+    quality/latency streams alongside the whole-run aggregates). *)
 
 val prometheus : ?prefix:string -> (string * Trace.t) list -> string
 (** Prometheus text exposition: [<prefix>_<section>_<counter>_total]
     counters and [<prefix>_<section>_<stream>] summaries with
-    quantile labels.  Default prefix ["nearby"]. *)
+    quantile labels.  Default prefix ["nearby"].  Every name component —
+    prefix included — is sanitized to the exposition grammar
+    ([[a-zA-Z0-9_]], no leading digit). *)
 
 val write_file : string -> string -> unit
 (** [write_file path contents]. *)

@@ -43,11 +43,24 @@ let validate t =
   in
   go 0.0 t.steps
 
-let install t ~engine ~hooks =
+let action_to_string = function
+  | Crash_replica i -> Printf.sprintf "crash replica %d" i
+  | Recover_replica i -> Printf.sprintf "recover replica %d" i
+  | Set_loss p -> Printf.sprintf "set loss %.2f" p
+  | Partition nodes -> Printf.sprintf "partition %d routers" (List.length nodes)
+  | Heal_partition -> "heal partition"
+
+let install ?recorder t ~engine ~hooks =
   (match validate t with Ok () -> () | Error e -> invalid_arg ("Fault.install: " ^ e));
   List.iter
     (fun { at; action } ->
       Engine.schedule_at engine ~time:at (fun () ->
+          (match recorder with
+          | None -> ()
+          | Some r ->
+              Flight_recorder.record r ~ts:(Engine.now engine) ~kind:"fault"
+                ~args:[ ("scenario", Span.Str t.name) ]
+                (action_to_string action));
           match action with
           | Crash_replica i -> hooks.crash_replica i
           | Recover_replica i -> hooks.recover_replica i
@@ -86,13 +99,6 @@ let partition_window ~from_ms ~until_ms ~nodes () =
     steps =
       [ { at = from_ms; action = Partition nodes }; { at = until_ms; action = Heal_partition } ];
   }
-
-let action_to_string = function
-  | Crash_replica i -> Printf.sprintf "crash replica %d" i
-  | Recover_replica i -> Printf.sprintf "recover replica %d" i
-  | Set_loss p -> Printf.sprintf "set loss %.2f" p
-  | Partition nodes -> Printf.sprintf "partition %d routers" (List.length nodes)
-  | Heal_partition -> "heal partition"
 
 let describe t =
   match t.steps with

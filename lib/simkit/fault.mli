@@ -36,8 +36,11 @@ val validate : t -> (unit, string) result
 (** Steps must be time-ordered with non-negative times, loss values in
     [0, 1) and replica ids non-negative. *)
 
-val install : t -> engine:Engine.t -> hooks:hooks -> unit
-(** Schedule every step.  @raise Invalid_argument when {!validate} fails. *)
+val install : ?recorder:Flight_recorder.t -> t -> engine:Engine.t -> hooks:hooks -> unit
+(** Schedule every step.  Each action additionally leaves a ["fault"]-kind
+    event in [recorder] as it fires, so post-incident dumps line injected
+    faults up against the RPC traffic around them.
+    @raise Invalid_argument when {!validate} fails. *)
 
 (** {1 Named timelines} *)
 

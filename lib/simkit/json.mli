@@ -1,0 +1,36 @@
+(** A minimal JSON reader (RFC 8259), dependency-free.
+
+    Exists so the bench regression gate can read back the BENCH_*.json
+    documents the tree writes with {!Json_str}.  All numbers parse to
+    floats; objects keep field order. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Errors carry the byte offset of the failure. *)
+
+val parse_exn : string -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val of_file : string -> (t, string) result
+(** Read and parse a whole file; I/O errors become [Error]. *)
+
+val member : string -> t -> t option
+(** Field lookup on an object; [None] on missing field or non-object. *)
+
+val path : string list -> t -> t option
+(** Chained {!member}: [path ["a"; "b"] v] is [v.a.b]. *)
+
+val to_float : t -> float option
+val to_bool : t -> bool option
+val to_string : t -> string option
+val to_list : t -> t list option
+
+val keys : t -> string list
+(** Field names of an object in document order; [[]] otherwise. *)

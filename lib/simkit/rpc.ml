@@ -28,12 +28,13 @@ type t = {
   transport : Transport.t;
   rng : Prelude.Prng.t option;
   trace : Trace.t;
+  recorder : Flight_recorder.t option;
 }
 
-let create ?(config = default_config) ?rng ?trace transport =
+let create ?(config = default_config) ?rng ?trace ?recorder transport =
   validate_config config;
   let trace = match trace with Some t -> t | None -> Trace.create () in
-  { config; transport; rng; trace }
+  { config; transport; rng; trace; recorder }
 
 let trace t = t.trace
 let config t = t.config
@@ -53,6 +54,14 @@ let backoff_ms t ~attempt =
       raw *. (1.0 +. spread)
   | _ -> raw
 
+(* Flight-recorder taps: every notable outcome leaves one event, stamped
+   with the engine clock, so a post-breach dump shows which calls were
+   timing out, failing over or dying against a downed server. *)
+let record t ~args detail =
+  match t.recorder with
+  | None -> ()
+  | Some r -> Flight_recorder.record r ~ts:(Engine.now (engine t)) ~kind:"rpc" ~args detail
+
 let call t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_give_up =
   let engine = engine t in
   Trace.incr t.trace "rpc_calls";
@@ -63,6 +72,7 @@ let call t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_give_up =
   let give_up () =
     settled := true;
     Trace.incr t.trace "rpc_gave_up";
+    record t ~args:[ ("src", Span.Int src) ] "gave_up";
     on_give_up ()
   in
   let rec attempt n =
@@ -75,14 +85,18 @@ let call t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_give_up =
         | None ->
             (* No live target known right now; the backoff below doubles as
                a wait for one to come back. *)
-            Trace.incr t.trace "rpc_no_target"
+            Trace.incr t.trace "rpc_no_target";
+            record t ~args:[ ("src", Span.Int src); ("attempt", Span.Int n) ] "no_target"
         | Some target ->
             Transport.send t.transport ~src ~dst:target ~size_bytes:request_bytes (fun () ->
                 match handle ~dst:target with
                 | None ->
                     (* The server was down when the request arrived: it is
                        consumed without a reply, exactly like a lost one. *)
-                    Trace.incr t.trace "rpc_unserved"
+                    Trace.incr t.trace "rpc_unserved";
+                    record t
+                      ~args:[ ("src", Span.Int src); ("dst", Span.Int target) ]
+                      "unserved"
                 | Some v ->
                     Transport.send t.transport ~src:target ~dst:src ~size_bytes:(reply_bytes v)
                       (fun () ->
@@ -90,11 +104,21 @@ let call t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_give_up =
                           settled := true;
                           Trace.incr t.trace "rpc_ok";
                           Trace.observe t.trace "rpc_latency_ms" (Engine.now engine -. started_at);
+                          record t
+                            ~args:
+                              [
+                                ("src", Span.Int src);
+                                ("dst", Span.Int target);
+                                ("attempts", Span.Int n);
+                                ("latency_ms", Span.Float (Engine.now engine -. started_at));
+                              ]
+                            "ok";
                           on_reply v
                         end)));
         Engine.schedule engine ~delay:t.config.timeout_ms (fun () ->
             if not !settled then begin
               Trace.incr t.trace "rpc_timeouts";
+              record t ~args:[ ("src", Span.Int src); ("attempt", Span.Int n) ] "timeout";
               if n >= t.config.max_attempts then give_up ()
               else
                 Engine.schedule engine ~delay:(backoff_ms t ~attempt:n) (fun () -> attempt (n + 1))

@@ -36,8 +36,13 @@ val default_config : config
 (** 1 s timeout, 4 attempts, 200 ms base backoff doubling per retry,
     20% jitter. *)
 
-val create : ?config:config -> ?rng:Prelude.Prng.t -> ?trace:Trace.t -> Transport.t -> t
-(** @raise Invalid_argument on a non-positive timeout, [max_attempts < 1],
+val create :
+  ?config:config -> ?rng:Prelude.Prng.t -> ?trace:Trace.t -> ?recorder:Flight_recorder.t ->
+  Transport.t -> t
+(** [recorder] receives one ["rpc"]-kind event per notable outcome
+    (timeout, failed-over attempt without a target, unserved request,
+    settled reply, give-up), stamped with the engine clock.
+    @raise Invalid_argument on a non-positive timeout, [max_attempts < 1],
     negative backoff, multiplier below 1 or jitter outside [0, 1). *)
 
 val call :

@@ -13,6 +13,9 @@
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 
+val value_json : value -> string
+(** One attribute value as a JSON literal (shared with {!Flight_recorder}). *)
+
 type event = {
   name : string;
   ts : float;  (** Start, sink-clock milliseconds. *)

@@ -40,10 +40,12 @@ let incr t name = incr (counter_ref t name)
 let add_count t name k = counter_ref t name := !(counter_ref t name) + k
 let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
-(* Bucket 0 holds everything <= 1; bucket b > 0 covers (2^(b-1), 2^b]. *)
-let log2_bucket v =
-  if Float.is_nan v || v <= 1.0 then 0
-  else 1 + int_of_float (Float.floor (Float.log2 (Float.min v 0x1p62)))
+(* Adapter for subsystems that keep plain integer counters (Transport):
+   mirror an assoc snapshot into a Trace so the exporters can see it. *)
+let of_counters bindings =
+  let t = create () in
+  List.iter (fun (name, v) -> add_count t name v) bindings;
+  t
 
 let stream t name =
   match Hashtbl.find_opt t.streams name with
@@ -67,7 +69,7 @@ let observe t name v =
   Prelude.Quantile.add s.q50 v;
   Prelude.Quantile.add s.q90 v;
   Prelude.Quantile.add s.q99 v;
-  Prelude.Histogram.add s.hist (log2_bucket v)
+  Prelude.Histogram.add_log2 s.hist v
 
 let stat t name = Option.map (fun s -> s.st) (Hashtbl.find_opt t.streams name)
 let hist t name = Option.map (fun s -> s.hist) (Hashtbl.find_opt t.streams name)

@@ -27,6 +27,11 @@ val add_count : t -> string -> int -> unit
 val counter : t -> string -> int
 (** 0 when never written. *)
 
+val of_counters : (string * int) list -> t
+(** A fresh trace pre-loaded with the given counter values — the adapter
+    for subsystems that keep plain integer counters (e.g.
+    {!Transport.stats}) so the {!Export} serializers can see them. *)
+
 val counter_ref : t -> string -> int ref
 (** The live cell behind a counter, for hot paths that bump it in a loop.
     The ref stays valid across {!reset} (reset zeroes it in place). *)
@@ -43,8 +48,10 @@ val quantile : t -> string -> float -> float option
     @raise Invalid_argument for any other [q]. *)
 
 val hist : t -> string -> Prelude.Histogram.t option
-(** Power-of-two histogram of the stream: bucket 0 counts samples <= 1,
-    bucket [b > 0] counts samples in (2^(b-1), 2^b]. *)
+(** Power-of-two histogram of the stream, bucketed by
+    {!Prelude.Histogram.log2_bucket}: bucket 0 counts samples <= 1, bucket
+    [b > 0] counts samples in (2^(b-1), 2^b].  Combine histograms across
+    traces with {!Prelude.Histogram.merge_into}. *)
 
 val counters : t -> (string * int) list
 (** Alphabetical. *)

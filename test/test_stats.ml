@@ -125,6 +125,45 @@ let test_histogram_ccdf_monotone () =
   in
   check_desc (Histogram.ccdf h)
 
+let test_histogram_log2_buckets () =
+  Alcotest.(check int) "nan" 0 (Histogram.log2_bucket Float.nan);
+  Alcotest.(check int) "below one" 0 (Histogram.log2_bucket 0.5);
+  Alcotest.(check int) "exactly one" 0 (Histogram.log2_bucket 1.0);
+  Alcotest.(check int) "two closes bucket 1" 1 (Histogram.log2_bucket 2.0);
+  Alcotest.(check int) "just past two" 2 (Histogram.log2_bucket 2.1);
+  Alcotest.(check int) "power of two upper edge" 10 (Histogram.log2_bucket 1024.0);
+  let h = Histogram.create () in
+  Histogram.add_log2 h 3.0;
+  Alcotest.(check int) "sample lands in its bucket" 1 (Histogram.count h 2)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.add a) [ 1; 2; 2 ];
+  List.iter (Histogram.add b) [ 2; 7 ];
+  Histogram.merge_into ~into:a b;
+  Alcotest.(check int) "overlapping bucket sums" 3 (Histogram.count a 2);
+  Alcotest.(check int) "new bucket carried over" 1 (Histogram.count a 7);
+  Alcotest.(check int) "total" 5 (Histogram.total a);
+  Alcotest.(check int) "source untouched" 2 (Histogram.total b);
+  Histogram.clear a;
+  Alcotest.(check int) "clear drops counts" 0 (Histogram.total a);
+  Alcotest.(check int) "clear drops max" (-1) (Histogram.max_observed a)
+
+let test_histogram_merge_matches_concat () =
+  (* Merging per-shard histograms must equal histogramming the
+     concatenated samples - the property the per-backend metric merge
+     relies on. *)
+  let g = Prng.create 11 in
+  let xs = List.init 200 (fun _ -> Prng.int g 50) in
+  let ys = List.init 120 (fun _ -> Prng.int g 50) in
+  let ha = Histogram.create () and hb = Histogram.create () and hall = Histogram.create () in
+  List.iter (Histogram.add ha) xs;
+  List.iter (Histogram.add hb) ys;
+  List.iter (Histogram.add hall) (xs @ ys);
+  Histogram.merge_into ~into:ha hb;
+  Alcotest.(check (list (pair int int))) "same distribution"
+    (Histogram.to_assoc hall) (Histogram.to_assoc ha)
+
 let test_histogram_negative () =
   let h = Histogram.create () in
   Alcotest.check_raises "negative" (Invalid_argument "Histogram.add: negative value") (fun () ->
@@ -205,6 +244,9 @@ let suite =
       Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
       Alcotest.test_case "histogram assoc/ccdf" `Quick test_histogram_assoc_ccdf;
       Alcotest.test_case "histogram ccdf monotone" `Quick test_histogram_ccdf_monotone;
+      Alcotest.test_case "histogram log2 buckets" `Quick test_histogram_log2_buckets;
+      Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+      Alcotest.test_case "histogram merge = concat" `Quick test_histogram_merge_matches_concat;
       Alcotest.test_case "histogram negative" `Quick test_histogram_negative;
       Alcotest.test_case "table render" `Quick test_table_render;
       Alcotest.test_case "table short rows" `Quick test_table_short_rows;

@@ -263,6 +263,51 @@ let test_prometheus () =
       "nearby_server_path_hops_count 2";
     ]
 
+let test_of_counters () =
+  let t = Trace.of_counters [ ("sent", 9); ("dropped_loss", 2) ] in
+  Alcotest.(check int) "value carried" 9 (Trace.counter t "sent");
+  Alcotest.(check (list (pair string int))) "all present, sorted"
+    [ ("dropped_loss", 2); ("sent", 9) ]
+    (Trace.counters t);
+  let doc = Export.prometheus [ ("transport", t) ] in
+  Alcotest.(check bool) "exported as counters" true
+    (contains "nearby_transport_sent_total 9" doc)
+
+let test_prometheus_sanitized_exact () =
+  (* Lock the exposition output byte for byte for a hostile name: the
+     grammar allows [a-zA-Z0-9_] and no leading digit, in the prefix too. *)
+  let t = Trace.create () in
+  Trace.add_count t "9bad.name" 3;
+  let doc = Export.prometheus ~prefix:"2nearby!" [ ("rpc-layer", t) ] in
+  let expected =
+    "# TYPE _2nearby__rpc_layer__9bad_name_total counter\n"
+    ^ "_2nearby__rpc_layer__9bad_name_total 3\n"
+  in
+  Alcotest.(check string) "exposition locked" expected doc
+
+let test_prometheus_empty_stream_nan () =
+  let t = Trace.create () in
+  Trace.observe t "lat" 1.0;
+  Trace.reset t;
+  let doc = Export.prometheus [ ("s", t) ] in
+  (* An empty stream stays visible with NaN samples rather than vanishing. *)
+  Alcotest.(check bool) "series present" true (contains "nearby_s_lat{quantile=\"0.5\"}" doc);
+  Alcotest.(check bool) "NaN spelled for Prometheus" true (contains "NaN" doc);
+  Alcotest.(check bool) "count still numeric" true (contains "nearby_s_lat_count 0" doc)
+
+let test_metrics_json_timeseries_key () =
+  let t = Trace.create () in
+  Trace.incr t "x";
+  let ts = Timeseries.create ~window_ms:100.0 () in
+  Timeseries.observe ts "join_ms" ~now:10.0 5.0;
+  Timeseries.observe ts "join_ms" ~now:250.0 7.0;
+  let doc = Export.metrics_json ~timeseries:[ ("run", ts) ] [ ("server", t) ] in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains needle doc))
+    [ "\"timeseries\""; "\"run\""; "\"window_ms\": 100"; "\"join_ms\""; "null" ];
+  let no_ts = Export.metrics_json [ ("server", t) ] in
+  Alcotest.(check bool) "key absent when no series given" false (contains "timeseries" no_ts)
+
 (* --- instrumented registry ------------------------------------------- *)
 
 let test_instrumented_registry () =
@@ -316,6 +361,10 @@ let suite =
       Alcotest.test_case "server join/query spans" `Quick test_server_spans;
       Alcotest.test_case "metrics json export" `Quick test_metrics_json;
       Alcotest.test_case "prometheus export" `Quick test_prometheus;
+      Alcotest.test_case "of_counters adapter" `Quick test_of_counters;
+      Alcotest.test_case "prometheus sanitized exact" `Quick test_prometheus_sanitized_exact;
+      Alcotest.test_case "prometheus empty stream" `Quick test_prometheus_empty_stream_nan;
+      Alcotest.test_case "metrics json timeseries key" `Quick test_metrics_json_timeseries_key;
       Alcotest.test_case "instrumented registry timing" `Quick test_instrumented_registry;
       Alcotest.test_case "wrap disabled = identity" `Quick test_wrap_disabled_is_identity;
     ] )
