@@ -295,9 +295,9 @@ let run_registry ~full =
   let json =
     let row_json (name, insert_ops, query_ops, identical) =
       Printf.sprintf
-        "    {\"backend\": %S, \"insert_ops_per_s\": %.0f, \"query_ops_per_s\": %.0f, \
+        "    {\"backend\": %s, \"insert_ops_per_s\": %.0f, \"query_ops_per_s\": %.0f, \
          \"answers_identical\": %b}"
-        name insert_ops query_ops identical
+        (Simkit.Json_str.quote name) insert_ops query_ops identical
     in
     let meta =
       Simkit.Export.capture_meta ~seed:7
@@ -338,7 +338,14 @@ let run_obs ~full =
   let route_of peer = fx.routes.(peer mod Array.length fx.routes) in
   let run_backend spec =
     let metrics = Simkit.Trace.create () in
-    let backend = Nearby.Instrumented_registry.wrap ~metrics (Eval.Backends.backend spec) in
+    (* A live sink so every op is one root trace: the middleware tags each
+       latency sample with its trace id, which is what populates the tail
+       exemplars this bench gates on.  The span machinery sits outside the
+       timed window, so the ns quantiles are unaffected. *)
+    let spans = Simkit.Span.buffer () in
+    let backend =
+      Nearby.Instrumented_registry.wrap ~metrics ~spans (Eval.Backends.backend spec)
+    in
     let reg = Nearby.Registry_intf.create backend ~landmark in
     for peer = 0 to population - 1 do
       Nearby.Registry_intf.insert reg ~peer ~routers:(route_of peer)
@@ -351,18 +358,26 @@ let run_obs ~full =
       | Some s -> s
       | None -> failwith ("bench obs: missing stream " ^ name)
     in
+    let exemplar_count name = List.length (Simkit.Trace.exemplars metrics name) in
     ( Eval.Backends.to_string spec,
       summary Nearby.Instrumented_registry.insert_ns,
-      summary Nearby.Instrumented_registry.query_ns )
+      summary Nearby.Instrumented_registry.query_ns,
+      exemplar_count Nearby.Instrumented_registry.insert_ns,
+      exemplar_count Nearby.Instrumented_registry.query_ns,
+      Nearby.Registry_intf.introspect reg )
   in
   let results = List.map run_backend Eval.Backends.all in
   let cell = Prelude.Table.float_cell ~decimals:0 in
   Prelude.Table.print
     ~header:
-      [ "backend"; "insert p50 ns"; "insert p99 ns"; "query p50 ns"; "query p99 ns" ]
+      [ "backend"; "insert p50 ns"; "insert p99 ns"; "query p50 ns"; "query p99 ns";
+        "exemplars"; "members"; "routers"; "~KiB" ]
     (List.map
-       (fun (name, (ins : Simkit.Trace.summary), (q : Simkit.Trace.summary)) ->
-         [ name; cell ins.p50; cell ins.p99; cell q.p50; cell q.p99 ])
+       (fun (name, (ins : Simkit.Trace.summary), (q : Simkit.Trace.summary), ins_ex, q_ex,
+             (intro : Nearby.Registry_intf.introspection)) ->
+         [ name; cell ins.p50; cell ins.p99; cell q.p50; cell q.p99;
+           string_of_int (ins_ex + q_ex); string_of_int intro.members;
+           string_of_int intro.routers; string_of_int (intro.approx_bytes / 1024) ])
        results);
   let meta =
     Simkit.Export.capture_meta ~seed
@@ -381,9 +396,12 @@ let run_obs ~full =
       "{\"count\": %d, \"mean\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s, \"max\": %s}" s.count
       (n s.mean) (n s.p50) (n s.p90) (n s.p99) (Simkit.Json_str.number_opt s.max)
   in
-  let row_json (name, ins, q) =
-    Printf.sprintf "    {\"backend\": %S, \"insert_ns\": %s, \"query_ns\": %s}" name
-      (quantiles_json ins) (quantiles_json q)
+  let row_json (name, ins, q, ins_ex, q_ex, intro) =
+    Printf.sprintf
+      "    {\"backend\": %s, \"insert_ns\": %s, \"query_ns\": %s, \"insert_exemplars\": %d, \
+       \"query_exemplars\": %d, \"introspect\": %s}"
+      (Simkit.Json_str.quote name) (quantiles_json ins) (quantiles_json q) ins_ex q_ex
+      (Nearby.Registry_intf.introspection_json intro)
   in
   let json =
     Printf.sprintf "{\n  \"meta\": %s,\n  \"backends\": [\n%s\n  ]\n}\n"

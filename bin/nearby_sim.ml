@@ -287,8 +287,16 @@ let resilience_cmd =
     in
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
   in
+  let trace_out_arg =
+    let doc =
+      "Write the run's causal span trees (one root join span per peer, with RPC attempts, \
+       server-side registration and replication fan-out as children) as Chrome trace-event \
+       JSONL to $(docv).  Feed the file to $(b,nearby_sim trace) for a critical-path report."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
+  in
   let run quick seed routers peers k scenario replicas loss require_complete json_out slos
-      audit_rate flight_out metrics_out prom_out =
+      audit_rate flight_out metrics_out prom_out trace_out =
     match parse_slos slos with
     | Error e -> `Error (false, e)
     | Ok slos -> (
@@ -302,7 +310,10 @@ let resilience_cmd =
         let config =
           { config with Eval.Resilience_exp.scenario; replicas; loss; slos; audit_rate }
         in
-        match Eval.Resilience_exp.run_instrumented config with
+        let spans =
+          match trace_out with Some _ -> Simkit.Span.buffer () | None -> Simkit.Span.noop
+        in
+        match Eval.Resilience_exp.run_instrumented ~spans config with
         | result, artifacts ->
             Eval.Resilience_exp.print result;
             List.iter
@@ -358,6 +369,12 @@ let resilience_cmd =
                   (Simkit.Flight_recorder.count artifacts.Eval.Resilience_exp.recorder)
                   file
             | None -> ());
+            (match trace_out with
+            | Some file ->
+                Simkit.Span.write_jsonl [ spans ] file;
+                Printf.printf "wrote %d span events to %s\n%!" (Simkit.Span.event_count spans)
+                  file
+            | None -> ());
             if require_complete && result.completed < result.joins then
               `Error
                 ( false,
@@ -376,7 +393,7 @@ let resilience_cmd =
       ret
         (const run $ quick_flag $ seed_opt $ routers_opt $ peers_opt $ k_opt $ scenario_arg
        $ replicas_arg $ loss_arg $ require_complete_arg $ json_out_arg $ slo_opt
-       $ audit_rate_opt $ flight_out_opt $ metrics_out_arg $ prom_out_opt))
+       $ audit_rate_opt $ flight_out_opt $ metrics_out_arg $ prom_out_opt $ trace_out_arg))
 
 let registry_cmd =
   let backend_arg =
@@ -424,7 +441,13 @@ let registry_cmd =
         (* The same scenario for every backend: join the whole population
            through the server, then ask everyone's k nearest. *)
         let run_backend ?(spans = Simkit.Span.noop) ?metrics spec =
-          let backend = Nearby.Instrumented_registry.wrap ?metrics (Eval.Backends.backend spec) in
+          (* The middleware gets the sink too, so with --trace-out every
+             store op is a span inside the join/query that caused it. *)
+          let backend =
+            Nearby.Instrumented_registry.wrap ?metrics
+              ?spans:(if Simkit.Span.enabled spans then Some spans else None)
+              (Eval.Backends.backend spec)
+          in
           let server =
             Nearby.Server.create ~backend ~spans w.Eval.Workload.ctx.Nearby.Selector.oracle
               ~landmarks:w.Eval.Workload.landmarks
@@ -513,6 +536,13 @@ let registry_cmd =
         Prelude.Table.print
           ~header:[ "backend"; "answers = tree"; "inserts"; "queries"; "audit"; "stats" ]
           rows;
+        (* Structural introspection: how the stored state is actually laid
+           out per backend (bucket occupancy, hottest routers, footprint). *)
+        List.iter
+          (fun (_, server, _, _, _, _, _) ->
+            Printf.printf "introspect %s: %s\n" (Nearby.Server.backend_name server)
+              (Nearby.Registry_intf.introspection_json (Nearby.Server.introspection server)))
+          runs;
         (match trace_out with
         | None -> ()
         | Some file ->
@@ -602,6 +632,35 @@ let registry_cmd =
         (const run $ quick_flag $ seed_opt $ routers_opt $ peers_opt $ k_opt $ backend_arg
        $ trace_out_arg $ metrics_out_arg $ audit_rate_opt $ slo_opt $ flight_out_opt
        $ prom_out_opt))
+
+let trace_cmd =
+  let file_arg =
+    let doc =
+      "Span JSONL file to analyze (the output of $(b,--trace-out) on the resilience or \
+       registry commands)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"FILE")
+  in
+  let run file =
+    match Simkit.Trace_analysis.load file with
+    | exception Sys_error e -> `Error (false, e)
+    | spans, untraced ->
+        if spans = [] && untraced = 0 then
+          `Error (false, Printf.sprintf "%s: no span events found" file)
+        else begin
+          print_string
+            (Simkit.Trace_analysis.report_to_string
+               (Simkit.Trace_analysis.analyze ~untraced spans));
+          exit_ok
+        end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Critical-path analysis of a span JSONL file: reconstruct the causal tree of every \
+          trace, attribute each trace's duration along its critical path, and report \
+          per-span-kind shares overall and in the p99 tail.")
+    Term.(ret (const run $ file_arg))
 
 let verify_cmd =
   let run seed_opt =
@@ -796,6 +855,7 @@ let () =
             bulk_cmd;
             joining_cmd;
             resilience_cmd;
+            trace_cmd;
             verify_cmd;
             all_cmd;
           ]))

@@ -146,6 +146,21 @@ let mem t peer = Hashtbl.mem t.paths peer
 let path_of t peer = Option.map Array.copy (Hashtbl.find_opt t.paths peer)
 let iter_members t f = Hashtbl.iter (fun p _ -> f p) t.paths
 
+(* Direct walk over every node store (no lookup traffic counted): the feed
+   for registry introspection. *)
+let iter_buckets t f =
+  Hashtbl.iter
+    (fun _ store -> Hashtbl.iter (fun router b -> f router (Bucket.cardinal !b)) store.buckets)
+    t.stores
+
+(* Rough payload estimate (paths + bucket entries) in bytes; the ring
+   metadata is excluded — it scales with nodes, not members. *)
+let approx_bytes t =
+  let words = ref 0 in
+  Hashtbl.iter (fun _ path -> words := !words + 4 + Array.length path) t.paths;
+  iter_buckets t (fun _ size -> words := !words + 2 + (5 * size));
+  8 * !words
+
 let dtree t p1 p2 =
   match (Hashtbl.find_opt t.paths p1, Hashtbl.find_opt t.paths p2) with
   | Some a, Some b ->

@@ -58,6 +58,15 @@ type stats = {
 val stats : t -> stats
 val reset_counters : t -> unit
 
+val iter_buckets : t -> (Topology.Graph.node -> int -> unit) -> unit
+(** [f router size] per stored router bucket across every node store,
+    unspecified order.  Reads the stores directly — no lookup traffic is
+    counted.  The feed for registry introspection. *)
+
+val approx_bytes : t -> int
+(** Rough payload size (paths + bucket entries) in bytes, excluding ring
+    metadata; an estimate for cross-backend comparison. *)
+
 val check_invariants : t -> unit
 (** Every bucket entry sits on the ring node owning its router key and is
     justified by a registered path, and vice versa.  Reads ownership

@@ -44,6 +44,10 @@ module Make (Config : CONFIG) : Nearby.Registry_intf.S with type t = Directory.t
       ("routers", List.fold_left (fun acc (_, b) -> acc + b) 0 s.Directory.buckets_per_node);
     ]
 
+  let introspect t =
+    Nearby.Registry_intf.introspection_of_buckets ~members:(member_count t)
+      ~approx_bytes:(Directory.approx_bytes t) (Directory.iter_buckets t)
+
   let snapshot = Directory.snapshot
   let restore = Directory.restore
   let check_invariants = Directory.check_invariants

@@ -97,7 +97,10 @@ let registry_metrics doc =
     backends
 
 (* BENCH_obs.json: p99 latency relative to the tree backend.  Tails are the
-   noisiest numbers we gate on, hence the widest tolerance. *)
+   noisiest numbers we gate on, hence the widest tolerance.  The exemplar
+   and introspection numbers, by contrast, are deterministic in the seed:
+   exemplars must be present (the trace-id tagging path stays wired up) and
+   the structural counts must not drift. *)
 let obs_metrics doc =
   let backends = rows doc "backends" in
   let name_of row = str row [ "backend" ] in
@@ -111,7 +114,23 @@ let obs_metrics doc =
   List.concat_map
     (fun row ->
       let b = name_of row in
-      if b = "tree" then []
+      let exact name value = { name; value; direction = Exact; tolerance = 0.0 } in
+      let structural =
+        [
+          exact
+            (Printf.sprintf "obs/%s/exemplars_present" b)
+            (if num row [ "insert_exemplars" ] > 0.0 && num row [ "query_exemplars" ] > 0.0
+             then 1.0
+             else 0.0);
+          exact
+            (Printf.sprintf "obs/%s/introspect_members" b)
+            (num row [ "introspect"; "members" ]);
+          exact
+            (Printf.sprintf "obs/%s/introspect_routers" b)
+            (num row [ "introspect"; "routers" ]);
+        ]
+      in
+      if b = "tree" then structural
       else
         [
           {
@@ -126,7 +145,8 @@ let obs_metrics doc =
             direction = Lower_better;
             tolerance = 1.5;
           };
-        ])
+        ]
+        @ structural)
     backends
 
 (* BENCH_resilience.json: deterministic in the seed (simulated clock, no

@@ -102,7 +102,7 @@ let scenario_of config ~graph ~primary_router : Simkit.Fault.t =
         (Printf.sprintf "Resilience_exp: unknown scenario %S (expected %s)" other
            (String.concat " | " scenario_names))
 
-let run_instrumented (config : config) =
+let run_instrumented ?(spans = Simkit.Span.noop) (config : config) =
   if config.replicas < 1 then invalid_arg "Resilience_exp: replicas must be >= 1";
   if config.loss < 0.0 || config.loss >= 1.0 then
     invalid_arg "Resilience_exp: loss outside [0, 1)";
@@ -124,16 +124,19 @@ let run_instrumented (config : config) =
       ~rng:(Prelude.Prng.split w.rng)
   in
   let client_router = w.map.core.(0) in
+  (* One shared sink for cluster, RPC layer and servers: a single span-id
+     space, so cross-component parent links resolve inside one file. *)
   let cluster =
-    Nearby.Cluster.create ~detector_config:config.detector ~transport ~client_router
+    Nearby.Cluster.create ~detector_config:config.detector ~transport ~client_router ~spans
       ~make_server:(fun () ->
-        Nearby.Server.create ?latency:w.ctx.latency w.ctx.oracle ~landmarks:w.landmarks)
+        Nearby.Server.create ?latency:w.ctx.latency ~spans w.ctx.oracle ~landmarks:w.landmarks)
       ~restore_server:(fun data ->
-        Nearby.Server.restore ?latency:w.ctx.latency w.ctx.oracle data)
+        Nearby.Server.restore ?latency:w.ctx.latency ~spans w.ctx.oracle data)
       ~routers:replica_routers ~recorder ()
   in
   let rpc =
-    Simkit.Rpc.create ~config:config.rpc ~rng:(Prelude.Prng.split w.rng) ~recorder transport
+    Simkit.Rpc.create ~config:config.rpc ~rng:(Prelude.Prng.split w.rng) ~recorder ~spans
+      transport
   in
   let protocol = Nearby.Protocol.create_resilient ?latency:w.ctx.latency ~rpc cluster in
   (* Fault script wired to the real knobs. *)
@@ -189,12 +192,23 @@ let run_instrumented (config : config) =
     let on_breach (st : Simkit.Slo.status) =
       if not (List.mem st.spec.name !breached_ever) then
         breached_ever := st.spec.name :: !breached_ever;
+      (* Cross-link the breach to a concrete offender: the trace id behind
+         the worst join-latency bucket seen so far, when joins are being
+         traced.  Jumping from the breach event to the span tree is exactly
+         the debugging move the exemplars exist for. *)
+      let exemplar_args =
+        match Simkit.Trace.top_exemplar exp_trace "join_ms" with
+        | Some (e : Simkit.Trace.exemplar) ->
+            [ ("exemplar_trace_id", Simkit.Span.Int e.trace_id) ]
+        | None -> []
+      in
       Simkit.Flight_recorder.record recorder ~ts:(Simkit.Engine.now engine) ~kind:"slo"
         ~args:
-          [
-            ("burn_rate", Simkit.Span.Float st.burn_rate);
-            ("worst", Simkit.Span.Float st.worst);
-          ]
+          ([
+             ("burn_rate", Simkit.Span.Float st.burn_rate);
+             ("worst", Simkit.Span.Float st.worst);
+           ]
+          @ exemplar_args)
         ("breach: " ^ st.spec.name)
     in
     let on_clear (st : Simkit.Slo.status) =
@@ -216,11 +230,15 @@ let run_instrumented (config : config) =
     Simkit.Engine.schedule_at engine ~time:at (fun () ->
         let started = Simkit.Engine.now engine in
         Simkit.Timeseries.observe timeseries "join_started" ~now:started 1.0;
+        (* Remember which trace this join opened so its latency sample can
+           carry the trace id as an exemplar tag (0 when tracing is off). *)
+        let join_trace = ref 0 in
         Nearby.Protocol.join protocol ~peer ~attach_router:w.peer_routers.(peer) ~k:config.k
+          ~on_trace:(fun ctx -> join_trace := ctx.Simkit.Span.trace_id)
           ~on_complete:(fun _info reply ->
             incr completed;
             let now = Simkit.Engine.now engine in
-            Simkit.Trace.observe exp_trace "join_ms" (now -. started);
+            Simkit.Trace.observe ~trace_id:!join_trace exp_trace "join_ms" (now -. started);
             Simkit.Timeseries.observe timeseries "join_ms" ~now (now -. started);
             Simkit.Timeseries.observe timeseries "join_completed" ~now 1.0;
             match auditor with
@@ -290,16 +308,15 @@ let run config = fst (run_instrumented config)
 let result_json (r : result) =
   let fl v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
   Printf.sprintf
-    {|{"scenario": %S, "replicas": %d, "loss": %.3f, "joins": %d, "completed": %d, "failed": %d, "completion_rate": %.4f, "join_p50_ms": %s, "join_p99_ms": %s, "rpc_attempts": %d, "rpc_retries": %d, "rpc_timeouts": %d, "rpc_gave_up": %d, "suspicions": %d, "sync_rounds": %d, "recovery_ms": %s, "consistent": %b, "live_peer_counts": [%s], "dropped_loss": %d, "dropped_unreachable": %d, "dropped_partition": %d, "slo_breaches": [%s]}|}
-    r.scenario r.replicas r.loss r.joins r.completed r.failed r.completion_rate
-    (fl r.join_p50_ms) (fl r.join_p99_ms) r.rpc_attempts r.rpc_retries r.rpc_timeouts
-    r.rpc_gave_up r.suspicions r.sync_rounds
+    {|{"scenario": %s, "replicas": %d, "loss": %.3f, "joins": %d, "completed": %d, "failed": %d, "completion_rate": %.4f, "join_p50_ms": %s, "join_p99_ms": %s, "rpc_attempts": %d, "rpc_retries": %d, "rpc_timeouts": %d, "rpc_gave_up": %d, "suspicions": %d, "sync_rounds": %d, "recovery_ms": %s, "consistent": %b, "live_peer_counts": [%s], "dropped_loss": %d, "dropped_unreachable": %d, "dropped_partition": %d, "slo_breaches": [%s]}|}
+    (Simkit.Json_str.quote r.scenario) r.replicas r.loss r.joins r.completed r.failed
+    r.completion_rate (fl r.join_p50_ms) (fl r.join_p99_ms) r.rpc_attempts r.rpc_retries
+    r.rpc_timeouts r.rpc_gave_up r.suspicions r.sync_rounds
     (match r.recovery_ms with Some v -> Printf.sprintf "%.1f" v | None -> "null")
     r.consistent
     (String.concat ", " (List.map string_of_int r.live_peer_counts))
     r.dropped_loss r.dropped_unreachable r.dropped_partition
-    (String.concat ", "
-       (List.map (fun n -> Printf.sprintf "%S" n) r.slo_breaches))
+    (String.concat ", " (List.map Simkit.Json_str.quote r.slo_breaches))
 
 let print (r : result) =
   Printf.printf "Resilience: scenario=%s replicas=%d loss=%.2f\n" r.scenario r.replicas r.loss;

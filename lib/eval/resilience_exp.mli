@@ -88,8 +88,18 @@ val run : config -> result
     @raise Invalid_argument on an unknown scenario, [replicas < 1] or loss
     outside [0, 1). *)
 
-val run_instrumented : config -> result * artifacts
-(** {!run}, also returning the live observability artifacts. *)
+val run_instrumented : ?spans:Simkit.Span.sink -> config -> result * artifacts
+(** {!run}, also returning the live observability artifacts.
+
+    [spans] (default: the noop sink) receives the causal span trees of the
+    whole run: one root ["join"] span per peer with its measurement, RPC
+    attempts, server-side registration subtree and replication fan-out
+    hanging off it, plus the cluster's ["sync_round"] roots.  The same
+    sink is shared by the RPC layer, the cluster and every replica server,
+    so all parent links resolve within one file.  When tracing is on, the
+    [exp_trace] ["join_ms"] samples are tagged with their join's trace id
+    (tail exemplars) and SLO breach events carry an [exemplar_trace_id]
+    pointing at the worst-bucket join seen so far. *)
 
 val result_json : result -> string
 (** One JSON object (no trailing newline). *)

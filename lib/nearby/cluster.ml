@@ -19,6 +19,7 @@ type t = {
   restore_server : (string -> (Server.t, string) result) option;
   trace : Simkit.Trace.t;
   recorder : Simkit.Flight_recorder.t option;
+  spans : Simkit.Span.sink;
 }
 
 let engine t = Option.map Simkit.Transport.engine t.transport
@@ -37,6 +38,7 @@ let single ~router server =
     restore_server = None;
     trace = Simkit.Trace.create ();
     recorder = None;
+    spans = Simkit.Span.noop;
   }
 
 let watch_replica t r =
@@ -45,8 +47,8 @@ let watch_replica t r =
   | Some d ->
       Simkit.Failure_detector.watch d ~peer:r.id ~router:r.router ~alive:(fun () -> r.alive)
 
-let create ?(detector_config = Simkit.Failure_detector.default_config) ?recorder ~transport
-    ~client_router ~make_server ~restore_server ~routers () =
+let create ?(detector_config = Simkit.Failure_detector.default_config) ?recorder
+    ?(spans = Simkit.Span.noop) ~transport ~client_router ~make_server ~restore_server ~routers () =
   if Array.length routers = 0 then invalid_arg "Cluster.create: no replicas";
   let distinct = Hashtbl.create 8 in
   Array.iter
@@ -82,6 +84,7 @@ let create ?(detector_config = Simkit.Failure_detector.default_config) ?recorder
       restore_server = Some restore_server;
       trace;
       recorder;
+      spans;
     }
   in
   Array.iter (fun r -> watch_replica t r) replicas;
@@ -138,7 +141,7 @@ let target t ~src ~attempt =
    other replica.  Replication messages ride the transport (paying latency,
    loss and partitions); a replica that is down when the message lands
    simply misses the write — anti-entropy heals it later. *)
-let fan_out t ~from_replica ~peer ~attach_router ~measurement =
+let fan_out ?parent t ~from_replica ~peer ~attach_router ~measurement =
   let landmark = Server.measurement_landmark measurement in
   let path = Server.measurement_path measurement in
   let probes_spent = Server.measurement_probes measurement in
@@ -147,12 +150,25 @@ let fan_out t ~from_replica ~peer ~attach_router ~measurement =
   Array.iter
     (fun (o : replica) ->
       if o.id <> from_replica then begin
+        (* One replicate span per target, open from send to transport
+           delivery — in a trace tree the replication lag is visible next
+           to the join that caused it.  A message the transport drops
+           leaves its span open (never emitted), like the write it lost. *)
+        let span =
+          Simkit.Span.start_span t.spans ~name:"replicate" ~ts:(now t) ?parent ~tid:peer
+            [ ("peer", Simkit.Span.Int peer); ("to_replica", Simkit.Span.Int o.id) ]
+        in
         let apply () =
-          if o.alive && not (Server.mem o.server peer) then begin
-            Server.register_replica o.server ~peer ~attach_router ~landmark ~path ~probes_spent;
-            Simkit.Trace.incr t.trace "cluster_replicate_apply"
-          end
-          else Simkit.Trace.incr t.trace "cluster_replicate_skip"
+          (if o.alive && not (Server.mem o.server peer) then begin
+             Server.register_replica o.server ~peer ~attach_router ~landmark ~path ~probes_spent;
+             Simkit.Trace.incr t.trace "cluster_replicate_apply";
+             Simkit.Span.add_arg span "outcome" (Simkit.Span.Str "applied")
+           end
+           else begin
+             Simkit.Trace.incr t.trace "cluster_replicate_skip";
+             Simkit.Span.add_arg span "outcome" (Simkit.Span.Str "skipped")
+           end);
+          Simkit.Span.finish ~ts:(now t) span
         in
         Simkit.Trace.incr t.trace "cluster_replicate_send";
         match t.transport with
@@ -161,7 +177,12 @@ let fan_out t ~from_replica ~peer ~attach_router ~measurement =
       end)
     t.replicas
 
-let handle_registration t ~replica ~peer ~attach_router ~measurement ~k =
+let handle_registration ?parent t ~replica ~peer ~attach_router ~measurement ~k =
+  (* Sync the span sink's logical clock to the engine at message receipt,
+     so server-side spans land at (roughly) the simulated time the request
+     arrived rather than wherever the sink clock last stopped.  [advance]
+     ignores negative deltas, so this only ever moves forward. *)
+  Simkit.Span.advance t.spans (now t -. Simkit.Span.now t.spans);
   let r = t.replicas.(replica) in
   if not r.alive then None
   else begin
@@ -169,9 +190,9 @@ let handle_registration t ~replica ~peer ~attach_router ~measurement ~k =
       (* A retry whose predecessor's reply was lost: idempotent re-answer. *)
       Simkit.Trace.incr t.trace "cluster_duplicate_register"
     else begin
-      ignore (Server.register_measured r.server ~peer ~attach_router measurement);
+      ignore (Server.register_measured ?parent r.server ~peer ~attach_router measurement);
       Simkit.Trace.incr t.trace "cluster_register";
-      fan_out t ~from_replica:replica ~peer ~attach_router ~measurement
+      fan_out ?parent t ~from_replica:replica ~peer ~attach_router ~measurement
     end;
     Some (Option.get (Server.info r.server peer), Server.neighbors r.server ~peer ~k)
   end
@@ -227,6 +248,10 @@ let recover t i =
       path the issue names.  A replica recovering here closes its
       [recovered_at] stopwatch into the ["cluster_recovery_ms"] stream. *)
 let sync_round t =
+  Simkit.Span.with_span t.spans ~name:"sync_round"
+    ~clock:(fun () -> now t)
+    [ ("live", Simkit.Span.Int (live_count t)) ]
+  @@ fun _ctx ->
   Simkit.Trace.incr t.trace "cluster_sync_rounds";
   let live = Array.to_list t.replicas |> List.filter (fun r -> r.alive) in
   match live with

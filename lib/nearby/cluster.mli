@@ -23,6 +23,7 @@ val single : router:Topology.Graph.node -> Server.t -> t
 val create :
   ?detector_config:Simkit.Failure_detector.config ->
   ?recorder:Simkit.Flight_recorder.t ->
+  ?spans:Simkit.Span.sink ->
   transport:Simkit.Transport.t ->
   client_router:Topology.Graph.node ->
   make_server:(unit -> Server.t) ->
@@ -68,6 +69,7 @@ val target : t -> src:Topology.Graph.node -> attempt:int -> int option
     @raise Invalid_argument on a {!single} cluster. *)
 
 val handle_registration :
+  ?parent:Simkit.Span.context ->
   t ->
   replica:int ->
   peer:int ->
@@ -79,7 +81,14 @@ val handle_registration :
     on [replica], fan the write out to the other replicas, and answer the
     neighbor query.  Idempotent — a retried RPC whose first reply was lost
     re-answers without re-registering.  [None] when the replica is down
-    (the RPC times out). *)
+    (the RPC times out).
+
+    [parent] (normally the RPC attempt's span context) parents both the
+    server-side join subtree and one ["replicate"] span per fan-out
+    target — open from send to transport delivery, tagged
+    applied/skipped — so replication lag shows inside the join's causal
+    tree.  The [spans] sink of {!create} should be the same one the
+    servers and the RPC layer write to (one id space per trace file). *)
 
 val handle_join :
   ?rng:Prelude.Prng.t ->
@@ -106,7 +115,9 @@ val recover : t -> int -> unit
 val sync_round : t -> unit
 (** One anti-entropy round over the live replicas: union missing
     registrations into the most complete replica, then wholesale
-    {!Server.snapshot}/[restore] any straggler from it. *)
+    {!Server.snapshot}/[restore] any straggler from it.  Emits one
+    ["sync_round"] span (a root of its own trace) when a sink is
+    attached. *)
 
 val start_sync : t -> period_ms:float -> until:float -> unit
 (** Schedule {!sync_round} every [period_ms] up to engine time [until].

@@ -6,10 +6,17 @@
    [naive], [dht], [super] and [sharded:N], which is what lets the metrics
    exporter and `bench obs` report identical per-backend latency quantiles.
 
-   [wrap] is the zero-cost-when-disabled entry point: without a metrics
-   trace it returns the backend module unchanged (physically the same
-   first-class module), so the disabled path is a direct call into the
-   backend — no closure, no clock read, no branch. *)
+   With a span sink attached, every operation additionally becomes one
+   span, parented under whatever context is ambient ([Span.with_context] /
+   [Span.with_span] in the caller) — so a store op shows up inside the join
+   that caused it without any signature threading — and the recorded sample
+   is tagged with that trace id, cross-linking the stream's tail exemplars
+   to concrete traces.
+
+   [wrap] is the zero-cost-when-disabled entry point: with neither a
+   metrics trace nor a span sink it returns the backend module unchanged
+   (physically the same first-class module), so the disabled path is a
+   direct call into the backend — no closure, no clock read, no branch. *)
 
 let insert_ns = "registry_insert_ns"
 let remove_ns = "registry_remove_ns"
@@ -22,7 +29,8 @@ let query_candidates = "registry_query_candidates"
    survives quantization). *)
 let default_clock () = Unix.gettimeofday () *. 1e9
 
-let make ?(clock = default_clock) ~metrics (module B : Registry_intf.S) : (module Registry_intf.S) =
+let make ?(clock = default_clock) ?(spans = Simkit.Span.noop) ~metrics
+    (module B : Registry_intf.S) : (module Registry_intf.S) =
   (module struct
     type t = B.t
 
@@ -30,14 +38,23 @@ let make ?(clock = default_clock) ~metrics (module B : Registry_intf.S) : (modul
     let create = B.create
     let landmark = B.landmark
 
-    let timed name f =
-      let t0 = clock () in
-      let r = f () in
-      Simkit.Trace.observe metrics name (clock () -. t0);
-      r
+    (* The span runs on the sink's simulated clock (duration ~0 there: a
+       store op is instantaneous in simulated time); the wall-clock cost
+       goes to the metrics stream, tagged with the span's trace so the
+       stream's exemplars point back at the causing trace.  [with_span]
+       closes the span even when the backend raises. *)
+    let timed span_name stream f =
+      Simkit.Span.with_span spans ~name:span_name ?parent:(Simkit.Span.current spans) []
+        (fun ctx ->
+          let t0 = clock () in
+          let r = f () in
+          Simkit.Trace.observe ~trace_id:ctx.Simkit.Span.trace_id metrics stream (clock () -. t0);
+          r)
 
-    let insert t ~peer ~routers = timed insert_ns (fun () -> B.insert t ~peer ~routers)
-    let remove t peer = timed remove_ns (fun () -> B.remove t peer)
+    let insert t ~peer ~routers =
+      timed "registry_insert" insert_ns (fun () -> B.insert t ~peer ~routers)
+
+    let remove t peer = timed "registry_remove" remove_ns (fun () -> B.remove t peer)
     let mem = B.mem
     let member_count = B.member_count
     let path_of = B.path_of
@@ -49,14 +66,21 @@ let make ?(clock = default_clock) ~metrics (module B : Registry_intf.S) : (modul
       result
 
     let query t ~routers ~k ?(exclude = fun _ -> false) () =
-      observe_query (timed query_ns (fun () -> B.query t ~routers ~k ~exclude ()))
+      observe_query (timed "registry_query" query_ns (fun () -> B.query t ~routers ~k ~exclude ()))
 
-    let query_member t ~peer ~k = observe_query (timed query_ns (fun () -> B.query_member t ~peer ~k))
+    let query_member t ~peer ~k =
+      observe_query (timed "registry_query" query_ns (fun () -> B.query_member t ~peer ~k))
+
     let stats = B.stats
+    let introspect = B.introspect
     let snapshot = B.snapshot
     let restore = B.restore
     let check_invariants = B.check_invariants
   end)
 
-let wrap ?clock ?metrics backend =
-  match metrics with None -> backend | Some metrics -> make ?clock ~metrics backend
+let wrap ?clock ?metrics ?spans backend =
+  match (metrics, spans) with
+  | None, None -> backend
+  | _ ->
+      let metrics = match metrics with Some m -> m | None -> Simkit.Trace.create () in
+      make ?clock ?spans ~metrics backend

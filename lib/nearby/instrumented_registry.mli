@@ -10,8 +10,14 @@
     - ["registry_query_candidates"] — candidates returned per query.
 
     The upgraded trace gives each stream p50/p90/p99 alongside mean/CI, so
-    every backend gets tail-latency metrics for free; answers, stats and
-    snapshots pass through untouched. *)
+    every backend gets tail-latency metrics for free; answers, stats,
+    introspection and snapshots pass through untouched.
+
+    With a span sink, each operation additionally emits one span
+    (["registry_insert"] / ["registry_remove"] / ["registry_query"])
+    parented under the ambient context ({!Simkit.Span.current}), and the
+    timed sample is recorded with that context's trace id — the stream's
+    tail exemplars then point back at the traces that caused them. *)
 
 val insert_ns : string
 val remove_ns : string
@@ -22,18 +28,21 @@ val query_candidates : string
 
 val make :
   ?clock:(unit -> float) ->
+  ?spans:Simkit.Span.sink ->
   metrics:Simkit.Trace.t ->
   (module Registry_intf.S) ->
   (module Registry_intf.S)
 (** [make ~metrics b] is [b] with timed hot paths.  [clock] (default
     [Unix.gettimeofday]-based, nanoseconds) is injectable for
-    deterministic tests. *)
+    deterministic tests; [spans] (default {!Simkit.Span.noop}) receives
+    one per-operation span parented on the ambient context. *)
 
 val wrap :
   ?clock:(unit -> float) ->
   ?metrics:Simkit.Trace.t ->
+  ?spans:Simkit.Span.sink ->
   (module Registry_intf.S) ->
   (module Registry_intf.S)
-(** [wrap ?metrics b] is [make ~metrics b] when a metrics trace is given
-    and {e physically} [b] itself otherwise — instrumentation compiles
-    down to direct backend calls when disabled. *)
+(** [wrap ?metrics ?spans b] is [make] when a metrics trace or a span sink
+    is given and {e physically} [b] itself when neither is —
+    instrumentation compiles down to direct backend calls when disabled. *)

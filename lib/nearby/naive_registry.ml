@@ -59,6 +59,24 @@ let query_member t ~peer ~k =
 let backend_name = "naive"
 let stats t = [ ("members", member_count t) ]
 
+(* The naive store keeps no per-router index, so occupancy is derived the
+   naive way too: count how many stored paths cross each router.  One
+   O(total path length) scan — introspection is an offline operation. *)
+let introspect t =
+  let per_router = Hashtbl.create 256 in
+  let words = ref 0 in
+  Hashtbl.iter
+    (fun _ path ->
+      words := !words + 4 + Array.length path;
+      Array.iter
+        (fun router ->
+          Hashtbl.replace per_router router
+            (1 + Option.value ~default:0 (Hashtbl.find_opt per_router router)))
+        path)
+    t.paths;
+  Registry_intf.introspection_of_buckets ~members:(member_count t) ~approx_bytes:(8 * !words)
+    (fun f -> Hashtbl.iter f per_router)
+
 let check_invariants t =
   Hashtbl.iter
     (fun peer path ->

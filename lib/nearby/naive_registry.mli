@@ -36,6 +36,11 @@ val backend_name : string
 (** ["naive"]. *)
 
 val stats : t -> (string * int) list
+
+val introspect : t -> Registry_intf.introspection
+(** Derived by scanning the stored paths (no per-router index exists):
+    occupancy counts how many paths cross each router. *)
+
 val snapshot : t -> string
 val restore : string -> (t, string) result
 val check_invariants : t -> unit

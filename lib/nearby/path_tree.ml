@@ -37,6 +37,10 @@ let check_invariants = Core.check_invariants
 let backend_name = "tree"
 let stats t = [ ("members", member_count t); ("routers", router_count t) ]
 
+let introspect t =
+  Registry_intf.introspection_of_buckets ~members:(member_count t)
+    ~approx_bytes:(Core.approx_bytes t) (Core.iter_buckets t)
+
 let snapshot_version = 1
 
 let snapshot t =

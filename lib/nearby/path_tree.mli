@@ -80,6 +80,11 @@ val backend_name : string
 val stats : t -> (string * int) list
 (** [("members", _); ("routers", _)]. *)
 
+val introspect : t -> Registry_intf.introspection
+(** Bucket occupancy straight off the router table: one histogram sample
+    per router (value = bucket cardinality), hot routers the largest
+    buckets. *)
+
 val snapshot : t -> string
 (** Registered peers and their router paths in the {!Prelude.Codec} binary
     format (sorted by peer id, so equal state yields equal bytes). *)

@@ -140,6 +140,17 @@ module Make (Cost : COST) = struct
     | Some hops -> query t ~hops ~k ~exclude:(fun p -> p = peer) ()
 
   let iter_members t f = Hashtbl.iter (fun p _ -> f p) t.paths
+  let iter_buckets t f = Hashtbl.iter (fun router b -> f router (Bucket.cardinal !b)) t.buckets
+
+  (* Rough payload estimate in machine words times 8: each path entry is a
+     (router, cost) pair in an array, each bucket entry an AVL node of a
+     (cost, peer) pair.  Good for cross-backend comparison, not
+     accounting. *)
+  let approx_bytes t =
+    let words = ref 0 in
+    Hashtbl.iter (fun _ hops -> words := !words + 4 + (3 * Array.length hops)) t.paths;
+    Hashtbl.iter (fun _ b -> words := !words + 2 + (5 * Bucket.cardinal !b)) t.buckets;
+    8 * !words
 
   let check_invariants t =
     let fail fmt = Printf.ksprintf failwith fmt in

@@ -61,6 +61,14 @@ module Make (Cost : COST) : sig
 
   val iter_members : t -> (peer -> unit) -> unit
 
+  val iter_buckets : t -> (Topology.Graph.node -> int -> unit) -> unit
+  (** [f router size] per router bucket, unspecified order — the feed for
+      registry introspection (occupancy histograms, hot routers). *)
+
+  val approx_bytes : t -> int
+  (** Rough payload size (paths + buckets) in bytes; an estimate for
+      cross-backend comparison, not an exact heap measurement. *)
+
   val check_invariants : t -> unit
   (** @raise Failure on a violated structural invariant (test hook). *)
 end

@@ -84,16 +84,38 @@ let join_direct ?rng t ~peer ~attach_router ~k ~on_complete ~on_failure =
 (* Resilient join: the newcomer measures locally (same rng draws, same
    probe accounting as the direct path), then ships the recorded path to
    the cluster through the retrying RPC layer.  Retries resend the same
-   measurement — the client does not re-traceroute on a lost packet. *)
-let join_resilient ?rng t ~rpc ~peer ~attach_router ~k ~on_complete ~on_failure =
+   measurement — the client does not re-traceroute on a lost packet.
+
+   One root "join" span covers the whole client-observed join, on the
+   engine clock; the measurement, every RPC attempt and (through the
+   attempt's ambient context) the server-side registration subtree all
+   hang off it, so a failed-over join is still one causal tree. *)
+let join_resilient ?rng ?on_trace t ~rpc ~peer ~attach_router ~k ~on_complete ~on_failure =
+  let spans = Simkit.Rpc.spans rpc in
+  let now () = Simkit.Engine.now t.engine in
+  let join_span =
+    Simkit.Span.start_span spans ~name:"join" ~ts:(now ()) ~tid:peer
+      [ ("peer", Simkit.Span.Int peer); ("attach_router", Simkit.Span.Int attach_router) ]
+  in
+  let join_ctx = Simkit.Span.context_of join_span in
+  (match on_trace with Some f -> f join_ctx | None -> ());
   let measurement = Server.measure ?rng (server t) ~attach_router in
+  Simkit.Span.emit spans ~name:"measure" ~ts:(now ())
+    ~dur:(Server.measurement_duration_ms measurement)
+    ~tid:peer
+    ~ctx:(Simkit.Span.context spans ~parent:join_ctx ())
+    [ ("probes", Simkit.Span.Int (Server.measurement_probes measurement)) ];
   let request_bytes =
     Wire.byte_size (Wire.Path_report { peer; path = Server.measurement_path measurement })
     + Wire.byte_size (Wire.Neighbor_request { peer; k })
   in
   let reply_bytes (_, reply) = Wire.byte_size (Wire.Neighbor_reply { peer; neighbors = reply }) in
+  let finish outcome =
+    Simkit.Span.add_arg join_span "outcome" (Simkit.Span.Str outcome);
+    Simkit.Span.finish ~ts:(now ()) join_span
+  in
   Simkit.Engine.schedule t.engine ~delay:(Server.measurement_duration_ms measurement) (fun () ->
-      Simkit.Rpc.call rpc ~src:attach_router
+      Simkit.Rpc.call ~parent:join_ctx rpc ~src:attach_router
         ~dst:(fun ~attempt ->
           Cluster.target t.cluster ~src:attach_router ~attempt
           |> Option.map (Cluster.replica_router t.cluster))
@@ -102,14 +124,24 @@ let join_resilient ?rng t ~rpc ~peer ~attach_router ~k ~on_complete ~on_failure 
           match Cluster.replica_at t.cluster ~router:dst with
           | None -> None
           | Some replica ->
-              Cluster.handle_registration t.cluster ~replica ~peer ~attach_router ~measurement ~k)
-        ~on_reply:(fun (info, reply) -> on_complete info reply)
-        ~on_give_up:on_failure)
+              (* The RPC layer installs the attempt's context as ambient
+                 around [handle], so the server-side subtree parents under
+                 the exact attempt that carried the request. *)
+              Cluster.handle_registration
+                ?parent:(Simkit.Span.current spans)
+                t.cluster ~replica ~peer ~attach_router ~measurement ~k)
+        ~on_reply:(fun (info, reply) ->
+          finish "ok";
+          on_complete info reply)
+        ~on_give_up:(fun () ->
+          finish "gave_up";
+          on_failure ()))
 
-let join ?rng ?(on_failure = fun () -> ()) t ~peer ~attach_router ~k ~on_complete =
+let join ?rng ?on_trace ?(on_failure = fun () -> ()) t ~peer ~attach_router ~k ~on_complete =
   match t.mode with
   | Direct -> join_direct ?rng t ~peer ~attach_router ~k ~on_complete ~on_failure
-  | Resilient { rpc } -> join_resilient ?rng t ~rpc ~peer ~attach_router ~k ~on_complete ~on_failure
+  | Resilient { rpc } ->
+      join_resilient ?rng ?on_trace t ~rpc ~peer ~attach_router ~k ~on_complete ~on_failure
 
 let vivaldi_setup_delay ~rounds ~round_period_ms =
   if rounds < 0 || round_period_ms < 0.0 then invalid_arg "Protocol.vivaldi_setup_delay: negative input";

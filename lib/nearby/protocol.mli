@@ -46,6 +46,7 @@ val cluster : t -> Cluster.t
 
 val join :
   ?rng:Prelude.Prng.t ->
+  ?on_trace:(Simkit.Span.context -> unit) ->
   ?on_failure:(unit -> unit) ->
   t ->
   peer:int ->
@@ -59,7 +60,16 @@ val join :
     at call time.  When the server round cannot complete — every RPC
     attempt timed out, or the lone direct server is down — [on_failure]
     (default: do nothing) fires instead; exactly one of the two callbacks
-    runs per join. *)
+    runs per join.
+
+    On the resilient path with a span sink attached (the RPC layer's),
+    each join opens one root ["join"] span on the engine clock; the
+    ["measure"] phase, every ["rpc_attempt"] and the server-side
+    registration subtree hang off it, so a join that failed over between
+    replicas is still one causal tree under one trace id.  [on_trace]
+    fires synchronously with that root context (the null context in
+    direct mode or with tracing off) — experiments use it to tag their
+    latency samples with the join's trace id. *)
 
 val estimate_join_delay : t -> attach_router:Topology.Graph.node -> float
 (** The deterministic protocol time a loss-free [join] charges from this

@@ -20,6 +20,100 @@
 
 type peer = int
 
+(* How many of the busiest routers [introspect] names.  A constant rather
+   than a parameter so every backend's top-k is comparable. *)
+let hot_router_k = 8
+
+(* A structural X-ray of a backend: how its storage is distributed over
+   routers, which routers are hottest, and roughly how much memory it
+   holds.  [occupancy] has one sample per (router, bucket) — the sample
+   value is that bucket's size — so [Histogram.total occupancy] is the
+   physical bucket count and the histogram's shape is the skew.
+   [approx_bytes] is a words-times-8 estimate of the payload (paths,
+   buckets, tables), not an exact heap measurement: good for comparing
+   backends and spotting growth, not for accounting. *)
+type introspection = {
+  members : int;
+  routers : int;  (* distinct storage buckets / routers known *)
+  occupancy : Prelude.Histogram.t;
+  hot_routers : (Topology.Graph.node * int) list;  (* top-k by bucket size, descending *)
+  approx_bytes : int;
+}
+
+(* Build an introspection from one pass over (router, bucket-size) pairs:
+   the shared tail of every backend's [introspect]. *)
+let introspection_of_buckets ~members ~approx_bytes iter =
+  let occupancy = Prelude.Histogram.create () in
+  let routers = ref 0 in
+  let hot = ref [] in
+  iter (fun router size ->
+      incr routers;
+      Prelude.Histogram.add_log2 occupancy (float_of_int size);
+      hot := (router, size) :: !hot);
+  let hot_routers =
+    List.sort (fun (r1, s1) (r2, s2) -> compare (s2, r1) (s1, r2)) !hot
+    |> List.filteri (fun i _ -> i < hot_router_k)
+  in
+  { members; routers = !routers; occupancy; hot_routers; approx_bytes }
+
+(* Combine per-shard / per-landmark introspections: occupancies merge
+   bucket-wise, hot lists re-rank summed per-router sizes, counts add.
+   Members add too — callers merging views of the *same* peers (rather
+   than a partition) should correct that field themselves. *)
+let merge_introspections = function
+  | [] ->
+      {
+        members = 0;
+        routers = 0;
+        occupancy = Prelude.Histogram.create ();
+        hot_routers = [];
+        approx_bytes = 0;
+      }
+  | parts ->
+      let occupancy = Prelude.Histogram.create () in
+      let hot = Hashtbl.create 16 in
+      List.iter
+        (fun p ->
+          Prelude.Histogram.merge_into ~into:occupancy p.occupancy;
+          List.iter
+            (fun (router, size) ->
+              Hashtbl.replace hot router
+                (size + Option.value ~default:0 (Hashtbl.find_opt hot router)))
+            p.hot_routers)
+        parts;
+      let hot_routers =
+        Hashtbl.fold (fun router size acc -> (router, size) :: acc) hot []
+        |> List.sort (fun (r1, s1) (r2, s2) -> compare (s2, r1) (s1, r2))
+        |> List.filteri (fun i _ -> i < hot_router_k)
+      in
+      {
+        members = List.fold_left (fun acc p -> acc + p.members) 0 parts;
+        routers = List.fold_left (fun acc p -> acc + p.routers) 0 parts;
+        occupancy;
+        hot_routers;
+        approx_bytes = List.fold_left (fun acc p -> acc + p.approx_bytes) 0 parts;
+      }
+
+let introspection_json i =
+  let open Simkit.Json_str in
+  obj
+    [
+      ("members", string_of_int i.members);
+      ("routers", string_of_int i.routers);
+      ("approx_bytes", string_of_int i.approx_bytes);
+      ( "occupancy_log2",
+        arr
+          (List.map
+             (fun (b, c) -> Printf.sprintf "[%d, %d]" b c)
+             (Prelude.Histogram.to_assoc i.occupancy)) );
+      ( "hot_routers",
+        arr
+          (List.map
+             (fun (router, size) ->
+               obj [ ("router", string_of_int router); ("bucket_size", string_of_int size) ])
+             i.hot_routers) );
+    ]
+
 module type S = sig
   type t
 
@@ -44,6 +138,7 @@ module type S = sig
 
   val query_member : t -> peer:peer -> k:int -> (peer * int) list
   val stats : t -> (string * int) list
+  val introspect : t -> introspection
   val snapshot : t -> string
   val restore : string -> (t, string) result
   val check_invariants : t -> unit
@@ -117,6 +212,10 @@ let query_member (Registry r) ~peer ~k =
 let stats (Registry r) =
   let module B = (val r.backend) in
   B.stats r.state
+
+let introspect (Registry r) =
+  let module B = (val r.backend) in
+  B.introspect r.state
 
 let snapshot (Registry r) =
   let module B = (val r.backend) in

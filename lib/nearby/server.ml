@@ -25,8 +25,10 @@ type t = {
   trace : Simkit.Trace.t;
   spans : Simkit.Span.sink;
   (* Peers whose join span is still open: closed by their first query (so
-     the span encloses the whole two-round protocol), or by leave/flush. *)
-  open_joins : (int, float) Hashtbl.t;
+     the span encloses the whole two-round protocol), or by leave/flush.
+     The context keeps the query and the close causally linked to the
+     join's trace. *)
+  open_joins : (int, float * Simkit.Span.context) Hashtbl.t;
 }
 
 let create ?(truncate = Traceroute.Truncate.Full) ?(probe_config = Traceroute.Probe.default_config)
@@ -77,6 +79,12 @@ let backend_name t =
 let registry_stats t =
   Registry_intf.merge_stats
     (Hashtbl.fold (fun _ reg acc -> Registry_intf.stats reg :: acc) t.registries [])
+
+(* The per-landmark registries partition the peers, so the bucket-wise
+   merge (occupancies add, hot lists re-rank) is the whole-server truth. *)
+let introspection t =
+  Registry_intf.merge_introspections
+    (Hashtbl.fold (fun _ reg acc -> Registry_intf.introspect reg :: acc) t.registries [])
 
 let peer_ids t = Hashtbl.fold (fun peer _ acc -> peer :: acc) t.peers [] |> List.sort compare
 
@@ -139,7 +147,7 @@ let registrable_path ~landmark path =
 let close_join_span t ~peer =
   match Hashtbl.find_opt t.open_joins peer with
   | None -> ()
-  | Some t0 ->
+  | Some (t0, ctx) ->
       Hashtbl.remove t.open_joins peer;
       let now = Simkit.Span.now t.spans in
       let args =
@@ -153,7 +161,7 @@ let close_join_span t ~peer =
               ("hops", Simkit.Span.Int (Traceroute.Path.hop_count info.recorded_path));
             ]
       in
-      Simkit.Span.emit t.spans ~name:"join" ~ts:t0 ~dur:(now -. t0) ~tid:peer args
+      Simkit.Span.emit t.spans ~name:"join" ~ts:t0 ~dur:(now -. t0) ~tid:peer ~ctx args
 
 let flush_spans t =
   Hashtbl.fold (fun peer _ acc -> peer :: acc) t.open_joins []
@@ -162,12 +170,19 @@ let flush_spans t =
 (* Round 2 server side: store a client-measured path and answer the join
    counters/spans.  Split from [join] so a replicated cluster can measure
    once at the client and register the same measurement on any replica. *)
-let register_measured t ~peer ~attach_router (r : measurement) =
+let register_measured ?parent t ~peer ~attach_router (r : measurement) =
   if Hashtbl.mem t.peers peer then
     invalid_arg "Server.register_measured: peer already registered";
   let landmark = r.lmk and recorded_path = r.reduced and probes_spent = r.cost in
   let routers = registrable_path ~landmark recorded_path in
-  Registry_intf.insert (registry_of t landmark) ~peer ~routers;
+  (* The join span's context roots the server-side subtree — under [parent]
+     (the protocol/cluster span that carried the request here) when given,
+     a fresh trace otherwise.  The registry write runs with the register
+     span ambient, so timing middleware parents its op spans correctly. *)
+  let join_ctx = Simkit.Span.context t.spans ?parent () in
+  let register_ctx = Simkit.Span.context t.spans ~parent:join_ctx () in
+  Simkit.Span.with_context t.spans register_ctx (fun () ->
+      Registry_intf.insert (registry_of t landmark) ~peer ~routers);
   let info = { attach_router; landmark; recorded_path; probes_spent } in
   Hashtbl.add t.peers peer info;
   Log.debug (fun m ->
@@ -187,6 +202,7 @@ let register_measured t ~peer ~attach_router (r : measurement) =
     let open Simkit.Span in
     let t0 = now t.spans in
     emit t.spans ~name:"ping_round" ~ts:t0 ~dur:r.ping_rtt_ms ~tid:peer
+      ~ctx:(context t.spans ~parent:join_ctx ())
       [
         ("peer", Int peer);
         ("landmark", Int landmark);
@@ -196,13 +212,14 @@ let register_measured t ~peer ~attach_router (r : measurement) =
       ];
     let t1 = t0 +. r.ping_rtt_ms in
     emit t.spans ~name:"traceroute" ~ts:t1 ~dur:r.traceroute_ms ~tid:peer
+      ~ctx:(context t.spans ~parent:join_ctx ())
       [
         ("peer", Int peer);
         ("full_hops", Int r.full_hops);
         ("recorded_hops", Int (Traceroute.Path.hop_count recorded_path));
         ("probes_spent", Int (r.cost - r.round1_pings));
       ];
-    emit t.spans ~name:"register" ~ts:(t1 +. r.traceroute_ms) ~tid:peer
+    emit t.spans ~name:"register" ~ts:(t1 +. r.traceroute_ms) ~tid:peer ~ctx:register_ctx
       [
         ("peer", Int peer);
         ("landmark", Int landmark);
@@ -210,7 +227,7 @@ let register_measured t ~peer ~attach_router (r : measurement) =
         ("probes_spent", Int probes_spent);
       ];
     advance t.spans (r.ping_rtt_ms +. r.traceroute_ms);
-    Hashtbl.replace t.open_joins peer t0
+    Hashtbl.replace t.open_joins peer (t0, join_ctx)
   end;
   info
 
@@ -285,7 +302,17 @@ let neighbors t ~peer ~k =
   match Hashtbl.find_opt t.peers peer with
   | None -> raise Not_found
   | Some info ->
-      let reply = neighbors_of_path t ~path:info.recorded_path ~k ~exclude:(fun p -> p = peer) () in
+      (* The query joins the peer's still-open join trace when there is
+         one; a later re-query starts a trace of its own.  Running the
+         lookup with the context ambient parents any registry op spans. *)
+      let parent =
+        Option.map (fun (_, ctx) -> ctx) (Hashtbl.find_opt t.open_joins peer)
+      in
+      let query_ctx = Simkit.Span.context t.spans ?parent () in
+      let reply =
+        Simkit.Span.with_context t.spans query_ctx (fun () ->
+            neighbors_of_path t ~path:info.recorded_path ~k ~exclude:(fun p -> p = peer) ())
+      in
       Simkit.Trace.add_count t.trace "wire_bytes"
         (Wire.byte_size (Wire.Neighbor_request { peer; k })
         + Wire.byte_size
@@ -295,7 +322,7 @@ let neighbors t ~peer ~k =
         let open Simkit.Span in
         let tq = now t.spans in
         let dtree_best = match reply with (_, d) :: _ -> d | [] -> -1 in
-        emit t.spans ~name:"query" ~ts:tq ~tid:peer
+        emit t.spans ~name:"query" ~ts:tq ~tid:peer ~ctx:query_ctx
           [
             ("peer", Int peer);
             ("k", Int k);

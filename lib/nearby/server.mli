@@ -54,6 +54,11 @@ val registry_stats : t -> (string * int) list
 (** The backend's {!Registry_intf.S.stats} summed across the per-landmark
     registries — uniform per-backend metrics, whatever the backend. *)
 
+val introspection : t -> Registry_intf.introspection
+(** The backend's {!Registry_intf.S.introspect} merged across the
+    per-landmark registries (they partition the peers, so counts add and
+    occupancies merge bucket-wise). *)
+
 val graph : t -> Topology.Graph.t
 val landmarks : t -> Topology.Graph.node array
 val peer_count : t -> int
@@ -90,9 +95,14 @@ val measurement_duration_ms : measurement -> float
 (** Simulated ping-round + traceroute time. *)
 
 val register_measured :
+  ?parent:Simkit.Span.context ->
   t -> peer:int -> attach_router:Topology.Graph.node -> measurement -> peer_info
 (** Round 2 server side: register the measured path and account the join
-    (counters, spans).  @raise Invalid_argument when already registered. *)
+    (counters, spans).  With a span sink, the join span (and its
+    ping_round/traceroute/register children) roots a fresh trace, or joins
+    [parent]'s trace when given — that is how a cluster-routed registration
+    stays causally linked to the RPC attempt that carried it.
+    @raise Invalid_argument when already registered. *)
 
 val register_replica :
   t ->

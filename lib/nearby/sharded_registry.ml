@@ -105,6 +105,22 @@ module Make
     let largest = Array.fold_left (fun m s -> max m (Inner.member_count s)) 0 t.shards in
     ("largest_shard", largest) :: ("shards", shard_count) :: inner |> List.sort compare
 
+  (* Per-shard introspections merge bucket-wise: a router whose bucket is
+     split across shards counts once per physical bucket, which is the
+     storage-level truth for a scatter-gather store.  The home table keeps
+     the authoritative member count (shards partition peers, so the merged
+     sum equals it anyway). *)
+  let introspect t =
+    let merged =
+      Registry_intf.merge_introspections
+        (Array.to_list (Array.map Inner.introspect t.shards))
+    in
+    {
+      merged with
+      Registry_intf.members = member_count t;
+      approx_bytes = merged.Registry_intf.approx_bytes + (8 * 3 * Hashtbl.length t.home);
+    }
+
   let check_invariants t =
     Array.iter Inner.check_invariants t.shards;
     Hashtbl.iter

@@ -46,6 +46,7 @@ module Registry = struct
       ("routers", Path_tree.router_count t.tree);
     ]
 
+  let introspect t = Path_tree.introspect t.tree
   let check_invariants t = Path_tree.check_invariants t.tree
 
   let snapshot_version = 1

@@ -39,37 +39,53 @@ let meta_json m =
   ^ String.concat ", " (List.map (fun (k, v) -> Json_str.quote k ^ ": " ^ v) fields)
   ^ "}"
 
-let summary_json (s : Trace.summary) hist =
+let exemplar_json (e : Trace.exemplar) =
+  Json_str.obj
+    [
+      ("bucket", string_of_int e.bucket);
+      ("trace_id", string_of_int e.trace_id);
+      ("value", Json_str.number e.value);
+    ]
+
+let summary_json ?(exemplars = []) (s : Trace.summary) hist =
   let hist_json =
     match hist with
     | None -> "[]"
     | Some h ->
-        "["
-        ^ String.concat ", "
-            (List.map (fun (b, c) -> Printf.sprintf "[%d, %d]" b c) (Prelude.Histogram.to_assoc h))
-        ^ "]"
+        Json_str.arr
+          (List.map (fun (b, c) -> Printf.sprintf "[%d, %d]" b c) (Prelude.Histogram.to_assoc h))
   in
-  Printf.sprintf
-    "{\"count\": %d, \"mean\": %s, \"stddev\": %s, \"ci95\": %s, \"min\": %s, \"max\": %s, \
-     \"p50\": %s, \"p90\": %s, \"p99\": %s, \"log2_hist\": %s}"
-    s.Trace.count (Json_str.number s.Trace.mean) (Json_str.number s.Trace.stddev)
-    (Json_str.number s.Trace.ci95) (Json_str.number_opt s.Trace.min)
-    (Json_str.number_opt s.Trace.max) (Json_str.number s.Trace.p50) (Json_str.number s.Trace.p90)
-    (Json_str.number s.Trace.p99) hist_json
+  let fields =
+    [
+      ("count", string_of_int s.Trace.count);
+      ("mean", Json_str.number s.Trace.mean);
+      ("stddev", Json_str.number s.Trace.stddev);
+      ("ci95", Json_str.number s.Trace.ci95);
+      ("min", Json_str.number_opt s.Trace.min);
+      ("max", Json_str.number_opt s.Trace.max);
+      ("p50", Json_str.number s.Trace.p50);
+      ("p90", Json_str.number s.Trace.p90);
+      ("p99", Json_str.number s.Trace.p99);
+      ("log2_hist", hist_json);
+    ]
+    @
+    match exemplars with
+    | [] -> []
+    | es -> [ ("exemplars", Json_str.arr (List.map exemplar_json es)) ]
+  in
+  Json_str.obj fields
 
 let section_json trace =
   let counters =
-    Trace.counters trace
-    |> List.map (fun (name, v) -> Printf.sprintf "%s: %d" (Json_str.quote name) v)
-    |> String.concat ", "
+    Trace.counters trace |> List.map (fun (name, v) -> (name, string_of_int v))
   in
   let stats =
     Trace.summaries trace
     |> List.map (fun (name, s) ->
-           Printf.sprintf "%s: %s" (Json_str.quote name) (summary_json s (Trace.hist trace name)))
-    |> String.concat ", "
+           ( name,
+             summary_json ~exemplars:(Trace.exemplars trace name) s (Trace.hist trace name) ))
   in
-  Printf.sprintf "{\"counters\": {%s}, \"stats\": {%s}}" counters stats
+  Json_str.obj [ ("counters", Json_str.obj counters); ("stats", Json_str.obj stats) ]
 
 let metrics_json ?meta ?(timeseries = []) sections =
   let buf = Buffer.create 4096 in
@@ -137,7 +153,38 @@ let prometheus ?(prefix = "nearby") sections =
             [ ("0.5", s.Trace.p50); ("0.9", s.Trace.p90); ("0.99", s.Trace.p99) ];
           Buffer.add_string buf
             (Printf.sprintf "%s_sum %s\n" metric (prom_number (s.Trace.mean *. float_of_int s.Trace.count)));
-          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" metric s.Trace.count))
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" metric s.Trace.count);
+          (* Streams with tagged samples additionally expose their log2
+             histogram, each bucket line carrying its latest exemplar in the
+             OpenMetrics style: `... # {trace_id="N"} value`.  Plain
+             Prometheus parsers treat the suffix as a comment. *)
+          match (Trace.exemplars trace name, Trace.hist trace name) with
+          | [], _ | _, None -> ()
+          | exemplars, Some h ->
+              let hist_metric = metric ^ "_hist" in
+              Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" hist_metric);
+              let cumulative = ref 0 in
+              List.iter
+                (fun (bucket, count) ->
+                  cumulative := !cumulative + count;
+                  let le = Printf.sprintf "%g" (Float.pow 2.0 (float_of_int bucket)) in
+                  let exemplar =
+                    match
+                      List.find_opt (fun (e : Trace.exemplar) -> e.bucket = bucket) exemplars
+                    with
+                    | Some e ->
+                        Printf.sprintf " # {trace_id=\"%d\"} %s" e.trace_id
+                          (prom_number e.value)
+                    | None -> ""
+                  in
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket{le=\"%s\"} %d%s\n" hist_metric le !cumulative
+                       exemplar))
+                (Prelude.Histogram.to_assoc h);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" hist_metric
+                   (Prelude.Histogram.total h));
+              Buffer.add_string buf (Printf.sprintf "%s_count %d\n" hist_metric (Prelude.Histogram.total h)))
         (Trace.summaries trace))
     sections;
   Buffer.contents buf

@@ -46,13 +46,13 @@ let events t =
     (List.init (count t) Fun.id)
 
 let event_json e =
-  let args =
-    e.args
-    |> List.map (fun (k, v) -> Printf.sprintf "%s: %s" (Json_str.quote k) (Span.value_json v))
-    |> String.concat ", "
-  in
-  Printf.sprintf "{\"ts\": %s, \"kind\": %s, \"detail\": %s, \"args\": {%s}}"
-    (Json_str.number e.ts) (Json_str.quote e.kind) (Json_str.quote e.detail) args
+  Json_str.obj
+    [
+      ("ts", Json_str.number e.ts);
+      ("kind", Json_str.quote e.kind);
+      ("detail", Json_str.quote e.detail);
+      ("args", Json_str.obj (List.map (fun (k, v) -> (k, Span.value_json v)) e.args));
+    ]
 
 let to_jsonl t =
   let buf = Buffer.create 4096 in

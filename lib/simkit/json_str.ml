@@ -30,3 +30,11 @@ let number v =
   else Printf.sprintf "%.9g" v
 
 let number_opt = function None -> "null" | Some v -> number v
+
+(* Object/array assembly from already-rendered member values: the one
+   place the  {"k": v, ...}  punctuation lives, instead of per-exporter
+   Printf templates in Span, Flight_recorder and Export. *)
+let obj fields =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> quote k ^ ": " ^ v) fields) ^ "}"
+
+let arr items = "[" ^ String.concat ", " items ^ "]"

@@ -12,3 +12,11 @@ val number : float -> string
 
 val number_opt : float option -> string
 (** [None] renders as [null]. *)
+
+val obj : (string * string) list -> string
+(** Assemble an object from (key, already-rendered JSON value) pairs; keys
+    are escaped with {!quote}.  The single shared implementation of the
+    [{"k": v, ...}] punctuation used by every exporter. *)
+
+val arr : string list -> string
+(** Assemble an array from already-rendered JSON values. *)

@@ -29,14 +29,16 @@ type t = {
   rng : Prelude.Prng.t option;
   trace : Trace.t;
   recorder : Flight_recorder.t option;
+  spans : Span.sink;
 }
 
-let create ?(config = default_config) ?rng ?trace ?recorder transport =
+let create ?(config = default_config) ?rng ?trace ?recorder ?(spans = Span.noop) transport =
   validate_config config;
   let trace = match trace with Some t -> t | None -> Trace.create () in
-  { config; transport; rng; trace; recorder }
+  { config; transport; rng; trace; recorder; spans }
 
 let trace t = t.trace
+let spans t = t.spans
 let config t = t.config
 let engine t = Transport.engine t.transport
 
@@ -62,7 +64,7 @@ let record t ~args detail =
   | None -> ()
   | Some r -> Flight_recorder.record r ~ts:(Engine.now (engine t)) ~kind:"rpc" ~args detail
 
-let call t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_give_up =
+let call ?parent t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_give_up =
   let engine = engine t in
   Trace.incr t.trace "rpc_calls";
   let started_at = Engine.now engine in
@@ -81,15 +83,33 @@ let call t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_give_up =
       else begin
         Trace.incr t.trace "rpc_attempts";
         if n > 1 then Trace.incr t.trace "rpc_retries";
+        (* One child span per attempt: the retry index and per-attempt
+           target make client-side failover visible as sibling spans of one
+           trace.  Spans run on the engine clock, not the sink's. *)
+        let span =
+          Span.start_span t.spans ~name:"rpc_attempt" ~ts:(Engine.now engine) ?parent ~tid:src
+            [ ("attempt", Span.Int n); ("src", Span.Int src) ]
+        in
+        let close outcome =
+          Span.add_arg span "outcome" (Span.Str outcome);
+          Span.finish ~ts:(Engine.now engine) span
+        in
         (match dst ~attempt:n with
         | None ->
             (* No live target known right now; the backoff below doubles as
                a wait for one to come back. *)
             Trace.incr t.trace "rpc_no_target";
-            record t ~args:[ ("src", Span.Int src); ("attempt", Span.Int n) ] "no_target"
+            record t ~args:[ ("src", Span.Int src); ("attempt", Span.Int n) ] "no_target";
+            close "no_target"
         | Some target ->
+            Span.add_arg span "target" (Span.Int target);
             Transport.send t.transport ~src ~dst:target ~size_bytes:request_bytes (fun () ->
-                match handle ~dst:target with
+                (* The attempt's context is ambient while the server-side
+                   handler runs, so its instrumentation parents under this
+                   exact attempt without signature threading. *)
+                match
+                  Span.with_context t.spans (Span.context_of span) (fun () -> handle ~dst:target)
+                with
                 | None ->
                     (* The server was down when the request arrived: it is
                        consumed without a reply, exactly like a lost one. *)
@@ -113,16 +133,23 @@ let call t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_give_up =
                                 ("latency_ms", Span.Float (Engine.now engine -. started_at));
                               ]
                             "ok";
+                          close "ok";
                           on_reply v
                         end)));
         Engine.schedule engine ~delay:t.config.timeout_ms (fun () ->
             if not !settled then begin
               Trace.incr t.trace "rpc_timeouts";
               record t ~args:[ ("src", Span.Int src); ("attempt", Span.Int n) ] "timeout";
+              close "timeout";
               if n >= t.config.max_attempts then give_up ()
               else
                 Engine.schedule engine ~delay:(backoff_ms t ~attempt:n) (fun () -> attempt (n + 1))
-            end)
+            end
+            else
+              (* The call settled through another attempt while this one was
+                 in flight; [finish] is idempotent, so this only closes
+                 spans that were left open (e.g. an unserved request). *)
+              close "superseded")
       end
     end
   in

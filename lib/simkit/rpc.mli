@@ -38,14 +38,17 @@ val default_config : config
 
 val create :
   ?config:config -> ?rng:Prelude.Prng.t -> ?trace:Trace.t -> ?recorder:Flight_recorder.t ->
-  Transport.t -> t
+  ?spans:Span.sink -> Transport.t -> t
 (** [recorder] receives one ["rpc"]-kind event per notable outcome
     (timeout, failed-over attempt without a target, unserved request,
-    settled reply, give-up), stamped with the engine clock.
+    settled reply, give-up), stamped with the engine clock.  [spans]
+    receives one ["rpc_attempt"] span per attempt (see {!call}); default
+    {!Span.noop}.
     @raise Invalid_argument on a non-positive timeout, [max_attempts < 1],
     negative backoff, multiplier below 1 or jitter outside [0, 1). *)
 
 val call :
+  ?parent:Span.context ->
   t ->
   src:Topology.Graph.node ->
   dst:(attempt:int -> Topology.Graph.node option) ->
@@ -62,7 +65,14 @@ val call :
     target to return).  [handle ~dst] runs at the target when the request
     arrives: [Some v] sends [v] back in a reply of [reply_bytes v] bytes,
     [None] means the server was down and the request died unanswered.
-    Exactly one of [on_reply] / [on_give_up] fires per call. *)
+    Exactly one of [on_reply] / [on_give_up] fires per call.
+
+    With a span sink attached, each attempt becomes one ["rpc_attempt"]
+    span — a child of [parent] when given, so retries and failovers show
+    as siblings in one causal tree — timed on the engine clock and
+    annotated with the attempt index, the per-attempt target and the
+    outcome (["ok"] / ["timeout"] / ["no_target"] / ["superseded"] for an
+    attempt overtaken by another's late reply). *)
 
 val backoff_ms : t -> attempt:int -> float
 (** The (jittered) backoff charged after attempt [attempt] times out —
@@ -74,6 +84,10 @@ val trace : t -> Trace.t
     (attempts skipped for want of a live target), ["rpc_unserved"]
     (requests that reached a down server); stream ["rpc_latency_ms"]
     (call start to settled reply, simulated ms). *)
+
+val spans : t -> Span.sink
+(** The sink attempt spans go to ({!Span.noop} unless one was passed to
+    {!create}); callers share it to keep one id space per trace file. *)
 
 val config : t -> config
 val engine : t -> Engine.t

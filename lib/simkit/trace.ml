@@ -1,12 +1,18 @@
 (* Every observe stream keeps, besides the Welford accumulator, three P²
    sketches (p50/p90/p99) and a power-of-two latency histogram, so tails are
    readable from a long run without retaining samples. *)
+(* One retained sample per log2 bucket: the last trace to land there.  The
+   bucket count is bounded (~64), so exemplar storage is O(1) per stream
+   like everything else here. *)
+type exemplar = { bucket : int; trace_id : int; value : float }
+
 type stream = {
   st : Prelude.Stats.t;
   q50 : Prelude.Quantile.t;
   q90 : Prelude.Quantile.t;
   q99 : Prelude.Quantile.t;
   hist : Prelude.Histogram.t;  (* log2-bucketed: bucket b covers (2^(b-1), 2^b] *)
+  exemplars : (int, exemplar) Hashtbl.t;  (* bucket -> latest tagged sample *)
 }
 
 type summary = {
@@ -58,18 +64,37 @@ let stream t name =
           q90 = Prelude.Quantile.create ~q:0.9;
           q99 = Prelude.Quantile.create ~q:0.99;
           hist = Prelude.Histogram.create ();
+          exemplars = Hashtbl.create 8;
         }
       in
       Hashtbl.add t.streams name s;
       s
 
-let observe t name v =
+let observe ?trace_id t name v =
   let s = stream t name in
   Prelude.Stats.add s.st v;
   Prelude.Quantile.add s.q50 v;
   Prelude.Quantile.add s.q90 v;
   Prelude.Quantile.add s.q99 v;
-  Prelude.Histogram.add_log2 s.hist v
+  Prelude.Histogram.add_log2 s.hist v;
+  (* Trace id 0 is the noop span sink's null context: not a real trace. *)
+  match trace_id with
+  | Some id when id <> 0 ->
+      let bucket = Prelude.Histogram.log2_bucket v in
+      Hashtbl.replace s.exemplars bucket { bucket; trace_id = id; value = v }
+  | _ -> ()
+
+let exemplars t name =
+  match Hashtbl.find_opt t.streams name with
+  | None -> []
+  | Some s ->
+      Hashtbl.fold (fun _ e acc -> e :: acc) s.exemplars []
+      |> List.sort (fun a b -> compare a.bucket b.bucket)
+
+(* The sample from the highest populated bucket: "the trace to open" when a
+   stream's tail looks wrong. *)
+let top_exemplar t name =
+  match List.rev (exemplars t name) with e :: _ -> Some e | [] -> None
 
 let stat t name = Option.map (fun s -> s.st) (Hashtbl.find_opt t.streams name)
 let hist t name = Option.map (fun s -> s.hist) (Hashtbl.find_opt t.streams name)
@@ -118,5 +143,6 @@ let reset t =
       Prelude.Quantile.clear s.q50;
       Prelude.Quantile.clear s.q90;
       Prelude.Quantile.clear s.q99;
-      Prelude.Histogram.clear s.hist)
+      Prelude.Histogram.clear s.hist;
+      Hashtbl.reset s.exemplars)
     t.streams

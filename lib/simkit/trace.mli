@@ -36,8 +36,25 @@ val counter_ref : t -> string -> int ref
 (** The live cell behind a counter, for hot paths that bump it in a loop.
     The ref stays valid across {!reset} (reset zeroes it in place). *)
 
-val observe : t -> string -> float -> unit
-(** Append a sample to the named statistic. *)
+val observe : ?trace_id:int -> t -> string -> float -> unit
+(** Append a sample to the named statistic.  With [trace_id], also record
+    the sample as the latest {!exemplar} of its log2 bucket, so the tail of
+    the stream stays cross-linked to concrete traces (OpenMetrics-style).
+    Trace id 0 (the noop span sink's {!Span.null_context}) is ignored. *)
+
+type exemplar = {
+  bucket : int;  (** {!Prelude.Histogram.log2_bucket} of the sample. *)
+  trace_id : int;
+  value : float;
+}
+
+val exemplars : t -> string -> exemplar list
+(** One exemplar per populated log2 bucket (the latest to land there),
+    ascending by bucket; [[]] for unknown streams or untagged samples. *)
+
+val top_exemplar : t -> string -> exemplar option
+(** The exemplar of the highest populated bucket — the trace to open when
+    the stream's tail looks wrong. *)
 
 val stat : t -> string -> Prelude.Stats.t option
 val summary : t -> string -> summary option
