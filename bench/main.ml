@@ -231,7 +231,124 @@ let time_ops f =
   let dt = Sys.time () -. t0 in
   float_of_int ops /. Float.max dt 1e-9
 
-let run_registry ~full =
+(* Wall-clock throughput for the scaling sweep: [Sys.time] counts process
+   CPU seconds, which over-charges anything that fans work out to Domain
+   workers, so the sweep times on the wall instead. *)
+let wall_ops f =
+  let t0 = Unix.gettimeofday () in
+  let ops = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  float_of_int ops /. Float.max dt 1e-9
+
+type sweep_row = {
+  sw_n : int;
+  sw_backend : string;
+  sw_insert_ops : float;
+  sw_query_ops : float;
+  sw_members : int;
+  sw_bytes : int;
+  sw_identical : bool;
+}
+
+(* The million-member scaling sweep: tree vs sharded:4 at growing
+   populations, built with the batch interface ([insert_many] in 8192-entry
+   chunks) and queried with [query_member_many], cross-checking answer
+   equivalence at every point.  One build per (n, backend) — a 1M build is
+   seconds long, repetition buys nothing — while the query batch repeats
+   until the clock has something to measure. *)
+let run_sweep ~sweep_max =
+  banner "registry scaling sweep (batch insert/query, tree vs sharded)";
+  let sizes = List.filter (fun n -> n <= sweep_max) [ 10_000; 100_000; 1_000_000 ] in
+  if sizes = [] then invalid_arg "bench registry: --sweep-max below the smallest sweep point";
+  let k = 5 in
+  let chunk = 8192 in
+  let fx = make_fixture ~routers:2000 ~population:0 ~seed:7 in
+  let landmark = Nearby.Path_tree.landmark fx.tree in
+  let route_of peer = fx.routes.(peer mod Array.length fx.routes) in
+  let specs = [ Eval.Backends.Tree; Eval.Backends.Sharded { shards = 4 } ] in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let query_count = min n 2_000 in
+        let stride = n / query_count in
+        let queries = Array.init query_count (fun i -> i * stride) in
+        let reference = ref None in
+        List.map
+          (fun spec ->
+            let reg = Nearby.Registry_intf.create (Eval.Backends.backend spec) ~landmark in
+            let insert_ops =
+              wall_ops (fun () ->
+                  let peer = ref 0 in
+                  while !peer < n do
+                    let m = min chunk (n - !peer) in
+                    let base = !peer in
+                    Nearby.Registry_intf.insert_many reg
+                      (Array.init m (fun i -> (base + i, route_of (base + i))));
+                    peer := base + m
+                  done;
+                  n)
+            in
+            let answers = Nearby.Registry_intf.query_member_many reg ~peers:queries ~k in
+            let reps = ref 1 in
+            let t0 = Unix.gettimeofday () in
+            let elapsed () = Unix.gettimeofday () -. t0 in
+            while !reps < 50 && (!reps < 3 || elapsed () < 0.5) do
+              ignore (Nearby.Registry_intf.query_member_many reg ~peers:queries ~k);
+              incr reps
+            done;
+            (* The first batch ran outside the window; count only the timed
+               reps.  [reps] includes it, so subtract one. *)
+            let query_ops =
+              float_of_int ((!reps - 1) * query_count) /. Float.max (elapsed ()) 1e-9
+            in
+            let identical =
+              match !reference with
+              | None ->
+                  reference := Some answers;
+                  true
+              | Some r -> answers = r
+            in
+            let intro = Nearby.Registry_intf.introspect reg in
+            {
+              sw_n = n;
+              sw_backend = Eval.Backends.to_string spec;
+              sw_insert_ops = insert_ops;
+              sw_query_ops = query_ops;
+              sw_members = intro.Nearby.Registry_intf.members;
+              sw_bytes = intro.Nearby.Registry_intf.approx_bytes;
+              sw_identical = identical;
+            })
+          specs)
+      sizes
+  in
+  Prelude.Table.print
+    ~header:
+      [ "n"; "backend"; "insert ops/s"; "query ops/s"; "members"; "~MiB"; "B/member";
+        "answers = tree" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.sw_n;
+           r.sw_backend;
+           Prelude.Table.float_cell ~decimals:0 r.sw_insert_ops;
+           Prelude.Table.float_cell ~decimals:0 r.sw_query_ops;
+           string_of_int r.sw_members;
+           Prelude.Table.float_cell ~decimals:1 (float_of_int r.sw_bytes /. 1048576.0);
+           string_of_int (r.sw_bytes / Int.max 1 r.sw_members);
+           string_of_bool r.sw_identical;
+         ])
+       rows);
+  rows
+
+let sweep_row_json r =
+  Printf.sprintf
+    "    {\"n\": %d, \"backend\": %s, \"insert_ops_per_s\": %.0f, \"query_ops_per_s\": %.0f, \
+     \"members\": %d, \"approx_bytes\": %d, \"answers_identical\": %b}"
+    r.sw_n
+    (Simkit.Json_str.quote r.sw_backend)
+    r.sw_insert_ops r.sw_query_ops r.sw_members r.sw_bytes r.sw_identical
+
+let run_registry ~full ~sweep_max =
   banner "registry backends: insert/query throughput (unified interface)";
   let population = if full then 20_000 else 10_000 in
   let query_count = if full then 2_000 else 1_000 in
@@ -292,6 +409,7 @@ let run_registry ~full =
            string_of_bool identical;
          ])
        rows);
+  let sweep_rows = run_sweep ~sweep_max in
   let json =
     let row_json (name, insert_ops, query_ops, identical) =
       Printf.sprintf
@@ -312,15 +430,20 @@ let run_registry ~full =
       \  \"k\": %d,\n\
       \  \"backends\": [\n\
        %s\n\
+      \  ],\n\
+      \  \"sweep\": [\n\
+       %s\n\
       \  ]\n\
        }\n"
       (Simkit.Export.meta_json meta) population query_count k
       (String.concat ",\n" (List.map row_json rows))
+      (String.concat ",\n" (List.map sweep_row_json sweep_rows))
   in
   let out = open_out "BENCH_registry.json" in
   output_string out json;
   close_out out;
-  Printf.printf "wrote BENCH_registry.json (%d-peer workload)\n%!" population
+  Printf.printf "wrote BENCH_registry.json (%d-peer workload, sweep to %d)\n%!" population
+    (List.fold_left (fun acc r -> Int.max acc r.sw_n) 0 sweep_rows)
 
 (* ------------------------------------------------------------------ *)
 (* Observability: per-backend latency quantiles through the instrumented
@@ -492,7 +615,7 @@ let copy_file src dst =
   in
   Simkit.Export.write_file dst data
 
-let run_regress ~baseline_dir ~update =
+let run_regress ~baseline_dir ~update ~pairs =
   banner "bench regression gate";
   if update then begin
     (if not (Sys.file_exists baseline_dir) then Sys.mkdir baseline_dir 0o755);
@@ -504,7 +627,7 @@ let run_regress ~baseline_dir ~update =
         end;
         copy_file file (Filename.concat baseline_dir file);
         Printf.printf "baseline updated: %s\n" (Filename.concat baseline_dir file))
-      regress_pairs
+      pairs
   end
   else begin
     let failed = ref 0 in
@@ -534,7 +657,7 @@ let run_regress ~baseline_dir ~update =
         Printf.printf "\n-- %s --\n" file;
         Eval.Regression.print comparisons;
         failed := !failed + List.length (Eval.Regression.failures comparisons))
-      regress_pairs;
+      pairs;
     if !failed > 0 then begin
       Printf.eprintf "\nregress: %d metric(s) beyond tolerance\n" !failed;
       exit 1
@@ -542,7 +665,7 @@ let run_regress ~baseline_dir ~update =
     else Printf.printf "\nregress: all metrics within tolerance\n"
   end
 
-let run_all ~full =
+let run_all ~full ~sweep_max =
   run_micro ();
   run_fig2 ~full;
   run_complexity ~full;
@@ -556,7 +679,7 @@ let run_all ~full =
   run_stretch ~full;
   run_maintenance ~full;
   run_topology_sensitivity ~full;
-  run_registry ~full;
+  run_registry ~full ~sweep_max;
   run_obs ~full;
   run_dht ~full;
   run_inflation ~full;
@@ -586,8 +709,21 @@ let () =
     | [] -> (List.rev acc, dir)
   in
   let args, baseline_dir = extract_baseline [] (Filename.concat "bench" "baselines") args in
+  (* --sweep-max N caps the registry scaling sweep (default: the full
+     million) — the CI scale job trims it to 100k. *)
+  let rec extract_sweep_max acc cap = function
+    | "--sweep-max" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some cap when cap > 0 -> extract_sweep_max acc cap rest
+        | Some _ | None ->
+            Printf.eprintf "bad --sweep-max %S (want a positive int)\n" n;
+            exit 1)
+    | x :: rest -> extract_sweep_max (x :: acc) cap rest
+    | [] -> (List.rev acc, cap)
+  in
+  let args, sweep_max = extract_sweep_max [] 1_000_000 args in
   match args with
-  | [] -> run_all ~full
+  | [] -> run_all ~full ~sweep_max
   | [ "micro" ] -> run_micro ()
   | [ "fig2" ] -> run_fig2 ~full
   | [ "complexity" ] -> run_complexity ~full
@@ -601,14 +737,31 @@ let () =
   | [ "stretch" ] -> run_stretch ~full
   | [ "maintenance" ] -> run_maintenance ~full
   | [ "topologies" ] -> run_topology_sensitivity ~full
-  | [ "registry" ] -> run_registry ~full
+  | [ "registry" ] -> run_registry ~full ~sweep_max
   | [ "obs" ] -> run_obs ~full
   | [ "dht" ] -> run_dht ~full
   | [ "inflation" ] -> run_inflation ~full
   | [ "bulk" ] -> run_bulk ~full
   | [ "joining" ] -> run_joining ~full
   | [ "resilience" ] -> run_resilience ~full
-  | [ "regress" ] -> run_regress ~baseline_dir ~update
+  (* `regress [FILE...]` gates only the named BENCH files (default: all) —
+     the CI scale job regenerates and judges just BENCH_registry.json. *)
+  | "regress" :: onlys ->
+      let pairs =
+        match onlys with
+        | [] -> regress_pairs
+        | _ ->
+            List.iter
+              (fun f ->
+                if not (List.mem_assoc f regress_pairs) then begin
+                  Printf.eprintf "regress: unknown bench file %S (known: %s)\n" f
+                    (String.concat " " (List.map fst regress_pairs));
+                  exit 1
+                end)
+              onlys;
+            List.filter (fun (file, _) -> List.mem file onlys) regress_pairs
+      in
+      run_regress ~baseline_dir ~update ~pairs
   | other ->
       Printf.eprintf
         "unknown bench %S; available: micro fig2 complexity landmarks superpeers churn truncate setup-delay metric [--full]\n"

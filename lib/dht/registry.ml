@@ -33,6 +33,15 @@ module Make (Config : CONFIG) : Nearby.Registry_intf.S with type t = Directory.t
   let query = Directory.query
   let query_member = Directory.query_member
 
+  (* Batches would fan out per storage node anyway; the derived loops are
+     the honest cost model for the overlay. *)
+  include Nearby.Registry_intf.Derive_batch (struct
+    type nonrec t = t
+
+    let insert = insert
+    let query = query
+  end)
+
   let stats t =
     let s = Directory.stats t in
     [

@@ -54,6 +54,71 @@ let rows doc key =
   | Some rows -> rows
   | None -> fail "missing array %S" key
 
+(* The scaling sweep ("sweep" array of BENCH_registry.json): per sweep
+   point, exact structural gates (member counts, cross-backend answer
+   equivalence) plus machine-normalized ratios — sharded throughput
+   relative to the tree of the same run, and bytes/member relative to the
+   committed baseline (a pure allocation count, so it needs no
+   normalization, only slack for rounding).  Points above 100k members are
+   NOT gated: the CI job sweeps to 100k (`--sweep-max 100000`), and a
+   metric present in the baseline but missing from the current document
+   fails the gate by design. *)
+let sweep_metrics doc =
+  let rows =
+    match Option.bind (Simkit.Json.member "sweep" doc) Simkit.Json.to_list with
+    | Some rows -> rows
+    | None -> []
+  in
+  let rows =
+    List.filter (fun row -> int_of_float (num row [ "n" ]) <= 100_000) rows
+  in
+  let point row = int_of_float (num row [ "n" ]) in
+  let backend row = str row [ "backend" ] in
+  let tree_query_at n =
+    match
+      List.find_opt (fun row -> point row = n && backend row = "tree") rows
+    with
+    | Some row -> num row [ "query_ops_per_s" ]
+    | None -> fail "BENCH_registry sweep: no tree row at n=%d" n
+  in
+  List.concat_map
+    (fun row ->
+      let n = point row in
+      let b = backend row in
+      let key metric = Printf.sprintf "registry/sweep/%d/%s/%s" n b metric in
+      let structural =
+        [
+          {
+            name = key "answers_identical";
+            value = (if boolean row [ "answers_identical" ] then 1.0 else 0.0);
+            direction = Exact;
+            tolerance = 0.0;
+          };
+          {
+            name = key "members";
+            value = num row [ "members" ];
+            direction = Exact;
+            tolerance = 0.0;
+          };
+          {
+            name = key "bytes_per_member";
+            value = num row [ "approx_bytes" ] /. Float.max 1.0 (num row [ "members" ]);
+            direction = Lower_better;
+            tolerance = 0.5;
+          };
+        ]
+      in
+      if b = "tree" then structural
+      else
+        {
+          name = key "query_rel_tree";
+          value = num row [ "query_ops_per_s" ] /. tree_query_at n;
+          direction = Higher_better;
+          tolerance = 0.5;
+        }
+        :: structural)
+    rows
+
 (* BENCH_registry.json: throughput relative to the tree backend of the same
    run, plus the answers-identical invariant. *)
 let registry_metrics doc =
@@ -95,6 +160,7 @@ let registry_metrics doc =
           identical;
         ])
     backends
+  @ sweep_metrics doc
 
 (* BENCH_obs.json: p99 latency relative to the tree backend.  Tails are the
    noisiest numbers we gate on, hence the widest tolerance.  The exemplar

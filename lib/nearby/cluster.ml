@@ -177,6 +177,59 @@ let fan_out ?parent t ~from_replica ~peer ~attach_router ~measurement =
       end)
     t.replicas
 
+(* Batched write fan-out: the whole batch rides to each peer replica as one
+   {!Wire.Path_report_batch} message — one transport send, one varint-packed
+   payload — instead of one {!Wire.Path_report} per (peer, target).  The
+   apply side is one [register_replica_batch] (skip-idempotent), so the
+   replicate_apply/skip counters still add up per entry while the send
+   counter counts messages, which is exactly the batching win. *)
+let fan_out_batch ?parent t ~from_replica ~entries =
+  let n = Array.length entries in
+  if n > 0 then begin
+    let src = t.replicas.(from_replica).router in
+    let reports =
+      Array.to_list (Array.map (fun (peer, _, m) -> (peer, Server.measurement_path m)) entries)
+    in
+    let bytes = Wire.byte_size (Wire.Path_report_batch { reports }) in
+    let replica_entries =
+      Array.map
+        (fun (peer, attach_router, m) ->
+          ( peer,
+            attach_router,
+            Server.measurement_landmark m,
+            Server.measurement_path m,
+            Server.measurement_probes m ))
+        entries
+    in
+    Array.iter
+      (fun (o : replica) ->
+        if o.id <> from_replica then begin
+          let span =
+            Simkit.Span.start_span t.spans ~name:"replicate_batch" ~ts:(now t) ?parent
+              [ ("ops", Simkit.Span.Int n); ("to_replica", Simkit.Span.Int o.id) ]
+          in
+          let apply () =
+            (if o.alive then begin
+               let applied = Server.register_replica_batch o.server replica_entries in
+               Simkit.Trace.add_count t.trace "cluster_replicate_apply" applied;
+               if applied < n then
+                 Simkit.Trace.add_count t.trace "cluster_replicate_skip" (n - applied);
+               Simkit.Span.add_arg span "applied" (Simkit.Span.Int applied)
+             end
+             else begin
+               Simkit.Trace.add_count t.trace "cluster_replicate_skip" n;
+               Simkit.Span.add_arg span "outcome" (Simkit.Span.Str "skipped")
+             end);
+            Simkit.Span.finish ~ts:(now t) span
+          in
+          Simkit.Trace.incr t.trace "cluster_replicate_send";
+          match t.transport with
+          | Some tr -> Simkit.Transport.send tr ~src ~dst:o.router ~size_bytes:bytes apply
+          | None -> apply ()
+        end)
+      t.replicas
+  end
+
 let handle_registration ?parent t ~replica ~peer ~attach_router ~measurement ~k =
   (* Sync the span sink's logical clock to the engine at message receipt,
      so server-side spans land at (roughly) the simulated time the request
@@ -195,6 +248,34 @@ let handle_registration ?parent t ~replica ~peer ~attach_router ~measurement ~k 
       fan_out ?parent t ~from_replica:replica ~peer ~attach_router ~measurement
     end;
     Some (Option.get (Server.info r.server peer), Server.neighbors r.server ~peer ~k)
+  end
+
+(* Batched registration: the replica applies all fresh entries as one
+   server-side batch, replicates them with one [fan_out_batch] (one message
+   per peer replica instead of one per entry), and answers every query.
+   Entries already registered — retries whose reply was lost — are counted
+   duplicate and re-answered idempotently, exactly the singleton rule. *)
+let handle_registration_batch ?parent t ~replica ~entries ~k =
+  Simkit.Span.advance t.spans (now t -. Simkit.Span.now t.spans);
+  let r = t.replicas.(replica) in
+  if not r.alive then None
+  else begin
+    let fresh =
+      Array.of_list
+        (List.filter (fun (peer, _, _) -> not (Server.mem r.server peer)) (Array.to_list entries))
+    in
+    let dup = Array.length entries - Array.length fresh in
+    if dup > 0 then Simkit.Trace.add_count t.trace "cluster_duplicate_register" dup;
+    if Array.length fresh > 0 then begin
+      ignore (Server.register_measured_batch ?parent r.server fresh);
+      Simkit.Trace.add_count t.trace "cluster_register" (Array.length fresh);
+      fan_out_batch ?parent t ~from_replica:replica ~entries:fresh
+    end;
+    Some
+      (Array.map
+         (fun (peer, _, _) ->
+           (Option.get (Server.info r.server peer), Server.neighbors r.server ~peer ~k))
+         entries)
   end
 
 (* Direct path: both protocol rounds on one replica, exactly the pre-cluster

@@ -71,6 +71,42 @@ let make ?(clock = default_clock) ?(spans = Simkit.Span.noop) ~metrics
     let query_member t ~peer ~k =
       observe_query (timed "registry_query" query_ns (fun () -> B.query_member t ~peer ~k))
 
+    (* A batch is one span (tagged with its size), not n: that is the point
+       of batching, and span sinks stay proportional to call volume.  The
+       per-op latency streams still receive one sample per operation — the
+       amortized cost, batch time / n — so quantiles over a mixed
+       singleton/batch workload stay comparable and a batched deployment
+       shows up as the latency drop it actually is. *)
+    let timed_batch span_name stream n f =
+      if n = 0 then f ()
+      else
+        Simkit.Span.with_span spans ~name:span_name ?parent:(Simkit.Span.current spans)
+          [ ("ops", Simkit.Span.Int n) ]
+          (fun ctx ->
+            let t0 = clock () in
+            let r = f () in
+            let per_op = (clock () -. t0) /. float_of_int n in
+            for _ = 1 to n do
+              Simkit.Trace.observe ~trace_id:ctx.Simkit.Span.trace_id metrics stream per_op
+            done;
+            r)
+
+    let insert_many t entries =
+      timed_batch "registry_insert_many" insert_ns (Array.length entries) (fun () ->
+          B.insert_many t entries)
+
+    let query_many t ~queries ~k ?(exclude = fun _ _ -> false) () =
+      let results =
+        timed_batch "registry_query_many" query_ns (Array.length queries) (fun () ->
+            B.query_many t ~queries ~k ~exclude ())
+      in
+      Array.iter (fun r -> ignore (observe_query r)) results;
+      results
+
+    (* Candidate offering into a caller-owned selector has no result list of
+       its own; the caller times the whole scatter.  Pass through. *)
+    let query_into = B.query_into
+
     let stats = B.stats
     let introspect = B.introspect
     let snapshot = B.snapshot

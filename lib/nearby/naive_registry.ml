@@ -56,6 +56,15 @@ let query_member t ~peer ~k =
 
 (* --- Registry_intf.S ---------------------------------------------------- *)
 
+(* The ablation baseline has no batch-shaped win to exploit: the derived
+   loops are the reference semantics. *)
+include Registry_intf.Derive_batch (struct
+  type nonrec t = t
+
+  let insert = insert
+  let query = query
+end)
+
 let backend_name = "naive"
 let stats t = [ ("members", member_count t) ]
 

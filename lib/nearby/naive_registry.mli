@@ -30,6 +30,26 @@ val query : t -> routers:Topology.Graph.node array -> k:int -> ?exclude:(int -> 
 val query_member : t -> peer:int -> k:int -> (int * int) list
 (** @raise Not_found when unregistered. *)
 
+val insert_many : t -> (int * Topology.Graph.node array) array -> unit
+val query_many :
+  t ->
+  queries:Topology.Graph.node array array ->
+  k:int ->
+  ?exclude:(int -> int -> bool) ->
+  unit ->
+  (int * int) list array
+
+val query_into :
+  t ->
+  routers:Topology.Graph.node array ->
+  best:(int * int) Topk.t ->
+  seen:(int, unit) Hashtbl.t ->
+  exclude:(int -> bool) ->
+  unit
+(** Batch operations derived from the singletons
+    ({!Registry_intf.Derive_batch}): the reference semantics the
+    batch-aware backends are tested against. *)
+
 (** {1 Registry backend surface} — completes {!Registry_intf.S}. *)
 
 val backend_name : string

@@ -29,6 +29,15 @@ let dtree = Core.dtree
 
 let query t ~routers ~k ?exclude () = Core.query t ~hops:(hops_of_routers routers) ~k ?exclude ()
 let query_member t ~peer ~k = Core.query_member t ~peer ~k
+
+let insert_many t entries =
+  Core.insert_many t (Array.map (fun (peer, routers) -> (peer, hops_of_routers routers)) entries)
+
+let query_many t ~queries ~k ?exclude () =
+  Core.query_many t ~queries:(Array.map hops_of_routers queries) ~k ?exclude ()
+
+let query_into t ~routers ~best ~seen ~exclude =
+  Core.query_into t ~hops:(hops_of_routers routers) ~best ~seen ~exclude
 let iter_members = Core.iter_members
 let check_invariants = Core.check_invariants
 

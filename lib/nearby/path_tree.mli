@@ -61,6 +61,31 @@ val query_member : t -> peer:peer -> k:int -> (peer * int) list
 (** {!query} with the peer's own registered path, excluding itself.
     @raise Not_found when unregistered. *)
 
+val insert_many : t -> (peer * Topology.Graph.node array) array -> unit
+(** Batch {!insert}, validated up front and merged one sorted pass per
+    touched router bucket (see {!Path_tree_core.Make.insert_many}). *)
+
+val query_many :
+  t ->
+  queries:Topology.Graph.node array array ->
+  k:int ->
+  ?exclude:(int -> peer -> bool) ->
+  unit ->
+  (peer * int) list array
+(** One {!query} answer per path, selector and dedup state reused across
+    the batch; [exclude] additionally receives the query index. *)
+
+val query_into :
+  t ->
+  routers:Topology.Graph.node array ->
+  best:(int * peer) Topk.t ->
+  seen:(peer, unit) Hashtbl.t ->
+  exclude:(peer -> bool) ->
+  unit
+(** Offer candidates into a caller-owned selector (ordered by (dtree,
+    peer)); the seam the sharded scatter uses to carry one tightening
+    bound across shards. *)
+
 val iter_members : t -> (peer -> unit) -> unit
 
 val check_invariants : t -> unit

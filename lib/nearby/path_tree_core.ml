@@ -9,37 +9,287 @@ end
 module Make (Cost : COST) = struct
   type peer = int
 
-  (* Bucket entries are ordered by (cost to this router, peer id): the AVL
-     set gives the O(log n) ordered insertion of the paper's complexity
-     claim and ascending iteration for early-cutoff scans. *)
-  module Bucket = Set.Make (struct
-    type t = Cost.t * int
+  (* --- Flat bucket storage ---------------------------------------------
 
-    let compare (c1, p1) (c2, p2) =
-      match Cost.compare c1 c2 with 0 -> compare p1 p2 | c -> c
-  end)
+     A router bucket holds its (cost-to-router, peer) entries in a short
+     array of sorted chunks: parallel [costs]/[peers] arrays, ascending by
+     (cost, peer).  Compared to the AVL set this replaces, entries cost two
+     unboxed words instead of a five-word tree node, scans are cache-linear,
+     and a sorted batch of additions merges in one pass per touched chunk.
+     Insertion is a binary search to the right chunk plus a [blit]; chunks
+     split at [chunk_cap] so a single insert never moves more than
+     [chunk_cap] words. *)
+
+  let chunk_cap = 512
+  let seed_cap = 8
+  let spare_limit = 64
+
+  type chunk = {
+    mutable costs : Cost.t array;
+    mutable cpeers : int array;
+    mutable clen : int;
+  }
+
+  type bucket = {
+    mutable chunks : chunk array;
+    mutable nchunks : int;
+    mutable total : int;
+  }
+
+  (* A registered path, flattened to parallel arrays: half the words of a
+     (router, cost) pair array, and unboxed for both int and float costs. *)
+  type path = { routers : int array; pcosts : Cost.t array }
 
   type t = {
     landmark : Topology.Graph.node;
-    paths : (peer, (Topology.Graph.node * Cost.t) array) Hashtbl.t;
-    buckets : (Topology.Graph.node, Bucket.t ref) Hashtbl.t;
+    paths : (peer, path) Hashtbl.t;
+    buckets : (Topology.Graph.node, bucket) Hashtbl.t;
+    (* Arena of retired full-size chunks, reused by splits and bulk merges
+       so churn does not hammer the allocator. *)
+    mutable spare : chunk list;
+    mutable nspare : int;
   }
 
-  let create ~landmark = { landmark; paths = Hashtbl.create 64; buckets = Hashtbl.create 256 }
+  let create ~landmark =
+    { landmark; paths = Hashtbl.create 64; buckets = Hashtbl.create 256; spare = []; nspare = 0 }
+
   let landmark t = t.landmark
   let member_count t = Hashtbl.length t.paths
   let mem t p = Hashtbl.mem t.paths p
   let router_count t = Hashtbl.length t.buckets
 
-  let bucket_ref t router =
+  let entry_compare c1 p1 c2 p2 =
+    match Cost.compare c1 c2 with 0 -> Int.compare p1 p2 | c -> c
+
+  let fresh_chunk cap =
+    { costs = Array.make cap Cost.zero; cpeers = Array.make cap 0; clen = 0 }
+
+  let alloc_full t =
+    match t.spare with
+    | c :: rest ->
+        t.spare <- rest;
+        t.nspare <- t.nspare - 1;
+        c.clen <- 0;
+        c
+    | [] -> fresh_chunk chunk_cap
+
+  let retire_chunk t c =
+    if Array.length c.costs = chunk_cap && t.nspare < spare_limit then begin
+      c.clen <- 0;
+      t.spare <- c :: t.spare;
+      t.nspare <- t.nspare + 1
+    end
+
+  let ensure_room c =
+    let cap = Array.length c.costs in
+    if c.clen = cap then begin
+      let ncap = min chunk_cap (2 * cap) in
+      let costs = Array.make ncap Cost.zero and cpeers = Array.make ncap 0 in
+      Array.blit c.costs 0 costs 0 c.clen;
+      Array.blit c.cpeers 0 cpeers 0 c.clen;
+      c.costs <- costs;
+      c.cpeers <- cpeers
+    end
+
+  (* First index in [c] whose entry is >= (cost, p). *)
+  let chunk_lower c cost p =
+    let lo = ref 0 and hi = ref c.clen in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if entry_compare c.costs.(mid) c.cpeers.(mid) cost p < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  (* Index of the chunk whose range should hold (cost, p): the first chunk
+     whose last entry is >= the key, or the last chunk when the key is
+     beyond every range.  Requires [b.nchunks >= 1]. *)
+  let bucket_chunk_for b cost p =
+    let lo = ref 0 and hi = ref (b.nchunks - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c = b.chunks.(mid) in
+      if entry_compare c.costs.(c.clen - 1) c.cpeers.(c.clen - 1) cost p < 0 then lo := mid + 1
+      else hi := mid
+    done;
+    !lo
+
+  let bucket_insert_chunk b ci c =
+    let n = b.nchunks in
+    if n = Array.length b.chunks then begin
+      let arr = Array.make (max 2 (2 * n)) c in
+      Array.blit b.chunks 0 arr 0 n;
+      b.chunks <- arr
+    end;
+    Array.blit b.chunks ci b.chunks (ci + 1) (n - ci);
+    b.chunks.(ci) <- c;
+    b.nchunks <- n + 1
+
+  let split_chunk t b ci =
+    let c = b.chunks.(ci) in
+    let half = c.clen / 2 in
+    let upper = alloc_full t in
+    let ulen = c.clen - half in
+    Array.blit c.costs half upper.costs 0 ulen;
+    Array.blit c.cpeers half upper.cpeers 0 ulen;
+    upper.clen <- ulen;
+    c.clen <- half;
+    bucket_insert_chunk b (ci + 1) upper
+
+  let chunk_insert_at c pos cost p =
+    ensure_room c;
+    let n = c.clen in
+    Array.blit c.costs pos c.costs (pos + 1) (n - pos);
+    Array.blit c.cpeers pos c.cpeers (pos + 1) (n - pos);
+    c.costs.(pos) <- cost;
+    c.cpeers.(pos) <- p;
+    c.clen <- n + 1
+
+  let bucket_add t b cost p =
+    (if b.nchunks = 0 then begin
+       let c = fresh_chunk seed_cap in
+       c.costs.(0) <- cost;
+       c.cpeers.(0) <- p;
+       c.clen <- 1;
+       bucket_insert_chunk b 0 c
+     end
+     else begin
+       let ci = ref (bucket_chunk_for b cost p) in
+       let c0 = b.chunks.(!ci) in
+       if c0.clen >= chunk_cap then begin
+         split_chunk t b !ci;
+         let lower = b.chunks.(!ci) in
+         if entry_compare lower.costs.(lower.clen - 1) lower.cpeers.(lower.clen - 1) cost p < 0
+         then incr ci
+       end;
+       let c = b.chunks.(!ci) in
+       chunk_insert_at c (chunk_lower c cost p) cost p
+     end);
+    b.total <- b.total + 1
+
+  (* Silent no-op when absent, matching the Set.remove this replaces; the
+     structural invariants guarantee presence on every live code path. *)
+  let bucket_remove t b cost p =
+    if b.nchunks > 0 then begin
+      let ci = bucket_chunk_for b cost p in
+      let c = b.chunks.(ci) in
+      let pos = chunk_lower c cost p in
+      if pos < c.clen && entry_compare c.costs.(pos) c.cpeers.(pos) cost p = 0 then begin
+        Array.blit c.costs (pos + 1) c.costs pos (c.clen - pos - 1);
+        Array.blit c.cpeers (pos + 1) c.cpeers pos (c.clen - pos - 1);
+        c.clen <- c.clen - 1;
+        b.total <- b.total - 1;
+        if c.clen = 0 then begin
+          Array.blit b.chunks (ci + 1) b.chunks ci (b.nchunks - ci - 1);
+          b.nchunks <- b.nchunks - 1;
+          retire_chunk t c
+        end
+      end
+    end
+
+  let bucket_mem b cost p =
+    b.nchunks > 0
+    &&
+    let ci = bucket_chunk_for b cost p in
+    let c = b.chunks.(ci) in
+    let pos = chunk_lower c cost p in
+    pos < c.clen && entry_compare c.costs.(pos) c.cpeers.(pos) cost p = 0
+
+  (* Merge a sorted run of additions ([acosts]/[apeers], ascending, length
+     [m]) into the bucket in one pass: untouched chunks are kept as-is,
+     touched chunks are rebuilt by a two-pointer merge.  This is what makes
+     [insert_many] amortize — co-attached peers share every router of their
+     path, so a batch lands as one merge per bucket instead of m sorted
+     insertions. *)
+  let bucket_add_sorted t b acosts apeers m =
+    if m = 1 then bucket_add t b acosts.(0) apeers.(0)
+    else if m > 1 then begin
+      if b.nchunks = 0 then begin
+        let pos = ref 0 in
+        while !pos < m do
+          let take = min chunk_cap (m - !pos) in
+          let c = if take = chunk_cap then alloc_full t else fresh_chunk (max seed_cap take) in
+          Array.blit acosts !pos c.costs 0 take;
+          Array.blit apeers !pos c.cpeers 0 take;
+          c.clen <- take;
+          bucket_insert_chunk b b.nchunks c;
+          pos := !pos + take
+        done
+      end
+      else begin
+        let out = ref [] in
+        let push c = out := c :: !out in
+        let ai = ref 0 in
+        for ci = 0 to b.nchunks - 1 do
+          let c = b.chunks.(ci) in
+          (* Additions destined for this chunk: everything below the next
+             chunk's first entry (the last chunk absorbs the rest). *)
+          let hi =
+            if ci = b.nchunks - 1 then m
+            else begin
+              let nxt = b.chunks.(ci + 1) in
+              let lo = ref !ai and hi = ref m in
+              while !lo < !hi do
+                let mid = (!lo + !hi) / 2 in
+                if entry_compare acosts.(mid) apeers.(mid) nxt.costs.(0) nxt.cpeers.(0) < 0 then
+                  lo := mid + 1
+                else hi := mid
+              done;
+              !lo
+            end
+          in
+          if hi = !ai then push c
+          else begin
+            let total = c.clen + (hi - !ai) in
+            let i = ref 0 and j = ref !ai in
+            let cur =
+              ref (if total >= chunk_cap then alloc_full t else fresh_chunk (max seed_cap total))
+            in
+            while !i < c.clen || !j < hi do
+              (if !cur.clen = chunk_cap then begin
+                 push !cur;
+                 cur := alloc_full t
+               end);
+              let d = !cur in
+              if
+                !j >= hi
+                || !i < c.clen
+                   && entry_compare c.costs.(!i) c.cpeers.(!i) acosts.(!j) apeers.(!j) <= 0
+              then begin
+                d.costs.(d.clen) <- c.costs.(!i);
+                d.cpeers.(d.clen) <- c.cpeers.(!i);
+                d.clen <- d.clen + 1;
+                incr i
+              end
+              else begin
+                d.costs.(d.clen) <- acosts.(!j);
+                d.cpeers.(d.clen) <- apeers.(!j);
+                d.clen <- d.clen + 1;
+                incr j
+              end
+            done;
+            push !cur;
+            ai := hi;
+            retire_chunk t c
+          end
+        done;
+        let chunks = Array.of_list (List.rev !out) in
+        b.chunks <- chunks;
+        b.nchunks <- Array.length chunks
+      end;
+      b.total <- b.total + m
+    end
+
+  let bucket_of t router =
     match Hashtbl.find_opt t.buckets router with
     | Some b -> b
     | None ->
-        let b = ref Bucket.empty in
+        let b = { chunks = [||]; nchunks = 0; total = 0 } in
         Hashtbl.add t.buckets router b;
         b
 
-  let insert t ~peer ~hops =
+  (* --- Registration ----------------------------------------------------- *)
+
+  let validate t ~peer ~hops =
     let len = Array.length hops in
     if len = 0 then invalid_arg "Path_tree.insert: empty path";
     if fst hops.(len - 1) <> t.landmark then
@@ -48,142 +298,271 @@ module Make (Cost : COST) = struct
       if Cost.compare (snd hops.(i - 1)) (snd hops.(i)) > 0 then
         invalid_arg "Path_tree.insert: costs must be non-decreasing"
     done;
-    if Hashtbl.mem t.paths peer then invalid_arg "Path_tree.insert: peer already registered";
-    Hashtbl.add t.paths peer (Array.copy hops);
-    Array.iter
-      (fun (router, cost) ->
-        let b = bucket_ref t router in
-        b := Bucket.add (cost, peer) !b)
-      hops
+    if Hashtbl.mem t.paths peer then invalid_arg "Path_tree.insert: peer already registered"
+
+  let store_path t peer hops =
+    let len = Array.length hops in
+    let routers = Array.make len 0 and pcosts = Array.make len Cost.zero in
+    for i = 0 to len - 1 do
+      let router, cost = hops.(i) in
+      routers.(i) <- router;
+      pcosts.(i) <- cost
+    done;
+    Hashtbl.add t.paths peer { routers; pcosts }
+
+  let insert t ~peer ~hops =
+    validate t ~peer ~hops;
+    store_path t peer hops;
+    Array.iter (fun (router, cost) -> bucket_add t (bucket_of t router) cost peer) hops
+
+  let insert_many t entries =
+    let n = Array.length entries in
+    if n = 1 then begin
+      let peer, hops = entries.(0) in
+      insert t ~peer ~hops
+    end
+    else if n > 1 then begin
+      (* Validate the whole batch up front (including intra-batch duplicate
+         peers) so a bad entry leaves the tree untouched. *)
+      let batch = Hashtbl.create (2 * n) in
+      Array.iter
+        (fun (peer, hops) ->
+          validate t ~peer ~hops;
+          if Hashtbl.mem batch peer then invalid_arg "Path_tree.insert: peer already registered";
+          Hashtbl.add batch peer ())
+        entries;
+      let per_router : (int, (Cost.t * peer) list ref) Hashtbl.t = Hashtbl.create 256 in
+      Array.iter
+        (fun (peer, hops) ->
+          store_path t peer hops;
+          Array.iter
+            (fun (router, cost) ->
+              let r =
+                match Hashtbl.find_opt per_router router with
+                | Some r -> r
+                | None ->
+                    let r = ref [] in
+                    Hashtbl.add per_router router r;
+                    r
+              in
+              r := (cost, peer) :: !r)
+            hops)
+        entries;
+      Hashtbl.iter
+        (fun router adds ->
+          let adds = Array.of_list !adds in
+          Array.sort (fun (c1, p1) (c2, p2) -> entry_compare c1 p1 c2 p2) adds;
+          let m = Array.length adds in
+          let acosts = Array.make m Cost.zero and apeers = Array.make m 0 in
+          Array.iteri
+            (fun i (c, p) ->
+              acosts.(i) <- c;
+              apeers.(i) <- p)
+            adds;
+          bucket_add_sorted t (bucket_of t router) acosts apeers m)
+        per_router
+    end
 
   let remove t peer =
     match Hashtbl.find_opt t.paths peer with
     | None -> raise Not_found
-    | Some hops ->
+    | Some path ->
         Hashtbl.remove t.paths peer;
-        Array.iter
-          (fun (router, cost) ->
-            match Hashtbl.find_opt t.buckets router with
-            | None -> ()
-            | Some b ->
-                b := Bucket.remove (cost, peer) !b;
-                if Bucket.is_empty !b then Hashtbl.remove t.buckets router)
-          hops
+        for i = 0 to Array.length path.routers - 1 do
+          match Hashtbl.find_opt t.buckets path.routers.(i) with
+          | None -> ()
+          | Some b ->
+              bucket_remove t b path.pcosts.(i) peer;
+              if b.total = 0 then Hashtbl.remove t.buckets path.routers.(i)
+        done
 
-  let hops_of t peer = Option.map Array.copy (Hashtbl.find_opt t.paths peer)
+  let hops_of t peer =
+    Option.map
+      (fun p -> Array.init (Array.length p.routers) (fun i -> (p.routers.(i), p.pcosts.(i))))
+      (Hashtbl.find_opt t.paths peer)
 
   let meeting_point t p1 p2 =
     match (Hashtbl.find_opt t.paths p1, Hashtbl.find_opt t.paths p2) with
     | Some path1, Some path2 ->
-        let len1 = Array.length path1 and len2 = Array.length path2 in
+        let len1 = Array.length path1.routers and len2 = Array.length path2.routers in
         (* Longest common router suffix: both paths end at the landmark. *)
         let max_j = min len1 len2 in
         let rec suffix j =
-          if j < max_j && fst path1.(len1 - 1 - j) = fst path2.(len2 - 1 - j) then suffix (j + 1)
+          if j < max_j && path1.routers.(len1 - 1 - j) = path2.routers.(len2 - 1 - j) then
+            suffix (j + 1)
           else j
         in
         let j = suffix 0 in
         if j = 0 then None
-        else begin
-          let router, c1 = path1.(len1 - j) in
-          let _, c2 = path2.(len2 - j) in
-          Some (router, c1, c2)
-        end
+        else Some (path1.routers.(len1 - j), path1.pcosts.(len1 - j), path2.pcosts.(len2 - j))
     | None, _ | _, None -> None
 
   let dtree t p1 p2 =
     match meeting_point t p1 p2 with Some (_, c1, c2) -> Some (Cost.add c1 c2) | None -> None
 
+  (* --- Queries ----------------------------------------------------------- *)
+
   (* The k best (cost, peer) candidates accumulate in the shared bounded
      selector: O(log k) per offer, equal-cost ties to the lower peer id. *)
   let candidate_compare (c1, p1) (c2, p2) =
-    match Cost.compare c1 c2 with 0 -> compare p1 p2 | c -> c
+    match Cost.compare c1 c2 with 0 -> Int.compare p1 p2 | c -> c
 
   let beats_worst best cost =
     match Topk.worst best with None -> true | Some (w, _) -> Cost.compare cost w <= 0
+
+  (* Offer every candidate along [hops] into the caller's accumulator.
+     [best] and [seen] may be shared across calls (the sharded scatter seeds
+     the bound from the home shard; [query_many] reuses one pair across the
+     whole batch).
+
+     Cutoffs: the walk stops once the walk cost alone can no longer tie the
+     k-th best, and a bucket scan stops at the first entry losing the full
+     lexicographic (cost, peer) comparison.  Buckets iterate ascending by
+     (dist, peer), and a peer listed later in the walk appears at a
+     candidate distance no smaller than its earlier one (path costs are
+     non-decreasing and tree routes traverse shared routers in a consistent
+     order), so nothing cut here could have been accepted later: by the time
+     the same peer resurfaces the selector's worst is only tighter.  This
+     turns the former O(#co-attached) tie scans into O(k) per bucket. *)
+  let query_into t ~hops ~best ~seen ~exclude =
+    let len = Array.length hops in
+    let i = ref 0 in
+    let walking = ref true in
+    while !walking && !i < len do
+      let router, walk_cost = hops.(!i) in
+      if not (beats_worst best walk_cost) then walking := false
+      else begin
+        (match Hashtbl.find_opt t.buckets router with
+        | None -> ()
+        | Some b -> (
+            try
+              for ci = 0 to b.nchunks - 1 do
+                let c = b.chunks.(ci) in
+                for e = 0 to c.clen - 1 do
+                  let p = c.cpeers.(e) in
+                  let candidate = Cost.add walk_cost c.costs.(e) in
+                  if not (Topk.accepts best (candidate, p)) then raise_notrace Exit;
+                  if not (Hashtbl.mem seen p) then begin
+                    Hashtbl.add seen p ();
+                    if not (exclude p) then Topk.offer best (candidate, p)
+                  end
+                done
+              done
+            with Exit -> ()));
+        incr i
+      end
+    done
+
+  let drain best = List.map (fun (cost, p) -> (p, cost)) (Topk.to_sorted_list best)
 
   let query t ~hops ~k ?(exclude = fun _ -> false) () =
     if k <= 0 then []
     else begin
       let seen = Hashtbl.create 64 in
       let best = Topk.create ~k candidate_compare in
-      let len = Array.length hops in
-      let i = ref 0 in
-      (* Walking outward from the attachment router, the walk cost alone
-         lower-bounds any further candidate, so stop once even a
-         zero-distance co-bucket peer could not improve or tie the k-th best
-         (ties matter: equal cost with a lower peer id wins). *)
-      while !i < len && beats_worst best (snd hops.(!i)) do
-        let router, walk_cost = hops.(!i) in
-        (match Hashtbl.find_opt t.buckets router with
-        | None -> ()
-        | Some bucket ->
-            (try
-               Bucket.iter
-                 (fun (dist, p) ->
-                   let candidate = Cost.add walk_cost dist in
-                   if not (beats_worst best candidate) then raise Exit;
-                   if not (Hashtbl.mem seen p) then begin
-                     Hashtbl.add seen p ();
-                     if not (exclude p) then Topk.offer best (candidate, p)
-                   end)
-                 !bucket
-             with Exit -> ()));
-        incr i
-      done;
-      List.map (fun (cost, p) -> (p, cost)) (Topk.to_sorted_list best)
+      query_into t ~hops ~best ~seen ~exclude;
+      drain best
+    end
+
+  let query_many t ~queries ~k ?(exclude = fun _ _ -> false) () =
+    let n = Array.length queries in
+    if k <= 0 then Array.make n []
+    else begin
+      (* One selector and one dedup table for the whole batch: [clear]
+         keeps their capacity, so per-query allocation drops to the result
+         list itself. *)
+      let seen = Hashtbl.create 64 in
+      let best = Topk.create ~k candidate_compare in
+      Array.mapi
+        (fun qi hops ->
+          Hashtbl.clear seen;
+          Topk.clear best;
+          query_into t ~hops ~best ~seen ~exclude:(fun p -> exclude qi p);
+          drain best)
+        queries
     end
 
   let query_member t ~peer ~k =
-    match Hashtbl.find_opt t.paths peer with
+    match hops_of t peer with
     | None -> raise Not_found
     | Some hops -> query t ~hops ~k ~exclude:(fun p -> p = peer) ()
 
   let iter_members t f = Hashtbl.iter (fun p _ -> f p) t.paths
-  let iter_buckets t f = Hashtbl.iter (fun router b -> f router (Bucket.cardinal !b)) t.buckets
+  let iter_buckets t f = Hashtbl.iter (fun router b -> f router b.total) t.buckets
 
-  (* Rough payload estimate in machine words times 8: each path entry is a
-     (router, cost) pair in an array, each bucket entry an AVL node of a
-     (cost, peer) pair.  Good for cross-backend comparison, not
-     accounting. *)
+  (* Rough payload estimate in machine words times 8.  Paths: hash binding
+     (3) + record (3) + two unboxed arrays (1 + len each).  Buckets: hash
+     binding (3) + record (4) + chunk pointer array + per chunk a record (4)
+     and two arrays at their allocated capacity.  Good for cross-backend
+     comparison, not accounting. *)
   let approx_bytes t =
     let words = ref 0 in
-    Hashtbl.iter (fun _ hops -> words := !words + 4 + (3 * Array.length hops)) t.paths;
-    Hashtbl.iter (fun _ b -> words := !words + 2 + (5 * Bucket.cardinal !b)) t.buckets;
+    Hashtbl.iter
+      (fun _ p -> words := !words + 8 + (2 * Array.length p.routers))
+      t.paths;
+    Hashtbl.iter
+      (fun _ b ->
+        words := !words + 8 + Array.length b.chunks;
+        for ci = 0 to b.nchunks - 1 do
+          words := !words + 6 + (2 * Array.length b.chunks.(ci).costs)
+        done)
+      t.buckets;
     8 * !words
 
   let check_invariants t =
     let fail fmt = Printf.ksprintf failwith fmt in
     Hashtbl.iter
-      (fun peer hops ->
-        let len = Array.length hops in
+      (fun peer p ->
+        let len = Array.length p.routers in
         if len = 0 then fail "peer %d has an empty path" peer;
-        if fst hops.(len - 1) <> t.landmark then fail "peer %d path does not end at the landmark" peer;
-        Array.iter
-          (fun (router, cost) ->
-            match Hashtbl.find_opt t.buckets router with
-            | None -> fail "peer %d: router %d has no bucket" peer router
-            | Some b ->
-                if not (Bucket.mem (cost, peer) !b) then
-                  fail "peer %d missing from bucket of router %d" peer router)
-          hops)
+        if Array.length p.pcosts <> len then fail "peer %d has ragged path arrays" peer;
+        if p.routers.(len - 1) <> t.landmark then
+          fail "peer %d path does not end at the landmark" peer;
+        for i = 0 to len - 1 do
+          match Hashtbl.find_opt t.buckets p.routers.(i) with
+          | None -> fail "peer %d: router %d has no bucket" peer p.routers.(i)
+          | Some b ->
+              if not (bucket_mem b p.pcosts.(i) peer) then
+                fail "peer %d missing from bucket of router %d" peer p.routers.(i)
+        done)
       t.paths;
     (* Conversely, every bucket entry must be justified by a registered
-       path. *)
+       path, and the chunk structure itself must be sound. *)
     Hashtbl.iter
       (fun router b ->
-        if Bucket.is_empty !b then fail "router %d has an empty bucket" router;
-        Bucket.iter
-          (fun (cost, peer) ->
+        if b.total = 0 then fail "router %d has an empty bucket" router;
+        if b.nchunks > Array.length b.chunks then fail "router %d: nchunks out of range" router;
+        let counted = ref 0 in
+        for ci = 0 to b.nchunks - 1 do
+          let c = b.chunks.(ci) in
+          if c.clen = 0 then fail "router %d: empty chunk %d" router ci;
+          if c.clen > Array.length c.costs then fail "router %d: chunk %d overflows" router ci;
+          counted := !counted + c.clen;
+          for e = 0 to c.clen - 1 do
+            if e > 0 && entry_compare c.costs.(e - 1) c.cpeers.(e - 1) c.costs.(e) c.cpeers.(e) > 0
+            then fail "router %d: chunk %d not sorted" router ci;
+            if
+              ci > 0 && e = 0
+              &&
+              let prev = b.chunks.(ci - 1) in
+              entry_compare prev.costs.(prev.clen - 1) prev.cpeers.(prev.clen - 1) c.costs.(0)
+                c.cpeers.(0)
+              > 0
+            then fail "router %d: chunks %d and %d out of order" router (ci - 1) ci;
+            let peer = c.cpeers.(e) and cost = c.costs.(e) in
             match Hashtbl.find_opt t.paths peer with
             | None -> fail "bucket of router %d references unknown peer %d" router peer
-            | Some hops ->
-                if
-                  not
-                    (Array.exists
-                       (fun (r, c) -> r = router && Cost.compare c cost = 0)
-                       hops)
-                then fail "bucket of router %d has stale entry for peer %d" router peer)
-          !b)
+            | Some p ->
+                let justified = ref false in
+                for i = 0 to Array.length p.routers - 1 do
+                  if p.routers.(i) = router && Cost.compare p.pcosts.(i) cost = 0 then
+                    justified := true
+                done;
+                if not !justified then
+                  fail "bucket of router %d has stale entry for peer %d" router peer
+          done
+        done;
+        if !counted <> b.total then
+          fail "router %d: bucket total %d but %d entries" router b.total !counted)
       t.buckets
 end

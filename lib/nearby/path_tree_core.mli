@@ -34,6 +34,15 @@ module Make (Cost : COST) : sig
       @raise Invalid_argument on an empty path, a path not ending at the
       landmark, decreasing costs, or a duplicate peer. *)
 
+  val insert_many : t -> (peer * (Topology.Graph.node * Cost.t) array) array -> unit
+  (** Register a whole batch, equivalent to [insert] in array order but
+      amortized: additions are grouped per router and merged into each
+      bucket in one sorted pass, so co-attached peers (who share every
+      router of their path) cost one merge per bucket instead of one
+      descent per peer.  The batch is validated up front — including
+      duplicate peers within the batch — and a failure leaves the tree
+      untouched. *)
+
   val remove : t -> peer -> unit
   (** @raise Not_found when unregistered. *)
 
@@ -55,6 +64,36 @@ module Make (Cost : COST) : sig
     (peer * Cost.t) list
   (** At most [k] registered peers with the smallest inferred distance to
       the query path, ascending, ties toward the lower peer id. *)
+
+  val candidate_compare : Cost.t * peer -> Cost.t * peer -> int
+  (** Lexicographic (cost, peer) order used for all answers: build a
+      {!Topk.t} with this compare to share an accumulator with
+      {!query_into}. *)
+
+  val query_into :
+    t ->
+    hops:(Topology.Graph.node * Cost.t) array ->
+    best:(Cost.t * peer) Topk.t ->
+    seen:(peer, unit) Hashtbl.t ->
+    exclude:(peer -> bool) ->
+    unit
+  (** Offer this tree's candidates for the query path into a caller-owned
+      accumulator.  [best] must order by {!candidate_compare}; [seen]
+      dedupes peers across routers (and across trees when shared).  A
+      caller scattering over several disjoint trees passes the same [best]
+      and [seen] to each so the bound tightens as it goes; [query] is
+      [query_into] on fresh state. *)
+
+  val query_many :
+    t ->
+    queries:(Topology.Graph.node * Cost.t) array array ->
+    k:int ->
+    ?exclude:(int -> peer -> bool) ->
+    unit ->
+    (peer * Cost.t) list array
+  (** One answer per query path, each equal to the corresponding [query]
+      ([exclude] additionally receives the query index).  The selector and
+      dedup table are reused across the batch. *)
 
   val query_member : t -> peer:peer -> k:int -> (peer * Cost.t) list
   (** @raise Not_found when unregistered. *)

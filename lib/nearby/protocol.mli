@@ -71,6 +71,31 @@ val join :
     direct mode or with tracing off) — experiments use it to tag their
     latency samples with the join's trace id. *)
 
+val join_many :
+  ?rng:Prelude.Prng.t ->
+  ?on_trace:(Simkit.Span.context -> unit) ->
+  ?on_failure:(unit -> unit) ->
+  t ->
+  entries:(int * Topology.Graph.node) array ->
+  k:int ->
+  on_complete:(int -> Server.peer_info -> (int * int) list -> unit) ->
+  unit
+(** Batched {!join}: every [(peer, attach_router)] entry measures locally
+    (identical rng draws and probe accounting to n singleton joins), then
+    the batch registers through ONE server round — the recorded paths
+    packed into a single {!Wire.Path_report_batch}, applied server-side
+    with one {!Cluster.handle_registration_batch} and replicated as one
+    fan-out message per replica.  The round waits for the slowest
+    measurement (newcomers measure concurrently) and originates at the
+    first entry's attach router — the model is an aggregation point (a
+    flash crowd's common access router, a gateway re-registering its
+    tenants) shipping the batch upstream.  [on_complete peer info reply]
+    fires once per entry in entry order at the shared reply time;
+    [on_failure] fires once for the whole batch when the server round
+    cannot complete.  With a span sink (resilient mode), the batch is one
+    root ["join_batch"] span with a single ["measure"] child; [on_trace]
+    sees that root context. *)
+
 val estimate_join_delay : t -> attach_router:Topology.Graph.node -> float
 (** The deterministic protocol time a loss-free [join] charges from this
     router (no jitter): max landmark RTT + sequential traceroute + RTT to

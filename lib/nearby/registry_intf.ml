@@ -137,11 +137,77 @@ module type S = sig
     (peer * int) list
 
   val query_member : t -> peer:peer -> k:int -> (peer * int) list
+
+  val insert_many : t -> (peer * Topology.Graph.node array) array -> unit
+  (** Register a batch, equivalent to [insert] in array order (and as
+      atomic as the backend can make it: the path tree validates the whole
+      batch before touching state).  Backends without a native batch path
+      derive this from [insert] via {!Derive_batch}. *)
+
+  val query_many :
+    t ->
+    queries:Topology.Graph.node array array ->
+    k:int ->
+    ?exclude:(int -> peer -> bool) ->
+    unit ->
+    (peer * int) list array
+  (** One answer per query, each identical to the corresponding [query];
+      [exclude] additionally receives the query index.  Batch-aware
+      backends reuse their selector and dedup state across the batch. *)
+
+  val query_into :
+    t ->
+    routers:Topology.Graph.node array ->
+    best:(int * peer) Topk.t ->
+    seen:(peer, unit) Hashtbl.t ->
+    exclude:(peer -> bool) ->
+    unit
+  (** Offer this backend's candidates into a caller-owned bounded selector
+      ([best] must order by lexicographic (dtree, peer)).  The sharded
+      scatter uses this to carry one tightening bound across disjoint
+      shards instead of merging k results per shard. *)
+
   val stats : t -> (string * int) list
   val introspect : t -> introspection
   val snapshot : t -> string
   val restore : string -> (t, string) result
   val check_invariants : t -> unit
+end
+
+(* The singleton surface a backend must already have for its batch
+   operations to be derived mechanically. *)
+module type SINGLETON = sig
+  type t
+
+  val insert : t -> peer:peer -> routers:Topology.Graph.node array -> unit
+
+  val query :
+    t ->
+    routers:Topology.Graph.node array ->
+    k:int ->
+    ?exclude:(peer -> bool) ->
+    unit ->
+    (peer * int) list
+end
+
+(* Default batch operations, derived from the singletons: semantically the
+   reference implementation every native batch path must match (the qcheck
+   agreement property pins this).  Backends [include] this and override
+   what they can do better. *)
+module Derive_batch (B : SINGLETON) = struct
+  let insert_many t entries = Array.iter (fun (peer, routers) -> B.insert t ~peer ~routers) entries
+
+  let query_many t ~queries ~k ?(exclude = fun _ _ -> false) () =
+    Array.mapi (fun qi routers -> B.query t ~routers ~k ~exclude:(fun p -> exclude qi p) ()) queries
+
+  let query_into t ~routers ~best ~seen ~exclude =
+    List.iter
+      (fun (p, d) ->
+        if not (Hashtbl.mem seen p) then begin
+          Hashtbl.add seen p ();
+          Topk.offer best (d, p)
+        end)
+      (B.query t ~routers ~k:(Topk.capacity best) ~exclude ())
 end
 
 (* A backend packed with its state and a metrics sink: the dynamic form the
@@ -208,6 +274,29 @@ let query_member (Registry r) ~peer ~k =
   let module B = (val r.backend) in
   Simkit.Trace.incr r.trace "registry_query";
   B.query_member r.state ~peer ~k
+
+(* Batch calls keep the per-op counter semantics: a batch of n counts as n,
+   so dashboards cannot tell (and need not care) how calls were batched. *)
+let insert_many (Registry r) entries =
+  let module B = (val r.backend) in
+  Simkit.Trace.add_count r.trace "registry_insert" (Array.length entries);
+  B.insert_many r.state entries
+
+let query_many (Registry r) ~queries ~k ?(exclude = fun _ _ -> false) () =
+  let module B = (val r.backend) in
+  Simkit.Trace.add_count r.trace "registry_query" (Array.length queries);
+  B.query_many r.state ~queries ~k ~exclude ()
+
+let query_member_many (Registry r) ~peers ~k =
+  let module B = (val r.backend) in
+  Simkit.Trace.add_count r.trace "registry_query" (Array.length peers);
+  let queries =
+    Array.map
+      (fun peer ->
+        match B.path_of r.state peer with Some routers -> routers | None -> raise Not_found)
+      peers
+  in
+  B.query_many r.state ~queries ~k ~exclude:(fun qi p -> p = peers.(qi)) ()
 
 let stats (Registry r) =
   let module B = (val r.backend) in

@@ -248,6 +248,126 @@ let register_replica t ~peer ~attach_router ~landmark ~path ~probes_spent =
   Hashtbl.add t.peers peer { attach_router; landmark; recorded_path = path; probes_spent };
   Simkit.Trace.incr t.trace "replica_register"
 
+(* Batch round 2: a whole array of client-measured joins applied in one
+   pass.  Per-peer effects (peers table, join/probe/path counters, the
+   per-phase latency streams) are exactly [register_measured]'s, but the
+   registry write is one [insert_many] per landmark, the wire accounting
+   charges one packed [Path_report_batch] instead of n separate reports,
+   and with spans enabled the batch emits a single "register_batch" span
+   (no per-peer phase spans, no open join to close later).  The span clock
+   advances by the slowest measurement — the batch is one round, its peers
+   measured concurrently.  Returns the peer infos in entry order. *)
+let register_measured_batch ?parent t entries =
+  let n = Array.length entries in
+  let batch_seen = Hashtbl.create (2 * n) in
+  Array.iter
+    (fun (peer, _, _) ->
+      if Hashtbl.mem t.peers peer || Hashtbl.mem batch_seen peer then
+        invalid_arg "Server.register_measured: peer already registered";
+      Hashtbl.add batch_seen peer ())
+    entries;
+  (* Group per landmark, preserving entry order within each group. *)
+  let by_landmark = Hashtbl.create 8 in
+  let order = ref [] in
+  Array.iter
+    (fun (peer, _, (r : measurement)) ->
+      let routers = registrable_path ~landmark:r.lmk r.reduced in
+      match Hashtbl.find_opt by_landmark r.lmk with
+      | Some group -> group := (peer, routers) :: !group
+      | None ->
+          Hashtbl.add by_landmark r.lmk (ref [ (peer, routers) ]);
+          order := r.lmk :: !order)
+    entries;
+  let batch_ctx = Simkit.Span.context t.spans ?parent () in
+  Simkit.Span.with_context t.spans batch_ctx (fun () ->
+      List.iter
+        (fun lmk ->
+          let group = Array.of_list (List.rev !(Hashtbl.find by_landmark lmk)) in
+          Registry_intf.insert_many (registry_of t lmk) group)
+        (List.rev !order));
+  let infos =
+    Array.map
+      (fun (peer, attach_router, (r : measurement)) ->
+        let info =
+          {
+            attach_router;
+            landmark = r.lmk;
+            recorded_path = r.reduced;
+            probes_spent = r.cost;
+          }
+        in
+        Hashtbl.add t.peers peer info;
+        Simkit.Trace.incr t.trace "join";
+        Simkit.Trace.add_count t.trace "probe_packets" r.cost;
+        Simkit.Trace.observe t.trace "path_hops"
+          (float_of_int (Traceroute.Path.hop_count r.reduced));
+        Simkit.Trace.observe t.trace "ping_round_ms" r.ping_rtt_ms;
+        Simkit.Trace.observe t.trace "traceroute_ms" r.traceroute_ms;
+        Simkit.Trace.observe t.trace "join_ms" (r.ping_rtt_ms +. r.traceroute_ms);
+        info)
+      entries
+  in
+  let reports =
+    Array.to_list (Array.map (fun (peer, _, (r : measurement)) -> (peer, r.reduced)) entries)
+  in
+  Simkit.Trace.add_count t.trace "wire_bytes"
+    (Wire.byte_size (Wire.Path_report_batch { reports }));
+  Log.debug (fun m -> m "join batch n=%d landmarks=%d" n (Hashtbl.length by_landmark));
+  if Simkit.Span.enabled t.spans && n > 0 then begin
+    let open Simkit.Span in
+    let dur =
+      Array.fold_left
+        (fun acc (_, _, (r : measurement)) -> Float.max acc (r.ping_rtt_ms +. r.traceroute_ms))
+        0.0 entries
+    in
+    emit t.spans ~name:"register_batch" ~ts:(now t.spans) ~dur ~ctx:batch_ctx
+      [ ("ops", Int n); ("landmarks", Int (Hashtbl.length by_landmark)) ];
+    advance t.spans dur
+  end;
+  infos
+
+(* Batch replication apply: [register_replica] semantics with one
+   [insert_many] per landmark.  Entries whose peer is already present are
+   skipped — the idempotence a replayed fan-out needs — and the count of
+   entries actually applied is returned. *)
+let register_replica_batch t entries =
+  let batch_seen = Hashtbl.create 16 in
+  let fresh =
+    List.filter
+      (fun (peer, _, _, _, _) ->
+        let keep = (not (Hashtbl.mem t.peers peer)) && not (Hashtbl.mem batch_seen peer) in
+        if keep then Hashtbl.add batch_seen peer ();
+        keep)
+      (Array.to_list entries)
+  in
+  List.iter
+    (fun (_, _, landmark, _, _) ->
+      if not (Array.mem landmark t.landmark_ids) then
+        invalid_arg "Server.register_replica: unknown landmark")
+    fresh;
+  let by_landmark = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (peer, _, landmark, path, _) ->
+      let routers = registrable_path ~landmark path in
+      match Hashtbl.find_opt by_landmark landmark with
+      | Some group -> group := (peer, routers) :: !group
+      | None ->
+          Hashtbl.add by_landmark landmark (ref [ (peer, routers) ]);
+          order := landmark :: !order)
+    fresh;
+  List.iter
+    (fun lmk ->
+      let group = Array.of_list (List.rev !(Hashtbl.find by_landmark lmk)) in
+      Registry_intf.insert_many (registry_of t lmk) group)
+    (List.rev !order);
+  List.iter
+    (fun (peer, attach_router, landmark, path, probes_spent) ->
+      Hashtbl.add t.peers peer { attach_router; landmark; recorded_path = path; probes_spent })
+    fresh;
+  Simkit.Trace.add_count t.trace "replica_register" (List.length fresh);
+  List.length fresh
+
 (* Landmarks ordered by hop distance from the peer's landmark: the top-up
    order when the home tree runs dry. *)
 let topup_order t ~home =

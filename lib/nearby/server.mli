@@ -104,6 +104,22 @@ val register_measured :
     stays causally linked to the RPC attempt that carried it.
     @raise Invalid_argument when already registered. *)
 
+val register_measured_batch :
+  ?parent:Simkit.Span.context ->
+  t ->
+  (int * Topology.Graph.node * measurement) array ->
+  peer_info array
+(** Round 2 for a whole batch of [(peer, attach_router, measurement)]
+    entries in one pass.  Per-peer counters and latency streams match n
+    calls to {!register_measured}, but the registry write is one
+    {!Registry_intf.insert_many} per landmark, the wire accounting charges
+    a single packed {!Wire.Path_report_batch}, and with a span sink the
+    batch is one [register_batch] span (no per-peer phase spans, no open
+    join span) whose duration — and the span clock advance — is the
+    slowest measurement, the batch being one concurrent round.  Returns
+    the infos in entry order.  @raise Invalid_argument when any peer is
+    already registered (nothing is applied). *)
+
 val register_replica :
   t ->
   peer:int ->
@@ -116,6 +132,17 @@ val register_replica :
     another replica.  Bumps only the ["replica_register"] counter — no join
     counters, no spans.  @raise Invalid_argument when the peer is already
     registered or the landmark is unknown. *)
+
+val register_replica_batch :
+  t ->
+  (int * Topology.Graph.node * Topology.Graph.node * Traceroute.Path.t * int) array ->
+  int
+(** Batched {!register_replica}: [(peer, attach_router, landmark, path,
+    probes_spent)] entries applied with one {!Registry_intf.insert_many}
+    per landmark.  Unlike the singleton, entries whose peer is already
+    present are {e skipped} — a replayed fan-out must be idempotent — and
+    the number actually applied is returned.  @raise Invalid_argument when
+    a fresh entry names an unknown landmark. *)
 
 val peer_ids : t -> int list
 (** Registered peer ids, ascending — the anti-entropy comparison key. *)

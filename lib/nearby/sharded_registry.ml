@@ -4,14 +4,47 @@
    A peer's home shard is the hash of its attachment router (the first
    router of its recorded path), so every bucket the peer occupies lives on
    one shard and an insert touches exactly one shard -- insert throughput
-   scales with N.  Queries scatter to all shards and gather the k best
-   through the shared bounded selector; because the shards partition the
-   population, the merged answer is identical to a single-store deployment
-   (the cross-backend equivalence test pins this). *)
+   scales with N.  Queries scatter to all shards and gather the k best;
+   because the shards partition the population, the merged answer is
+   identical to a single-store deployment (the cross-backend equivalence
+   test pins this).
+
+   Two scatter strategies:
+
+   - Sequential (the default on one core): one bounded selector and one
+     dedup table are carried across the shards via [query_into], visiting
+     the query path's own home shard first.  Co-attached peers -- the
+     nearest answers -- live on that home shard by construction, so the
+     bound is tight after the first shard and each remaining shard usually
+     stops after a bucket probe or two.
+   - Domain-parallel (multi-core): the per-shard scatter runs on a small
+     persistent [Prelude.Domain_pool].  Shards are disjoint data
+     structures and workers write only their own slot of the results
+     array, so no shared mutable state crosses domains; the caller merges
+     with the same bounded selector afterwards.  [exclude] closures run on
+     worker domains and must be pure.
+
+   The [home] table maps peer -> shard index.  It is created with a small
+   hint (capacity 256) on purpose: OCaml hash tables double on demand at
+   amortized O(1) per insert, registries are usually long-lived enough to
+   absorb the log2(n) resizes, and no population hint exists at [create]
+   time.  [insert_many] groups a batch into one bulk insert per shard, so
+   shard-local tables grow once per doubling instead of rehashing under
+   interleaved singleton traffic. *)
 
 module Make
     (Inner : Registry_intf.S) (Config : sig
       val shards : int
+
+      val query_domains : int
+      (** Parallelism for the query scatter: 0 sizes from the machine
+          (shared pool, sequential scatter on a single core), 1 forces the
+          sequential scatter, n > 1 forces a dedicated n-domain pool. *)
+
+      val parallel_threshold : int
+      (** Engage the pool only at or above this member count: job handoff
+          costs microseconds, so small registries always scatter
+          sequentially. *)
     end) : Registry_intf.S = struct
   type t = {
     landmark : Topology.Graph.node;
@@ -21,6 +54,20 @@ module Make
 
   let shard_count = Config.shards
   let backend_name = Printf.sprintf "sharded:%d" shard_count
+
+  let pool =
+    lazy
+      (if shard_count < 2 then None
+       else
+         match Config.query_domains with
+         | 0 ->
+             if Domain.recommended_domain_count () > 1 then Some (Prelude.Domain_pool.shared ())
+             else None
+         | 1 -> None
+         | n ->
+             let p = Prelude.Domain_pool.create ~domains:n () in
+             at_exit (fun () -> Prelude.Domain_pool.shutdown p);
+             Some p)
 
   let create ~landmark =
     if shard_count < 1 then invalid_arg "Sharded_registry.create: need at least one shard";
@@ -48,6 +95,46 @@ module Make
     let s = shard_of_router routers.(0) in
     Inner.insert t.shards.(s) ~peer ~routers;
     Hashtbl.add t.home peer s
+
+  let insert_many t entries =
+    let n = Array.length entries in
+    if n = 1 then begin
+      let peer, routers = entries.(0) in
+      insert t ~peer ~routers
+    end
+    else if n > 1 then begin
+      (* Validate the whole batch (against the store and within itself)
+         before touching any shard; with a well-formed batch each shard's
+         own bulk insert then cannot fail halfway. *)
+      let batch = Hashtbl.create (2 * n) in
+      Array.iter
+        (fun (peer, routers) ->
+          let len = Array.length routers in
+          if len = 0 then invalid_arg "Sharded_registry.insert: empty path";
+          if routers.(len - 1) <> t.landmark then
+            invalid_arg "Sharded_registry.insert: path must end at the landmark";
+          if Hashtbl.mem t.home peer || Hashtbl.mem batch peer then
+            invalid_arg "Sharded_registry.insert: peer already registered";
+          Hashtbl.add batch peer ())
+        entries;
+      (* One bulk insert per home shard, preserving batch order within each
+         shard so the result is exactly the looped-singleton state. *)
+      let groups = Array.make shard_count [] in
+      for i = n - 1 downto 0 do
+        let _, routers = entries.(i) in
+        let s = shard_of_router routers.(0) in
+        groups.(s) <- entries.(i) :: groups.(s)
+      done;
+      Array.iteri
+        (fun s group ->
+          match group with
+          | [] -> ()
+          | group ->
+              let arr = Array.of_list group in
+              Inner.insert_many t.shards.(s) arr;
+              Array.iter (fun (peer, _) -> Hashtbl.add t.home peer s) arr)
+        groups
+    end
 
   let remove t peer =
     match Hashtbl.find_opt t.home peer with
@@ -84,16 +171,75 @@ module Make
         | None, _ | _, None -> None)
     | None, _ | _, None -> None
 
+  let candidate_compare (d1, p1) (d2, p2) =
+    match Int.compare d1 d2 with 0 -> Int.compare p1 p2 | c -> c
+
+  let drain best = List.map (fun (d, p) -> (p, d)) (Topk.to_sorted_list best)
+
+  (* Sequential scatter, home shard of the query path first: the peers
+     co-attached at [routers.(0)] all live on that shard, so [best] leaves
+     it holding the tightest possible bound and the other shards' walks cut
+     off almost immediately. *)
+  let scatter_into t ~routers ~best ~seen ~exclude =
+    if Array.length routers > 0 then begin
+      let first = shard_of_router routers.(0) in
+      Inner.query_into t.shards.(first) ~routers ~best ~seen ~exclude;
+      for s = 0 to shard_count - 1 do
+        if s <> first then Inner.query_into t.shards.(s) ~routers ~best ~seen ~exclude
+      done
+    end
+
+  let query_into = scatter_into
+
+  let usable_pool t =
+    if member_count t < Config.parallel_threshold then None else Lazy.force pool
+
   let query t ~routers ~k ?(exclude = fun _ -> false) () =
     if k <= 0 then []
     else begin
-      let best = Topk.create ~k compare in
-      Array.iter
-        (fun shard ->
-          List.iter (fun (p, d) -> Topk.offer best (d, p)) (Inner.query shard ~routers ~k ~exclude ()))
-        t.shards;
-      List.map (fun (d, p) -> (p, d)) (Topk.to_sorted_list best)
+      let best = Topk.create ~k candidate_compare in
+      (match usable_pool t with
+      | Some pool ->
+          let parts = Array.make shard_count [] in
+          Prelude.Domain_pool.run pool shard_count (fun s ->
+              parts.(s) <- Inner.query t.shards.(s) ~routers ~k ~exclude ());
+          Array.iter (fun part -> List.iter (fun (p, d) -> Topk.offer best (d, p)) part) parts
+      | None ->
+          let seen = Hashtbl.create 64 in
+          scatter_into t ~routers ~best ~seen ~exclude);
+      drain best
     end
+
+  let query_many t ~queries ~k ?(exclude = fun _ _ -> false) () =
+    let n = Array.length queries in
+    if k <= 0 then Array.make n []
+    else
+      match usable_pool t with
+      | Some pool when n > 0 ->
+          (* Shard-major: each worker answers the whole batch against its
+             own shard (reusing that shard's selector state), the caller
+             merges per query.  Workers write disjoint slots of [parts]. *)
+          let parts = Array.make shard_count [||] in
+          Prelude.Domain_pool.run pool shard_count (fun s ->
+              parts.(s) <- Inner.query_many t.shards.(s) ~queries ~k ~exclude ());
+          Array.init n (fun qi ->
+              let best = Topk.create ~k candidate_compare in
+              for s = 0 to shard_count - 1 do
+                List.iter (fun (p, d) -> Topk.offer best (d, p)) parts.(s).(qi)
+              done;
+              drain best)
+      | _ ->
+          (* Query-major with shared accumulators: the bound carries from
+             the home shard, and [clear] keeps capacity across the batch. *)
+          let best = Topk.create ~k candidate_compare in
+          let seen = Hashtbl.create 64 in
+          Array.mapi
+            (fun qi routers ->
+              Topk.clear best;
+              Hashtbl.clear seen;
+              scatter_into t ~routers ~best ~seen ~exclude:(fun p -> exclude qi p);
+              drain best)
+            queries
 
   let query_member t ~peer ~k =
     match path_of t peer with
@@ -194,12 +340,17 @@ end
 
 (* Runtime construction: [make ~shards ()] packs a sharded backend over any
    inner backend (the paper's path tree by default) as a first-class
-   module, ready for [Server.create ~backend] or the CLI's --backend flag. *)
-let make ?inner ~shards () : (module Registry_intf.S) =
+   module, ready for [Server.create ~backend] or the CLI's --backend flag.
+   [query_domains] and [parallel_threshold] tune the Domain-parallel
+   scatter (defaults: size from the machine, engage at 4096 members). *)
+let make ?inner ?(query_domains = 0) ?(parallel_threshold = 4096) ~shards () :
+    (module Registry_intf.S) =
   let inner = Option.value ~default:(module Path_tree : Registry_intf.S) inner in
   let module I = (val inner : Registry_intf.S) in
   (module Make
             (I)
             (struct
               let shards = shards
+              let query_domains = query_domains
+              let parallel_threshold = parallel_threshold
             end) : Registry_intf.S)

@@ -38,6 +38,20 @@ module Registry = struct
     t.queries_handled <- t.queries_handled + 1;
     Path_tree.query_member t.tree ~peer ~k
 
+  (* Native batches delegate to the tree's; the load counters advance by
+     the batch size so delegation accounting matches looped singletons. *)
+  let insert_many t entries =
+    Path_tree.insert_many t.tree entries;
+    t.joins_handled <- t.joins_handled + Array.length entries
+
+  let query_many t ~queries ~k ?exclude () =
+    t.queries_handled <- t.queries_handled + Array.length queries;
+    Path_tree.query_many t.tree ~queries ~k ?exclude ()
+
+  let query_into t ~routers ~best ~seen ~exclude =
+    t.queries_handled <- t.queries_handled + 1;
+    Path_tree.query_into t.tree ~routers ~best ~seen ~exclude
+
   let stats t =
     [
       ("joins_handled", t.joins_handled);

@@ -5,6 +5,7 @@ type message =
   | Neighbor_request of { peer : int; k : int }
   | Neighbor_reply of { peer : int; neighbors : (int * int) list }
   | Leave of { peer : int }
+  | Path_report_batch of { reports : (int * Traceroute.Path.t) list }
 
 let protocol_version = 1
 
@@ -15,45 +16,71 @@ let tag = function
   | Neighbor_request _ -> 3
   | Neighbor_reply _ -> 4
   | Leave _ -> 5
+  | Path_report_batch _ -> 6
 
-(* Hops are encoded as varints shifted by one so that 0 can mean an
-   anonymous hop. *)
-let encode_hop w = function
-  | Traceroute.Path.Anonymous -> Prelude.Codec.Writer.varint w 0
-  | Traceroute.Path.Known r -> Prelude.Codec.Writer.varint w (r + 1)
+(* The encoder is written once against [Codec.SINK] and instantiated twice:
+   over [Writer] to produce bytes, over [Sizer] to measure them — so
+   [byte_size] cannot drift from [encode] and allocates nothing. *)
+module Emit (S : Prelude.Codec.SINK) = struct
+  (* Hops are encoded as varints shifted by one so that 0 can mean an
+     anonymous hop. *)
+  let hop w = function
+    | Traceroute.Path.Anonymous -> S.varint w 0
+    | Traceroute.Path.Known r -> S.varint w (r + 1)
+
+  let report w peer (path : Traceroute.Path.t) =
+    S.varint w peer;
+    S.varint w path.src;
+    S.varint w path.dst;
+    S.list w (hop w) (Array.to_list path.hops)
+
+  let message w m =
+    S.u8 w protocol_version;
+    S.u8 w (tag m);
+    match m with
+    | Ping_request { nonce } | Ping_reply { nonce } -> S.varint w nonce
+    | Path_report { peer; path } -> report w peer path
+    | Path_report_batch { reports } -> S.list w (fun (peer, path) -> report w peer path) reports
+    | Neighbor_request { peer; k } ->
+        S.varint w peer;
+        S.varint w k
+    | Neighbor_reply { peer; neighbors } ->
+        S.varint w peer;
+        S.list w
+          (fun (p, d) ->
+            S.varint w p;
+            S.varint w d)
+          neighbors
+    | Leave { peer } -> S.varint w peer
+end
+
+module Emit_bytes = Emit (Prelude.Codec.Writer)
+module Emit_size = Emit (Prelude.Codec.Sizer)
 
 let encode message =
   let w = Prelude.Codec.Writer.create () in
-  let open Prelude.Codec.Writer in
-  u8 w protocol_version;
-  u8 w (tag message);
-  (match message with
-  | Ping_request { nonce } | Ping_reply { nonce } -> varint w nonce
-  | Path_report { peer; path } ->
-      varint w peer;
-      varint w path.src;
-      varint w path.dst;
-      list w (encode_hop w) (Array.to_list path.hops)
-  | Neighbor_request { peer; k } ->
-      varint w peer;
-      varint w k
-  | Neighbor_reply { peer; neighbors } ->
-      varint w peer;
-      list w
-        (fun (p, d) ->
-          varint w p;
-          varint w d)
-        neighbors
-  | Leave { peer } -> varint w peer);
-  contents w
+  Emit_bytes.message w message;
+  Prelude.Codec.Writer.contents w
 
-let byte_size message = String.length (encode message)
+let byte_size message =
+  let s = Prelude.Codec.Sizer.create () in
+  Emit_size.message s message;
+  Prelude.Codec.Sizer.size s
 
 let decode_hop r =
   match Prelude.Codec.Reader.varint r with
   | Error e -> Error e
   | Ok 0 -> Ok Traceroute.Path.Anonymous
   | Ok v -> Ok (Traceroute.Path.Known (v - 1))
+
+let decode_report r =
+  let open Prelude.Codec.Reader in
+  let ( let* ) = Result.bind in
+  let* peer = varint r in
+  let* src = varint r in
+  let* dst = varint r in
+  let* hops = list r decode_hop in
+  Ok (peer, { Traceroute.Path.src; dst; hops = Array.of_list hops })
 
 let decode_body r t =
   let open Prelude.Codec.Reader in
@@ -66,11 +93,8 @@ let decode_body r t =
       let* nonce = varint r in
       Ok (Ping_reply { nonce })
   | 2 ->
-      let* peer = varint r in
-      let* src = varint r in
-      let* dst = varint r in
-      let* hops = list r decode_hop in
-      Ok (Path_report { peer; path = { Traceroute.Path.src; dst; hops = Array.of_list hops } })
+      let* peer, path = decode_report r in
+      Ok (Path_report { peer; path })
   | 3 ->
       let* peer = varint r in
       let* k = varint r in
@@ -87,6 +111,9 @@ let decode_body r t =
   | 5 ->
       let* peer = varint r in
       Ok (Leave { peer })
+  | 6 ->
+      let* reports = list r decode_report in
+      Ok (Path_report_batch { reports })
   | other -> Error (Malformed (Printf.sprintf "unknown tag %d" other))
 
 let decode data =
@@ -116,3 +143,6 @@ let pp ppf = function
       Format.fprintf ppf "neighbors! peer=%d [%s]" peer
         (String.concat "; " (List.map (fun (p, d) -> Printf.sprintf "%d@%d" p d) neighbors))
   | Leave { peer } -> Format.fprintf ppf "leave peer=%d" peer
+  | Path_report_batch { reports } ->
+      Format.fprintf ppf "path-report-batch n=%d [%s]" (List.length reports)
+        (String.concat "; " (List.map (fun (p, _) -> string_of_int p) reports))

@@ -16,6 +16,10 @@ type message =
   | Neighbor_reply of { peer : int; neighbors : (int * int) list }
       (** [(peer id, inferred distance)], ascending. *)
   | Leave of { peer : int }
+  | Path_report_batch of { reports : (int * Traceroute.Path.t) list }
+      (** Replication fan-out: a whole batch of registrations shipped to a
+          replica as one message instead of one {!Path_report} each —
+          varint-packed, it costs a fraction of n separate reports. *)
 
 val protocol_version : int
 
@@ -27,9 +31,10 @@ val decode : string -> (message, string) result
     the whole buffer (trailing garbage is an error). *)
 
 val byte_size : message -> int
-(** [String.length (encode m)] without materializing intermediate strings
-    more than once — used by the simulator to charge realistic message
-    sizes. *)
+(** Exactly [String.length (encode m)], computed by a counting pass over
+    the same emitter ({!Prelude.Codec.Sizer}) — no buffer is allocated.
+    Used by the simulator to charge realistic message sizes on hot
+    paths. *)
 
 val equal : message -> message -> bool
 val pp : Format.formatter -> message -> unit

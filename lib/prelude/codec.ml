@@ -31,6 +31,42 @@ module Writer = struct
     List.iter encode items
 end
 
+(* Shared emitting surface of [Writer] and [Sizer], so an encoder can be
+   written once and instantiated either to produce bytes or to count them. *)
+module type SINK = sig
+  type t
+
+  val u8 : t -> int -> unit
+  val varint : t -> int -> unit
+  val bool : t -> bool -> unit
+  val bytes : t -> string -> unit
+  val list : t -> ('a -> unit) -> 'a list -> unit
+end
+
+module Sizer = struct
+  type t = { mutable count : int }
+
+  let create () = { count = 0 }
+  let size t = t.count
+
+  let u8 t v =
+    if v < 0 || v > 255 then invalid_arg "Codec.Sizer.u8: outside [0, 255]";
+    t.count <- t.count + 1
+
+  let varint_size v =
+    if v < 0 then invalid_arg "Codec.Sizer.varint: negative";
+    let rec len v acc = if v < 0x80 then acc else len (v lsr 7) (acc + 1) in
+    len v 1
+
+  let varint t v = t.count <- t.count + varint_size v
+  let bool t _ = t.count <- t.count + 1
+  let bytes t s = t.count <- t.count + varint_size (String.length s) + String.length s
+
+  let list t encode items =
+    varint t (List.length items);
+    List.iter encode items
+end
+
 module Reader = struct
   type t = { data : string; mutable pos : int }
   type error = Truncated | Malformed of string

@@ -27,6 +27,33 @@ module Writer : sig
       writer). *)
 end
 
+module type SINK = sig
+  type t
+
+  val u8 : t -> int -> unit
+  val varint : t -> int -> unit
+  val bool : t -> bool -> unit
+  val bytes : t -> string -> unit
+  val list : t -> ('a -> unit) -> 'a list -> unit
+end
+(** The emitting surface shared by {!Writer} and {!Sizer}.  Encoders written
+    against [SINK] can be instantiated once to produce bytes and once to
+    measure them without allocating a buffer. *)
+
+module Sizer : sig
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+  (** Bytes the same sequence of calls would have appended to a {!Writer}. *)
+
+  val u8 : t -> int -> unit
+  val varint : t -> int -> unit
+  val bool : t -> bool -> unit
+  val bytes : t -> string -> unit
+  val list : t -> ('a -> unit) -> 'a list -> unit
+end
+
 module Reader : sig
   type t
 

@@ -1,0 +1,33 @@
+(** Persistent pool of worker domains for scatter-style parallel jobs.
+
+    Built for the sharded registry's per-shard query scatter: the shards are
+    disjoint data structures, so tasks share no mutable state and need no
+    synchronization beyond the pool's own job handoff.  Callers must uphold
+    that property — a task must not touch state another concurrent task
+    writes (distinct slots of a results array are fine). *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Spawn a pool with [domains] total parallelism (the calling domain
+    participates in every job, so [domains - 1] workers are spawned).
+    Defaults to [Domain.recommended_domain_count ()]; values are clamped to
+    [\[1, 64\]].  [domains = 1] spawns nothing and runs jobs sequentially. *)
+
+val size : t -> int
+(** Total parallelism: spawned workers plus the calling domain. *)
+
+val run : t -> int -> (int -> unit) -> unit
+(** [run t n f] evaluates [f 0 .. f (n-1)], claiming tasks dynamically
+    across the pool, and returns when all have finished.  If any task
+    raises, the first exception observed is re-raised in the caller after
+    the job drains.  Reentrant calls (from inside a task) and [n <= 1] run
+    sequentially in the caller.  Only one domain may drive [run] at a
+    time. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers.  Idempotent. *)
+
+val shared : unit -> t
+(** The process-wide pool, sized to the machine, created on first use and
+    shut down via [at_exit]. *)

@@ -264,6 +264,75 @@ let test_single_cluster_guards () =
     (Invalid_argument "Cluster.start_sync: single-server cluster has no engine") (fun () ->
       Nearby.Cluster.start_sync cluster ~period_ms:100.0 ~until:1_000.0)
 
+(* --- Batched join ------------------------------------------------------ *)
+
+(* [join_many] semantics: every peer is registered before any query is
+   answered, so the reference is a plain server with all peers joined
+   first, then queried. *)
+let batch_reference fx ~peers ~k =
+  let reference = make_server fx () in
+  for peer = 0 to peers - 1 do
+    ignore
+      (Nearby.Server.join reference ~peer
+         ~attach_router:fx.map.leaves.(peer mod Array.length fx.map.leaves))
+  done;
+  List.init peers (fun peer -> Nearby.Server.neighbors reference ~peer ~k)
+
+let batch_entries fx ~peers =
+  Array.init peers (fun peer -> (peer, fx.map.leaves.(peer mod Array.length fx.map.leaves)))
+
+let run_join_many fx protocol ~peers ~k ~horizon =
+  let replies = Hashtbl.create peers in
+  let failed = ref 0 in
+  Nearby.Protocol.join_many protocol ~entries:(batch_entries fx ~peers) ~k
+    ~on_complete:(fun peer _info reply -> Hashtbl.replace replies peer reply)
+    ~on_failure:(fun () -> incr failed);
+  Simkit.Engine.run fx.engine ~until:horizon;
+  (replies, !failed)
+
+let check_batch_replies ~expected replies =
+  List.iteri
+    (fun peer expect ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "peer %d batch reply" peer)
+        expect (Hashtbl.find replies peer))
+    expected
+
+let test_join_many_direct_matches_bulk_server () =
+  let fx = fixture ~replicas:1 ~seed:31 () in
+  let peers = 12 and k = 4 in
+  let expected = batch_reference fx ~peers ~k in
+  let protocol =
+    Nearby.Protocol.create ~engine:fx.engine ~server_router:fx.replica_routers.(0)
+      (make_server fx ())
+  in
+  let replies, failed = run_join_many fx protocol ~peers ~k ~horizon:60_000.0 in
+  Alcotest.(check int) "no failures" 0 failed;
+  Alcotest.(check int) "all completed" peers (Hashtbl.length replies);
+  check_batch_replies ~expected replies
+
+let test_join_many_resilient_replicates_as_one_message () =
+  let fx = fixture ~seed:32 () in
+  let peers = 12 and k = 4 in
+  let expected = batch_reference fx ~peers ~k in
+  let cluster = make_cluster fx in
+  let rpc = Simkit.Rpc.create ~config:rpc_config fx.transport in
+  let protocol = Nearby.Protocol.create_resilient ~rpc cluster in
+  let replies, failed = run_join_many fx protocol ~peers ~k ~horizon:60_000.0 in
+  Alcotest.(check int) "no failures" 0 failed;
+  Alcotest.(check int) "all completed" peers (Hashtbl.length replies);
+  check_batch_replies ~expected replies;
+  (* The batching headline: ONE replication send per peer replica, not one
+     per (entry, replica) — while the apply counter still accounts every
+     entry on every replica. *)
+  let c name = Simkit.Trace.counter (Nearby.Cluster.trace cluster) name in
+  let others = Array.length fx.replica_routers - 1 in
+  Alcotest.(check int) "register counter" peers (c "cluster_register");
+  Alcotest.(check int) "one send per replica" others (c "cluster_replicate_send");
+  Alcotest.(check int) "applies per entry" (peers * others) (c "cluster_replicate_apply");
+  Alcotest.(check bool) "replicas consistent" true (Nearby.Cluster.consistent cluster);
+  Nearby.Cluster.check_invariants cluster
+
 let suite =
   ( "cluster",
     [
@@ -277,4 +346,8 @@ let suite =
       Alcotest.test_case "joins under 20% loss terminate" `Quick
         test_joins_under_loss_always_terminate;
       Alcotest.test_case "single-cluster guards" `Quick test_single_cluster_guards;
+      Alcotest.test_case "join_many direct = bulk server" `Quick
+        test_join_many_direct_matches_bulk_server;
+      Alcotest.test_case "join_many replicates batch as one message" `Quick
+        test_join_many_resilient_replicates_as_one_message;
     ] )

@@ -100,6 +100,98 @@ let qcheck_equivalence =
       List.iter Registry_intf.check_invariants regs;
       true)
 
+(* --- Batch/singleton agreement ----------------------------------------- *)
+
+(* The Domain-parallel sharded scatter is exercised through one dedicated
+   module instance: a 2-domain pool works even on a 1-core machine, and
+   [parallel_threshold:0] forces every query through the cross-domain
+   path.  Created once and reused across qcheck repetitions — the pool is
+   persistent by design, and repetition is what would catch a racy
+   scatter. *)
+let parallel_sharded_backend =
+  Sharded_registry.make ~shards:3 ~query_domains:2 ~parallel_threshold:0 ()
+
+let qcheck_batch_agreement =
+  QCheck.Test.make ~name:"insert_many/query_many match looped singletons" ~count:15
+    QCheck.(make Gen.(pair small_nat bool))
+    (fun (seed, waxman) ->
+      let sc = if waxman then waxman_scenario ~seed else transit_stub_scenario ~seed in
+      let rng = Prelude.Prng.create (seed + 23) in
+      let named =
+        List.map (fun spec -> (spec_name spec, backend_of spec)) specs
+        @ [ ("sharded:3+domains", parallel_sharded_backend) ]
+      in
+      List.iter
+        (fun (name, backend) ->
+          let batched = Registry_intf.create backend ~landmark:sc.landmark in
+          let looped = Registry_intf.create backend ~landmark:sc.landmark in
+          let peers = 30 in
+          let entries =
+            Array.init peers (fun peer -> (peer, sc.route_of (attach_router sc rng)))
+          in
+          Registry_intf.insert_many batched entries;
+          Array.iter (fun (peer, routers) -> Registry_intf.insert looped ~peer ~routers) entries;
+          Registry_intf.check_invariants batched;
+          Alcotest.(check int)
+            (name ^ ": member count")
+            (Registry_intf.member_count looped)
+            (Registry_intf.member_count batched);
+          (* Newcomer paths, with a per-query-index exclude — the batched
+             side must thread the index through correctly. *)
+          let queries = Array.init 12 (fun _ -> sc.route_of (attach_router sc rng)) in
+          let exclude qi p = (p + qi) mod 5 = 0 in
+          let k = 4 in
+          let batch = Registry_intf.query_many batched ~queries ~k ~exclude () in
+          Array.iteri
+            (fun qi routers ->
+              Alcotest.(check (list (pair int int)))
+                (Printf.sprintf "%s: query %d" name qi)
+                (Registry_intf.query looped ~routers ~k ~exclude:(exclude qi) ())
+                batch.(qi))
+            queries;
+          (* Member queries, batched vs looped. *)
+          let members = Array.init 10 (fun i -> i * 3 mod peers) in
+          let batch = Registry_intf.query_member_many batched ~peers:members ~k in
+          Array.iteri
+            (fun i peer ->
+              Alcotest.(check (list (pair int int)))
+                (Printf.sprintf "%s: query_member %d" name peer)
+                (Registry_intf.query_member looped ~peer ~k)
+                batch.(i))
+            members)
+        named;
+      true)
+
+(* Batch validation is atomic for the tree-based backends: a bad batch
+   (duplicate peer inside it) must leave no partial state behind. *)
+let test_batch_rejects_duplicates_atomically () =
+  let sc = transit_stub_scenario ~seed:6 in
+  let rng = Prelude.Prng.create 17 in
+  List.iter
+    (fun (name, backend) ->
+      let reg = Registry_intf.create backend ~landmark:sc.landmark in
+      Registry_intf.insert reg ~peer:0 ~routers:(sc.route_of (attach_router sc rng));
+      let bad_batches =
+        [
+          (* Duplicate against the registered population. *)
+          [| (1, sc.route_of (attach_router sc rng)); (0, sc.route_of (attach_router sc rng)) |];
+          (* Duplicate inside the batch itself. *)
+          [| (2, sc.route_of (attach_router sc rng)); (2, sc.route_of (attach_router sc rng)) |];
+        ]
+      in
+      List.iter
+        (fun batch ->
+          (match Registry_intf.insert_many reg batch with
+          | exception Invalid_argument _ -> ()
+          | () -> Alcotest.fail (name ^ ": bad batch accepted"));
+          Registry_intf.check_invariants reg;
+          Alcotest.(check int) (name ^ ": nothing applied") 1 (Registry_intf.member_count reg))
+        bad_batches)
+    [
+      ("tree", (module Path_tree : Registry_intf.S));
+      ("sharded:4", Sharded_registry.make ~shards:4 ());
+    ]
+
 (* --- Invariants and agreement under churn ------------------------------ *)
 
 let qcheck_churn =
@@ -292,6 +384,9 @@ let suite =
       Alcotest.test_case "restore rejects corruption" `Quick test_restore_rejects_corruption;
       Alcotest.test_case "uniform trace counters" `Quick test_trace_counters_uniform;
       Alcotest.test_case "backend spec parsing" `Quick test_backend_names;
+      Alcotest.test_case "batch insert validation is atomic" `Quick
+        test_batch_rejects_duplicates_atomically;
       QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) qcheck_equivalence;
+      QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) qcheck_batch_agreement;
       QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) qcheck_churn;
     ] )

@@ -316,11 +316,108 @@ let qcheck_server_model =
           step_ok && Server.peer_count server = Hashtbl.length model)
         ops)
 
+(* --- Batch registration ------------------------------------------------ *)
+
+let test_register_measured_batch_matches_singletons () =
+  let map, oracle, lmks, _ = make_workload ~seed:8 () in
+  let batch_server = Server.create oracle ~landmarks:lmks in
+  let loop_server = Server.create oracle ~landmarks:lmks in
+  let n = 40 in
+  (* Deterministic measurement (no rng), so one measurement serves both
+     servers. *)
+  let entries =
+    Array.init n (fun peer ->
+        let attach = map.leaves.(peer mod Array.length map.leaves) in
+        (peer, attach, Server.measure batch_server ~attach_router:attach))
+  in
+  let infos = Server.register_measured_batch batch_server entries in
+  Array.iter
+    (fun (peer, attach_router, m) ->
+      ignore (Server.register_measured loop_server ~peer ~attach_router m))
+    entries;
+  Server.check_invariants batch_server;
+  Alcotest.(check int) "peer count" n (Server.peer_count batch_server);
+  Array.iteri
+    (fun i (peer, _, _) ->
+      match Server.info batch_server peer with
+      | None -> Alcotest.fail (Printf.sprintf "peer %d missing" peer)
+      | Some info -> Alcotest.(check bool) "info in entry order" true (info = infos.(i)))
+    entries;
+  (* Per-peer counters must match n singleton registrations exactly; the
+     wire accounting must NOT — one packed batch report costs less than n
+     separate ones.  Checked before any [neighbors] call touches the
+     query/wire counters. *)
+  let c name s = Simkit.Trace.counter (Server.trace s) name in
+  List.iter
+    (fun name ->
+      Alcotest.(check int) (name ^ " counter") (c name loop_server) (c name batch_server))
+    [ "join"; "probe_packets" ];
+  Alcotest.(check bool) "batched wire bytes cheaper" true
+    (c "wire_bytes" batch_server < c "wire_bytes" loop_server);
+  for peer = 0 to n - 1 do
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "neighbors %d identical" peer)
+      (Server.neighbors loop_server ~peer ~k:4)
+      (Server.neighbors batch_server ~peer ~k:4)
+  done;
+  (* A batch containing any registered peer is rejected before anything is
+     applied. *)
+  let fresh_attach = map.leaves.(0) in
+  let bad =
+    [|
+      (n + 1, fresh_attach, Server.measure batch_server ~attach_router:fresh_attach);
+      (0, fresh_attach, Server.measure batch_server ~attach_router:fresh_attach);
+    |]
+  in
+  (match Server.register_measured_batch batch_server bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate batch accepted");
+  Alcotest.(check int) "nothing applied" n (Server.peer_count batch_server)
+
+let test_register_replica_batch_idempotent () =
+  let map, oracle, lmks, _ = make_workload ~seed:9 () in
+  let primary = Server.create oracle ~landmarks:lmks in
+  let replica = Server.create oracle ~landmarks:lmks in
+  let n = 25 in
+  for peer = 0 to n - 1 do
+    ignore (Server.join primary ~peer ~attach_router:map.leaves.(peer mod Array.length map.leaves))
+  done;
+  let entries =
+    Array.init n (fun peer ->
+        let info = Option.get (Server.info primary peer) in
+        (peer, info.Server.attach_router, info.landmark, info.recorded_path, info.probes_spent))
+  in
+  Alcotest.(check int) "all applied" n (Server.register_replica_batch replica entries);
+  Server.check_invariants replica;
+  Alcotest.(check int) "replica population" n (Server.peer_count replica);
+  Alcotest.(check int) "replica counter" n
+    (Simkit.Trace.counter (Server.trace replica) "replica_register");
+  for peer = 0 to n - 1 do
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "replica answers like primary for %d" peer)
+      (Server.neighbors primary ~peer ~k:3)
+      (Server.neighbors replica ~peer ~k:3)
+  done;
+  (* Replay: every entry already present is skipped, not an error. *)
+  Alcotest.(check int) "replay applies nothing" 0 (Server.register_replica_batch replica entries);
+  Alcotest.(check int) "population unchanged" n (Server.peer_count replica);
+  (* A fresh entry naming an unknown landmark still fails loudly. *)
+  let peer, attach, _, path, probes = entries.(0) in
+  ignore peer;
+  match
+    Server.register_replica_batch replica [| (n + 50, attach, -1, path, probes) |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown landmark accepted"
+
 let suite =
   ( "server",
     [
       Alcotest.test_case "create validation" `Quick test_create_validation;
       Alcotest.test_case "join registers" `Quick test_join_registers;
+      Alcotest.test_case "batch registration = singletons" `Quick
+        test_register_measured_batch_matches_singletons;
+      Alcotest.test_case "replica batch idempotent" `Quick test_register_replica_batch_idempotent;
       Alcotest.test_case "join picks closest landmark" `Quick test_join_picks_closest_landmark;
       Alcotest.test_case "join duplicate" `Quick test_join_duplicate;
       Alcotest.test_case "neighbors sane" `Quick test_neighbors_sane;

@@ -59,6 +59,41 @@ let test_reader_malformed_varint () =
   | Error (Codec.Reader.Malformed _) -> ()
   | Ok _ | Error Codec.Reader.Truncated -> Alcotest.fail "expected malformed"
 
+(* The reader must reject varints whose VALUE cannot be represented, not
+   just absurdly long encodings: 9 continuation bytes put the 10th byte's
+   payload at bit 63, so anything above 0x3F there overflows OCaml's
+   63-bit int. *)
+let test_varint_overflow_edges () =
+  let decode s = Codec.Reader.varint (Codec.Reader.of_string s) in
+  let expect_malformed what s =
+    match decode s with
+    | Error (Codec.Reader.Malformed _) -> ()
+    | Ok v -> Alcotest.fail (Printf.sprintf "%s decoded as %d" what v)
+    | Error Codec.Reader.Truncated -> Alcotest.fail (what ^ " reported truncated")
+  in
+  (* max_int = 2^62 - 1 encodes as 8 continuation bytes + 0x3F: the largest
+     legal varint, and it must round-trip. *)
+  Alcotest.(check bool) "max_int roundtrips" true (roundtrip_varint max_int);
+  (* Same length, final payload one past the top: 2^62 overflows. *)
+  expect_malformed "2^62" (String.make 8 '\x80' ^ "\x40");
+  (* An eleventh byte is past any 63-bit value no matter its payload. *)
+  expect_malformed "10 continuation bytes" (String.make 10 '\xff');
+  expect_malformed "over-long zero" (String.make 9 '\x80' ^ "\x01")
+
+(* A multi-byte varint cut inside its continuation bytes is Truncated —
+   the transport lost data — never Malformed, and never a value. *)
+let test_varint_truncated_multibyte () =
+  let expect_truncated what s =
+    match Codec.Reader.varint (Codec.Reader.of_string s) with
+    | Error Codec.Reader.Truncated -> ()
+    | Ok v -> Alcotest.fail (Printf.sprintf "%s decoded as %d" what v)
+    | Error (Codec.Reader.Malformed m) -> Alcotest.fail (what ^ " reported malformed: " ^ m)
+  in
+  expect_truncated "empty input" "";
+  expect_truncated "lone continuation byte" "\x80";
+  expect_truncated "three of four bytes" "\xff\xff\xff";
+  expect_truncated "seven continuation bytes" (String.make 7 '\x80')
+
 let test_bool_roundtrip () =
   let w = Codec.Writer.create () in
   Codec.Writer.bool w true;
@@ -108,6 +143,20 @@ let sample_messages =
     Wire.Neighbor_reply { peer = 3; neighbors = [ (9, 4); (12, 6) ] };
     Wire.Neighbor_reply { peer = 0; neighbors = [] };
     Wire.Leave { peer = 77 };
+    Wire.Path_report_batch { reports = [] };
+    Wire.Path_report_batch
+      {
+        reports =
+          [
+            (3, { Traceroute.Path.src = 1; dst = 9; hops = [| Traceroute.Path.Known 9 |] });
+            ( 4,
+              {
+                Traceroute.Path.src = 2;
+                dst = 9;
+                hops = [| Traceroute.Path.Anonymous; Traceroute.Path.Known 9 |];
+              } );
+          ];
+      };
   ]
 
 let test_wire_roundtrip () =
@@ -161,6 +210,50 @@ let qcheck_wire_neighbor_reply_roundtrip =
       let m = Wire.Neighbor_reply { peer; neighbors } in
       match Wire.decode (Wire.encode m) with Ok m' -> Wire.equal m m' | Error _ -> false)
 
+(* A batched fan-out must cost less than the reports shipped one message
+   each — that is its reason to exist — and the allocation-free [byte_size]
+   must agree with the bytes [encode] actually produces. *)
+let test_wire_batch_beats_singletons () =
+  let report i =
+    ( 1000 + i,
+      {
+        Traceroute.Path.src = i;
+        dst = 204;
+        hops = Array.init 9 (fun h -> Traceroute.Path.Known ((h * 31) + i));
+      } )
+  in
+  let reports = List.init 16 report in
+  let batch = Wire.byte_size (Wire.Path_report_batch { reports }) in
+  let singles =
+    List.fold_left
+      (fun acc (peer, path) -> acc + Wire.byte_size (Wire.Path_report { peer; path }))
+      0 reports
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "batch %dB < %dB singles" batch singles)
+    true (batch < singles);
+  match Wire.decode (Wire.encode (Wire.Path_report_batch { reports })) with
+  | Ok m' -> Alcotest.(check bool) "batch roundtrip" true (Wire.equal (Wire.Path_report_batch { reports }) m')
+  | Error e -> Alcotest.fail e
+
+let gen_path =
+  QCheck.Gen.(
+    map3
+      (fun src dst hops -> { Traceroute.Path.src; dst; hops = Array.of_list hops })
+      (int_bound 5000) (int_bound 5000)
+      (list_size (int_bound 12)
+         (map
+            (fun h -> if h = 0 then Traceroute.Path.Anonymous else Traceroute.Path.Known h)
+            (int_bound 5000))))
+
+let qcheck_wire_batch_size_exact =
+  QCheck.Test.make ~name:"byte_size = encode length for report batches" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_bound 8) (pair (int_bound 10000) gen_path)))
+    (fun reports ->
+      let m = Wire.Path_report_batch { reports } in
+      Wire.byte_size m = String.length (Wire.encode m)
+      && match Wire.decode (Wire.encode m) with Ok m' -> Wire.equal m m' | Error _ -> false)
+
 let qcheck_wire_decode_total =
   QCheck.Test.make ~name:"wire decode never raises on random bytes" ~count:500
     QCheck.(string_of_size Gen.(int_bound 40))
@@ -177,6 +270,8 @@ let suite =
       Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
       Alcotest.test_case "reader truncated" `Quick test_reader_truncated;
       Alcotest.test_case "malformed varint" `Quick test_reader_malformed_varint;
+      Alcotest.test_case "varint overflow edges" `Quick test_varint_overflow_edges;
+      Alcotest.test_case "varint truncated mid-encoding" `Quick test_varint_truncated_multibyte;
       Alcotest.test_case "bool roundtrip" `Quick test_bool_roundtrip;
       Alcotest.test_case "list roundtrip" `Quick test_list_roundtrip;
       Alcotest.test_case "absurd list count" `Quick test_list_absurd_count;
@@ -185,6 +280,8 @@ let suite =
       Alcotest.test_case "trailing garbage" `Quick test_wire_trailing_garbage;
       Alcotest.test_case "bad version/tag" `Quick test_wire_bad_version_and_tag;
       Alcotest.test_case "sizes reasonable" `Quick test_wire_sizes_reasonable;
+      Alcotest.test_case "batch beats singleton reports" `Quick test_wire_batch_beats_singletons;
+      q qcheck_wire_batch_size_exact;
       q qcheck_wire_neighbor_reply_roundtrip;
       q qcheck_wire_decode_total;
     ] )
