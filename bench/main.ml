@@ -502,6 +502,74 @@ let run_obs ~full =
            string_of_int (ins_ex + q_ex); string_of_int intro.members;
            string_of_int intro.routers; string_of_int (intro.approx_bytes / 1024) ])
        results);
+  (* Sketch fidelity: the merged fleet quantiles below are only as good as
+     the sketch, so gate its relative error against exact order statistics
+     on a deterministic heavy-tailed sample set. *)
+  let sketch_err =
+    let n = 5_000 in
+    let rng = Prelude.Prng.create (seed * 7919) in
+    let samples =
+      Array.init n (fun _ ->
+          let u = Prelude.Prng.unit_float rng in
+          0.5 +. (1_000.0 *. u *. u *. u))
+    in
+    let sk = Prelude.Sketch.create () in
+    Array.iter (fun v -> Prelude.Sketch.add sk v) samples;
+    List.map
+      (fun q ->
+        let exact = Prelude.Stats.percentile samples (100.0 *. q) in
+        let est = Prelude.Sketch.quantile sk q in
+        (q, Float.abs (est -. exact) /. exact))
+      [ 0.5; 0.9; 0.99 ]
+  in
+  let sketch_max_err = List.fold_left (fun m (_, e) -> Float.max m e) 0.0 sketch_err in
+  let sketch_within = sketch_max_err <= 2.0 *. Prelude.Sketch.default_alpha in
+  (* Fleet-wide merged view: a replicated cluster over sharded registries,
+     scraped per replica and folded into one trace.  Simulated clock, so
+     every number is deterministic in the seed. *)
+  let fleet_result, fleet =
+    Eval.Fleet_obs.run
+      { Eval.Fleet_obs.quick_config with seed; slos = Eval.Fleet_obs.default_slos }
+  in
+  let alpha = Prelude.Sketch.default_alpha in
+  let cluster = Eval.Fleet_obs.cluster fleet in
+  let fleet_within =
+    (* Each replica-labeled p99 must match that replica's own sketch (a
+       single-source merge copies the buckets), and the merged p99 must
+       land inside the per-replica envelope, both within the documented
+       relative-error bound. *)
+    let per_replica_ok = ref true in
+    let p99s =
+      Array.to_list
+        (Array.mapi
+           (fun i labeled ->
+             (match
+                Simkit.Trace.sketch_quantile
+                  (Nearby.Server.trace (Nearby.Cluster.server_of cluster i))
+                  "join_ms" 0.99
+              with
+             | Some source when Float.abs (labeled -. source) > 2.0 *. alpha *. source ->
+                 per_replica_ok := false
+             | Some _ -> ()
+             | None -> per_replica_ok := false);
+             labeled)
+           fleet_result.Eval.Fleet_obs.replica_join_p99_ms)
+    in
+    let lo = List.fold_left Float.min infinity p99s in
+    let hi = List.fold_left Float.max neg_infinity p99s in
+    !per_replica_ok
+    && fleet_result.Eval.Fleet_obs.fleet_join_p99_ms >= lo *. (1.0 -. (2.0 *. alpha))
+    && fleet_result.Eval.Fleet_obs.fleet_join_p99_ms <= hi *. (1.0 +. (2.0 *. alpha))
+  in
+  Printf.printf
+    "fleet: %d/%d joins, merged p99 %.1f ms (replicas %s), shard skew %.2f, sketch max rel \
+     err %.5f\n%!"
+    fleet_result.Eval.Fleet_obs.completed fleet_result.Eval.Fleet_obs.joins
+    fleet_result.Eval.Fleet_obs.fleet_join_p99_ms
+    (String.concat " "
+       (List.map (Printf.sprintf "%.1f")
+          (Array.to_list fleet_result.Eval.Fleet_obs.replica_join_p99_ms)))
+    fleet_result.Eval.Fleet_obs.shard_skew sketch_max_err;
   let meta =
     Simkit.Export.capture_meta ~seed
       ~backends:(List.map Eval.Backends.to_string Eval.Backends.all)
@@ -526,10 +594,45 @@ let run_obs ~full =
       (Simkit.Json_str.quote name) (quantiles_json ins) (quantiles_json q) ins_ex q_ex
       (Nearby.Registry_intf.introspection_json intro)
   in
+  let sketch_json =
+    Printf.sprintf
+      "{\"alpha\": %s, \"samples\": 5000, %s, \"max_rel_err\": %s, \"within_bound\": %b}"
+      (Simkit.Json_str.number Prelude.Sketch.default_alpha)
+      (String.concat ", "
+         (List.map
+            (fun (q, e) ->
+              Printf.sprintf "\"rel_err_p%d\": %s"
+                (int_of_float (q *. 100.0))
+                (Simkit.Json_str.number e))
+            sketch_err))
+      (Simkit.Json_str.number sketch_max_err)
+      sketch_within
+  in
+  let fleet_json =
+    let r = fleet_result in
+    Printf.sprintf
+      "{\"replicas\": %d, \"shards\": %d, \"joins\": %d, \"completed\": %d, \
+       \"completion_rate\": %s, \"merged_p50_ms\": %s, \"merged_p99_ms\": %s, \
+       \"replica_p99_ms\": [%s], \"within_bound\": %b, \"shard_skew\": %s, \"rpc_ok\": %d}"
+      (Nearby.Cluster.replica_count cluster)
+      Eval.Fleet_obs.quick_config.Eval.Fleet_obs.shards r.Eval.Fleet_obs.joins
+      r.Eval.Fleet_obs.completed
+      (Simkit.Json_str.number
+         (float_of_int r.Eval.Fleet_obs.completed /. float_of_int r.Eval.Fleet_obs.joins))
+      (Simkit.Json_str.number r.Eval.Fleet_obs.fleet_join_p50_ms)
+      (Simkit.Json_str.number r.Eval.Fleet_obs.fleet_join_p99_ms)
+      (String.concat ", "
+         (List.map Simkit.Json_str.number (Array.to_list r.Eval.Fleet_obs.replica_join_p99_ms)))
+      fleet_within
+      (Simkit.Json_str.number r.Eval.Fleet_obs.shard_skew)
+      r.Eval.Fleet_obs.rpc_ok
+  in
   let json =
-    Printf.sprintf "{\n  \"meta\": %s,\n  \"backends\": [\n%s\n  ]\n}\n"
+    Printf.sprintf
+      "{\n  \"meta\": %s,\n  \"backends\": [\n%s\n  ],\n  \"sketch\": %s,\n  \"fleet\": %s\n}\n"
       (Simkit.Export.meta_json meta)
       (String.concat ",\n" (List.map row_json results))
+      sketch_json fleet_json
   in
   Simkit.Export.write_file "BENCH_obs.json" json;
   Printf.printf "wrote BENCH_obs.json (%d-peer workload, %d queries)\n%!" population query_count

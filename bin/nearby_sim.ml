@@ -827,6 +827,121 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Run every experiment in DESIGN.md's index.")
     Term.(ret (const run $ quick_flag $ seed_opt))
 
+let top_cmd =
+  let once_arg =
+    let doc =
+      "Run the fleet to completion and print one final frame (no escape sequences) — the \
+       headless / CI capture mode."
+    in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let frames_arg =
+    let doc = "Number of refresh frames to render across the run (live mode)." in
+    Arg.(value & opt int 12 & info [ "frames" ] ~doc ~docv:"N")
+  in
+  let refresh_arg =
+    let doc = "Wall-clock delay between live frames, milliseconds." in
+    Arg.(value & opt float 500.0 & info [ "refresh-ms" ] ~doc ~docv:"MS")
+  in
+  let replicas_arg =
+    let doc = "Number of management-server replicas." in
+    Arg.(value & opt int 3 & info [ "replicas" ] ~doc ~docv:"N")
+  in
+  let shards_arg =
+    let doc = "Shards per replica's registry backend." in
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc ~docv:"N")
+  in
+  let metrics_out_arg =
+    let doc =
+      "Write the final JSON metrics snapshot (merged fleet section, labeled series, runtime \
+       profile, windowed timeseries) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
+  in
+  let run quick seed routers peers k replicas shards once frames refresh_ms slos metrics_out
+      prom_out =
+    match parse_slos slos with
+    | Error e -> `Error (false, e)
+    | Ok slo_list -> (
+        let config =
+          if quick then Eval.Fleet_obs.quick_config else Eval.Fleet_obs.default_config
+        in
+        let config = override seed (fun c v -> { c with Eval.Fleet_obs.seed = v }) config in
+        let config = override routers (fun c v -> { c with Eval.Fleet_obs.routers = v }) config in
+        let config = override peers (fun c v -> { c with Eval.Fleet_obs.peers = v }) config in
+        let config = override k (fun c v -> { c with Eval.Fleet_obs.k = v }) config in
+        let config = { config with Eval.Fleet_obs.replicas; shards } in
+        let config =
+          if slo_list = [] then config else { config with Eval.Fleet_obs.slos = slo_list }
+        in
+        match Eval.Fleet_obs.start config with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | t ->
+            let horizon = Eval.Fleet_obs.horizon t in
+            if once then begin
+              Eval.Fleet_obs.advance t ~until:horizon;
+              print_string (Eval.Fleet_obs.render t)
+            end
+            else begin
+              let frames = max 1 frames in
+              for i = 1 to frames do
+                Eval.Fleet_obs.advance t
+                  ~until:(horizon *. float_of_int i /. float_of_int frames);
+                (* Clear between frames, never inside one: a killed render
+                   still leaves the terminal on a frame boundary. *)
+                if i > 1 then print_string "\027[2J\027[H";
+                print_string (Eval.Fleet_obs.render t);
+                flush stdout;
+                if i < frames then Unix.sleepf (Float.max 0.0 refresh_ms /. 1000.0)
+              done
+            end;
+            (match metrics_out with
+            | Some file ->
+                let meta =
+                  Simkit.Export.capture_meta ~seed:config.Eval.Fleet_obs.seed
+                    ~extra:
+                      [
+                        ("replicas", string_of_int replicas); ("shards", string_of_int shards);
+                      ]
+                    ()
+                in
+                Simkit.Export.write_file file
+                  (Simkit.Export.metrics_json ~meta
+                     ~timeseries:[ ("fleet", Eval.Fleet_obs.timeseries t) ]
+                     ~labeled:
+                       [
+                         ("fleet", Eval.Fleet_obs.metrics t);
+                         ("replicas", Eval.Fleet_obs.scrape t);
+                       ]
+                     ~runtime:(Eval.Fleet_obs.runtime t)
+                     [ ("fleet", Eval.Fleet_obs.fleet_trace t) ]);
+                Printf.printf "wrote metrics snapshot to %s\n%!" file
+            | None -> ());
+            (match prom_out with
+            | Some file ->
+                Simkit.Export.write_file file
+                  (Simkit.Export.prometheus_labeled
+                     [
+                       ("fleet", Eval.Fleet_obs.metrics t);
+                       ("replicas", Eval.Fleet_obs.scrape t);
+                     ]);
+                Printf.printf "wrote Prometheus exposition to %s\n%!" file
+            | None -> ());
+            exit_ok)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live fleet dashboard: a replicated cluster over sharded registries fills with joins \
+          while refreshing panels show ops/s, join p50/p99, SLO burn status, GC and \
+          domain-pool utilization, and shard occupancy skew.  $(b,--once) renders a single \
+          final frame for CI.")
+    Term.(
+      ret
+        (const run $ quick_flag $ seed_opt $ routers_opt $ peers_opt $ k_opt $ replicas_arg
+       $ shards_arg $ once_arg $ frames_arg $ refresh_arg $ slo_opt $ metrics_out_arg
+       $ prom_out_opt))
+
 let () =
   let info =
     Cmd.info "nearby_sim" ~version:"1.0.0"
@@ -855,6 +970,7 @@ let () =
             bulk_cmd;
             joining_cmd;
             resilience_cmd;
+            top_cmd;
             trace_cmd;
             verify_cmd;
             all_cmd;

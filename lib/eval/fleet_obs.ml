@@ -1,0 +1,358 @@
+(* The fleet observability workload behind `nearby_sim top`, `bench obs`'s
+   fleet section and the dimensional-metrics acceptance tests: a healthy
+   N-replica cluster (no fault script) whose replicas each run a sharded
+   registry backend, every layer wired into one labeled metrics registry.
+
+   One run produces every view the tentpole promises:
+
+   - per-shard series from {!Nearby.Sharded_registry}
+     ([registry_shard_*_ns{shard="i"}], occupancy gauges);
+   - per-backend series from {!Nearby.Instrumented_registry}
+     ([registry_*_ns{backend="sharded:4"}]);
+   - per-outcome RPC series ([rpc_outcomes{outcome="ok"}], ...);
+   - per-replica series from {!Nearby.Cluster.scrape}
+     ([join_ms{replica="2"}], ...) plus the merged fleet trace from
+     {!Nearby.Cluster.fleet_trace};
+   - a {!Simkit.Runtime_profile} of the run itself (GC deltas per phase,
+     domain-pool utilization, observe-path overhead).
+
+   The engine can be advanced in slices ({!advance}), so the live
+   dashboard renders a frame between slices and watches the fleet fill
+   up in simulated time; {!run} drives straight to the horizon for
+   benches and tests. *)
+
+type config = {
+  routers : int;
+  peers : int;
+  landmark_count : int;
+  k : int;
+  replicas : int;
+  shards : int;
+  arrival_window_ms : float;
+  sync_period_ms : float;
+  window_ms : float;  (** Timeseries / SLO window width. *)
+  slos : Simkit.Slo.spec list;
+  seed : int;
+}
+
+let default_slos =
+  [
+    Simkit.Slo.of_string_exn "join_p99_ms=2000";
+    Simkit.Slo.of_string_exn "join_completed/join_started>=0.99";
+  ]
+
+let default_config =
+  {
+    routers = 2000;
+    peers = 300;
+    landmark_count = 8;
+    k = 5;
+    replicas = 3;
+    shards = 4;
+    arrival_window_ms = 8_000.0;
+    sync_period_ms = 2_000.0;
+    window_ms = 500.0;
+    slos = default_slos;
+    seed = 1;
+  }
+
+let quick_config = { default_config with routers = 800; peers = 120 }
+
+type t = {
+  config : config;
+  engine : Simkit.Engine.t;
+  cluster : Nearby.Cluster.t;
+  rpc : Simkit.Rpc.t;
+  metrics : Simkit.Metrics.t;
+  timeseries : Simkit.Timeseries.t;
+  runtime : Simkit.Runtime_profile.t;
+  horizon : float;
+  completed : int ref;
+  failed : int ref;
+}
+
+(* Same pessimistic bound as Resilience_exp: every arrival has started and
+   the slowest possible RPC (all attempts timing out, backoffs included)
+   has resolved before the horizon. *)
+let worst_rpc_ms (c : Simkit.Rpc.config) =
+  let backoffs = ref 0.0 in
+  for a = 1 to c.max_attempts - 1 do
+    backoffs :=
+      !backoffs
+      +. (c.backoff_base_ms *. (c.backoff_multiplier ** float_of_int (a - 1)) *. (1.0 +. c.jitter_frac))
+  done;
+  (float_of_int c.max_attempts *. c.timeout_ms) +. !backoffs
+
+let start (config : config) =
+  if config.replicas < 1 then invalid_arg "Fleet_obs: replicas must be >= 1";
+  if config.shards < 1 then invalid_arg "Fleet_obs: shards must be >= 1";
+  if config.window_ms <= 0.0 then invalid_arg "Fleet_obs: window_ms must be positive";
+  let metrics = Simkit.Metrics.create () in
+  let runtime = Simkit.Runtime_profile.create () in
+  Simkit.Runtime_profile.phase runtime "build" (fun () ->
+      let w =
+        Workload.build ~routers:config.routers ~landmark_count:config.landmark_count
+          ~peers:config.peers ~seed:config.seed ()
+      in
+      let engine = Simkit.Engine.create () in
+      let transport =
+        Simkit.Transport.create ~rng:(Prelude.Prng.split w.rng) engine w.ctx.oracle
+      in
+      let replica_routers =
+        Nearby.Landmark.place (Workload.graph w) Medium_degree ~count:config.replicas
+          ~rng:(Prelude.Prng.split w.rng)
+      in
+      (* Every replica's backend writes into the shared registry: the
+         sharded store adds {shard=...} series, the instrumented wrapper
+         the {backend=...} mirror.  The low parallel threshold pushes the
+         query scatter onto the shared domain pool even at quick-config
+         populations, so the dashboard's pool-utilization panel shows a
+         pool that actually ran. *)
+      let backend () =
+        Nearby.Instrumented_registry.wrap ~labeled:metrics
+          (Nearby.Sharded_registry.make ~shards:config.shards ~parallel_threshold:8
+             ~metrics ())
+      in
+      let cluster =
+        Nearby.Cluster.create ~transport ~client_router:w.map.core.(0)
+          ~make_server:(fun () ->
+            Nearby.Server.create ?latency:w.ctx.latency ~backend:(backend ()) w.ctx.oracle
+              ~landmarks:w.landmarks)
+          ~restore_server:(fun data ->
+            Nearby.Server.restore ?latency:w.ctx.latency ~backend:(backend ()) w.ctx.oracle data)
+          ~routers:replica_routers ()
+      in
+      let rpc =
+        Simkit.Rpc.create ~rng:(Prelude.Prng.split w.rng) ~labeled:metrics transport
+      in
+      let protocol = Nearby.Protocol.create_resilient ?latency:w.ctx.latency ~rpc cluster in
+      let horizon =
+        config.arrival_window_ms
+        +. worst_rpc_ms (Simkit.Rpc.config rpc)
+        +. (3.0 *. config.sync_period_ms) +. 1_000.0
+      in
+      if config.replicas > 1 then
+        Nearby.Cluster.start_sync cluster ~period_ms:config.sync_period_ms ~until:horizon;
+      let timeseries =
+        Simkit.Timeseries.create
+          ~capacity:(max 64 (int_of_float (horizon /. config.window_ms) + 8))
+          ~window_ms:config.window_ms ()
+      in
+      let completed = ref 0 and failed = ref 0 in
+      for peer = 0 to config.peers - 1 do
+        let at = Prelude.Prng.float w.rng config.arrival_window_ms in
+        Simkit.Engine.schedule_at engine ~time:at (fun () ->
+            let started = Simkit.Engine.now engine in
+            Simkit.Timeseries.observe timeseries "join_started" ~now:started 1.0;
+            Nearby.Protocol.join protocol ~peer ~attach_router:w.peer_routers.(peer)
+              ~k:config.k
+              ~on_complete:(fun _info _reply ->
+                incr completed;
+                let now = Simkit.Engine.now engine in
+                Simkit.Timeseries.observe timeseries "join_ms" ~now (now -. started);
+                Simkit.Timeseries.observe timeseries "join_completed" ~now 1.0)
+              ~on_failure:(fun () ->
+                incr failed;
+                Simkit.Timeseries.observe timeseries "join_failed"
+                  ~now:(Simkit.Engine.now engine) 1.0))
+      done;
+      { config; engine; cluster; rpc; metrics; timeseries; runtime; horizon; completed; failed })
+
+let horizon t = t.horizon
+let now t = Simkit.Engine.now t.engine
+let finished t = now t >= t.horizon
+let metrics t = t.metrics
+let timeseries t = t.timeseries
+let runtime t = t.runtime
+let cluster t = t.cluster
+let fleet_trace t = Nearby.Cluster.fleet_trace t.cluster
+
+let advance t ~until =
+  Simkit.Runtime_profile.phase t.runtime "run" (fun () ->
+      Simkit.Engine.run t.engine ~until:(Float.min until t.horizon));
+  Simkit.Runtime_profile.note_pool t.runtime (Prelude.Domain_pool.shared ())
+
+(* A fresh per-replica scrape: replica-labeled series double-count if the
+   same registry is scraped twice, so every caller that wants the
+   {replica="i"} view asks for a new one. *)
+let scrape t =
+  let m = Simkit.Metrics.create () in
+  Nearby.Cluster.scrape t.cluster ~into:m;
+  m
+
+type result = {
+  joins : int;
+  completed : int;
+  failed : int;
+  fleet_join_p50_ms : float;
+  fleet_join_p99_ms : float;
+  replica_join_p99_ms : float array;
+  rpc_ok : int;
+  rpc_timeouts : int;
+  shard_members : float array;  (** Occupancy summed per shard across landmarks. *)
+  shard_skew : float;  (** max / mean shard occupancy; [nan] when empty. *)
+  pool_busy_share : float;  (** Busy fraction of the shared domain pool. *)
+  overhead_ns : float;  (** Observe-path self-overhead of the profiler. *)
+}
+
+(* Sum the {landmark, shard} occupancy gauges per shard.  Replicas
+   overwrite each other's gauges (same labels); a quiesced healthy fleet
+   is consistent, so the surviving values are any replica's true counts. *)
+let shard_occupancy t =
+  let totals = Array.make t.config.shards 0.0 in
+  List.iter
+    (fun (name, labels, _key) ->
+      if name = "registry_shard_members" then
+        match List.assoc_opt "shard" labels with
+        | Some s -> (
+            let s = int_of_string s in
+            match Simkit.Metrics.gauge t.metrics "registry_shard_members" ~labels with
+            | Some v when s >= 0 && s < t.config.shards -> totals.(s) <- totals.(s) +. v
+            | _ -> ())
+        | None -> ())
+    (Simkit.Metrics.series t.metrics);
+  totals
+
+let skew_of totals =
+  let n = Array.length totals in
+  let sum = Array.fold_left ( +. ) 0.0 totals in
+  if n = 0 || sum <= 0.0 then nan
+  else Array.fold_left Float.max neg_infinity totals /. (sum /. float_of_int n)
+
+let result t =
+  if not (finished t) then advance t ~until:t.horizon;
+  let fleet = fleet_trace t in
+  let scraped = scrape t in
+  let q quant =
+    match Simkit.Trace.sketch_quantile fleet "join_ms" quant with Some v -> v | None -> nan
+  in
+  let replica_join_p99_ms =
+    Array.init (Nearby.Cluster.replica_count t.cluster) (fun i ->
+        match
+          Simkit.Metrics.quantile scraped "join_ms"
+            ~labels:[ ("replica", string_of_int i) ]
+            0.99
+        with
+        | Some v -> v
+        | None -> nan)
+  in
+  let rpc_trace = Simkit.Rpc.trace t.rpc in
+  let shard_members = shard_occupancy t in
+  let pool_busy_share =
+    match Simkit.Runtime_profile.pool t.runtime with
+    | Some (u : Prelude.Domain_pool.utilization) when u.wall_ns > 0.0 ->
+        u.busy_ns /. u.wall_ns
+    | _ -> 0.0
+  in
+  {
+    joins = t.config.peers;
+    completed = !(t.completed);
+    failed = !(t.failed);
+    fleet_join_p50_ms = q 0.5;
+    fleet_join_p99_ms = q 0.99;
+    replica_join_p99_ms;
+    rpc_ok = Simkit.Trace.counter rpc_trace "rpc_ok";
+    rpc_timeouts = Simkit.Trace.counter rpc_trace "rpc_timeouts";
+    shard_members;
+    shard_skew = skew_of shard_members;
+    pool_busy_share;
+    overhead_ns = Simkit.Runtime_profile.overhead_ns t.runtime;
+  }
+
+let run config =
+  let t = start config in
+  advance t ~until:(horizon t);
+  (result t, t)
+
+(* ---------- Dashboard rendering ---------- *)
+
+let spark_width = 56
+let spark_height = 6
+
+(* Windowed series -> plot points; absent windows are skipped rather than
+   drawn as zero, matching the timeseries' own None semantics. *)
+let points_of t name ~value =
+  Simkit.Timeseries.windows t.timeseries name
+  |> List.filter_map (fun w ->
+         match w with
+         | Some (s : Simkit.Timeseries.summary) ->
+             let y = value s in
+             if Float.is_nan y then None else Some (s.from_ms /. 1000.0, y)
+         | None -> None)
+
+let plot_panel title series =
+  let series = List.filter (fun (s : Prelude.Ascii_plot.series) -> s.points <> []) series in
+  match Prelude.Ascii_plot.render ~width:spark_width ~height:spark_height series with
+  | "" -> Printf.sprintf "%s\n  (no samples yet)\n" title
+  | plot -> Printf.sprintf "%s\n%s" title plot
+
+let bar width v vmax =
+  let n =
+    if vmax <= 0.0 then 0
+    else int_of_float (Float.round (float_of_int width *. v /. vmax))
+  in
+  String.concat "" (List.init (max 0 (min width n)) (fun _ -> "#"))
+
+let render t =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let fleet = fleet_trace t in
+  let registrations = Simkit.Trace.counter fleet "cluster_register" in
+  add "nearby fleet top — t=%.1fs / %.1fs  replicas=%d shards=%d  live=%d/%d\n"
+    (now t /. 1000.0) (t.horizon /. 1000.0) t.config.replicas t.config.shards
+    (Nearby.Cluster.live_count t.cluster)
+    (Nearby.Cluster.replica_count t.cluster);
+  add "joins: %d started, %d completed, %d failed (%d cluster registrations)\n\n"
+    (!(t.completed) + !(t.failed))
+    !(t.completed) !(t.failed) registrations;
+  (* Throughput and latency, per SLO window. *)
+  add "%s\n"
+    (plot_panel "[ops/s — joins completed per window]"
+       [ { Prelude.Ascii_plot.label = "join/s"; points = points_of t "join_completed" ~value:(fun s -> s.rate_per_s) } ]);
+  add "%s\n"
+    (plot_panel "[join latency — windowed quantiles, ms]"
+       [
+         { Prelude.Ascii_plot.label = "p50"; points = points_of t "join_ms" ~value:(fun s -> s.p50) };
+         { Prelude.Ascii_plot.label = "p99"; points = points_of t "join_ms" ~value:(fun s -> s.p99) };
+       ]);
+  (* SLO burn status. *)
+  add "[slo]\n";
+  (match Simkit.Slo.check t.timeseries t.config.slos with
+  | [] -> add "  (no objectives declared)\n"
+  | statuses ->
+      List.iter (fun st -> add "  %s\n" (Simkit.Slo.status_line st)) statuses);
+  (* RPC outcome mix, from the labeled registry. *)
+  let outcome o =
+    Simkit.Metrics.counter t.metrics "rpc_outcomes" ~labels:[ ("outcome", o) ]
+  in
+  add "[rpc] ok=%d timeout=%d no_target=%d unserved=%d gave_up=%d\n"
+    (outcome "ok") (outcome "timeout") (outcome "no_target") (outcome "unserved")
+    (outcome "gave_up");
+  (* Runtime: GC deltas per phase plus pool utilization. *)
+  add "[runtime]\n";
+  List.iter
+    (fun (p : Simkit.Runtime_profile.phase) ->
+      add "  %-6s runs=%d wall=%.1fms minor=%.2fMw major=%.2fMw gc=%d/%d\n" p.name p.runs
+        (p.wall_ns /. 1e6)
+        (p.gc.minor_words /. 1e6)
+        (p.gc.major_words /. 1e6)
+        p.gc.minor_collections p.gc.major_collections)
+    (Simkit.Runtime_profile.phases t.runtime);
+  (match Simkit.Runtime_profile.pool t.runtime with
+  | Some (u : Prelude.Domain_pool.utilization) ->
+      add "  pool   domains=%d busy=%.1f%% jobs=%d tasks=%d\n" u.domains
+        (if u.wall_ns > 0.0 then 100.0 *. u.busy_ns /. u.wall_ns else 0.0)
+        u.jobs u.tasks
+  | None -> add "  pool   (not engaged)\n");
+  add "  observe-path overhead: %.2fms\n"
+    (Simkit.Runtime_profile.overhead_ns t.runtime /. 1e6);
+  (* Shard occupancy skew. *)
+  let totals = shard_occupancy t in
+  let vmax = Array.fold_left Float.max 0.0 totals in
+  add "[shards] occupancy (summed over landmarks), skew=%s\n"
+    (let s = skew_of totals in
+     if Float.is_nan s then "-" else Printf.sprintf "%.2f" s);
+  Array.iteri
+    (fun s v -> add "  shard %d %6.0f %s\n" s v (bar 32 v vmax))
+    totals;
+  Buffer.contents buf

@@ -1,0 +1,102 @@
+(** Fleet-wide dimensional-metrics workload and the `top` dashboard.
+
+    A healthy [replicas]-way cluster whose servers run a
+    [sharded:N] registry backend, with every layer writing into one
+    labeled {!Simkit.Metrics} registry:
+
+    - per-shard timings and occupancy gauges
+      ([registry_shard_*_ns{shard="i"}],
+      [registry_shard_members{landmark=...,shard=...}]);
+    - per-backend mirrors ([registry_*_ns{backend="sharded:4"}]);
+    - per-outcome RPC counters ([rpc_outcomes{outcome=...}]);
+    - per-replica scrape series ([join_ms{replica="i"}]) next to the
+      merged fleet trace of {!Nearby.Cluster.fleet_trace};
+    - a {!Simkit.Runtime_profile} (GC deltas per phase, domain-pool
+      utilization, observe-path overhead).
+
+    The engine advances in slices, so `nearby_sim top` renders a frame
+    between slices and watches the fleet fill up in simulated time. *)
+
+type config = {
+  routers : int;
+  peers : int;
+  landmark_count : int;
+  k : int;
+  replicas : int;
+  shards : int;
+  arrival_window_ms : float;
+  sync_period_ms : float;
+  window_ms : float;  (** Timeseries / SLO window width, ms. *)
+  slos : Simkit.Slo.spec list;
+  seed : int;
+}
+
+val default_slos : Simkit.Slo.spec list
+(** Join p99 under 2 s and 99% completion — the dashboard's stock
+    objectives. *)
+
+val default_config : config
+(** 2000 routers, 300 peers, 3 replicas over [sharded:4]. *)
+
+val quick_config : config
+(** CI-sized: 800 routers, 120 peers. *)
+
+type t
+(** A running (or finished) fleet session; doubles as the run's
+    artifacts. *)
+
+val start : config -> t
+(** Build the workload, cluster, RPC layer and schedule every join;
+    nothing has executed yet.  @raise Invalid_argument on a non-positive
+    replica, shard or window configuration. *)
+
+val advance : t -> until:float -> unit
+(** Run the engine up to [min until horizon] (a profiled ["run"] phase),
+    then refresh the domain-pool utilization snapshot. *)
+
+val horizon : t -> float
+(** Engine time by which every join has resolved (worst-case RPC
+    schedule included). *)
+
+val now : t -> float
+val finished : t -> bool
+val metrics : t -> Simkit.Metrics.t
+(** The shared labeled registry (shard / backend / RPC series). *)
+
+val timeseries : t -> Simkit.Timeseries.t
+val runtime : t -> Simkit.Runtime_profile.t
+val cluster : t -> Nearby.Cluster.t
+
+val fleet_trace : t -> Simkit.Trace.t
+(** {!Nearby.Cluster.fleet_trace} — freshly merged on every call. *)
+
+val scrape : t -> Simkit.Metrics.t
+(** A fresh registry holding the per-replica ([{replica="i"}]) scrape —
+    fresh each call because scraping the same registry twice
+    double-counts. *)
+
+type result = {
+  joins : int;
+  completed : int;
+  failed : int;
+  fleet_join_p50_ms : float;  (** Merged-trace sketch quantiles. *)
+  fleet_join_p99_ms : float;
+  replica_join_p99_ms : float array;  (** Labeled per-replica p99s. *)
+  rpc_ok : int;
+  rpc_timeouts : int;
+  shard_members : float array;  (** Occupancy summed per shard across landmarks. *)
+  shard_skew : float;  (** max / mean shard occupancy; [nan] when empty. *)
+  pool_busy_share : float;  (** Busy fraction of the shared domain pool. *)
+  overhead_ns : float;  (** Profiler observe-path self-overhead. *)
+}
+
+val result : t -> result
+(** Drives the engine to the horizon first if needed. *)
+
+val run : config -> result * t
+
+val render : t -> string
+(** One dashboard frame: header, ops/s and join-latency sparklines, SLO
+    status lines, RPC outcome mix, runtime (GC per phase, pool
+    utilization, overhead) and per-shard occupancy bars.  Plain text,
+    no escape sequences. *)

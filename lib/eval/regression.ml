@@ -162,6 +162,56 @@ let registry_metrics doc =
     backends
   @ sweep_metrics doc
 
+(* The quantile sketch's measured fidelity on a deterministic sample set:
+   the error is a pure function of the seed, so it gates tightly — a
+   bucketing regression shows up as a bound violation, not noise. *)
+let obs_sketch_metrics doc =
+  [
+    {
+      name = "obs/sketch/within_bound";
+      value = (if boolean doc [ "sketch"; "within_bound" ] then 1.0 else 0.0);
+      direction = Exact;
+      tolerance = 0.0;
+    };
+    {
+      name = "obs/sketch/max_rel_err";
+      value = num doc [ "sketch"; "max_rel_err" ];
+      direction = Lower_better;
+      tolerance = 0.5;
+    };
+  ]
+
+(* The merged fleet view runs on the simulated clock, so completion and
+   the merged tail are deterministic in the seed (resilience-style
+   tolerances); the sketch-bound check is structural and gates exactly. *)
+let obs_fleet_metrics doc =
+  [
+    {
+      name = "obs/fleet/completion_rate";
+      value = num doc [ "fleet"; "completion_rate" ];
+      direction = Higher_better;
+      tolerance = 0.02;
+    };
+    {
+      name = "obs/fleet/merged_p99_ms";
+      value = num doc [ "fleet"; "merged_p99_ms" ];
+      direction = Lower_better;
+      tolerance = 0.15;
+    };
+    {
+      name = "obs/fleet/within_bound";
+      value = (if boolean doc [ "fleet"; "within_bound" ] then 1.0 else 0.0);
+      direction = Exact;
+      tolerance = 0.0;
+    };
+    {
+      name = "obs/fleet/shard_skew";
+      value = num doc [ "fleet"; "shard_skew" ];
+      direction = Lower_better;
+      tolerance = 0.5;
+    };
+  ]
+
 (* BENCH_obs.json: p99 latency relative to the tree backend.  Tails are the
    noisiest numbers we gate on, hence the widest tolerance.  The exemplar
    and introspection numbers, by contrast, are deterministic in the seed:
@@ -214,6 +264,7 @@ let obs_metrics doc =
         ]
         @ structural)
     backends
+  @ obs_sketch_metrics doc @ obs_fleet_metrics doc
 
 (* BENCH_resilience.json: deterministic in the seed (simulated clock, no
    wall time), so the tolerances are tight. *)

@@ -92,6 +92,30 @@ let create ?(detector_config = Simkit.Failure_detector.default_config) ?recorder
 
 let replica_count t = Array.length t.replicas
 let trace t = t.trace
+
+(* Fleet roll-up: one fresh trace holding every replica's server streams
+   merged (sketch-backed quantiles, counters added) plus the cluster's own
+   counters.  Dead replicas are scraped too -- their state survives a
+   crash, and a fleet p99 that silently dropped a third of its samples
+   would flatter the tail. *)
+let fleet_trace t =
+  let into = Simkit.Trace.create () in
+  Array.iter
+    (fun r -> Simkit.Trace.merge_into ~into (Server.trace r.server))
+    t.replicas;
+  Simkit.Trace.merge_into ~into t.trace;
+  into
+
+(* Dimensional scrape: every replica's server trace filed under its
+   replica index, so per-replica tails sit next to the merged fleet view
+   in one labeled registry. *)
+let scrape t ~into =
+  Array.iteri
+    (fun i r ->
+      Simkit.Metrics.merge_trace into
+        ~labels:[ ("replica", string_of_int i) ]
+        (Server.trace r.server))
+    t.replicas
 let replica_router t i = t.replicas.(i).router
 let server_of t i = t.replicas.(i).server
 let measurement_server t = t.replicas.(0).server

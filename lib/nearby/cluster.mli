@@ -59,6 +59,22 @@ val trace : t -> Simkit.Trace.t
     ["cluster_sync_union"], ["cluster_sync_restores"],
     ["cluster_sync_bytes"]; stream ["cluster_recovery_ms"]. *)
 
+val fleet_trace : t -> Simkit.Trace.t
+(** One merged fleet-wide trace: every replica's {!Server.trace} folded
+    into a fresh trace via {!Simkit.Trace.merge_into} (counters add,
+    latency quantiles come from the mergeable sketches — relative error
+    at most {!Prelude.Sketch.default_alpha}), plus the cluster's own
+    counters.  Dead replicas are included: their registered state
+    survives a crash, and the fleet tail must not silently drop their
+    samples. *)
+
+val scrape : t -> into:Simkit.Metrics.t -> unit
+(** Dimensional scrape: file each replica's {!Server.trace} into [into]
+    under a [{replica="<i>"}] label, so per-replica series
+    ([join_ms{replica="2"}], …) accumulate next to whatever else the
+    registry holds.  Scraping twice double-counts — scrape into a fresh
+    registry per export. *)
+
 val replica_at : t -> router:Topology.Graph.node -> int option
 (** The replica hosted at [router], if any. *)
 

@@ -29,7 +29,7 @@ let query_candidates = "registry_query_candidates"
    survives quantization). *)
 let default_clock () = Unix.gettimeofday () *. 1e9
 
-let make ?(clock = default_clock) ?(spans = Simkit.Span.noop) ~metrics
+let make ?(clock = default_clock) ?(spans = Simkit.Span.noop) ?labeled ~metrics
     (module B : Registry_intf.S) : (module Registry_intf.S) =
   (module struct
     type t = B.t
@@ -37,6 +37,16 @@ let make ?(clock = default_clock) ?(spans = Simkit.Span.noop) ~metrics
     let backend_name = B.backend_name
     let create = B.create
     let landmark = B.landmark
+
+    (* The dimensional mirror: same stream names as the flat trace, filed
+       under the backend's identity so per-backend series merge into one
+       fleet view without name mangling. *)
+    let backend_labels = [ ("backend", B.backend_name) ]
+
+    let labeled_observe ?trace_id stream v =
+      match labeled with
+      | None -> ()
+      | Some m -> Simkit.Metrics.observe ?trace_id m stream ~labels:backend_labels v
 
     (* The span runs on the sink's simulated clock (duration ~0 there: a
        store op is instantaneous in simulated time); the wall-clock cost
@@ -48,7 +58,9 @@ let make ?(clock = default_clock) ?(spans = Simkit.Span.noop) ~metrics
         (fun ctx ->
           let t0 = clock () in
           let r = f () in
-          Simkit.Trace.observe ~trace_id:ctx.Simkit.Span.trace_id metrics stream (clock () -. t0);
+          let elapsed = clock () -. t0 in
+          Simkit.Trace.observe ~trace_id:ctx.Simkit.Span.trace_id metrics stream elapsed;
+          labeled_observe ~trace_id:ctx.Simkit.Span.trace_id stream elapsed;
           r)
 
     let insert t ~peer ~routers =
@@ -63,6 +75,7 @@ let make ?(clock = default_clock) ?(spans = Simkit.Span.noop) ~metrics
 
     let observe_query result =
       Simkit.Trace.observe metrics query_candidates (float_of_int (List.length result));
+      labeled_observe query_candidates (float_of_int (List.length result));
       result
 
     let query t ~routers ~k ?(exclude = fun _ -> false) () =
@@ -87,7 +100,8 @@ let make ?(clock = default_clock) ?(spans = Simkit.Span.noop) ~metrics
             let r = f () in
             let per_op = (clock () -. t0) /. float_of_int n in
             for _ = 1 to n do
-              Simkit.Trace.observe ~trace_id:ctx.Simkit.Span.trace_id metrics stream per_op
+              Simkit.Trace.observe ~trace_id:ctx.Simkit.Span.trace_id metrics stream per_op;
+              labeled_observe ~trace_id:ctx.Simkit.Span.trace_id stream per_op
             done;
             r)
 
@@ -114,9 +128,9 @@ let make ?(clock = default_clock) ?(spans = Simkit.Span.noop) ~metrics
     let check_invariants = B.check_invariants
   end)
 
-let wrap ?clock ?metrics ?spans backend =
-  match (metrics, spans) with
-  | None, None -> backend
+let wrap ?clock ?metrics ?labeled ?spans backend =
+  match (metrics, labeled, spans) with
+  | None, None, None -> backend
   | _ ->
       let metrics = match metrics with Some m -> m | None -> Simkit.Trace.create () in
-      make ?clock ?spans ~metrics backend
+      make ?clock ?spans ?labeled ~metrics backend

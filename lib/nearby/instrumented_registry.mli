@@ -29,20 +29,26 @@ val query_candidates : string
 val make :
   ?clock:(unit -> float) ->
   ?spans:Simkit.Span.sink ->
+  ?labeled:Simkit.Metrics.t ->
   metrics:Simkit.Trace.t ->
   (module Registry_intf.S) ->
   (module Registry_intf.S)
 (** [make ~metrics b] is [b] with timed hot paths.  [clock] (default
     [Unix.gettimeofday]-based, nanoseconds) is injectable for
     deterministic tests; [spans] (default {!Simkit.Span.noop}) receives
-    one per-operation span parented on the ambient context. *)
+    one per-operation span parented on the ambient context.  [labeled]
+    additionally mirrors every sample dimensionally under the same stream
+    names with a [{backend="<backend_name>"}] label, so several wrapped
+    backends write distinct series into one registry. *)
 
 val wrap :
   ?clock:(unit -> float) ->
   ?metrics:Simkit.Trace.t ->
+  ?labeled:Simkit.Metrics.t ->
   ?spans:Simkit.Span.sink ->
   (module Registry_intf.S) ->
   (module Registry_intf.S)
-(** [wrap ?metrics ?spans b] is [make] when a metrics trace or a span sink
-    is given and {e physically} [b] itself when neither is —
-    instrumentation compiles down to direct backend calls when disabled. *)
+(** [wrap ?metrics ?labeled ?spans b] is [make] when a metrics trace, a
+    labeled registry or a span sink is given and {e physically} [b] itself
+    when none is — instrumentation compiles down to direct backend calls
+    when disabled. *)

@@ -45,15 +45,62 @@ module Make
       (** Engage the pool only at or above this member count: job handoff
           costs microseconds, so small registries always scatter
           sequentially. *)
+
+      val metrics : Simkit.Metrics.t option
+      (** Per-shard dimensional streams: timings under
+          [registry_shard_insert_ns]/[registry_shard_query_ns] labeled
+          [{shard="<i>"}], and an occupancy gauge
+          [registry_shard_members] labeled [{landmark="<l>",
+          shard="<i>"}] — the landmark identifies the registry instance,
+          so summing the gauge per shard across landmarks yields a
+          server's true per-shard totals.  [None] keeps the hot paths
+          untouched. *)
     end) : Registry_intf.S = struct
   type t = {
     landmark : Topology.Graph.node;
     shards : Inner.t array;
     home : (int, int) Hashtbl.t;  (* peer -> shard index *)
+    occ : (string * string) list array;  (* occupancy-gauge labels, per shard *)
   }
 
   let shard_count = Config.shards
   let backend_name = Printf.sprintf "sharded:%d" shard_count
+
+  (* Per-shard observability.  Label lists are preallocated per shard and
+     every hook starts with a [Config.metrics] match, so the disabled path
+     costs one branch.  Workers never touch the registry from inside the
+     pool -- Metrics hashtables are not thread-safe -- parallel paths time
+     into a caller-local array and observe after the join. *)
+  let shard_insert_ns = "registry_shard_insert_ns"
+  let shard_query_ns = "registry_shard_query_ns"
+  let shard_members = "registry_shard_members"
+  let shard_labels = Array.init shard_count (fun s -> [ ("shard", string_of_int s) ])
+  let clock () = Unix.gettimeofday () *. 1e9
+
+  (* [n] amortized samples of [elapsed] total: batch visits then weigh the
+     same as the singleton visits they replaced, so per-shard quantiles
+     stay comparable across scatter strategies. *)
+  let observe_shard stream s ~elapsed ~n =
+    match Config.metrics with
+    | None -> ()
+    | Some m ->
+        if n > 0 then begin
+          let per_op = elapsed /. float_of_int n in
+          for _ = 1 to n do
+            Simkit.Metrics.observe m stream ~labels:shard_labels.(s) per_op
+          done
+        end
+
+  let occ_labels landmark =
+    Array.init shard_count (fun s ->
+        [ ("landmark", string_of_int landmark); ("shard", string_of_int s) ])
+
+  let set_occupancy t s =
+    match Config.metrics with
+    | None -> ()
+    | Some m ->
+        Simkit.Metrics.set m shard_members ~labels:t.occ.(s)
+          (float_of_int (Inner.member_count t.shards.(s)))
 
   let pool =
     lazy
@@ -75,6 +122,7 @@ module Make
       landmark;
       shards = Array.init shard_count (fun _ -> Inner.create ~landmark);
       home = Hashtbl.create 256;
+      occ = occ_labels landmark;
     }
 
   let landmark t = t.landmark
@@ -93,8 +141,14 @@ module Make
     if Array.length routers = 0 then invalid_arg "Sharded_registry.insert: empty path";
     if Hashtbl.mem t.home peer then invalid_arg "Sharded_registry.insert: peer already registered";
     let s = shard_of_router routers.(0) in
-    Inner.insert t.shards.(s) ~peer ~routers;
-    Hashtbl.add t.home peer s
+    (match Config.metrics with
+    | None -> Inner.insert t.shards.(s) ~peer ~routers
+    | Some _ ->
+        let t0 = clock () in
+        Inner.insert t.shards.(s) ~peer ~routers;
+        observe_shard shard_insert_ns s ~elapsed:(clock () -. t0) ~n:1);
+    Hashtbl.add t.home peer s;
+    set_occupancy t s
 
   let insert_many t entries =
     let n = Array.length entries in
@@ -131,8 +185,15 @@ module Make
           | [] -> ()
           | group ->
               let arr = Array.of_list group in
-              Inner.insert_many t.shards.(s) arr;
-              Array.iter (fun (peer, _) -> Hashtbl.add t.home peer s) arr)
+              (match Config.metrics with
+              | None -> Inner.insert_many t.shards.(s) arr
+              | Some _ ->
+                  let t0 = clock () in
+                  Inner.insert_many t.shards.(s) arr;
+                  observe_shard shard_insert_ns s ~elapsed:(clock () -. t0)
+                    ~n:(Array.length arr));
+              Array.iter (fun (peer, _) -> Hashtbl.add t.home peer s) arr;
+              set_occupancy t s)
         groups
     end
 
@@ -141,7 +202,8 @@ module Make
     | None -> raise Not_found
     | Some s ->
         Inner.remove t.shards.(s) peer;
-        Hashtbl.remove t.home peer
+        Hashtbl.remove t.home peer;
+        set_occupancy t s
 
   let mem t peer = Hashtbl.mem t.home peer
   let member_count t = Hashtbl.length t.home
@@ -182,10 +244,18 @@ module Make
      off almost immediately. *)
   let scatter_into t ~routers ~best ~seen ~exclude =
     if Array.length routers > 0 then begin
+      let visit s =
+        match Config.metrics with
+        | None -> Inner.query_into t.shards.(s) ~routers ~best ~seen ~exclude
+        | Some _ ->
+            let t0 = clock () in
+            Inner.query_into t.shards.(s) ~routers ~best ~seen ~exclude;
+            observe_shard shard_query_ns s ~elapsed:(clock () -. t0) ~n:1
+      in
       let first = shard_of_router routers.(0) in
-      Inner.query_into t.shards.(first) ~routers ~best ~seen ~exclude;
+      visit first;
       for s = 0 to shard_count - 1 do
-        if s <> first then Inner.query_into t.shards.(s) ~routers ~best ~seen ~exclude
+        if s <> first then visit s
       done
     end
 
@@ -201,8 +271,14 @@ module Make
       (match usable_pool t with
       | Some pool ->
           let parts = Array.make shard_count [] in
+          let elapsed = Array.make shard_count 0.0 in
+          let timing = Option.is_some Config.metrics in
           Prelude.Domain_pool.run pool shard_count (fun s ->
-              parts.(s) <- Inner.query t.shards.(s) ~routers ~k ~exclude ());
+              let t0 = if timing then clock () else 0.0 in
+              parts.(s) <- Inner.query t.shards.(s) ~routers ~k ~exclude ();
+              if timing then elapsed.(s) <- clock () -. t0);
+          if timing then
+            Array.iteri (fun s e -> observe_shard shard_query_ns s ~elapsed:e ~n:1) elapsed;
           Array.iter (fun part -> List.iter (fun (p, d) -> Topk.offer best (d, p)) part) parts
       | None ->
           let seen = Hashtbl.create 64 in
@@ -220,8 +296,14 @@ module Make
              own shard (reusing that shard's selector state), the caller
              merges per query.  Workers write disjoint slots of [parts]. *)
           let parts = Array.make shard_count [||] in
+          let elapsed = Array.make shard_count 0.0 in
+          let timing = Option.is_some Config.metrics in
           Prelude.Domain_pool.run pool shard_count (fun s ->
-              parts.(s) <- Inner.query_many t.shards.(s) ~queries ~k ~exclude ());
+              let t0 = if timing then clock () else 0.0 in
+              parts.(s) <- Inner.query_many t.shards.(s) ~queries ~k ~exclude ();
+              if timing then elapsed.(s) <- clock () -. t0);
+          if timing then
+            Array.iteri (fun s e -> observe_shard shard_query_ns s ~elapsed:e ~n) elapsed;
           Array.init n (fun qi ->
               let best = Topk.create ~k candidate_compare in
               for s = 0 to shard_count - 1 do
@@ -324,7 +406,9 @@ module Make
               let shards =
                 Array.of_list (List.map (function Ok s -> s | Error _ -> assert false) restored)
               in
-              let t = { landmark; shards; home = Hashtbl.create 256 } in
+              let t =
+                { landmark; shards; home = Hashtbl.create 256; occ = occ_labels landmark }
+              in
               let clash = ref None in
               Array.iteri
                 (fun s shard ->
@@ -343,7 +427,7 @@ end
    module, ready for [Server.create ~backend] or the CLI's --backend flag.
    [query_domains] and [parallel_threshold] tune the Domain-parallel
    scatter (defaults: size from the machine, engage at 4096 members). *)
-let make ?inner ?(query_domains = 0) ?(parallel_threshold = 4096) ~shards () :
+let make ?inner ?(query_domains = 0) ?(parallel_threshold = 4096) ?metrics ~shards () :
     (module Registry_intf.S) =
   let inner = Option.value ~default:(module Path_tree : Registry_intf.S) inner in
   let module I = (val inner : Registry_intf.S) in
@@ -353,4 +437,5 @@ let make ?inner ?(query_domains = 0) ?(parallel_threshold = 4096) ~shards () :
               let shards = shards
               let query_domains = query_domains
               let parallel_threshold = parallel_threshold
+              let metrics = metrics
             end) : Registry_intf.S)

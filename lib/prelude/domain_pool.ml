@@ -25,7 +25,25 @@ type t = {
   mutable stop : bool;
   mutable busy : bool;
   mutable domains : unit Domain.t array;
+  (* Utilization accounting, all mutated under [mutex]: wall-clock origin
+     of the current accounting window, nanoseconds spent inside task
+     bodies (any domain), and job/task counts. *)
+  mutable window_start : float;
+  mutable busy_ns : float;
+  mutable jobs : int;
+  mutable tasks : int;
 }
+
+type utilization = {
+  domains : int;
+  wall_ns : float;
+  busy_ns : float;
+  idle_ns : float;
+  jobs : int;
+  tasks : int;
+}
+
+let now_ns () = Unix.gettimeofday () *. 1e9
 
 let no_job (_ : int) = ()
 
@@ -37,16 +55,20 @@ let claim t gen =
     t.next_task <- i + 1;
     let fn = t.run_fn in
     Mutex.unlock t.mutex;
+    let started = now_ns () in
     let failure =
       try
         fn i;
         None
       with e -> Some (e, Printexc.get_raw_backtrace ())
     in
+    let elapsed = now_ns () -. started in
     Mutex.lock t.mutex;
     (match failure with
     | Some _ when t.exn = None -> t.exn <- failure
     | _ -> ());
+    t.busy_ns <- t.busy_ns +. elapsed;
+    t.tasks <- t.tasks + 1;
     t.completed <- t.completed + 1;
     if t.completed >= t.ntasks then Condition.broadcast t.work_done
   done
@@ -80,6 +102,10 @@ let create ?(domains = Domain.recommended_domain_count ()) () =
       stop = false;
       busy = false;
       domains = [||];
+      window_start = now_ns ();
+      busy_ns = 0.0;
+      jobs = 0;
+      tasks = 0;
     }
   in
   (* The caller participates in every job, so [domains] total parallelism
@@ -87,17 +113,26 @@ let create ?(domains = Domain.recommended_domain_count ()) () =
   t.domains <- Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker t));
   t
 
-let size t = Array.length t.domains + 1
+let size (t : t) = Array.length t.domains + 1
 
 let run t n f =
   if n > 0 then
-    if t.busy || n = 1 || Array.length t.domains = 0 then
+    if t.busy || n = 1 || Array.length t.domains = 0 then begin
+      let started = now_ns () in
       for i = 0 to n - 1 do
         f i
-      done
+      done;
+      let elapsed = now_ns () -. started in
+      Mutex.lock t.mutex;
+      t.busy_ns <- t.busy_ns +. elapsed;
+      t.tasks <- t.tasks + n;
+      t.jobs <- t.jobs + 1;
+      Mutex.unlock t.mutex
+    end
     else begin
       Mutex.lock t.mutex;
       t.busy <- true;
+      t.jobs <- t.jobs + 1;
       t.run_fn <- f;
       t.ntasks <- n;
       t.next_task <- 0;
@@ -119,6 +154,37 @@ let run t n f =
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ()
     end
+
+(* Capacity is [size t] domain-seconds per wall second: the caller is a
+   full participant while a job runs, and idle the rest of the time just
+   like a sleeping worker.  Defining idle as capacity minus busy makes
+   busy + idle account for all worker time by construction, and makes a
+   pool that never ran a job report pure idle. *)
+let utilization t =
+  Mutex.lock t.mutex;
+  let wall = Float.max 0.0 (now_ns () -. t.window_start) in
+  let capacity = float_of_int (Array.length t.domains + 1) *. wall in
+  let busy = Float.min t.busy_ns capacity in
+  let u =
+    {
+      domains = Array.length t.domains + 1;
+      wall_ns = wall;
+      busy_ns = busy;
+      idle_ns = Float.max 0.0 (capacity -. busy);
+      jobs = t.jobs;
+      tasks = t.tasks;
+    }
+  in
+  Mutex.unlock t.mutex;
+  u
+
+let reset_utilization t =
+  Mutex.lock t.mutex;
+  t.window_start <- now_ns ();
+  t.busy_ns <- 0.0;
+  t.jobs <- 0;
+  t.tasks <- 0;
+  Mutex.unlock t.mutex
 
 let shutdown t =
   Mutex.lock t.mutex;

@@ -25,6 +25,27 @@ val run : t -> int -> (int -> unit) -> unit
     sequentially in the caller.  Only one domain may drive [run] at a
     time. *)
 
+type utilization = {
+  domains : int;  (** total parallelism ({!size}) *)
+  wall_ns : float;  (** wall time since creation or {!reset_utilization} *)
+  busy_ns : float;  (** nanoseconds spent inside task bodies, all domains *)
+  idle_ns : float;  (** [domains * wall_ns - busy_ns], clamped at 0 *)
+  jobs : int;  (** {!run} calls that dispatched work *)
+  tasks : int;  (** individual task bodies executed *)
+}
+
+val utilization : t -> utilization
+(** Busy/idle accounting over the current window.  [busy_ns + idle_ns]
+    equals [domains * wall_ns] (up to the clamp), so the two shares always
+    account for all worker time; a pool that never ran a job reports pure
+    idle.  Sequential fallbacks (reentrant or single-task {!run} calls)
+    count as busy time too. *)
+
+val reset_utilization : t -> unit
+(** Start a fresh accounting window (counters to zero, wall origin to
+    now).  Useful around a measured phase on the long-lived {!shared}
+    pool. *)
+
 val shutdown : t -> unit
 (** Stop and join the workers.  Idempotent. *)
 

@@ -1,0 +1,113 @@
+(* Mergeable quantile sketch with a relative-error guarantee.
+
+   Log-bucketed in the DDSketch style: bucket [i] covers the value range
+   (gamma^(i-1), gamma^i] with gamma = (1+alpha)/(1-alpha), and a bucket
+   reports the value 2*gamma^i/(gamma+1) — the point whose worst-case
+   relative error against anything in the bucket is exactly alpha.  Unlike
+   the P^2 estimator ({!Quantile}), two sketches with the same alpha merge
+   by adding bucket counts, which is what lets per-shard and per-replica
+   latency streams roll up into one fleet-wide tail.
+
+   Buckets live in a hashtable keyed by index: latency distributions touch
+   a few hundred buckets at most (alpha = 0.01 spans 1ns..1h in ~2100
+   buckets, of which a real stream populates a narrow band), so sparse
+   storage beats a dense array over the full index range. *)
+
+type t = {
+  alpha : float;
+  gamma : float;
+  log_gamma : float;
+  buckets : (int, int) Hashtbl.t;
+  mutable zero : int;  (* NaN and values below the trackable floor *)
+  mutable total : int;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let default_alpha = 0.01
+
+(* Below this, log-bucketing explodes into deeply negative indexes for no
+   analytical gain; such values (and NaN, and negatives) share one exact
+   zero bucket. *)
+let min_trackable = 1e-9
+
+let create ?(alpha = default_alpha) () =
+  if not (alpha > 0.0 && alpha < 1.0) then
+    invalid_arg "Sketch.create: alpha outside (0, 1)";
+  let gamma = (1.0 +. alpha) /. (1.0 -. alpha) in
+  {
+    alpha;
+    gamma;
+    log_gamma = log gamma;
+    buckets = Hashtbl.create 64;
+    zero = 0;
+    total = 0;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let alpha t = t.alpha
+let count t = t.total
+let is_empty t = t.total = 0
+
+let bucket_of t v = int_of_float (Float.ceil (log v /. t.log_gamma))
+let value_of t i = 2.0 *. (t.gamma ** float_of_int i) /. (t.gamma +. 1.0)
+
+let add t v =
+  let v = if Float.is_nan v then 0.0 else v in
+  if v <= min_trackable then t.zero <- t.zero + 1
+  else begin
+    let i = bucket_of t v in
+    let c = try Hashtbl.find t.buckets i with Not_found -> 0 in
+    Hashtbl.replace t.buckets i (c + 1)
+  end;
+  t.total <- t.total + 1;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let clear t =
+  Hashtbl.reset t.buckets;
+  t.zero <- 0;
+  t.total <- 0;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity
+
+let merge_into ~into src =
+  if into.alpha <> src.alpha then
+    invalid_arg "Sketch.merge_into: relative-error bounds differ";
+  Hashtbl.iter
+    (fun i c ->
+      let prev = try Hashtbl.find into.buckets i with Not_found -> 0 in
+      Hashtbl.replace into.buckets i (prev + c))
+    src.buckets;
+  into.zero <- into.zero + src.zero;
+  into.total <- into.total + src.total;
+  if src.min_v < into.min_v then into.min_v <- src.min_v;
+  if src.max_v > into.max_v then into.max_v <- src.max_v
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Sketch.quantile: q outside [0, 1]";
+  if t.total = 0 then nan
+  else begin
+    (* 0-based rank of the order statistic we are after. *)
+    let rank = int_of_float (q *. float_of_int (t.total - 1)) in
+    if rank < t.zero then Float.max 0.0 t.min_v
+    else begin
+      let keys =
+        Hashtbl.fold (fun i _ acc -> i :: acc) t.buckets []
+        |> List.sort compare
+      in
+      let rec walk seen = function
+        | [] -> t.max_v
+        | i :: rest ->
+            let seen = seen + Hashtbl.find t.buckets i in
+            if seen > rank then
+              (* Clamp to the observed extremes: the bound only tightens. *)
+              Float.min t.max_v (Float.max t.min_v (value_of t i))
+            else walk seen rest
+      in
+      walk t.zero keys
+    end
+  end
+
+let buckets_used t = Hashtbl.length t.buckets + if t.zero > 0 then 1 else 0

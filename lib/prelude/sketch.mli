@@ -1,0 +1,51 @@
+(** Mergeable quantile sketch with a bounded relative error.
+
+    A log-bucketed (DDSketch-style) sketch: values land in geometric
+    buckets sized so any reported quantile is within a relative error of
+    [alpha] of the true order statistic — [|estimate - exact| <= alpha *
+    exact] — regardless of how many samples were added.  Two sketches
+    built with the same [alpha] merge exactly (bucket counts add), so
+    per-shard, per-replica and per-backend latency streams roll up into
+    fleet-wide tails that carry the {e same} error bound as each input.
+
+    This is the property the P^2 estimator ({!Quantile}) lacks: P^2 keeps
+    five marker points and cannot be combined after the fact.
+    {!Simkit.Trace} therefore runs both — P^2 for cheap live reads, a
+    sketch for anything that must merge. *)
+
+type t
+
+val default_alpha : float
+(** 0.01 — a 1% relative-error bound, the default for {!create} and the
+    bound documented for every merged trace quantile. *)
+
+val create : ?alpha:float -> unit -> t
+(** [alpha] is the relative-error bound; defaults to {!default_alpha}.
+    @raise Invalid_argument when [alpha] is outside (0, 1). *)
+
+val add : t -> float -> unit
+(** Record one value.  NaN, negatives and values below 1e-9 share an exact
+    zero bucket (mirroring {!Histogram.log2_bucket}'s treatment). *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [\[0, 1\]]: an estimate within relative
+    error [alpha t] of the true q-quantile, clamped to the observed
+    min/max.  NaN on an empty sketch.
+    @raise Invalid_argument on [q] outside [\[0, 1\]]. *)
+
+val merge_into : into:t -> t -> unit
+(** Fold [src]'s counts into [into]; [src] is unchanged.  The merged
+    sketch summarises the concatenated streams with the same error bound.
+    @raise Invalid_argument when the two sketches' [alpha] differ. *)
+
+val clear : t -> unit
+(** Drop all counts in place (handles stay valid). *)
+
+val alpha : t -> float
+(** The relative-error bound this sketch was built with. *)
+
+val count : t -> int
+val is_empty : t -> bool
+
+val buckets_used : t -> int
+(** Occupied buckets — the sketch's memory footprint in cells. *)

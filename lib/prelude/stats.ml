@@ -57,6 +57,36 @@ let merge a b =
     }
   end
 
+let merge_into ~into src =
+  if src.n > 0 then begin
+    if into.n = 0 then begin
+      into.n <- src.n;
+      into.mean_acc <- src.mean_acc;
+      into.m2 <- src.m2;
+      into.min_v <- src.min_v;
+      into.max_v <- src.max_v;
+      into.sum_acc <- src.sum_acc
+    end
+    else begin
+      let n = into.n + src.n in
+      let delta = src.mean_acc -. into.mean_acc in
+      let mean_acc =
+        into.mean_acc +. (delta *. float_of_int src.n /. float_of_int n)
+      in
+      let m2 =
+        into.m2 +. src.m2
+        +. (delta *. delta *. float_of_int into.n *. float_of_int src.n
+           /. float_of_int n)
+      in
+      into.n <- n;
+      into.mean_acc <- mean_acc;
+      into.m2 <- m2;
+      if src.min_v < into.min_v then into.min_v <- src.min_v;
+      if src.max_v > into.max_v then into.max_v <- src.max_v;
+      into.sum_acc <- into.sum_acc +. src.sum_acc
+    end
+  end
+
 let mean_of xs =
   if Array.length xs = 0 then 0.0
   else Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)

@@ -46,6 +46,12 @@ val ci95_halfwidth : t -> float
 val merge : t -> t -> t
 (** [merge a b] summarises the concatenation of both streams. *)
 
+val merge_into : into:t -> t -> unit
+(** In-place {!merge}: fold [src]'s stream into [into]; [src] is
+    unchanged.  Handles previously given out on [into] keep working and
+    observe the merged state (the property {!Simkit.Trace.merge_into}
+    relies on). *)
+
 (** {1 Batch helpers} *)
 
 val mean_of : float array -> float

@@ -3,6 +3,9 @@ type meta = {
   date_utc : string;
   seed : int option;
   backends : string list;
+  ocaml_version : string;
+  word_size : int;
+  domains : int;
   extra : (string * string) list;
 }
 
@@ -22,7 +25,16 @@ let utc_now () =
     tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
 
 let capture_meta ?seed ?(backends = []) ?(extra = []) () =
-  { git_rev = git_rev (); date_utc = utc_now (); seed; backends; extra }
+  {
+    git_rev = git_rev ();
+    date_utc = utc_now ();
+    seed;
+    backends;
+    ocaml_version = Sys.ocaml_version;
+    word_size = Sys.word_size;
+    domains = Domain.recommended_domain_count ();
+    extra;
+  }
 
 let meta_json m =
   let fields =
@@ -32,6 +44,9 @@ let meta_json m =
       ("seed", (match m.seed with Some s -> string_of_int s | None -> "null"));
       ( "backends",
         "[" ^ String.concat ", " (List.map Json_str.quote m.backends) ^ "]" );
+      ("ocaml_version", Json_str.quote m.ocaml_version);
+      ("word_size", string_of_int m.word_size);
+      ("domains", string_of_int m.domains);
     ]
     @ List.map (fun (k, v) -> (k, Json_str.quote v)) m.extra
   in
@@ -87,7 +102,56 @@ let section_json trace =
   in
   Json_str.obj [ ("counters", Json_str.obj counters); ("stats", Json_str.obj stats) ]
 
-let metrics_json ?meta ?(timeseries = []) sections =
+(* One labeled registry as nested JSON: every series carries its parsed
+   identity (base name + label object) next to its rendered value, so a
+   consumer never has to re-parse canonical `name{k="v"}` keys. *)
+let labeled_json m =
+  let trace = Metrics.trace m in
+  let counters = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace counters k v) (Trace.counters trace);
+  let gauges = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace gauges k v) (Metrics.gauge_bindings m);
+  let labels_json labels =
+    Json_str.obj (List.map (fun (k, v) -> (k, Json_str.quote v)) labels)
+  in
+  let series =
+    Metrics.series m
+    |> List.concat_map (fun (name, labels, key) ->
+           let entry kind fields =
+             Json_str.obj
+               ([ ("name", Json_str.quote name);
+                  ("labels", labels_json labels);
+                  ("kind", Json_str.quote kind) ]
+               @ fields)
+           in
+           let counter =
+             match Hashtbl.find_opt counters key with
+             | Some v -> [ entry "counter" [ ("value", string_of_int v) ] ]
+             | None -> []
+           in
+           let stream =
+             match Trace.summary trace key with
+             | Some s ->
+                 [ entry "stream"
+                     [ ("stats",
+                        summary_json ~exemplars:(Trace.exemplars trace key) s
+                          (Trace.hist trace key)) ] ]
+             | None -> []
+           in
+           let gauge =
+             match Hashtbl.find_opt gauges key with
+             | Some v -> [ entry "gauge" [ ("value", Json_str.number v) ] ]
+             | None -> []
+           in
+           counter @ stream @ gauge)
+  in
+  Json_str.obj
+    [
+      ("series", Json_str.arr series);
+      ("overflow_routed", string_of_int (Metrics.overflow_routed m));
+    ]
+
+let metrics_json ?meta ?(timeseries = []) ?(labeled = []) ?runtime sections =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   (match meta with
@@ -100,6 +164,22 @@ let metrics_json ?meta ?(timeseries = []) sections =
           (fun (name, trace) -> Printf.sprintf "    %s: %s" (Json_str.quote name) (section_json trace))
           sections));
   Buffer.add_string buf "\n  }";
+  (match labeled with
+  | [] -> ()
+  | ms ->
+      Buffer.add_string buf ",\n  \"labeled\": {\n";
+      Buffer.add_string buf
+        (String.concat ",\n"
+           (List.map
+              (fun (name, m) ->
+                Printf.sprintf "    %s: %s" (Json_str.quote name) (labeled_json m))
+              ms));
+      Buffer.add_string buf "\n  }");
+  (match runtime with
+  | None -> ()
+  | Some rp ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\n  \"runtime\": %s" (Runtime_profile.to_json rp)));
   (match timeseries with
   | [] -> ()
   | ts ->
@@ -186,6 +266,76 @@ let prometheus ?(prefix = "nearby") sections =
                    (Prelude.Histogram.total h));
               Buffer.add_string buf (Printf.sprintf "%s_count %d\n" hist_metric (Prelude.Histogram.total h)))
         (Trace.summaries trace))
+    sections;
+  Buffer.contents buf
+
+(* Label pairs rendered to the exposition grammar: sorted keys sanitized
+   like metric names, values backslash-escaped.  [extra] appends
+   renderer-owned labels (e.g. quantile) after the user's. *)
+let prom_labels ?(extra = []) labels =
+  match labels @ extra with
+  | [] -> ""
+  | pairs ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (Json_str.escape v))
+             pairs)
+      ^ "}"
+
+let prometheus_labeled ?(prefix = "nearby") sections =
+  let prefix = sanitize prefix in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (section, m) ->
+      let trace = Metrics.trace m in
+      let counters = Hashtbl.create 16 in
+      List.iter (fun (k, v) -> Hashtbl.replace counters k v) (Trace.counters trace);
+      let gauges = Hashtbl.create 16 in
+      List.iter (fun (k, v) -> Hashtbl.replace gauges k v) (Metrics.gauge_bindings m);
+      let typed = Hashtbl.create 16 in
+      let emit_type metric kind =
+        if not (Hashtbl.mem typed metric) then begin
+          Hashtbl.add typed metric ();
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" metric kind)
+        end
+      in
+      List.iter
+        (fun (name, labels, key) ->
+          let metric =
+            Printf.sprintf "%s_%s_%s" prefix (sanitize section) (sanitize name)
+          in
+          (match Hashtbl.find_opt counters key with
+          | Some v ->
+              let metric = metric ^ "_total" in
+              emit_type metric "counter";
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %d\n" metric (prom_labels labels) v)
+          | None -> ());
+          (match Trace.summary trace key with
+          | Some s ->
+              emit_type metric "summary";
+              List.iter
+                (fun (q, v) ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s%s %s\n" metric
+                       (prom_labels ~extra:[ ("quantile", q) ] labels)
+                       (prom_number v)))
+                [ ("0.5", s.Trace.p50); ("0.9", s.Trace.p90); ("0.99", s.Trace.p99) ];
+              Buffer.add_string buf
+                (Printf.sprintf "%s_sum%s %s\n" metric (prom_labels labels)
+                   (prom_number (s.Trace.mean *. float_of_int s.Trace.count)));
+              Buffer.add_string buf
+                (Printf.sprintf "%s_count%s %d\n" metric (prom_labels labels)
+                   s.Trace.count)
+          | None -> ());
+          match Hashtbl.find_opt gauges key with
+          | Some v ->
+              emit_type metric "gauge";
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %s\n" metric (prom_labels labels) (prom_number v))
+          | None -> ())
+        (Metrics.series m))
     sections;
   Buffer.contents buf
 

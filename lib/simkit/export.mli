@@ -20,24 +20,43 @@ type meta = {
   date_utc : string;  (** ISO-8601, e.g. ["2026-08-07T12:00:00Z"]. *)
   seed : int option;
   backends : string list;
+  ocaml_version : string;  (** [Sys.ocaml_version]. *)
+  word_size : int;  (** [Sys.word_size] — 63-bit ints vs 31-bit change counters. *)
+  domains : int;  (** [Domain.recommended_domain_count ()] on the host. *)
   extra : (string * string) list;
 }
 
 val capture_meta : ?seed:int -> ?backends:string list -> ?extra:(string * string) list -> unit -> meta
-(** Stamp a run: best-effort [git rev-parse --short HEAD] plus the UTC
-    clock, so artifact trajectories (BENCH_*.json) are comparable across
-    commits. *)
+(** Stamp a run: best-effort [git rev-parse --short HEAD], the UTC clock,
+    and the toolchain/host shape (OCaml version, word size, recommended
+    domain count), so artifact trajectories (BENCH_*.json) are comparable
+    across commits, toolchains and machines. *)
 
 val meta_json : meta -> string
 (** The metadata as one JSON object. *)
 
+val labeled_json : Metrics.t -> string
+(** One labeled registry as nested JSON: a ["series"] array whose entries
+    carry the parsed identity ([name], [labels] object, [kind] ∈
+    counter/stream/gauge) next to the rendered value — no consumer ever
+    re-parses canonical [name{k="v"}] keys — plus ["overflow_routed"]. *)
+
 val metrics_json :
-  ?meta:meta -> ?timeseries:(string * Timeseries.t) list -> (string * Trace.t) list -> string
+  ?meta:meta ->
+  ?timeseries:(string * Timeseries.t) list ->
+  ?labeled:(string * Metrics.t) list ->
+  ?runtime:Runtime_profile.t ->
+  (string * Trace.t) list ->
+  string
 (** A complete JSON document: optional ["meta"] plus ["sections"], one
     entry per named trace with its counters and stat summaries.  When
-    [timeseries] is non-empty the document gains a top-level
-    ["timeseries"] key with each named {!Timeseries.to_json} (windowed
-    quality/latency streams alongside the whole-run aggregates). *)
+    [labeled] is non-empty the document gains a ["labeled"] key (one
+    {!labeled_json} per named registry); [runtime] adds a ["runtime"]
+    key ({!Runtime_profile.to_json}: per-phase GC deltas, domain-pool
+    utilization, observe-path overhead).  When [timeseries] is non-empty
+    the document gains a top-level ["timeseries"] key with each named
+    {!Timeseries.to_json} (windowed quality/latency streams alongside the
+    whole-run aggregates). *)
 
 val prometheus : ?prefix:string -> (string * Trace.t) list -> string
 (** Prometheus text exposition: [<prefix>_<section>_<counter>_total]
@@ -45,6 +64,13 @@ val prometheus : ?prefix:string -> (string * Trace.t) list -> string
     quantile labels.  Default prefix ["nearby"].  Every name component —
     prefix included — is sanitized to the exposition grammar
     ([[a-zA-Z0-9_]], no leading digit). *)
+
+val prometheus_labeled : ?prefix:string -> (string * Metrics.t) list -> string
+(** Labeled registries in the same exposition:
+    [<prefix>_<section>_<name>{k="v",…}] lines — counters with a [_total]
+    suffix, streams as summaries (the [quantile] label appended after the
+    series labels), gauges as gauges.  Label keys are sanitized like
+    metric names; values are backslash-escaped. *)
 
 val write_file : string -> string -> unit
 (** [write_file path contents]. *)

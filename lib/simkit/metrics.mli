@@ -1,0 +1,95 @@
+(** Labeled (dimensional) metrics.
+
+    A registry of metric series identified by a base name plus a label
+    set — [registry_query_ns{backend="sharded", shard="3"}] — in the
+    Prometheus data model.  Label sets are canonicalized (sorted by key),
+    so label order never splits a series.  Each labeled series is backed
+    by one {!Trace} counter or stream, which gives every series the full
+    Welford/histogram/sketch machinery and makes registries mergeable:
+    {!merge_trace} files a whole subsystem trace under a label set, and
+    {!merge_into} rolls one registry up into another — the mechanism
+    behind per-shard, per-replica and per-backend streams combining into
+    one fleet-wide view.
+
+    {b Cardinality bound.} Per base name at most [max_series_per_name]
+    distinct label sets are stored; further label sets collapse into the
+    reserved [{other="true"}] overflow series ({!overflow_labels}).  A
+    runaway label value (peer ids, raw addresses) degrades into one
+    aggregate series instead of growing memory without bound. *)
+
+type t
+
+type labels = (string * string) list
+(** Label pairs.  Keys must be unique (checked); order is irrelevant. *)
+
+val create : ?max_series_per_name:int -> unit -> t
+(** [max_series_per_name] caps distinct label sets per base name
+    (default 64).  @raise Invalid_argument when below 1. *)
+
+val overflow_labels : labels
+(** [{other="true"}] — the reserved label set absorbing series beyond the
+    cardinality cap. *)
+
+val canonical_key : string -> labels -> string
+(** The flattened series identity: [name{k="v",…}] with labels sorted and
+    values escaped, or just [name] for an empty label set.
+    @raise Invalid_argument on duplicate label keys. *)
+
+(** {1 Writing} *)
+
+val incr : t -> string -> labels:labels -> unit
+val add_count : t -> string -> labels:labels -> int -> unit
+
+val observe : ?trace_id:int -> t -> string -> labels:labels -> float -> unit
+(** Append a sample to the labeled stream ({!Trace.observe} semantics,
+    exemplar tagging included). *)
+
+val set : t -> string -> labels:labels -> float -> unit
+(** Gauge write: last value wins (shard occupancy, utilization shares). *)
+
+(** {1 Reading} *)
+
+val counter : t -> string -> labels:labels -> int
+(** 0 when the series was never written. *)
+
+val summary : t -> string -> labels:labels -> Trace.summary option
+val quantile : t -> string -> labels:labels -> float -> float option
+(** Sketch-backed: any [q] in [\[0, 1\]], relative error at most
+    {!Prelude.Sketch.default_alpha}. *)
+
+val gauge : t -> string -> labels:labels -> float option
+
+val series : t -> (string * labels * string) list
+(** Every registered series as [(name, labels, canonical key)], sorted by
+    canonical key. *)
+
+val names : t -> string list
+(** Distinct base names, sorted. *)
+
+val series_count : t -> string -> int
+(** Distinct label sets stored under the base name (the overflow series
+    counts as one). *)
+
+val overflow_routed : t -> int
+(** Writes that were rerouted to the overflow series because their base
+    name was at the cardinality cap. *)
+
+val trace : t -> Trace.t
+(** The backing flat trace, keyed by canonical series keys — what the
+    {!Export} serializers iterate. *)
+
+val gauge_bindings : t -> (string * float) list
+(** Every gauge as [(canonical key, value)], sorted. *)
+
+(** {1 Merging} *)
+
+val merge_trace : t -> labels:labels -> Trace.t -> unit
+(** File every counter and stream of a flat trace under [labels]:
+    counters add, streams merge within the sketch error bound (see
+    {!Trace.merge_into}).  The per-replica scrape primitive —
+    [merge_trace m ~labels:["replica", "2"] (Server.trace s)]. *)
+
+val merge_into : into:t -> t -> unit
+(** Roll one registry up into another, re-resolving every series identity
+    against [into]'s cardinality caps ([src] is unchanged).  Gauges take
+    [src]'s value on collision. *)

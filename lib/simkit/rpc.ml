@@ -28,14 +28,29 @@ type t = {
   transport : Transport.t;
   rng : Prelude.Prng.t option;
   trace : Trace.t;
+  labeled : Metrics.t option;
   recorder : Flight_recorder.t option;
   spans : Span.sink;
 }
 
-let create ?(config = default_config) ?rng ?trace ?recorder ?(spans = Span.noop) transport =
+let create ?(config = default_config) ?rng ?trace ?labeled ?recorder
+    ?(spans = Span.noop) transport =
   validate_config config;
   let trace = match trace with Some t -> t | None -> Trace.create () in
-  { config; transport; rng; trace; recorder; spans }
+  { config; transport; rng; trace; labeled; recorder; spans }
+
+(* Dimensional mirror of the outcome counters: one `rpc_outcomes` series
+   per outcome label, so a fleet dashboard reads the ok/timeout mix
+   without knowing each flat counter name. *)
+let labeled_outcome t outcome =
+  match t.labeled with
+  | None -> ()
+  | Some m -> Metrics.incr m "rpc_outcomes" ~labels:[ ("outcome", outcome) ]
+
+let labeled_latency t outcome v =
+  match t.labeled with
+  | None -> ()
+  | Some m -> Metrics.observe m "rpc_latency_ms" ~labels:[ ("outcome", outcome) ] v
 
 let trace t = t.trace
 let spans t = t.spans
@@ -74,6 +89,7 @@ let call ?parent t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_g
   let give_up () =
     settled := true;
     Trace.incr t.trace "rpc_gave_up";
+    labeled_outcome t "gave_up";
     record t ~args:[ ("src", Span.Int src) ] "gave_up";
     on_give_up ()
   in
@@ -99,6 +115,7 @@ let call ?parent t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_g
             (* No live target known right now; the backoff below doubles as
                a wait for one to come back. *)
             Trace.incr t.trace "rpc_no_target";
+            labeled_outcome t "no_target";
             record t ~args:[ ("src", Span.Int src); ("attempt", Span.Int n) ] "no_target";
             close "no_target"
         | Some target ->
@@ -114,6 +131,7 @@ let call ?parent t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_g
                     (* The server was down when the request arrived: it is
                        consumed without a reply, exactly like a lost one. *)
                     Trace.incr t.trace "rpc_unserved";
+                    labeled_outcome t "unserved";
                     record t
                       ~args:[ ("src", Span.Int src); ("dst", Span.Int target) ]
                       "unserved"
@@ -123,7 +141,9 @@ let call ?parent t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_g
                         if not !settled then begin
                           settled := true;
                           Trace.incr t.trace "rpc_ok";
+                          labeled_outcome t "ok";
                           Trace.observe t.trace "rpc_latency_ms" (Engine.now engine -. started_at);
+                          labeled_latency t "ok" (Engine.now engine -. started_at);
                           record t
                             ~args:
                               [
@@ -139,6 +159,7 @@ let call ?parent t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_g
         Engine.schedule engine ~delay:t.config.timeout_ms (fun () ->
             if not !settled then begin
               Trace.incr t.trace "rpc_timeouts";
+              labeled_outcome t "timeout";
               record t ~args:[ ("src", Span.Int src); ("attempt", Span.Int n) ] "timeout";
               close "timeout";
               if n >= t.config.max_attempts then give_up ()

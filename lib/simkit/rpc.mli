@@ -37,13 +37,16 @@ val default_config : config
     20% jitter. *)
 
 val create :
-  ?config:config -> ?rng:Prelude.Prng.t -> ?trace:Trace.t -> ?recorder:Flight_recorder.t ->
-  ?spans:Span.sink -> Transport.t -> t
+  ?config:config -> ?rng:Prelude.Prng.t -> ?trace:Trace.t -> ?labeled:Metrics.t ->
+  ?recorder:Flight_recorder.t -> ?spans:Span.sink -> Transport.t -> t
 (** [recorder] receives one ["rpc"]-kind event per notable outcome
     (timeout, failed-over attempt without a target, unserved request,
     settled reply, give-up), stamped with the engine clock.  [spans]
     receives one ["rpc_attempt"] span per attempt (see {!call}); default
-    {!Span.noop}.
+    {!Span.noop}.  [labeled] mirrors the outcome counters dimensionally:
+    one [rpc_outcomes{outcome="ok"|"timeout"|"no_target"|"unserved"|
+    "gave_up"}] series per outcome, plus an
+    [rpc_latency_ms{outcome="ok"}] stream.
     @raise Invalid_argument on a non-positive timeout, [max_attempts < 1],
     negative backoff, multiplier below 1 or jitter outside [0, 1). *)
 

@@ -12,7 +12,12 @@ type stream = {
   q90 : Prelude.Quantile.t;
   q99 : Prelude.Quantile.t;
   hist : Prelude.Histogram.t;  (* log2-bucketed: bucket b covers (2^(b-1), 2^b] *)
+  sketch : Prelude.Sketch.t;  (* mergeable; feeds rolled-up quantiles *)
   exemplars : (int, exemplar) Hashtbl.t;  (* bucket -> latest tagged sample *)
+  mutable merged : bool;
+      (* P² markers cannot absorb a merge, so once foreign samples land in
+         a stream its quantile reads switch to the sketch (error <= alpha);
+         live streams keep the exact-for-small-n P² path. *)
 }
 
 type summary = {
@@ -64,7 +69,9 @@ let stream t name =
           q90 = Prelude.Quantile.create ~q:0.9;
           q99 = Prelude.Quantile.create ~q:0.99;
           hist = Prelude.Histogram.create ();
+          sketch = Prelude.Sketch.create ();
           exemplars = Hashtbl.create 8;
+          merged = false;
         }
       in
       Hashtbl.add t.streams name s;
@@ -77,6 +84,7 @@ let observe ?trace_id t name v =
   Prelude.Quantile.add s.q90 v;
   Prelude.Quantile.add s.q99 v;
   Prelude.Histogram.add_log2 s.hist v;
+  Prelude.Sketch.add s.sketch v;
   (* Trace id 0 is the noop span sink's null context: not a real trace. *)
   match trace_id with
   | Some id when id <> 0 ->
@@ -99,6 +107,15 @@ let top_exemplar t name =
 let stat t name = Option.map (fun s -> s.st) (Hashtbl.find_opt t.streams name)
 let hist t name = Option.map (fun s -> s.hist) (Hashtbl.find_opt t.streams name)
 
+let stream_quantile s q =
+  if s.merged then Prelude.Sketch.quantile s.sketch q
+  else
+    match q with
+    | 0.5 -> Prelude.Quantile.estimate s.q50
+    | 0.9 -> Prelude.Quantile.estimate s.q90
+    | 0.99 -> Prelude.Quantile.estimate s.q99
+    | _ -> invalid_arg "Trace.quantile: only 0.5, 0.9 and 0.99 are tracked"
+
 let summary_of_stream s =
   {
     count = Prelude.Stats.count s.st;
@@ -107,22 +124,27 @@ let summary_of_stream s =
     ci95 = Prelude.Stats.ci95_halfwidth s.st;
     min = Prelude.Stats.min_opt s.st;
     max = Prelude.Stats.max_opt s.st;
-    p50 = Prelude.Quantile.estimate s.q50;
-    p90 = Prelude.Quantile.estimate s.q90;
-    p99 = Prelude.Quantile.estimate s.q99;
+    p50 = stream_quantile s 0.5;
+    p90 = stream_quantile s 0.9;
+    p99 = stream_quantile s 0.99;
   }
 
 let summary t name = Option.map summary_of_stream (Hashtbl.find_opt t.streams name)
 
 let quantile t name q =
+  Option.map (fun s -> stream_quantile s q) (Hashtbl.find_opt t.streams name)
+
+let sketch t name = Option.map (fun s -> s.sketch) (Hashtbl.find_opt t.streams name)
+
+let sketch_quantile t name q =
   Option.map
-    (fun s ->
-      match q with
-      | 0.5 -> Prelude.Quantile.estimate s.q50
-      | 0.9 -> Prelude.Quantile.estimate s.q90
-      | 0.99 -> Prelude.Quantile.estimate s.q99
-      | _ -> invalid_arg "Trace.quantile: only 0.5, 0.9 and 0.99 are tracked")
+    (fun s -> Prelude.Sketch.quantile s.sketch q)
     (Hashtbl.find_opt t.streams name)
+
+let is_merged t name =
+  match Hashtbl.find_opt t.streams name with
+  | Some s -> s.merged
+  | None -> false
 
 let sorted_bindings table value =
   Hashtbl.fold (fun k v acc -> (k, value v) :: acc) table []
@@ -131,6 +153,27 @@ let sorted_bindings table value =
 let counters t = sorted_bindings t.counters (fun r -> !r)
 let stats t = sorted_bindings t.streams (fun s -> s.st)
 let summaries t = sorted_bindings t.streams summary_of_stream
+
+(* Fold [src] into [into].  Counters add; Welford accumulators, log2
+   histograms and sketches merge losslessly; exemplars take [src]'s latest
+   per bucket (a merge is a scrape — the newest cross-link wins).  The P²
+   markers of the destination are left untouched and the stream is flagged
+   [merged], which flips its quantile reads over to the sketch: P² cannot
+   absorb another stream, and silently reporting the pre-merge markers
+   would be worse than the sketch's bounded-error answer. *)
+let merge_into ?(map_name = Fun.id) ~into src =
+  Hashtbl.iter
+    (fun name r -> if !r <> 0 then add_count into (map_name name) !r)
+    src.counters;
+  Hashtbl.iter
+    (fun name s ->
+      let dst = stream into (map_name name) in
+      Prelude.Stats.merge_into ~into:dst.st s.st;
+      Prelude.Histogram.merge_into ~into:dst.hist s.hist;
+      Prelude.Sketch.merge_into ~into:dst.sketch s.sketch;
+      Hashtbl.iter (fun bucket e -> Hashtbl.replace dst.exemplars bucket e) s.exemplars;
+      dst.merged <- true)
+    src.streams
 
 (* Zero in place: callers may hold counter refs (counter_ref) or stats
    handles (stat) across a reset; dropping the cells via Hashtbl.reset would
@@ -144,5 +187,7 @@ let reset t =
       Prelude.Quantile.clear s.q90;
       Prelude.Quantile.clear s.q99;
       Prelude.Histogram.clear s.hist;
-      Hashtbl.reset s.exemplars)
+      Prelude.Sketch.clear s.sketch;
+      Hashtbl.reset s.exemplars;
+      s.merged <- false)
     t.streams

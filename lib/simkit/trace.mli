@@ -16,7 +16,10 @@ type summary = {
   ci95 : float;  (** Half-width of the 95% CI of the mean. *)
   min : float option;  (** [None] when the stream is empty. *)
   max : float option;
-  p50 : float;  (** P² estimates; [nan] when the stream is empty. *)
+  p50 : float;
+      (** P² estimate on a live stream, sketch estimate (relative error
+          {!Prelude.Sketch.default_alpha}) once the stream has absorbed a
+          {!merge_into}; [nan] when the stream is empty. *)
   p90 : float;
   p99 : float;
 }
@@ -61,8 +64,25 @@ val summary : t -> string -> summary option
 
 val quantile : t -> string -> float -> float option
 (** [quantile t name q] for [q] in {0.5, 0.9, 0.99}; [None] for an unknown
-    stream, [nan] before the first observation.
-    @raise Invalid_argument for any other [q]. *)
+    stream, [nan] before the first observation.  On a stream that has
+    absorbed a {!merge_into} the estimate comes from the mergeable sketch
+    (relative error at most {!Prelude.Sketch.default_alpha}); on a live
+    stream it is the P² estimate, exact while the stream is small.
+    @raise Invalid_argument for any other [q] on a live stream (merged
+    streams answer any [q] in [\[0, 1\]]). *)
+
+val sketch : t -> string -> Prelude.Sketch.t option
+(** The stream's mergeable quantile sketch (fed on every {!observe}). *)
+
+val sketch_quantile : t -> string -> float -> float option
+(** Any [q] in [\[0, 1\]] from the stream's sketch, live or merged:
+    within relative error {!Prelude.Sketch.default_alpha} of the true
+    quantile.  [None] for unknown streams, [nan] before the first
+    observation. *)
+
+val is_merged : t -> string -> bool
+(** Whether the stream has absorbed foreign samples via {!merge_into}
+    (and therefore reads quantiles from its sketch). *)
 
 val hist : t -> string -> Prelude.Histogram.t option
 (** Power-of-two histogram of the stream, bucketed by
@@ -78,6 +98,18 @@ val stats : t -> (string * Prelude.Stats.t) list
 
 val summaries : t -> (string * summary) list
 (** Alphabetical. *)
+
+val merge_into : ?map_name:(string -> string) -> into:t -> t -> unit
+(** [merge_into ~into src] folds every counter and stream of [src] into
+    [into], leaving [src] unchanged: counters add, Welford accumulators
+    and log2 histograms combine losslessly, quantile sketches merge within
+    their shared error bound, and exemplars keep [src]'s latest per
+    bucket.  Streams that absorb a merge are flagged (see {!is_merged})
+    and answer {!quantile}/{!summary} from the sketch from then on.
+    [map_name] renames each counter/stream on the way in — the hook
+    {!Metrics.merge_trace} uses to file a whole trace under a label set.
+    This is the fleet roll-up primitive: scrape each replica's trace into
+    one fresh trace and read merged tails off it. *)
 
 val reset : t -> unit
 (** Zero every counter and stream {e in place}: handles previously obtained

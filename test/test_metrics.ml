@@ -1,0 +1,209 @@
+(* Labeled metrics: series identity, cardinality bound, merging, the
+   labeled exporters, and the fleet-wide acceptance scenario. *)
+
+open Simkit
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec scan i = i + m <= n && (String.sub haystack i m = needle || scan (i + 1)) in
+  scan 0
+
+let check_has label text sub =
+  Alcotest.(check bool) (Printf.sprintf "%s: %s" label sub) true (contains text sub)
+
+let test_canonical_key () =
+  Alcotest.(check string) "bare name" "join_ms" (Metrics.canonical_key "join_ms" []);
+  Alcotest.(check string) "labels sorted"
+    "join_ms{replica=\"2\",zone=\"eu\"}"
+    (Metrics.canonical_key "join_ms" [ ("zone", "eu"); ("replica", "2") ]);
+  Alcotest.(check string) "values escaped"
+    "m{k=\"a\\\"b\\\\c\"}"
+    (Metrics.canonical_key "m" [ ("k", "a\"b\\c") ]);
+  (match Metrics.canonical_key "m" [ ("k", "1"); ("k", "2") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate label keys accepted")
+
+let test_label_order_insensitive () =
+  let m = Metrics.create () in
+  Metrics.incr m "hits" ~labels:[ ("a", "1"); ("b", "2") ];
+  Metrics.incr m "hits" ~labels:[ ("b", "2"); ("a", "1") ];
+  Alcotest.(check int) "one series, two increments" 2
+    (Metrics.counter m "hits" ~labels:[ ("a", "1"); ("b", "2") ]);
+  Alcotest.(check int) "series count" 1 (Metrics.series_count m "hits")
+
+let test_counter_stream_gauge_roundtrip () =
+  let m = Metrics.create () in
+  let l = [ ("outcome", "ok") ] in
+  Metrics.add_count m "rpc_outcomes" ~labels:l 5;
+  Metrics.incr m "rpc_outcomes" ~labels:l;
+  Alcotest.(check int) "counter" 6 (Metrics.counter m "rpc_outcomes" ~labels:l);
+  Alcotest.(check int) "unwritten counter" 0
+    (Metrics.counter m "rpc_outcomes" ~labels:[ ("outcome", "timeout") ]);
+  List.iter (fun v -> Metrics.observe m "join_ms" ~labels:l v) [ 10.0; 20.0; 30.0 ];
+  (match Metrics.summary m "join_ms" ~labels:l with
+  | None -> Alcotest.fail "stream summary missing"
+  | Some s ->
+      Alcotest.(check int) "stream count" 3 s.count;
+      Alcotest.(check (float 1e-9)) "stream mean" 20.0 s.mean);
+  (match Metrics.quantile m "join_ms" ~labels:l 0.5 with
+  | None -> Alcotest.fail "stream quantile missing"
+  | Some v ->
+      Alcotest.(check bool) "median near 20" true
+        (Float.abs (v -. 20.0) <= (Prelude.Sketch.default_alpha *. 20.0) +. 1e-9));
+  Metrics.set m "members" ~labels:l 41.0;
+  Metrics.set m "members" ~labels:l 42.0;
+  Alcotest.(check (option (float 1e-9))) "gauge last-wins" (Some 42.0)
+    (Metrics.gauge m "members" ~labels:l);
+  Alcotest.(check (option (float 1e-9))) "unwritten gauge" None
+    (Metrics.gauge m "members" ~labels:[ ("outcome", "timeout") ])
+
+let test_cardinality_cap () =
+  let m = Metrics.create ~max_series_per_name:4 () in
+  for i = 1 to 10 do
+    Metrics.incr m "per_peer" ~labels:[ ("peer", string_of_int i) ]
+  done;
+  (* The cap bounds the real series; the reserved overflow series rides on
+     top, so storage stays at cap + 1 no matter how many label sets show
+     up. *)
+  Alcotest.(check int) "capped series count" 5 (Metrics.series_count m "per_peer");
+  Alcotest.(check int) "overflow absorbed the rest" 6
+    (Metrics.counter m "per_peer" ~labels:Metrics.overflow_labels);
+  Alcotest.(check int) "rerouted writes counted" 6 (Metrics.overflow_routed m);
+  (* A name that stays under the cap is unaffected. *)
+  Metrics.incr m "small" ~labels:[ ("x", "1") ];
+  Alcotest.(check int) "other name untouched" 1
+    (Metrics.counter m "small" ~labels:[ ("x", "1") ])
+
+let test_merge_trace_under_label () =
+  let flat = Trace.create () in
+  Trace.add_count flat "join" 3;
+  List.iter (Trace.observe flat "join_ms") [ 5.0; 15.0 ];
+  let m = Metrics.create () in
+  Metrics.merge_trace m ~labels:[ ("replica", "2") ] flat;
+  Alcotest.(check int) "counter filed under label" 3
+    (Metrics.counter m "join" ~labels:[ ("replica", "2") ]);
+  (match Metrics.summary m "join_ms" ~labels:[ ("replica", "2") ] with
+  | None -> Alcotest.fail "stream not filed"
+  | Some s -> Alcotest.(check int) "samples carried" 2 s.count)
+
+let test_merge_into () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr a "hits" ~labels:[ ("replica", "0") ];
+  Metrics.add_count b "hits" ~labels:[ ("replica", "0") ] 2;
+  Metrics.incr b "hits" ~labels:[ ("replica", "1") ];
+  Metrics.set a "members" ~labels:[] 10.0;
+  Metrics.set b "members" ~labels:[] 99.0;
+  Metrics.merge_into ~into:a b;
+  Alcotest.(check int) "counters add" 3 (Metrics.counter a "hits" ~labels:[ ("replica", "0") ]);
+  Alcotest.(check int) "new series appear" 1
+    (Metrics.counter a "hits" ~labels:[ ("replica", "1") ]);
+  Alcotest.(check (option (float 1e-9))) "gauge takes src value" (Some 99.0)
+    (Metrics.gauge a "members" ~labels:[]);
+  (* src unchanged *)
+  Alcotest.(check int) "src untouched" 2 (Metrics.counter b "hits" ~labels:[ ("replica", "0") ])
+
+let test_prometheus_labeled () =
+  let m = Metrics.create () in
+  Metrics.add_count m "rpc_outcomes" ~labels:[ ("outcome", "ok") ] 12;
+  List.iter (fun v -> Metrics.observe m "join_ms" ~labels:[ ("replica", "0") ] v)
+    [ 1.0; 2.0; 3.0 ];
+  Metrics.set m "shard_members" ~labels:[ ("shard", "1") ] 7.0;
+  let text = Export.prometheus_labeled [ ("fleet", m) ] in
+  check_has "counter line" text "nearby_fleet_rpc_outcomes_total{outcome=\"ok\"} 12";
+  check_has "stream count line" text "nearby_fleet_join_ms_count{replica=\"0\"} 3";
+  check_has "quantile label appended" text "quantile=\"0.99\"";
+  check_has "gauge line" text "nearby_fleet_shard_members{shard=\"1\"} 7";
+  let json = Export.labeled_json m in
+  check_has "json series array" json "\"series\"";
+  check_has "json nested labels" json "\"labels\"";
+  check_has "json overflow counter" json "\"overflow_routed\""
+
+(* The acceptance scenario: a 3-replica cluster over sharded:4 exports one
+   merged fleet-wide trace whose per-label p99s and merged p99 stay within
+   the documented sketch error bound of the per-replica source traces. *)
+let test_fleet_merged_trace_acceptance () =
+  let config =
+    {
+      Eval.Fleet_obs.quick_config with
+      routers = 400;
+      peers = 60;
+      replicas = 3;
+      shards = 4;
+      seed = 5;
+    }
+  in
+  let r, t = Eval.Fleet_obs.run config in
+  Alcotest.(check int) "all joins complete" config.peers r.completed;
+  Alcotest.(check int) "no failures" 0 r.failed;
+  let cluster = Eval.Fleet_obs.cluster t in
+  Alcotest.(check int) "three replicas" 3 (Nearby.Cluster.replica_count cluster);
+  let fleet = Eval.Fleet_obs.fleet_trace t in
+  Alcotest.(check bool) "fleet stream is merged" true (Trace.is_merged fleet "join_ms");
+  let bound = 2.0 *. Prelude.Sketch.default_alpha in
+  (* Each replica's labeled scrape answers within the sketch bound of the
+     replica's own source trace. *)
+  let scraped = Eval.Fleet_obs.scrape t in
+  for i = 0 to 2 do
+    let labeled =
+      match
+        Metrics.quantile scraped "join_ms" ~labels:[ ("replica", string_of_int i) ] 0.99
+      with
+      | Some v -> v
+      | None -> Alcotest.failf "replica %d: no labeled p99" i
+    in
+    let source =
+      match
+        Trace.sketch_quantile (Nearby.Server.trace (Nearby.Cluster.server_of cluster i))
+          "join_ms" 0.99
+      with
+      | Some v -> v
+      | None -> Alcotest.failf "replica %d: no source p99" i
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "replica %d labeled p99 %.3f within bound of source %.3f" i labeled
+         source)
+      true
+      (Float.abs (labeled -. source) <= (bound *. Float.abs source) +. 1e-9)
+  done;
+  (* The merged fleet p99 lands inside the per-replica envelope, stretched
+     by the sketch bound. *)
+  let merged =
+    match Trace.sketch_quantile fleet "join_ms" 0.99 with
+    | Some v -> v
+    | None -> Alcotest.fail "no merged fleet p99"
+  in
+  Alcotest.(check (float 1e-9)) "result exposes the merged p99" merged r.fleet_join_p99_ms;
+  let lo = Array.fold_left Float.min infinity r.replica_join_p99_ms in
+  let hi = Array.fold_left Float.max neg_infinity r.replica_join_p99_ms in
+  Alcotest.(check bool)
+    (Printf.sprintf "merged p99 %.3f within [%.3f, %.3f] envelope" merged lo hi)
+    true
+    (merged >= lo *. (1.0 -. bound) -. 1e-9 && merged <= hi *. (1.0 +. bound) +. 1e-9);
+  (* The dashboard renders every panel headlessly, escape-free. *)
+  let frame = Eval.Fleet_obs.render t in
+  List.iter (check_has "render" frame)
+    [
+      "nearby fleet top";
+      "[ops/s";
+      "[join latency";
+      "[slo]";
+      "[rpc]";
+      "[runtime]";
+      "[shards]";
+    ];
+  Alcotest.(check bool) "no escape sequences" true (not (String.contains frame '\027'))
+
+let suite =
+  ( "metrics",
+    [
+      Alcotest.test_case "canonical key" `Quick test_canonical_key;
+      Alcotest.test_case "label order insensitive" `Quick test_label_order_insensitive;
+      Alcotest.test_case "counter/stream/gauge roundtrip" `Quick
+        test_counter_stream_gauge_roundtrip;
+      Alcotest.test_case "cardinality cap" `Quick test_cardinality_cap;
+      Alcotest.test_case "merge_trace under label" `Quick test_merge_trace_under_label;
+      Alcotest.test_case "merge_into" `Quick test_merge_into;
+      Alcotest.test_case "labeled exporters" `Quick test_prometheus_labeled;
+      Alcotest.test_case "fleet merged-trace acceptance" `Slow
+        test_fleet_merged_trace_acceptance;
+    ] )

@@ -230,7 +230,8 @@ let test_metrics_json () =
   let doc =
     Export.metrics_json
       ~meta:{ Export.git_rev = "abc"; date_utc = "2026-08-07T00:00:00Z"; seed = Some 1;
-              backends = [ "tree" ]; extra = [ ("k", "5") ] }
+              backends = [ "tree" ]; ocaml_version = Sys.ocaml_version;
+              word_size = Sys.word_size; domains = 2; extra = [ ("k", "5") ] }
       [ ("server", t); ("empty", empty) ]
   in
   List.iter
