@@ -698,6 +698,72 @@ let run_resilience ~full =
   Printf.printf "wrote BENCH_resilience.json (%d runs)\n%!" (List.length results)
 
 (* ------------------------------------------------------------------ *)
+(* Load: open-loop arrivals vs admission control.  The flash crowd at 2x
+   the service rate under each shedding policy — the headline is that the
+   SLO-driven shedder keeps the admitted-join p99 inside the budget while
+   drop-tail serves every admitted request seconds late — plus a healthy
+   under-saturation row, written to BENCH_load.json for the CI gate. *)
+
+let run_load ~full =
+  banner "load: flash crowd x shedding policy (admission control)";
+  let base = if full then Eval.Load_exp.default_config else Eval.Load_exp.quick_config in
+  let configs =
+    List.map (fun policy -> { base with Eval.Load_exp.policy }) Eval.Load_exp.policies
+    @ [
+        (* Healthy control: 0.8x saturation through the same queue sheds
+           nothing regardless of policy. *)
+        {
+          base with
+          Eval.Load_exp.arrival =
+            Simkit.Workload.Poisson { rate_per_s = 0.8 *. base.Eval.Load_exp.service_rate_per_s };
+          policy = "slo";
+        };
+      ]
+    @
+    if full then
+      [
+        (* Scale: >100k open-loop arrivals through the batch paths. *)
+        {
+          base with
+          Eval.Load_exp.arrival = Simkit.Workload.Poisson { rate_per_s = 4_000.0 };
+          duration_ms = 30_000.0;
+          service_rate_per_s = 5_000.0;
+          batch = 128;
+          queue_cap = 8_000;
+          policy = "slo";
+        };
+      ]
+    else []
+  in
+  let results =
+    List.map
+      (fun config ->
+        let r = Eval.Load_exp.run config in
+        Eval.Load_exp.print r;
+        print_newline ();
+        r)
+      configs
+  in
+  let meta =
+    Simkit.Export.capture_meta ~seed:base.Eval.Load_exp.seed
+      ~extra:
+        [
+          ("routers", string_of_int base.Eval.Load_exp.routers);
+          ("service_rate_per_s", string_of_float base.Eval.Load_exp.service_rate_per_s);
+          ("queue_cap", string_of_int base.Eval.Load_exp.queue_cap);
+          ("slo_budget_ms", string_of_float base.Eval.Load_exp.slo_budget_ms);
+        ]
+      ()
+  in
+  let json =
+    Printf.sprintf "{\n  \"meta\": %s,\n  \"runs\": [\n%s\n  ]\n}\n"
+      (Simkit.Export.meta_json meta)
+      (String.concat ",\n" (List.map (fun r -> "    " ^ Eval.Load_exp.result_json r) results))
+  in
+  Simkit.Export.write_file "BENCH_load.json" json;
+  Printf.printf "wrote BENCH_load.json (%d runs)\n%!" (List.length results)
+
+(* ------------------------------------------------------------------ *)
 (* Regression gate: BENCH_*.json (current working tree) vs the committed
    baselines under bench/baselines/.  All timing metrics are normalized to
    the tree backend within each run, so the comparison survives machine
@@ -708,6 +774,7 @@ let regress_pairs =
     ("BENCH_registry.json", Eval.Regression.registry_metrics);
     ("BENCH_obs.json", Eval.Regression.obs_metrics);
     ("BENCH_resilience.json", Eval.Regression.resilience_metrics);
+    ("BENCH_load.json", Eval.Regression.load_metrics);
   ]
 
 let copy_file src dst =
@@ -788,7 +855,8 @@ let run_all ~full ~sweep_max =
   run_inflation ~full;
   run_bulk ~full;
   run_joining ~full;
-  run_resilience ~full
+  run_resilience ~full;
+  run_load ~full
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -847,6 +915,7 @@ let () =
   | [ "bulk" ] -> run_bulk ~full
   | [ "joining" ] -> run_joining ~full
   | [ "resilience" ] -> run_resilience ~full
+  | [ "load" ] -> run_load ~full
   (* `regress [FILE...]` gates only the named BENCH files (default: all) —
      the CI scale job regenerates and judges just BENCH_registry.json. *)
   | "regress" :: onlys ->
@@ -867,6 +936,8 @@ let () =
       run_regress ~baseline_dir ~update ~pairs
   | other ->
       Printf.eprintf
-        "unknown bench %S; available: micro fig2 complexity landmarks superpeers churn truncate setup-delay metric [--full]\n"
+        "unknown bench %S; available: micro fig2 complexity landmarks superpeers churn truncate \
+         setup-delay metric streaming stretch maintenance topologies registry obs dht inflation \
+         bulk joining resilience load regress [--full]\n"
         (String.concat " " other);
       exit 1

@@ -395,6 +395,229 @@ let resilience_cmd =
        $ replicas_arg $ loss_arg $ require_complete_arg $ json_out_arg $ slo_opt
        $ audit_rate_opt $ flight_out_opt $ metrics_out_arg $ prom_out_opt $ trace_out_arg))
 
+let load_cmd =
+  let arrival_arg =
+    let doc = "Arrival process: $(b,poisson), $(b,diurnal) or $(b,flash)." in
+    Arg.(value & opt string "flash" & info [ "arrival" ] ~doc ~docv:"PROCESS")
+  in
+  let rate_arg =
+    let doc = "Base arrival rate, peers per second." in
+    Arg.(value & opt (some float) None & info [ "rate" ] ~doc ~docv:"R")
+  in
+  let spike_rate_arg =
+    let doc = "Flash-crowd spike rate, peers per second (flash only)." in
+    Arg.(value & opt (some float) None & info [ "spike-rate" ] ~doc ~docv:"R")
+  in
+  let spike_at_arg =
+    let doc = "Flash-crowd spike onset, seconds into the run (flash only)." in
+    Arg.(value & opt float 2.0 & info [ "spike-at" ] ~doc ~docv:"S")
+  in
+  let spike_len_arg =
+    let doc = "Flash-crowd spike length, seconds (flash only)." in
+    Arg.(value & opt float 4.0 & info [ "spike-len" ] ~doc ~docv:"S")
+  in
+  let amplitude_arg =
+    let doc = "Diurnal modulation amplitude in [0, 1] (diurnal only)." in
+    Arg.(value & opt float 0.5 & info [ "amplitude" ] ~doc ~docv:"A")
+  in
+  let period_arg =
+    let doc = "Diurnal period, seconds (diurnal only)." in
+    Arg.(value & opt float 60.0 & info [ "period" ] ~doc ~docv:"S")
+  in
+  let duration_arg =
+    let doc = "Arrival window in milliseconds (the run continues until the queue drains)." in
+    Arg.(value & opt (some float) None & info [ "duration" ] ~doc ~docv:"MS")
+  in
+  let service_rate_arg =
+    let doc = "Server service rate, registrations per second." in
+    Arg.(value & opt (some float) None & info [ "service-rate" ] ~doc ~docv:"R")
+  in
+  let queue_cap_arg =
+    let doc = "Admission queue capacity." in
+    Arg.(value & opt (some int) None & info [ "queue-cap" ] ~doc ~docv:"N")
+  in
+  let batch_arg =
+    let doc = "Registrations drained per service tick." in
+    Arg.(value & opt (some int) None & info [ "batch" ] ~doc ~docv:"N")
+  in
+  let policy_arg =
+    let doc =
+      Printf.sprintf "Shedding policy (%s)." (String.concat " | " Eval.Load_exp.policies)
+    in
+    Arg.(value & opt string "slo" & info [ "shed-policy" ] ~doc ~docv:"POLICY")
+  in
+  let deadline_arg =
+    let doc = "Deadline policy bound in ms (default 0.8 x the SLO budget)." in
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~doc ~docv:"MS")
+  in
+  let wait_budget_arg =
+    let doc = "SLO shedder's queueing-delay p99 limit in ms (default 0.15 x the SLO budget)." in
+    Arg.(value & opt (some float) None & info [ "wait-budget-ms" ] ~doc ~docv:"MS")
+  in
+  let slo_budget_arg =
+    let doc = "Admitted-join p99 budget in ms the result is judged against." in
+    Arg.(value & opt (some float) None & info [ "slo-budget-ms" ] ~doc ~docv:"MS")
+  in
+  let session_arg =
+    let doc = "Mean session length in ms before a peer departs (0 disables churn)." in
+    Arg.(value & opt float 0.0 & info [ "session-mean-ms" ] ~doc ~docv:"MS")
+  in
+  let mobility_arg =
+    let doc =
+      "Fraction of departures that are regional-mobility handovers (re-join near another \
+       landmark) rather than graceful leaves."
+    in
+    Arg.(value & opt float 0.0 & info [ "mobility" ] ~doc ~docv:"F")
+  in
+  let json_out_arg =
+    let doc = "Also write the result as a JSON object to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json-out" ] ~doc ~docv:"FILE")
+  in
+  let metrics_out_arg =
+    let doc =
+      "Write a JSON metrics snapshot (experiment / server sections, the admission queue's \
+       labeled series and the windowed timeseries) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
+  in
+  let require_complete_arg =
+    let doc = "Exit with an error unless every admitted join completes (CI smoke gate)." in
+    Arg.(value & flag & info [ "require-complete" ] ~doc)
+  in
+  let run quick seed routers k arrival rate spike_rate spike_at spike_len amplitude period
+      duration service_rate queue_cap batch policy deadline_ms wait_budget_ms slo_budget_ms
+      session_mean_ms mobility require_complete json_out flight_out metrics_out prom_out =
+    let config = if quick then Eval.Load_exp.quick_config else Eval.Load_exp.default_config in
+    let config = match seed with Some s -> { config with Eval.Load_exp.seed = s } | None -> config in
+    let config = override routers (fun c v -> { c with Eval.Load_exp.routers = v }) config in
+    let config = override k (fun c v -> { c with Eval.Load_exp.k = v }) config in
+    let config = override duration (fun c v -> { c with Eval.Load_exp.duration_ms = v }) config in
+    let config =
+      override service_rate (fun (c : Eval.Load_exp.config) v -> { c with service_rate_per_s = v }) config
+    in
+    let config = override queue_cap (fun c v -> { c with Eval.Load_exp.queue_cap = v }) config in
+    let config = override batch (fun c v -> { c with Eval.Load_exp.batch = v }) config in
+    let config =
+      override slo_budget_ms (fun (c : Eval.Load_exp.config) v -> { c with slo_budget_ms = v }) config
+    in
+    let service = config.Eval.Load_exp.service_rate_per_s in
+    let arrival_process =
+      (* Defaults put the flash peak (and the diurnal crest) at 2x the
+         service rate so the headline comparison works out of the box. *)
+      match arrival with
+      | "poisson" ->
+          Ok
+            (Simkit.Workload.Poisson
+               { rate_per_s = Option.value rate ~default:(0.8 *. service) })
+      | "diurnal" ->
+          Ok
+            (Simkit.Workload.Diurnal
+               {
+                 base_per_s = Option.value rate ~default:(2.0 *. service /. (1.0 +. amplitude));
+                 amplitude;
+                 period_s = period;
+               })
+      | "flash" ->
+          Ok
+            (Simkit.Workload.Flash
+               {
+                 base_per_s = Option.value rate ~default:(0.25 *. service);
+                 spike_per_s = Option.value spike_rate ~default:(2.0 *. service);
+                 spike_at_s = spike_at;
+                 spike_len_s = spike_len;
+               })
+      | other -> Error (Printf.sprintf "unknown arrival process %S (poisson|diurnal|flash)" other)
+    in
+    match arrival_process with
+    | Error e -> `Error (false, e)
+    | Ok arrival -> (
+        let config =
+          {
+            config with
+            Eval.Load_exp.arrival;
+            policy;
+            deadline_ms;
+            wait_budget_ms;
+            churn =
+              (if session_mean_ms <= 0.0 then Simkit.Workload.no_churn
+               else
+                 {
+                   Simkit.Workload.session =
+                     Some (Simkit.Churn.Exponential { mean_ms = session_mean_ms });
+                   mobility_fraction = mobility;
+                 });
+          }
+        in
+        match Eval.Load_exp.run_instrumented config with
+        | result, artifacts ->
+            Eval.Load_exp.print result;
+            (match json_out with
+            | Some file ->
+                Simkit.Export.write_file file (Eval.Load_exp.result_json result ^ "\n");
+                Printf.printf "wrote %s\n%!" file
+            | None -> ());
+            let sections =
+              [
+                ("load", artifacts.Eval.Load_exp.exp_trace);
+                ("server", artifacts.Eval.Load_exp.server_trace);
+              ]
+            in
+            (match metrics_out with
+            | Some file ->
+                let meta =
+                  Simkit.Export.capture_meta ~seed:config.Eval.Load_exp.seed
+                    ~extra:
+                      [
+                        ("arrival", Simkit.Workload.describe arrival);
+                        ("policy", policy);
+                      ]
+                    ()
+                in
+                Simkit.Export.write_file file
+                  (Simkit.Export.metrics_json ~meta
+                     ~timeseries:[ ("load", artifacts.Eval.Load_exp.timeseries) ]
+                     ~labeled:[ ("admission", artifacts.Eval.Load_exp.metrics) ]
+                     sections);
+                Printf.printf "wrote metrics snapshot to %s\n%!" file
+            | None -> ());
+            (match prom_out with
+            | Some file ->
+                Simkit.Export.write_file file
+                  (Simkit.Export.prometheus sections
+                  ^ Simkit.Export.prometheus_labeled
+                      [ ("admission", artifacts.Eval.Load_exp.metrics) ]);
+                Printf.printf "wrote Prometheus exposition to %s\n%!" file
+            | None -> ());
+            (match flight_out with
+            | Some file ->
+                Simkit.Flight_recorder.write artifacts.Eval.Load_exp.recorder file;
+                Printf.printf "wrote %d flight-recorder events to %s\n%!"
+                  (Simkit.Flight_recorder.count artifacts.Eval.Load_exp.recorder)
+                  file
+            | None -> ());
+            if require_complete && result.Eval.Load_exp.completed < result.Eval.Load_exp.admitted
+            then
+              `Error
+                ( false,
+                  Printf.sprintf "admitted-join completion %d/%d under policy %s"
+                    result.Eval.Load_exp.completed result.Eval.Load_exp.admitted policy )
+            else exit_ok
+        | exception Invalid_argument msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Open-loop load run: a Poisson / diurnal / flash-crowd arrival process drives joins \
+          through a bounded admission queue with a configurable shedding policy (drop-tail, \
+          deadline expiry, or SLO-burn-driven).")
+    Term.(
+      ret
+        (const run $ quick_flag $ seed_opt $ routers_opt $ k_opt $ arrival_arg $ rate_arg
+       $ spike_rate_arg $ spike_at_arg $ spike_len_arg $ amplitude_arg $ period_arg
+       $ duration_arg $ service_rate_arg $ queue_cap_arg $ batch_arg $ policy_arg
+       $ deadline_arg $ wait_budget_arg $ slo_budget_arg $ session_arg $ mobility_arg
+       $ require_complete_arg $ json_out_arg $ flight_out_opt $ metrics_out_arg $ prom_out_opt))
+
 let registry_cmd =
   let backend_arg =
     let doc =
@@ -970,6 +1193,7 @@ let () =
             bulk_cmd;
             joining_cmd;
             resilience_cmd;
+            load_cmd;
             top_cmd;
             trace_cmd;
             verify_cmd;

@@ -31,6 +31,10 @@ type config = {
   arrival_window_ms : float;
   sync_period_ms : float;
   window_ms : float;  (** Timeseries / SLO window width. *)
+  admission_rate_per_s : float;
+      (** Drain rate of the admission queue in front of the cluster —
+          generous by default, so a healthy fleet never sheds and the
+          dashboard's queue-depth panel hovers near zero. *)
   slos : Simkit.Slo.spec list;
   seed : int;
 }
@@ -52,6 +56,7 @@ let default_config =
     arrival_window_ms = 8_000.0;
     sync_period_ms = 2_000.0;
     window_ms = 500.0;
+    admission_rate_per_s = 200.0;
     slos = default_slos;
     seed = 1;
   }
@@ -65,6 +70,7 @@ type t = {
   rpc : Simkit.Rpc.t;
   metrics : Simkit.Metrics.t;
   timeseries : Simkit.Timeseries.t;
+  admission : Nearby.Admission.t;
   runtime : Simkit.Runtime_profile.t;
   horizon : float;
   completed : int ref;
@@ -128,6 +134,7 @@ let start (config : config) =
       let protocol = Nearby.Protocol.create_resilient ?latency:w.ctx.latency ~rpc cluster in
       let horizon =
         config.arrival_window_ms
+        +. (1_000.0 *. float_of_int config.peers /. config.admission_rate_per_s)
         +. worst_rpc_ms (Simkit.Rpc.config rpc)
         +. (3.0 *. config.sync_period_ms) +. 1_000.0
       in
@@ -138,25 +145,57 @@ let start (config : config) =
           ~capacity:(max 64 (int_of_float (horizon /. config.window_ms) + 8))
           ~window_ms:config.window_ms ()
       in
+      (* Joins pass through a bounded admission queue before reaching the
+         protocol layer: the same front door the overload experiments
+         stress, here provisioned generously (capacity for every peer, a
+         drain rate well above the arrival rate) so nothing sheds and the
+         queueing term stays a few ticks wide. *)
+      let admission =
+        Nearby.Admission.create ~engine ~metrics ~timeseries
+          {
+            Nearby.Admission.capacity = max config.peers 64;
+            service_rate_per_s = config.admission_rate_per_s;
+            batch = 4;
+            policy = Nearby.Admission.Drop_tail;
+          }
+      in
       let completed = ref 0 and failed = ref 0 in
       for peer = 0 to config.peers - 1 do
         let at = Prelude.Prng.float w.rng config.arrival_window_ms in
         Simkit.Engine.schedule_at engine ~time:at (fun () ->
             let started = Simkit.Engine.now engine in
             Simkit.Timeseries.observe timeseries "join_started" ~now:started 1.0;
-            Nearby.Protocol.join protocol ~peer ~attach_router:w.peer_routers.(peer)
-              ~k:config.k
-              ~on_complete:(fun _info _reply ->
-                incr completed;
-                let now = Simkit.Engine.now engine in
-                Simkit.Timeseries.observe timeseries "join_ms" ~now (now -. started);
-                Simkit.Timeseries.observe timeseries "join_completed" ~now 1.0)
-              ~on_failure:(fun () ->
+            Nearby.Admission.submit admission
+              ~serve:(fun ~queued_ms:_ ->
+                Nearby.Protocol.join protocol ~peer ~attach_router:w.peer_routers.(peer)
+                  ~k:config.k
+                  ~on_complete:(fun _info _reply ->
+                    incr completed;
+                    let now = Simkit.Engine.now engine in
+                    Simkit.Timeseries.observe timeseries "join_ms" ~now (now -. started);
+                    Simkit.Timeseries.observe timeseries "join_completed" ~now 1.0)
+                  ~on_failure:(fun () ->
+                    incr failed;
+                    Simkit.Timeseries.observe timeseries "join_failed"
+                      ~now:(Simkit.Engine.now engine) 1.0))
+              ~shed:(fun ~reason:_ ->
                 incr failed;
                 Simkit.Timeseries.observe timeseries "join_failed"
                   ~now:(Simkit.Engine.now engine) 1.0))
       done;
-      { config; engine; cluster; rpc; metrics; timeseries; runtime; horizon; completed; failed })
+      {
+        config;
+        engine;
+        cluster;
+        rpc;
+        metrics;
+        timeseries;
+        admission;
+        runtime;
+        horizon;
+        completed;
+        failed;
+      })
 
 let horizon t = t.horizon
 let now t = Simkit.Engine.now t.engine
@@ -165,6 +204,7 @@ let metrics t = t.metrics
 let timeseries t = t.timeseries
 let runtime t = t.runtime
 let cluster t = t.cluster
+let admission t = t.admission
 let fleet_trace t = Nearby.Cluster.fleet_trace t.cluster
 
 let advance t ~until =
@@ -328,6 +368,26 @@ let render t =
   add "[rpc] ok=%d timeout=%d no_target=%d unserved=%d gave_up=%d\n"
     (outcome "ok") (outcome "timeout") (outcome "no_target") (outcome "unserved")
     (outcome "gave_up");
+  (* Admission front door: windowed queue depth plus the shed mix. *)
+  add "%s"
+    (plot_panel "[admission — queue depth per window]"
+       [
+         {
+           Prelude.Ascii_plot.label = "depth";
+           points = points_of t Nearby.Admission.depth_series_name ~value:(fun s -> s.mean);
+         };
+       ]);
+  let totals = Nearby.Admission.totals t.admission in
+  add
+    "  submitted=%d admitted=%d in_queue=%d max_depth=%d shed: %s%s\n\n"
+    totals.Nearby.Admission.submitted totals.Nearby.Admission.admitted
+    (Nearby.Admission.depth t.admission)
+    totals.Nearby.Admission.max_depth
+    (match totals.Nearby.Admission.shed with
+    | [] -> "none"
+    | mix ->
+        String.concat " " (List.map (fun (reason, n) -> Printf.sprintf "%s=%d" reason n) mix))
+    (if Nearby.Admission.shedding t.admission then "  [SHEDDING]" else "");
   (* Runtime: GC deltas per phase plus pool utilization. *)
   add "[runtime]\n";
   List.iter

@@ -27,6 +27,11 @@ type config = {
   arrival_window_ms : float;
   sync_period_ms : float;
   window_ms : float;  (** Timeseries / SLO window width, ms. *)
+  admission_rate_per_s : float;
+      (** Drain rate of the {!Nearby.Admission} queue every join passes
+          through — generous by default (well above the arrival rate,
+          capacity for every peer), so a healthy fleet never sheds and the
+          queueing term adds at most a few drain ticks to join latency. *)
   slos : Simkit.Slo.spec list;
   seed : int;
 }
@@ -67,6 +72,10 @@ val timeseries : t -> Simkit.Timeseries.t
 val runtime : t -> Simkit.Runtime_profile.t
 val cluster : t -> Nearby.Cluster.t
 
+val admission : t -> Nearby.Admission.t
+(** The bounded queue in front of the cluster (depth / totals for the
+    dashboard's admission panel). *)
+
 val fleet_trace : t -> Simkit.Trace.t
 (** {!Nearby.Cluster.fleet_trace} — freshly merged on every call. *)
 
@@ -97,6 +106,7 @@ val run : config -> result * t
 
 val render : t -> string
 (** One dashboard frame: header, ops/s and join-latency sparklines, SLO
-    status lines, RPC outcome mix, runtime (GC per phase, pool
-    utilization, overhead) and per-shard occupancy bars.  Plain text,
-    no escape sequences. *)
+    status lines, RPC outcome mix, the admission panel (queue-depth
+    sparkline plus shed mix), runtime (GC per phase, pool utilization,
+    overhead) and per-shard occupancy bars.  Plain text, no escape
+    sequences. *)

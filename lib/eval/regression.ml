@@ -296,6 +296,55 @@ let resilience_metrics doc =
            };
          ])
 
+let load_metrics doc =
+  rows doc "runs"
+  |> List.concat_map (fun row ->
+         let key =
+           Printf.sprintf "load/%s/%s" (str row [ "arrival" ]) (str row [ "policy" ])
+         in
+         [
+           {
+             name = key ^ "/completion_rate";
+             value = num row [ "completion_rate" ];
+             direction = Higher_better;
+             tolerance = 0.02;
+           };
+           {
+             name = key ^ "/join_p99_ms";
+             value = num row [ "join_p99_ms" ];
+             direction = Lower_better;
+             tolerance = 0.15;
+           };
+           {
+             name = key ^ "/goodput_per_s";
+             value = num row [ "goodput_per_s" ];
+             direction = Higher_better;
+             tolerance = 0.1;
+           };
+           {
+             name = key ^ "/shed_fraction";
+             value = num row [ "shed_fraction" ];
+             direction = Lower_better;
+             tolerance = 0.2;
+           };
+           (* The headline bit: under the flash crowd the SLO shedder holds
+              the admitted p99 inside the budget, drop-tail does not. *)
+           {
+             name = key ^ "/p99_within_budget";
+             value = (if boolean row [ "p99_within_budget" ] then 1.0 else 0.0);
+             direction = Exact;
+             tolerance = 0.0;
+           };
+           {
+             name = key ^ "/sheds_when_saturated";
+             value =
+               (if num row [ "saturation" ] > 1.0 = (num row [ "shed_fraction" ] > 0.0) then 1.0
+                else 0.0);
+             direction = Exact;
+             tolerance = 0.0;
+           };
+         ])
+
 (* --- Comparison -------------------------------------------------------- *)
 
 let within (m : metric) ~baseline ~current =

@@ -35,6 +35,13 @@ val resilience_metrics : Simkit.Json.t -> metric list
     rate (0.02), join p99 in simulated ms (0.15) and the consistency bit
     (exact).  @raise Failure when malformed. *)
 
+val load_metrics : Simkit.Json.t -> metric list
+(** From BENCH_load.json: per arrival × policy completion rate (0.02),
+    admitted-join p99 in simulated ms (0.15), goodput (0.1), shed
+    fraction (0.2), and the headline bits exact — [p99_within_budget]
+    (the SLO shedder holds the budget at 2x saturation, drop-tail does
+    not) and sheds-iff-saturated.  @raise Failure when malformed. *)
+
 val compare_metrics : baseline:metric list -> current:metric list -> comparison list
 (** One comparison per baseline metric; thresholds come from the baseline
     side. *)

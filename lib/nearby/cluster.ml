@@ -405,6 +405,12 @@ let sync_round t =
                 let data = Lazy.force snapshot in
                 match restore data with
                 | Ok server ->
+                    (* State transfer replaces the registry, not the
+                       replica's history: the replica stayed alive, so its
+                       trace (served joins, latency sketches) must survive
+                       the catch-up restore or per-replica scrapes go dark. *)
+                    Simkit.Trace.merge_into ~into:(Server.trace server)
+                      (Server.trace r.server);
                     r.server <- server;
                     Simkit.Trace.incr t.trace "cluster_sync_restores";
                     Simkit.Trace.add_count t.trace "cluster_sync_bytes" (String.length data);

@@ -75,6 +75,23 @@ let exponential g ~mean =
   let u = 1.0 -. unit_float g in
   -.mean *. log u
 
+let exp_draw g ~rate =
+  if rate <= 0.0 then invalid_arg "Prng.exp_draw: rate must be positive";
+  exponential g ~mean:(1.0 /. rate)
+
+(* Lewis-Shedler thinning: draw candidates at the envelope rate and accept
+   with probability rate_at t / rate_max.  The accepted point is a draw
+   from the inhomogeneous process as long as rate_at never exceeds the
+   envelope, which the clamp enforces. *)
+let next_arrival g ~now ~rate_max ~rate_at =
+  if rate_max <= 0.0 then invalid_arg "Prng.next_arrival: rate_max must be positive";
+  let rec loop t =
+    let t = t +. exp_draw g ~rate:rate_max in
+    let r = Float.min rate_max (Float.max 0.0 (rate_at t)) in
+    if unit_float g *. rate_max < r then t else loop t
+  in
+  loop now
+
 let pareto g ~alpha ~x_min =
   if alpha <= 0.0 || x_min <= 0.0 then invalid_arg "Prng.pareto: parameters must be positive";
   let u = 1.0 -. unit_float g in

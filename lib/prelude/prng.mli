@@ -49,6 +49,21 @@ val exponential : t -> mean:float -> float
 (** [exponential g ~mean] draws from Exp(1/mean).  @raise Invalid_argument if
     [mean <= 0]. *)
 
+val exp_draw : t -> rate:float -> float
+(** [exp_draw g ~rate] is the rate-parameterized exponential draw (mean
+    [1 /. rate]) — the inter-arrival gap of a homogeneous Poisson process
+    with intensity [rate].  @raise Invalid_argument if [rate <= 0]. *)
+
+val next_arrival : t -> now:float -> rate_max:float -> rate_at:(float -> float) -> float
+(** Lewis–Shedler thinning: the next event time strictly after [now] of an
+    inhomogeneous Poisson process with intensity [rate_at t] (events per
+    unit of the caller's clock), bounded above by [rate_max].  Candidate
+    points are drawn at the envelope rate [rate_max] and accepted with
+    probability [rate_at t /. rate_max]; [rate_at] values are clamped into
+    [\[0, rate_max\]].  The caller must ensure the intensity does not stay
+    at zero forever, or the draw never terminates.
+    @raise Invalid_argument if [rate_max <= 0]. *)
+
 val pareto : t -> alpha:float -> x_min:float -> float
 (** [pareto g ~alpha ~x_min] draws from a Pareto distribution with shape
     [alpha] and scale [x_min]; used for heavy-tailed session times and

@@ -1,0 +1,105 @@
+type process =
+  | Poisson of { rate_per_s : float }
+  | Diurnal of { base_per_s : float; amplitude : float; period_s : float }
+  | Flash of {
+      base_per_s : float;
+      spike_per_s : float;
+      spike_at_s : float;
+      spike_len_s : float;
+    }
+
+let validate = function
+  | Poisson { rate_per_s } ->
+      if rate_per_s <= 0.0 then invalid_arg "Workload: Poisson rate must be positive"
+  | Diurnal { base_per_s; amplitude; period_s } ->
+      if base_per_s <= 0.0 then invalid_arg "Workload: Diurnal base rate must be positive";
+      if amplitude < 0.0 || amplitude > 1.0 then
+        invalid_arg "Workload: Diurnal amplitude outside [0, 1]";
+      if period_s <= 0.0 then invalid_arg "Workload: Diurnal period must be positive"
+  | Flash { base_per_s; spike_per_s; spike_at_s; spike_len_s } ->
+      if base_per_s <= 0.0 then invalid_arg "Workload: Flash base rate must be positive";
+      if spike_per_s < base_per_s then
+        invalid_arg "Workload: Flash spike rate below the baseline";
+      if spike_at_s < 0.0 || spike_len_s < 0.0 then
+        invalid_arg "Workload: Flash spike window must be non-negative"
+
+let rate_at process ~t_ms =
+  match process with
+  | Poisson { rate_per_s } -> rate_per_s
+  | Diurnal { base_per_s; amplitude; period_s } ->
+      let t_s = t_ms /. 1000.0 in
+      base_per_s *. (1.0 +. (amplitude *. sin (2.0 *. Float.pi *. t_s /. period_s)))
+  | Flash { base_per_s; spike_per_s; spike_at_s; spike_len_s } ->
+      let t_s = t_ms /. 1000.0 in
+      if t_s >= spike_at_s && t_s < spike_at_s +. spike_len_s then spike_per_s else base_per_s
+
+let peak_rate = function
+  | Poisson { rate_per_s } -> rate_per_s
+  | Diurnal { base_per_s; amplitude; _ } -> base_per_s *. (1.0 +. amplitude)
+  | Flash { spike_per_s; _ } -> spike_per_s
+
+let expected_arrivals process ~until_ms =
+  let until_s = Float.max 0.0 (until_ms /. 1000.0) in
+  match process with
+  | Poisson { rate_per_s } -> rate_per_s *. until_s
+  | Diurnal { base_per_s; amplitude; period_s } ->
+      (* Integral of base * (1 + A sin (2 pi t / T)) over [0, until]. *)
+      let w = 2.0 *. Float.pi /. period_s in
+      (base_per_s *. until_s)
+      +. (base_per_s *. amplitude /. w *. (1.0 -. cos (w *. until_s)))
+  | Flash { base_per_s; spike_per_s; spike_at_s; spike_len_s } ->
+      let overlap =
+        Float.max 0.0 (Float.min until_s (spike_at_s +. spike_len_s) -. Float.min until_s spike_at_s)
+      in
+      (base_per_s *. until_s) +. ((spike_per_s -. base_per_s) *. overlap)
+
+let describe = function
+  | Poisson _ -> "poisson"
+  | Diurnal _ -> "diurnal"
+  | Flash _ -> "flash"
+
+let arrival_times ~rng process ~until_ms =
+  validate process;
+  if until_ms < 0.0 then invalid_arg "Workload.arrival_times: negative horizon";
+  (* Thinning works in per-ms intensities because the engine clock is ms. *)
+  let rate_max = peak_rate process /. 1000.0 in
+  let rate_at_ms t = rate_at process ~t_ms:t /. 1000.0 in
+  let rec collect acc now =
+    let t = Prelude.Prng.next_arrival rng ~now ~rate_max ~rate_at:rate_at_ms in
+    if t > until_ms then List.rev acc else collect (t :: acc) t
+  in
+  collect [] 0.0
+
+let install ~engine ~rng process ~until_ms ~on_arrival =
+  let times = arrival_times ~rng process ~until_ms in
+  List.iteri
+    (fun i time -> Engine.schedule_at engine ~time (fun () -> on_arrival i))
+    times;
+  List.length times
+
+type churn = {
+  session : Churn.session_model option;
+  mobility_fraction : float;
+}
+
+let no_churn = { session = None; mobility_fraction = 0.0 }
+
+let validate_churn c =
+  if c.mobility_fraction < 0.0 || c.mobility_fraction > 1.0 then
+    invalid_arg "Workload: mobility_fraction outside [0, 1]"
+
+let draw_departure c ~rng =
+  validate_churn c;
+  match c.session with
+  | None -> None
+  | Some model ->
+      let dwell =
+        match model with
+        | Churn.Exponential { mean_ms } -> Prelude.Prng.exponential rng ~mean:mean_ms
+        | Churn.Pareto { alpha; min_ms } -> Prelude.Prng.pareto rng ~alpha ~x_min:min_ms
+      in
+      let kind =
+        if Prelude.Prng.unit_float rng < c.mobility_fraction then Churn.Handover
+        else Churn.Leave
+      in
+      Some (dwell, kind)

@@ -1,0 +1,87 @@
+(** Open-loop load generation on the engine clock.
+
+    Closed-loop experiments (scripted joins) can never outrun the server:
+    each request waits for the previous one.  An {e open-loop} generator
+    schedules arrivals from a stochastic intensity function regardless of
+    how the system keeps up — which is the only way to observe queueing,
+    shedding and tail blow-up under overload.
+
+    Three intensity shapes are provided, all sampled by Lewis–Shedler
+    thinning ({!Prelude.Prng.next_arrival}) so a single code path serves
+    the homogeneous and inhomogeneous cases alike: constant (Poisson),
+    sinusoidal (diurnal), and baseline-plus-spike (flash crowd).  Arrival
+    schedules are generated eagerly and deterministically from the rng,
+    then installed as one engine event per arrival; nothing here reads a
+    wall clock.
+
+    Departures compose on top: {!draw_departure} turns a {!Churn}
+    session model into a per-peer dwell time ending in a graceful leave
+    or a mobility handover (the regional re-join of extension E3 — the
+    experiment layer decides what "re-join near another landmark"
+    means). *)
+
+type process =
+  | Poisson of { rate_per_s : float }  (** Constant intensity. *)
+  | Diurnal of { base_per_s : float; amplitude : float; period_s : float }
+      (** [rate(t) = base * (1 + amplitude * sin (2 pi t / period))];
+          [amplitude] in [0, 1], so the trough is [base * (1 - amplitude)]. *)
+  | Flash of {
+      base_per_s : float;
+      spike_per_s : float;  (** Intensity inside the spike window. *)
+      spike_at_s : float;
+      spike_len_s : float;
+    }
+
+val validate : process -> unit
+(** @raise Invalid_argument on non-positive rates or periods, an amplitude
+    outside [0, 1], a spike below the baseline, or a negative spike start
+    or length. *)
+
+val rate_at : process -> t_ms:float -> float
+(** Intensity in arrivals per second at engine time [t_ms]. *)
+
+val peak_rate : process -> float
+(** Supremum of {!rate_at} — the thinning envelope, and the rate to compare
+    against service capacity for a saturation ratio. *)
+
+val expected_arrivals : process -> until_ms:float -> float
+(** The integral of the intensity over [0, until_ms] — what a sampled
+    schedule's count should straddle. *)
+
+val describe : process -> string
+(** One-word family name: ["poisson"], ["diurnal"], ["flash"]. *)
+
+val arrival_times : rng:Prelude.Prng.t -> process -> until_ms:float -> float list
+(** The sampled arrival schedule, strictly increasing, all in
+    (0, until_ms].  Deterministic in the rng state. *)
+
+val install :
+  engine:Engine.t ->
+  rng:Prelude.Prng.t ->
+  process ->
+  until_ms:float ->
+  on_arrival:(int -> unit) ->
+  int
+(** Sample {!arrival_times} and schedule one engine event per arrival;
+    [on_arrival i] runs at the i-th arrival's simulated time (0-based,
+    schedule order).  Returns the number of arrivals scheduled.  Call on a
+    fresh engine (times are absolute).  *)
+
+(** {1 Departures} *)
+
+type churn = {
+  session : Churn.session_model option;  (** [None]: peers never depart. *)
+  mobility_fraction : float;
+      (** Fraction of departures that are handovers (re-join elsewhere)
+          rather than graceful leaves. *)
+}
+
+val no_churn : churn
+
+val validate_churn : churn -> unit
+(** @raise Invalid_argument on a fraction outside [0, 1]. *)
+
+val draw_departure : churn -> rng:Prelude.Prng.t -> (float * Churn.departure) option
+(** The dwell time (ms) drawn from the session model and how the session
+    ends ({!Churn.Leave} or {!Churn.Handover}); [None] when sessions are
+    infinite. *)

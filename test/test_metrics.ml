@@ -188,10 +188,16 @@ let test_fleet_merged_trace_acceptance () =
       "[join latency";
       "[slo]";
       "[rpc]";
+      "[admission";
       "[runtime]";
       "[shards]";
     ];
-  Alcotest.(check bool) "no escape sequences" true (not (String.contains frame '\027'))
+  Alcotest.(check bool) "no escape sequences" true (not (String.contains frame '\027'));
+  (* The generously-provisioned front door admits everything. *)
+  let totals = Nearby.Admission.totals (Eval.Fleet_obs.admission t) in
+  Alcotest.(check int) "admission passes every join" config.peers
+    totals.Nearby.Admission.admitted;
+  Alcotest.(check int) "healthy fleet sheds nothing" 0 totals.Nearby.Admission.shed_total
 
 let suite =
   ( "metrics",

@@ -89,6 +89,67 @@ let test_exponential_mean () =
   done;
   Alcotest.(check bool) "mean near 3" true (abs_float ((!acc /. float_of_int n) -. 3.0) < 0.1)
 
+let test_exp_draw_mean () =
+  (* exp_draw is the rate parameterization: mean must be 1/rate. *)
+  let g = Prng.create 23 in
+  let acc = ref 0.0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Prng.exp_draw g ~rate:4.0 in
+    Alcotest.(check bool) "non-negative" true (v >= 0.0);
+    acc := !acc +. v
+  done;
+  Alcotest.(check bool) "mean near 0.25" true
+    (abs_float ((!acc /. float_of_int n) -. 0.25) < 0.01);
+  Alcotest.check_raises "rate 0" (Invalid_argument "Prng.exp_draw: rate must be positive")
+    (fun () -> ignore (Prng.exp_draw g ~rate:0.0))
+
+let test_next_arrival_homogeneous () =
+  (* Thinning against a constant intensity is a plain Poisson process:
+     gaps average 1/rate and the count over a horizon averages rate * T. *)
+  let g = Prng.create 24 in
+  let rate = 2.0 in
+  let count = ref 0 and t = ref 0.0 and last = ref 0.0 in
+  while !t < 5_000.0 do
+    let next = Prng.next_arrival g ~now:!t ~rate_max:rate ~rate_at:(fun _ -> rate) in
+    Alcotest.(check bool) "strictly increasing" true (next > !last);
+    last := next;
+    t := next;
+    if next < 5_000.0 then incr count
+  done;
+  (* Expected 10_000 events; 5 sigma is 500. *)
+  Alcotest.(check bool) "count near rate * T" true (abs (!count - 10_000) < 500)
+
+let test_next_arrival_inhomogeneous () =
+  (* Intensity 0 before t=100, then 1.0: thinning must never place an
+     arrival inside the dead zone, and the live-zone count must match. *)
+  let g = Prng.create 25 in
+  let rate_at t = if t < 100.0 then 0.0 else 1.0 in
+  let count = ref 0 and t = ref 0.0 in
+  while !t < 1_100.0 do
+    let next = Prng.next_arrival g ~now:!t ~rate_max:1.0 ~rate_at in
+    Alcotest.(check bool) "after the dead zone" true (next >= 100.0);
+    t := next;
+    if next < 1_100.0 then incr count
+  done;
+  (* Expected 1000 over the live kilosecond; 5 sigma is ~160. *)
+  Alcotest.(check bool) "live-zone count" true (abs (!count - 1000) < 160);
+  Alcotest.check_raises "envelope must be positive"
+    (Invalid_argument "Prng.next_arrival: rate_max must be positive") (fun () ->
+      ignore (Prng.next_arrival g ~now:0.0 ~rate_max:0.0 ~rate_at:(fun _ -> 1.0)))
+
+let test_next_arrival_clamps_overshoot () =
+  (* rate_at above the envelope is clamped to rate_max, so the draw is a
+     valid (homogeneous) process instead of a biased one. *)
+  let g = Prng.create 26 in
+  let count = ref 0 and t = ref 0.0 in
+  while !t < 10_000.0 do
+    let next = Prng.next_arrival g ~now:!t ~rate_max:1.0 ~rate_at:(fun _ -> 50.0) in
+    t := next;
+    if next < 10_000.0 then incr count
+  done;
+  Alcotest.(check bool) "clamped to the envelope rate" true (abs (!count - 10_000) < 500)
+
 let test_pareto_min () =
   let g = Prng.create 12 in
   for _ = 1 to 5000 do
@@ -237,6 +298,10 @@ let suite =
       Alcotest.test_case "unit_float range" `Quick test_unit_float_range;
       Alcotest.test_case "uniform mean" `Slow test_uniform_mean;
       Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+      Alcotest.test_case "exp_draw mean" `Slow test_exp_draw_mean;
+      Alcotest.test_case "next_arrival homogeneous" `Slow test_next_arrival_homogeneous;
+      Alcotest.test_case "next_arrival inhomogeneous" `Slow test_next_arrival_inhomogeneous;
+      Alcotest.test_case "next_arrival clamps overshoot" `Slow test_next_arrival_clamps_overshoot;
       Alcotest.test_case "pareto min" `Quick test_pareto_min;
       Alcotest.test_case "pareto mean" `Slow test_pareto_mean;
       Alcotest.test_case "normal moments" `Slow test_normal_moments;

@@ -180,6 +180,50 @@ let test_monitor_edges () =
   poll ();
   Alcotest.(check int) "re-breach is a fresh edge" 2 !breaches
 
+let test_monitor_window_boundary_flap () =
+  (* An admission queue that empties exactly at a window boundary: the
+     good sample lands at t = k * window_ms, which belongs to the NEW
+     window (half-open intervals), so a lookback-1 monitor must clear on
+     that very poll — and a fresh violation one boundary later must be a
+     new breach edge, not a suppressed duplicate.  Counts both edges of
+     the breach -> clear -> breach flap. *)
+  let ts = Timeseries.create ~window_ms:100.0 () in
+  let spec =
+    Slo.spec ~lookback:1 ~burn_threshold:1.0 (Slo.Mean_max { series = "wait"; limit = 50.0 })
+  in
+  let m = Slo.monitor [ spec ] in
+  let breaches = ref 0 and clears = ref 0 in
+  let poll () =
+    ignore
+      (Slo.poll
+         ~on_breach:(fun _ -> incr breaches)
+         ~on_clear:(fun _ -> incr clears)
+         m ts)
+  in
+  (* Window 0: the queue is backed up. *)
+  Timeseries.observe ts "wait" ~now:40.0 400.0;
+  poll ();
+  Alcotest.(check int) "backlog breaches" 1 !breaches;
+  (* The queue drains; the idle head-age sample lands exactly on the
+     boundary, opening window 1. *)
+  Timeseries.observe ts "wait" ~now:100.0 0.0;
+  poll ();
+  Alcotest.(check int) "boundary sample clears" 1 !clears;
+  Alcotest.(check int) "no extra breach" 1 !breaches;
+  (* Polling again at the same state is edge-free. *)
+  poll ();
+  Alcotest.(check int) "steady clear is silent" 1 !clears;
+  (* A second wave backs the queue up again exactly on the next boundary. *)
+  Timeseries.observe ts "wait" ~now:200.0 400.0;
+  poll ();
+  Alcotest.(check int) "flap re-breaches" 2 !breaches;
+  Alcotest.(check int) "still one clear" 1 !clears;
+  (* And drains again on the boundary after that. *)
+  Timeseries.observe ts "wait" ~now:300.0 0.0;
+  poll ();
+  Alcotest.(check int) "flap re-clears" 2 !clears;
+  Alcotest.(check (list string)) "nothing left breached" [] (Slo.breached_names m)
+
 let test_renderings () =
   let ts = three_window_ts () in
   let st = Slo.evaluate ts (Slo.of_string_exn "lat<=50") in
@@ -209,5 +253,6 @@ let suite =
       Alcotest.test_case "ratio aggregates across windows" `Quick
         test_evaluate_ratio_aggregates_across_windows;
       Alcotest.test_case "monitor edge events" `Quick test_monitor_edges;
+      Alcotest.test_case "window-boundary flap" `Quick test_monitor_window_boundary_flap;
       Alcotest.test_case "renderings" `Quick test_renderings;
     ] )

@@ -1,0 +1,152 @@
+(* Workload: open-loop arrival processes (thinning), determinism, and the
+   churn departure draws. *)
+
+open Simkit
+
+let times process ~seed ~until_ms =
+  Workload.arrival_times ~rng:(Prelude.Prng.create seed) process ~until_ms
+
+let count_in times lo hi = List.length (List.filter (fun t -> t >= lo && t < hi) times)
+
+let test_validate () =
+  let rejects p =
+    match Workload.validate p with
+    | exception Invalid_argument _ -> ()
+    | () -> Alcotest.fail "invalid process accepted"
+  in
+  rejects (Workload.Poisson { rate_per_s = 0.0 });
+  rejects (Workload.Diurnal { base_per_s = 1.0; amplitude = 1.5; period_s = 10.0 });
+  rejects (Workload.Diurnal { base_per_s = 1.0; amplitude = 0.5; period_s = 0.0 });
+  rejects
+    (Workload.Flash { base_per_s = 10.0; spike_per_s = 5.0; spike_at_s = 1.0; spike_len_s = 1.0 });
+  rejects
+    (Workload.Flash { base_per_s = 1.0; spike_per_s = 2.0; spike_at_s = -1.0; spike_len_s = 1.0 });
+  Workload.validate (Workload.Poisson { rate_per_s = 5.0 })
+
+let test_rates () =
+  let diurnal = Workload.Diurnal { base_per_s = 100.0; amplitude = 0.5; period_s = 60.0 } in
+  Alcotest.(check (float 1e-6)) "diurnal peak" 150.0 (Workload.peak_rate diurnal);
+  (* Peak of the sine is a quarter period in. *)
+  Alcotest.(check (float 1e-6)) "diurnal crest" 150.0 (Workload.rate_at diurnal ~t_ms:15_000.0);
+  Alcotest.(check (float 1e-6)) "diurnal trough" 50.0 (Workload.rate_at diurnal ~t_ms:45_000.0);
+  let flash =
+    Workload.Flash { base_per_s = 10.0; spike_per_s = 80.0; spike_at_s = 2.0; spike_len_s = 3.0 }
+  in
+  Alcotest.(check (float 1e-6)) "flash baseline" 10.0 (Workload.rate_at flash ~t_ms:1_000.0);
+  Alcotest.(check (float 1e-6)) "flash spike" 80.0 (Workload.rate_at flash ~t_ms:3_000.0);
+  Alcotest.(check (float 1e-6)) "flash after" 10.0 (Workload.rate_at flash ~t_ms:5_500.0);
+  Alcotest.(check (float 1e-6)) "flash peak" 80.0 (Workload.peak_rate flash);
+  (* 10/s for 10 s plus 70/s extra for the 3 s spike. *)
+  Alcotest.(check (float 1e-6)) "flash integral" 310.0
+    (Workload.expected_arrivals flash ~until_ms:10_000.0)
+
+let test_determinism () =
+  let p =
+    Workload.Flash { base_per_s = 50.0; spike_per_s = 200.0; spike_at_s = 1.0; spike_len_s = 2.0 }
+  in
+  let a = times p ~seed:7 ~until_ms:5_000.0 in
+  let b = times p ~seed:7 ~until_ms:5_000.0 in
+  Alcotest.(check (list (float 1e-12))) "same seed, same schedule" a b;
+  let c = times p ~seed:8 ~until_ms:5_000.0 in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_schedule_shape () =
+  let p = Workload.Poisson { rate_per_s = 100.0 } in
+  let ts = times p ~seed:3 ~until_ms:20_000.0 in
+  let increasing = ref true and last = ref 0.0 in
+  List.iter
+    (fun t ->
+      if t <= !last then increasing := false;
+      last := t)
+    ts;
+  Alcotest.(check bool) "strictly increasing" true !increasing;
+  Alcotest.(check bool) "within horizon" true (List.for_all (fun t -> t > 0.0 && t <= 20_000.0) ts);
+  (* Expected 2000 arrivals; 5 sigma is ~224. *)
+  Alcotest.(check bool) "count near the integral" true (abs (List.length ts - 2000) < 224)
+
+let test_diurnal_modulation () =
+  (* One full period: the positive half-wave must out-arrive the negative. *)
+  let p = Workload.Diurnal { base_per_s = 100.0; amplitude = 1.0; period_s = 20.0 } in
+  let ts = times p ~seed:11 ~until_ms:20_000.0 in
+  let crest = count_in ts 0.0 10_000.0 and trough = count_in ts 10_000.0 20_000.0 in
+  Alcotest.(check bool) "crest beats trough" true (float_of_int crest > 2.0 *. float_of_int trough)
+
+let test_flash_density () =
+  let p =
+    Workload.Flash { base_per_s = 20.0; spike_per_s = 200.0; spike_at_s = 4.0; spike_len_s = 2.0 }
+  in
+  let ts = times p ~seed:13 ~until_ms:10_000.0 in
+  let before = count_in ts 0.0 4_000.0 in
+  let spike = count_in ts 4_000.0 6_000.0 in
+  let after = count_in ts 6_000.0 10_000.0 in
+  (* 80 expected before, 400 in the spike, 80 after. *)
+  Alcotest.(check bool) "spike density" true (spike > 4 * before && spike > 4 * after);
+  Alcotest.(check bool) "spike count plausible" true (abs (spike - 400) < 100)
+
+let test_install_on_engine () =
+  let engine = Engine.create () in
+  let p = Workload.Poisson { rate_per_s = 50.0 } in
+  let seen = ref [] in
+  let n =
+    Workload.install ~engine ~rng:(Prelude.Prng.create 5) p ~until_ms:4_000.0
+      ~on_arrival:(fun i -> seen := (i, Engine.now engine) :: !seen)
+  in
+  Alcotest.(check int) "nothing fires before run" 0 (List.length !seen);
+  Engine.run engine;
+  let seen = List.rev !seen in
+  Alcotest.(check int) "every arrival fired" n (List.length seen);
+  List.iteri
+    (fun expect (i, t) ->
+      Alcotest.(check int) "indices in schedule order" expect i;
+      Alcotest.(check bool) "inside the horizon" true (t > 0.0 && t <= 4_000.0))
+    seen;
+  (* The engine replay must equal the eager schedule under the same seed. *)
+  let eager = times p ~seed:5 ~until_ms:4_000.0 in
+  Alcotest.(check (list (float 1e-12))) "install replays arrival_times" eager
+    (List.map snd seen)
+
+let test_churn_draws () =
+  Alcotest.(check bool) "no churn never departs" true
+    (Workload.draw_departure Workload.no_churn ~rng:(Prelude.Prng.create 1) = None);
+  (match
+     Workload.validate_churn { Workload.session = None; mobility_fraction = 1.5 }
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "mobility fraction above 1 accepted");
+  let rng = Prelude.Prng.create 2 in
+  let churn =
+    {
+      Workload.session = Some (Churn.Exponential { mean_ms = 500.0 });
+      mobility_fraction = 1.0;
+    }
+  in
+  let acc = ref 0.0 in
+  let n = 5_000 in
+  for _ = 1 to n do
+    match Workload.draw_departure churn ~rng with
+    | Some (dwell, Churn.Handover) ->
+        Alcotest.(check bool) "positive dwell" true (dwell >= 0.0);
+        acc := !acc +. dwell
+    | Some (_, (Churn.Leave | Churn.Crash)) ->
+        Alcotest.fail "mobility_fraction 1.0 must always hand over"
+    | None -> Alcotest.fail "session model set but no departure"
+  done;
+  Alcotest.(check bool) "dwell mean near the session mean" true
+    (abs_float ((!acc /. float_of_int n) -. 500.0) < 25.0);
+  let leaves_only = { churn with Workload.mobility_fraction = 0.0 } in
+  match Workload.draw_departure leaves_only ~rng with
+  | Some (_, Churn.Leave) -> ()
+  | _ -> Alcotest.fail "mobility_fraction 0.0 must leave gracefully"
+
+let suite =
+  ( "workload",
+    [
+      Alcotest.test_case "validate" `Quick test_validate;
+      Alcotest.test_case "rates and integrals" `Quick test_rates;
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "poisson schedule shape" `Quick test_schedule_shape;
+      Alcotest.test_case "diurnal modulation" `Quick test_diurnal_modulation;
+      Alcotest.test_case "flash density" `Quick test_flash_density;
+      Alcotest.test_case "install on engine" `Quick test_install_on_engine;
+      Alcotest.test_case "churn departure draws" `Quick test_churn_draws;
+    ] )
