@@ -35,6 +35,11 @@ type config = {
       (** Drain rate of the admission queue in front of the cluster —
           generous by default, so a healthy fleet never sheds and the
           dashboard's queue-depth panel hovers near zero. *)
+  bandwidth_budget_bytes_per_s : float;
+      (** Wire-bandwidth SLO: a completed window moving more than this
+          many delivered bytes per second raises a ["wire"]-kind
+          flight-recorder breach event (edge-triggered, cleared when the
+          rate falls back under budget). *)
   slos : Simkit.Slo.spec list;
   seed : int;
 }
@@ -57,6 +62,7 @@ let default_config =
     sync_period_ms = 2_000.0;
     window_ms = 500.0;
     admission_rate_per_s = 200.0;
+    bandwidth_budget_bytes_per_s = 1_048_576.0;
     slos = default_slos;
     seed = 1;
   }
@@ -66,12 +72,15 @@ let quick_config = { default_config with routers = 800; peers = 120 }
 type t = {
   config : config;
   engine : Simkit.Engine.t;
+  transport : Simkit.Transport.t;
   cluster : Nearby.Cluster.t;
   rpc : Simkit.Rpc.t;
   metrics : Simkit.Metrics.t;
   timeseries : Simkit.Timeseries.t;
   admission : Nearby.Admission.t;
   runtime : Simkit.Runtime_profile.t;
+  recorder : Simkit.Flight_recorder.t;
+  wire_breaches : int ref;
   horizon : float;
   completed : int ref;
   failed : int ref;
@@ -101,8 +110,24 @@ let start (config : config) =
           ~peers:config.peers ~seed:config.seed ()
       in
       let engine = Simkit.Engine.create () in
+      (* The horizon is known before any component exists (the rpc layer
+         below runs the default config), so the windowed timeseries can be
+         sized up front and handed to the transport — every delivered byte
+         lands in the [wire_bytes] series from the first send on. *)
+      let horizon =
+        config.arrival_window_ms
+        +. (1_000.0 *. float_of_int config.peers /. config.admission_rate_per_s)
+        +. worst_rpc_ms Simkit.Rpc.default_config
+        +. (3.0 *. config.sync_period_ms) +. 1_000.0
+      in
+      let timeseries =
+        Simkit.Timeseries.create
+          ~capacity:(max 64 (int_of_float (horizon /. config.window_ms) + 8))
+          ~window_ms:config.window_ms ()
+      in
       let transport =
-        Simkit.Transport.create ~rng:(Prelude.Prng.split w.rng) engine w.ctx.oracle
+        Simkit.Transport.create ~rng:(Prelude.Prng.split w.rng) ~metrics ~timeseries engine
+          w.ctx.oracle
       in
       let replica_routers =
         Nearby.Landmark.place (Workload.graph w) Medium_degree ~count:config.replicas
@@ -120,7 +145,7 @@ let start (config : config) =
              ~metrics ())
       in
       let cluster =
-        Nearby.Cluster.create ~transport ~client_router:w.map.core.(0)
+        Nearby.Cluster.create ~metrics ~transport ~client_router:w.map.core.(0)
           ~make_server:(fun () ->
             Nearby.Server.create ?latency:w.ctx.latency ~backend:(backend ()) w.ctx.oracle
               ~landmarks:w.landmarks)
@@ -132,19 +157,52 @@ let start (config : config) =
         Simkit.Rpc.create ~rng:(Prelude.Prng.split w.rng) ~labeled:metrics transport
       in
       let protocol = Nearby.Protocol.create_resilient ?latency:w.ctx.latency ~rpc cluster in
-      let horizon =
-        config.arrival_window_ms
-        +. (1_000.0 *. float_of_int config.peers /. config.admission_rate_per_s)
-        +. worst_rpc_ms (Simkit.Rpc.config rpc)
-        +. (3.0 *. config.sync_period_ms) +. 1_000.0
-      in
       if config.replicas > 1 then
         Nearby.Cluster.start_sync cluster ~period_ms:config.sync_period_ms ~until:horizon;
-      let timeseries =
-        Simkit.Timeseries.create
-          ~capacity:(max 64 (int_of_float (horizon /. config.window_ms) + 8))
-          ~window_ms:config.window_ms ()
+      (* Bandwidth SLO watch: once per window, read the just-completed
+         [wire_bytes] window and compare its delivered-bytes-per-second
+         against the budget.  Breach and clear are edge events on the
+         flight recorder, so a dump shows when the fleet got loud, not a
+         breach line per loud window. *)
+      let recorder = Simkit.Flight_recorder.create () in
+      let wire_breaches = ref 0 in
+      let breached = ref false in
+      let rec bandwidth_poll at =
+        if at <= horizon then
+          Simkit.Engine.schedule_at engine ~time:at (fun () ->
+              let current = int_of_float (Simkit.Engine.now engine /. config.window_ms) in
+              let completed_bps =
+                Simkit.Timeseries.windows timeseries "wire_bytes"
+                |> List.fold_left
+                     (fun acc w ->
+                       match w with
+                       | Some (s : Simkit.Timeseries.summary) when s.index < current ->
+                           Some (s.rate_per_s *. s.mean)
+                       | _ -> acc)
+                     None
+              in
+              (match completed_bps with
+              | Some bps when bps > config.bandwidth_budget_bytes_per_s && not !breached ->
+                  breached := true;
+                  incr wire_breaches;
+                  Simkit.Flight_recorder.record recorder ~ts:(Simkit.Engine.now engine)
+                    ~kind:"wire"
+                    ~args:
+                      [
+                        ("bytes_per_s", Simkit.Span.Float bps);
+                        ("budget", Simkit.Span.Float config.bandwidth_budget_bytes_per_s);
+                      ]
+                    "bandwidth_breach"
+              | Some bps when bps <= config.bandwidth_budget_bytes_per_s && !breached ->
+                  breached := false;
+                  Simkit.Flight_recorder.record recorder ~ts:(Simkit.Engine.now engine)
+                    ~kind:"wire"
+                    ~args:[ ("bytes_per_s", Simkit.Span.Float bps) ]
+                    "bandwidth_clear"
+              | _ -> ());
+              bandwidth_poll (at +. config.window_ms))
       in
+      bandwidth_poll config.window_ms;
       (* Joins pass through a bounded admission queue before reaching the
          protocol layer: the same front door the overload experiments
          stress, here provisioned generously (capacity for every peer, a
@@ -186,12 +244,15 @@ let start (config : config) =
       {
         config;
         engine;
+        transport;
         cluster;
         rpc;
         metrics;
         timeseries;
         admission;
         runtime;
+        recorder;
+        wire_breaches;
         horizon;
         completed;
         failed;
@@ -204,7 +265,10 @@ let metrics t = t.metrics
 let timeseries t = t.timeseries
 let runtime t = t.runtime
 let cluster t = t.cluster
+let transport t = t.transport
 let admission t = t.admission
+let recorder t = t.recorder
+let wire_breaches t = !(t.wire_breaches)
 let fleet_trace t = Nearby.Cluster.fleet_trace t.cluster
 
 let advance t ~until =
@@ -233,6 +297,9 @@ type result = {
   shard_skew : float;  (** max / mean shard occupancy; [nan] when empty. *)
   pool_busy_share : float;  (** Busy fraction of the shared domain pool. *)
   overhead_ns : float;  (** Observe-path self-overhead of the profiler. *)
+  wire_bytes : int;  (** Delivered bytes, all kinds. *)
+  wire_dropped_bytes : int;
+  replication_amplification : float;  (** See {!Nearby.Cluster.replication_amplification}. *)
 }
 
 (* Sum the {landmark, shard} occupancy gauges per shard.  Replicas
@@ -297,6 +364,9 @@ let result t =
     shard_skew = skew_of shard_members;
     pool_busy_share;
     overhead_ns = Simkit.Runtime_profile.overhead_ns t.runtime;
+    wire_bytes = Simkit.Transport.bytes_sent t.transport;
+    wire_dropped_bytes = Simkit.Transport.bytes_dropped t.transport;
+    replication_amplification = Nearby.Cluster.replication_amplification t.cluster;
   }
 
 let run config =
@@ -368,6 +438,58 @@ let render t =
   add "[rpc] ok=%d timeout=%d no_target=%d unserved=%d gave_up=%d\n"
     (outcome "ok") (outcome "timeout") (outcome "no_target") (outcome "unserved")
     (outcome "gave_up");
+  (* Wire view: where the bytes go — totals, the per-kind mix, replication
+     amplification, the heaviest endpoints and a bandwidth sparkline. *)
+  let fmt_bytes b =
+    if b >= 1_048_576 then Printf.sprintf "%.1fMB" (float_of_int b /. 1_048_576.0)
+    else if b >= 1024 then Printf.sprintf "%.1fKB" (float_of_int b /. 1024.0)
+    else Printf.sprintf "%dB" b
+  in
+  let amp = Nearby.Cluster.replication_amplification t.cluster in
+  add "[wire] total=%s dropped=%s amplification=%s slo_breaches=%d\n"
+    (fmt_bytes (Simkit.Transport.bytes_sent t.transport))
+    (fmt_bytes (Simkit.Transport.bytes_dropped t.transport))
+    (if Float.is_nan amp then "-" else Printf.sprintf "%.2fx" amp)
+    !(t.wire_breaches);
+  let kinds = Hashtbl.create 8 in
+  List.iter
+    (fun (name, labels, _key) ->
+      if name = "wire_bytes_total" then
+        match List.assoc_opt "kind" labels with
+        | Some kind ->
+            let b = Simkit.Metrics.counter t.metrics "wire_bytes_total" ~labels in
+            Hashtbl.replace kinds kind
+              (b + Option.value ~default:0 (Hashtbl.find_opt kinds kind))
+        | None -> ())
+    (Simkit.Metrics.series t.metrics);
+  let mix =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []
+    |> List.sort (fun (ka, a) (kb, b) ->
+           match compare b a with 0 -> compare ka kb | c -> c)
+  in
+  let kmax = List.fold_left (fun acc (_, v) -> max acc v) 0 mix in
+  List.iter
+    (fun (k, v) ->
+      add "  %-18s %10s %s\n" k (fmt_bytes v)
+        (bar 28 (float_of_int v) (float_of_int kmax)))
+    mix;
+  (match Simkit.Transport.top_talkers t.transport ~k:3 with
+  | [] -> ()
+  | talkers ->
+      add "  top talkers:\n";
+      List.iter
+        (fun (tk : Simkit.Transport.talker) ->
+          add "    router %-6d %10s out (%d msgs) / %10s in (%d msgs)\n" tk.node
+            (fmt_bytes tk.sent_bytes) tk.sent_msgs (fmt_bytes tk.recv_bytes) tk.recv_msgs)
+        talkers);
+  add "%s\n"
+    (plot_panel "  bandwidth (KB/s per window)"
+       [
+         {
+           Prelude.Ascii_plot.label = "KB/s";
+           points = points_of t "wire_bytes" ~value:(fun s -> s.rate_per_s *. s.mean /. 1024.0);
+         };
+       ]);
   (* Admission front door: windowed queue depth plus the shed mix. *)
   add "%s"
     (plot_panel "[admission — queue depth per window]"

@@ -32,6 +32,11 @@ type config = {
           through — generous by default (well above the arrival rate,
           capacity for every peer), so a healthy fleet never sheds and the
           queueing term adds at most a few drain ticks to join latency. *)
+  bandwidth_budget_bytes_per_s : float;
+      (** Wire-bandwidth SLO: a completed window whose delivered-bytes
+          rate exceeds this raises an edge-triggered ["wire"]-kind
+          flight-recorder breach event (cleared on the first window back
+          under budget). *)
   slos : Simkit.Slo.spec list;
   seed : int;
 }
@@ -72,6 +77,16 @@ val timeseries : t -> Simkit.Timeseries.t
 val runtime : t -> Simkit.Runtime_profile.t
 val cluster : t -> Nearby.Cluster.t
 
+val transport : t -> Simkit.Transport.t
+(** The shared transport — wire counters, drop buckets and
+    {!Simkit.Transport.top_talkers} for the dashboard's wire panel. *)
+
+val recorder : t -> Simkit.Flight_recorder.t
+(** Receives the ["wire"]-kind bandwidth breach / clear events. *)
+
+val wire_breaches : t -> int
+(** Bandwidth-SLO breach edges seen so far. *)
+
 val admission : t -> Nearby.Admission.t
 (** The bounded queue in front of the cluster (depth / totals for the
     dashboard's admission panel). *)
@@ -97,6 +112,10 @@ type result = {
   shard_skew : float;  (** max / mean shard occupancy; [nan] when empty. *)
   pool_busy_share : float;  (** Busy fraction of the shared domain pool. *)
   overhead_ns : float;  (** Profiler observe-path self-overhead. *)
+  wire_bytes : int;  (** Delivered bytes, all kinds. *)
+  wire_dropped_bytes : int;
+  replication_amplification : float;
+      (** See {!Nearby.Cluster.replication_amplification}. *)
 }
 
 val result : t -> result
@@ -106,7 +125,8 @@ val run : config -> result * t
 
 val render : t -> string
 (** One dashboard frame: header, ops/s and join-latency sparklines, SLO
-    status lines, RPC outcome mix, the admission panel (queue-depth
-    sparkline plus shed mix), runtime (GC per phase, pool utilization,
-    overhead) and per-shard occupancy bars.  Plain text, no escape
-    sequences. *)
+    status lines, RPC outcome mix, the wire panel (per-kind byte mix,
+    replication amplification, top talkers, bandwidth sparkline), the
+    admission panel (queue-depth sparkline plus shed mix), runtime (GC per
+    phase, pool utilization, overhead) and per-shard occupancy bars.
+    Plain text, no escape sequences. *)

@@ -345,6 +345,63 @@ let load_metrics doc =
            };
          ])
 
+(* BENCH_wire.json: byte counts on the simulated wire are pure functions
+   of the seed — no wall clock anywhere — so everything gates tightly.
+   The structural bits (accounting reconciles, amplification equals the
+   replica count, batching actually saves upload bytes) are exact. *)
+let wire_metrics doc =
+  let w path = num doc ("wire" :: path) in
+  [
+    {
+      name = "wire/completion_rate";
+      value = w [ "completion_rate" ];
+      direction = Higher_better;
+      tolerance = 0.02;
+    };
+    {
+      name = "wire/bytes_per_join";
+      value = w [ "bytes_per_join" ];
+      direction = Lower_better;
+      tolerance = 0.1;
+    };
+    {
+      name = "wire/bytes_per_query";
+      value = w [ "bytes_per_query" ];
+      direction = Lower_better;
+      tolerance = 0.1;
+    };
+    {
+      name = "wire/replication_amplification";
+      value = w [ "replication_amplification" ];
+      direction = Exact;
+      tolerance = 0.0;
+    };
+    {
+      name = "wire/snapshot_bytes_per_join";
+      value = w [ "snapshot_bytes" ] /. Float.max 1.0 (w [ "joins" ]);
+      direction = Lower_better;
+      tolerance = 0.5;
+    };
+    {
+      name = "wire/batch_saving_ratio";
+      value = w [ "batch_saving_ratio" ];
+      direction = Higher_better;
+      tolerance = 0.05;
+    };
+    {
+      name = "wire/batch_saves_bytes";
+      value = (if w [ "batch_saving_ratio" ] > 1.0 then 1.0 else 0.0);
+      direction = Exact;
+      tolerance = 0.0;
+    };
+    {
+      name = "wire/accounted";
+      value = (if boolean doc [ "wire"; "accounted" ] then 1.0 else 0.0);
+      direction = Exact;
+      tolerance = 0.0;
+    };
+  ]
+
 (* --- Comparison -------------------------------------------------------- *)
 
 let within (m : metric) ~baseline ~current =

@@ -42,6 +42,14 @@ val load_metrics : Simkit.Json.t -> metric list
     (the SLO shedder holds the budget at 2x saturation, drop-tail does
     not) and sheds-iff-saturated.  @raise Failure when malformed. *)
 
+val wire_metrics : Simkit.Json.t -> metric list
+(** From BENCH_wire.json: bytes/join and bytes/query (0.1 — deterministic
+    simulated byte counts), snapshot repair bytes per join (0.5), the
+    batching saving ratio (0.05), and the structural bits exact —
+    accounting reconciles ([accounted]), replication amplification equals
+    the committed value, batching saves upload bytes.
+    @raise Failure when malformed. *)
+
 val compare_metrics : baseline:metric list -> current:metric list -> comparison list
 (** One comparison per baseline metric; thresholds come from the baseline
     side. *)

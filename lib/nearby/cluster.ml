@@ -20,6 +20,7 @@ type t = {
   trace : Simkit.Trace.t;
   recorder : Simkit.Flight_recorder.t option;
   spans : Simkit.Span.sink;
+  metrics : Simkit.Metrics.t option;
 }
 
 let engine t = Option.map Simkit.Transport.engine t.transport
@@ -39,6 +40,7 @@ let single ~router server =
     trace = Simkit.Trace.create ();
     recorder = None;
     spans = Simkit.Span.noop;
+    metrics = None;
   }
 
 let watch_replica t r =
@@ -48,7 +50,8 @@ let watch_replica t r =
       Simkit.Failure_detector.watch d ~peer:r.id ~router:r.router ~alive:(fun () -> r.alive)
 
 let create ?(detector_config = Simkit.Failure_detector.default_config) ?recorder
-    ?(spans = Simkit.Span.noop) ~transport ~client_router ~make_server ~restore_server ~routers () =
+    ?(spans = Simkit.Span.noop) ?metrics ~transport ~client_router ~make_server ~restore_server
+    ~routers () =
   if Array.length routers = 0 then invalid_arg "Cluster.create: no replicas";
   let distinct = Hashtbl.create 8 in
   Array.iter
@@ -85,6 +88,7 @@ let create ?(detector_config = Simkit.Failure_detector.default_config) ?recorder
       trace;
       recorder;
       spans;
+      metrics;
     }
   in
   Array.iter (fun r -> watch_replica t r) replicas;
@@ -161,6 +165,26 @@ let target t ~src ~attempt =
   | [] -> None
   | _ -> Some (List.nth candidates ((attempt - 1) mod List.length candidates)).id
 
+(* Replication amplification: how many bytes the cluster moves per byte a
+   client uploads — (client report bytes + replica fan-out bytes) / client
+   report bytes.  With N replicas and write fan-out resending the client's
+   report verbatim to the other N-1, the ratio is exactly N; anti-entropy
+   snapshot traffic is deliberately excluded (it is repair cost, not write
+   cost).  [nan] until the first client report arrives. *)
+let replication_amplification t =
+  let client = Simkit.Trace.counter t.trace "cluster_client_report_bytes" in
+  let replica = Simkit.Trace.counter t.trace "cluster_replica_bytes" in
+  if client = 0 then Float.nan
+  else float_of_int (client + replica) /. float_of_int client
+
+let update_amplification t =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      let amp = replication_amplification t in
+      if not (Float.is_nan amp) then
+        Simkit.Metrics.set m "wire_replication_amplification" ~labels:[] amp
+
 (* Write fan-out: the processing replica pushes the registration to every
    other replica.  Replication messages ride the transport (paying latency,
    loss and partitions); a replica that is down when the message lands
@@ -170,7 +194,9 @@ let fan_out ?parent t ~from_replica ~peer ~attach_router ~measurement =
   let path = Server.measurement_path measurement in
   let probes_spent = Server.measurement_probes measurement in
   let src = t.replicas.(from_replica).router in
-  let bytes = Wire.byte_size (Wire.Path_report { peer; path }) in
+  let report = Wire.Path_report { peer; path } in
+  let bytes = Wire.byte_size report in
+  Simkit.Trace.add_count t.trace "cluster_client_report_bytes" bytes;
   Array.iter
     (fun (o : replica) ->
       if o.id <> from_replica then begin
@@ -195,11 +221,15 @@ let fan_out ?parent t ~from_replica ~peer ~attach_router ~measurement =
           Simkit.Span.finish ~ts:(now t) span
         in
         Simkit.Trace.incr t.trace "cluster_replicate_send";
+        Simkit.Trace.add_count t.trace "cluster_replica_bytes" bytes;
         match t.transport with
-        | Some tr -> Simkit.Transport.send tr ~src ~dst:o.router ~size_bytes:bytes apply
+        | Some tr ->
+            Simkit.Transport.send ~kind:(Wire.kind report) ~dir:"replica" tr ~src ~dst:o.router
+              ~size_bytes:bytes apply
         | None -> apply ()
       end)
-    t.replicas
+    t.replicas;
+  update_amplification t
 
 (* Batched write fan-out: the whole batch rides to each peer replica as one
    {!Wire.Path_report_batch} message — one transport send, one varint-packed
@@ -214,7 +244,9 @@ let fan_out_batch ?parent t ~from_replica ~entries =
     let reports =
       Array.to_list (Array.map (fun (peer, _, m) -> (peer, Server.measurement_path m)) entries)
     in
-    let bytes = Wire.byte_size (Wire.Path_report_batch { reports }) in
+    let batch = Wire.Path_report_batch { reports } in
+    let bytes = Wire.byte_size batch in
+    Simkit.Trace.add_count t.trace "cluster_client_report_bytes" bytes;
     let replica_entries =
       Array.map
         (fun (peer, attach_router, m) ->
@@ -247,11 +279,15 @@ let fan_out_batch ?parent t ~from_replica ~entries =
             Simkit.Span.finish ~ts:(now t) span
           in
           Simkit.Trace.incr t.trace "cluster_replicate_send";
+          Simkit.Trace.add_count t.trace "cluster_replica_bytes" bytes;
           match t.transport with
-          | Some tr -> Simkit.Transport.send tr ~src ~dst:o.router ~size_bytes:bytes apply
+          | Some tr ->
+              Simkit.Transport.send ~kind:(Wire.kind batch) ~dir:"replica" tr ~src ~dst:o.router
+                ~size_bytes:bytes apply
           | None -> apply ()
         end)
-      t.replicas
+      t.replicas;
+    update_amplification t
   end
 
 let handle_registration ?parent t ~replica ~peer ~attach_router ~measurement ~k =
@@ -390,7 +426,18 @@ let sync_round t =
                       Server.register_replica source.server ~peer
                         ~attach_router:info.attach_router ~landmark:info.landmark
                         ~path:info.recorded_path ~probes_spent:info.probes_spent;
-                      Simkit.Trace.incr t.trace "cluster_sync_union"
+                      Simkit.Trace.incr t.trace "cluster_sync_union";
+                      (* The push crosses the network in a deployment even
+                         though the sim applies it synchronously: charge the
+                         report's bytes to the transport as anti-entropy. *)
+                      (match t.transport with
+                      | Some tr ->
+                          Simkit.Transport.charge ~kind:"snapshot" ~dir:"replica" tr
+                            ~src:r.router ~dst:source.router
+                            ~size_bytes:
+                              (Wire.byte_size
+                                 (Wire.Path_report { peer; path = info.recorded_path }))
+                      | None -> ())
                   | None -> ())
               (Server.peer_ids r.server))
         live;
@@ -414,6 +461,11 @@ let sync_round t =
                     r.server <- server;
                     Simkit.Trace.incr t.trace "cluster_sync_restores";
                     Simkit.Trace.add_count t.trace "cluster_sync_bytes" (String.length data);
+                    (match t.transport with
+                    | Some tr ->
+                        Simkit.Transport.charge ~kind:"snapshot" ~dir:"replica" tr
+                          ~src:source.router ~dst:r.router ~size_bytes:(String.length data)
+                    | None -> ());
                     record t
                       ~args:
                         [

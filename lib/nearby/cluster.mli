@@ -24,6 +24,7 @@ val create :
   ?detector_config:Simkit.Failure_detector.config ->
   ?recorder:Simkit.Flight_recorder.t ->
   ?spans:Simkit.Span.sink ->
+  ?metrics:Simkit.Metrics.t ->
   transport:Simkit.Transport.t ->
   client_router:Topology.Graph.node ->
   make_server:(unit -> Server.t) ->
@@ -37,7 +38,8 @@ val create :
     [restore_server] rebuilds a replica from a snapshot during anti-entropy.
     [recorder] receives one ["cluster"]-kind flight-recorder event per
     membership change: crash, recover, suspicion, anti-entropy restore and
-    back-in-sync (with the measured recovery time).
+    back-in-sync (with the measured recovery time).  [metrics] receives the
+    [wire_replication_amplification] gauge, refreshed on every fan-out.
     @raise Invalid_argument on an empty or duplicate router array. *)
 
 val replica_count : t -> int
@@ -57,7 +59,17 @@ val trace : t -> Simkit.Trace.t
     ["cluster_replicate_send"/"_apply"/"_skip"], ["cluster_suspected"],
     ["cluster_crashes"], ["cluster_recoveries"], ["cluster_sync_rounds"],
     ["cluster_sync_union"], ["cluster_sync_restores"],
-    ["cluster_sync_bytes"]; stream ["cluster_recovery_ms"]. *)
+    ["cluster_sync_bytes"], ["cluster_client_report_bytes"],
+    ["cluster_replica_bytes"]; stream ["cluster_recovery_ms"]. *)
+
+val replication_amplification : t -> float
+(** Bytes the cluster moves per byte a client uploads:
+    [(client report bytes + replica fan-out bytes) / client report bytes].
+    Exactly the replica count when write fan-out resends each report
+    verbatim to the other replicas; anti-entropy snapshot traffic is
+    excluded (repair cost, not write cost).  [nan] before the first
+    report.  Mirrored as the [wire_replication_amplification] gauge when
+    {!create} was given [~metrics]. *)
 
 val fleet_trace : t -> Simkit.Trace.t
 (** One merged fleet-wide trace: every replica's {!Server.trace} folded

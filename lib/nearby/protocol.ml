@@ -105,17 +105,21 @@ let join_resilient ?rng ?on_trace t ~rpc ~peer ~attach_router ~k ~on_complete ~o
     ~tid:peer
     ~ctx:(Simkit.Span.context spans ~parent:join_ctx ())
     [ ("probes", Simkit.Span.Int (Server.measurement_probes measurement)) ];
-  let request_bytes =
-    Wire.byte_size (Wire.Path_report { peer; path = Server.measurement_path measurement })
-    + Wire.byte_size (Wire.Neighbor_request { peer; k })
+  let report = Wire.Path_report { peer; path = Server.measurement_path measurement } in
+  let query = Wire.Neighbor_request { peer; k } in
+  let request_parts =
+    [ (Wire.kind report, Wire.byte_size report); (Wire.kind query, Wire.byte_size query) ]
   in
-  let reply_bytes (_, reply) = Wire.byte_size (Wire.Neighbor_reply { peer; neighbors = reply }) in
+  let request_bytes = Wire.byte_size report + Wire.byte_size query in
+  let reply_wire (_, reply) = Wire.Neighbor_reply { peer; neighbors = reply } in
+  let reply_bytes r = Wire.byte_size (reply_wire r) in
+  let reply_parts r = [ (Wire.kind (reply_wire r), Wire.byte_size (reply_wire r)) ] in
   let finish outcome =
     Simkit.Span.add_arg join_span "outcome" (Simkit.Span.Str outcome);
     Simkit.Span.finish ~ts:(now ()) join_span
   in
   Simkit.Engine.schedule t.engine ~delay:(Server.measurement_duration_ms measurement) (fun () ->
-      Simkit.Rpc.call ~parent:join_ctx rpc ~src:attach_router
+      Simkit.Rpc.call ~parent:join_ctx ~request_parts ~reply_parts rpc ~src:attach_router
         ~dst:(fun ~attempt ->
           Cluster.target t.cluster ~src:attach_router ~attempt
           |> Option.map (Cluster.replica_router t.cluster))
@@ -202,12 +206,19 @@ let join_many ?rng ?on_trace ?(on_failure = fun () -> ()) t ~entries ~k ~on_comp
           Array.to_list
             (Array.map (fun (peer, _, m) -> (peer, Server.measurement_path m)) measured)
         in
-        let request_bytes =
-          Wire.byte_size (Wire.Path_report_batch { reports })
-          + Array.fold_left
-              (fun acc (peer, _, _) -> acc + Wire.byte_size (Wire.Neighbor_request { peer; k }))
-              0 measured
+        let batch = Wire.Path_report_batch { reports } in
+        let query_bytes =
+          Array.fold_left
+            (fun acc (peer, _, _) -> acc + Wire.byte_size (Wire.Neighbor_request { peer; k }))
+            0 measured
         in
+        let request_parts =
+          [
+            (Wire.kind batch, Wire.byte_size batch);
+            (Wire.kind (Wire.Neighbor_request { peer = 0; k }), query_bytes);
+          ]
+        in
+        let request_bytes = Wire.byte_size batch + query_bytes in
         let reply_bytes answers =
           Array.to_list answers
           |> List.mapi (fun i (_, reply) ->
@@ -215,12 +226,15 @@ let join_many ?rng ?on_trace ?(on_failure = fun () -> ()) t ~entries ~k ~on_comp
                  Wire.byte_size (Wire.Neighbor_reply { peer; neighbors = reply }))
           |> List.fold_left ( + ) 0
         in
+        let reply_parts answers =
+          [ (Wire.kind (Wire.Neighbor_reply { peer = 0; neighbors = [] }), reply_bytes answers) ]
+        in
         let finish outcome =
           Simkit.Span.add_arg join_span "outcome" (Simkit.Span.Str outcome);
           Simkit.Span.finish ~ts:(now ()) join_span
         in
         Simkit.Engine.schedule t.engine ~delay:measure_ms (fun () ->
-            Simkit.Rpc.call ~parent:join_ctx rpc ~src
+            Simkit.Rpc.call ~parent:join_ctx ~request_parts ~reply_parts rpc ~src
               ~dst:(fun ~attempt ->
                 Cluster.target t.cluster ~src ~attempt
                 |> Option.map (Cluster.replica_router t.cluster))

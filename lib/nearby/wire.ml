@@ -9,6 +9,19 @@ type message =
 
 let protocol_version = 1
 
+(* The wire-observability kind labels: one stable string per message
+   family, the values `wire_bytes_total{kind=...}` series are keyed by.
+   Requests for neighbors are the protocol's "query" and their answers
+   the "reply" — named for the role, not the constructor, so the metric
+   vocabulary matches the bench and dashboard headings. *)
+let kind = function
+  | Ping_request _ | Ping_reply _ -> "ping"
+  | Path_report _ -> "path_report"
+  | Neighbor_request _ -> "query"
+  | Neighbor_reply _ -> "reply"
+  | Leave _ -> "leave"
+  | Path_report_batch _ -> "path_report_batch"
+
 let tag = function
   | Ping_request _ -> 0
   | Ping_reply _ -> 1

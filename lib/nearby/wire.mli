@@ -36,5 +36,11 @@ val byte_size : message -> int
     Used by the simulator to charge realistic message sizes on hot
     paths. *)
 
+val kind : message -> string
+(** The wire-observability label for the message family — the [kind=]
+    value its bytes are charged under in [wire_bytes_total]: ["ping"],
+    ["path_report"], ["query"] (neighbor request), ["reply"] (neighbor
+    reply), ["leave"], ["path_report_batch"]. *)
+
 val equal : message -> message -> bool
 val pp : Format.formatter -> message -> unit

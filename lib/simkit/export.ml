@@ -36,23 +36,36 @@ let capture_meta ?seed ?(backends = []) ?(extra = []) () =
     extra;
   }
 
+let meta_base_fields m =
+  [
+    ("git_rev", Json_str.quote m.git_rev);
+    ("date_utc", Json_str.quote m.date_utc);
+    ("seed", (match m.seed with Some s -> string_of_int s | None -> "null"));
+    ("backends", "[" ^ String.concat ", " (List.map Json_str.quote m.backends) ^ "]");
+    ("ocaml_version", Json_str.quote m.ocaml_version);
+    ("word_size", string_of_int m.word_size);
+    ("domains", string_of_int m.domains);
+  ]
+
 let meta_json m =
-  let fields =
-    [
-      ("git_rev", Json_str.quote m.git_rev);
-      ("date_utc", Json_str.quote m.date_utc);
-      ("seed", (match m.seed with Some s -> string_of_int s | None -> "null"));
-      ( "backends",
-        "[" ^ String.concat ", " (List.map Json_str.quote m.backends) ^ "]" );
-      ("ocaml_version", Json_str.quote m.ocaml_version);
-      ("word_size", string_of_int m.word_size);
-      ("domains", string_of_int m.domains);
-    ]
-    @ List.map (fun (k, v) -> (k, Json_str.quote v)) m.extra
-  in
+  let fields = meta_base_fields m @ List.map (fun (k, v) -> (k, Json_str.quote v)) m.extra in
   "{"
   ^ String.concat ", " (List.map (fun (k, v) -> Json_str.quote k ^ ": " ^ v) fields)
   ^ "}"
+
+(* The one place every BENCH_*.json stamps its run metadata.  The base
+   toolchain keys are fixed and bench-specific knobs live under a single
+   "params" object, so every emitted bench file carries the identical
+   meta key set: git_rev, date_utc, seed, backends, ocaml_version,
+   word_size, domains, params (locked by the suite). *)
+let bench_json ?seed ?backends ?(params = []) fields =
+  let m = capture_meta ?seed ?backends () in
+  let meta =
+    Json_str.obj
+      (meta_base_fields m
+      @ [ ("params", Json_str.obj (List.map (fun (k, v) -> (k, Json_str.quote v)) params)) ])
+  in
+  Json_str.obj (("meta", meta) :: fields)
 
 let exemplar_json (e : Trace.exemplar) =
   Json_str.obj
@@ -307,7 +320,12 @@ let prometheus_labeled ?(prefix = "nearby") sections =
           in
           (match Hashtbl.find_opt counters key with
           | Some v ->
-              let metric = metric ^ "_total" in
+              (* Counters get the conventional _total suffix — unless the
+                 source name already carries it (wire_bytes_total etc.). *)
+              let metric =
+                if String.ends_with ~suffix:"_total" metric then metric
+                else metric ^ "_total"
+              in
               emit_type metric "counter";
               Buffer.add_string buf
                 (Printf.sprintf "%s%s %d\n" metric (prom_labels labels) v)
@@ -342,3 +360,6 @@ let prometheus_labeled ?(prefix = "nearby") sections =
 let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let write_bench ~path ?seed ?backends ?params fields =
+  write_file path (bench_json ?seed ?backends ?params fields)

@@ -35,6 +35,21 @@ val capture_meta : ?seed:int -> ?backends:string list -> ?extra:(string * string
 val meta_json : meta -> string
 (** The metadata as one JSON object. *)
 
+val bench_json :
+  ?seed:int -> ?backends:string list -> ?params:(string * string) list ->
+  (string * string) list -> string
+(** One BENCH_*.json document: [{"meta": {...}, <fields>...}], each field
+    an already-rendered JSON value.  The shared stamping path for every
+    bench emitter — [meta] always carries exactly the keys [git_rev],
+    [date_utc], [seed], [backends], [ocaml_version], [word_size],
+    [domains] and [params] (the bench-specific knobs as one object), so
+    all emitted bench files have identical meta key sets. *)
+
+val write_bench :
+  path:string -> ?seed:int -> ?backends:string list -> ?params:(string * string) list ->
+  (string * string) list -> unit
+(** {!bench_json} straight to [path]. *)
+
 val labeled_json : Metrics.t -> string
 (** One labeled registry as nested JSON: a ["series"] array whose entries
     carry the parsed identity ([name], [labels] object, [kind] ∈
@@ -68,8 +83,9 @@ val prometheus : ?prefix:string -> (string * Trace.t) list -> string
 val prometheus_labeled : ?prefix:string -> (string * Metrics.t) list -> string
 (** Labeled registries in the same exposition:
     [<prefix>_<section>_<name>{k="v",…}] lines — counters with a [_total]
-    suffix, streams as summaries (the [quantile] label appended after the
-    series labels), gauges as gauges.  Label keys are sanitized like
+    suffix (not doubled when the name already ends in [_total]), streams
+    as summaries (the [quantile] label appended after the series labels),
+    gauges as gauges.  Label keys are sanitized like
     metric names; values are backslash-escaped. *)
 
 val write_file : string -> string -> unit

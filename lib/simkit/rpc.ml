@@ -79,8 +79,23 @@ let record t ~args detail =
   | None -> ()
   | Some r -> Flight_recorder.record r ~ts:(Engine.now (engine t)) ~kind:"rpc" ~args detail
 
-let call ?parent t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_give_up =
+let call ?parent ?request_parts ?reply_parts t ~src ~dst ~request_bytes ~reply_bytes
+    ~handle ~on_reply ~on_give_up =
   let engine = engine t in
+  (* Wire attribution: attempt 1 charges the caller's kind breakdown;
+     every later attempt is overhead the retry loop added, so its bytes
+     are relabeled wholesale as kind "retry" — the codec/delta work can
+     then separate protocol cost from resilience cost. *)
+  let request_parts_of ~attempt:n =
+    match request_parts with
+    | Some parts when n = 1 -> parts
+    | Some parts -> [ ("retry", List.fold_left (fun acc (_, b) -> acc + b) 0 parts) ]
+    | None when n > 1 -> [ ("retry", request_bytes) ]
+    | None -> [ ("other", request_bytes) ]
+  in
+  let reply_parts_of v =
+    match reply_parts with Some f -> f v | None -> [ ("other", reply_bytes v) ]
+  in
   Trace.incr t.trace "rpc_calls";
   let started_at = Engine.now engine in
   (* One cell per call: the first reply to arrive settles it; later replies
@@ -120,7 +135,8 @@ let call ?parent t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_g
             close "no_target"
         | Some target ->
             Span.add_arg span "target" (Span.Int target);
-            Transport.send t.transport ~src ~dst:target ~size_bytes:request_bytes (fun () ->
+            Transport.send_parts ~dir:"request" t.transport ~src ~dst:target
+              ~parts:(request_parts_of ~attempt:n) (fun () ->
                 (* The attempt's context is ambient while the server-side
                    handler runs, so its instrumentation parents under this
                    exact attempt without signature threading. *)
@@ -136,8 +152,8 @@ let call ?parent t ~src ~dst ~request_bytes ~reply_bytes ~handle ~on_reply ~on_g
                       ~args:[ ("src", Span.Int src); ("dst", Span.Int target) ]
                       "unserved"
                 | Some v ->
-                    Transport.send t.transport ~src:target ~dst:src ~size_bytes:(reply_bytes v)
-                      (fun () ->
+                    Transport.send_parts ~dir:"reply" t.transport ~src:target ~dst:src
+                      ~parts:(reply_parts_of v) (fun () ->
                         if not !settled then begin
                           settled := true;
                           Trace.incr t.trace "rpc_ok";

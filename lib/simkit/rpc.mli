@@ -52,6 +52,8 @@ val create :
 
 val call :
   ?parent:Span.context ->
+  ?request_parts:(string * int) list ->
+  ?reply_parts:('a -> (string * int) list) ->
   t ->
   src:Topology.Graph.node ->
   dst:(attempt:int -> Topology.Graph.node option) ->
@@ -75,7 +77,15 @@ val call :
     as siblings in one causal tree — timed on the engine clock and
     annotated with the attempt index, the per-attempt target and the
     outcome (["ok"] / ["timeout"] / ["no_target"] / ["superseded"] for an
-    attempt overtaken by another's late reply). *)
+    attempt overtaken by another's late reply).
+
+    {b Wire attribution.} [request_parts] is the first attempt's
+    per-kind byte breakdown (its sum should equal [request_bytes]);
+    [reply_parts v] likewise for the reply (sum = [reply_bytes v]).
+    Every attempt after the first charges its request bytes to kind
+    ["retry"] instead — retry overhead stays separable from protocol
+    cost.  Without parts, bytes land under kind ["other"] (still
+    ["retry"] on re-attempts).  Directions are ["request"] / ["reply"]. *)
 
 val backoff_ms : t -> attempt:int -> float
 (** The (jittered) backoff charged after attempt [attempt] times out —

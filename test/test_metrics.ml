@@ -118,6 +118,87 @@ let test_prometheus_labeled () =
   check_has "json nested labels" json "\"labels\"";
   check_has "json overflow counter" json "\"overflow_routed\""
 
+(* Label values straight from hostile input — quotes, backslashes,
+   newlines — must round-trip through the exposition: one sample per
+   line, escapes per the exposition grammar, and a parse of the emitted
+   line recovers the original values byte for byte. *)
+let parse_prom_sample line =
+  let brace = String.index line '{' in
+  let name = String.sub line 0 brace in
+  let rec labels acc j =
+    let eq = String.index_from line j '=' in
+    let key = String.sub line j (eq - j) in
+    if line.[eq + 1] <> '"' then Alcotest.failf "no opening quote in %S" line;
+    let buf = Buffer.create 16 in
+    let rec value k =
+      match line.[k] with
+      | '\\' ->
+          (match line.[k + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | c -> Buffer.add_char buf c);
+          value (k + 2)
+      | '"' -> k + 1
+      | c ->
+          Buffer.add_char buf c;
+          value (k + 1)
+    in
+    let after = value (eq + 2) in
+    let acc = (key, Buffer.contents buf) :: acc in
+    match line.[after] with
+    | ',' -> labels acc (after + 1)
+    | '}' -> List.rev acc
+    | c -> Alcotest.failf "bad separator %C in %S" c line
+  in
+  (name, labels [] (brace + 1))
+
+let test_prometheus_labeled_escaping () =
+  let m = Metrics.create () in
+  let path = "C:\\temp\\\"quoted\"" and note = "line1\nline2" in
+  Metrics.add_count m "wire_bytes" ~labels:[ ("path", path); ("note", note) ] 7;
+  let text = Export.prometheus_labeled [ ("fleet", m) ] in
+  let sample =
+    match
+      List.find_opt
+        (fun l -> String.length l > 0 && l.[0] <> '#' && contains l "wire_bytes_total")
+        (String.split_on_char '\n' text)
+    with
+    | Some l -> l
+    | None -> Alcotest.failf "no wire_bytes_total sample in %S" text
+  in
+  (* The newline in the value was escaped — the sample stayed one line. *)
+  check_has "escaped newline" sample "\\n";
+  check_has "escaped quote" sample "\\\"";
+  check_has "escaped backslash" sample "\\\\";
+  let name, labels = parse_prom_sample sample in
+  Alcotest.(check string) "metric name" "nearby_fleet_wire_bytes_total" name;
+  Alcotest.(check string) "quoted/backslashed value round-trips" path
+    (List.assoc "path" labels);
+  Alcotest.(check string) "newline value round-trips" note (List.assoc "note" labels)
+
+(* Every BENCH_*.json emitter stamps through Export.bench_json, so all
+   five artifacts carry exactly the same meta key set no matter which
+   optional knobs a bench supplies — the per-bench parameters live under
+   the single nested "params" object, never as ad-hoc top-level keys. *)
+let test_bench_json_meta_keys () =
+  let expected =
+    [ "backends"; "date_utc"; "domains"; "git_rev"; "ocaml_version"; "params"; "seed"; "word_size" ]
+  in
+  let meta_keys doc_str =
+    let doc = Json.parse_exn doc_str in
+    match Json.member "meta" doc with
+    | Some meta -> List.sort compare (Json.keys meta)
+    | None -> Alcotest.failf "no meta in %s" doc_str
+  in
+  Alcotest.(check (list string))
+    "all knobs" expected
+    (meta_keys
+       (Export.bench_json ~seed:1 ~backends:[ "tree" ]
+          ~params:[ ("peers", "10"); ("loss", "0.3") ]
+          [ ("wire", "{}") ]));
+  Alcotest.(check (list string))
+    "no knobs" expected
+    (meta_keys (Export.bench_json [ ("runs", "[]") ]))
+
 (* The acceptance scenario: a 3-replica cluster over sharded:4 exports one
    merged fleet-wide trace whose per-label p99s and merged p99 stay within
    the documented sketch error bound of the per-replica source traces. *)
@@ -188,6 +269,7 @@ let test_fleet_merged_trace_acceptance () =
       "[join latency";
       "[slo]";
       "[rpc]";
+      "[wire]";
       "[admission";
       "[runtime]";
       "[shards]";
@@ -210,6 +292,9 @@ let suite =
       Alcotest.test_case "merge_trace under label" `Quick test_merge_trace_under_label;
       Alcotest.test_case "merge_into" `Quick test_merge_into;
       Alcotest.test_case "labeled exporters" `Quick test_prometheus_labeled;
+      Alcotest.test_case "exposition escaping round-trips" `Quick
+        test_prometheus_labeled_escaping;
+      Alcotest.test_case "bench_json meta keys identical" `Quick test_bench_json_meta_keys;
       Alcotest.test_case "fleet merged-trace acceptance" `Slow
         test_fleet_merged_trace_acceptance;
     ] )
