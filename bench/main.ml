@@ -751,6 +751,31 @@ let run_wire ~full =
     config.Eval.Wire_exp.replicas
 
 (* ------------------------------------------------------------------ *)
+(* Health: state-health observability — a loss burst forces replica
+   divergence; measure detection latency, anti-entropy reconvergence lag,
+   digest-gated transfer savings and report staleness, written to
+   BENCH_health.json for the CI gate. *)
+
+let run_health ~full =
+  banner "health: divergence detection, reconvergence lag, report staleness";
+  let config = if full then Eval.Health_exp.default_config else Eval.Health_exp.quick_config in
+  let r = Eval.Health_exp.run config in
+  Eval.Health_exp.print r;
+  Simkit.Export.write_bench ~path:"BENCH_health.json" ~seed:config.Eval.Health_exp.seed
+    ~params:
+      [
+        ("peers", string_of_int config.Eval.Health_exp.peers);
+        ("routers", string_of_int config.Eval.Health_exp.routers);
+        ("replicas", string_of_int config.Eval.Health_exp.replicas);
+        ("loss", string_of_float config.Eval.Health_exp.loss);
+        ("sync_period_ms", string_of_float config.Eval.Health_exp.sync_period_ms);
+        ("check_period_ms", string_of_float config.Eval.Health_exp.check_period_ms);
+      ]
+    [ ("health", Eval.Health_exp.result_json r) ];
+  Printf.printf "wrote BENCH_health.json (%d joins x %d replicas)\n%!"
+    config.Eval.Health_exp.peers config.Eval.Health_exp.replicas
+
+(* ------------------------------------------------------------------ *)
 (* Regression gate: BENCH_*.json (current working tree) vs the committed
    baselines under bench/baselines/.  All timing metrics are normalized to
    the tree backend within each run, so the comparison survives machine
@@ -763,6 +788,7 @@ let regress_pairs =
     ("BENCH_resilience.json", Eval.Regression.resilience_metrics);
     ("BENCH_load.json", Eval.Regression.load_metrics);
     ("BENCH_wire.json", Eval.Regression.wire_metrics);
+    ("BENCH_health.json", Eval.Regression.health_metrics);
   ]
 
 let copy_file src dst =
@@ -845,7 +871,8 @@ let run_all ~full ~sweep_max =
   run_joining ~full;
   run_resilience ~full;
   run_load ~full;
-  run_wire ~full
+  run_wire ~full;
+  run_health ~full
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -906,6 +933,7 @@ let () =
   | [ "resilience" ] -> run_resilience ~full
   | [ "load" ] -> run_load ~full
   | [ "wire" ] -> run_wire ~full
+  | [ "health" ] -> run_health ~full
   (* `regress [FILE...]` gates only the named BENCH files (default: all) —
      the CI scale job regenerates and judges just BENCH_registry.json. *)
   | "regress" :: onlys ->
@@ -928,6 +956,6 @@ let () =
       Printf.eprintf
         "unknown bench %S; available: micro fig2 complexity landmarks superpeers churn truncate \
          setup-delay metric streaming stretch maintenance topologies registry obs dht inflation \
-         bulk joining resilience load wire regress [--full]\n"
+         bulk joining resilience load wire health regress [--full]\n"
         (String.concat " " other);
       exit 1

@@ -21,6 +21,7 @@ type t = {
   mutable lookups : int;
   mutable overlay_hops : int;
   mutable migrated : int;
+  mutable digest : int64;
   (* The requester-side entry point rotates round robin, as a real client
      would pick a random known ring member. *)
   mutable entry_cursor : int;
@@ -39,11 +40,13 @@ let create ?virtual_nodes ~landmark dht_nodes =
     lookups = 0;
     overlay_hops = 0;
     migrated = 0;
+    digest = Nearby.Registry_intf.empty_digest;
     entry_cursor = 0;
   }
 
 let landmark t = t.landmark
 let member_count t = Hashtbl.length t.paths
+let digest t = t.digest
 
 (* One DHT lookup for the bucket of [router]: route from a rotating entry
    member and account the overlay hops. *)
@@ -70,6 +73,9 @@ let insert t ~peer ~routers =
     invalid_arg "Directory.insert: path must end at the landmark";
   if Hashtbl.mem t.paths peer then invalid_arg "Directory.insert: peer already registered";
   Hashtbl.add t.paths peer (Array.copy routers);
+  t.digest <-
+    Nearby.Registry_intf.combine_digests t.digest
+      (Nearby.Registry_intf.entry_digest ~peer ~routers);
   Array.iteri
     (fun dist router ->
       let store = locate t router in
@@ -82,6 +88,9 @@ let remove t ~peer =
   | None -> raise Not_found
   | Some routers ->
       Hashtbl.remove t.paths peer;
+      t.digest <-
+        Nearby.Registry_intf.combine_digests t.digest
+          (Nearby.Registry_intf.entry_digest ~peer ~routers);
       Array.iteri
         (fun dist router ->
           let store = locate t router in
@@ -212,7 +221,16 @@ let check_invariants t =
                     fail "bucket of router %d has stale entry for peer %d" router peer)
             !b)
         store.buckets)
-    t.stores
+    t.stores;
+  let recomputed =
+    Hashtbl.fold
+      (fun peer routers acc ->
+        Nearby.Registry_intf.combine_digests acc
+          (Nearby.Registry_intf.entry_digest ~peer ~routers))
+      t.paths Nearby.Registry_intf.empty_digest
+  in
+  if recomputed <> t.digest then
+    fail "incremental digest %Ld disagrees with recomputed %Ld" t.digest recomputed
 
 (* --- Persistence ------------------------------------------------------- *)
 

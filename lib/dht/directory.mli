@@ -67,6 +67,10 @@ val approx_bytes : t -> int
 (** Rough payload size (paths + bucket entries) in bytes, excluding ring
     metadata; an estimate for cross-backend comparison. *)
 
+val digest : t -> int64
+(** Order-independent content digest over the registered paths (see
+    {!Nearby.Registry_intf.S.digest}); independent of the ring layout. *)
+
 val check_invariants : t -> unit
 (** Every bucket entry sits on the ring node owning its router key and is
     justified by a registered path, and vice versa.  Reads ownership

@@ -144,8 +144,9 @@ let start (config : config) =
           (Nearby.Sharded_registry.make ~shards:config.shards ~parallel_threshold:8
              ~metrics ())
       in
+      let recorder = Simkit.Flight_recorder.create () in
       let cluster =
-        Nearby.Cluster.create ~metrics ~transport ~client_router:w.map.core.(0)
+        Nearby.Cluster.create ~recorder ~metrics ~transport ~client_router:w.map.core.(0)
           ~make_server:(fun () ->
             Nearby.Server.create ?latency:w.ctx.latency ~backend:(backend ()) w.ctx.oracle
               ~landmarks:w.landmarks)
@@ -164,7 +165,6 @@ let start (config : config) =
          against the budget.  Breach and clear are edge events on the
          flight recorder, so a dump shows when the fleet got loud, not a
          breach line per loud window. *)
-      let recorder = Simkit.Flight_recorder.create () in
       let wire_breaches = ref 0 in
       let breached = ref false in
       let rec bandwidth_poll at =
@@ -203,6 +203,21 @@ let start (config : config) =
               bandwidth_poll (at +. config.window_ms))
       in
       bandwidth_poll config.window_ms;
+      (* Health poll: one digest check per window, so the divergence gauge,
+         the episode edges on the flight recorder and the dashboard's
+         divergent-replicas sparkline all track the fleet at SLO-window
+         resolution. *)
+      (if config.replicas > 1 then
+         let rec health_poll at =
+           if at <= horizon then
+             Simkit.Engine.schedule_at engine ~time:at (fun () ->
+                 let divergent = Nearby.Cluster.digest_check cluster in
+                 Simkit.Timeseries.observe timeseries "divergent_replicas"
+                   ~now:(Simkit.Engine.now engine)
+                   (float_of_int (List.length divergent));
+                 health_poll (at +. config.window_ms))
+         in
+         health_poll config.window_ms);
       (* Joins pass through a bounded admission queue before reaching the
          protocol layer: the same front door the overload experiments
          stress, here provisioned generously (capacity for every peer, a
@@ -284,6 +299,22 @@ let scrape t =
   Nearby.Cluster.scrape t.cluster ~into:m;
   m
 
+(* Fleet staleness snapshot at the current engine time: fresh per-replica
+   trackers every call (catch-up restores replace replica servers, so a
+   retained tracker could point at a dead one), ages merged into one
+   sketch. *)
+let staleness_view t =
+  let ages = Prelude.Sketch.create () in
+  let oldest = ref 0.0 in
+  for i = 0 to Nearby.Cluster.replica_count t.cluster - 1 do
+    let tracker = Nearby.Staleness.create (Nearby.Cluster.server_of t.cluster i) in
+    let report = Nearby.Staleness.observe tracker ~now:(now t) in
+    if report.Nearby.Staleness.oldest_ms > !oldest then
+      oldest := report.Nearby.Staleness.oldest_ms;
+    Prelude.Sketch.merge_into ~into:ages (Nearby.Staleness.age_sketch tracker)
+  done;
+  (ages, !oldest)
+
 type result = {
   joins : int;
   completed : int;
@@ -300,6 +331,10 @@ type result = {
   wire_bytes : int;  (** Delivered bytes, all kinds. *)
   wire_dropped_bytes : int;
   replication_amplification : float;  (** See {!Nearby.Cluster.replication_amplification}. *)
+  digest_checks : int;  (** Divergence comparisons run (polls + sync ends). *)
+  divergent_replicas : int;  (** Replicas diverging at the horizon. *)
+  report_age_p50_ms : float;  (** Fleet report-age median at the horizon. *)
+  report_age_oldest_ms : float;  (** Stalest report still served. *)
 }
 
 (* Sum the {landmark, shard} occupancy gauges per shard.  Replicas
@@ -351,6 +386,7 @@ let result t =
         u.busy_ns /. u.wall_ns
     | _ -> 0.0
   in
+  let ages, oldest_age = staleness_view t in
   {
     joins = t.config.peers;
     completed = !(t.completed);
@@ -367,6 +403,11 @@ let result t =
     wire_bytes = Simkit.Transport.bytes_sent t.transport;
     wire_dropped_bytes = Simkit.Transport.bytes_dropped t.transport;
     replication_amplification = Nearby.Cluster.replication_amplification t.cluster;
+    digest_checks = Simkit.Trace.counter (Nearby.Cluster.trace t.cluster) "cluster_digest_checks";
+    divergent_replicas = List.length (Nearby.Cluster.digest_check t.cluster);
+    report_age_p50_ms =
+      (if Prelude.Sketch.is_empty ages then nan else Prelude.Sketch.quantile ages 0.5);
+    report_age_oldest_ms = oldest_age;
   }
 
 let run config =
@@ -488,6 +529,49 @@ let render t =
          {
            Prelude.Ascii_plot.label = "KB/s";
            points = points_of t "wire_bytes" ~value:(fun s -> s.rate_per_s *. s.mean /. 1024.0);
+         };
+       ]);
+  (* State health: digest agreement across the replicas, divergence
+     episodes and anti-entropy lag, and how stale the served reports
+     are. *)
+  let ctrace = Nearby.Cluster.trace t.cluster in
+  let check_mix r =
+    Simkit.Metrics.counter t.metrics "cluster_digest_checks_total" ~labels:[ ("result", r) ]
+  in
+  let divergent_now =
+    match Simkit.Metrics.gauge t.metrics "cluster_divergent_replicas" ~labels:[] with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
+  add "[health] digest checks=%d (consistent=%d divergent=%d) divergent_now=%d%s\n"
+    (Simkit.Trace.counter ctrace "cluster_digest_checks")
+    (check_mix "consistent") (check_mix "divergent") divergent_now
+    (if divergent_now > 0 then "  [DIVERGED]" else "");
+  add "  sync: rounds=%d restores=%d skipped=%d (digest gate)  anti-entropy lag: %s\n"
+    (Simkit.Trace.counter ctrace "cluster_sync_rounds")
+    (Simkit.Trace.counter ctrace "cluster_sync_restores")
+    (Simkit.Trace.counter ctrace "cluster_sync_skipped")
+    (match Simkit.Trace.summary ctrace "cluster_antientropy_lag_ms" with
+    | Some s when s.count > 0 ->
+        Printf.sprintf "p50=%.0fms max=%.0fms (%d episodes)" s.p50
+          (Option.value s.max ~default:nan)
+          s.count
+    | _ -> "(no closed episodes)");
+  (let ages, oldest_age = staleness_view t in
+   if Prelude.Sketch.is_empty ages then add "  staleness: (no reports yet)\n"
+   else
+     add "  staleness: report age p50=%.0fms p90=%.0fms p99=%.0fms oldest=%.0fms refreshes=%d\n"
+       (Prelude.Sketch.quantile ages 0.5)
+       (Prelude.Sketch.quantile ages 0.9)
+       (Prelude.Sketch.quantile ages 0.99)
+       oldest_age
+       (Simkit.Trace.counter fleet "report_refresh"));
+  add "%s\n"
+    (plot_panel "  divergent replicas (per window)"
+       [
+         {
+           Prelude.Ascii_plot.label = "divergent";
+           points = points_of t "divergent_replicas" ~value:(fun s -> s.p99);
          };
        ]);
   (* Admission front door: windowed queue depth plus the shed mix. *)

@@ -116,6 +116,14 @@ type result = {
   wire_dropped_bytes : int;
   replication_amplification : float;
       (** See {!Nearby.Cluster.replication_amplification}. *)
+  digest_checks : int;
+      (** Divergence comparisons run (per-window polls + sync-round
+          ends). *)
+  divergent_replicas : int;  (** Replicas diverging at the horizon (0 when healthy). *)
+  report_age_p50_ms : float;
+      (** Fleet report-age median at the horizon, merged across replicas;
+          [nan] with no reports. *)
+  report_age_oldest_ms : float;  (** Stalest report still served. *)
 }
 
 val result : t -> result

@@ -402,6 +402,62 @@ let wire_metrics doc =
     };
   ]
 
+let health_metrics doc =
+  let h path = num doc ("health" :: path) in
+  [
+    {
+      name = "health/completion_rate";
+      value = h [ "completion_rate" ];
+      direction = Higher_better;
+      tolerance = 0.02;
+    };
+    (* Structural: the loss burst must produce at least one detected
+       divergence episode, and every episode must close. *)
+    {
+      name = "health/divergence_detected";
+      value = (if h [ "divergence_episodes" ] > 0.0 then 1.0 else 0.0);
+      direction = Exact;
+      tolerance = 0.0;
+    };
+    {
+      name = "health/episodes_closed";
+      value =
+        (if h [ "divergence_episodes" ] = h [ "convergence_episodes" ] then 1.0 else 0.0);
+      direction = Exact;
+      tolerance = 0.0;
+    };
+    {
+      name = "health/converged";
+      value = (if boolean doc [ "health"; "converged" ] then 1.0 else 0.0);
+      direction = Exact;
+      tolerance = 0.0;
+    };
+    {
+      name = "health/detection_latency_ms";
+      value = h [ "detection_latency_ms" ];
+      direction = Lower_better;
+      tolerance = 0.5;
+    };
+    {
+      name = "health/lag_p50_ms";
+      value = h [ "lag_p50_ms" ];
+      direction = Lower_better;
+      tolerance = 0.5;
+    };
+    {
+      name = "health/report_age_p50_ms";
+      value = h [ "report_age_p50_ms" ];
+      direction = Lower_better;
+      tolerance = 0.25;
+    };
+    {
+      name = "health/digest_gate_saves_transfers";
+      value = (if h [ "sync_skipped" ] > 0.0 then 1.0 else 0.0);
+      direction = Exact;
+      tolerance = 0.0;
+    };
+  ]
+
 (* --- Comparison -------------------------------------------------------- *)
 
 let within (m : metric) ~baseline ~current =

@@ -50,6 +50,14 @@ val wire_metrics : Simkit.Json.t -> metric list
     the committed value, batching saves upload bytes.
     @raise Failure when malformed. *)
 
+val health_metrics : Simkit.Json.t -> metric list
+(** From BENCH_health.json: completion rate (0.02), divergence detection
+    latency and anti-entropy lag p50 (0.5 — poll-period quantized), report
+    age p50 (0.25), and the structural bits exact — the loss burst causes
+    at least one detected divergence episode, every episode closes, the
+    run reconverges, and the digest gate saves at least one snapshot
+    transfer.  @raise Failure when malformed. *)
+
 val compare_metrics : baseline:metric list -> current:metric list -> comparison list
 (** One comparison per baseline metric; thresholds come from the baseline
     side. *)

@@ -21,6 +21,11 @@ type t = {
   recorder : Simkit.Flight_recorder.t option;
   spans : Simkit.Span.sink;
   metrics : Simkit.Metrics.t option;
+  mutable divergence_started_at : float option;
+      (* Engine time the current divergence episode was first detected;
+         [None] while the live replicas' digests agree.  Edge state for the
+         divergence/convergence flight-recorder events and the
+         ["cluster_antientropy_lag_ms"] stopwatch. *)
 }
 
 let engine t = Option.map Simkit.Transport.engine t.transport
@@ -41,6 +46,7 @@ let single ~router server =
     recorder = None;
     spans = Simkit.Span.noop;
     metrics = None;
+    divergence_started_at = None;
   }
 
 let watch_replica t r =
@@ -89,9 +95,13 @@ let create ?(detector_config = Simkit.Failure_detector.default_config) ?recorder
       recorder;
       spans;
       metrics;
+      divergence_started_at = None;
     }
   in
   Array.iter (fun r -> watch_replica t r) replicas;
+  (* Registration stamps read the engine clock, so report staleness is in
+     engine milliseconds fleet-wide. *)
+  Array.iter (fun r -> Server.set_clock r.server (fun () -> now t)) replicas;
   t
 
 let replica_count t = Array.length t.replicas
@@ -376,6 +386,68 @@ let recover t i =
     Log.debug (fun m -> m "replica %d recovered" i)
   end
 
+(* --- Divergence detection ---------------------------------------------- *)
+
+(* The anti-entropy source rule, shared with the digest comparison so the
+   divergence reference is the replica a sync round would copy from: most
+   registered peers, ties to the lowest id. *)
+let most_complete live =
+  List.fold_left
+    (fun best r ->
+      let key r = (-Server.peer_count r.server, r.id) in
+      if key r < key best then r else best)
+    (List.hd live) (List.tl live)
+
+(* One digest comparison across the live replicas.  O(replicas) int64
+   compares — the registries maintain their digests incrementally — so this
+   is cheap enough to piggyback on every sync round and on any
+   failure-detector-rate poll an experiment wants.
+
+   Episode edges are what get recorded: the first check that sees a
+   mismatch emits one "divergence" event (with the offending replica ids)
+   and starts the stopwatch; the first check that sees agreement again
+   emits one "convergence" event and observes the elapsed engine time as
+   ["cluster_antientropy_lag_ms"].  Checks inside an episode change
+   nothing, so a flapping gauge cannot spam the flight recorder. *)
+let digest_check t =
+  let live = Array.to_list t.replicas |> List.filter (fun r -> r.alive) in
+  let divergent =
+    match live with
+    | [] | [ _ ] -> []
+    | live ->
+        let reference = most_complete live in
+        let reference_digest = Server.digest reference.server in
+        live
+        |> List.filter (fun r ->
+               r.id <> reference.id && Server.digest r.server <> reference_digest)
+        |> List.map (fun r -> r.id)
+  in
+  Simkit.Trace.incr t.trace "cluster_digest_checks";
+  (match t.metrics with
+  | None -> ()
+  | Some m ->
+      let result = if divergent = [] then "consistent" else "divergent" in
+      Simkit.Metrics.incr m "cluster_digest_checks_total" ~labels:[ ("result", result) ];
+      Simkit.Metrics.set m "cluster_divergent_replicas" ~labels:[]
+        (float_of_int (List.length divergent)));
+  (match (divergent, t.divergence_started_at) with
+  | [], None -> ()
+  | [], Some since ->
+      let lag = now t -. since in
+      Simkit.Trace.observe t.trace "cluster_antientropy_lag_ms" lag;
+      record t ~args:[ ("lag_ms", Simkit.Span.Float lag) ] "convergence";
+      Log.debug (fun m -> m "replicas reconverged after %.1f ms" lag);
+      t.divergence_started_at <- None
+  | ids, None ->
+      t.divergence_started_at <- Some (now t);
+      let replicas = String.concat "," (List.map string_of_int ids) in
+      record t ~args:[ ("replicas", Simkit.Span.Str replicas) ] "divergence";
+      Log.debug (fun m -> m "replicas diverged: %s" replicas)
+  | _, Some _ -> (* still inside the episode: no new edge *) ());
+  divergent
+
+let divergence_since t = t.divergence_started_at
+
 (* --- Anti-entropy ------------------------------------------------------ *)
 
 (* One sync round:
@@ -384,17 +456,26 @@ let recover t i =
    2. union phase: any peer a live replica holds that the source lacks is
       pushed into the source via [register_replica] (no write is ever lost
       to the wholesale restore that follows);
-   3. catch-up phase: every live replica whose peer set still differs from
-      the source's is rebuilt from the source's snapshot — the recovery
-      path the issue names.  A replica recovering here closes its
-      [recovered_at] stopwatch into the ["cluster_recovery_ms"] stream. *)
+   3. catch-up phase: every live replica whose content digest still differs
+      from the source's is rebuilt from the source's snapshot — the
+      recovery path the issue names.  The digest gate is both finer and
+      cheaper than the old peer-id comparison: it catches same-ids,
+      different-paths divergence, and a straggler whose digest already
+      matches skips the snapshot transfer entirely (counter
+      ["cluster_sync_skipped"]).  A replica recovering here closes its
+      [recovered_at] stopwatch into the ["cluster_recovery_ms"] stream.
+
+   A digest comparison runs at both ends of the round, so divergence is
+   detected no later than the next sync tick and reconvergence is recorded
+   the moment the repair lands. *)
 let sync_round t =
   Simkit.Span.with_span t.spans ~name:"sync_round"
     ~clock:(fun () -> now t)
     [ ("live", Simkit.Span.Int (live_count t)) ]
   @@ fun _ctx ->
   Simkit.Trace.incr t.trace "cluster_sync_rounds";
-  let live = Array.to_list t.replicas |> List.filter (fun r -> r.alive) in
+  ignore (digest_check t);
+  (let live = Array.to_list t.replicas |> List.filter (fun r -> r.alive) in
   match live with
   | [] | [ _ ] ->
       (* Nothing to reconcile; a lone recovered replica is trivially in sync. *)
@@ -407,13 +488,7 @@ let sync_round t =
           | None -> ())
         live
   | live -> (
-      let source =
-        List.fold_left
-          (fun best r ->
-            let key r = (-Server.peer_count r.server, r.id) in
-            if key r < key best then r else best)
-          (List.hd live) (List.tl live)
-      in
+      let source = most_complete live in
       (* Union: push peers the source is missing into the source. *)
       List.iter
         (fun r ->
@@ -444,11 +519,16 @@ let sync_round t =
       match t.restore_server with
       | None -> ()
       | Some restore ->
-          let source_ids = Server.peer_ids source.server in
+          let source_digest = Server.digest source.server in
           let snapshot = lazy (Server.snapshot source.server) in
           List.iter
             (fun r ->
-              if r.id <> source.id && Server.peer_ids r.server <> source_ids then begin
+              (if r.id <> source.id then
+                 if Server.digest r.server = source_digest then
+                   (* Content already identical — the digest gate saves the
+                      whole snapshot transfer. *)
+                   Simkit.Trace.incr t.trace "cluster_sync_skipped"
+                 else begin
                 let data = Lazy.force snapshot in
                 match restore data with
                 | Ok server ->
@@ -458,6 +538,11 @@ let sync_round t =
                        the catch-up restore or per-replica scrapes go dark. *)
                     Simkit.Trace.merge_into ~into:(Server.trace server)
                       (Server.trace r.server);
+                    (* The restored replica learned every report now,
+                       whatever the original registration times elsewhere:
+                       re-stamp under the engine clock. *)
+                    Server.set_clock server (fun () -> now t);
+                    Server.refresh_stamps server;
                     r.server <- server;
                     Simkit.Trace.incr t.trace "cluster_sync_restores";
                     Simkit.Trace.add_count t.trace "cluster_sync_bytes" (String.length data);
@@ -478,9 +563,9 @@ let sync_round t =
                         m "replica %d restored from replica %d (%d peers)" r.id source.id
                           (Server.peer_count server))
                 | Error e -> Log.err (fun m -> m "replica %d restore failed: %s" r.id e)
-              end;
+              end);
               match r.recovered_at with
-              | Some since when Server.peer_ids r.server = source_ids ->
+              | Some since when Server.digest r.server = source_digest ->
                   Simkit.Trace.observe t.trace "cluster_recovery_ms" (now t -. since);
                   record t
                     ~args:
@@ -491,7 +576,8 @@ let sync_round t =
                     "back_in_sync";
                   r.recovered_at <- None
               | _ -> ())
-            live)
+            live));
+  ignore (digest_check t)
 
 let start_sync t ~period_ms ~until =
   if period_ms <= 0.0 then invalid_arg "Cluster.start_sync: period must be positive";

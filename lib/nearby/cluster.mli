@@ -37,9 +37,13 @@ val create :
     heartbeat watch on every replica, monitored from [client_router].
     [restore_server] rebuilds a replica from a snapshot during anti-entropy.
     [recorder] receives one ["cluster"]-kind flight-recorder event per
-    membership change: crash, recover, suspicion, anti-entropy restore and
-    back-in-sync (with the measured recovery time).  [metrics] receives the
-    [wire_replication_amplification] gauge, refreshed on every fan-out.
+    membership change: crash, recover, suspicion, anti-entropy restore,
+    back-in-sync (with the measured recovery time), and the
+    divergence/convergence edges of {!digest_check}.  [metrics] receives
+    the [wire_replication_amplification] and [cluster_divergent_replicas]
+    gauges and the labeled [cluster_digest_checks_total] counters.  Every
+    replica's server clock is set to the engine, so registration stamps
+    (report staleness) are in engine milliseconds.
     @raise Invalid_argument on an empty or duplicate router array. *)
 
 val replica_count : t -> int
@@ -59,8 +63,39 @@ val trace : t -> Simkit.Trace.t
     ["cluster_replicate_send"/"_apply"/"_skip"], ["cluster_suspected"],
     ["cluster_crashes"], ["cluster_recoveries"], ["cluster_sync_rounds"],
     ["cluster_sync_union"], ["cluster_sync_restores"],
+    ["cluster_sync_skipped"] (catch-up transfers the digest gate saved),
     ["cluster_sync_bytes"], ["cluster_client_report_bytes"],
-    ["cluster_replica_bytes"]; stream ["cluster_recovery_ms"]. *)
+    ["cluster_replica_bytes"], ["cluster_digest_checks"]; streams
+    ["cluster_recovery_ms"] and ["cluster_antientropy_lag_ms"] (engine time
+    from first detected divergence to detected reconvergence, one sample
+    per episode). *)
+
+(** {1 Divergence detection}
+
+    Every registry maintains an order-independent content digest
+    ({!Server.digest}), so "do the replicas hold the same state?" is one
+    int64 compare per replica instead of a peer-set walk.  {!sync_round}
+    runs a check at both ends of the round; experiments may call
+    {!digest_check} on their own schedule (e.g. at failure-detector rate)
+    for finer detection latency. *)
+
+val digest_check : t -> int list
+(** Compare every live replica's digest against the reference replica (the
+    anti-entropy source rule: most registered peers, ties to the lowest
+    id); returns the ids of divergent live replicas, [[]] when consistent
+    (including 0/1 live).  Bumps ["cluster_digest_checks"]; with [metrics],
+    updates the [cluster_divergent_replicas] gauge and the
+    [cluster_digest_checks_total{result="consistent"|"divergent"}]
+    counters.  Episode edges are recorded once: the first check seeing a
+    mismatch emits a ["divergence"] flight-recorder event (with the
+    offending replica ids) and starts the stopwatch; the first check
+    seeing agreement again emits ["convergence"] and observes
+    ["cluster_antientropy_lag_ms"].  Checks inside an episode record no
+    events — no flapping. *)
+
+val divergence_since : t -> float option
+(** Engine time the current divergence episode was first detected, [None]
+    while consistent. *)
 
 val replication_amplification : t -> float
 (** Bytes the cluster moves per byte a client uploads:
@@ -159,7 +194,13 @@ val recover : t -> int -> unit
 val sync_round : t -> unit
 (** One anti-entropy round over the live replicas: union missing
     registrations into the most complete replica, then wholesale
-    {!Server.snapshot}/[restore] any straggler from it.  Emits one
+    {!Server.snapshot}/[restore] any straggler whose {e content digest}
+    differs from the source's — a straggler whose digest already matches
+    skips the transfer (counter ["cluster_sync_skipped"]).  Runs a
+    {!digest_check} at both ends of the round, so divergence is detected
+    no later than the next sync tick and reconvergence is recorded the
+    moment the repair lands.  A restored replica's registration stamps are
+    refreshed to now (it learned every report just now).  Emits one
     ["sync_round"] span (a root of its own trace) when a sink is
     attached. *)
 

@@ -1,10 +1,14 @@
 type t = {
   landmark : Topology.Graph.node;
   paths : (int, int array) Hashtbl.t;
+  mutable digest : int64;
 }
 
-let create ~landmark = { landmark; paths = Hashtbl.create 64 }
+let create ~landmark =
+  { landmark; paths = Hashtbl.create 64; digest = Registry_intf.empty_digest }
+
 let landmark t = t.landmark
+let digest t = t.digest
 let member_count t = Hashtbl.length t.paths
 let mem t peer = Hashtbl.mem t.paths peer
 let path_of t peer = Option.map Array.copy (Hashtbl.find_opt t.paths peer)
@@ -15,11 +19,16 @@ let insert t ~peer ~routers =
   if routers.(Array.length routers - 1) <> t.landmark then
     invalid_arg "Naive_registry.insert: path must end at the landmark";
   if Hashtbl.mem t.paths peer then invalid_arg "Naive_registry.insert: peer already registered";
-  Hashtbl.add t.paths peer (Array.copy routers)
+  Hashtbl.add t.paths peer (Array.copy routers);
+  t.digest <- Registry_intf.combine_digests t.digest (Registry_intf.entry_digest ~peer ~routers)
 
 let remove t peer =
-  if not (Hashtbl.mem t.paths peer) then raise Not_found;
-  Hashtbl.remove t.paths peer
+  match Hashtbl.find_opt t.paths peer with
+  | None -> raise Not_found
+  | Some routers ->
+      Hashtbl.remove t.paths peer;
+      t.digest <-
+        Registry_intf.combine_digests t.digest (Registry_intf.entry_digest ~peer ~routers)
 
 let dtree_paths a b =
   let la = Array.length a and lb = Array.length b in
@@ -93,7 +102,16 @@ let check_invariants t =
       if len = 0 then failwith (Printf.sprintf "peer %d has an empty path" peer);
       if path.(len - 1) <> t.landmark then
         failwith (Printf.sprintf "peer %d path does not end at the landmark" peer))
-    t.paths
+    t.paths;
+  let recomputed =
+    Hashtbl.fold
+      (fun peer routers acc ->
+        Registry_intf.combine_digests acc (Registry_intf.entry_digest ~peer ~routers))
+      t.paths Registry_intf.empty_digest
+  in
+  if recomputed <> t.digest then
+    failwith
+      (Printf.sprintf "incremental digest %Ld disagrees with recomputed %Ld" t.digest recomputed)
 
 let snapshot_version = 1
 

@@ -40,6 +40,7 @@ let query_into t ~routers ~best ~seen ~exclude =
   Core.query_into t ~hops:(hops_of_routers routers) ~best ~seen ~exclude
 let iter_members = Core.iter_members
 let check_invariants = Core.check_invariants
+let digest = Core.digest
 
 (* --- Registry_intf.S ---------------------------------------------------- *)
 

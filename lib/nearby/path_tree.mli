@@ -110,6 +110,9 @@ val introspect : t -> Registry_intf.introspection
     per router (value = bucket cardinality), hot routers the largest
     buckets. *)
 
+val digest : t -> int64
+(** Order-independent content digest (see {!Registry_intf.S.digest}). *)
+
 val snapshot : t -> string
 (** Registered peers and their router paths in the {!Prelude.Codec} binary
     format (sorted by peer id, so equal state yields equal bytes). *)

@@ -48,15 +48,26 @@ module Make (Cost : COST) = struct
        so churn does not hammer the allocator. *)
     mutable spare : chunk list;
     mutable nspare : int;
+    (* XOR of [Registry_intf.entry_digest] per member, kept in lockstep by
+       [store_path]/[remove]. *)
+    mutable digest : int64;
   }
 
   let create ~landmark =
-    { landmark; paths = Hashtbl.create 64; buckets = Hashtbl.create 256; spare = []; nspare = 0 }
+    {
+      landmark;
+      paths = Hashtbl.create 64;
+      buckets = Hashtbl.create 256;
+      spare = [];
+      nspare = 0;
+      digest = Registry_intf.empty_digest;
+    }
 
   let landmark t = t.landmark
   let member_count t = Hashtbl.length t.paths
   let mem t p = Hashtbl.mem t.paths p
   let router_count t = Hashtbl.length t.buckets
+  let digest t = t.digest
 
   let entry_compare c1 p1 c2 p2 =
     match Cost.compare c1 c2 with 0 -> Int.compare p1 p2 | c -> c
@@ -308,7 +319,9 @@ module Make (Cost : COST) = struct
       routers.(i) <- router;
       pcosts.(i) <- cost
     done;
-    Hashtbl.add t.paths peer { routers; pcosts }
+    Hashtbl.add t.paths peer { routers; pcosts };
+    t.digest <-
+      Registry_intf.combine_digests t.digest (Registry_intf.entry_digest ~peer ~routers)
 
   let insert t ~peer ~hops =
     validate t ~peer ~hops;
@@ -368,6 +381,9 @@ module Make (Cost : COST) = struct
     | None -> raise Not_found
     | Some path ->
         Hashtbl.remove t.paths peer;
+        t.digest <-
+          Registry_intf.combine_digests t.digest
+            (Registry_intf.entry_digest ~peer ~routers:path.routers);
         for i = 0 to Array.length path.routers - 1 do
           match Hashtbl.find_opt t.buckets path.routers.(i) with
           | None -> ()
@@ -564,5 +580,14 @@ module Make (Cost : COST) = struct
         done;
         if !counted <> b.total then
           fail "router %d: bucket total %d but %d entries" router b.total !counted)
-      t.buckets
+      t.buckets;
+    let recomputed =
+      Hashtbl.fold
+        (fun peer p acc ->
+          Registry_intf.combine_digests acc
+            (Registry_intf.entry_digest ~peer ~routers:p.routers))
+        t.paths Registry_intf.empty_digest
+    in
+    if recomputed <> t.digest then
+      fail "incremental digest %Ld disagrees with recomputed %Ld" t.digest recomputed
 end

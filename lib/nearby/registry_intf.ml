@@ -24,6 +24,41 @@ type peer = int
    than a parameter so every backend's top-k is comparable. *)
 let hot_router_k = 8
 
+(* --- Content digests ----------------------------------------------------
+
+   A registry's content digest is the XOR of one 64-bit hash per
+   [(peer, routers)] entry.  XOR is commutative and self-inverse, so the
+   digest is order-independent and every backend can maintain it
+   incrementally: XOR the entry hash in on insert, XOR the same hash out
+   on remove — O(1) either way, no rescans.  Two registries hold the same
+   members with the same recorded paths iff (up to 64-bit collision) their
+   digests match, which is what the cluster's divergence detector
+   compares.
+
+   The entry hash is FNV-1a over the peer id and the router sequence
+   (costs are derived from position, so hashing the sequence covers them),
+   finished with a splitmix64-style avalanche so single-bit input changes
+   flip about half the output bits — without it, XOR-combining many
+   near-identical FNV states would cancel structure. *)
+
+let empty_digest = 0L
+
+let entry_digest ~peer ~routers : int64 =
+  let fnv_prime = 0x100000001b3L in
+  let mix h v =
+    Int64.mul (Int64.logxor h (Int64.of_int v)) fnv_prime
+  in
+  let h = ref (mix 0xcbf29ce484222325L peer) in
+  Array.iter (fun r -> h := mix !h r) routers;
+  h := mix !h (Array.length routers);
+  (* splitmix64 finalizer *)
+  let z = !h in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let combine_digests = Int64.logxor
+
 (* A structural X-ray of a backend: how its storage is distributed over
    routers, which routers are hottest, and roughly how much memory it
    holds.  [occupancy] has one sample per (router, bucket) — the sample
@@ -169,6 +204,14 @@ module type S = sig
 
   val stats : t -> (string * int) list
   val introspect : t -> introspection
+
+  val digest : t -> int64
+  (** Order-independent 64-bit content digest over the registry's
+      [(peer, routers)] entries: XOR of {!entry_digest} per member,
+      {!empty_digest} when empty.  Maintained incrementally (O(1) per
+      insert/remove), equal across backends holding the same members, and
+      preserved by [snapshot]/[restore]. *)
+
   val snapshot : t -> string
   val restore : string -> (t, string) result
   val check_invariants : t -> unit
@@ -305,6 +348,10 @@ let stats (Registry r) =
 let introspect (Registry r) =
   let module B = (val r.backend) in
   B.introspect r.state
+
+let digest (Registry r) =
+  let module B = (val r.backend) in
+  B.digest r.state
 
 let snapshot (Registry r) =
   let module B = (val r.backend) in

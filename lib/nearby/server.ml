@@ -22,6 +22,15 @@ type t = {
   backend : (module Registry_intf.S);
   registries : (Topology.Graph.node, Registry_intf.t) Hashtbl.t;
   peers : (int, peer_info) Hashtbl.t;
+  (* Engine time at which this server last learned each peer's report:
+     stamped on every registration path (join, replica apply, restore,
+     handover re-join), dropped on leave.  A side table, deliberately NOT
+     part of [snapshot] — staleness is a property of the replica's view,
+     not of the data, and serializing it would perturb every snapshot byte
+     baseline.  [clock] defaults to a constant 0.0 until {!set_clock}
+     wires the simulation engine in. *)
+  registered_at : (int, float) Hashtbl.t;
+  mutable clock : unit -> float;
   trace : Simkit.Trace.t;
   spans : Simkit.Span.sink;
   (* Peers whose join span is still open: closed by their first query (so
@@ -57,10 +66,26 @@ let create ?(truncate = Traceroute.Truncate.Full) ?(probe_config = Traceroute.Pr
     backend;
     registries;
     peers = Hashtbl.create 256;
+    registered_at = Hashtbl.create 256;
+    clock = (fun () -> 0.0);
     trace;
     spans;
     open_joins = Hashtbl.create 16;
   }
+
+let set_clock t clock = t.clock <- clock
+
+(* Stamp (or re-stamp) a peer's report as learned now.  Counted so the
+   staleness view can report a per-window refresh rate. *)
+let stamp t peer =
+  Hashtbl.replace t.registered_at peer (t.clock ());
+  Simkit.Trace.incr t.trace "report_refresh"
+
+let registration_time t peer = Hashtbl.find_opt t.registered_at peer
+let iter_registration_times t f = Hashtbl.iter f t.registered_at
+
+let refresh_stamps t =
+  Hashtbl.iter (fun peer _ -> Hashtbl.replace t.registered_at peer (t.clock ())) t.peers
 
 let graph t = Traceroute.Route_oracle.graph t.oracle
 let landmarks t = Array.copy t.landmark_ids
@@ -85,6 +110,14 @@ let registry_stats t =
 let introspection t =
   Registry_intf.merge_introspections
     (Hashtbl.fold (fun _ reg acc -> Registry_intf.introspect reg :: acc) t.registries [])
+
+(* The per-landmark registries partition the peers, so the XOR-merge of
+   their digests is the whole-server content digest — the value replicas
+   compare to detect divergence. *)
+let digest t =
+  Hashtbl.fold
+    (fun _ reg acc -> Registry_intf.combine_digests acc (Registry_intf.digest reg))
+    t.registries Registry_intf.empty_digest
 
 let peer_ids t = Hashtbl.fold (fun peer _ acc -> peer :: acc) t.peers [] |> List.sort compare
 
@@ -185,6 +218,7 @@ let register_measured ?parent t ~peer ~attach_router (r : measurement) =
       Registry_intf.insert (registry_of t landmark) ~peer ~routers);
   let info = { attach_router; landmark; recorded_path; probes_spent } in
   Hashtbl.add t.peers peer info;
+  stamp t peer;
   Log.debug (fun m ->
       m "join peer=%d router=%d landmark=%d hops=%d probes=%d" peer attach_router landmark
         (Traceroute.Path.hop_count recorded_path)
@@ -246,6 +280,7 @@ let register_replica t ~peer ~attach_router ~landmark ~path ~probes_spent =
   let routers = registrable_path ~landmark path in
   Registry_intf.insert (registry_of t landmark) ~peer ~routers;
   Hashtbl.add t.peers peer { attach_router; landmark; recorded_path = path; probes_spent };
+  stamp t peer;
   Simkit.Trace.incr t.trace "replica_register"
 
 (* Batch round 2: a whole array of client-measured joins applied in one
@@ -297,6 +332,7 @@ let register_measured_batch ?parent t entries =
           }
         in
         Hashtbl.add t.peers peer info;
+        stamp t peer;
         Simkit.Trace.incr t.trace "join";
         Simkit.Trace.add_count t.trace "probe_packets" r.cost;
         Simkit.Trace.observe t.trace "path_hops"
@@ -363,7 +399,8 @@ let register_replica_batch t entries =
     (List.rev !order);
   List.iter
     (fun (peer, attach_router, landmark, path, probes_spent) ->
-      Hashtbl.add t.peers peer { attach_router; landmark; recorded_path = path; probes_spent })
+      Hashtbl.add t.peers peer { attach_router; landmark; recorded_path = path; probes_spent };
+      stamp t peer)
     fresh;
   Simkit.Trace.add_count t.trace "replica_register" (List.length fresh);
   List.length fresh
@@ -479,6 +516,7 @@ let leave t ~peer =
       close_join_span t ~peer;
       Registry_intf.remove (registry_of t info.landmark) peer;
       Hashtbl.remove t.peers peer;
+      Hashtbl.remove t.registered_at peer;
       Log.debug (fun m -> m "leave peer=%d landmark=%d" peer info.landmark);
       Simkit.Trace.incr t.trace "leave"
 
@@ -564,7 +602,10 @@ let restore ?truncate ?probe_config ?latency ?choice ?backend ?spans oracle data
                     let routers = registrable_path ~landmark path in
                     Registry_intf.insert (registry_of t landmark) ~peer ~routers;
                     Hashtbl.add t.peers peer
-                      { attach_router; landmark; recorded_path = path; probes_spent }
+                      { attach_router; landmark; recorded_path = path; probes_spent };
+                    (* Stamp directly: a restore rebuild is not a client
+                       refresh, so it must not count as [report_refresh]. *)
+                    Hashtbl.replace t.registered_at peer (t.clock ())
                 | Ok _ -> failwith "snapshot entry is not a path report"
                 | Error e -> failwith e)
               entries

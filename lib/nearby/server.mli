@@ -147,6 +147,37 @@ val register_replica_batch :
 val peer_ids : t -> int list
 (** Registered peer ids, ascending — the anti-entropy comparison key. *)
 
+val digest : t -> int64
+(** Order-independent content digest over every registered [(peer, routers)]
+    entry, XOR-folded across the per-landmark registries (they partition the
+    peers).  Two replicas hold the same registrations iff their digests
+    match (modulo 64-bit collisions) — the cheap anti-entropy comparison
+    key; see {!Registry_intf.S.digest}. *)
+
+(** {1 Report staleness}
+
+    Each registration is stamped with the engine time the server learned of
+    it, feeding the report-age distribution ({!Staleness}).  The stamps are
+    a server-local observation (when {e this} replica learned the report),
+    deliberately not part of {!snapshot}. *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Install the time source (engine milliseconds) used to stamp
+    registrations.  Defaults to [fun () -> 0.0] — a standalone server
+    without a simulation clock stamps everything at time zero. *)
+
+val registration_time : t -> int -> float option
+(** When this server last learned (or refreshed) the given peer's report,
+    in clock units; [None] when unregistered. *)
+
+val iter_registration_times : t -> (int -> float -> unit) -> unit
+(** [f peer stamped_at] for every registered peer — the staleness feed. *)
+
+val refresh_stamps : t -> unit
+(** Re-stamp every registered peer at the current clock.  Used after a
+    snapshot restore: the restoring replica learned all reports {e now},
+    whatever their original registration times elsewhere. *)
+
 val neighbors : t -> peer:int -> k:int -> (int * int) list
 (** [(peer, inferred distance)] ascending, at most [k], never containing the
     peer itself.  Cross-tree top-up entries carry inferred distance
@@ -174,7 +205,9 @@ val handover : ?rng:Prelude.Prng.t -> t -> peer:int -> attach_router:Topology.Gr
 
 val trace : t -> Simkit.Trace.t
 (** Protocol counters: ["join"], ["leave"], ["handover"], ["probe_packets"],
-    ["query"], ["cross_tree_topup"], ["wire_bytes"] (bytes the join uploads
+    ["query"], ["cross_tree_topup"], ["report_refresh"] (registrations
+    stamped — joins, replica applies and handovers, the staleness
+    refresh-rate feed), ["wire_bytes"] (bytes the join uploads
     and query exchanges would occupy on the wire, per {!Wire});
     statistics ["path_hops"] and the per-phase join costs in simulated
     milliseconds ["ping_round_ms"], ["traceroute_ms"], ["join_ms"]. *)

@@ -333,6 +333,15 @@ module Make
     let largest = Array.fold_left (fun m s -> max m (Inner.member_count s)) 0 t.shards in
     ("largest_shard", largest) :: ("shards", shard_count) :: inner |> List.sort compare
 
+  (* Shards partition the members, so the composite digest is the XOR-merge
+     of the per-shard digests — the same combine the shards themselves use
+     per entry, hence independent of both insertion order and shard
+     placement. *)
+  let digest t =
+    Array.fold_left
+      (fun acc shard -> Registry_intf.combine_digests acc (Inner.digest shard))
+      Registry_intf.empty_digest t.shards
+
   (* Per-shard introspections merge bucket-wise: a router whose bucket is
      split across shards counts once per physical bucket, which is the
      storage-level truth for a scatter-gather store.  The home table keeps

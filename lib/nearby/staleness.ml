@@ -1,0 +1,95 @@
+(* Report-age observability.
+
+   A registered path is a claim about the network at measurement time; the
+   longer it sits unrefreshed, the less the inferred distances mean.  This
+   module turns the server's registration stamps into the three numbers an
+   operator actually watches: the report-age distribution (how stale the
+   typical report is), the oldest entry (the worst claim still being
+   served), and the per-window refresh rate (whether the population is
+   keeping its reports alive).
+
+   The tracker is deliberately stateless about individual peers — every
+   [observe] re-reads the stamp table, so a sample reflects the membership
+   at that instant and removed peers stop contributing immediately.  The
+   only retained state is the previous observation's refresh counter and
+   time, which is what turns the monotone ["report_refresh"] counter into a
+   rate. *)
+
+type t = {
+  server : Server.t;
+  ages : Prelude.Sketch.t;  (* all report-age samples ever observed, ms *)
+  mutable last_refresh_count : int;
+  mutable last_observed_at : float;  (* engine ms of the previous observe *)
+}
+
+type report = {
+  members : int;
+  oldest_ms : float;
+  mean_ms : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  refresh_count : int;
+  refresh_rate_hz : float;
+}
+
+let create server =
+  {
+    server;
+    ages = Prelude.Sketch.create ();
+    last_refresh_count = Simkit.Trace.counter (Server.trace server) "report_refresh";
+    last_observed_at = nan;
+  }
+
+let server t = t.server
+let age_sketch t = t.ages
+
+(* Ages are clamped at zero: a stamp can postdate [now] only through caller
+   clock skew (e.g. observing mid-event before the engine advanced), and a
+   negative age would poison the sketch, which only accepts >= 0 samples
+   meaningfully. *)
+let age ~now stamped_at = Float.max 0.0 (now -. stamped_at)
+
+let observe ?metrics ?(labels = []) t ~now =
+  let window = Prelude.Sketch.create () in
+  let oldest = ref 0.0 in
+  let sum = ref 0.0 in
+  let members = ref 0 in
+  Server.iter_registration_times t.server (fun _peer stamped_at ->
+      let a = age ~now stamped_at in
+      incr members;
+      sum := !sum +. a;
+      if a > !oldest then oldest := a;
+      Prelude.Sketch.add window a;
+      Prelude.Sketch.add t.ages a);
+  let refresh_count = Simkit.Trace.counter (Server.trace t.server) "report_refresh" in
+  let refresh_rate_hz =
+    let dt_ms = now -. t.last_observed_at in
+    if Float.is_nan dt_ms || dt_ms <= 0.0 then nan
+    else float_of_int (refresh_count - t.last_refresh_count) /. (dt_ms /. 1000.0)
+  in
+  t.last_refresh_count <- refresh_count;
+  t.last_observed_at <- now;
+  let q p = if !members = 0 then nan else Prelude.Sketch.quantile window p in
+  let report =
+    {
+      members = !members;
+      oldest_ms = !oldest;
+      mean_ms = (if !members = 0 then nan else !sum /. float_of_int !members);
+      p50_ms = q 0.5;
+      p90_ms = q 0.9;
+      p99_ms = q 0.99;
+      refresh_count;
+      refresh_rate_hz;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      Simkit.Metrics.set m "staleness_members" ~labels (float_of_int report.members);
+      Simkit.Metrics.set m "staleness_oldest_ms" ~labels report.oldest_ms;
+      if not (Float.is_nan report.refresh_rate_hz) then
+        Simkit.Metrics.set m "staleness_refresh_rate_hz" ~labels report.refresh_rate_hz;
+      Server.iter_registration_times t.server (fun _peer stamped_at ->
+          Simkit.Metrics.observe m "report_age_ms" ~labels (age ~now stamped_at)));
+  report

@@ -1,0 +1,46 @@
+(** Report-age observability.
+
+    A registered path is a claim about the network at the moment it was
+    measured; its value decays while it sits unrefreshed.  This module
+    turns {!Server.iter_registration_times} into the staleness signals an
+    operator watches: the report-age distribution, the oldest entry still
+    being served, and the per-window refresh rate derived from the
+    ["report_refresh"] counter. *)
+
+type t
+(** A staleness tracker bound to one server.  Holds the lifetime age
+    sketch and the previous observation's refresh counter (the rate
+    baseline); individual peer stamps are re-read on every {!observe}. *)
+
+val create : Server.t -> t
+(** Bind a tracker; the refresh-rate baseline starts at the server's
+    current ["report_refresh"] count, so the first {!observe} reports a
+    [nan] rate (no window yet). *)
+
+val server : t -> Server.t
+
+type report = {
+  members : int;  (** Registered peers sampled. *)
+  oldest_ms : float;  (** Age of the stalest report; [0.0] when empty. *)
+  mean_ms : float;  (** Mean report age; [nan] when empty. *)
+  p50_ms : float;  (** Report-age quantiles over the current membership; *)
+  p90_ms : float;  (** sketch-backed (relative error at most *)
+  p99_ms : float;  (** {!Prelude.Sketch.default_alpha}); [nan] when empty. *)
+  refresh_count : int;  (** ["report_refresh"] counter at observation. *)
+  refresh_rate_hz : float;
+      (** Refreshes per second since the previous {!observe}; [nan] on the
+          first observation or a non-advancing clock. *)
+}
+
+val observe : ?metrics:Simkit.Metrics.t -> ?labels:Simkit.Metrics.labels -> t -> now:float -> report
+(** Sample every registered peer's report age at engine time [now]
+    (clamped at zero against caller clock skew).  With [metrics], also
+    exports gauges [staleness_members], [staleness_oldest_ms] and
+    [staleness_refresh_rate_hz] (skipped while [nan]) and feeds each age
+    into the [report_age_ms] stream under [labels] — the mergeable series
+    a fleet roll-up reads quantiles from. *)
+
+val age_sketch : t -> Prelude.Sketch.t
+(** The lifetime age sketch: every sample from every {!observe} since
+    {!create}, mergeable across replicas with
+    {!Prelude.Sketch.merge_into}. *)

@@ -61,6 +61,7 @@ module Registry = struct
     ]
 
   let introspect t = Path_tree.introspect t.tree
+  let digest t = Path_tree.digest t.tree
   let check_invariants t = Path_tree.check_invariants t.tree
 
   let snapshot_version = 1

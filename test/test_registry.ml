@@ -264,6 +264,70 @@ let qcheck_churn =
         members;
       true)
 
+(* --- Content digests ---------------------------------------------------- *)
+
+(* The digest is an XOR over per-entry hashes, so three laws pin it down:
+   insertion order cannot matter, every backend must agree on identical
+   content, and removing entries must land exactly on the digest of a fresh
+   registry holding the remainder. *)
+let qcheck_digest =
+  QCheck.Test.make ~name:"content digests are order-free and backend-free" ~count:15
+    QCheck.(make Gen.(pair small_nat bool))
+    (fun (seed, waxman) ->
+      let sc = if waxman then waxman_scenario ~seed else transit_stub_scenario ~seed in
+      let rng = Prelude.Prng.create (seed + 13) in
+      let peers = 30 in
+      let entries =
+        List.init peers (fun peer -> (peer, sc.route_of (attach_router sc rng)))
+      in
+      let forward = fresh_registries sc in
+      let backward = fresh_registries sc in
+      List.iter
+        (fun (peer, routers) ->
+          List.iter (fun reg -> Registry_intf.insert reg ~peer ~routers) forward)
+        entries;
+      List.iter
+        (fun (peer, routers) ->
+          List.iter (fun reg -> Registry_intf.insert reg ~peer ~routers) backward)
+        (List.rev entries);
+      let reference = Registry_intf.digest (List.hd forward) in
+      Alcotest.(check bool) "nonempty digest differs from empty" true
+        (reference <> Registry_intf.empty_digest);
+      List.iter2
+        (fun spec (fwd, bwd) ->
+          let name = spec_name spec in
+          Alcotest.(check int64)
+            (name ^ ": insertion order cannot change the digest")
+            (Registry_intf.digest fwd) (Registry_intf.digest bwd);
+          Alcotest.(check int64)
+            (name ^ ": digest agrees with the path tree's")
+            reference (Registry_intf.digest fwd))
+        specs
+        (List.combine forward backward);
+      (* Remove the even peers; the digest must land on the digest of a
+         fresh registry that only ever saw the odd ones. *)
+      let survivors = List.filter (fun (peer, _) -> peer mod 2 = 1) entries in
+      let rebuilt = fresh_registries sc in
+      List.iter
+        (fun (peer, routers) ->
+          List.iter (fun reg -> Registry_intf.insert reg ~peer ~routers) rebuilt)
+        survivors;
+      List.iter
+        (fun reg ->
+          List.iter
+            (fun (peer, _) -> if peer mod 2 = 0 then Registry_intf.remove reg peer)
+            entries)
+        forward;
+      List.iter2
+        (fun spec (reg, fresh) ->
+          Alcotest.(check int64)
+            (spec_name spec ^ ": removal inverts the digest")
+            (Registry_intf.digest fresh) (Registry_intf.digest reg);
+          Registry_intf.check_invariants reg)
+        specs
+        (List.combine forward rebuilt);
+      true)
+
 (* --- Snapshot / restore through the unified interface ------------------ *)
 
 let populated_registry spec ~seed ~peers =
@@ -297,6 +361,10 @@ let test_snapshot_roundtrip () =
             (name ^ ": landmark")
             (Registry_intf.landmark reg)
             (Registry_intf.landmark restored);
+          Alcotest.(check int64)
+            (name ^ ": digest preserved")
+            (Registry_intf.digest reg)
+            (Registry_intf.digest restored);
           for peer = 0 to 29 do
             Alcotest.(check (list (pair int int)))
               (Printf.sprintf "%s: peer %d answers preserved" name peer)
@@ -389,4 +457,5 @@ let suite =
       QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) qcheck_equivalence;
       QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) qcheck_batch_agreement;
       QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) qcheck_churn;
+      QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) qcheck_digest;
     ] )
